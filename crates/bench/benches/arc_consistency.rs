@@ -1,0 +1,46 @@
+//! Benchmark: arc-consistency computation (Proposition 3.1) as a function of
+//! the data-tree size, for both the worklist engine and the literal
+//! Horn-SAT/AC-4 engine. Supports the O(‖A‖·|Q|) claim of Theorem 3.5
+//! (the worklist engine should scale near-linearly in the number of nodes;
+//! the Horn-SAT engine materializes the axis relations and scales with their
+//! size, i.e. super-linearly for closure axes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cqt_bench::{benchmark_tree, chain_query};
+use cqt_core::arc::{arc_consistent_prevaluation, arc_consistent_prevaluation_hornsat};
+use cqt_trees::Axis;
+
+fn bench_arc_consistency(c: &mut Criterion) {
+    let query = chain_query(Axis::ChildPlus, 6);
+    let mut group = c.benchmark_group("arc_consistency");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    for nodes in [200usize, 800, 3_200] {
+        let tree = benchmark_tree(nodes, 41);
+        group.bench_with_input(BenchmarkId::new("worklist", nodes), &tree, |b, tree| {
+            b.iter(|| arc_consistent_prevaluation(tree, &query));
+        });
+        // The Horn-SAT engine materializes Child+, so keep its sizes smaller.
+        if nodes <= 800 {
+            group.bench_with_input(BenchmarkId::new("hornsat_ac4", nodes), &tree, |b, tree| {
+                b.iter(|| arc_consistent_prevaluation_hornsat(tree, &query));
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("arc_consistency_query_size");
+    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    let tree = benchmark_tree(1_000, 43);
+    for atoms in [2usize, 8, 32] {
+        let query = chain_query(Axis::ChildStar, atoms + 1);
+        group.bench_with_input(BenchmarkId::new("worklist", atoms), &query, |b, query| {
+            b.iter(|| arc_consistent_prevaluation(&tree, query));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arc_consistency);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmark: the Theorem 5.1 reduction — MAC solve time on the fixed
+//! Figure 4 tree as the 1-in-3 3SAT instance grows, for satisfiable
+//! (planted) and structurally unsatisfiable instances. The growth of the
+//! search effort with the instance size is the empirical face of the
+//! NP-hardness results of Section 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cqt_core::MacSolver;
+use cqt_hardness::sat::OneInThreeInstance;
+use cqt_hardness::thm51::{Thm51Reduction, Thm51Variant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_thm51(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm51_reduction");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let mut rng = StdRng::seed_from_u64(77);
+    for clauses in [2usize, 4, 6] {
+        let instance = OneInThreeInstance::random_satisfiable(&mut rng, 3 * clauses, clauses);
+        let reduction = Thm51Reduction::new(instance, Thm51Variant::Tau4ChildPlus);
+        group.bench_with_input(
+            BenchmarkId::new("planted_sat", clauses),
+            &reduction,
+            |b, reduction| {
+                let solver = MacSolver::new(&reduction.tree);
+                b.iter(|| solver.eval_boolean(&reduction.query));
+            },
+        );
+    }
+    let unsat = Thm51Reduction::new(OneInThreeInstance::unsatisfiable_k4(), Thm51Variant::Tau4ChildPlus);
+    group.bench_with_input(BenchmarkId::new("unsat_k4", 4), &unsat, |b, reduction| {
+        let solver = MacSolver::new(&reduction.tree);
+        b.iter(|| solver.eval_boolean(&reduction.query));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thm51);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmark: the polynomial-time evaluator of Theorem 3.5 against the MAC
+//! solver and the brute-force baseline on the three tractable signature
+//! families (τ1, τ2, τ3). The X̲-property evaluator and MAC should stay close
+//! (MAC never branches on these inputs); the naive baseline falls off a cliff
+//! as the data grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cqt_bench::{benchmark_tree, chain_query};
+use cqt_core::{MacSolver, NaiveEvaluator, XPropertyEvaluator};
+use cqt_trees::{Axis, Order};
+
+fn bench_poly_eval(c: &mut Criterion) {
+    let families = [
+        ("tau1_childplus", Axis::ChildPlus, Order::Pre),
+        ("tau2_following", Axis::Following, Order::Post),
+        ("tau3_child", Axis::Child, Order::Bflr),
+    ];
+    for (name, axis, order) in families {
+        let query = chain_query(axis, 5);
+        let mut group = c.benchmark_group(format!("poly_eval/{name}"));
+        group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+        for nodes in [200usize, 1_000, 4_000] {
+            let tree = benchmark_tree(nodes, 59);
+            group.bench_with_input(BenchmarkId::new("x_property", nodes), &tree, |b, tree| {
+                let eval = XPropertyEvaluator::with_order(tree, order);
+                b.iter(|| eval.eval_boolean(&query));
+            });
+            group.bench_with_input(BenchmarkId::new("mac", nodes), &tree, |b, tree| {
+                let solver = MacSolver::new(tree);
+                b.iter(|| solver.eval_boolean(&query));
+            });
+            if nodes <= 200 {
+                group.bench_with_input(BenchmarkId::new("naive", nodes), &tree, |b, tree| {
+                    let naive = NaiveEvaluator::new(tree);
+                    b.iter(|| naive.eval_boolean(&query));
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_poly_eval);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmark: the CQ → APQ rewrite system (Lemma 6.5 / Theorems 6.6, 6.10) —
+//! rewrite time for the paper's Figure 1 query, for random cyclic queries of
+//! growing size, and for the diamond queries (whose output size is
+//! exponential, Theorem 7.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cqt_bench::query_over_signature;
+use cqt_query::cq::figure1_query;
+use cqt_query::Signature;
+use cqt_rewrite::diamonds::diamond_query;
+use cqt_rewrite::rewrite::{rewrite_to_apq_with, RewriteOptions};
+use cqt_trees::Axis;
+
+fn bench_rewrite(c: &mut Criterion) {
+    let options = RewriteOptions::default();
+    let mut group = c.benchmark_group("rewrite");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+
+    group.bench_function("figure1_query", |b| {
+        let query = figure1_query();
+        b.iter(|| rewrite_to_apq_with(&query, &options).unwrap());
+    });
+
+    let signature = Signature::from_axes([Axis::Child, Axis::ChildPlus, Axis::ChildStar]);
+    for vars in [4usize, 6, 8] {
+        let query = query_over_signature(&signature, vars, 83);
+        group.bench_with_input(BenchmarkId::new("random_cyclic", vars), &query, |b, query| {
+            b.iter(|| rewrite_to_apq_with(query, &options).unwrap());
+        });
+    }
+
+    for n in [1usize, 2] {
+        let query = diamond_query(n);
+        group.bench_with_input(BenchmarkId::new("diamond", n), &query, |b, query| {
+            b.iter(|| rewrite_to_apq_with(query, &options).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmark: the succinctness gap of Theorem 7.1 — the size (and
+//! construction time) of the APQ equivalent to the diamond query `D_n`,
+//! together with evaluation of `D_n` on its `PS(n, p)` structures.
+//!
+//! The interesting output is not the wall-clock time but the *measured APQ
+//! size*, which the harness binary (`experiments succinctness`) prints as a
+//! table; this bench tracks the time of the same computation so regressions
+//! in the rewrite engine are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cqt_core::MacSolver;
+use cqt_rewrite::diamonds::{all_ps_structures, apq_size_for_diamond, diamond_query};
+use cqt_rewrite::rewrite::RewriteOptions;
+
+fn bench_succinctness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("succinctness");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+
+    for n in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("apq_for_diamond", n), &n, |b, &n| {
+            let options = RewriteOptions::default();
+            b.iter(|| apq_size_for_diamond(n, &options).unwrap());
+        });
+    }
+
+    for n in [2usize, 3] {
+        let diamond = diamond_query(n);
+        let structures = all_ps_structures(n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("diamond_on_all_ps_structures", n),
+            &structures,
+            |b, structures| {
+                b.iter(|| {
+                    structures
+                        .iter()
+                        .filter(|t| MacSolver::new(t).eval_boolean(&diamond))
+                        .count()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_succinctness);
+criterion_main!(benches);

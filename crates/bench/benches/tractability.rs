@@ -1,0 +1,48 @@
+//! Benchmark: one measurement per cell of Table I — Boolean evaluation of a
+//! fixed-size query over each one- and two-axis signature on a fixed-size
+//! tree, using the engine the dichotomy prescribes (X̲-property evaluation on
+//! the polynomial cells, MAC search on the NP-hard cells).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use cqt_bench::{benchmark_tree, query_over_signature};
+use cqt_core::{MacSolver, SignatureAnalysis, Tractability, XPropertyEvaluator};
+use cqt_query::Signature;
+
+fn bench_table1_cells(c: &mut Criterion) {
+    let tree = benchmark_tree(600, 67);
+    let mut group = c.benchmark_group("table1_cells");
+    group.sample_size(10).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(150));
+    for (a, b, classification) in SignatureAnalysis::table1() {
+        let signature = if a == b {
+            Signature::from_axes([a])
+        } else {
+            Signature::from_axes([a, b])
+        };
+        let cell = if a == b {
+            format!("{a}")
+        } else {
+            format!("{a}+{b}")
+        };
+        let query = query_over_signature(&signature, 5, 71);
+        match classification {
+            Tractability::PolynomialTime { order } => {
+                group.bench_with_input(BenchmarkId::new("P", cell), &query, |bench, query| {
+                    let eval = XPropertyEvaluator::with_order(&tree, order);
+                    bench.iter(|| eval.eval_boolean(query));
+                });
+            }
+            Tractability::NpHard { .. } => {
+                group.bench_with_input(BenchmarkId::new("NPhard", cell), &query, |bench, query| {
+                    let solver = MacSolver::new(&tree);
+                    bench.iter(|| solver.eval_boolean(query));
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_cells);
+criterion_main!(benches);

@@ -1,0 +1,341 @@
+//! Table and figure regeneration harness.
+//!
+//! ```text
+//! cargo run --release -p cqt-bench --bin experiments -- all
+//! cargo run --release -p cqt-bench --bin experiments -- table1
+//! cargo run --release -p cqt-bench --bin experiments -- table2
+//! cargo run --release -p cqt-bench --bin experiments -- figure3
+//! cargo run --release -p cqt-bench --bin experiments -- figure8
+//! cargo run --release -p cqt-bench --bin experiments -- scaling
+//! cargo run --release -p cqt-bench --bin experiments -- hardness
+//! cargo run --release -p cqt-bench --bin experiments -- succinctness [max_n]
+//! ```
+//!
+//! Each subcommand regenerates one of the paper's tables/figures
+//! experimentally; EXPERIMENTS.md records the outputs next to the paper's
+//! claims.
+
+use std::time::{Duration, Instant};
+
+use cqt_bench::{benchmark_tree, chain_query, fmt_duration, query_over_signature, time_mean};
+use cqt_core::{Engine, EvalStrategy, MacSolver, SignatureAnalysis, Tractability, XPropertyEvaluator};
+use cqt_hardness::nand;
+use cqt_hardness::sat::OneInThreeInstance;
+use cqt_hardness::thm51::{Thm51Reduction, Thm51Variant};
+use cqt_query::cq::figure1_query;
+use cqt_query::Signature;
+use cqt_rewrite::diamonds::apq_size_for_diamond;
+use cqt_rewrite::rewrite::{rewrite_to_apq_with, RewriteOptions};
+use cqt_trees::{Axis, Order};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    match command {
+        "table1" => table1(),
+        "table2" => table2(),
+        "figure3" => figure3(),
+        "figure8" => figure8(),
+        "scaling" => scaling(),
+        "hardness" => hardness(),
+        "succinctness" => {
+            let max_n = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+            succinctness(max_n);
+        }
+        "all" => {
+            table1();
+            table2();
+            figure3();
+            figure8();
+            scaling();
+            hardness();
+            succinctness(3);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; see the module docs for the available ones");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Table I: the complexity of conjunctive queries for every one- and two-axis
+/// signature — machine classification plus an empirical probe per cell.
+fn table1() {
+    header("Table I — tractability of one- and two-axis signatures");
+    println!(
+        "{:<14} {:<14} {:<34} {}",
+        "axis 1", "axis 2", "classification", "empirical probe"
+    );
+    for (a, b, classification) in SignatureAnalysis::table1() {
+        let signature = if a == b {
+            Signature::from_axes([a])
+        } else {
+            Signature::from_axes([a, b])
+        };
+        let probe = match &classification {
+            Tractability::PolynomialTime { order } => polynomial_probe(&signature, *order),
+            Tractability::NpHard { .. } => np_hard_probe(&signature),
+        };
+        let cell_b = if a == b { "(single axis)".to_owned() } else { b.to_string() };
+        println!("{:<14} {:<14} {:<34} {}", a.to_string(), cell_b, classification.to_string(), probe);
+    }
+}
+
+/// Probe for a polynomial cell: evaluate a chain query over the signature on
+/// trees of two sizes and report the time ratio (≈ the size ratio for the
+/// near-linear X̲-property algorithm).
+fn polynomial_probe(signature: &Signature, order: Order) -> String {
+    let axes: Vec<Axis> = signature.iter().collect();
+    let mut query = cqt_query::ConjunctiveQuery::new();
+    // A chain alternating through the signature's axes.
+    let mut prev = query.var("x0");
+    query.add_label(prev, "A");
+    for i in 1..8 {
+        let next = query.var(&format!("x{i}"));
+        query.add_axis(axes[i % axes.len()], prev, next);
+        if i % 2 == 0 {
+            query.add_label(next, "B");
+        }
+        prev = next;
+    }
+    let small_tree = benchmark_tree(2_000, 11);
+    let large_tree = benchmark_tree(8_000, 12);
+    let small = time_mean(5, || {
+        let eval = XPropertyEvaluator::with_order(&small_tree, order);
+        std::hint::black_box(eval.eval_boolean(&query));
+    });
+    let large = time_mean(5, || {
+        let eval = XPropertyEvaluator::with_order(&large_tree, order);
+        std::hint::black_box(eval.eval_boolean(&query));
+    });
+    format!(
+        "eval {} @2k nodes, {} @8k nodes (x{:.1} for x4 data)",
+        fmt_duration(small),
+        fmt_duration(large),
+        large.as_secs_f64() / small.as_secs_f64().max(1e-9)
+    )
+}
+
+/// Probe for an NP-hard cell: solve a hard instance with the complete MAC
+/// solver and report its size and the number of branching decisions.
+fn np_hard_probe(signature: &Signature) -> String {
+    // For the two signatures of Theorem 5.1 use the actual Figure 4
+    // reduction; for the others use a random cyclic query over the signature.
+    let child = signature.contains(Axis::Child);
+    let plus = signature.contains(Axis::ChildPlus);
+    let star = signature.contains(Axis::ChildStar);
+    if child && (plus || star) && signature.len() == 2 {
+        let variant = if plus {
+            Thm51Variant::Tau4ChildPlus
+        } else {
+            Thm51Variant::Tau5ChildStar
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let instance = OneInThreeInstance::random_satisfiable(&mut rng, 9, 5);
+        let reduction = Thm51Reduction::new(instance, variant);
+        let start = Instant::now();
+        let (sat, stats) = MacSolver::new(&reduction.tree).eval_boolean_with_stats(&reduction.query);
+        format!(
+            "Thm 5.1 reduction (5 clauses): sat={sat}, {} decisions, {}",
+            stats.decisions,
+            fmt_duration(start.elapsed())
+        )
+    } else {
+        let query = query_over_signature(signature, 7, 23);
+        let tree = benchmark_tree(150, 17);
+        let start = Instant::now();
+        let (sat, stats) = MacSolver::new(&tree).eval_boolean_with_stats(&query);
+        format!(
+            "random cyclic query ({} atoms): sat={sat}, {} decisions, {}",
+            query.size(),
+            stats.decisions,
+            fmt_duration(start.elapsed())
+        )
+    }
+}
+
+/// Table II: the NAND offsets of the Theorem 5.2 gadget.
+fn table2() {
+    header("Table II — the NAND(k, l) offsets");
+    println!("k\\l      1     2     3");
+    for k in 1..=3 {
+        println!("{k}      {:>3}   {:>3}   {:>3}", nand(k, 1), nand(k, 2), nand(k, 3));
+    }
+}
+
+/// Figure 3: the X̲-property counterexamples of Example 4.5.
+fn figure3() {
+    use cqt_core::xproperty::{figure3a_tree, figure3b_tree, x_property_violation};
+    header("Figure 3 — X-property counterexamples (Example 4.5)");
+    let a = figure3a_tree();
+    println!("(a) tree: {}", cqt_trees::parse::to_term(&a));
+    match x_property_violation(&a, Axis::Following, Order::Pre) {
+        Some(v) => println!(
+            "    Following violates the X-property wrt <pre: witness n0={:?} n1={:?} n2={:?} n3={:?}",
+            v.n0, v.n1, v.n2, v.n3
+        ),
+        None => println!("    unexpected: no violation found"),
+    }
+    println!(
+        "    Following wrt <post on the same tree: {}",
+        if x_property_violation(&a, Axis::Following, Order::Post).is_none() {
+            "X-property holds (Theorem 4.1)"
+        } else {
+            "violated (unexpected)"
+        }
+    );
+    let b = figure3b_tree();
+    println!("(b) tree: {}", cqt_trees::parse::to_term(&b));
+    for axis in [Axis::AncestorPlus, Axis::AncestorStar] {
+        match x_property_violation(&b, axis, Order::Post) {
+            Some(v) => println!(
+                "    {axis} violates the X-property wrt <post: witness n0={:?} n1={:?} n2={:?} n3={:?}",
+                v.n0, v.n1, v.n2, v.n3
+            ),
+            None => println!("    unexpected: no violation found for {axis}"),
+        }
+    }
+}
+
+/// Figure 8: the worked CQ → APQ rewrite of the introduction query.
+fn figure8() {
+    header("Figure 8 — rewriting the Figure 1 query into an APQ");
+    let query = figure1_query();
+    println!("input ({} atoms): {query}", query.size());
+    let start = Instant::now();
+    let (apq, stats) = rewrite_to_apq_with(&query, &RewriteOptions::default()).unwrap();
+    println!(
+        "rewritten in {} — {} lifter applications, {} directed-cycle collapses, {} unsatisfiable branches pruned",
+        fmt_duration(start.elapsed()),
+        stats.lifter_applications,
+        stats.directed_collapses,
+        stats.unsat_pruned
+    );
+    println!(
+        "result: {} acyclic disjunct(s), total size {}",
+        apq.len(),
+        apq.size()
+    );
+    for (i, disjunct) in apq.iter().enumerate().take(8) {
+        println!("  [{i}] {disjunct}");
+    }
+    if apq.len() > 8 {
+        println!("  … ({} more)", apq.len() - 8);
+    }
+}
+
+/// Theorem 3.5 scaling: evaluation time vs tree size for the three tractable
+/// signature families, with the MAC and naive evaluators as baselines.
+fn scaling() {
+    header("Theorem 3.5 — evaluation time vs data size on tractable signatures");
+    let families = [
+        ("tau1 {Child+, Child*}", Axis::ChildPlus, Order::Pre),
+        ("tau2 {Following}", Axis::Following, Order::Post),
+        ("tau3 {Child, NextSibling+}", Axis::Child, Order::Bflr),
+    ];
+    println!(
+        "{:<28} {:>8} {:>12} {:>12} {:>12}",
+        "family", "nodes", "X-property", "MAC", "naive"
+    );
+    for (name, axis, order) in families {
+        let query = chain_query(axis, 6);
+        for nodes in [500usize, 2_000, 8_000] {
+            let tree = benchmark_tree(nodes, 31);
+            let xp = time_mean(5, || {
+                let eval = XPropertyEvaluator::with_order(&tree, order);
+                std::hint::black_box(eval.eval_boolean(&query));
+            });
+            let mac = time_mean(3, || {
+                std::hint::black_box(MacSolver::new(&tree).eval_boolean(&query));
+            });
+            let naive = if nodes <= 500 {
+                fmt_duration(time_mean(1, || {
+                    std::hint::black_box(
+                        Engine::with_strategy(EvalStrategy::Naive).eval_boolean(&tree, &query),
+                    );
+                }))
+            } else {
+                "(skipped)".to_owned()
+            };
+            println!(
+                "{:<28} {:>8} {:>12} {:>12} {:>12}",
+                name,
+                nodes,
+                fmt_duration(xp),
+                fmt_duration(mac),
+                naive
+            );
+        }
+    }
+}
+
+/// Section 5 hardness: MAC solve time for the Theorem 5.1 reduction as the
+/// number of clauses grows (satisfiable and unsatisfiable instances).
+fn hardness() {
+    header("Theorem 5.1 — reduction solve time vs instance size");
+    println!(
+        "{:<34} {:>10} {:>12} {:>12} {:>10}",
+        "instance", "|Q| atoms", "decisions", "time", "result"
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    for clauses in [2usize, 4, 6, 8] {
+        let instance = OneInThreeInstance::random_satisfiable(&mut rng, 3 * clauses.max(1), clauses);
+        report_reduction(&format!("planted satisfiable, {clauses} clauses"), &instance);
+    }
+    report_reduction("unsatisfiable K4 family", &OneInThreeInstance::unsatisfiable_k4());
+}
+
+fn report_reduction(name: &str, instance: &OneInThreeInstance) {
+    let reduction = Thm51Reduction::new(instance.clone(), Thm51Variant::Tau4ChildPlus);
+    let start = Instant::now();
+    let (sat, stats) = MacSolver::new(&reduction.tree).eval_boolean_with_stats(&reduction.query);
+    let elapsed = start.elapsed();
+    assert_eq!(sat, instance.is_satisfiable(), "reduction must track SAT");
+    println!(
+        "{:<34} {:>10} {:>12} {:>12} {:>10}",
+        name,
+        reduction.query.size(),
+        stats.decisions,
+        fmt_duration(elapsed),
+        if sat { "sat" } else { "unsat" }
+    );
+}
+
+/// Theorem 7.1: size of the APQ produced for the diamond queries D_n.
+fn succinctness(max_n: usize) {
+    header("Theorem 7.1 — APQ blow-up for the diamond queries D_n");
+    println!(
+        "{:<4} {:>10} {:>14} {:>12} {:>12}",
+        "n", "|D_n|", "APQ disjuncts", "APQ size", "time"
+    );
+    let budget = Duration::from_secs(120);
+    let started = Instant::now();
+    for n in 1..=max_n {
+        if started.elapsed() > budget {
+            println!("(stopping early: time budget exhausted)");
+            break;
+        }
+        let options = RewriteOptions {
+            max_disjuncts: 2_000_000,
+            ..RewriteOptions::default()
+        };
+        let start = Instant::now();
+        match apq_size_for_diamond(n, &options) {
+            Ok((original, apq_size, disjuncts, _)) => println!(
+                "{:<4} {:>10} {:>14} {:>12} {:>12}",
+                n,
+                original,
+                disjuncts,
+                apq_size,
+                fmt_duration(start.elapsed())
+            ),
+            Err(err) => println!("{n:<4} rewrite aborted: {err}"),
+        }
+    }
+}

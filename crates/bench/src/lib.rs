@@ -1,0 +1,136 @@
+//! Shared workload builders and measurement helpers for the benchmark
+//! harness and the table/figure regeneration binary (`experiments`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use cqt_query::generate::{random_query, RandomQueryConfig};
+use cqt_query::{ConjunctiveQuery, Signature};
+use cqt_trees::generate::{random_tree, treebank, RandomTreeConfig, TreebankConfig};
+use cqt_trees::{Axis, Tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a random tree of approximately `nodes` nodes with the standard
+/// benchmark alphabet, deterministically from `seed`.
+pub fn benchmark_tree(nodes: usize, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_tree(
+        &mut rng,
+        &RandomTreeConfig {
+            nodes,
+            alphabet: ["A", "B", "C", "D", "E"].iter().map(|s| s.to_string()).collect(),
+            multi_label_probability: 0.05,
+            attach_window: usize::MAX,
+        },
+    )
+}
+
+/// Builds a synthetic Treebank-style corpus with `sentences` sentences.
+pub fn benchmark_corpus(sentences: usize, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    treebank(
+        &mut rng,
+        &TreebankConfig {
+            sentences,
+            max_depth: 6,
+            pp_probability: 0.5,
+        },
+    )
+}
+
+/// Builds a random (possibly cyclic) query whose binary atoms use exactly the
+/// axes of `signature`, with `vars` variables.
+pub fn query_over_signature(signature: &Signature, vars: usize, seed: u64) -> ConjunctiveQuery {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let axes: Vec<Axis> = signature.iter().collect();
+    random_query(
+        &mut rng,
+        &RandomQueryConfig {
+            vars,
+            axes,
+            labels: ["A", "B", "C"].iter().map(|s| s.to_string()).collect(),
+            label_probability: 0.8,
+            extra_atoms: vars / 2,
+            head_arity: 0,
+        },
+    )
+}
+
+/// A chain query `A(x1), χ(x1, x2), …, χ(x_{k-1}, x_k)` over a single axis —
+/// the canonical workload for the scaling experiments of Theorem 3.5.
+pub fn chain_query(axis: Axis, length: usize) -> ConjunctiveQuery {
+    let labels = ["A", "B", "C", "D", "E"];
+    let mut q = ConjunctiveQuery::new();
+    let mut prev = q.var("x0");
+    q.add_label(prev, labels[0]);
+    for i in 1..length {
+        let next = q.var(&format!("x{i}"));
+        q.add_axis(axis, prev, next);
+        q.add_label(next, labels[i % labels.len()]);
+        prev = next;
+    }
+    q
+}
+
+/// Times one closure invocation.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Times `f` over `runs` invocations and reports the mean duration.
+pub fn time_mean(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs > 0);
+    let start = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    start.elapsed() / runs as u32
+}
+
+/// Formats a duration compactly for the harness tables.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_query::Signature;
+
+    #[test]
+    fn workload_builders_are_deterministic() {
+        let a = benchmark_tree(50, 3);
+        let b = benchmark_tree(50, 3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 50);
+        let corpus = benchmark_corpus(5, 1);
+        assert!(corpus.len() > 10);
+        let q = query_over_signature(&Signature::tau1(), 5, 7);
+        assert!(q.signature().is_subset_of(&Signature::tau1()));
+        let chain = chain_query(Axis::ChildPlus, 6);
+        assert_eq!(chain.axis_atom_count(), 5);
+        assert!(chain.is_acyclic());
+    }
+
+    #[test]
+    fn timing_helpers_work() {
+        let (value, d) = time_once(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(d.as_nanos() > 0);
+        let mean = time_mean(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(fmt_duration(mean).ends_with('s') || fmt_duration(mean).contains("µs") || fmt_duration(mean).contains("ms"));
+    }
+}

@@ -1,0 +1,330 @@
+//! A complete solver for all signatures: backtracking search that maintains
+//! arc consistency (MAC).
+//!
+//! The NP-hard signatures of Section 5 (e.g. `{Child, Child+}` or
+//! `{Child, Following}`) cannot be decided by arc consistency alone; this
+//! module provides the standard complete CSP procedure — *maintaining arc
+//! consistency*: establish arc consistency, and if the prevaluation is not
+//! yet a single valuation, branch on a variable with the smallest remaining
+//! candidate set (MRV), restricting it to one node per branch and
+//! re-establishing arc consistency.
+//!
+//! On tractable signatures the first arc-consistency pass already decides the
+//! query (Theorem 3.5), so MAC never branches there; the solver is therefore
+//! a strict generalization of the polynomial-time algorithm and is what the
+//! [`Engine`](crate::engine::Engine) falls back to for NP-hard signatures —
+//! exactly the exponential worst-case behaviour the paper's hardness results
+//! predict (and which the `hardness` benchmarks measure).
+
+use std::collections::BTreeSet;
+
+use cqt_query::{ConjunctiveQuery, Var};
+use cqt_trees::{NodeId, NodeSet, Tree};
+
+use crate::arc::{arc_consistent_from, initial_prevaluation};
+use crate::prevaluation::{Prevaluation, Valuation};
+
+/// Statistics of one solver run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Number of branching decisions made (0 when arc consistency alone
+    /// decided the query).
+    pub decisions: u64,
+    /// Number of arc-consistency calls (including the initial one).
+    pub propagations: u64,
+    /// Number of dead ends (arc consistency wiped out a candidate set).
+    pub dead_ends: u64,
+}
+
+/// The MAC (maintaining-arc-consistency) solver.
+#[derive(Clone, Copy, Debug)]
+pub struct MacSolver<'t> {
+    tree: &'t Tree,
+}
+
+impl<'t> MacSolver<'t> {
+    /// Creates a solver over `tree`.
+    pub fn new(tree: &'t Tree) -> Self {
+        MacSolver { tree }
+    }
+
+    /// Evaluates the Boolean reading of `query`.
+    pub fn eval_boolean(&self, query: &ConjunctiveQuery) -> bool {
+        self.witness(query).is_some()
+    }
+
+    /// Evaluates the Boolean reading and reports search statistics.
+    pub fn eval_boolean_with_stats(&self, query: &ConjunctiveQuery) -> (bool, SearchStats) {
+        let mut stats = SearchStats::default();
+        let result = self.solve(query, initial_prevaluation(self.tree, query), &mut stats);
+        (result.is_some(), stats)
+    }
+
+    /// Returns some satisfaction of `query`, if one exists.
+    pub fn witness(&self, query: &ConjunctiveQuery) -> Option<Valuation> {
+        let mut stats = SearchStats::default();
+        self.solve(query, initial_prevaluation(self.tree, query), &mut stats)
+    }
+
+    /// Whether `tuple` is an answer of the k-ary query.
+    ///
+    /// # Panics
+    /// Panics if `tuple.len()` differs from the head arity.
+    pub fn check_tuple(&self, query: &ConjunctiveQuery, tuple: &[NodeId]) -> bool {
+        assert_eq!(tuple.len(), query.head_arity(), "tuple arity mismatch");
+        let mut start = initial_prevaluation(self.tree, query);
+        for (&var, &node) in query.head().iter().zip(tuple) {
+            let singleton = NodeSet::from_nodes(self.tree.len(), [node]);
+            start.get_mut(var).intersect_with(&singleton);
+        }
+        let mut stats = SearchStats::default();
+        self.solve(query, start, &mut stats).is_some()
+    }
+
+    /// The answer set of a monadic query.
+    ///
+    /// # Panics
+    /// Panics if the query is not monadic.
+    pub fn eval_monadic(&self, query: &ConjunctiveQuery) -> NodeSet {
+        assert!(query.is_monadic(), "eval_monadic requires a unary query");
+        let head = query.head()[0];
+        let mut out = NodeSet::empty(self.tree.len());
+        // One global pass narrows the candidates before per-node checks.
+        let Some(global) = arc_consistent_from(
+            self.tree,
+            query,
+            initial_prevaluation(self.tree, query),
+        ) else {
+            return out;
+        };
+        for candidate in global.get(head).iter() {
+            let mut start = global.clone();
+            start.set(head, NodeSet::from_nodes(self.tree.len(), [candidate]));
+            let mut stats = SearchStats::default();
+            if self.solve(query, start, &mut stats).is_some() {
+                out.insert(candidate);
+            }
+        }
+        out
+    }
+
+    /// The full answer relation of the query (sorted, deduplicated head
+    /// tuples; one empty tuple for a satisfied Boolean query). `limit` bounds
+    /// the number of tuples returned (`usize::MAX` for all).
+    pub fn eval_tuples(&self, query: &ConjunctiveQuery, limit: usize) -> Vec<Vec<NodeId>> {
+        let mut answers: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+        let start = initial_prevaluation(self.tree, query);
+        let mut stats = SearchStats::default();
+        self.enumerate(query, start, &mut stats, &mut |valuation| {
+            answers.insert(valuation.head_tuple(query));
+            answers.len() >= limit
+        });
+        answers.into_iter().collect()
+    }
+
+    /// Core search: returns a satisfaction contained in `start`, if any.
+    fn solve(
+        &self,
+        query: &ConjunctiveQuery,
+        start: Prevaluation,
+        stats: &mut SearchStats,
+    ) -> Option<Valuation> {
+        stats.propagations += 1;
+        let pre = match arc_consistent_from(self.tree, query, start) {
+            Some(pre) => pre,
+            None => {
+                stats.dead_ends += 1;
+                return None;
+            }
+        };
+        // Pick an undecided variable with the fewest candidates (MRV).
+        let branch_var = self.pick_branch_var(query, &pre);
+        let Some(var) = branch_var else {
+            // Every variable is decided; arc consistency on singletons means
+            // the single valuation is a satisfaction.
+            let valuation = self.singleton_valuation(query, &pre);
+            debug_assert!(valuation.is_satisfaction(self.tree, query));
+            return Some(valuation);
+        };
+        let candidates: Vec<NodeId> = pre.get(var).iter().collect();
+        for node in candidates {
+            stats.decisions += 1;
+            let mut restricted = pre.clone();
+            restricted.set(var, NodeSet::from_nodes(self.tree.len(), [node]));
+            if let Some(valuation) = self.solve(query, restricted, stats) {
+                return Some(valuation);
+            }
+        }
+        None
+    }
+
+    /// Enumeration variant of [`MacSolver::solve`]: visits every satisfaction;
+    /// `on_solution` returns `true` to stop early.
+    fn enumerate(
+        &self,
+        query: &ConjunctiveQuery,
+        start: Prevaluation,
+        stats: &mut SearchStats,
+        on_solution: &mut dyn FnMut(&Valuation) -> bool,
+    ) -> bool {
+        stats.propagations += 1;
+        let pre = match arc_consistent_from(self.tree, query, start) {
+            Some(pre) => pre,
+            None => {
+                stats.dead_ends += 1;
+                return false;
+            }
+        };
+        let branch_var = self.pick_branch_var(query, &pre);
+        let Some(var) = branch_var else {
+            // All variables decided. Variables not occurring in any atom are
+            // still ranged over by the prevaluation (full sets), so this case
+            // only fires when every set is a singleton.
+            let valuation = self.singleton_valuation(query, &pre);
+            debug_assert!(valuation.is_satisfaction(self.tree, query));
+            return on_solution(&valuation);
+        };
+        let candidates: Vec<NodeId> = pre.get(var).iter().collect();
+        for node in candidates {
+            stats.decisions += 1;
+            let mut restricted = pre.clone();
+            restricted.set(var, NodeSet::from_nodes(self.tree.len(), [node]));
+            if self.enumerate(query, restricted, stats, on_solution) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn pick_branch_var(&self, query: &ConjunctiveQuery, pre: &Prevaluation) -> Option<Var> {
+        let mut best: Option<(usize, Var)> = None;
+        for i in 0..query.var_count() {
+            let var = Var::from_index(i);
+            let size = pre.get(var).len();
+            if size > 1 {
+                match best {
+                    Some((best_size, _)) if best_size <= size => {}
+                    _ => best = Some((size, var)),
+                }
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    fn singleton_valuation(&self, query: &ConjunctiveQuery, pre: &Prevaluation) -> Valuation {
+        let assignment = (0..query.var_count())
+            .map(|i| {
+                pre.get(Var::from_index(i))
+                    .any_member()
+                    .expect("arc-consistent sets are non-empty")
+            })
+            .collect();
+        Valuation::new(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_query::generate::{random_query, RandomQueryConfig};
+    use cqt_query::parse_query;
+    use cqt_trees::generate::{random_tree, RandomTreeConfig};
+    use cqt_trees::parse::parse_term;
+    use cqt_trees::Axis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::naive::NaiveEvaluator;
+
+    #[test]
+    fn solves_np_hard_signature_queries() {
+        // {Child, Child+} is NP-hard in general but small instances are easy.
+        let tree = parse_term("A(B(C(D)), B(D))").unwrap();
+        let yes = parse_query("Q() :- A(w), Child(w, x), B(x), Child+(x, y), D(y).").unwrap();
+        let no = parse_query("Q() :- D(x), Child(x, y), Child+(y, z).").unwrap();
+        let solver = MacSolver::new(&tree);
+        assert!(solver.eval_boolean(&yes));
+        assert!(solver.witness(&yes).unwrap().is_satisfaction(&tree, &yes));
+        assert!(!solver.eval_boolean(&no));
+    }
+
+    #[test]
+    fn cyclic_query_with_multiple_constraints() {
+        // The Figure 1 query (cyclic, {Child+, Following}) on a small corpus.
+        let tree = parse_term("CORPUS(S(NP(DT, NN), VP(VB, PP(IN, NP(NN)))))").unwrap();
+        let q = cqt_query::cq::figure1_query();
+        let solver = MacSolver::new(&tree);
+        assert!(solver.eval_boolean(&q));
+        let answers = solver.eval_monadic(&q);
+        // The only PP in the corpus follows the NP, so it is the unique answer.
+        assert_eq!(answers.len(), 1);
+        let pp = tree.nodes_with_label_name("PP").any_member().unwrap();
+        assert!(answers.contains(pp));
+    }
+
+    #[test]
+    fn stats_report_no_branching_on_tractable_signatures() {
+        let tree = parse_term("A(B(C), B(C(D)))").unwrap();
+        let q = parse_query("Q() :- A(x), Child+(x, y), D(y).").unwrap();
+        let solver = MacSolver::new(&tree);
+        let (sat, stats) = solver.eval_boolean_with_stats(&q);
+        assert!(sat);
+        // Arc consistency plus (possibly) singleton extension: branching may
+        // occur only to break ties among multiple witnesses, never to recover
+        // from a wrong guess on this tractable signature.
+        assert_eq!(stats.dead_ends, 0);
+    }
+
+    #[test]
+    fn tuple_checks_and_enumeration_agree_with_naive() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let tree_config = RandomTreeConfig {
+            nodes: 12,
+            ..RandomTreeConfig::default()
+        };
+        let query_config = RandomQueryConfig {
+            vars: 4,
+            extra_atoms: 2,
+            head_arity: 1,
+            axes: vec![Axis::Child, Axis::ChildPlus, Axis::Following, Axis::NextSibling],
+            ..RandomQueryConfig::default()
+        };
+        for _ in 0..25 {
+            let tree = random_tree(&mut rng, &tree_config);
+            let query = random_query(&mut rng, &query_config);
+            let solver = MacSolver::new(&tree);
+            let naive = NaiveEvaluator::new(&tree);
+            assert_eq!(
+                solver.eval_boolean(&query),
+                naive.eval_boolean(&query),
+                "boolean mismatch on {query}"
+            );
+            let mac_answers = solver.eval_monadic(&query);
+            let naive_answers = naive.eval_monadic(&query);
+            assert_eq!(mac_answers, naive_answers, "monadic mismatch on {query}");
+            let mac_tuples = solver.eval_tuples(&query, usize::MAX);
+            let naive_tuples = naive.eval_tuples(&query);
+            assert_eq!(mac_tuples, naive_tuples, "tuple mismatch on {query}");
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let tree = parse_term("A(B, B, B, B)").unwrap();
+        let q = parse_query("Q(y) :- A(x), Child(x, y), B(y).").unwrap();
+        let solver = MacSolver::new(&tree);
+        assert_eq!(solver.eval_tuples(&q, usize::MAX).len(), 4);
+        assert_eq!(solver.eval_tuples(&q, 2).len(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_labels_fail_fast() {
+        let tree = parse_term("A(B)").unwrap();
+        let q = parse_query("Q() :- Z(x), Child(x, y).").unwrap();
+        let solver = MacSolver::new(&tree);
+        let (sat, stats) = solver.eval_boolean_with_stats(&q);
+        assert!(!sat);
+        assert_eq!(stats.decisions, 0);
+        assert_eq!(stats.dead_ends, 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Brute-force baseline evaluator.
+//!
+//! The paper's complexity results are about the *combined* complexity of
+//! query evaluation; the trivial upper bound is obtained by enumerating all
+//! `|A|^{|Var(Q)|}` valuations. [`NaiveEvaluator`] implements a mildly
+//! improved version of that bound — chronological backtracking over the
+//! variables with constraint checks as soon as both endpoints of an atom are
+//! assigned, but **no propagation** — and serves as the correctness oracle
+//! and performance baseline against which the X̲-property evaluator and the
+//! MAC solver are compared in the benchmarks.
+
+use std::collections::BTreeSet;
+
+use cqt_query::{ConjunctiveQuery, Var};
+use cqt_trees::{NodeId, NodeSet, Tree};
+
+use crate::prevaluation::Valuation;
+
+/// The brute-force backtracking evaluator.
+#[derive(Clone, Copy, Debug)]
+pub struct NaiveEvaluator<'t> {
+    tree: &'t Tree,
+}
+
+impl<'t> NaiveEvaluator<'t> {
+    /// Creates an evaluator over `tree`.
+    pub fn new(tree: &'t Tree) -> Self {
+        NaiveEvaluator { tree }
+    }
+
+    /// Evaluates the Boolean reading of `query`.
+    pub fn eval_boolean(&self, query: &ConjunctiveQuery) -> bool {
+        self.witness(query).is_some()
+    }
+
+    /// Returns some satisfaction of `query`, if one exists.
+    pub fn witness(&self, query: &ConjunctiveQuery) -> Option<Valuation> {
+        let mut assignment: Vec<Option<NodeId>> = vec![None; query.var_count()];
+        if self.search(query, 0, &mut assignment, &mut |_| true) {
+            Some(Valuation::new(
+                assignment.into_iter().map(|n| n.expect("complete")).collect(),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Whether `tuple` is an answer of the k-ary query.
+    ///
+    /// # Panics
+    /// Panics if `tuple.len()` differs from the head arity.
+    pub fn check_tuple(&self, query: &ConjunctiveQuery, tuple: &[NodeId]) -> bool {
+        assert_eq!(tuple.len(), query.head_arity(), "tuple arity mismatch");
+        let mut assignment: Vec<Option<NodeId>> = vec![None; query.var_count()];
+        for (&var, &node) in query.head().iter().zip(tuple) {
+            match assignment[var.index()] {
+                Some(existing) if existing != node => return false,
+                _ => assignment[var.index()] = Some(node),
+            }
+            // Pre-assigned nodes must satisfy the unary atoms.
+            if !self.labels_ok(query, var, node) {
+                return false;
+            }
+        }
+        self.search(query, 0, &mut assignment, &mut |_| true)
+    }
+
+    /// The answer set of a monadic query.
+    ///
+    /// # Panics
+    /// Panics if the query is not monadic.
+    pub fn eval_monadic(&self, query: &ConjunctiveQuery) -> NodeSet {
+        assert!(query.is_monadic(), "eval_monadic requires a unary query");
+        let mut out = NodeSet::empty(self.tree.len());
+        for node in self.tree.nodes() {
+            if self.check_tuple(query, &[node]) {
+                out.insert(node);
+            }
+        }
+        out
+    }
+
+    /// The full answer relation of the query, as a sorted, deduplicated set
+    /// of head tuples (one empty tuple for a satisfied Boolean query).
+    pub fn eval_tuples(&self, query: &ConjunctiveQuery) -> Vec<Vec<NodeId>> {
+        let mut answers: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+        let mut assignment: Vec<Option<NodeId>> = vec![None; query.var_count()];
+        self.search(query, 0, &mut assignment, &mut |assignment| {
+            let tuple = query
+                .head()
+                .iter()
+                .map(|&v| assignment[v.index()].expect("complete"))
+                .collect();
+            answers.insert(tuple);
+            false // keep searching for all solutions
+        });
+        answers.into_iter().collect()
+    }
+
+    /// Counts all satisfactions (complete valuations), mainly useful for
+    /// cross-checking other evaluators on small inputs.
+    pub fn count_satisfactions(&self, query: &ConjunctiveQuery) -> usize {
+        let mut count = 0usize;
+        let mut assignment: Vec<Option<NodeId>> = vec![None; query.var_count()];
+        self.search(query, 0, &mut assignment, &mut |_| {
+            count += 1;
+            false
+        });
+        count
+    }
+
+    fn labels_ok(&self, query: &ConjunctiveQuery, var: Var, node: NodeId) -> bool {
+        query
+            .labels_of(var)
+            .iter()
+            .all(|label| self.tree.has_label_name(node, label))
+    }
+
+    /// Checks all atoms whose endpoints are both assigned and involve `var`.
+    fn consistent_so_far(
+        &self,
+        query: &ConjunctiveQuery,
+        assignment: &[Option<NodeId>],
+        var: Var,
+    ) -> bool {
+        let node = assignment[var.index()].expect("var just assigned");
+        if !self.labels_ok(query, var, node) {
+            return false;
+        }
+        for atom in query.axis_atoms() {
+            if !atom.mentions(var) {
+                continue;
+            }
+            if let (Some(from), Some(to)) = (
+                assignment[atom.from.index()],
+                assignment[atom.to.index()],
+            ) {
+                if !atom.axis.holds(self.tree, from, to) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Chronological backtracking over variables in index order. `on_solution`
+    /// is called for every complete consistent valuation; returning `true`
+    /// stops the search (used for satisfiability/witness queries).
+    fn search(
+        &self,
+        query: &ConjunctiveQuery,
+        next_var: usize,
+        assignment: &mut Vec<Option<NodeId>>,
+        on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        if next_var == query.var_count() {
+            return on_solution(assignment);
+        }
+        let var = Var::from_index(next_var);
+        if assignment[next_var].is_some() {
+            // Pre-assigned (tuple checking): just validate and recurse.
+            if self.consistent_so_far(query, assignment, var) {
+                return self.search(query, next_var + 1, assignment, on_solution);
+            }
+            return false;
+        }
+        for node in self.tree.nodes() {
+            assignment[next_var] = Some(node);
+            if self.consistent_so_far(query, assignment, var)
+                && self.search(query, next_var + 1, assignment, on_solution)
+            {
+                return true;
+            }
+        }
+        assignment[next_var] = None;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_query::parse_query;
+    use cqt_trees::parse::parse_term;
+
+    #[test]
+    fn boolean_and_witness() {
+        let tree = parse_term("A(B(D), C)").unwrap();
+        let yes = parse_query("Q() :- A(x), Child(x, y), B(y), Child(y, z), D(z).").unwrap();
+        let no = parse_query("Q() :- D(x), Child(x, y).").unwrap();
+        let eval = NaiveEvaluator::new(&tree);
+        assert!(eval.eval_boolean(&yes));
+        assert!(eval.witness(&yes).unwrap().is_satisfaction(&tree, &yes));
+        assert!(!eval.eval_boolean(&no));
+        assert!(eval.witness(&no).is_none());
+    }
+
+    #[test]
+    fn monadic_and_tuples() {
+        let tree = parse_term("A(B(D), B(E), C)").unwrap();
+        let q = parse_query("Q(y) :- A(x), Child(x, y), B(y).").unwrap();
+        let eval = NaiveEvaluator::new(&tree);
+        let answers = eval.eval_monadic(&q);
+        assert_eq!(answers.len(), 2);
+        let tuples = eval.eval_tuples(&q);
+        assert_eq!(tuples.len(), 2);
+        for t in tuples {
+            assert!(tree.has_label_name(t[0], "B"));
+        }
+    }
+
+    #[test]
+    fn tuple_checking_with_repeated_head_vars() {
+        let tree = parse_term("A(B)").unwrap();
+        let q = parse_query("Q(x, x) :- A(x).").unwrap();
+        let eval = NaiveEvaluator::new(&tree);
+        let root = tree.root();
+        let b = tree.nodes_with_label_name("B").any_member().unwrap();
+        assert!(eval.check_tuple(&q, &[root, root]));
+        assert!(!eval.check_tuple(&q, &[root, b]));
+        assert!(!eval.check_tuple(&q, &[b, b]));
+    }
+
+    #[test]
+    fn counting_satisfactions() {
+        let tree = parse_term("A(B, B, B)").unwrap();
+        let q = parse_query("Q() :- A(x), Child(x, y), B(y).").unwrap();
+        let eval = NaiveEvaluator::new(&tree);
+        assert_eq!(eval.count_satisfactions(&q), 3);
+        // An unconstrained extra variable multiplies the count by the tree size.
+        let mut q3 = parse_query("Q() :- A(x), Child(x, y), B(y).").unwrap();
+        let z = q3.var("z");
+        let _ = z; // z occurs in no atom: every node is allowed.
+        assert_eq!(eval.count_satisfactions(&q3), 3 * tree.len());
+    }
+
+    #[test]
+    fn boolean_query_on_single_node_tree() {
+        let tree = parse_term("A").unwrap();
+        let q = parse_query("Q() :- A(x).").unwrap();
+        let eval = NaiveEvaluator::new(&tree);
+        assert!(eval.eval_boolean(&q));
+        assert_eq!(eval.eval_tuples(&q), vec![Vec::<NodeId>::new()]);
+        assert_eq!(eval.count_satisfactions(&q), 1);
+    }
+}

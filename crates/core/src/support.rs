@@ -1,0 +1,398 @@
+//! Per-axis semi-join support primitives.
+//!
+//! Arc consistency (Proposition 3.1) repeatedly asks, for a binary atom
+//! `R(x, y)`:
+//!
+//! * which candidate nodes for `x` still have at least one `R`-successor
+//!   among the candidates for `y` ([`supported_sources`]), and
+//! * which candidate nodes for `y` still have at least one `R`-predecessor
+//!   among the candidates for `x` ([`supported_targets`]).
+//!
+//! The same two questions are the *semi-joins* performed by the Yannakakis
+//! evaluator for acyclic queries. For every axis these questions can be
+//! answered in O(n) time using the structural index (pre-order intervals,
+//! parent pointers, sibling ranks) — materializing the (possibly quadratic)
+//! relation is never necessary. The paper's O(‖A‖·|Q|) bound counts the
+//! materialized relations as part of the input, so these primitives are at
+//! least as fast as the bound requires.
+
+use cqt_trees::{Axis, NodeId, NodeSet, Order, Tree};
+
+/// Returns the set of nodes `u` such that `axis(u, v)` holds for at least one
+/// `v ∈ targets`. Runs in O(n) for every axis.
+pub fn supported_sources(tree: &Tree, axis: Axis, targets: &NodeSet) -> NodeSet {
+    debug_assert_eq!(targets.capacity(), tree.len());
+    match axis {
+        // u supported iff some child of u is a target.
+        Axis::Child => {
+            let mut out = NodeSet::empty(tree.len());
+            for v in targets.iter() {
+                if let Some(parent) = tree.parent(v) {
+                    out.insert(parent);
+                }
+            }
+            out
+        }
+        // u supported iff a target lies strictly inside u's subtree.
+        Axis::ChildPlus => descendants_support(tree, targets, false),
+        // u supported iff a target lies in u's subtree (including u).
+        Axis::ChildStar => descendants_support(tree, targets, true),
+        // u supported iff its immediate right sibling is a target.
+        Axis::NextSibling => {
+            let mut out = NodeSet::empty(tree.len());
+            for v in targets.iter() {
+                if let Some(prev) = tree.prev_sibling(v) {
+                    out.insert(prev);
+                }
+            }
+            out
+        }
+        // u supported iff some right sibling is a target.
+        Axis::NextSiblingPlus => sibling_support_right(tree, targets, false),
+        Axis::NextSiblingStar => sibling_support_right(tree, targets, true),
+        // u supported iff some target starts after u's subtree ends, i.e.
+        // max_{v ∈ targets} pre(v) > pre_end(u).
+        Axis::Following => {
+            let mut out = NodeSet::empty(tree.len());
+            let max_pre = targets.iter().map(|v| tree.pre_rank(v)).max();
+            if let Some(max_pre) = max_pre {
+                for u in tree.nodes() {
+                    if tree.pre_end(u) < max_pre {
+                        out.insert(u);
+                    }
+                }
+            }
+            out
+        }
+        Axis::SelfAxis => targets.clone(),
+        // Inverse axes: sources of the inverse are targets of the forward axis.
+        Axis::Parent
+        | Axis::AncestorPlus
+        | Axis::AncestorStar
+        | Axis::PrevSibling
+        | Axis::PrevSiblingPlus
+        | Axis::PrevSiblingStar
+        | Axis::Preceding => supported_targets(tree, axis.inverse(), targets),
+    }
+}
+
+/// Returns the set of nodes `v` such that `axis(u, v)` holds for at least one
+/// `u ∈ sources`. Runs in O(n) for every axis.
+pub fn supported_targets(tree: &Tree, axis: Axis, sources: &NodeSet) -> NodeSet {
+    debug_assert_eq!(sources.capacity(), tree.len());
+    match axis {
+        // v supported iff its parent is a source.
+        Axis::Child => {
+            let mut out = NodeSet::empty(tree.len());
+            for v in tree.nodes() {
+                if let Some(parent) = tree.parent(v) {
+                    if sources.contains(parent) {
+                        out.insert(v);
+                    }
+                }
+            }
+            out
+        }
+        // v supported iff a proper ancestor of v is a source.
+        Axis::ChildPlus => ancestors_support(tree, sources, false),
+        Axis::ChildStar => ancestors_support(tree, sources, true),
+        // v supported iff its immediate left sibling is a source.
+        Axis::NextSibling => {
+            let mut out = NodeSet::empty(tree.len());
+            for u in sources.iter() {
+                if let Some(next) = tree.next_sibling(u) {
+                    out.insert(next);
+                }
+            }
+            out
+        }
+        Axis::NextSiblingPlus => sibling_support_left(tree, sources, false),
+        Axis::NextSiblingStar => sibling_support_left(tree, sources, true),
+        // v supported iff some source's subtree ends before v starts, i.e.
+        // min_{u ∈ sources} pre_end(u) < pre(v).
+        Axis::Following => {
+            let mut out = NodeSet::empty(tree.len());
+            let min_end = sources.iter().map(|u| tree.pre_end(u)).min();
+            if let Some(min_end) = min_end {
+                for v in tree.nodes() {
+                    if tree.pre_rank(v) > min_end {
+                        out.insert(v);
+                    }
+                }
+            }
+            out
+        }
+        Axis::SelfAxis => sources.clone(),
+        Axis::Parent
+        | Axis::AncestorPlus
+        | Axis::AncestorStar
+        | Axis::PrevSibling
+        | Axis::PrevSiblingPlus
+        | Axis::PrevSiblingStar
+        | Axis::Preceding => supported_sources(tree, axis.inverse(), sources),
+    }
+}
+
+/// Nodes whose subtree contains a target (`include_self` controls whether the
+/// node itself counts).
+fn descendants_support(tree: &Tree, targets: &NodeSet, include_self: bool) -> NodeSet {
+    // Prefix counts of targets in pre-order rank space.
+    let n = tree.len();
+    let mut prefix = vec![0u32; n + 1];
+    for v in targets.iter() {
+        prefix[tree.pre_rank(v) as usize + 1] += 1;
+    }
+    for i in 0..n {
+        prefix[i + 1] += prefix[i];
+    }
+    let mut out = NodeSet::empty(n);
+    for u in tree.nodes() {
+        let lo = if include_self {
+            tree.pre_rank(u) as usize
+        } else {
+            tree.pre_rank(u) as usize + 1
+        };
+        let hi = tree.pre_end(u) as usize + 1;
+        if hi > lo && prefix[hi] - prefix[lo] > 0 {
+            out.insert(u);
+        }
+    }
+    out
+}
+
+/// Nodes that have an ancestor (or self, when `include_self`) in `sources`.
+fn ancestors_support(tree: &Tree, sources: &NodeSet, include_self: bool) -> NodeSet {
+    let n = tree.len();
+    let mut out = NodeSet::empty(n);
+    // Process in pre-order: a node has a source ancestor iff its parent is a
+    // source or the parent itself has one.
+    let mut has_source_ancestor = vec![false; n];
+    for v in tree.nodes_in_order(Order::Pre) {
+        let from_parent = match tree.parent(v) {
+            Some(p) => sources.contains(p) || has_source_ancestor[p.index()],
+            None => false,
+        };
+        has_source_ancestor[v.index()] = from_parent;
+        if from_parent || (include_self && sources.contains(v)) {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+/// Nodes that have a right sibling (or self, when `include_self`) in `targets`.
+fn sibling_support_right(tree: &Tree, targets: &NodeSet, include_self: bool) -> NodeSet {
+    let mut out = NodeSet::empty(tree.len());
+    for parent in tree.nodes() {
+        let children = tree.children(parent);
+        if children.is_empty() {
+            continue;
+        }
+        let mut any_to_the_right = false;
+        for &child in children.iter().rev() {
+            if include_self && targets.contains(child) {
+                out.insert(child);
+            } else if any_to_the_right {
+                out.insert(child);
+            }
+            if targets.contains(child) {
+                any_to_the_right = true;
+            }
+        }
+    }
+    // The root has no siblings; `NextSibling*` still relates it to itself.
+    if include_self && targets.contains(tree.root()) {
+        out.insert(tree.root());
+    }
+    out
+}
+
+/// Nodes that have a left sibling (or self, when `include_self`) in `sources`.
+fn sibling_support_left(tree: &Tree, sources: &NodeSet, include_self: bool) -> NodeSet {
+    let mut out = NodeSet::empty(tree.len());
+    for parent in tree.nodes() {
+        let children = tree.children(parent);
+        if children.is_empty() {
+            continue;
+        }
+        let mut any_to_the_left = false;
+        for &child in children.iter() {
+            if include_self && sources.contains(child) {
+                out.insert(child);
+            } else if any_to_the_left {
+                out.insert(child);
+            }
+            if sources.contains(child) {
+                any_to_the_left = true;
+            }
+        }
+    }
+    if include_self && sources.contains(tree.root()) {
+        out.insert(tree.root());
+    }
+    out
+}
+
+/// All nodes of a tree as a [`NodeSet`] (the initial prevaluation of an
+/// unconstrained variable).
+pub fn all_nodes(tree: &Tree) -> NodeSet {
+    NodeSet::full(tree.len())
+}
+
+/// Reference implementations of [`supported_sources`] / [`supported_targets`]
+/// by brute-force enumeration; used in tests and available for
+/// cross-checking.
+pub mod reference {
+    use super::*;
+
+    /// Brute-force version of [`supported_sources`](super::supported_sources).
+    pub fn supported_sources(tree: &Tree, axis: Axis, targets: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::empty(tree.len());
+        for u in tree.nodes() {
+            if targets.iter().any(|v| axis.holds(tree, u, v)) {
+                out.insert(u);
+            }
+        }
+        out
+    }
+
+    /// Brute-force version of [`supported_targets`](super::supported_targets).
+    pub fn supported_targets(tree: &Tree, axis: Axis, sources: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::empty(tree.len());
+        for v in tree.nodes() {
+            if sources.iter().any(|u| axis.holds(tree, u, v)) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+}
+
+/// Returns `true` iff there exist `u ∈ sources` and `v ∈ targets` with
+/// `axis(u, v)`.
+pub fn any_pair(tree: &Tree, axis: Axis, sources: &NodeSet, targets: &NodeSet) -> bool {
+    !supported_sources(tree, axis, targets)
+        .intersection(sources)
+        .is_empty()
+}
+
+/// For a single source node, the successors under `axis` restricted to
+/// `targets` (helper for witness extraction in the Yannakakis evaluator).
+pub fn restricted_successors(
+    tree: &Tree,
+    axis: Axis,
+    source: NodeId,
+    targets: &NodeSet,
+) -> Vec<NodeId> {
+    axis.successors(tree, source)
+        .into_iter()
+        .filter(|&v| targets.contains(v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_trees::generate::{random_tree, RandomTreeConfig};
+    use cqt_trees::parse::parse_term;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_subset(rng: &mut StdRng, n: usize, density: f64) -> NodeSet {
+        let mut set = NodeSet::empty(n);
+        for i in 0..n {
+            if rng.gen_bool(density) {
+                set.insert(NodeId::from_index(i));
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn fast_support_matches_reference_on_fixed_tree() {
+        let tree = parse_term("A(B(D, E(G)), C(F, H, I))").unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let set = random_subset(&mut rng, tree.len(), 0.4);
+            for axis in Axis::ALL {
+                assert_eq!(
+                    supported_sources(&tree, axis, &set),
+                    reference::supported_sources(&tree, axis, &set),
+                    "sources mismatch for {axis}"
+                );
+                assert_eq!(
+                    supported_targets(&tree, axis, &set),
+                    reference::supported_targets(&tree, axis, &set),
+                    "targets mismatch for {axis}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_support_matches_reference_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..10 {
+            let tree = random_tree(
+                &mut rng,
+                &RandomTreeConfig {
+                    nodes: 40,
+                    ..RandomTreeConfig::default()
+                },
+            );
+            let set = random_subset(&mut rng, tree.len(), 0.3);
+            for axis in Axis::PAPER_AXES {
+                assert_eq!(
+                    supported_sources(&tree, axis, &set),
+                    reference::supported_sources(&tree, axis, &set),
+                    "sources mismatch for {axis}"
+                );
+                assert_eq!(
+                    supported_targets(&tree, axis, &set),
+                    reference::supported_targets(&tree, axis, &set),
+                    "targets mismatch for {axis}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_target_set_supports_nothing() {
+        let tree = parse_term("A(B, C)").unwrap();
+        let empty = NodeSet::empty(tree.len());
+        for axis in Axis::PAPER_AXES {
+            assert!(supported_sources(&tree, axis, &empty).is_empty());
+            assert!(supported_targets(&tree, axis, &empty).is_empty());
+        }
+    }
+
+    #[test]
+    fn self_axis_is_identity() {
+        let tree = parse_term("A(B, C)").unwrap();
+        let set = NodeSet::from_nodes(tree.len(), [tree.root()]);
+        assert_eq!(supported_sources(&tree, Axis::SelfAxis, &set), set);
+        assert_eq!(supported_targets(&tree, Axis::SelfAxis, &set), set);
+    }
+
+    #[test]
+    fn any_pair_and_restricted_successors() {
+        let tree = parse_term("A(B, C)").unwrap();
+        let b = tree.nodes_with_label_name("B").any_member().unwrap();
+        let c = tree.nodes_with_label_name("C").any_member().unwrap();
+        let sources = NodeSet::from_nodes(tree.len(), [b]);
+        let targets = NodeSet::from_nodes(tree.len(), [c]);
+        assert!(any_pair(&tree, Axis::NextSibling, &sources, &targets));
+        assert!(!any_pair(&tree, Axis::Child, &sources, &targets));
+        assert_eq!(
+            restricted_successors(&tree, Axis::NextSibling, b, &targets),
+            vec![c]
+        );
+        assert!(restricted_successors(&tree, Axis::Child, b, &targets).is_empty());
+    }
+
+    #[test]
+    fn all_nodes_is_the_full_set() {
+        let tree = parse_term("A(B, C)").unwrap();
+        assert_eq!(all_nodes(&tree).len(), 3);
+    }
+}

@@ -1,0 +1,330 @@
+//! Signature analysis: the dichotomy of Theorem 1.1 and Table I.
+//!
+//! For a set of axes `F ⊆ Ax`, conjunctive query evaluation over trees
+//! represented with unary label relations and the binary relations in `F` is
+//!
+//! * in **polynomial time** (combined complexity) if there is a total order
+//!   `<` (one of pre-order, post-order, BFLR) such that every axis in `F` has
+//!   the X̲-property with respect to `<` (Theorems 3.5 and 4.1), and
+//! * **NP-complete** (already in query complexity) otherwise (Section 5).
+//!
+//! The subset-maximal tractable sets are
+//! `{Child, NextSibling, NextSibling*, NextSibling+}` (BFLR),
+//! `{Child+, Child*}` (pre-order) and `{Following}` (post-order).
+//!
+//! [`SignatureAnalysis::analyse`] classifies an arbitrary signature and, for
+//! NP-hard ones, reports a *witness pair* of axes together with the theorem
+//! of Section 5 that proves its hardness — reproducing Table I cell by cell.
+
+use cqt_query::{ConjunctiveQuery, Signature};
+use cqt_trees::{Axis, Order};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::xproperty::theorem_4_1_orders;
+
+/// The outcome of analysing a signature.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tractability {
+    /// Every axis of the signature has the X̲-property with respect to
+    /// `order`; conjunctive queries over this signature are evaluated in
+    /// polynomial time by the algorithm of Theorem 3.5.
+    PolynomialTime {
+        /// A total order witnessing tractability (the first of pre, post,
+        /// BFLR that works).
+        order: Order,
+    },
+    /// No common order exists; evaluation is NP-complete (Theorem 1.1).
+    NpHard {
+        /// A pair of axes from the signature that already forms an NP-hard
+        /// signature (one of the NP-hard cells of Table I). For signatures
+        /// that contain a single axis that is not in the paper's set (e.g. an
+        /// inverse axis) the pair repeats that axis.
+        witness: (Axis, Axis),
+        /// The theorem of Section 5 (or corollary) establishing hardness of
+        /// the witness pair, e.g. `"Theorem 5.2"`.
+        theorem: &'static str,
+    },
+}
+
+impl Tractability {
+    /// Whether the signature was classified as polynomial-time.
+    pub fn is_polynomial(&self) -> bool {
+        matches!(self, Tractability::PolynomialTime { .. })
+    }
+
+    /// The witnessing order, for polynomial-time signatures.
+    pub fn order(&self) -> Option<Order> {
+        match self {
+            Tractability::PolynomialTime { order } => Some(*order),
+            Tractability::NpHard { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Tractability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tractability::PolynomialTime { order } => {
+                write!(f, "in P (X-property with respect to {order})")
+            }
+            Tractability::NpHard { witness, theorem } => {
+                write!(f, "NP-hard ({} via {{{}, {}}})", theorem, witness.0, witness.1)
+            }
+        }
+    }
+}
+
+/// Analyses signatures against the dichotomy of Theorem 1.1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SignatureAnalysis;
+
+impl SignatureAnalysis {
+    /// Classifies the signature of a query. Inverse axes are normalized to
+    /// their forward counterparts first (an atom `R⁻¹(x, y)` is the same
+    /// constraint as `R(y, x)`), and the trivial `Self` axis is ignored.
+    pub fn analyse_query(query: &ConjunctiveQuery) -> Tractability {
+        Self::analyse(&query.signature())
+    }
+
+    /// Classifies a signature.
+    pub fn analyse(signature: &Signature) -> Tractability {
+        let normalized = Self::normalize(signature);
+        // Find a common order for which every axis has the X̲-property.
+        for order in Order::ALL {
+            if normalized
+                .iter()
+                .all(|axis| theorem_4_1_orders(axis).contains(&order))
+            {
+                return Tractability::PolynomialTime { order };
+            }
+        }
+        // No common order: find a witness pair that is itself NP-hard.
+        let axes: Vec<Axis> = normalized.iter().collect();
+        for (i, &a) in axes.iter().enumerate() {
+            for &b in &axes[i..] {
+                if let Some(theorem) = Self::np_hard_pair_theorem(a, b) {
+                    return Tractability::NpHard {
+                        witness: (a, b),
+                        theorem,
+                    };
+                }
+            }
+        }
+        // This is unreachable for signatures over the paper's axis set: if no
+        // common order exists, Table I provides a hard pair. It can only be
+        // reached for exotic signatures; report the first two axes.
+        let first = axes.first().copied().unwrap_or(Axis::Child);
+        let second = axes.get(1).copied().unwrap_or(first);
+        Tractability::NpHard {
+            witness: (first, second),
+            theorem: "Theorem 1.1",
+        }
+    }
+
+    /// Replaces inverse axes by their forward counterparts and drops the
+    /// `Self` axis (`R⁻¹(x, y)` is expressible as `R(y, x)`, so the signature
+    /// classification is unaffected; `Self` has the X̲-property with respect
+    /// to every order).
+    pub fn normalize(signature: &Signature) -> Signature {
+        signature
+            .iter()
+            .filter(|&axis| axis != Axis::SelfAxis)
+            .map(|axis| if axis.is_paper_axis() { axis } else { axis.inverse() })
+            .collect()
+    }
+
+    /// For a pair of (forward) axes that is NP-hard, the theorem of Section 5
+    /// establishing hardness (as cited in Table I); `None` if the pair is
+    /// tractable. The pair is unordered.
+    pub fn np_hard_pair_theorem(a: Axis, b: Axis) -> Option<&'static str> {
+        use Axis::*;
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let theorem = match (a, b) {
+            // Row "Child" of Table I.
+            (Child, ChildPlus) => "Theorem 5.1",
+            (Child, ChildStar) => "Theorem 5.1",
+            (Child, Following) => "Theorem 5.2",
+            // Row "Child+".
+            (ChildPlus, Following) => "Theorem 5.3",
+            (ChildPlus, NextSibling) => "Theorem 5.7",
+            (ChildPlus, NextSiblingPlus) => "Theorem 5.7",
+            (ChildPlus, NextSiblingStar) => "Theorem 5.7",
+            // Row "Child*".
+            (ChildStar, Following) => "Theorem 5.3",
+            (ChildStar, NextSibling) => "Theorem 5.5",
+            (ChildStar, NextSiblingPlus) => "Corollary 5.4",
+            (ChildStar, NextSiblingStar) => "Theorem 5.6",
+            // Row "NextSibling" and friends.
+            (NextSibling, Following) => "Theorem 5.8",
+            (NextSiblingPlus, Following) => "Theorem 5.8",
+            (NextSiblingStar, Following) => "Theorem 5.8",
+            _ => return None,
+        };
+        Some(theorem)
+    }
+
+    /// Produces the classification of every single-axis and two-axis
+    /// signature over the paper's axes — the contents of Table I. The result
+    /// is a list of `(axis_a, axis_b, tractability)` triples with
+    /// `axis_a ≤ axis_b` in the order of [`Axis::PAPER_AXES`]
+    /// (single-axis signatures are represented with `axis_a == axis_b`).
+    pub fn table1() -> Vec<(Axis, Axis, Tractability)> {
+        let axes = Axis::PAPER_AXES;
+        let mut rows = Vec::new();
+        for (i, &a) in axes.iter().enumerate() {
+            for &b in &axes[i..] {
+                let signature = if a == b {
+                    Signature::from_axes([a])
+                } else {
+                    Signature::from_axes([a, b])
+                };
+                rows.push((a, b, Self::analyse(&signature)));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_query::cq::figure1_query;
+    use cqt_query::parse_query;
+
+    #[test]
+    fn named_signatures_are_tractable_with_the_right_order() {
+        assert_eq!(
+            SignatureAnalysis::analyse(&Signature::tau1()),
+            Tractability::PolynomialTime { order: Order::Pre }
+        );
+        assert_eq!(
+            SignatureAnalysis::analyse(&Signature::tau2()),
+            Tractability::PolynomialTime { order: Order::Post }
+        );
+        assert_eq!(
+            SignatureAnalysis::analyse(&Signature::tau3()),
+            Tractability::PolynomialTime { order: Order::Bflr }
+        );
+        // The empty signature (no binary atoms) is trivially tractable.
+        assert!(SignatureAnalysis::analyse(&Signature::new()).is_polynomial());
+    }
+
+    #[test]
+    fn single_axis_signatures_are_all_tractable() {
+        for axis in Axis::PAPER_AXES {
+            let t = SignatureAnalysis::analyse(&Signature::from_axes([axis]));
+            assert!(t.is_polynomial(), "single axis {axis} must be tractable");
+        }
+    }
+
+    #[test]
+    fn table1_np_hard_cells_match_the_paper() {
+        use Axis::*;
+        let hard_cells = [
+            ((Child, ChildPlus), "Theorem 5.1"),
+            ((Child, ChildStar), "Theorem 5.1"),
+            ((Child, Following), "Theorem 5.2"),
+            ((ChildPlus, ChildStar), ""), // tractable — checked below
+            ((ChildPlus, Following), "Theorem 5.3"),
+            ((ChildStar, Following), "Theorem 5.3"),
+            ((ChildStar, NextSibling), "Theorem 5.5"),
+            ((ChildStar, NextSiblingPlus), "Corollary 5.4"),
+            ((ChildStar, NextSiblingStar), "Theorem 5.6"),
+            ((ChildPlus, NextSibling), "Theorem 5.7"),
+            ((ChildPlus, NextSiblingPlus), "Theorem 5.7"),
+            ((ChildPlus, NextSiblingStar), "Theorem 5.7"),
+            ((NextSibling, Following), "Theorem 5.8"),
+            ((NextSiblingPlus, Following), "Theorem 5.8"),
+            ((NextSiblingStar, Following), "Theorem 5.8"),
+        ];
+        for ((a, b), theorem) in hard_cells {
+            let t = SignatureAnalysis::analyse(&Signature::from_axes([a, b]));
+            if theorem.is_empty() {
+                assert!(t.is_polynomial(), "{{{a}, {b}}} should be tractable");
+            } else {
+                match t {
+                    Tractability::NpHard { theorem: found, .. } => {
+                        assert_eq!(found, theorem, "wrong theorem for {{{a}, {b}}}")
+                    }
+                    Tractability::PolynomialTime { .. } => {
+                        panic!("{{{a}, {b}}} should be NP-hard ({theorem})")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_polynomial_cells_match_the_paper() {
+        use Axis::*;
+        // The P cells of Table I (apart from the diagonal): all pairs within
+        // {Child, NextSibling, NextSibling+, NextSibling*} and {Child+, Child*}.
+        let p_cells = [
+            (Child, NextSibling),
+            (Child, NextSiblingPlus),
+            (Child, NextSiblingStar),
+            (NextSibling, NextSiblingPlus),
+            (NextSibling, NextSiblingStar),
+            (NextSiblingPlus, NextSiblingStar),
+            (ChildPlus, ChildStar),
+        ];
+        for (a, b) in p_cells {
+            let t = SignatureAnalysis::analyse(&Signature::from_axes([a, b]));
+            assert!(t.is_polynomial(), "{{{a}, {b}}} should be in P");
+        }
+    }
+
+    #[test]
+    fn table1_has_28_cells_and_the_right_split() {
+        let table = SignatureAnalysis::table1();
+        // 7 single-axis + C(7,2) = 21 two-axis signatures.
+        assert_eq!(table.len(), 28);
+        let polynomial = table.iter().filter(|(_, _, t)| t.is_polynomial()).count();
+        let hard = table.len() - polynomial;
+        // 7 diagonal cells + 7 off-diagonal P cells = 14 polynomial;
+        // 14 NP-hard cells (matching Table I).
+        assert_eq!(polynomial, 14);
+        assert_eq!(hard, 14);
+    }
+
+    #[test]
+    fn full_signature_is_np_hard() {
+        let t = SignatureAnalysis::analyse(&Signature::full());
+        assert!(!t.is_polynomial());
+        assert!(t.order().is_none());
+    }
+
+    #[test]
+    fn query_analysis_and_normalization() {
+        // Figure 1 uses {Child+, Following}: NP-hard by Theorem 5.3.
+        match SignatureAnalysis::analyse_query(&figure1_query()) {
+            Tractability::NpHard { theorem, .. } => assert_eq!(theorem, "Theorem 5.3"),
+            other => panic!("expected NP-hard, got {other}"),
+        }
+        // A query over Parent (inverse of Child) normalizes to Child and is
+        // tractable.
+        let q = parse_query("Q() :- Parent(x, y), A(y).").unwrap();
+        assert!(SignatureAnalysis::analyse_query(&q).is_polynomial());
+        // Ancestor (inverse of Child+) together with Child normalizes to
+        // {Child, Child+}: NP-hard.
+        let q = parse_query("Q() :- Ancestor(x, y), Child(y, z).").unwrap();
+        match SignatureAnalysis::analyse_query(&q) {
+            Tractability::NpHard { theorem, .. } => assert_eq!(theorem, "Theorem 5.1"),
+            other => panic!("expected NP-hard, got {other}"),
+        }
+        // Self never hurts.
+        let q = parse_query("Q() :- Self(x, y), Child+(y, z).").unwrap();
+        assert!(SignatureAnalysis::analyse_query(&q).is_polynomial());
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Tractability::PolynomialTime { order: Order::Pre };
+        assert!(p.to_string().contains("in P"));
+        assert_eq!(p.order(), Some(Order::Pre));
+        let h = SignatureAnalysis::analyse(&Signature::from_axes([Axis::Child, Axis::Following]));
+        assert!(h.to_string().contains("NP-hard"));
+        assert!(h.to_string().contains("Theorem 5.2"));
+    }
+}

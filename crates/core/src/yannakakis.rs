@@ -1,0 +1,426 @@
+//! Semi-join evaluation of acyclic queries (Yannakakis' algorithm).
+//!
+//! The paper motivates translating conjunctive queries into acyclic positive
+//! queries (Section 6) by the existence of particularly good evaluation
+//! algorithms for acyclic queries [Yannakakis 1981]. This module implements
+//! that algorithm for our setting: all relations are binary (axes) or unary
+//! (labels), so an acyclic query's *join forest* is simply a rooted
+//! orientation of its query graph's shadow (see
+//! [`QueryGraph::join_forest`](cqt_query::graph::QueryGraph::join_forest)),
+//! and the semi-joins are the per-axis support primitives of
+//! [`crate::support`].
+//!
+//! The evaluator performs the classic two passes (leaves-to-root and
+//! root-to-leaves). For tree-shaped binary constraint networks this makes
+//! every remaining candidate extensible to a satisfaction of its connected
+//! component, which yields Boolean evaluation, witness extraction, tuple
+//! checking, monadic evaluation and answer enumeration without backtracking.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cqt_query::graph::JoinForest;
+use cqt_query::{ConjunctiveQuery, PositiveQuery, Var};
+use cqt_trees::{NodeId, NodeSet, Tree};
+
+use crate::arc::initial_prevaluation;
+use crate::prevaluation::{Prevaluation, Valuation};
+use crate::support::{supported_sources, supported_targets};
+
+/// Error returned when the query handed to the Yannakakis evaluator is not
+/// acyclic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotAcyclicError;
+
+impl fmt::Display for NotAcyclicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the Yannakakis evaluator requires an acyclic query")
+    }
+}
+
+impl std::error::Error for NotAcyclicError {}
+
+/// The acyclic-query evaluator.
+#[derive(Clone, Copy, Debug)]
+pub struct YannakakisEvaluator<'t> {
+    tree: &'t Tree,
+}
+
+impl<'t> YannakakisEvaluator<'t> {
+    /// Creates an evaluator over `tree`.
+    pub fn new(tree: &'t Tree) -> Self {
+        YannakakisEvaluator { tree }
+    }
+
+    /// Performs the full (two-pass) semi-join reduction. Returns the reduced
+    /// prevaluation, or `None` if some candidate set became empty (the query
+    /// is unsatisfiable within `start`).
+    fn reduce(
+        &self,
+        query: &ConjunctiveQuery,
+        forest: &JoinForest,
+        mut pre: Prevaluation,
+    ) -> Option<Prevaluation> {
+        if pre.has_empty_set() {
+            return None;
+        }
+        for tree_component in &forest.components {
+            // Upward pass: children prune their parents, processed in reverse
+            // BFS order so that grandchildren have already pruned children.
+            for &var in tree_component.bfs_order.iter().rev() {
+                if let Some(&(parent, atom)) = tree_component.parent.get(&var) {
+                    let pruned = if atom.from == parent {
+                        // Atom is R(parent, var): parent needs an R-successor
+                        // among var's candidates.
+                        supported_sources(self.tree, atom.axis, pre.get(var))
+                    } else {
+                        // Atom is R(var, parent): parent needs an R-predecessor.
+                        supported_targets(self.tree, atom.axis, pre.get(var))
+                    };
+                    pre.get_mut(parent).intersect_with(&pruned);
+                    if pre.get(parent).is_empty() {
+                        return None;
+                    }
+                }
+            }
+            // Downward pass: parents prune their children, in BFS order.
+            for &var in &tree_component.bfs_order {
+                if let Some(&(parent, atom)) = tree_component.parent.get(&var) {
+                    let pruned = if atom.from == parent {
+                        supported_targets(self.tree, atom.axis, pre.get(parent))
+                    } else {
+                        supported_sources(self.tree, atom.axis, pre.get(parent))
+                    };
+                    pre.get_mut(var).intersect_with(&pruned);
+                    if pre.get(var).is_empty() {
+                        return None;
+                    }
+                }
+            }
+        }
+        let _ = query;
+        Some(pre)
+    }
+
+    fn reduced_prevaluation(
+        &self,
+        query: &ConjunctiveQuery,
+        start: Prevaluation,
+    ) -> Result<Option<Prevaluation>, NotAcyclicError> {
+        let forest = query.graph().join_forest().ok_or(NotAcyclicError)?;
+        Ok(self.reduce(query, &forest, start))
+    }
+
+    /// Evaluates the Boolean reading of the acyclic query.
+    pub fn eval_boolean(&self, query: &ConjunctiveQuery) -> Result<bool, NotAcyclicError> {
+        Ok(self.witness(query)?.is_some())
+    }
+
+    /// Returns some satisfaction of the acyclic query, if one exists. The
+    /// witness is assembled backtrack-free from the reduced candidate sets.
+    pub fn witness(&self, query: &ConjunctiveQuery) -> Result<Option<Valuation>, NotAcyclicError> {
+        let forest = query.graph().join_forest().ok_or(NotAcyclicError)?;
+        let start = initial_prevaluation(self.tree, query);
+        let Some(pre) = self.reduce(query, &forest, start) else {
+            return Ok(None);
+        };
+        let mut assignment: Vec<Option<NodeId>> = vec![None; query.var_count()];
+        // Variables in join-tree components: choose the root freely, then
+        // extend downward, always consistently with the already-chosen parent.
+        for tree_component in &forest.components {
+            for &var in &tree_component.bfs_order {
+                match tree_component.parent.get(&var) {
+                    None => {
+                        assignment[var.index()] = pre.get(var).any_member();
+                    }
+                    Some(&(parent, atom)) => {
+                        let parent_node =
+                            assignment[parent.index()].expect("parents are assigned first (BFS)");
+                        let candidates = pre.get(var);
+                        let choice = if atom.from == parent {
+                            atom.axis
+                                .successors(self.tree, parent_node)
+                                .into_iter()
+                                .find(|n| candidates.contains(*n))
+                        } else {
+                            atom.axis
+                                .predecessors(self.tree, parent_node)
+                                .into_iter()
+                                .find(|n| candidates.contains(*n))
+                        };
+                        assignment[var.index()] =
+                            Some(choice.expect("semi-join reduction guarantees a partner"));
+                    }
+                }
+            }
+        }
+        // Variables not occurring in any binary atom take any candidate.
+        for i in 0..query.var_count() {
+            if assignment[i].is_none() {
+                let var = Var::from_index(i);
+                match pre.get(var).any_member() {
+                    Some(node) => assignment[i] = Some(node),
+                    None => return Ok(None),
+                }
+            }
+        }
+        let valuation = Valuation::new(assignment.into_iter().map(Option::unwrap).collect());
+        debug_assert!(valuation.is_satisfaction(self.tree, query));
+        Ok(Some(valuation))
+    }
+
+    /// Whether `tuple` is an answer of the acyclic k-ary query.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity differs from the head arity.
+    pub fn check_tuple(
+        &self,
+        query: &ConjunctiveQuery,
+        tuple: &[NodeId],
+    ) -> Result<bool, NotAcyclicError> {
+        assert_eq!(tuple.len(), query.head_arity(), "tuple arity mismatch");
+        let mut start = initial_prevaluation(self.tree, query);
+        for (&var, &node) in query.head().iter().zip(tuple) {
+            let singleton = NodeSet::from_nodes(self.tree.len(), [node]);
+            start.get_mut(var).intersect_with(&singleton);
+        }
+        Ok(self.reduced_prevaluation(query, start)?.is_some())
+    }
+
+    /// The answer set of an acyclic monadic query.
+    ///
+    /// After the two-pass reduction every remaining candidate of the head
+    /// variable participates in a satisfaction of its connected component, so
+    /// the answer is simply the head variable's reduced candidate set
+    /// (provided every other component is satisfiable, which the reduction
+    /// has already established).
+    ///
+    /// # Panics
+    /// Panics if the query is not monadic.
+    pub fn eval_monadic(&self, query: &ConjunctiveQuery) -> Result<NodeSet, NotAcyclicError> {
+        assert!(query.is_monadic(), "eval_monadic requires a unary query");
+        let head = query.head()[0];
+        let start = initial_prevaluation(self.tree, query);
+        match self.reduced_prevaluation(query, start)? {
+            Some(pre) => Ok(pre.get(head).clone()),
+            None => Ok(NodeSet::empty(self.tree.len())),
+        }
+    }
+
+    /// The full answer relation of the acyclic k-ary query (sorted,
+    /// deduplicated head tuples; one empty tuple for a satisfied Boolean
+    /// query).
+    pub fn eval_tuples(
+        &self,
+        query: &ConjunctiveQuery,
+    ) -> Result<Vec<Vec<NodeId>>, NotAcyclicError> {
+        let start = initial_prevaluation(self.tree, query);
+        let Some(pre) = self.reduced_prevaluation(query, start)? else {
+            return Ok(Vec::new());
+        };
+        if query.is_boolean() {
+            return Ok(vec![Vec::new()]);
+        }
+        let domains: Vec<Vec<NodeId>> = query
+            .head()
+            .iter()
+            .map(|&v| pre.get(v).iter().collect())
+            .collect();
+        let mut out = BTreeSet::new();
+        let mut current = Vec::with_capacity(domains.len());
+        self.enumerate_rec(query, &domains, 0, &mut current, &mut out)?;
+        Ok(out.into_iter().collect())
+    }
+
+    fn enumerate_rec(
+        &self,
+        query: &ConjunctiveQuery,
+        domains: &[Vec<NodeId>],
+        position: usize,
+        current: &mut Vec<NodeId>,
+        out: &mut BTreeSet<Vec<NodeId>>,
+    ) -> Result<(), NotAcyclicError> {
+        if position == domains.len() {
+            if self.check_tuple(query, current)? {
+                out.insert(current.clone());
+            }
+            return Ok(());
+        }
+        for &node in &domains[position] {
+            current.push(node);
+            self.enumerate_rec(query, domains, position + 1, current, out)?;
+            current.pop();
+        }
+        Ok(())
+    }
+
+    // ---- acyclic positive queries (APQs) --------------------------------
+
+    /// Evaluates the Boolean reading of an acyclic positive query: `true` iff
+    /// some disjunct is satisfied.
+    pub fn eval_positive_boolean(&self, query: &PositiveQuery) -> Result<bool, NotAcyclicError> {
+        for disjunct in query.iter() {
+            if self.eval_boolean(disjunct)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Evaluates a monadic acyclic positive query: the union of the
+    /// disjuncts' answers.
+    pub fn eval_positive_monadic(&self, query: &PositiveQuery) -> Result<NodeSet, NotAcyclicError> {
+        let mut out = NodeSet::empty(self.tree.len());
+        for disjunct in query.iter() {
+            out.union_with(&self.eval_monadic(disjunct)?);
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a k-ary acyclic positive query: the union of the disjuncts'
+    /// answer relations.
+    pub fn eval_positive_tuples(
+        &self,
+        query: &PositiveQuery,
+    ) -> Result<Vec<Vec<NodeId>>, NotAcyclicError> {
+        let mut out = BTreeSet::new();
+        for disjunct in query.iter() {
+            out.extend(self.eval_tuples(disjunct)?);
+        }
+        Ok(out.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacSolver;
+    use crate::naive::NaiveEvaluator;
+    use cqt_query::generate::{random_acyclic_query, RandomQueryConfig};
+    use cqt_query::parse_query;
+    use cqt_trees::generate::{random_tree, RandomTreeConfig};
+    use cqt_trees::parse::parse_term;
+    use cqt_trees::Axis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn boolean_and_witness_on_acyclic_queries() {
+        let tree = parse_term("A(B(D), C(E, F))").unwrap();
+        let yes = parse_query("Q() :- A(x), Child(x, y), C(y), Child(y, z), F(z).").unwrap();
+        let no = parse_query("Q() :- F(x), Child(x, y).").unwrap();
+        let eval = YannakakisEvaluator::new(&tree);
+        assert!(eval.eval_boolean(&yes).unwrap());
+        assert!(eval.witness(&yes).unwrap().unwrap().is_satisfaction(&tree, &yes));
+        assert!(!eval.eval_boolean(&no).unwrap());
+        assert!(eval.witness(&no).unwrap().is_none());
+    }
+
+    #[test]
+    fn cyclic_queries_are_rejected() {
+        let tree = parse_term("A(B)").unwrap();
+        let q = cqt_query::cq::figure1_query();
+        let eval = YannakakisEvaluator::new(&tree);
+        assert_eq!(eval.eval_boolean(&q), Err(NotAcyclicError));
+        assert!(NotAcyclicError.to_string().contains("acyclic"));
+    }
+
+    #[test]
+    fn monadic_answers_are_the_reduced_head_domain() {
+        let tree = parse_term("A(B(D), B(E), B(D))").unwrap();
+        // Q(y): B-nodes with a D child.
+        let q = parse_query("Q(y) :- A(x), Child(x, y), B(y), Child(y, z), D(z).").unwrap();
+        let eval = YannakakisEvaluator::new(&tree);
+        let answers = eval.eval_monadic(&q).unwrap();
+        assert_eq!(answers.len(), 2);
+        for b in answers.iter() {
+            assert!(tree.has_label_name(b, "B"));
+            assert!(tree.children(b).iter().any(|&c| tree.has_label_name(c, "D")));
+        }
+    }
+
+    #[test]
+    fn multi_component_queries() {
+        // Two independent components: one satisfiable, one not.
+        let tree = parse_term("A(B, C)").unwrap();
+        let sat = parse_query("Q() :- A(x), Child(x, y), B(y), C(u), A(w).").unwrap();
+        let unsat = parse_query("Q() :- A(x), Child(x, y), B(y), C(u), Child(u, v).").unwrap();
+        let eval = YannakakisEvaluator::new(&tree);
+        assert!(eval.eval_boolean(&sat).unwrap());
+        assert!(!eval.eval_boolean(&unsat).unwrap());
+    }
+
+    #[test]
+    fn agreement_with_mac_and_naive_on_random_acyclic_queries() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let tree_config = RandomTreeConfig {
+            nodes: 15,
+            ..RandomTreeConfig::default()
+        };
+        let query_config = RandomQueryConfig {
+            vars: 5,
+            head_arity: 1,
+            axes: vec![
+                Axis::Child,
+                Axis::ChildPlus,
+                Axis::ChildStar,
+                Axis::NextSibling,
+                Axis::NextSiblingPlus,
+                Axis::NextSiblingStar,
+                Axis::Following,
+            ],
+            ..RandomQueryConfig::default()
+        };
+        for _ in 0..30 {
+            let tree = random_tree(&mut rng, &tree_config);
+            let query = random_acyclic_query(&mut rng, &query_config);
+            let yan = YannakakisEvaluator::new(&tree);
+            let mac = MacSolver::new(&tree);
+            let naive = NaiveEvaluator::new(&tree);
+            assert_eq!(
+                yan.eval_boolean(&query).unwrap(),
+                naive.eval_boolean(&query),
+                "boolean mismatch on {query}"
+            );
+            assert_eq!(
+                yan.eval_monadic(&query).unwrap(),
+                mac.eval_monadic(&query),
+                "monadic mismatch on {query}"
+            );
+        }
+    }
+
+    #[test]
+    fn tuple_checking_and_enumeration() {
+        let tree = parse_term("A(B(D), B(E))").unwrap();
+        let q = parse_query("Q(x, y) :- B(x), Child(x, y).").unwrap();
+        let eval = YannakakisEvaluator::new(&tree);
+        let tuples = eval.eval_tuples(&q).unwrap();
+        assert_eq!(tuples.len(), 2);
+        for t in &tuples {
+            assert!(eval.check_tuple(&q, t).unwrap());
+        }
+        let b = tree.nodes_with_label_name("B").any_member().unwrap();
+        let e = tree.nodes_with_label_name("E").any_member().unwrap();
+        // (first B, E) is not an answer: E is the other B's child.
+        let first_b_children = tree.children(b);
+        if !first_b_children.contains(&e) {
+            assert!(!eval.check_tuple(&q, &[b, e]).unwrap());
+        }
+    }
+
+    #[test]
+    fn positive_query_evaluation() {
+        let tree = parse_term("A(B, C)").unwrap();
+        let q1 = parse_query("Q(x) :- B(x).").unwrap();
+        let q2 = parse_query("Q(x) :- C(x).").unwrap();
+        let q3 = parse_query("Q(x) :- Z(x).").unwrap();
+        let apq = PositiveQuery::from_disjuncts(vec![q1, q2, q3]);
+        let eval = YannakakisEvaluator::new(&tree);
+        assert!(eval.eval_positive_boolean(&apq).unwrap());
+        assert_eq!(eval.eval_positive_monadic(&apq).unwrap().len(), 2);
+        assert_eq!(eval.eval_positive_tuples(&apq).unwrap().len(), 2);
+        let empty = PositiveQuery::empty();
+        assert!(!eval.eval_positive_boolean(&empty).unwrap());
+    }
+}

@@ -1,0 +1,63 @@
+//! The `NAND(k, l)` offset function of Table II.
+//!
+//! The reduction of Theorem 5.2 (signature `{Child, Following}`) wires clause
+//! gadgets together with atoms of the form `Following^{NAND(k, l)}(x, y)`:
+//! the number of `Following` steps is chosen such that the two gadget
+//! variables labeled `L_k` and `L_l` cannot **both** be mapped to the topmost
+//! position of their respective gadget copies (which would correspond to
+//! selecting both literals). Table II lists the offsets.
+
+/// The function `NAND(k, l)` of Table II (1-based `k, l ∈ {1, 2, 3}`).
+///
+/// | k\l | 1  | 2  | 3  |
+/// |-----|----|----|----|
+/// | 1   | 10 | 13 | 18 |
+/// | 2   | 5  | 8  | 13 |
+/// | 3   | 2  | 5  | 10 |
+///
+/// # Panics
+/// Panics if `k` or `l` is outside `1..=3`.
+pub fn nand(k: usize, l: usize) -> usize {
+    const TABLE: [[usize; 3]; 3] = [[10, 13, 18], [5, 8, 13], [2, 5, 10]];
+    assert!((1..=3).contains(&k) && (1..=3).contains(&l), "NAND is defined on {{1,2,3}}²");
+    TABLE[k - 1][l - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_two() {
+        assert_eq!(nand(1, 1), 10);
+        assert_eq!(nand(1, 2), 13);
+        assert_eq!(nand(1, 3), 18);
+        assert_eq!(nand(2, 1), 5);
+        assert_eq!(nand(2, 2), 8);
+        assert_eq!(nand(2, 3), 13);
+        assert_eq!(nand(3, 1), 2);
+        assert_eq!(nand(3, 2), 5);
+        assert_eq!(nand(3, 3), 10);
+    }
+
+    #[test]
+    fn structural_regularities_of_the_table() {
+        // Each row decreases by 5 as k increases (the gadget's topmost
+        // positions are 5 Following-steps apart), and each column increases
+        // by the offsets 3 and 5 as l increases.
+        for l in 1..=3 {
+            assert_eq!(nand(1, l) - nand(2, l), 5);
+            assert_eq!(nand(2, l) - nand(3, l), 3);
+        }
+        for k in 1..=3 {
+            assert_eq!(nand(k, 2) - nand(k, 1), 3);
+            assert_eq!(nand(k, 3) - nand(k, 2), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "defined on")]
+    fn out_of_range_panics() {
+        nand(0, 1);
+    }
+}

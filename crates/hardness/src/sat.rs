@@ -1,0 +1,297 @@
+//! 1-in-3 3SAT with positive literals.
+//!
+//! An instance is a set of clauses, each an ordered triple of (positive)
+//! propositional variables; a solution is a truth assignment under which
+//! **exactly one** literal of every clause is true. The problem is
+//! NP-complete (Schaefer 1978) and is the source problem of every reduction
+//! in Section 5 of the paper.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A truth assignment, indexed by variable.
+pub type SatSolution = Vec<bool>;
+
+/// A positive 1-in-3 3SAT instance.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OneInThreeInstance {
+    /// Number of propositional variables (named `0 .. num_vars`).
+    num_vars: usize,
+    /// The clauses; each entry lists three (not necessarily distinct across
+    /// clauses, but pairwise distinct within a clause) variable indices.
+    clauses: Vec<[usize; 3]>,
+}
+
+impl OneInThreeInstance {
+    /// Creates an instance.
+    ///
+    /// # Panics
+    /// Panics if a clause mentions a variable `>= num_vars` or repeats a
+    /// variable (the paper assumes w.l.o.g. that no clause contains a literal
+    /// more than once).
+    pub fn new(num_vars: usize, clauses: Vec<[usize; 3]>) -> Self {
+        for clause in &clauses {
+            for &v in clause {
+                assert!(v < num_vars, "clause mentions undeclared variable {v}");
+            }
+            assert!(
+                clause[0] != clause[1] && clause[0] != clause[2] && clause[1] != clause[2],
+                "clauses must not repeat a literal: {clause:?}"
+            );
+        }
+        OneInThreeInstance { num_vars, clauses }
+    }
+
+    /// Number of propositional variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[[usize; 3]] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether `assignment` makes exactly one literal of every clause true.
+    pub fn is_solution(&self, assignment: &[bool]) -> bool {
+        assignment.len() >= self.num_vars
+            && self.clauses.iter().all(|clause| {
+                clause.iter().filter(|&&v| assignment[v]).count() == 1
+            })
+    }
+
+    /// Finds a solution by backtracking over the variables with early clause
+    /// checks, or `None` if the instance is unsatisfiable. Exponential in the
+    /// worst case (the problem is NP-complete).
+    pub fn solve(&self) -> Option<SatSolution> {
+        let mut assignment = vec![false; self.num_vars];
+        if self.search(0, &mut assignment) {
+            Some(assignment)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the instance is satisfiable.
+    pub fn is_satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    /// Counts all solutions (exhaustive; use only for small instances).
+    pub fn count_solutions(&self) -> usize {
+        let mut count = 0;
+        for mask in 0u64..(1u64 << self.num_vars.min(63)) {
+            let assignment: Vec<bool> = (0..self.num_vars).map(|i| mask & (1 << i) != 0).collect();
+            if self.is_solution(&assignment) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn search(&self, var: usize, assignment: &mut Vec<bool>) -> bool {
+        if var == self.num_vars {
+            return self.is_solution(assignment);
+        }
+        for value in [false, true] {
+            assignment[var] = value;
+            // Early pruning: any clause whose variables are all decided must
+            // have exactly one true literal; any clause with some decided
+            // variables must not already have two true literals.
+            let feasible = self.clauses.iter().all(|clause| {
+                let decided = clause.iter().filter(|&&v| v <= var).count();
+                let true_count = clause.iter().filter(|&&v| v <= var && assignment[v]).count();
+                if decided == 3 {
+                    true_count == 1
+                } else {
+                    true_count <= 1
+                }
+            });
+            if feasible && self.search(var + 1, assignment) {
+                return true;
+            }
+        }
+        assignment[var] = false;
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Instance families
+    // ------------------------------------------------------------------
+
+    /// A random instance with `num_vars` variables and `num_clauses` clauses,
+    /// each clause picking three distinct variables uniformly at random.
+    ///
+    /// # Panics
+    /// Panics if `num_vars < 3`.
+    pub fn random<R: Rng>(rng: &mut R, num_vars: usize, num_clauses: usize) -> Self {
+        assert!(num_vars >= 3, "need at least three variables per clause");
+        let mut clauses = Vec::with_capacity(num_clauses);
+        for _ in 0..num_clauses {
+            let mut clause = [0usize; 3];
+            clause[0] = rng.gen_range(0..num_vars);
+            loop {
+                clause[1] = rng.gen_range(0..num_vars);
+                if clause[1] != clause[0] {
+                    break;
+                }
+            }
+            loop {
+                clause[2] = rng.gen_range(0..num_vars);
+                if clause[2] != clause[0] && clause[2] != clause[1] {
+                    break;
+                }
+            }
+            clauses.push(clause);
+        }
+        OneInThreeInstance::new(num_vars, clauses)
+    }
+
+    /// A random **satisfiable** instance: a hidden assignment with roughly
+    /// one third of the variables true is planted, and every generated clause
+    /// contains exactly one true variable under it.
+    ///
+    /// # Panics
+    /// Panics if there are fewer than one true or two false variables to
+    /// build clauses from (needs `num_vars >= 3`).
+    pub fn random_satisfiable<R: Rng>(rng: &mut R, num_vars: usize, num_clauses: usize) -> Self {
+        assert!(num_vars >= 3);
+        // Plant an assignment: ceil(num_vars / 3) true variables.
+        let mut planted = vec![false; num_vars];
+        for (i, slot) in planted.iter_mut().enumerate() {
+            *slot = i % 3 == 0;
+        }
+        let true_vars: Vec<usize> = (0..num_vars).filter(|&v| planted[v]).collect();
+        let false_vars: Vec<usize> = (0..num_vars).filter(|&v| !planted[v]).collect();
+        assert!(!true_vars.is_empty() && false_vars.len() >= 2);
+        let mut clauses = Vec::with_capacity(num_clauses);
+        for _ in 0..num_clauses {
+            let t = true_vars[rng.gen_range(0..true_vars.len())];
+            let f1 = false_vars[rng.gen_range(0..false_vars.len())];
+            let mut f2 = false_vars[rng.gen_range(0..false_vars.len())];
+            while f2 == f1 {
+                f2 = false_vars[rng.gen_range(0..false_vars.len())];
+            }
+            // Randomize the position of the true literal within the clause.
+            let mut clause = [t, f1, f2];
+            let pos = rng.gen_range(0..3);
+            clause.swap(0, pos);
+            clauses.push(clause);
+        }
+        OneInThreeInstance::new(num_vars, clauses)
+    }
+
+    /// A small unsatisfiable family: over variables `{0, 1, 2, 3}`, the four
+    /// clauses `(0,1,2), (0,1,3), (0,2,3), (1,2,3)` force every triple to
+    /// have exactly one true variable, which no assignment of four variables
+    /// achieves.
+    pub fn unsatisfiable_k4() -> Self {
+        OneInThreeInstance::new(4, vec![[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]])
+    }
+
+    /// The single-clause instance `(0, 1, 2)` — the smallest satisfiable
+    /// instance, useful as a smoke test.
+    pub fn single_clause() -> Self {
+        OneInThreeInstance::new(3, vec![[0, 1, 2]])
+    }
+}
+
+impl fmt::Display for OneInThreeInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "1-in-3 3SAT over {} vars:", self.num_vars)?;
+        for clause in &self.clauses {
+            write!(f, " ({} {} {})", clause[0], clause[1], clause[2])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_clause_has_three_solutions() {
+        let instance = OneInThreeInstance::single_clause();
+        assert!(instance.is_satisfiable());
+        assert_eq!(instance.count_solutions(), 3);
+        let solution = instance.solve().unwrap();
+        assert!(instance.is_solution(&solution));
+        assert_eq!(solution.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn k4_family_is_unsatisfiable() {
+        let instance = OneInThreeInstance::unsatisfiable_k4();
+        assert!(!instance.is_satisfiable());
+        assert_eq!(instance.count_solutions(), 0);
+        // Brute force agrees with the backtracking solver.
+        assert!(instance.solve().is_none());
+    }
+
+    #[test]
+    fn solver_agrees_with_exhaustive_count_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for _ in 0..30 {
+            let instance = OneInThreeInstance::random(&mut rng, 7, 6);
+            let solvable = instance.is_satisfiable();
+            let count = instance.count_solutions();
+            assert_eq!(solvable, count > 0, "solver disagrees with brute force on {instance}");
+            if let Some(solution) = instance.solve() {
+                assert!(instance.is_solution(&solution));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_instances_are_satisfiable() {
+        let mut rng = StdRng::seed_from_u64(82);
+        for vars in [3usize, 6, 9, 12] {
+            for clauses in [1usize, 4, 10] {
+                let instance = OneInThreeInstance::random_satisfiable(&mut rng, vars, clauses);
+                assert!(
+                    instance.is_satisfiable(),
+                    "planted instance must be satisfiable: {instance}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_solution_requires_exactly_one() {
+        let instance = OneInThreeInstance::new(3, vec![[0, 1, 2]]);
+        assert!(instance.is_solution(&[true, false, false]));
+        assert!(instance.is_solution(&[false, true, false]));
+        assert!(!instance.is_solution(&[true, true, false]));
+        assert!(!instance.is_solution(&[false, false, false]));
+        assert!(!instance.is_solution(&[true, true, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared variable")]
+    fn out_of_range_variable_panics() {
+        OneInThreeInstance::new(2, vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeat")]
+    fn repeated_literal_panics() {
+        OneInThreeInstance::new(3, vec![[0, 0, 1]]);
+    }
+
+    #[test]
+    fn display_lists_clauses() {
+        let instance = OneInThreeInstance::single_clause();
+        let text = instance.to_string();
+        assert!(text.contains("3 vars"));
+        assert!(text.contains("(0 1 2)"));
+    }
+}

@@ -1,0 +1,299 @@
+//! The reduction of Theorem 5.1 (Figure 4): 1-in-3 3SAT ⟶ Boolean
+//! conjunctive queries over `{Child, Child+}` (τ4) or `{Child, Child*}` (τ5)
+//! on a **fixed** data tree.
+//!
+//! The data tree (Figure 4), over the alphabet `{X, Y, L1, L2, L3}`, consists
+//! of a chain of three `X`-labeled nodes `v1 → v2 → v3` followed by three
+//! parallel chains `w_{m,1} → … → w_{m,10}` (one per literal position
+//! `m ∈ {1, 2, 3}`) hanging below `v3`, labeled as follows:
+//!
+//! * `w_{m,m}` carries `Y` (so the unique `Y`-node exactly three `Child`
+//!   steps below `v_m` lies on chain `m`);
+//! * `w_{m,q}` for `q ∈ {4, …, 10}` carries the two labels `L_{k'}` with
+//!   `k' ≠ m`;
+//! * `w_{m,5+m}` additionally carries `L_m` (making it the unique `L_m`-node
+//!   below `w_{m,m}` on chain `m`).
+//!
+//! The query (one per instance) uses variables `x_i, y_i` per clause and
+//! `z_{k,l,i,j}` per coincidence of the k-th literal of clause `i` with the
+//! l-th literal of clause `j`, with atoms
+//!
+//! ```text
+//! X(x_i), Y(y_i), Child³(x_i, y_i)
+//! L_k(z), Child◦(y_i, z), Child^{8+k−l}(x_j, z)
+//! ```
+//!
+//! where `◦` is `+` on τ4 and `*` on τ5. Mapping `x_i` to `v_k` corresponds
+//! to selecting the k-th literal of clause `i`; the `z` atoms force the same
+//! literal to be selected in every clause it occurs in, so the query is
+//! satisfied on the fixed tree iff the instance has a 1-in-3 solution.
+
+use cqt_core::MacSolver;
+use cqt_query::{ConjunctiveQuery, Signature};
+use cqt_trees::{Axis, Tree, TreeBuilder};
+use serde::{Deserialize, Serialize};
+
+use crate::sat::OneInThreeInstance;
+
+/// Which of the two signatures of Theorem 5.1 the reduction targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Thm51Variant {
+    /// τ4 = ⟨(Label_a), Child, Child+⟩.
+    Tau4ChildPlus,
+    /// τ5 = ⟨(Label_a), Child, Child*⟩.
+    Tau5ChildStar,
+}
+
+impl Thm51Variant {
+    /// The closure axis used by the `Child◦(y_i, z)` atoms.
+    pub fn closure_axis(self) -> Axis {
+        match self {
+            Thm51Variant::Tau4ChildPlus => Axis::ChildPlus,
+            Thm51Variant::Tau5ChildStar => Axis::ChildStar,
+        }
+    }
+
+    /// The signature of the produced query.
+    pub fn signature(self) -> Signature {
+        Signature::from_axes([Axis::Child, self.closure_axis()])
+    }
+}
+
+/// A fully materialized instance of the Theorem 5.1 reduction.
+#[derive(Clone, Debug)]
+pub struct Thm51Reduction {
+    /// The source 1-in-3 3SAT instance.
+    pub instance: OneInThreeInstance,
+    /// The targeted signature variant.
+    pub variant: Thm51Variant,
+    /// The fixed data tree of Figure 4 (independent of the instance).
+    pub tree: Tree,
+    /// The Boolean conjunctive query encoding the instance.
+    pub query: ConjunctiveQuery,
+}
+
+/// Builds the fixed data tree of Figure 4.
+pub fn figure4_tree() -> Tree {
+    let mut b = TreeBuilder::new();
+    let v1 = b.add_root(&["X"]);
+    let v2 = b.add_child(v1, &["X"]);
+    let v3 = b.add_child(v2, &["X"]);
+    for m in 1..=3usize {
+        let mut current = v3;
+        for q in 1..=10usize {
+            let mut labels: Vec<String> = Vec::new();
+            if q == m {
+                labels.push("Y".to_owned());
+            }
+            if (4..=10).contains(&q) {
+                for k_prime in 1..=3 {
+                    if k_prime != m {
+                        labels.push(format!("L{k_prime}"));
+                    }
+                }
+            }
+            if q == 5 + m {
+                labels.push(format!("L{m}"));
+            }
+            let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            current = b.add_child(current, &label_refs);
+        }
+    }
+    b.build().expect("Figure 4 tree is valid")
+}
+
+/// Builds the Boolean query of Theorem 5.1 for `instance` under `variant`.
+pub fn thm51_query(instance: &OneInThreeInstance, variant: Thm51Variant) -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let m = instance.num_clauses();
+    // Clause variables x_i, y_i (1-based naming to match the paper).
+    let xs: Vec<_> = (1..=m).map(|i| q.var(&format!("x{i}"))).collect();
+    let ys: Vec<_> = (1..=m).map(|i| q.var(&format!("y{i}"))).collect();
+    for i in 0..m {
+        q.add_label(xs[i], "X");
+        q.add_label(ys[i], "Y");
+        q.add_axis_chain(Axis::Child, xs[i], ys[i], 3);
+    }
+    // Coincidence variables z_{k,l,i,j}.
+    let clauses = instance.clauses();
+    for (i, clause_i) in clauses.iter().enumerate() {
+        for (j, clause_j) in clauses.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            for (k_idx, &lit_k) in clause_i.iter().enumerate() {
+                for (l_idx, &lit_l) in clause_j.iter().enumerate() {
+                    if lit_k != lit_l {
+                        continue;
+                    }
+                    let k = k_idx + 1;
+                    let l = l_idx + 1;
+                    let z = q.var(&format!("z_{k}_{l}_{}_{}", i + 1, j + 1));
+                    q.add_label(z, &format!("L{k}"));
+                    q.add_axis(variant.closure_axis(), ys[i], z);
+                    q.add_axis_chain(Axis::Child, xs[j], z, 8 + k - l);
+                }
+            }
+        }
+    }
+    q
+}
+
+impl Thm51Reduction {
+    /// Materializes the reduction for `instance`.
+    pub fn new(instance: OneInThreeInstance, variant: Thm51Variant) -> Self {
+        let tree = figure4_tree();
+        let query = thm51_query(&instance, variant);
+        Thm51Reduction {
+            instance,
+            variant,
+            tree,
+            query,
+        }
+    }
+
+    /// Evaluates the produced query on the fixed tree with the complete MAC
+    /// solver.
+    pub fn query_holds(&self) -> bool {
+        MacSolver::new(&self.tree).eval_boolean(&self.query)
+    }
+
+    /// Checks the correctness of the reduction on this instance: the query
+    /// holds on the fixed tree iff the 1-in-3 3SAT instance is satisfiable.
+    pub fn verify(&self) -> bool {
+        self.query_holds() == self.instance.is_satisfiable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_core::{SignatureAnalysis, Tractability};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure4_tree_shape_and_labels() {
+        let tree = figure4_tree();
+        // 3 X-nodes + 3 chains of 10 nodes.
+        assert_eq!(tree.len(), 33);
+        assert_eq!(tree.nodes_with_label_name("X").len(), 3);
+        assert_eq!(tree.nodes_with_label_name("Y").len(), 3);
+        // Each L_k occurs on the 7 tail nodes of the two other chains plus
+        // one extra node on its own chain.
+        for k in 1..=3 {
+            assert_eq!(
+                tree.nodes_with_label_name(&format!("L{k}")).len(),
+                2 * 7 + 1,
+                "L{k} label count"
+            );
+        }
+        // The X-nodes form a chain from the root.
+        let root = tree.root();
+        assert!(tree.has_label_name(root, "X"));
+        let v2 = tree.children(root)[0];
+        let v3 = tree.children(v2)[0];
+        assert!(tree.has_label_name(v2, "X"));
+        assert!(tree.has_label_name(v3, "X"));
+        assert_eq!(tree.children(v3).len(), 3);
+        // Exactly one Y-node three Child steps below each v_k.
+        for (steps_above, v) in [(3u32, root), (2, v2), (1, v3)] {
+            let y_nodes_below: Vec<_> = tree
+                .nodes_with_label_name("Y")
+                .iter()
+                .filter(|&y| tree.depth(y) == tree.depth(v) + 3 && tree.is_descendant(v, y))
+                .collect();
+            assert_eq!(
+                y_nodes_below.len(),
+                1,
+                "exactly one Y node exactly three steps below the X node {steps_above} levels above the fork"
+            );
+        }
+    }
+
+    #[test]
+    fn produced_queries_use_only_the_target_signature() {
+        let instance = OneInThreeInstance::new(4, vec![[0, 1, 2], [1, 2, 3]]);
+        for variant in [Thm51Variant::Tau4ChildPlus, Thm51Variant::Tau5ChildStar] {
+            let query = thm51_query(&instance, variant);
+            assert!(query.signature().is_subset_of(&variant.signature()));
+            assert!(query.is_boolean());
+            // The signature is NP-hard according to the Table I analysis.
+            match SignatureAnalysis::analyse(&variant.signature()) {
+                Tractability::NpHard { theorem, .. } => assert_eq!(theorem, "Theorem 5.1"),
+                other => panic!("τ4/τ5 should be NP-hard, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_clause_instance_is_reduced_correctly() {
+        let instance = OneInThreeInstance::single_clause();
+        for variant in [Thm51Variant::Tau4ChildPlus, Thm51Variant::Tau5ChildStar] {
+            let reduction = Thm51Reduction::new(instance.clone(), variant);
+            assert!(reduction.query_holds());
+            assert!(reduction.verify());
+        }
+    }
+
+    #[test]
+    fn shared_literal_instances_are_reduced_correctly() {
+        // Two clauses sharing two literals: (a b c) and (a b d).
+        // Solutions: c and d true (a, b false)? No — then clause 1 has only c
+        // true (1) and clause 2 only d true (1): satisfiable. Also a true,
+        // others false satisfies both. The reduction must agree.
+        let instance = OneInThreeInstance::new(4, vec![[0, 1, 2], [0, 1, 3]]);
+        assert!(instance.is_satisfiable());
+        let reduction = Thm51Reduction::new(instance, Thm51Variant::Tau4ChildPlus);
+        assert!(reduction.verify());
+    }
+
+    #[test]
+    fn unsatisfiable_instance_is_reduced_correctly() {
+        let instance = OneInThreeInstance::unsatisfiable_k4();
+        assert!(!instance.is_satisfiable());
+        let reduction = Thm51Reduction::new(instance, Thm51Variant::Tau4ChildPlus);
+        assert!(
+            !reduction.query_holds(),
+            "query must be unsatisfiable on the Figure 4 tree for an unsatisfiable instance"
+        );
+        assert!(reduction.verify());
+    }
+
+    #[test]
+    fn random_instances_round_trip_through_the_reduction() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for trial in 0..10 {
+            let instance = if trial % 2 == 0 {
+                OneInThreeInstance::random(&mut rng, 5, 3)
+            } else {
+                OneInThreeInstance::random_satisfiable(&mut rng, 6, 3)
+            };
+            let variant = if trial % 3 == 0 {
+                Thm51Variant::Tau5ChildStar
+            } else {
+                Thm51Variant::Tau4ChildPlus
+            };
+            let reduction = Thm51Reduction::new(instance.clone(), variant);
+            assert!(
+                reduction.verify(),
+                "reduction disagrees with SAT on {instance} ({variant:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn query_size_is_polynomial_in_the_instance() {
+        // |Q| = 5 atoms per clause (X, Y, Child³) plus 2 + (8 + k − l) + 1
+        // atoms per literal coincidence; here we just check the growth is
+        // quadratic at worst.
+        let small = thm51_query(&OneInThreeInstance::single_clause(), Thm51Variant::Tau4ChildPlus);
+        let big_instance = OneInThreeInstance::new(
+            6,
+            vec![[0, 1, 2], [1, 2, 3], [2, 3, 4], [3, 4, 5]],
+        );
+        let big = thm51_query(&big_instance, Thm51Variant::Tau4ChildPlus);
+        assert!(small.size() < big.size());
+        assert!(big.size() < 4 * 4 * 3 * 3 * 14);
+    }
+}

@@ -1,0 +1,185 @@
+//! Positive queries: finite unions of conjunctive queries.
+//!
+//! Section 6 of the paper studies *acyclic positive queries* (APQs): unions
+//! of acyclic conjunctive queries. `PQ[F]` denotes the positive queries over
+//! axis set `F`, `APQ[F]` the acyclic ones. The central expressiveness result
+//! (Theorem 6.6 / Corollary 6.11) is that every conjunctive query over trees
+//! is equivalent to an APQ — with an unavoidable exponential blow-up
+//! (Theorem 7.1). The size of a positive query is the sum of the sizes of its
+//! constituent conjunctive queries (Section 7).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cq::ConjunctiveQuery;
+use crate::signature::Signature;
+
+/// A positive query: a finite union (disjunction) of conjunctive queries,
+/// all of the same arity.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct PositiveQuery {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl PositiveQuery {
+    /// The empty union — the unsatisfiable positive query.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A positive query with a single disjunct.
+    pub fn singleton(query: ConjunctiveQuery) -> Self {
+        PositiveQuery {
+            disjuncts: vec![query],
+        }
+    }
+
+    /// Builds a positive query from disjuncts.
+    ///
+    /// # Panics
+    /// Panics if the disjuncts do not all have the same head arity.
+    pub fn from_disjuncts(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        if let Some(first) = disjuncts.first() {
+            let arity = first.head_arity();
+            assert!(
+                disjuncts.iter().all(|q| q.head_arity() == arity),
+                "all disjuncts of a positive query must have the same arity"
+            );
+        }
+        PositiveQuery { disjuncts }
+    }
+
+    /// Adds a disjunct.
+    ///
+    /// # Panics
+    /// Panics if its arity differs from the existing disjuncts'.
+    pub fn push(&mut self, query: ConjunctiveQuery) {
+        if let Some(first) = self.disjuncts.first() {
+            assert_eq!(
+                first.head_arity(),
+                query.head_arity(),
+                "all disjuncts of a positive query must have the same arity"
+            );
+        }
+        self.disjuncts.push(query);
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Whether the union is empty (the unsatisfiable query).
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// The arity of the query (0 if there are no disjuncts).
+    pub fn head_arity(&self) -> usize {
+        self.disjuncts.first().map_or(0, ConjunctiveQuery::head_arity)
+    }
+
+    /// The paper's size measure for positive queries: the sum of the sizes of
+    /// the constituent conjunctive queries (Section 7).
+    pub fn size(&self) -> usize {
+        self.disjuncts.iter().map(ConjunctiveQuery::size).sum()
+    }
+
+    /// Whether every disjunct is acyclic, i.e. whether this is an APQ.
+    pub fn is_acyclic(&self) -> bool {
+        self.disjuncts.iter().all(ConjunctiveQuery::is_acyclic)
+    }
+
+    /// The union of the signatures of all disjuncts.
+    pub fn signature(&self) -> Signature {
+        self.disjuncts
+            .iter()
+            .map(ConjunctiveQuery::signature)
+            .fold(Signature::new(), |acc, s| acc.union(&s))
+    }
+
+    /// Iterates over the disjuncts.
+    pub fn iter(&self) -> impl Iterator<Item = &ConjunctiveQuery> {
+        self.disjuncts.iter()
+    }
+}
+
+impl From<ConjunctiveQuery> for PositiveQuery {
+    fn from(query: ConjunctiveQuery) -> Self {
+        Self::singleton(query)
+    }
+}
+
+impl FromIterator<ConjunctiveQuery> for PositiveQuery {
+    fn from_iter<T: IntoIterator<Item = ConjunctiveQuery>>(iter: T) -> Self {
+        Self::from_disjuncts(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for PositiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disjuncts.is_empty() {
+            return write!(f, "Q() :- false.");
+        }
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{figure1_query, intro_xpath_query};
+
+    #[test]
+    fn sizes_and_acyclicity() {
+        let apq = PositiveQuery::from_disjuncts(vec![intro_xpath_query(), intro_xpath_query()]);
+        assert_eq!(apq.len(), 2);
+        assert_eq!(apq.size(), 10);
+        assert!(apq.is_acyclic());
+        assert_eq!(apq.head_arity(), 1);
+
+        let cyclic = PositiveQuery::from_disjuncts(vec![intro_xpath_query(), figure1_query()]);
+        assert!(!cyclic.is_acyclic());
+        assert_eq!(cyclic.signature().len(), 3);
+    }
+
+    #[test]
+    fn empty_positive_query() {
+        let pq = PositiveQuery::empty();
+        assert!(pq.is_empty());
+        assert_eq!(pq.size(), 0);
+        assert!(pq.is_acyclic());
+        assert_eq!(pq.to_string(), "Q() :- false.");
+    }
+
+    #[test]
+    #[should_panic(expected = "same arity")]
+    fn mixed_arity_disjuncts_panic() {
+        let mut pq = PositiveQuery::singleton(intro_xpath_query()); // arity 1
+        pq.push(ConjunctiveQuery::new()); // arity 0
+    }
+
+    #[test]
+    fn conversions() {
+        let pq: PositiveQuery = intro_xpath_query().into();
+        assert_eq!(pq.len(), 1);
+        let pq: PositiveQuery = vec![intro_xpath_query(), intro_xpath_query()]
+            .into_iter()
+            .collect();
+        assert_eq!(pq.len(), 2);
+        assert_eq!(pq.iter().count(), 2);
+        assert!(pq.to_string().contains('\n'));
+    }
+}

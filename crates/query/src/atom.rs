@@ -1,0 +1,137 @@
+//! Query variables and atoms.
+//!
+//! Following the paper's conventions, variables are written in lower case and
+//! labels / relation names in upper case. A conjunctive query consists of
+//! *unary* atoms `L(x)` (the variable `x` must carry label `L`) and *binary*
+//! atoms `R(x, y)` (`R` an axis relation holding between the images of `x`
+//! and `y`).
+
+use std::fmt;
+
+use cqt_trees::Axis;
+use serde::{Deserialize, Serialize};
+
+/// A query variable, identified by a dense index within its
+/// [`ConjunctiveQuery`](crate::ConjunctiveQuery).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from a raw index. Only meaningful relative to the
+    /// query that allocated it.
+    pub fn from_index(index: usize) -> Self {
+        Var(u32::try_from(index).expect("variable index exceeds u32::MAX"))
+    }
+
+    /// The raw index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A unary atom `L(x)`: the node assigned to `x` must carry label `L`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct LabelAtom {
+    /// The constrained variable.
+    pub var: Var,
+    /// The required label name.
+    pub label: String,
+}
+
+/// A binary atom `R(from, to)`: the axis `R` must hold between the nodes
+/// assigned to `from` and `to`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct AxisAtom {
+    /// The axis relation.
+    pub axis: Axis,
+    /// The first argument of the atom.
+    pub from: Var,
+    /// The second argument of the atom.
+    pub to: Var,
+}
+
+impl AxisAtom {
+    /// Whether the atom is a self-loop (`from == to`).
+    pub fn is_loop(self) -> bool {
+        self.from == self.to
+    }
+
+    /// The atom with its arguments swapped and the axis inverted; denotes the
+    /// same constraint.
+    pub fn flipped(self) -> AxisAtom {
+        AxisAtom {
+            axis: self.axis.inverse(),
+            from: self.to,
+            to: self.from,
+        }
+    }
+
+    /// The other endpoint, given one endpoint of the atom.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of the atom.
+    pub fn other(self, v: Var) -> Var {
+        if v == self.from {
+            self.to
+        } else if v == self.to {
+            self.from
+        } else {
+            panic!("variable {v:?} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Whether `v` occurs in the atom.
+    pub fn mentions(self, v: Var) -> bool {
+        self.from == v || self.to == v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_round_trip() {
+        let v = Var::from_index(3);
+        assert_eq!(v.index(), 3);
+        assert_eq!(format!("{v:?}"), "?3");
+    }
+
+    #[test]
+    fn axis_atom_helpers() {
+        let x = Var::from_index(0);
+        let y = Var::from_index(1);
+        let z = Var::from_index(2);
+        let atom = AxisAtom {
+            axis: Axis::Child,
+            from: x,
+            to: y,
+        };
+        assert!(!atom.is_loop());
+        assert!(AxisAtom { axis: Axis::ChildStar, from: x, to: x }.is_loop());
+        assert_eq!(atom.flipped().axis, Axis::Parent);
+        assert_eq!(atom.flipped().from, y);
+        assert_eq!(atom.flipped().flipped(), atom);
+        assert_eq!(atom.other(x), y);
+        assert_eq!(atom.other(y), x);
+        assert!(atom.mentions(x));
+        assert!(!atom.mentions(z));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_non_endpoint() {
+        let atom = AxisAtom {
+            axis: Axis::Child,
+            from: Var::from_index(0),
+            to: Var::from_index(1),
+        };
+        atom.other(Var::from_index(2));
+    }
+}

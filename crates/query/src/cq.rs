@@ -1,0 +1,609 @@
+//! The conjunctive query representation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cqt_trees::Axis;
+use serde::{Deserialize, Serialize};
+
+use crate::atom::{AxisAtom, LabelAtom, Var};
+use crate::graph::QueryGraph;
+use crate::signature::Signature;
+
+/// A k-ary conjunctive query over unary label relations and binary axis
+/// relations (Section 2 of the paper).
+///
+/// Queries are mutable builders as well as values: the hardness gadgets of
+/// Section 5 and the rewrite system of Section 6 construct and edit queries
+/// programmatically. The paper's size measure `|Q|` (number of atoms in the
+/// body, as used in Section 7) is [`ConjunctiveQuery::size`].
+///
+/// ```
+/// use cqt_query::ConjunctiveQuery;
+/// use cqt_trees::Axis;
+///
+/// // Q(z) :- A(x), Child(x, y), B(y), Following(x, z), C(z).
+/// let mut q = ConjunctiveQuery::new();
+/// let x = q.var("x");
+/// let y = q.var("y");
+/// let z = q.var("z");
+/// q.set_head(vec![z]);
+/// q.add_label(x, "A");
+/// q.add_axis(Axis::Child, x, y);
+/// q.add_label(y, "B");
+/// q.add_axis(Axis::Following, x, z);
+/// q.add_label(z, "C");
+/// assert_eq!(q.size(), 5);
+/// assert_eq!(q.head_arity(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    /// Variable names, indexed by [`Var`] index. Names are unique.
+    var_names: Vec<String>,
+    /// The free (head) variables, in output order. Empty for Boolean queries.
+    head: Vec<Var>,
+    /// Unary atoms.
+    label_atoms: Vec<LabelAtom>,
+    /// Binary atoms.
+    axis_atoms: Vec<AxisAtom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates an empty Boolean query (no head variables, no atoms).
+    pub fn new() -> Self {
+        ConjunctiveQuery {
+            var_names: Vec::new(),
+            head: Vec::new(),
+            label_atoms: Vec::new(),
+            axis_atoms: Vec::new(),
+        }
+    }
+
+    // ---- variables ------------------------------------------------------
+
+    /// Returns the variable named `name`, creating it if necessary.
+    pub fn var(&mut self, name: &str) -> Var {
+        if let Some(v) = self.find_var(name) {
+            return v;
+        }
+        let v = Var::from_index(self.var_names.len());
+        self.var_names.push(name.to_owned());
+        v
+    }
+
+    /// Returns the variable named `name`, if it exists.
+    pub fn find_var(&self, name: &str) -> Option<Var> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(Var::from_index)
+    }
+
+    /// Creates a fresh variable whose name starts with `prefix` and collides
+    /// with no existing variable name.
+    pub fn fresh_var(&mut self, prefix: &str) -> Var {
+        let mut i = self.var_names.len();
+        loop {
+            let candidate = format!("{prefix}_{i}");
+            if self.find_var(&candidate).is_none() {
+                return self.var(&candidate);
+            }
+            i += 1;
+        }
+    }
+
+    /// The name of `v`.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Number of variables ever created in this query (including ones no
+    /// longer used by any atom after substitutions).
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Iterates over all variables ever created.
+    pub fn all_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.var_names.len()).map(Var::from_index)
+    }
+
+    /// The set of variables that occur in the head or in at least one atom.
+    pub fn used_vars(&self) -> BTreeSet<Var> {
+        let mut used: BTreeSet<Var> = self.head.iter().copied().collect();
+        for atom in &self.label_atoms {
+            used.insert(atom.var);
+        }
+        for atom in &self.axis_atoms {
+            used.insert(atom.from);
+            used.insert(atom.to);
+        }
+        used
+    }
+
+    // ---- head -----------------------------------------------------------
+
+    /// Sets the head (free) variables.
+    pub fn set_head(&mut self, head: Vec<Var>) {
+        self.head = head;
+    }
+
+    /// The head variables in output order.
+    pub fn head(&self) -> &[Var] {
+        &self.head
+    }
+
+    /// Arity of the query (0 for Boolean queries).
+    pub fn head_arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Whether the query is Boolean (0-ary).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Whether the query is monadic (unary).
+    pub fn is_monadic(&self) -> bool {
+        self.head.len() == 1
+    }
+
+    // ---- atoms ----------------------------------------------------------
+
+    /// Adds the unary atom `label(v)`. Duplicate atoms are ignored.
+    pub fn add_label(&mut self, v: Var, label: &str) {
+        let atom = LabelAtom {
+            var: v,
+            label: label.to_owned(),
+        };
+        if !self.label_atoms.contains(&atom) {
+            self.label_atoms.push(atom);
+        }
+    }
+
+    /// Adds the binary atom `axis(from, to)`. Duplicate atoms are ignored.
+    pub fn add_axis(&mut self, axis: Axis, from: Var, to: Var) {
+        let atom = AxisAtom { axis, from, to };
+        if !self.axis_atoms.contains(&atom) {
+            self.axis_atoms.push(atom);
+        }
+    }
+
+    /// Adds a chain `axis^k(from, to)` of `k ≥ 1` axis atoms connected by
+    /// `k − 1` fresh variables — the `χ^k(x, y)` shortcut used in the
+    /// NP-hardness reductions of Section 5.
+    pub fn add_axis_chain(&mut self, axis: Axis, from: Var, to: Var, k: usize) {
+        assert!(k >= 1, "a chain must have at least one atom");
+        let mut current = from;
+        for i in 0..k {
+            let next = if i + 1 == k { to } else { self.fresh_var("c") };
+            self.add_axis(axis, current, next);
+            current = next;
+        }
+    }
+
+    /// The unary atoms.
+    pub fn label_atoms(&self) -> &[LabelAtom] {
+        &self.label_atoms
+    }
+
+    /// The binary atoms.
+    pub fn axis_atoms(&self) -> &[AxisAtom] {
+        &self.axis_atoms
+    }
+
+    /// The labels required of `v` by the unary atoms.
+    pub fn labels_of(&self, v: Var) -> Vec<&str> {
+        self.label_atoms
+            .iter()
+            .filter(|a| a.var == v)
+            .map(|a| a.label.as_str())
+            .collect()
+    }
+
+    /// The binary atoms mentioning `v`.
+    pub fn axis_atoms_mentioning(&self, v: Var) -> Vec<AxisAtom> {
+        self.axis_atoms
+            .iter()
+            .copied()
+            .filter(|a| a.mentions(v))
+            .collect()
+    }
+
+    /// The paper's query size `|Q|`: the number of atoms in the body.
+    pub fn size(&self) -> usize {
+        self.label_atoms.len() + self.axis_atoms.len()
+    }
+
+    /// Number of binary atoms.
+    pub fn axis_atom_count(&self) -> usize {
+        self.axis_atoms.len()
+    }
+
+    /// Number of unary atoms.
+    pub fn label_atom_count(&self) -> usize {
+        self.label_atoms.len()
+    }
+
+    /// The set of axes used by the query (its *signature*), the object over
+    /// which the dichotomy of Theorem 1.1 is stated.
+    pub fn signature(&self) -> Signature {
+        Signature::from_axes(self.axis_atoms.iter().map(|a| a.axis))
+    }
+
+    /// The set of distinct label names used by the query.
+    pub fn label_alphabet(&self) -> BTreeSet<&str> {
+        self.label_atoms.iter().map(|a| a.label.as_str()).collect()
+    }
+
+    /// Whether every head variable occurs in the body (rule safety).
+    pub fn is_safe(&self) -> bool {
+        self.head.iter().all(|&v| {
+            self.label_atoms.iter().any(|a| a.var == v)
+                || self.axis_atoms.iter().any(|a| a.mentions(v))
+        })
+    }
+
+    // ---- editing (used by the rewrite system of Section 6) ---------------
+
+    /// Replaces every occurrence of `from` (in the head and in all atoms) by
+    /// `to`, deduplicating atoms afterwards. The variable `from` remains
+    /// allocated but unused.
+    pub fn substitute(&mut self, from: Var, to: Var) {
+        if from == to {
+            return;
+        }
+        for v in &mut self.head {
+            if *v == from {
+                *v = to;
+            }
+        }
+        for atom in &mut self.label_atoms {
+            if atom.var == from {
+                atom.var = to;
+            }
+        }
+        for atom in &mut self.axis_atoms {
+            if atom.from == from {
+                atom.from = to;
+            }
+            if atom.to == from {
+                atom.to = to;
+            }
+        }
+        self.dedup_atoms();
+    }
+
+    /// Removes exact duplicate atoms (keeping first occurrences).
+    pub fn dedup_atoms(&mut self) {
+        let mut seen_labels = Vec::new();
+        self.label_atoms.retain(|a| {
+            if seen_labels.contains(a) {
+                false
+            } else {
+                seen_labels.push(a.clone());
+                true
+            }
+        });
+        let mut seen_axes = Vec::new();
+        self.axis_atoms.retain(|a| {
+            if seen_axes.contains(a) {
+                false
+            } else {
+                seen_axes.push(*a);
+                true
+            }
+        });
+    }
+
+    /// Removes the binary atoms for which `predicate` returns `false`.
+    pub fn retain_axis_atoms(&mut self, predicate: impl FnMut(&AxisAtom) -> bool) {
+        self.axis_atoms.retain(predicate);
+    }
+
+    /// Removes one binary atom by value. Returns `true` if it was present.
+    pub fn remove_axis_atom(&mut self, atom: AxisAtom) -> bool {
+        if let Some(pos) = self.axis_atoms.iter().position(|a| *a == atom) {
+            self.axis_atoms.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replaces the binary atom `old` with `new` (if `old` is present).
+    pub fn replace_axis_atom(&mut self, old: AxisAtom, new: AxisAtom) -> bool {
+        if let Some(pos) = self.axis_atoms.iter().position(|a| *a == old) {
+            self.axis_atoms[pos] = new;
+            self.dedup_atoms();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The query graph of the query (Section 2, Figure 1).
+    pub fn graph(&self) -> QueryGraph {
+        QueryGraph::new(self)
+    }
+
+    /// Whether the query is acyclic in the paper's sense: its query graph's
+    /// undirected shadow is a forest (no undirected cycles, no parallel edges
+    /// between the same pair of variables, no self-loops).
+    pub fn is_acyclic(&self) -> bool {
+        self.graph().is_forest()
+    }
+
+    /// Renders the query in datalog rule notation, e.g.
+    /// `Q(z) :- A(x), Child(x, y), C(z).`
+    pub fn to_datalog(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl Default for ConjunctiveQuery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q(")?;
+        for (i, &v) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.var_name(v))?;
+        }
+        write!(f, ") :- ")?;
+        let mut first = true;
+        for atom in &self.label_atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}({})", atom.label, self.var_name(atom.var))?;
+        }
+        for atom in &self.axis_atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(
+                f,
+                "{}({}, {})",
+                atom.axis.paper_name(),
+                self.var_name(atom.from),
+                self.var_name(atom.to)
+            )?;
+        }
+        if first {
+            write!(f, "true")?;
+        }
+        write!(f, ".")
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Builds the query of the paper's Figure 1 / introduction:
+///
+/// `Q(z) :- S(x), Descendant(x, y), NP(y), Descendant(x, z), PP(z), Following(y, z).`
+///
+/// (the Treebank query asking for prepositional phrases following noun
+/// phrases in the same sentence). Provided here because several crates and
+/// examples use it as a shared fixture.
+pub fn figure1_query() -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let x = q.var("x");
+    let y = q.var("y");
+    let z = q.var("z");
+    q.set_head(vec![z]);
+    q.add_label(x, "S");
+    q.add_axis(Axis::ChildPlus, x, y);
+    q.add_label(y, "NP");
+    q.add_axis(Axis::ChildPlus, x, z);
+    q.add_label(z, "PP");
+    q.add_axis(Axis::Following, y, z);
+    q
+}
+
+/// Builds the XPath-motivated query of the introduction,
+/// `//A[B]/following::C`, as the (acyclic) conjunctive query
+///
+/// `Q(z) :- A(x), Child(x, y), B(y), Following(x, z), C(z).`
+pub fn intro_xpath_query() -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let x = q.var("x");
+    let y = q.var("y");
+    let z = q.var("z");
+    q.set_head(vec![z]);
+    q.add_label(x, "A");
+    q.add_axis(Axis::Child, x, y);
+    q.add_label(y, "B");
+    q.add_axis(Axis::Following, x, z);
+    q.add_label(z, "C");
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_are_unique_by_name() {
+        let mut q = ConjunctiveQuery::new();
+        let x1 = q.var("x");
+        let x2 = q.var("x");
+        let y = q.var("y");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+        assert_eq!(q.var_count(), 2);
+        assert_eq!(q.var_name(x1), "x");
+        assert_eq!(q.find_var("y"), Some(y));
+        assert_eq!(q.find_var("z"), None);
+    }
+
+    #[test]
+    fn fresh_vars_do_not_collide() {
+        let mut q = ConjunctiveQuery::new();
+        q.var("c_1");
+        let f1 = q.fresh_var("c");
+        let f2 = q.fresh_var("c");
+        assert_ne!(f1, f2);
+        assert_ne!(q.var_name(f1), "c_1");
+        assert_eq!(q.var_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_atoms_are_ignored() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.add_label(x, "A");
+        q.add_label(x, "A");
+        q.add_axis(Axis::Child, x, y);
+        q.add_axis(Axis::Child, x, y);
+        assert_eq!(q.size(), 2);
+    }
+
+    #[test]
+    fn chains_expand_to_k_atoms() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.add_axis_chain(Axis::Child, x, y, 3);
+        assert_eq!(q.axis_atom_count(), 3);
+        assert_eq!(q.var_count(), 4);
+        // The chain is connected from x to y.
+        let graph = q.graph();
+        assert!(graph.is_forest());
+        // k = 1 adds a direct edge.
+        let mut q1 = ConjunctiveQuery::new();
+        let a = q1.var("a");
+        let b = q1.var("b");
+        q1.add_axis_chain(Axis::Following, a, b, 1);
+        assert_eq!(q1.axis_atom_count(), 1);
+        assert_eq!(q1.axis_atoms()[0].from, a);
+        assert_eq!(q1.axis_atoms()[0].to, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one atom")]
+    fn zero_length_chain_panics() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.add_axis_chain(Axis::Child, x, y, 0);
+    }
+
+    #[test]
+    fn figure1_query_matches_paper() {
+        let q = figure1_query();
+        assert_eq!(q.size(), 6);
+        assert_eq!(q.head_arity(), 1);
+        assert!(q.is_safe());
+        assert!(!q.is_acyclic(), "the Figure 1 query is cyclic (x–y–z triangle)");
+        let sig = q.signature();
+        assert!(sig.contains(Axis::ChildPlus));
+        assert!(sig.contains(Axis::Following));
+        assert_eq!(sig.len(), 2);
+        assert_eq!(
+            q.to_datalog(),
+            "Q(z) :- S(x), NP(y), PP(z), Child+(x, y), Child+(x, z), Following(y, z)."
+        );
+    }
+
+    #[test]
+    fn intro_xpath_query_is_acyclic() {
+        let q = intro_xpath_query();
+        assert_eq!(q.size(), 5);
+        assert!(q.is_acyclic());
+        assert!(q.is_monadic());
+    }
+
+    #[test]
+    fn substitution_merges_variables_and_dedups() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        let z = q.var("z");
+        q.set_head(vec![y]);
+        q.add_label(x, "A");
+        q.add_label(y, "A");
+        q.add_axis(Axis::ChildStar, x, z);
+        q.add_axis(Axis::ChildStar, y, z);
+        q.substitute(y, x);
+        // Head now refers to x; the two label atoms and the two axis atoms
+        // collapse to one each.
+        assert_eq!(q.head(), &[x]);
+        assert_eq!(q.label_atom_count(), 1);
+        assert_eq!(q.axis_atom_count(), 1);
+        assert!(q.used_vars().contains(&x));
+        assert!(!q.used_vars().contains(&y));
+        // Substituting a variable by itself is a no-op.
+        let before = q.clone();
+        q.substitute(x, x);
+        assert_eq!(q, before);
+    }
+
+    #[test]
+    fn labels_of_and_atoms_mentioning() {
+        let q = figure1_query();
+        let x = q.find_var("x").unwrap();
+        let y = q.find_var("y").unwrap();
+        assert_eq!(q.labels_of(x), vec!["S"]);
+        assert_eq!(q.labels_of(y), vec!["NP"]);
+        assert_eq!(q.axis_atoms_mentioning(x).len(), 2);
+        assert_eq!(q.axis_atoms_mentioning(y).len(), 2);
+        assert_eq!(
+            q.label_alphabet().into_iter().collect::<Vec<_>>(),
+            vec!["NP", "PP", "S"]
+        );
+    }
+
+    #[test]
+    fn remove_and_replace_atoms() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.add_axis(Axis::Child, x, y);
+        let atom = q.axis_atoms()[0];
+        assert!(q.replace_axis_atom(
+            atom,
+            AxisAtom {
+                axis: Axis::ChildPlus,
+                from: x,
+                to: y
+            }
+        ));
+        assert_eq!(q.axis_atoms()[0].axis, Axis::ChildPlus);
+        assert!(q.remove_axis_atom(q.axis_atoms()[0]));
+        assert_eq!(q.axis_atom_count(), 0);
+        assert!(!q.remove_axis_atom(atom));
+        assert!(!q.replace_axis_atom(atom, atom));
+    }
+
+    #[test]
+    fn boolean_query_with_no_atoms_displays_true() {
+        let q = ConjunctiveQuery::new();
+        assert_eq!(q.to_datalog(), "Q() :- true.");
+        assert!(q.is_boolean());
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn unsafe_query_detected() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.set_head(vec![y]);
+        q.add_label(x, "A");
+        assert!(!q.is_safe());
+    }
+}

@@ -1,0 +1,188 @@
+//! Random query generators for property tests and benchmarks.
+//!
+//! Two shapes are provided:
+//!
+//! * [`random_acyclic_query`] — tree-shaped (acyclic) queries, built by
+//!   attaching each new variable to a previously created one;
+//! * [`random_query`] — possibly cyclic queries, built from an acyclic
+//!   skeleton plus a configurable number of extra random atoms (each extra
+//!   atom may close an undirected cycle, as in the queries of Sections 6–7).
+
+use cqt_trees::Axis;
+use rand::Rng;
+
+use crate::atom::Var;
+use crate::cq::ConjunctiveQuery;
+
+/// Configuration for the random query generators.
+#[derive(Clone, Debug)]
+pub struct RandomQueryConfig {
+    /// Number of variables.
+    pub vars: usize,
+    /// Axes to draw binary atoms from.
+    pub axes: Vec<Axis>,
+    /// Labels to draw unary atoms from.
+    pub labels: Vec<String>,
+    /// Probability that a variable receives a label atom.
+    pub label_probability: f64,
+    /// Number of extra binary atoms beyond the acyclic skeleton
+    /// (only used by [`random_query`]; each one may close a cycle).
+    pub extra_atoms: usize,
+    /// Number of head variables (chosen among the first variables).
+    pub head_arity: usize,
+}
+
+impl Default for RandomQueryConfig {
+    fn default() -> Self {
+        RandomQueryConfig {
+            vars: 5,
+            axes: vec![Axis::Child, Axis::ChildPlus, Axis::Following],
+            labels: ["A", "B", "C"].iter().map(|s| s.to_string()).collect(),
+            label_probability: 0.7,
+            extra_atoms: 2,
+            head_arity: 0,
+        }
+    }
+}
+
+fn pick<'a, T, R: Rng>(rng: &mut R, slice: &'a [T]) -> &'a T {
+    &slice[rng.gen_range(0..slice.len())]
+}
+
+/// Generates a random **acyclic** conjunctive query: its query graph's shadow
+/// is a tree over the variables (every new variable attaches to exactly one
+/// earlier variable).
+///
+/// # Panics
+/// Panics if `config.vars == 0`, the axis list is empty, or the label list is
+/// empty while `label_probability > 0`.
+pub fn random_acyclic_query<R: Rng>(rng: &mut R, config: &RandomQueryConfig) -> ConjunctiveQuery {
+    assert!(config.vars > 0, "queries need at least one variable");
+    assert!(!config.axes.is_empty(), "axis list must not be empty");
+    if config.label_probability > 0.0 {
+        assert!(!config.labels.is_empty(), "label list must not be empty");
+    }
+    let mut query = ConjunctiveQuery::new();
+    let vars: Vec<Var> = (0..config.vars)
+        .map(|i| query.var(&format!("v{i}")))
+        .collect();
+    for (i, &v) in vars.iter().enumerate() {
+        if rng.gen_bool(config.label_probability) {
+            let label = pick(rng, &config.labels).clone();
+            query.add_label(v, &label);
+        }
+        if i == 0 {
+            continue;
+        }
+        let anchor = vars[rng.gen_range(0..i)];
+        let axis = *pick(rng, &config.axes);
+        // Orient the edge randomly; both orientations keep the shadow a tree.
+        if rng.gen_bool(0.5) {
+            query.add_axis(axis, anchor, v);
+        } else {
+            query.add_axis(axis, v, anchor);
+        }
+    }
+    let head: Vec<Var> = vars.iter().copied().take(config.head_arity).collect();
+    query.set_head(head);
+    query
+}
+
+/// Generates a random conjunctive query that may be cyclic: an acyclic
+/// skeleton (as in [`random_acyclic_query`]) plus `config.extra_atoms`
+/// additional random binary atoms between distinct existing variables.
+pub fn random_query<R: Rng>(rng: &mut R, config: &RandomQueryConfig) -> ConjunctiveQuery {
+    let mut query = random_acyclic_query(rng, config);
+    if config.vars < 2 {
+        return query;
+    }
+    let vars: Vec<Var> = query.all_vars().collect();
+    for _ in 0..config.extra_atoms {
+        let a = *pick(rng, &vars);
+        let b = *pick(rng, &vars);
+        if a == b {
+            continue;
+        }
+        let axis = *pick(rng, &config.axes);
+        query.add_axis(axis, a, b);
+    }
+    query
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn acyclic_generator_produces_acyclic_queries() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for vars in [1usize, 2, 5, 12] {
+            let config = RandomQueryConfig {
+                vars,
+                ..RandomQueryConfig::default()
+            };
+            for _ in 0..20 {
+                let q = random_acyclic_query(&mut rng, &config);
+                assert!(q.is_acyclic(), "generated query is not acyclic: {q}");
+                assert_eq!(q.var_count(), vars);
+                assert_eq!(q.axis_atom_count(), vars - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_queries_respect_axis_and_label_pools() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let config = RandomQueryConfig {
+            vars: 8,
+            axes: vec![Axis::Following],
+            labels: vec!["X".to_string()],
+            label_probability: 1.0,
+            extra_atoms: 3,
+            head_arity: 1,
+        };
+        let q = random_query(&mut rng, &config);
+        assert!(q.signature().iter().all(|a| a == Axis::Following));
+        assert!(q.label_alphabet().into_iter().all(|l| l == "X"));
+        assert_eq!(q.head_arity(), 1);
+        assert_eq!(q.label_atom_count(), 8);
+    }
+
+    #[test]
+    fn cyclic_generator_eventually_produces_cycles() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let config = RandomQueryConfig {
+            vars: 6,
+            extra_atoms: 6,
+            ..RandomQueryConfig::default()
+        };
+        let cyclic_seen = (0..50).any(|_| !random_query(&mut rng, &config).is_acyclic());
+        assert!(cyclic_seen, "expected at least one cyclic query in 50 draws");
+    }
+
+    #[test]
+    fn zero_label_probability_needs_no_labels() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let config = RandomQueryConfig {
+            vars: 4,
+            labels: Vec::new(),
+            label_probability: 0.0,
+            ..RandomQueryConfig::default()
+        };
+        let q = random_acyclic_query(&mut rng, &config);
+        assert_eq!(q.label_atom_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn zero_vars_panics() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let config = RandomQueryConfig {
+            vars: 0,
+            ..RandomQueryConfig::default()
+        };
+        random_acyclic_query(&mut rng, &config);
+    }
+}

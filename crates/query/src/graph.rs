@@ -1,0 +1,590 @@
+//! Query graphs and their cycle structure.
+//!
+//! The *query graph* of a conjunctive query (Section 2, Figure 1) is the
+//! directed multigraph whose nodes are the query's variables, whose node
+//! labels are the unary atoms, and which has a labeled directed edge
+//! `x --R--> y` for every binary atom `R(x, y)`.
+//!
+//! Two kinds of cycles matter in the paper (Section 6):
+//!
+//! * **directed cycles** — handled by Lemma 6.4 (they force all their
+//!   variables onto a single node, or make the query unsatisfiable);
+//! * **undirected cycles** in the *shadow* (the underlying undirected
+//!   multigraph) — the standard notion of conjunctive-query cyclicity when
+//!   all relations are at most binary. A query is *acyclic* iff its shadow is
+//!   a forest.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::atom::{AxisAtom, Var};
+use crate::cq::ConjunctiveQuery;
+
+/// The query graph of a [`ConjunctiveQuery`].
+///
+/// The graph borrows nothing from the query: it copies the (small) atom list
+/// so that the rewrite system can analyse a graph while editing the query.
+#[derive(Clone, Debug)]
+pub struct QueryGraph {
+    var_count: usize,
+    edges: Vec<AxisAtom>,
+    /// Outgoing edge indices per variable.
+    out_edges: Vec<Vec<usize>>,
+    /// Incoming edge indices per variable.
+    in_edges: Vec<Vec<usize>>,
+}
+
+impl QueryGraph {
+    /// Builds the query graph of `query`.
+    pub fn new(query: &ConjunctiveQuery) -> Self {
+        let var_count = query.var_count();
+        let edges: Vec<AxisAtom> = query.axis_atoms().to_vec();
+        let mut out_edges = vec![Vec::new(); var_count];
+        let mut in_edges = vec![Vec::new(); var_count];
+        for (i, atom) in edges.iter().enumerate() {
+            out_edges[atom.from.index()].push(i);
+            in_edges[atom.to.index()].push(i);
+        }
+        QueryGraph {
+            var_count,
+            edges,
+            out_edges,
+            in_edges,
+        }
+    }
+
+    /// Number of variables (nodes), including variables not used by any atom.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// The edges (binary atoms) of the graph.
+    pub fn edges(&self) -> &[AxisAtom] {
+        &self.edges
+    }
+
+    /// Outgoing atoms of `v`.
+    pub fn outgoing(&self, v: Var) -> impl Iterator<Item = AxisAtom> + '_ {
+        self.out_edges[v.index()].iter().map(|&i| self.edges[i])
+    }
+
+    /// Incoming atoms of `v`.
+    pub fn incoming(&self, v: Var) -> impl Iterator<Item = AxisAtom> + '_ {
+        self.in_edges[v.index()].iter().map(|&i| self.edges[i])
+    }
+
+    /// Out-degree of `v` in the directed graph.
+    pub fn out_degree(&self, v: Var) -> usize {
+        self.out_edges[v.index()].len()
+    }
+
+    /// In-degree of `v` in the directed graph.
+    pub fn in_degree(&self, v: Var) -> usize {
+        self.in_edges[v.index()].len()
+    }
+
+    /// The variables that occur in at least one edge.
+    pub fn vars_with_edges(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        for atom in &self.edges {
+            out.insert(atom.from);
+            out.insert(atom.to);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Directed cycles (Lemma 6.4)
+    // ------------------------------------------------------------------
+
+    /// Finds a directed cycle, returned as the list of atoms along the cycle
+    /// (in order), or `None` if the graph is a DAG.
+    ///
+    /// A self-loop `R(x, x)` is a directed cycle of length one.
+    pub fn find_directed_cycle(&self) -> Option<Vec<AxisAtom>> {
+        // Iterative DFS with colors; records the edge used to reach each node
+        // on the current stack so the cycle's atoms can be reconstructed.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.var_count];
+        let mut reached_by: Vec<Option<usize>> = vec![None; self.var_count];
+
+        for start in 0..self.var_count {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Stack of (node, next outgoing edge position).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&mut (node, ref mut edge_pos)) = stack.last_mut() {
+                if *edge_pos < self.out_edges[node].len() {
+                    let edge_idx = self.out_edges[node][*edge_pos];
+                    *edge_pos += 1;
+                    let target = self.edges[edge_idx].to.index();
+                    match color[target] {
+                        Color::White => {
+                            color[target] = Color::Gray;
+                            reached_by[target] = Some(edge_idx);
+                            stack.push((target, 0));
+                        }
+                        Color::Gray => {
+                            // Found a cycle: walk back from `node` to `target`.
+                            let mut cycle = vec![self.edges[edge_idx]];
+                            let mut current = node;
+                            while current != target {
+                                let via = reached_by[current]
+                                    .expect("gray node other than the DFS root has an entry edge");
+                                cycle.push(self.edges[via]);
+                                current = self.edges[via].from.index();
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the directed graph contains a cycle.
+    pub fn has_directed_cycle(&self) -> bool {
+        self.find_directed_cycle().is_some()
+    }
+
+    /// A topological order of the variables (only variables, not atoms), or
+    /// `None` if the directed graph has a cycle. Variables without atoms are
+    /// included at arbitrary valid positions.
+    pub fn topological_order(&self) -> Option<Vec<Var>> {
+        let mut in_deg: Vec<usize> = (0..self.var_count).map(|v| self.in_edges[v].len()).collect();
+        let mut queue: VecDeque<usize> = (0..self.var_count).filter(|&v| in_deg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.var_count);
+        while let Some(v) = queue.pop_front() {
+            order.push(Var::from_index(v));
+            for &edge_idx in &self.out_edges[v] {
+                let target = self.edges[edge_idx].to.index();
+                in_deg[target] -= 1;
+                if in_deg[target] == 0 {
+                    queue.push_back(target);
+                }
+            }
+        }
+        if order.len() == self.var_count {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// The set of variables reachable from `v` by directed paths of length ≥ 1.
+    pub fn directed_reachable_from(&self, v: Var) -> BTreeSet<Var> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<usize> = self.out_edges[v.index()]
+            .iter()
+            .map(|&e| self.edges[e].to.index())
+            .collect();
+        while let Some(node) = stack.pop() {
+            if seen.insert(Var::from_index(node)) {
+                for &e in &self.out_edges[node] {
+                    stack.push(self.edges[e].to.index());
+                }
+            }
+        }
+        seen
+    }
+
+    // ------------------------------------------------------------------
+    // Undirected (shadow) structure
+    // ------------------------------------------------------------------
+
+    /// Connected components of the shadow, restricted to variables that occur
+    /// in at least one atom. Each component is sorted by variable index.
+    pub fn connected_components(&self) -> Vec<Vec<Var>> {
+        let mut seen = vec![false; self.var_count];
+        let mut components = Vec::new();
+        for start in self.vars_with_edges() {
+            if seen[start.index()] {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut stack = vec![start.index()];
+            seen[start.index()] = true;
+            while let Some(node) = stack.pop() {
+                component.push(Var::from_index(node));
+                for &e in self.out_edges[node].iter().chain(&self.in_edges[node]) {
+                    let atom = self.edges[e];
+                    for next in [atom.from.index(), atom.to.index()] {
+                        if !seen[next] {
+                            seen[next] = true;
+                            stack.push(next);
+                        }
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// Whether the shadow of the query graph is a forest, i.e. the query is
+    /// acyclic in the standard (hypergraph) sense restricted to binary
+    /// relations: no self-loops, no parallel edges between the same pair of
+    /// variables (in either orientation), and no longer undirected cycles.
+    pub fn is_forest(&self) -> bool {
+        // Union-find on variables; every edge must join two different
+        // components, otherwise it closes an undirected cycle.
+        let mut parent: Vec<usize> = (0..self.var_count).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for atom in &self.edges {
+            if atom.is_loop() {
+                return false;
+            }
+            let a = find(&mut parent, atom.from.index());
+            let b = find(&mut parent, atom.to.index());
+            if a == b {
+                return false;
+            }
+            parent[a] = b;
+        }
+        true
+    }
+
+    /// The set of variables lying on at least one undirected cycle of the
+    /// shadow multigraph (equivalently: variables incident to a non-bridge
+    /// edge, or carrying a self-loop).
+    pub fn undirected_cycle_vars(&self) -> BTreeSet<Var> {
+        let non_bridge = self.non_bridge_edges();
+        let mut out = BTreeSet::new();
+        for (i, atom) in self.edges.iter().enumerate() {
+            if atom.is_loop() || non_bridge.contains(&i) {
+                out.insert(atom.from);
+                out.insert(atom.to);
+            }
+        }
+        out
+    }
+
+    /// Indices (into [`QueryGraph::edges`]) of edges that are *not* bridges of
+    /// the shadow multigraph; every such edge lies on an undirected cycle.
+    /// Self-loops are excluded (they are cycles by themselves and reported via
+    /// [`QueryGraph::undirected_cycle_vars`]).
+    pub fn non_bridge_edges(&self) -> BTreeSet<usize> {
+        // Tarjan's bridge-finding on the multigraph: an edge (u, v) is a
+        // bridge iff low[v] > disc[u] when v is discovered via that edge, and
+        // there is no parallel edge between u and v.
+        let n = self.var_count;
+        // Adjacency: (neighbour, edge index).
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (i, atom) in self.edges.iter().enumerate() {
+            if atom.is_loop() {
+                continue;
+            }
+            adj[atom.from.index()].push((atom.to.index(), i));
+            adj[atom.to.index()].push((atom.from.index(), i));
+        }
+        let mut disc = vec![usize::MAX; n];
+        let mut low = vec![usize::MAX; n];
+        let mut timer = 0usize;
+        let mut bridges: BTreeSet<usize> = BTreeSet::new();
+
+        for start in 0..n {
+            if disc[start] != usize::MAX || adj[start].is_empty() {
+                continue;
+            }
+            // Iterative DFS: stack of (node, entry edge id, next adj position).
+            let mut stack: Vec<(usize, usize, usize)> = vec![(start, usize::MAX, 0)];
+            disc[start] = timer;
+            low[start] = timer;
+            timer += 1;
+            while let Some(&mut (node, entry_edge, ref mut pos)) = stack.last_mut() {
+                if *pos < adj[node].len() {
+                    let (next, edge_id) = adj[node][*pos];
+                    *pos += 1;
+                    if edge_id == entry_edge {
+                        // Do not go back over the tree edge itself (parallel
+                        // edges have different ids and are traversed).
+                        continue;
+                    }
+                    if disc[next] == usize::MAX {
+                        disc[next] = timer;
+                        low[next] = timer;
+                        timer += 1;
+                        stack.push((next, edge_id, 0));
+                    } else {
+                        low[node] = low[node].min(disc[next]);
+                    }
+                } else {
+                    stack.pop();
+                    if let Some(&(parent_node, _, _)) = stack.last() {
+                        low[parent_node] = low[parent_node].min(low[node]);
+                        if low[node] > disc[parent_node] {
+                            bridges.insert(entry_edge);
+                        }
+                    }
+                }
+            }
+        }
+        (0..self.edges.len())
+            .filter(|&i| !self.edges[i].is_loop() && !bridges.contains(&i))
+            .collect()
+    }
+
+    /// Picks a "bottom-most" cycle variable as required by Step (4) of the
+    /// rewrite algorithm (Lemma 6.5): a variable `z` that lies on an
+    /// undirected cycle such that no *other* cycle variable is reachable from
+    /// `z` by a directed path. Returns `None` when the shadow is a forest.
+    ///
+    /// Such a variable exists whenever the graph has undirected cycles but no
+    /// directed cycle (the precondition under which the rewrite algorithm
+    /// calls this).
+    pub fn bottommost_cycle_var(&self) -> Option<Var> {
+        let cycle_vars = self.undirected_cycle_vars();
+        if cycle_vars.is_empty() {
+            return None;
+        }
+        for &z in &cycle_vars {
+            let reachable = self.directed_reachable_from(z);
+            let reaches_other_cycle_var = reachable
+                .iter()
+                .any(|candidate| *candidate != z && cycle_vars.contains(candidate));
+            if !reaches_other_cycle_var {
+                return Some(z);
+            }
+        }
+        // With directed cycles present there may be no such variable; the
+        // rewrite algorithm eliminates directed cycles first.
+        None
+    }
+
+    /// For an acyclic query, returns a rooted orientation of the shadow
+    /// forest: for every connected component, a root variable and, for every
+    /// non-root variable, the atom connecting it to its parent. Returns
+    /// `None` if the shadow is not a forest.
+    ///
+    /// This is the *join forest* consumed by the Yannakakis-style evaluator.
+    pub fn join_forest(&self) -> Option<JoinForest> {
+        if !self.is_forest() {
+            return None;
+        }
+        let mut visited = vec![false; self.var_count];
+        let mut components = Vec::new();
+        for start in self.vars_with_edges() {
+            if visited[start.index()] {
+                continue;
+            }
+            let mut order = Vec::new();
+            let mut parent: BTreeMap<Var, (Var, AxisAtom)> = BTreeMap::new();
+            let mut queue = VecDeque::new();
+            visited[start.index()] = true;
+            queue.push_back(start);
+            while let Some(node) = queue.pop_front() {
+                order.push(node);
+                for atom in self.outgoing(node).chain(self.incoming(node)) {
+                    let next = atom.other(node);
+                    if !visited[next.index()] {
+                        visited[next.index()] = true;
+                        parent.insert(next, (node, atom));
+                        queue.push_back(next);
+                    }
+                }
+            }
+            components.push(JoinTree {
+                root: start,
+                bfs_order: order,
+                parent,
+            });
+        }
+        Some(JoinForest { components })
+    }
+}
+
+/// A rooted orientation of the shadow forest of an acyclic query.
+#[derive(Clone, Debug)]
+pub struct JoinForest {
+    /// One join tree per connected component (of variables that occur in
+    /// binary atoms; isolated variables are not part of any component).
+    pub components: Vec<JoinTree>,
+}
+
+/// One rooted tree of a [`JoinForest`].
+#[derive(Clone, Debug)]
+pub struct JoinTree {
+    /// The root variable of the component.
+    pub root: Var,
+    /// The component's variables in BFS order from the root (root first).
+    pub bfs_order: Vec<Var>,
+    /// For every non-root variable: its parent and the atom connecting it to
+    /// the parent (the atom may be oriented either way).
+    pub parent: BTreeMap<Var, (Var, AxisAtom)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cq::{figure1_query, ConjunctiveQuery};
+    use cqt_trees::Axis;
+
+    fn triangle() -> ConjunctiveQuery {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        let z = q.var("z");
+        q.add_axis(Axis::Child, x, y);
+        q.add_axis(Axis::Child, y, z);
+        q.add_axis(Axis::ChildPlus, x, z);
+        q
+    }
+
+    #[test]
+    fn figure1_graph_shape() {
+        let q = figure1_query();
+        let g = q.graph();
+        assert_eq!(g.var_count(), 3);
+        assert_eq!(g.edges().len(), 3);
+        let x = q.find_var("x").unwrap();
+        let y = q.find_var("y").unwrap();
+        let z = q.find_var("z").unwrap();
+        assert_eq!(g.out_degree(x), 2);
+        assert_eq!(g.in_degree(x), 0);
+        assert_eq!(g.in_degree(z), 2);
+        assert_eq!(g.out_degree(y), 1);
+        assert!(!g.has_directed_cycle());
+        assert!(!g.is_forest());
+        assert_eq!(g.undirected_cycle_vars().len(), 3);
+        // z is the only cycle variable with no directed path to another
+        // cycle variable.
+        assert_eq!(g.bottommost_cycle_var(), Some(z));
+        assert_eq!(g.connected_components(), vec![vec![x, y, z]]);
+    }
+
+    #[test]
+    fn triangle_without_directed_cycle_is_cyclic_undirected() {
+        let q = triangle();
+        let g = q.graph();
+        assert!(!g.has_directed_cycle());
+        assert!(!g.is_forest());
+        assert!(g.topological_order().is_some());
+        assert_eq!(g.non_bridge_edges().len(), 3);
+    }
+
+    #[test]
+    fn directed_cycle_detection_and_reconstruction() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        let z = q.var("z");
+        q.add_axis(Axis::ChildStar, x, y);
+        q.add_axis(Axis::ChildStar, y, z);
+        q.add_axis(Axis::ChildStar, z, x);
+        let g = q.graph();
+        assert!(g.has_directed_cycle());
+        let cycle = g.find_directed_cycle().unwrap();
+        assert_eq!(cycle.len(), 3);
+        // The cycle's atoms chain: to of one is from of the next.
+        for i in 0..cycle.len() {
+            assert_eq!(cycle[i].to, cycle[(i + 1) % cycle.len()].from);
+        }
+        assert!(g.topological_order().is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_directed_cycle_and_breaks_forestness() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        q.add_axis(Axis::ChildStar, x, x);
+        let g = q.graph();
+        let cycle = g.find_directed_cycle().unwrap();
+        assert_eq!(cycle.len(), 1);
+        assert!(!g.is_forest());
+        assert!(g.undirected_cycle_vars().contains(&x));
+    }
+
+    #[test]
+    fn parallel_edges_are_an_undirected_cycle() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        q.add_axis(Axis::ChildPlus, x, y);
+        q.add_axis(Axis::ChildStar, x, y);
+        let g = q.graph();
+        assert!(!g.has_directed_cycle());
+        assert!(!g.is_forest());
+        assert_eq!(g.non_bridge_edges().len(), 2);
+        assert_eq!(g.undirected_cycle_vars().len(), 2);
+        // Both variables qualify as bottom-most depending on reachability;
+        // y has no outgoing edges so it must qualify.
+        assert!(g.bottommost_cycle_var().is_some());
+    }
+
+    #[test]
+    fn acyclic_chain_is_a_forest_with_join_tree() {
+        let mut q = ConjunctiveQuery::new();
+        let x = q.var("x");
+        let y = q.var("y");
+        let z = q.var("z");
+        let w = q.var("w");
+        q.add_axis(Axis::Child, x, y);
+        q.add_axis(Axis::ChildPlus, y, z);
+        q.add_axis(Axis::Following, y, w);
+        let g = q.graph();
+        assert!(g.is_forest());
+        assert!(g.undirected_cycle_vars().is_empty());
+        assert_eq!(g.bottommost_cycle_var(), None);
+        assert!(g.non_bridge_edges().is_empty());
+        let forest = g.join_forest().unwrap();
+        assert_eq!(forest.components.len(), 1);
+        let tree = &forest.components[0];
+        assert_eq!(tree.bfs_order.len(), 4);
+        assert_eq!(tree.parent.len(), 3);
+        assert!(!tree.parent.contains_key(&tree.root));
+        // Every non-root's parent atom actually mentions both endpoints.
+        for (&child, &(parent, atom)) in &tree.parent {
+            assert!(atom.mentions(child));
+            assert!(atom.mentions(parent));
+        }
+    }
+
+    #[test]
+    fn join_forest_none_for_cyclic_queries() {
+        assert!(figure1_query().graph().join_forest().is_none());
+    }
+
+    #[test]
+    fn multiple_components() {
+        let mut q = ConjunctiveQuery::new();
+        let a = q.var("a");
+        let b = q.var("b");
+        let c = q.var("c");
+        let d = q.var("d");
+        q.add_axis(Axis::Child, a, b);
+        q.add_axis(Axis::NextSibling, c, d);
+        let g = q.graph();
+        assert_eq!(g.connected_components().len(), 2);
+        let forest = g.join_forest().unwrap();
+        assert_eq!(forest.components.len(), 2);
+    }
+
+    #[test]
+    fn reachability() {
+        let q = triangle();
+        let g = q.graph();
+        let x = q.find_var("x").unwrap();
+        let z = q.find_var("z").unwrap();
+        let from_x = g.directed_reachable_from(x);
+        assert!(from_x.contains(&z));
+        assert_eq!(g.directed_reachable_from(z).len(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # cqt-query — conjunctive queries over tree axes
+//!
+//! The query model of Section 2 of *Conjunctive Queries over Trees*:
+//! a k-ary conjunctive query is a positive existential first-order formula
+//! without disjunction, built from unary label atoms `Label_a(x)` and binary
+//! axis atoms `R(x, y)` with `R ∈ Ax`, written in datalog rule notation
+//!
+//! ```text
+//! Q(z) :- A(x), Child(x, y), B(y), Following(x, z), C(z).
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`ConjunctiveQuery`] — the query representation: variables, head,
+//!   label atoms and axis atoms, with the editing operations (variable
+//!   substitution, atom removal, chains `χ^k`) needed by the hardness gadgets
+//!   (Section 5) and the rewrite system (Section 6);
+//! * [`QueryGraph`] — the directed multigraph of Section 2 (Figure 1) with
+//!   the cycle analyses used throughout Sections 6 and 7: directed cycles,
+//!   undirected cycles on the shadow, forests, topological order;
+//! * [`PositiveQuery`] — finite unions of conjunctive queries; acyclic
+//!   positive queries (APQs) are positive queries all of whose disjuncts are
+//!   acyclic (Section 6);
+//! * [`parser`] — a parser for the datalog rule notation, including the
+//!   `χ^k(x, y)` chain shortcut used in the NP-hardness proofs;
+//! * [`signature`] — the *signature* of a query (the set of axes it uses),
+//!   the object over which the paper's dichotomy (Theorem 1.1) is stated;
+//! * [`generate`] — random query generators for property tests and benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apq;
+pub mod atom;
+pub mod cq;
+pub mod generate;
+pub mod graph;
+pub mod parser;
+pub mod signature;
+
+pub use apq::PositiveQuery;
+pub use atom::{AxisAtom, LabelAtom, Var};
+pub use cq::ConjunctiveQuery;
+pub use graph::QueryGraph;
+pub use parser::parse_query;
+pub use signature::Signature;
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::apq::PositiveQuery;
+    pub use crate::atom::{AxisAtom, LabelAtom, Var};
+    pub use crate::cq::ConjunctiveQuery;
+    pub use crate::graph::QueryGraph;
+    pub use crate::parser::parse_query;
+    pub use crate::signature::Signature;
+}

@@ -1,0 +1,379 @@
+//! Parser for the datalog rule notation used throughout the paper.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  ::= head (":-" | "<-") body "."?
+//! head   ::= IDENT ( "(" var-list? ")" )?
+//! body   ::= "true" | atom ("," atom)*
+//! atom   ::= IDENT power? "(" var ("," var)? ")"
+//! power  ::= "^" NUMBER
+//! ```
+//!
+//! * An atom with **one** argument is a unary label atom; the identifier is
+//!   the label.
+//! * An atom with **two** arguments is a binary axis atom; the identifier
+//!   must name an axis (`Child`, `Child+`, `Child*`, `NextSibling`,
+//!   `NextSibling+`, `NextSibling*`, `Following`, the XPath aliases, or the
+//!   inverse axes).
+//! * `Axis^k(x, y)` is the paper's chain shortcut: `k` axis atoms through
+//!   `k − 1` fresh variables (Section 5).
+//!
+//! Example — the query of Figure 1:
+//!
+//! ```
+//! use cqt_query::parse_query;
+//!
+//! let q = parse_query(
+//!     "Q(z) :- S(x), Descendant(x, y), NP(y), Descendant(x, z), PP(z), Following(y, z).",
+//! ).unwrap();
+//! assert_eq!(q.head_arity(), 1);
+//! assert_eq!(q.size(), 6);
+//! ```
+
+use std::fmt;
+
+use cqt_trees::Axis;
+
+use crate::cq::ConjunctiveQuery;
+
+/// Errors produced by [`parse_query`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseQueryError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseQueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseQueryError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseQueryError> {
+        Err(ParseQueryError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseQueryError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            self.error(format!("expected {:?}", c as char))
+        }
+    }
+
+    /// Identifiers may contain alphanumerics, `_`, `-`, and the axis
+    /// decorations `+` / `*` (so `Child+` parses as a single token).
+    fn parse_ident(&mut self) -> Result<String, ParseQueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'\'')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.error("expected an identifier");
+        }
+        // Axis decorations: `+`, `*`, or `-or-self` style hyphens.
+        while self
+            .peek()
+            .map(|c| c == b'+' || c == b'*' || c == b'-')
+            .unwrap_or(false)
+        {
+            // A hyphen is only part of the identifier if followed by a letter
+            // (e.g. `descendant-or-self`); a bare `-` would be an error later.
+            if self.peek() == Some(b'-') {
+                match self.bytes.get(self.pos + 1) {
+                    Some(c) if c.is_ascii_alphabetic() => {}
+                    _ => break,
+                }
+            }
+            self.pos += 1;
+            // Continue consuming alphanumerics after a hyphen.
+            while self
+                .peek()
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_')
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn parse_number(&mut self) -> Result<usize, ParseQueryError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.error("expected a number");
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| ParseQueryError {
+                offset: start,
+                message: "number out of range".to_owned(),
+            })
+    }
+
+    fn parse_var_list(&mut self, query: &mut ConjunctiveQuery) -> Result<Vec<crate::Var>, ParseQueryError> {
+        let mut vars = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b')') {
+            return Ok(vars);
+        }
+        loop {
+            let name = self.parse_ident()?;
+            vars.push(query.var(&name));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            break;
+        }
+        Ok(vars)
+    }
+
+    fn parse_atom(&mut self, query: &mut ConjunctiveQuery) -> Result<(), ParseQueryError> {
+        let name_offset = self.pos;
+        let name = self.parse_ident()?;
+        self.skip_ws();
+        // Optional chain power.
+        let power = if self.eat(b'^') {
+            let k = self.parse_number()?;
+            if k == 0 {
+                return Err(ParseQueryError {
+                    offset: name_offset,
+                    message: "chain power must be at least 1".to_owned(),
+                });
+            }
+            Some(k)
+        } else {
+            None
+        };
+        self.skip_ws();
+        self.expect(b'(')?;
+        let args = self.parse_var_list(query)?;
+        self.skip_ws();
+        self.expect(b')')?;
+        match args.len() {
+            1 => {
+                if power.is_some() {
+                    return Err(ParseQueryError {
+                        offset: name_offset,
+                        message: "chain powers only apply to binary (axis) atoms".to_owned(),
+                    });
+                }
+                query.add_label(args[0], &name);
+                Ok(())
+            }
+            2 => {
+                let axis: Axis = name.parse().map_err(|_| ParseQueryError {
+                    offset: name_offset,
+                    message: format!("unknown axis {name:?} in binary atom"),
+                })?;
+                match power {
+                    Some(k) => query.add_axis_chain(axis, args[0], args[1], k),
+                    None => query.add_axis(axis, args[0], args[1]),
+                }
+                Ok(())
+            }
+            n => Err(ParseQueryError {
+                offset: name_offset,
+                message: format!("atoms must have 1 or 2 arguments, found {n}"),
+            }),
+        }
+    }
+
+    fn parse(mut self) -> Result<ConjunctiveQuery, ParseQueryError> {
+        let mut query = ConjunctiveQuery::new();
+        // Head: name, optional argument list.
+        let _head_name = self.parse_ident()?;
+        self.skip_ws();
+        let mut head = Vec::new();
+        if self.eat(b'(') {
+            head = self.parse_var_list(&mut query)?;
+            self.skip_ws();
+            self.expect(b')')?;
+        }
+        query.set_head(head);
+        self.skip_ws();
+        // ":-" or "<-"
+        if self.eat(b':') {
+            self.expect(b'-')?;
+        } else if self.eat(b'<') {
+            self.expect(b'-')?;
+        } else {
+            return self.error("expected ':-' or '<-'");
+        }
+        self.skip_ws();
+        // Body.
+        if self.input[self.pos..].starts_with("true") {
+            self.pos += 4;
+        } else {
+            loop {
+                self.parse_atom(&mut query)?;
+                self.skip_ws();
+                if self.eat(b',') {
+                    continue;
+                }
+                break;
+            }
+        }
+        self.skip_ws();
+        self.eat(b'.');
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.error("trailing input after query");
+        }
+        Ok(query)
+    }
+}
+
+/// Parses a conjunctive query in datalog rule notation. See the
+/// [module documentation](self) for the grammar.
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, ParseQueryError> {
+    Parser::new(input).parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{figure1_query, intro_xpath_query};
+
+    #[test]
+    fn parses_the_introduction_query() {
+        let q = parse_query("Q(z) :- A(x), Child(x, y), B(y), Following(x, z), C(z).").unwrap();
+        assert_eq!(q, {
+            // Structural equality up to construction order with the fixture.
+            let fixture = intro_xpath_query();
+            assert_eq!(q.size(), fixture.size());
+            assert_eq!(q.head_arity(), fixture.head_arity());
+            q.clone()
+        });
+        assert!(q.is_acyclic());
+    }
+
+    #[test]
+    fn parses_the_figure1_query_with_xpath_axis_names() {
+        let q = parse_query(
+            "Q(z) :- S(x), Descendant(x, y), NP(y), Descendant(x, z), PP(z), Following(y, z).",
+        )
+        .unwrap();
+        let fixture = figure1_query();
+        assert_eq!(q.size(), fixture.size());
+        assert_eq!(q.signature(), fixture.signature());
+        assert!(!q.is_acyclic());
+    }
+
+    #[test]
+    fn parses_paper_axis_names_with_decorations() {
+        let q = parse_query("Q() :- Child+(x, y), Child*(y, z), NextSibling*(z, w).").unwrap();
+        assert_eq!(q.axis_atom_count(), 3);
+        let sig = q.signature();
+        assert!(sig.contains(cqt_trees::Axis::ChildPlus));
+        assert!(sig.contains(cqt_trees::Axis::ChildStar));
+        assert!(sig.contains(cqt_trees::Axis::NextSiblingStar));
+    }
+
+    #[test]
+    fn boolean_heads_and_arrow_syntax() {
+        let q1 = parse_query("Q :- A(x)").unwrap();
+        assert!(q1.is_boolean());
+        assert_eq!(q1.size(), 1);
+        let q2 = parse_query("Q() <- A(x).").unwrap();
+        assert!(q2.is_boolean());
+        let q3 = parse_query("Q() :- true.").unwrap();
+        assert_eq!(q3.size(), 0);
+    }
+
+    #[test]
+    fn chain_shortcut_expands() {
+        let q = parse_query("Q :- X(x), Y(y), Child^3(x, y).").unwrap();
+        assert_eq!(q.axis_atom_count(), 3);
+        assert_eq!(q.var_count(), 4);
+        assert!(q.is_acyclic());
+        // Chains of length 1 behave like plain atoms.
+        let q = parse_query("Q :- Following^1(x, y).").unwrap();
+        assert_eq!(q.axis_atom_count(), 1);
+    }
+
+    #[test]
+    fn variables_are_shared_across_atoms() {
+        let q = parse_query("Q(x) :- A(x), B(x), Child(x, x1), C(x1).").unwrap();
+        assert_eq!(q.var_count(), 2);
+        let x = q.find_var("x").unwrap();
+        assert_eq!(q.labels_of(x).len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Q(z)").is_err());
+        assert!(parse_query("Q(z) :- ").is_err());
+        assert!(parse_query("Q(z) :- Child(x, y, z).").is_err());
+        assert!(parse_query("Q(z) :- Sideways(x, y).").is_err());
+        assert!(parse_query("Q(z) :- A(x) B(y).").is_err());
+        assert!(parse_query("Q(z) :- A^2(x).").is_err());
+        assert!(parse_query("Q(z) :- Child^0(x, y).").is_err());
+        let err = parse_query("Q(z) :- Sideways(x, y).").unwrap_err();
+        assert!(err.to_string().contains("unknown axis"));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for fixture in [figure1_query(), intro_xpath_query()] {
+            let reparsed = parse_query(&fixture.to_datalog()).unwrap();
+            assert_eq!(reparsed.size(), fixture.size());
+            assert_eq!(reparsed.head_arity(), fixture.head_arity());
+            assert_eq!(reparsed.signature(), fixture.signature());
+            assert_eq!(reparsed.to_datalog(), fixture.to_datalog());
+        }
+    }
+}

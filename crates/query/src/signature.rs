@@ -1,0 +1,172 @@
+//! Query signatures: the set of axes a query uses.
+//!
+//! The dichotomy theorem of the paper (Theorem 1.1) is stated per *signature*
+//! `F ⊆ Ax`: conjunctive queries over unary relations and the binary
+//! relations in `F` are in polynomial time iff there is a total order `<`
+//! such that every relation in `F` has the X̲-property with respect to `<`,
+//! and NP-complete otherwise. Table I instantiates this for all signatures of
+//! one or two axes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cqt_trees::Axis;
+use serde::{Deserialize, Serialize};
+
+/// A set of axes (the binary-relation part of a query signature).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Signature {
+    axes: BTreeSet<Axis>,
+}
+
+impl Signature {
+    /// The empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a signature from an iterator of axes.
+    pub fn from_axes(axes: impl IntoIterator<Item = Axis>) -> Self {
+        Signature {
+            axes: axes.into_iter().collect(),
+        }
+    }
+
+    /// The paper's full axis set `Ax`.
+    pub fn full() -> Self {
+        Self::from_axes(Axis::PAPER_AXES)
+    }
+
+    /// The signature `τ1 = ⟨(Label_a), Child+, Child*⟩` of Corollary 4.2.
+    pub fn tau1() -> Self {
+        Self::from_axes([Axis::ChildPlus, Axis::ChildStar])
+    }
+
+    /// The signature `τ2 = ⟨(Label_a), Following⟩` of Corollary 4.3.
+    pub fn tau2() -> Self {
+        Self::from_axes([Axis::Following])
+    }
+
+    /// The signature `τ3 = ⟨(Label_a), Child, NextSibling, NextSibling*,
+    /// NextSibling+⟩` of Corollary 4.4.
+    pub fn tau3() -> Self {
+        Self::from_axes([
+            Axis::Child,
+            Axis::NextSibling,
+            Axis::NextSiblingStar,
+            Axis::NextSiblingPlus,
+        ])
+    }
+
+    /// Whether the signature contains `axis`.
+    pub fn contains(&self, axis: Axis) -> bool {
+        self.axes.contains(&axis)
+    }
+
+    /// Adds an axis.
+    pub fn insert(&mut self, axis: Axis) {
+        self.axes.insert(axis);
+    }
+
+    /// Number of axes in the signature.
+    pub fn len(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Whether the signature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Iterates over the axes in a deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = Axis> + '_ {
+        self.axes.iter().copied()
+    }
+
+    /// Whether every axis of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &Signature) -> bool {
+        self.axes.is_subset(&other.axes)
+    }
+
+    /// The union of two signatures.
+    pub fn union(&self, other: &Signature) -> Signature {
+        Signature {
+            axes: self.axes.union(&other.axes).copied().collect(),
+        }
+    }
+
+    /// Whether the signature only uses axes from the paper's set `Ax`
+    /// (no inverses, no `self`).
+    pub fn is_paper_signature(&self) -> bool {
+        self.axes.iter().all(|a| a.is_paper_axis())
+    }
+}
+
+impl FromIterator<Axis> for Signature {
+    fn from_iter<T: IntoIterator<Item = Axis>>(iter: T) -> Self {
+        Self::from_axes(iter)
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, axis) in self.axes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{axis}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_signatures_match_the_paper() {
+        assert_eq!(Signature::tau1().len(), 2);
+        assert!(Signature::tau1().contains(Axis::ChildPlus));
+        assert!(Signature::tau1().contains(Axis::ChildStar));
+        assert_eq!(Signature::tau2().len(), 1);
+        assert!(Signature::tau2().contains(Axis::Following));
+        assert_eq!(Signature::tau3().len(), 4);
+        assert!(Signature::tau3().contains(Axis::Child));
+        assert!(!Signature::tau3().contains(Axis::ChildPlus));
+        assert_eq!(Signature::full().len(), 7);
+        for sig in [Signature::tau1(), Signature::tau2(), Signature::tau3()] {
+            assert!(sig.is_subset_of(&Signature::full()));
+            assert!(sig.is_paper_signature());
+        }
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Signature::from_axes([Axis::Child, Axis::Following]);
+        let b = Signature::from_axes([Axis::Following]);
+        assert!(b.is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+        assert_eq!(a.union(&b), a);
+        let mut c = Signature::new();
+        assert!(c.is_empty());
+        c.insert(Axis::Child);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![Axis::Child]);
+    }
+
+    #[test]
+    fn display_and_non_paper_signatures() {
+        let sig = Signature::from_axes([Axis::Following, Axis::Child]);
+        assert_eq!(sig.to_string(), "{Child, Following}");
+        let with_inverse = Signature::from_axes([Axis::Parent]);
+        assert!(!with_inverse.is_paper_signature());
+    }
+
+    #[test]
+    fn from_iterator_and_dedup() {
+        let sig: Signature = [Axis::Child, Axis::Child, Axis::Following].into_iter().collect();
+        assert_eq!(sig.len(), 2);
+    }
+}

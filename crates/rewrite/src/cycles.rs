@@ -1,0 +1,169 @@
+//! Directed-cycle elimination (Lemma 6.4).
+//!
+//! The graph of `Child ∪ NextSibling ∪ Following` is acyclic, so a query
+//! containing a directed cycle can only be satisfied if all the variables on
+//! the cycle are mapped to the same node; that in turn is possible only if
+//! every axis on the cycle is a reflexive closure (`Child*` or
+//! `NextSibling*`). Otherwise the query is unsatisfiable.
+
+use cqt_query::ConjunctiveQuery;
+use cqt_trees::Axis;
+
+/// The result of eliminating directed cycles from a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectedCycleOutcome {
+    /// The query (possibly after collapsing cycle variables) has no directed
+    /// cycles left.
+    Rewritten(ConjunctiveQuery),
+    /// A directed cycle contains an irreflexive axis: the query is
+    /// unsatisfiable on every tree (Lemma 6.4).
+    Unsatisfiable,
+}
+
+impl DirectedCycleOutcome {
+    /// The rewritten query, if the input was satisfiable.
+    pub fn into_query(self) -> Option<ConjunctiveQuery> {
+        match self {
+            DirectedCycleOutcome::Rewritten(q) => Some(q),
+            DirectedCycleOutcome::Unsatisfiable => None,
+        }
+    }
+}
+
+/// Applies Lemma 6.4 until the query graph has no directed cycles: every
+/// directed cycle consisting only of `Child*` / `NextSibling*` (or `Self`)
+/// atoms is collapsed (its variables are identified and the resulting
+/// reflexive self-loops removed); a directed cycle containing any other axis
+/// makes the query unsatisfiable.
+pub fn eliminate_directed_cycles(query: &ConjunctiveQuery) -> DirectedCycleOutcome {
+    let mut query = query.clone();
+    loop {
+        let graph = query.graph();
+        let Some(cycle) = graph.find_directed_cycle() else {
+            return DirectedCycleOutcome::Rewritten(query);
+        };
+        // A cycle with an irreflexive axis cannot be satisfied.
+        if cycle
+            .iter()
+            .any(|atom| !atom.axis.is_reflexive())
+        {
+            return DirectedCycleOutcome::Unsatisfiable;
+        }
+        // Collapse: identify every variable on the cycle with the first one.
+        let representative = cycle[0].from;
+        for atom in &cycle {
+            for var in [atom.from, atom.to] {
+                if var != representative {
+                    query.substitute(var, representative);
+                }
+            }
+        }
+        // Remove reflexive self-loops created by the collapse
+        // (Child*(x, x), NextSibling*(x, x), Self(x, x) are tautologies).
+        query.retain_axis_atoms(|atom| {
+            !(atom.from == atom.to
+                && matches!(
+                    atom.axis,
+                    Axis::ChildStar | Axis::NextSiblingStar | Axis::SelfAxis
+                ))
+        });
+    }
+}
+
+/// Whether a query is *trivially* unsatisfiable because it contains a
+/// self-loop over an irreflexive axis (e.g. `Child(x, x)` or
+/// `Following(x, x)`); such atoms arise from equality substitutions during
+/// rewriting and are directed cycles of length one.
+pub fn has_irreflexive_self_loop(query: &ConjunctiveQuery) -> bool {
+    query
+        .axis_atoms()
+        .iter()
+        .any(|atom| atom.from == atom.to && !atom.axis.is_reflexive())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_query::parse_query;
+
+    #[test]
+    fn reflexive_cycle_collapses_to_one_variable() {
+        // Example 6.7's second query: Child*(x, y) ∧ NextSibling*(y, x) forces x = y.
+        let q = parse_query("Q() :- Child*(x, y), NextSibling*(y, x), A(x), B(y).").unwrap();
+        match eliminate_directed_cycles(&q) {
+            DirectedCycleOutcome::Rewritten(rewritten) => {
+                assert!(!rewritten.graph().has_directed_cycle());
+                // Both labels now constrain the same variable; the reflexive
+                // self-loops are gone.
+                assert_eq!(rewritten.axis_atom_count(), 0);
+                assert_eq!(rewritten.label_atom_count(), 2);
+                let used = rewritten.used_vars();
+                assert_eq!(used.len(), 1);
+            }
+            DirectedCycleOutcome::Unsatisfiable => panic!("query is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn irreflexive_cycle_is_unsatisfiable() {
+        let q = parse_query("Q() :- Child+(x, y), Child*(y, x).").unwrap();
+        assert_eq!(
+            eliminate_directed_cycles(&q),
+            DirectedCycleOutcome::Unsatisfiable
+        );
+        let q = parse_query("Q() :- Following(x, y), Following(y, x).").unwrap();
+        assert_eq!(
+            eliminate_directed_cycles(&q),
+            DirectedCycleOutcome::Unsatisfiable
+        );
+        // Self-loop over an irreflexive axis.
+        let q = parse_query("Q() :- Child+(x, x).").unwrap();
+        assert_eq!(
+            eliminate_directed_cycles(&q),
+            DirectedCycleOutcome::Unsatisfiable
+        );
+        assert!(has_irreflexive_self_loop(&q));
+    }
+
+    #[test]
+    fn acyclic_queries_pass_through_unchanged() {
+        let q = parse_query("Q(z) :- A(x), Child(x, y), B(y), Following(x, z), C(z).").unwrap();
+        match eliminate_directed_cycles(&q) {
+            DirectedCycleOutcome::Rewritten(rewritten) => assert_eq!(rewritten, q),
+            DirectedCycleOutcome::Unsatisfiable => panic!("query is satisfiable"),
+        }
+        assert!(!has_irreflexive_self_loop(&q));
+    }
+
+    #[test]
+    fn nested_reflexive_cycles_collapse_fully() {
+        // Two overlapping Child* cycles: x-y-z-x and a NextSibling* loop on z.
+        let q = parse_query(
+            "Q() :- Child*(x, y), Child*(y, z), Child*(z, x), NextSibling*(z, z), L(x).",
+        )
+        .unwrap();
+        match eliminate_directed_cycles(&q) {
+            DirectedCycleOutcome::Rewritten(rewritten) => {
+                assert!(!rewritten.graph().has_directed_cycle());
+                assert_eq!(rewritten.used_vars().len(), 1);
+                assert_eq!(rewritten.axis_atom_count(), 0);
+            }
+            DirectedCycleOutcome::Unsatisfiable => panic!("query is satisfiable"),
+        }
+    }
+
+    #[test]
+    fn head_variables_survive_collapsing() {
+        let q = parse_query("Q(y) :- Child*(x, y), Child*(y, x), A(x).").unwrap();
+        match eliminate_directed_cycles(&q) {
+            DirectedCycleOutcome::Rewritten(rewritten) => {
+                assert_eq!(rewritten.head_arity(), 1);
+                // The head variable was substituted consistently: it is a used
+                // variable that carries the label A.
+                let head = rewritten.head()[0];
+                assert_eq!(rewritten.labels_of(head), vec!["A"]);
+            }
+            DirectedCycleOutcome::Unsatisfiable => panic!("query is satisfiable"),
+        }
+    }
+}

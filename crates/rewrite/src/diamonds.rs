@@ -1,0 +1,429 @@
+//! The succinctness machinery of Section 7.
+//!
+//! Section 7 proves that the exponential blow-up of the CQ→APQ translation is
+//! unavoidable: the *n-diamond* queries `D_n` (Figure 9(a)) have no
+//! polynomial-size equivalent APQ (Theorem 7.1). The proof evaluates
+//! candidate APQs on the family `PS(n, p(n))` of *scattered path structures*
+//! (Figure 9(b)) and uses a path-structure construction (Lemma 7.3,
+//! illustrated in Figure 12) to separate small acyclic queries from `D_n`.
+//!
+//! This module builds all of these artifacts:
+//!
+//! * [`diamond_query`] — the query `D_n`;
+//! * [`ps_structure`] / [`all_ps_structures`] — the `2^n` path structures of
+//!   `PS(n, p)`;
+//! * [`variable_paths`] / [`label_paths`] — the variable-path and label-path
+//!   analyses of DABCQs used throughout Section 7;
+//! * [`lemma_7_3_structure`] — the path structure
+//!   `LC(¬E_1)·LC(E_1 ∧ ¬E_2)·…·LC(E_1 ∧ ⋯ ∧ E_{m−1} ∧ ¬E_m)` of Lemma 7.3;
+//! * [`apq_size_for_diamond`] — measure the size of the APQ produced for
+//!   `D_n` by the rewrite system (the quantity Theorem 7.1 bounds from
+//!   below), used by the succinctness benchmark.
+
+use cqt_query::{ConjunctiveQuery, Var};
+use cqt_trees::{Axis, Tree};
+
+use crate::rewrite::{rewrite_to_apq_with, RewriteError, RewriteOptions, RewriteStats};
+
+/// The label used for the i-th "left" diamond node (`X_i` in the paper).
+pub fn x_label(i: usize) -> String {
+    format!("X{i}")
+}
+
+/// The label used for the i-th "right" diamond node (`X'_i` in the paper).
+pub fn x_prime_label(i: usize) -> String {
+    format!("Xp{i}")
+}
+
+/// The label used for the i-th diamond junction (`Y_i` in the paper).
+pub fn y_label(i: usize) -> String {
+    format!("Y{i}")
+}
+
+/// Builds the n-diamond Boolean conjunctive query `D_n` of Figure 9(a):
+///
+/// ```text
+/// D_n ← Y1(y1) ∧ ⋀_{i=1..n} ( Child+(y_i, x_i) ∧ X_i(x_i) ∧ Child+(x_i, y_{i+1})
+///                           ∧ Child+(y_i, x'_i) ∧ X'_i(x'_i) ∧ Child+(x'_i, y_{i+1})
+///                           ∧ Y_{i+1}(y_{i+1}) )
+/// ```
+///
+/// `D_n` has `7n + 1` atoms and is a DABCQ over `{Child+}` whose query graph
+/// is a chain of `n` diamonds.
+pub fn diamond_query(n: usize) -> ConjunctiveQuery {
+    assert!(n >= 1, "D_n is defined for n >= 1");
+    let mut q = ConjunctiveQuery::new();
+    let ys: Vec<Var> = (1..=n + 1).map(|i| q.var(&format!("y{i}"))).collect();
+    q.add_label(ys[0], &y_label(1));
+    for i in 1..=n {
+        let xi = q.var(&format!("x{i}"));
+        let xpi = q.var(&format!("xp{i}"));
+        q.add_axis(Axis::ChildPlus, ys[i - 1], xi);
+        q.add_label(xi, &x_label(i));
+        q.add_axis(Axis::ChildPlus, xi, ys[i]);
+        q.add_axis(Axis::ChildPlus, ys[i - 1], xpi);
+        q.add_label(xpi, &x_prime_label(i));
+        q.add_axis(Axis::ChildPlus, xpi, ys[i]);
+        q.add_label(ys[i], &y_label(i + 1));
+    }
+    q
+}
+
+/// Builds one path structure of the family `PS(n, p)` of Figure 9(b):
+///
+/// ```text
+/// s.Y1.s.(X1.s.X'1 | X'1.s.X1).s.Y2.s.(…).s.Y_{n+1}.s
+/// ```
+///
+/// where `s` is a run of `p` unlabeled nodes and `choices[i]` selects whether
+/// `X_{i+1}` appears above `X'_{i+1}` (`true`) or below it (`false`).
+///
+/// # Panics
+/// Panics if `choices.len() != n`.
+pub fn ps_structure(n: usize, p: usize, choices: &[bool]) -> Tree {
+    assert_eq!(choices.len(), n, "one choice per diamond required");
+    let mut spec: Vec<Vec<String>> = Vec::new();
+    let pad = |spec: &mut Vec<Vec<String>>| {
+        for _ in 0..p {
+            spec.push(Vec::new());
+        }
+    };
+    pad(&mut spec);
+    spec.push(vec![y_label(1)]);
+    for (i, &x_first) in choices.iter().enumerate() {
+        let idx = i + 1;
+        pad(&mut spec);
+        let (top, bottom) = if x_first {
+            (x_label(idx), x_prime_label(idx))
+        } else {
+            (x_prime_label(idx), x_label(idx))
+        };
+        spec.push(vec![top]);
+        pad(&mut spec);
+        spec.push(vec![bottom]);
+        pad(&mut spec);
+        spec.push(vec![y_label(idx + 1)]);
+    }
+    pad(&mut spec);
+    cqt_trees::generate::path_structure(&spec)
+}
+
+/// Builds all `2^n` structures of `PS(n, p)` (use only for small `n`).
+pub fn all_ps_structures(n: usize, p: usize) -> Vec<Tree> {
+    (0..(1usize << n))
+        .map(|mask| {
+            let choices: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            ps_structure(n, p, &choices)
+        })
+        .collect()
+}
+
+/// The variable-paths `Π_Q` of a query whose graph is a DAG: all paths from a
+/// variable with in-degree 0 to a variable with out-degree 0, following the
+/// directed binary atoms. (Exponential in the worst case; Section 7 only
+/// needs it for small acyclic queries.)
+///
+/// # Panics
+/// Panics if the query graph has a directed cycle.
+pub fn variable_paths(query: &ConjunctiveQuery) -> Vec<Vec<Var>> {
+    let graph = query.graph();
+    assert!(
+        !graph.has_directed_cycle(),
+        "variable paths are defined for DABCQs (no directed cycles)"
+    );
+    let sources: Vec<Var> = query
+        .used_vars()
+        .into_iter()
+        .filter(|&v| graph.in_degree(v) == 0)
+        .collect();
+    let mut paths = Vec::new();
+    for source in sources {
+        let mut stack = vec![vec![source]];
+        while let Some(path) = stack.pop() {
+            let last = *path.last().expect("paths are non-empty");
+            let successors: Vec<Var> = graph.outgoing(last).map(|a| a.to).collect();
+            if successors.is_empty() {
+                paths.push(path);
+            } else {
+                for next in successors {
+                    let mut extended = path.clone();
+                    extended.push(next);
+                    stack.push(extended);
+                }
+            }
+        }
+    }
+    paths
+}
+
+/// The label-path associated with a variable-path: for each variable, the
+/// set of labels the query requires of it (possibly empty, possibly several).
+pub fn label_path(query: &ConjunctiveQuery, path: &[Var]) -> Vec<Vec<String>> {
+    path.iter()
+        .map(|&v| query.labels_of(v).iter().map(|s| s.to_string()).collect())
+        .collect()
+}
+
+/// The label-paths of all variable-paths of the query (`LP(Π_Q)`).
+pub fn label_paths(query: &ConjunctiveQuery) -> Vec<Vec<Vec<String>>> {
+    variable_paths(query)
+        .iter()
+        .map(|p| label_path(query, p))
+        .collect()
+}
+
+/// Whether every label of `labels` occurs somewhere on the given label-path.
+pub fn path_contains_all(path: &[Vec<String>], labels: &[String]) -> bool {
+    labels
+        .iter()
+        .all(|l| path.iter().any(|node| node.contains(l)))
+}
+
+/// The path-structure construction of Lemma 7.3 (illustrated by Figure 12):
+/// given a DABCQ `Q` and a label choice `Λ = {E_1, …, E_m}`, builds the
+/// concatenation
+///
+/// ```text
+/// LC(¬E_1) · LC(E_1 ∧ ¬E_2) · … · LC(E_1 ∧ ⋯ ∧ E_{m−1} ∧ ¬E_m)
+/// ```
+///
+/// where `LC(φ)` concatenates (in a fixed deterministic order) the
+/// label-paths of `Q` whose variable-paths satisfy `φ` (contain the listed
+/// labels and avoid the negated one). If `Q` has no variable-path containing
+/// all of `Λ`, the result is a concatenation of *all* label-paths of `Q`, is
+/// a model of `Q`, and is not a model of any query (like `D_n`) that requires
+/// a single root-to-leaf path carrying all of `Λ`.
+pub fn lemma_7_3_structure(query: &ConjunctiveQuery, lambda: &[String]) -> Tree {
+    let paths = label_paths(query);
+    let mut spec: Vec<Vec<String>> = Vec::new();
+    for j in 0..lambda.len() {
+        let required = &lambda[..j];
+        let forbidden = &lambda[j];
+        for path in &paths {
+            if path_contains_all(path, required)
+                && !path.iter().any(|node| node.contains(forbidden))
+            {
+                for node in path {
+                    spec.push(node.clone());
+                }
+            }
+        }
+    }
+    if spec.is_empty() {
+        // Degenerate case (e.g. Λ empty): a single unlabeled node.
+        spec.push(Vec::new());
+    }
+    cqt_trees::generate::path_structure(&spec)
+}
+
+/// The query of Example 7.8 / Figure 12(b): an acyclic Boolean conjunctive
+/// query over `{Child+}` whose variable-paths carry the label sequences
+/// `Y1·X1·Y2·X2·Y3`, `Y1·X1·Y2·X'2·Y3` and `Y1·X'1·Y2·X2·Y3` — so no single
+/// variable-path contains both `X'1` and `X'2`, which is what separates it
+/// from `D_2` on the Lemma 7.3 structure.
+pub fn example_7_8_query() -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::new();
+    let sequences = [
+        vec![y_label(1), x_label(1), y_label(2), x_label(2), y_label(3)],
+        vec![y_label(1), x_label(1), y_label(2), x_prime_label(2), y_label(3)],
+        vec![y_label(1), x_prime_label(1), y_label(2), x_label(2), y_label(3)],
+    ];
+    for (c, labels) in sequences.iter().enumerate() {
+        let mut prev: Option<Var> = None;
+        for (i, label) in labels.iter().enumerate() {
+            let var = q.var(&format!("p{c}_{i}"));
+            q.add_label(var, label);
+            if let Some(prev) = prev {
+                q.add_axis(Axis::ChildPlus, prev, var);
+            }
+            prev = Some(var);
+        }
+    }
+    q
+}
+
+/// Rewrites `D_n` into an APQ and reports `(|D_n|, APQ size, number of
+/// disjuncts, rewrite statistics)` — the quantities compared against the
+/// lower bound of Theorem 7.1 by the succinctness benchmark.
+pub fn apq_size_for_diamond(
+    n: usize,
+    options: &RewriteOptions,
+) -> Result<(usize, usize, usize, RewriteStats), RewriteError> {
+    let query = diamond_query(n);
+    let (apq, stats) = rewrite_to_apq_with(&query, options)?;
+    Ok((query.size(), apq.size(), apq.len(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_core::MacSolver;
+    use cqt_trees::Order;
+
+    #[test]
+    fn diamond_query_shape() {
+        for n in 1..=4 {
+            let q = diamond_query(n);
+            assert_eq!(q.size(), 7 * n + 1, "D_{n} must have 7n+1 atoms");
+            assert_eq!(q.axis_atom_count(), 4 * n);
+            assert_eq!(q.label_atom_count(), 3 * n + 1);
+            assert!(q.is_boolean());
+            assert!(!q.is_acyclic(), "D_n is cyclic (each diamond is a cycle)");
+            assert!(!q.graph().has_directed_cycle());
+            // Signature is {Child+} only.
+            assert_eq!(q.signature().len(), 1);
+            assert!(q.signature().contains(Axis::ChildPlus));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn diamond_zero_panics() {
+        diamond_query(0);
+    }
+
+    #[test]
+    fn ps_structures_have_the_right_size_and_labels() {
+        let n = 3;
+        let p = 4;
+        let tree = ps_structure(n, p, &[true, false, true]);
+        // Nodes: (n+1) Y-nodes + 2n X-nodes + padding: (3n + 2) runs of p.
+        let labeled = 3 * n + 1;
+        let padding = (3 * n + 2) * p;
+        assert_eq!(tree.len(), labeled + padding);
+        // It is a path.
+        assert!(tree.nodes().all(|v| tree.children(v).len() <= 1));
+        // Y1 appears above X1 and Xp1, which appear above Y2, etc.
+        let depth_of = |label: &str| {
+            tree.nodes()
+                .find(|&v| tree.has_label_name(v, label))
+                .map(|v| tree.depth(v))
+                .unwrap_or_else(|| panic!("label {label} missing"))
+        };
+        assert!(depth_of("Y1") < depth_of("X1"));
+        assert!(depth_of("X1") < depth_of("Xp1")); // choices[0] = true
+        assert!(depth_of("Xp2") < depth_of("X2")); // choices[1] = false
+        assert!(depth_of("Xp1") < depth_of("Y2"));
+        assert!(depth_of("Y3") < depth_of("X3"));
+        assert!(depth_of("X3") < depth_of("Y4"));
+    }
+
+    #[test]
+    fn all_ps_structures_enumerates_two_to_the_n() {
+        assert_eq!(all_ps_structures(1, 2).len(), 2);
+        assert_eq!(all_ps_structures(3, 1).len(), 8);
+    }
+
+    #[test]
+    fn diamond_is_true_on_every_ps_structure() {
+        // "It is easy to see that D_n is true on each of the structures in
+        //  PS(n, p(n))."
+        for n in 1..=3 {
+            let q = diamond_query(n);
+            for tree in all_ps_structures(n, 2) {
+                let solver = MacSolver::new(&tree);
+                assert!(
+                    solver.eval_boolean(&q),
+                    "D_{n} must hold on every PS({n}, 2) structure"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_is_false_without_one_x_label() {
+        // Removing X'1 from the structure falsifies D_1.
+        let q = diamond_query(1);
+        let spec: Vec<Vec<String>> = vec![
+            vec![y_label(1)],
+            vec![],
+            vec![x_label(1)],
+            vec![],
+            vec![y_label(2)],
+        ];
+        let tree = cqt_trees::generate::path_structure(&spec);
+        assert!(!MacSolver::new(&tree).eval_boolean(&q));
+    }
+
+    #[test]
+    fn variable_and_label_paths_of_the_diamond() {
+        let q = diamond_query(2);
+        let paths = variable_paths(&q);
+        // D_2 has 4 variable-paths (choosing x or x' in each diamond).
+        assert_eq!(paths.len(), 4);
+        for path in &paths {
+            assert_eq!(path.len(), 5); // y1, {x1|x'1}, y2, {x2|x'2}, y3
+        }
+        let lps = label_paths(&q);
+        assert!(lps
+            .iter()
+            .any(|p| path_contains_all(p, &[x_prime_label(1), x_prime_label(2)])));
+        assert!(lps.iter().all(|p| path_contains_all(p, &[y_label(1), y_label(3)])));
+    }
+
+    #[test]
+    fn example_7_8_lemma_7_3_separates_q_from_d2() {
+        // Figure 12: Q is true on M = LC(¬X'1)·LC(X'1 ∧ ¬X'2) but D_2 is not.
+        let q = example_7_8_query();
+        assert!(q.is_acyclic());
+        let lambda = vec![x_prime_label(1), x_prime_label(2)];
+        // Q has no variable-path containing both X'1 and X'2, D_2 does.
+        assert!(!label_paths(&q)
+            .iter()
+            .any(|p| path_contains_all(p, &lambda)));
+        assert!(label_paths(&diamond_query(2))
+            .iter()
+            .any(|p| path_contains_all(p, &lambda)));
+        let m = lemma_7_3_structure(&q, &lambda);
+        // M is a path structure of 15 nodes (three concatenated 5-node paths).
+        assert_eq!(m.len(), 15);
+        assert!(m.nodes().all(|v| m.children(v).len() <= 1));
+        let solver = MacSolver::new(&m);
+        assert!(solver.eval_boolean(&q), "Q must be true on M");
+        assert!(
+            !solver.eval_boolean(&diamond_query(2)),
+            "D_2 must be false on M (Example 7.8)"
+        );
+    }
+
+    #[test]
+    fn d1_rewrites_to_an_equivalent_apq() {
+        let (original, apq_size, disjuncts, stats) =
+            apq_size_for_diamond(1, &RewriteOptions::default()).unwrap();
+        assert_eq!(original, 8);
+        assert!(disjuncts >= 1);
+        assert!(apq_size >= 1);
+        assert!(stats.lifter_applications >= 1);
+        // Equivalence of D_1 and its APQ on the PS structures and on the
+        // structure missing X'1.
+        let q = diamond_query(1);
+        let (apq, _) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
+        for tree in all_ps_structures(1, 1) {
+            assert!(crate::equivalence::agree_on_tree(&tree, &q, &apq));
+        }
+        assert!(crate::equivalence::agree_on_random_trees(&q, &apq, 10, 123).is_none());
+    }
+
+    #[test]
+    fn scattered_ps_structures_are_scattered() {
+        // Each PS(n, p) structure is p-scattered in the sense of Section 7:
+        // labeled nodes are pairwise at distance >= p and at distance >= p
+        // from both ends.
+        let n = 2;
+        let p = 3;
+        for tree in all_ps_structures(n, p) {
+            let labeled: Vec<_> = tree
+                .nodes_in_order(Order::Pre)
+                .filter(|&v| !tree.labels(v).is_empty())
+                .collect();
+            for window in labeled.windows(2) {
+                let d = tree.depth(window[1]) - tree.depth(window[0]);
+                assert!(d >= p as u32);
+            }
+            let first = labeled.first().copied().unwrap();
+            let last = labeled.last().copied().unwrap();
+            assert!(tree.depth(first) >= p as u32);
+            assert!(tree.height() - tree.depth(last) >= p as u32);
+        }
+    }
+}

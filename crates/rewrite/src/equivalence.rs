@@ -1,0 +1,107 @@
+//! Empirical equivalence checking of queries.
+//!
+//! The rewrite system's output (an APQ) is proven equivalent to the input
+//! query by the paper; the test-suite additionally *checks* equivalence
+//! empirically by evaluating both on fixed and random trees with the complete
+//! MAC solver. This module provides the shared helpers.
+
+use cqt_core::{Answer, Engine, EvalStrategy};
+use cqt_query::{ConjunctiveQuery, PositiveQuery};
+use cqt_trees::generate::{random_tree, RandomTreeConfig};
+use cqt_trees::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evaluates the conjunctive query and the positive query on `tree` with the
+/// complete MAC solver and reports whether their answers agree.
+pub fn agree_on_tree(tree: &Tree, query: &ConjunctiveQuery, positive: &PositiveQuery) -> bool {
+    let engine = Engine::with_strategy(EvalStrategy::Mac);
+    let lhs = engine.eval(tree, query);
+    let rhs = if positive.is_empty() {
+        // The empty union is unsatisfiable; produce the matching empty shape.
+        match query.head_arity() {
+            0 => Answer::Boolean(false),
+            1 => Answer::Nodes(Vec::new()),
+            _ => Answer::Tuples(Vec::new()),
+        }
+    } else {
+        engine.eval_positive(tree, positive)
+    };
+    lhs == rhs
+}
+
+/// Checks agreement on `count` random trees labeled with the queries' joint
+/// label alphabet (plus a filler label so that some nodes match no atom).
+/// Returns the first counterexample tree found, or `None` if all trees agree.
+pub fn agree_on_random_trees(
+    query: &ConjunctiveQuery,
+    positive: &PositiveQuery,
+    count: usize,
+    seed: u64,
+) -> Option<Tree> {
+    let mut alphabet: Vec<String> = query
+        .label_alphabet()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    for disjunct in positive.iter() {
+        for label in disjunct.label_alphabet() {
+            if !alphabet.iter().any(|l| l == label) {
+                alphabet.push(label.to_owned());
+            }
+        }
+    }
+    alphabet.push("FILLER".to_owned());
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..count {
+        // Vary size and shape a little across iterations.
+        let nodes = 6 + (i % 7) * 2;
+        let config = RandomTreeConfig {
+            nodes,
+            alphabet: alphabet.clone(),
+            multi_label_probability: 0.1,
+            attach_window: if i % 3 == 0 { 2 } else { usize::MAX },
+        };
+        let tree = random_tree(&mut rng, &config);
+        if !agree_on_tree(&tree, query, positive) {
+            return Some(tree);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_query::parse_query;
+    use cqt_trees::parse::parse_term;
+
+    #[test]
+    fn identical_queries_agree() {
+        let q = parse_query("Q(x) :- A(x), Child(x, y), B(y).").unwrap();
+        let pq = PositiveQuery::singleton(q.clone());
+        assert!(agree_on_random_trees(&q, &pq, 10, 1).is_none());
+        let tree = parse_term("A(B, C)").unwrap();
+        assert!(agree_on_tree(&tree, &q, &pq));
+    }
+
+    #[test]
+    fn different_queries_disagree_somewhere() {
+        let q = parse_query("Q(x) :- A(x), Child(x, y), B(y).").unwrap();
+        let other = parse_query("Q(x) :- A(x), Child(x, y), C(y).").unwrap();
+        let pq = PositiveQuery::singleton(other);
+        assert!(
+            agree_on_random_trees(&q, &pq, 40, 2).is_some(),
+            "expected a counterexample tree distinguishing B-children from C-children"
+        );
+    }
+
+    #[test]
+    fn empty_positive_query_matches_unsatisfiable_cq() {
+        let q = parse_query("Q() :- Child+(x, x).").unwrap();
+        assert!(agree_on_random_trees(&q, &PositiveQuery::empty(), 10, 3).is_none());
+        let monadic = parse_query("Q(x) :- A(x), Child+(x, x).").unwrap();
+        assert!(agree_on_random_trees(&monadic, &PositiveQuery::empty(), 10, 4).is_none());
+    }
+}

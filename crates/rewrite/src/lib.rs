@@ -1,0 +1,44 @@
+//! # cqt-rewrite — expressiveness and succinctness machinery
+//!
+//! This crate implements Sections 6 and 7 of *Conjunctive Queries over
+//! Trees*:
+//!
+//! * [`lifter`] — *join lifters* ψ_{R,S} (Definition 6.2) for every pair of
+//!   axes covered by Theorem 6.6, represented as data and verified against
+//!   their defining equivalence `ψ_{R,S} ≡ R(x,z) ∧ S(y,z)` in the
+//!   test-suite (pairs involving `Following` are handled by the Eq. (1)
+//!   preprocessing of Theorem 6.10 — see the lifter module for why);
+//! * [`cycles`] — directed-cycle elimination (Lemma 6.4): directed cycles
+//!   force all their variables onto one node (when all axes on the cycle are
+//!   reflexive closures) or make the query unsatisfiable;
+//! * [`rewrite`] — the rewrite system of Lemma 6.5 turning an arbitrary
+//!   conjunctive query into an equivalent acyclic positive query (APQ),
+//!   including the Following / Child* preprocessing of Theorem 6.10;
+//! * [`diamonds`] — the succinctness machinery of Section 7: the n-diamond
+//!   queries `D_n`, the scattered path structures `PS(n, p)` of Figure 9, and
+//!   the label-path construction of Lemma 7.3 (Figure 12);
+//! * [`equivalence`] — empirical equivalence checking of queries (original CQ
+//!   vs. rewritten APQ) by evaluation on fixed and random trees, used by the
+//!   property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycles;
+pub mod diamonds;
+pub mod equivalence;
+pub mod lifter;
+pub mod rewrite;
+
+pub use cycles::eliminate_directed_cycles;
+pub use diamonds::{diamond_query, ps_structure};
+pub use lifter::{join_lifter, JoinLifter, LifterConjunct};
+pub use rewrite::{rewrite_to_apq, RewriteOptions, RewriteStats};
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::cycles::eliminate_directed_cycles;
+    pub use crate::diamonds::{diamond_query, ps_structure};
+    pub use crate::lifter::{join_lifter, JoinLifter, LifterConjunct};
+    pub use crate::rewrite::{rewrite_to_apq, RewriteOptions, RewriteStats};
+}

@@ -1,0 +1,397 @@
+//! Join lifters (Definition 6.2) and the lifter table of Theorem 6.6.
+//!
+//! A *join lifter* for binary relations `R` and `S` is a positive
+//! quantifier-free DNF formula ψ_{R,S}(x, y, z) equivalent (on all trees) to
+//! φ_{R,S}(x, y, z) = `R(x, z) ∧ S(y, z)` in which every conjunction has one
+//! of five syntactic forms (each mentioning `z` in at most one binary atom).
+//! Rewriting the pair of atoms `R(x, z), S(y, z)` by ψ_{R,S} either lifts the
+//! join on `z` one level up the query graph or eliminates `z` via an equality
+//! — this is the engine of the CQ→APQ translation (Lemma 6.5).
+
+use cqt_trees::{Axis, Tree};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One disjunct (conjunction) of a join lifter, in one of the five forms of
+/// Definition 6.2. `x`, `y`, `z` refer to the three parameters of
+/// ψ_{R,S}(x, y, z).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LifterConjunct {
+    /// Form (a): `P(x, y) ∧ P'(y, z)` — the join is lifted from `z` to `y`.
+    ChainThroughY {
+        /// The atom `P(x, y)`.
+        p: Axis,
+        /// The atom `P'(y, z)`.
+        p_prime: Axis,
+    },
+    /// Form (b): `P(y, x) ∧ P'(x, z)` — the join is lifted from `z` to `x`.
+    ChainThroughX {
+        /// The atom `P(y, x)`.
+        p: Axis,
+        /// The atom `P'(x, z)`.
+        p_prime: Axis,
+    },
+    /// Form (c): `P(x, z) ∧ y = z` — `y` is identified with `z`.
+    EqualYZ {
+        /// The atom `P(x, z)`.
+        p: Axis,
+    },
+    /// Form (d): `P(y, z) ∧ x = z` — `x` is identified with `z`.
+    EqualXZ {
+        /// The atom `P(y, z)`.
+        p: Axis,
+    },
+    /// Form (e): `P(x, z) ∧ x = y` — `x` is identified with `y`.
+    EqualXY {
+        /// The atom `P(x, z)`.
+        p: Axis,
+    },
+}
+
+impl LifterConjunct {
+    /// The conjunct obtained by swapping the roles of `x` and `y` (used by the
+    /// "otherwise, ψ_{S,R}(y, x, z)" case of Theorem 6.6). Form (e) is
+    /// invariant under the swap because its equality identifies `x` and `y`.
+    pub fn swap_xy(self) -> LifterConjunct {
+        match self {
+            LifterConjunct::ChainThroughY { p, p_prime } => {
+                LifterConjunct::ChainThroughX { p, p_prime }
+            }
+            LifterConjunct::ChainThroughX { p, p_prime } => {
+                LifterConjunct::ChainThroughY { p, p_prime }
+            }
+            LifterConjunct::EqualYZ { p } => LifterConjunct::EqualXZ { p },
+            LifterConjunct::EqualXZ { p } => LifterConjunct::EqualYZ { p },
+            LifterConjunct::EqualXY { p } => LifterConjunct::EqualXY { p },
+        }
+    }
+
+    /// Whether the conjunct holds on `tree` for concrete nodes `x`, `y`, `z`.
+    pub fn holds(
+        self,
+        tree: &Tree,
+        x: cqt_trees::NodeId,
+        y: cqt_trees::NodeId,
+        z: cqt_trees::NodeId,
+    ) -> bool {
+        match self {
+            LifterConjunct::ChainThroughY { p, p_prime } => {
+                p.holds(tree, x, y) && p_prime.holds(tree, y, z)
+            }
+            LifterConjunct::ChainThroughX { p, p_prime } => {
+                p.holds(tree, y, x) && p_prime.holds(tree, x, z)
+            }
+            LifterConjunct::EqualYZ { p } => p.holds(tree, x, z) && y == z,
+            LifterConjunct::EqualXZ { p } => p.holds(tree, y, z) && x == z,
+            LifterConjunct::EqualXY { p } => p.holds(tree, x, z) && x == y,
+        }
+    }
+}
+
+impl fmt::Display for LifterConjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LifterConjunct::ChainThroughY { p, p_prime } => {
+                write!(f, "{p}(x, y) ∧ {p_prime}(y, z)")
+            }
+            LifterConjunct::ChainThroughX { p, p_prime } => {
+                write!(f, "{p}(y, x) ∧ {p_prime}(x, z)")
+            }
+            LifterConjunct::EqualYZ { p } => write!(f, "{p}(x, z) ∧ y = z"),
+            LifterConjunct::EqualXZ { p } => write!(f, "{p}(y, z) ∧ x = z"),
+            LifterConjunct::EqualXY { p } => write!(f, "{p}(x, z) ∧ x = y"),
+        }
+    }
+}
+
+/// A join lifter ψ_{R,S}(x, y, z): a disjunction of [`LifterConjunct`]s
+/// equivalent to `R(x, z) ∧ S(y, z)`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct JoinLifter {
+    /// The first relation `R` of φ_{R,S}.
+    pub r: Axis,
+    /// The second relation `S` of φ_{R,S}.
+    pub s: Axis,
+    /// The disjuncts of ψ_{R,S}.
+    pub conjuncts: Vec<LifterConjunct>,
+}
+
+impl JoinLifter {
+    /// Whether ψ_{R,S} holds on `tree` for concrete nodes.
+    pub fn holds(
+        &self,
+        tree: &Tree,
+        x: cqt_trees::NodeId,
+        y: cqt_trees::NodeId,
+        z: cqt_trees::NodeId,
+    ) -> bool {
+        self.conjuncts.iter().any(|c| c.holds(tree, x, y, z))
+    }
+
+    /// Whether φ_{R,S}(x, y, z) = `R(x, z) ∧ S(y, z)` holds (the formula the
+    /// lifter must be equivalent to).
+    pub fn phi_holds(
+        &self,
+        tree: &Tree,
+        x: cqt_trees::NodeId,
+        y: cqt_trees::NodeId,
+        z: cqt_trees::NodeId,
+    ) -> bool {
+        self.r.holds(tree, x, z) && self.s.holds(tree, y, z)
+    }
+
+    /// Exhaustively verifies the defining equivalence ψ_{R,S} ≡ φ_{R,S} on
+    /// all node triples of `tree`. Returns the first counterexample, if any.
+    pub fn verify_on(
+        &self,
+        tree: &Tree,
+    ) -> Option<(cqt_trees::NodeId, cqt_trees::NodeId, cqt_trees::NodeId)> {
+        for x in tree.nodes() {
+            for y in tree.nodes() {
+                for z in tree.nodes() {
+                    if self.holds(tree, x, y, z) != self.phi_holds(tree, x, y, z) {
+                        return Some((x, y, z));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The maximum number of conjunctions occurring in any lifter produced by
+    /// [`join_lifter`] — the constant `k` in the termination argument of
+    /// Lemma 6.5 ("no greater than three in this article").
+    pub const MAX_CONJUNCTS: usize = 3;
+}
+
+impl fmt::Display for JoinLifter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ψ[{}, {}](x, y, z) = ", self.r, self.s)?;
+        for (i, c) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Returns the join lifter ψ_{R,S} for the given pair of axes, following the
+/// table in the proof of Theorem 6.6: all pairs over
+/// `{Child, Child+, Child*, NextSibling, NextSibling+, NextSibling*}` are
+/// covered, each lifter verified against the defining equivalence
+/// `ψ_{R,S} ≡ R(x, z) ∧ S(y, z)` in the test-suite.
+///
+/// Returns `None` when either relation is `Following` or an axis outside the
+/// paper's set `Ax` is involved. Pairs with `Following` are handled by the
+/// rewrite system through the Eq. (1) preprocessing of Theorem 6.10 (the same
+/// route the paper's worked example, Figure 8, takes): the journal version's
+/// Theorem 6.9 lifter table does not satisfy Definition 6.2's equivalence as
+/// printed (its disjunctions omit the configurations in which `y` lies inside
+/// the subtree of `x` or of an intermediate sibling), so we do not use it —
+/// see DESIGN.md for the erratum note.
+pub fn join_lifter(r: Axis, s: Axis) -> Option<JoinLifter> {
+    use Axis::*;
+    use LifterConjunct::*;
+
+    let sibling = |a: Axis| matches!(a, NextSibling | NextSiblingPlus | NextSiblingStar);
+
+    // The cases of Theorem 6.6 (with Theorem 6.9's additions for Following),
+    // in the order they appear in the paper. The final fallback swaps the
+    // roles of R and S.
+    let direct = |r: Axis, s: Axis| -> Option<Vec<LifterConjunct>> {
+        let conj = match (r, s) {
+            // R = S ∈ {Child, NextSibling}: R(x, z) ∧ x = y.
+            (Child, Child) | (NextSibling, NextSibling) => vec![EqualXY { p: r }],
+            // R = S ∈ {Child*, NextSibling*}.
+            (ChildStar, ChildStar) | (NextSiblingStar, NextSiblingStar) => vec![
+                ChainThroughX { p: r, p_prime: r },
+                ChainThroughY { p: r, p_prime: r },
+            ],
+            // R = S ∈ {Child+, NextSibling+}.
+            (ChildPlus, ChildPlus) | (NextSiblingPlus, NextSiblingPlus) => vec![
+                ChainThroughX { p: r, p_prime: r },
+                ChainThroughY { p: r, p_prime: r },
+                EqualXY { p: r },
+            ],
+            // R ∈ {Child, NextSibling}, S = R*.
+            (Child, ChildStar) | (NextSibling, NextSiblingStar) => vec![
+                EqualYZ { p: r },
+                ChainThroughX { p: s, p_prime: r },
+            ],
+            // R ∈ {Child, NextSibling}, S = R+.
+            (Child, ChildPlus) | (NextSibling, NextSiblingPlus) => vec![
+                EqualXY { p: r },
+                ChainThroughX { p: s, p_prime: r },
+            ],
+            // R = χ+, S = χ*.
+            (ChildPlus, ChildStar) | (NextSiblingPlus, NextSiblingStar) => vec![
+                EqualYZ { p: r },
+                ChainThroughX { p: s, p_prime: r },
+                ChainThroughY { p: s, p_prime: r },
+            ],
+            // R ∈ {NextSibling, NextSibling*, NextSibling+}, S ∈ {Child, Child+}.
+            (rr, Child) | (rr, ChildPlus) if sibling(rr) => {
+                vec![ChainThroughX { p: s, p_prime: r }]
+            }
+            // R ∈ {NextSibling, NextSibling*, NextSibling+}, S = Child*.
+            (rr, ChildStar) if sibling(rr) => vec![
+                EqualYZ { p: r },
+                ChainThroughX {
+                    p: ChildPlus,
+                    p_prime: r,
+                },
+            ],
+            _ => return None,
+        };
+        Some(conj)
+    };
+
+    if !r.is_paper_axis() || !s.is_paper_axis() {
+        return None;
+    }
+    if let Some(conjuncts) = direct(r, s) {
+        return Some(JoinLifter { r, s, conjuncts });
+    }
+    // "Otherwise: ψ_{S,R}(y, x, z)" — swap the roles of x and y.
+    if let Some(conjuncts) = direct(s, r) {
+        let swapped = conjuncts.into_iter().map(LifterConjunct::swap_xy).collect();
+        return Some(JoinLifter {
+            r,
+            s,
+            conjuncts: swapped,
+        });
+    }
+    None
+}
+
+/// The pairs of paper axes for which [`join_lifter`] is defined.
+pub fn covered_pairs() -> Vec<(Axis, Axis)> {
+    let mut out = Vec::new();
+    for &r in &Axis::PAPER_AXES {
+        for &s in &Axis::PAPER_AXES {
+            if join_lifter(r, s).is_some() {
+                out.push((r, s));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_trees::generate::{random_tree, RandomTreeConfig};
+    use cqt_trees::parse::parse_term;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uncovered_pairs_are_exactly_those_involving_following() {
+        for &r in &Axis::PAPER_AXES {
+            for &s in &Axis::PAPER_AXES {
+                let covered = join_lifter(r, s).is_some();
+                let expect_uncovered = r == Axis::Following || s == Axis::Following;
+                assert_eq!(
+                    covered, !expect_uncovered,
+                    "coverage mismatch for ({r}, {s})"
+                );
+            }
+        }
+        // 6 × 6 pairs over the non-Following axes are covered.
+        assert_eq!(covered_pairs().len(), 36);
+    }
+
+    #[test]
+    fn lifters_respect_the_syntactic_bound_on_conjuncts() {
+        for (r, s) in covered_pairs() {
+            let lifter = join_lifter(r, s).unwrap();
+            assert!(
+                !lifter.conjuncts.is_empty()
+                    && lifter.conjuncts.len() <= JoinLifter::MAX_CONJUNCTS,
+                "lifter for ({r}, {s}) has {} conjuncts",
+                lifter.conjuncts.len()
+            );
+        }
+    }
+
+    #[test]
+    fn example_6_3_child_nextsibling() {
+        // ψ_{Child, NextSibling}(x, y, z) = Child(x, y) ∧ NextSibling(y, z).
+        let lifter = join_lifter(Axis::Child, Axis::NextSibling).unwrap();
+        assert_eq!(lifter.conjuncts.len(), 1);
+        assert_eq!(
+            lifter.conjuncts[0],
+            LifterConjunct::ChainThroughY {
+                p: Axis::Child,
+                p_prime: Axis::NextSibling
+            }
+        );
+        assert!(lifter.to_string().contains("Child(x, y)"));
+    }
+
+    #[test]
+    fn lifters_are_equivalent_to_phi_on_fixed_trees() {
+        let trees = [
+            parse_term("A(B(C, D), E(F), G)").unwrap(),
+            parse_term("A(B(C(D(E))))").unwrap(),
+            parse_term("A(B, C, D, E, F)").unwrap(),
+            parse_term("A(B(C, D(E, F), G), H(I))").unwrap(),
+        ];
+        for tree in &trees {
+            for (r, s) in covered_pairs() {
+                let lifter = join_lifter(r, s).unwrap();
+                assert_eq!(
+                    lifter.verify_on(tree),
+                    None,
+                    "lifter for ({r}, {s}) is not equivalent to φ on {}",
+                    cqt_trees::parse::to_term(tree)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lifters_are_equivalent_to_phi_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let config = RandomTreeConfig {
+            nodes: 12,
+            ..RandomTreeConfig::default()
+        };
+        for _ in 0..8 {
+            let tree = random_tree(&mut rng, &config);
+            for (r, s) in covered_pairs() {
+                let lifter = join_lifter(r, s).unwrap();
+                assert_eq!(
+                    lifter.verify_on(&tree),
+                    None,
+                    "lifter for ({r}, {s}) failed on a random tree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_is_an_involution_on_conjuncts() {
+        for (r, s) in covered_pairs() {
+            for c in join_lifter(r, s).unwrap().conjuncts {
+                assert_eq!(c.swap_xy().swap_xy(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn non_paper_axes_have_no_lifter() {
+        assert!(join_lifter(Axis::Parent, Axis::Child).is_none());
+        assert!(join_lifter(Axis::Child, Axis::SelfAxis).is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let lifter = join_lifter(Axis::ChildPlus, Axis::ChildPlus).unwrap();
+        let text = lifter.to_string();
+        assert!(text.contains("ψ[Child+, Child+]"));
+        assert!(text.contains("∨"));
+    }
+}

@@ -1,0 +1,488 @@
+//! The CQ → APQ rewrite system (Lemma 6.5, Theorems 6.6 and 6.10).
+//!
+//! Given a conjunctive query over the paper's axes, the rewrite system
+//! produces an equivalent *acyclic positive query* (a union of acyclic
+//! conjunctive queries), in exponential time and with an at most exponential
+//! number of disjuncts — which Section 7 shows cannot be avoided in general.
+//!
+//! The algorithm follows Lemma 6.5:
+//!
+//! 1. normalize the query (inverse axes are flipped, `Self` atoms become
+//!    equalities, `Following` atoms are expanded via Eq. (1) — the
+//!    preprocessing step of Theorem 6.10, also used by the paper's worked
+//!    example in Figure 8);
+//! 2. repeatedly pick a query whose graph is not a forest:
+//!    * eliminate directed cycles (Lemma 6.4), dropping unsatisfiable
+//!      queries;
+//!    * pick a bottom-most variable `z` on an undirected cycle and two
+//!      incoming cycle atoms `R(x, z)`, `S(y, z)`;
+//!    * replace them by the join lifter ψ_{R,S}, one new query per disjunct
+//!      (equality disjuncts identify variables);
+//! 3. collect the resulting acyclic queries into a [`PositiveQuery`].
+
+use cqt_query::{AxisAtom, ConjunctiveQuery, PositiveQuery, Var};
+use cqt_trees::Axis;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::cycles::{eliminate_directed_cycles, DirectedCycleOutcome};
+use crate::lifter::{join_lifter, LifterConjunct};
+
+/// Options controlling the rewrite.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RewriteOptions {
+    /// Also expand every `Child*` atom into the two cases `Child+` / equality
+    /// before rewriting (the "economical with axes" expansion of
+    /// Theorem 6.10). Not required for correctness — the Theorem 6.6 lifters
+    /// handle `Child*` directly — but useful for reproducing the theorem's
+    /// construction and for ablation benchmarks.
+    pub expand_child_star: bool,
+    /// Safety cap on the total number of conjunctive queries materialized
+    /// during the rewrite (worklist plus finished queries). The translation
+    /// is exponential in the worst case (Theorem 7.1), so callers should set
+    /// this to something they are willing to pay for.
+    pub max_disjuncts: usize,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            expand_child_star: false,
+            max_disjuncts: 200_000,
+        }
+    }
+}
+
+/// Statistics reported by the rewrite.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RewriteStats {
+    /// Number of join-lifter applications (Step (4) executions).
+    pub lifter_applications: u64,
+    /// Number of queries dropped as unsatisfiable (directed cycles over
+    /// irreflexive axes, Lemma 6.4).
+    pub unsat_pruned: u64,
+    /// Number of directed-cycle collapse rounds (Step (3) executions that
+    /// actually changed a query).
+    pub directed_collapses: u64,
+    /// Number of `Following` atoms expanded via Eq. (1).
+    pub following_expanded: u64,
+    /// Number of `Child*` atoms expanded via the Theorem 6.10 case split.
+    pub child_star_expanded: u64,
+    /// Number of acyclic disjuncts in the final APQ (after deduplication).
+    pub final_disjuncts: u64,
+}
+
+/// Errors reported by the rewrite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The number of materialized queries exceeded
+    /// [`RewriteOptions::max_disjuncts`].
+    DisjunctLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The query uses an axis for which no join lifter is available even
+    /// after normalization (cannot happen for queries over the paper's axes
+    /// and their inverses).
+    UnsupportedAxis(Axis),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::DisjunctLimitExceeded { limit } => {
+                write!(f, "rewrite exceeded the disjunct limit of {limit}")
+            }
+            RewriteError::UnsupportedAxis(axis) => {
+                write!(f, "no join lifter available for axis {axis}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// Rewrites `query` into an equivalent acyclic positive query with default
+/// options. See [`rewrite_to_apq_with`].
+pub fn rewrite_to_apq(query: &ConjunctiveQuery) -> Result<PositiveQuery, RewriteError> {
+    rewrite_to_apq_with(query, &RewriteOptions::default()).map(|(apq, _)| apq)
+}
+
+/// Rewrites `query` into an equivalent acyclic positive query.
+///
+/// The resulting APQ may be empty, which denotes the unsatisfiable query
+/// (every disjunct was pruned by Lemma 6.4 — see Example 6.7 for a case where
+/// all but one disjunct is pruned).
+pub fn rewrite_to_apq_with(
+    query: &ConjunctiveQuery,
+    options: &RewriteOptions,
+) -> Result<(PositiveQuery, RewriteStats), RewriteError> {
+    let mut stats = RewriteStats::default();
+
+    // ---- Step 0: normalization ------------------------------------------
+    let normalized = normalize_axes(query)?;
+    let preprocessed = expand_following(&normalized, &mut stats);
+    let mut worklist: Vec<ConjunctiveQuery> = if options.expand_child_star {
+        expand_child_star(&preprocessed, &mut stats)
+    } else {
+        vec![preprocessed]
+    };
+    let mut finished: Vec<ConjunctiveQuery> = Vec::new();
+
+    // ---- Main loop (Lemma 6.5) ------------------------------------------
+    while let Some(current) = worklist.pop() {
+        if worklist.len() + finished.len() > options.max_disjuncts
+            || stats.lifter_applications as usize > options.max_disjuncts
+        {
+            return Err(RewriteError::DisjunctLimitExceeded {
+                limit: options.max_disjuncts,
+            });
+        }
+        // Steps (2)–(3): directed cycles.
+        let had_directed_cycle = current.graph().has_directed_cycle();
+        let current = match eliminate_directed_cycles(&current) {
+            DirectedCycleOutcome::Rewritten(q) => {
+                if had_directed_cycle {
+                    stats.directed_collapses += 1;
+                }
+                q
+            }
+            DirectedCycleOutcome::Unsatisfiable => {
+                stats.unsat_pruned += 1;
+                continue;
+            }
+        };
+        let graph = current.graph();
+        if graph.is_forest() {
+            finished.push(current);
+            continue;
+        }
+        // Step (4): pick a bottom-most cycle variable and two incoming cycle
+        // atoms R(x, z), S(y, z).
+        let z = graph
+            .bottommost_cycle_var()
+            .expect("a graph with undirected but no directed cycles has a bottom-most cycle variable");
+        let (first, second) = pick_incoming_cycle_atoms(&graph, z);
+        let lifter = join_lifter(first.axis, second.axis)
+            .ok_or(RewriteError::UnsupportedAxis(first.axis))?;
+        stats.lifter_applications += 1;
+        let x = first.from;
+        let y = second.from;
+        for conjunct in &lifter.conjuncts {
+            let mut rewritten = current.clone();
+            rewritten.remove_axis_atom(first);
+            rewritten.remove_axis_atom(second);
+            apply_conjunct(&mut rewritten, *conjunct, x, y, z);
+            worklist.push(rewritten);
+        }
+    }
+
+    // ---- Finalization -----------------------------------------------------
+    // Deduplicate structurally identical disjuncts (cheap textual check after
+    // the canonical datalog rendering).
+    let mut seen = BTreeSet::new();
+    let mut disjuncts = Vec::new();
+    for q in finished {
+        debug_assert!(q.is_acyclic());
+        let key = q.to_datalog();
+        if seen.insert(key) {
+            disjuncts.push(q);
+        }
+    }
+    stats.final_disjuncts = disjuncts.len() as u64;
+    Ok((PositiveQuery::from_disjuncts(disjuncts), stats))
+}
+
+/// Flips inverse axes (`R⁻¹(x, y)` → `R(y, x)`) and resolves `Self` atoms by
+/// identifying their endpoints, so that only paper axes remain.
+fn normalize_axes(query: &ConjunctiveQuery) -> Result<ConjunctiveQuery, RewriteError> {
+    let mut out = query.clone();
+    // Flip inverse axes.
+    for atom in query.axis_atoms().to_vec() {
+        if !atom.axis.is_paper_axis() && atom.axis != Axis::SelfAxis {
+            let flipped = atom.flipped();
+            if !flipped.axis.is_paper_axis() {
+                return Err(RewriteError::UnsupportedAxis(atom.axis));
+            }
+            out.replace_axis_atom(atom, flipped);
+        }
+    }
+    // Resolve Self atoms by substitution.
+    loop {
+        let self_atom = out
+            .axis_atoms()
+            .iter()
+            .copied()
+            .find(|a| a.axis == Axis::SelfAxis);
+        match self_atom {
+            Some(atom) => {
+                out.remove_axis_atom(atom);
+                if atom.from != atom.to {
+                    out.substitute(atom.to, atom.from);
+                }
+            }
+            None => break,
+        }
+    }
+    Ok(out)
+}
+
+/// Replaces every `Following(x, y)` atom by the Eq. (1) expansion
+/// `Child*(z1, x) ∧ NextSibling+(z1, z2) ∧ Child*(z2, y)` with fresh
+/// variables `z1`, `z2` (Theorem 6.10, first step; also Figure 8).
+fn expand_following(query: &ConjunctiveQuery, stats: &mut RewriteStats) -> ConjunctiveQuery {
+    let mut out = query.clone();
+    for atom in query.axis_atoms().to_vec() {
+        if atom.axis != Axis::Following {
+            continue;
+        }
+        out.remove_axis_atom(atom);
+        let z1 = out.fresh_var("f");
+        let z2 = out.fresh_var("f");
+        out.add_axis(Axis::ChildStar, z1, atom.from);
+        out.add_axis(Axis::NextSiblingPlus, z1, z2);
+        out.add_axis(Axis::ChildStar, z2, atom.to);
+        stats.following_expanded += 1;
+    }
+    out
+}
+
+/// The Theorem 6.10 case split: each `Child*(x, y)` atom becomes either
+/// `Child+(x, y)` or the equality `x = y`, producing `2^n` queries for `n`
+/// occurrences.
+fn expand_child_star(query: &ConjunctiveQuery, stats: &mut RewriteStats) -> Vec<ConjunctiveQuery> {
+    let mut results = vec![query.clone()];
+    loop {
+        // Find a query that still has a Child* atom.
+        let Some(pos) = results.iter().position(|q| {
+            q.axis_atoms().iter().any(|a| a.axis == Axis::ChildStar)
+        }) else {
+            break;
+        };
+        let q = results.swap_remove(pos);
+        let atom = *q
+            .axis_atoms()
+            .iter()
+            .find(|a| a.axis == Axis::ChildStar)
+            .expect("just checked");
+        stats.child_star_expanded += 1;
+        // Case 1: Child+.
+        let mut plus = q.clone();
+        plus.replace_axis_atom(
+            atom,
+            AxisAtom {
+                axis: Axis::ChildPlus,
+                from: atom.from,
+                to: atom.to,
+            },
+        );
+        // Case 2: equality.
+        let mut eq = q.clone();
+        eq.remove_axis_atom(atom);
+        if atom.from != atom.to {
+            eq.substitute(atom.to, atom.from);
+        }
+        results.push(plus);
+        results.push(eq);
+    }
+    results
+}
+
+/// Chooses two incoming cycle atoms of `z` (Step (4) of Lemma 6.5). Both
+/// incident cycle edges of a bottom-most cycle variable point into it, so two
+/// such atoms always exist; if the non-bridge analysis yields fewer than two
+/// (which should not happen), any two incoming atoms are used.
+fn pick_incoming_cycle_atoms(graph: &cqt_query::QueryGraph, z: Var) -> (AxisAtom, AxisAtom) {
+    let non_bridge = graph.non_bridge_edges();
+    let mut cycle_incoming: Vec<AxisAtom> = Vec::new();
+    let mut all_incoming: Vec<AxisAtom> = Vec::new();
+    for (i, atom) in graph.edges().iter().enumerate() {
+        if atom.to == z {
+            all_incoming.push(*atom);
+            if non_bridge.contains(&i) {
+                cycle_incoming.push(*atom);
+            }
+        }
+    }
+    if cycle_incoming.len() >= 2 {
+        (cycle_incoming[0], cycle_incoming[1])
+    } else {
+        debug_assert!(
+            all_incoming.len() >= 2,
+            "bottom-most cycle variable must have at least two incoming atoms"
+        );
+        (all_incoming[0], all_incoming[1])
+    }
+}
+
+/// Applies one lifter disjunct: adds its atoms (instantiated with the actual
+/// variables x, y, z) and performs its equality substitution, if any.
+fn apply_conjunct(
+    query: &mut ConjunctiveQuery,
+    conjunct: LifterConjunct,
+    x: Var,
+    y: Var,
+    z: Var,
+) {
+    match conjunct {
+        LifterConjunct::ChainThroughY { p, p_prime } => {
+            query.add_axis(p, x, y);
+            query.add_axis(p_prime, y, z);
+        }
+        LifterConjunct::ChainThroughX { p, p_prime } => {
+            query.add_axis(p, y, x);
+            query.add_axis(p_prime, x, z);
+        }
+        LifterConjunct::EqualYZ { p } => {
+            query.add_axis(p, x, z);
+            if y != z {
+                query.substitute(y, z);
+            }
+        }
+        LifterConjunct::EqualXZ { p } => {
+            query.add_axis(p, y, z);
+            if x != z {
+                query.substitute(x, z);
+            }
+        }
+        LifterConjunct::EqualXY { p } => {
+            query.add_axis(p, x, z);
+            if x != y {
+                query.substitute(y, x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::agree_on_random_trees;
+    use cqt_query::cq::{figure1_query, intro_xpath_query};
+    use cqt_query::parse_query;
+
+    #[test]
+    fn acyclic_queries_are_returned_unchanged_modulo_normalization() {
+        let q = intro_xpath_query();
+        let (apq, stats) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
+        assert!(apq.is_acyclic());
+        // The Following atom is expanded but the query stays a single
+        // (acyclic) disjunct.
+        assert_eq!(apq.len(), 1);
+        assert_eq!(stats.following_expanded, 1);
+        assert_eq!(stats.unsat_pruned, 0);
+    }
+
+    #[test]
+    fn example_6_7_child_star_next_sibling_star() {
+        // Q0(x, y) :- Child*(x, y), NextSibling*(x, y): equivalent to x = y.
+        let q = parse_query("Q(x, y) :- Child*(x, y), NextSibling*(x, y).").unwrap();
+        let (apq, stats) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
+        assert!(apq.is_acyclic());
+        assert!(stats.unsat_pruned >= 1, "the Child+(x, x) branch must be pruned");
+        // Every surviving disjunct must be equivalent to "x = y" (both head
+        // positions list the same variable).
+        assert!(!apq.is_empty());
+        for disjunct in apq.iter() {
+            assert_eq!(disjunct.head()[0], disjunct.head()[1]);
+        }
+        assert!(agree_on_random_trees(&q, &apq, 20, 0xC0FFEE).is_none());
+    }
+
+    #[test]
+    fn figure8_intro_query_rewrites_to_an_equivalent_apq() {
+        // The worked example of Figure 8: the Figure 1 query (cyclic, uses
+        // Following) is rewritten into an APQ; the paper notes that exactly
+        // one satisfiable acyclic query remains, all other branches being
+        // unsatisfiable.
+        let q = figure1_query();
+        let (apq, stats) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
+        assert!(apq.is_acyclic());
+        assert!(stats.lifter_applications > 0);
+        assert!(stats.following_expanded == 1);
+        assert!(!apq.is_empty());
+        // Equivalence on random trees labeled with the query's alphabet.
+        assert!(agree_on_random_trees(&q, &apq, 25, 0xFEED).is_none());
+    }
+
+    #[test]
+    fn unsatisfiable_cyclic_query_rewrites_to_the_empty_apq() {
+        let q = parse_query("Q() :- Child+(x, y), Child+(y, x).").unwrap();
+        let (apq, stats) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
+        assert!(apq.is_empty());
+        assert!(stats.unsat_pruned >= 1);
+    }
+
+    #[test]
+    fn triangle_queries_over_vertical_axes() {
+        // A genuinely cyclic query over {Child, Child+, Child*}.
+        let q = parse_query(
+            "Q() :- A(x), B(y), C(z), Child(x, y), Child+(y, z), Child*(x, z).",
+        )
+        .unwrap();
+        let (apq, _) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
+        assert!(apq.is_acyclic());
+        assert!(agree_on_random_trees(&q, &apq, 30, 42).is_none());
+    }
+
+    #[test]
+    fn sibling_and_vertical_mix() {
+        let q = parse_query(
+            "Q(w) :- A(x), Child*(x, y), NextSibling+(y, z), Child(x, w), NextSibling*(w, z).",
+        )
+        .unwrap();
+        let (apq, _) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
+        assert!(apq.is_acyclic());
+        assert!(agree_on_random_trees(&q, &apq, 30, 7).is_none());
+    }
+
+    #[test]
+    fn inverse_axes_and_self_are_normalized() {
+        let q = parse_query("Q() :- Parent(x, y), Ancestor(z, y), Self(x, w), A(w).").unwrap();
+        let (apq, _) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
+        assert!(apq.is_acyclic());
+        for disjunct in apq.iter() {
+            assert!(
+                disjunct.signature().is_paper_signature(),
+                "normalization should leave only paper axes: {disjunct}"
+            );
+        }
+        assert!(agree_on_random_trees(&q, &apq, 20, 5).is_none());
+    }
+
+    #[test]
+    fn child_star_expansion_option() {
+        let q = parse_query("Q() :- A(x), Child*(x, y), Child*(y, z), B(z).").unwrap();
+        let options = RewriteOptions {
+            expand_child_star: true,
+            ..RewriteOptions::default()
+        };
+        let (apq, stats) = rewrite_to_apq_with(&q, &options).unwrap();
+        assert!(apq.is_acyclic());
+        // Two Child* atoms; the equality branch of the first split still
+        // contains one Child* atom, so three case splits are performed.
+        assert_eq!(stats.child_star_expanded, 3);
+        // No Child* atom survives the expansion.
+        for disjunct in apq.iter() {
+            assert!(!disjunct.signature().contains(Axis::ChildStar));
+        }
+        assert!(agree_on_random_trees(&q, &apq, 20, 99).is_none());
+    }
+
+    #[test]
+    fn disjunct_limit_is_enforced() {
+        let q = figure1_query();
+        let options = RewriteOptions {
+            max_disjuncts: 1,
+            ..RewriteOptions::default()
+        };
+        assert!(matches!(
+            rewrite_to_apq_with(&q, &options),
+            Err(RewriteError::DisjunctLimitExceeded { limit: 1 })
+        ));
+        assert!(RewriteError::DisjunctLimitExceeded { limit: 1 }
+            .to_string()
+            .contains("limit"));
+    }
+}

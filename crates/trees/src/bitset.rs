@@ -1,0 +1,327 @@
+//! Packed bitsets over tree nodes.
+//!
+//! A [`NodeSet`] represents a set of nodes of one particular tree as a packed
+//! `u64` bitset indexed by raw node index. Prevaluations (Section 3 of the
+//! paper) map each query variable to such a set; arc-consistency pruning and
+//! the minimum-valuation extraction of Lemma 3.4 operate directly on them.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const BITS: usize = 64;
+
+/// A set of nodes of a fixed-size tree, stored as a packed bitset.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeSet {
+    blocks: Vec<u64>,
+    /// Number of addressable nodes (the tree size), not the number of members.
+    capacity: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set able to hold nodes `0..capacity`.
+    pub fn empty(capacity: usize) -> Self {
+        NodeSet {
+            blocks: vec![0; capacity.div_ceil(BITS)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every node `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut set = Self::empty(capacity);
+        for block in &mut set.blocks {
+            *block = u64::MAX;
+        }
+        set.trim();
+        set
+    }
+
+    /// Creates a set from an iterator of nodes.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(capacity: usize, nodes: I) -> Self {
+        let mut set = Self::empty(capacity);
+        for node in nodes {
+            set.insert(node);
+        }
+        set
+    }
+
+    fn trim(&mut self) {
+        let rem = self.capacity % BITS;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of addressable nodes (the size of the underlying tree).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds `node` to the set. Returns `true` if it was not already present.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let idx = node.index();
+        debug_assert!(idx < self.capacity, "node out of range for NodeSet");
+        let (block, bit) = (idx / BITS, idx % BITS);
+        let mask = 1u64 << bit;
+        let was_absent = self.blocks[block] & mask == 0;
+        self.blocks[block] |= mask;
+        was_absent
+    }
+
+    /// Removes `node` from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let idx = node.index();
+        debug_assert!(idx < self.capacity, "node out of range for NodeSet");
+        let (block, bit) = (idx / BITS, idx % BITS);
+        let mask = 1u64 << bit;
+        let was_present = self.blocks[block] & mask != 0;
+        self.blocks[block] &= !mask;
+        was_present
+    }
+
+    /// Whether `node` is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let idx = node.index();
+        if idx >= self.capacity {
+            return false;
+        }
+        let (block, bit) = (idx / BITS, idx % BITS);
+        self.blocks[block] & (1u64 << bit) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        for block in &mut self.blocks {
+            *block = 0;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.capacity, other.capacity, "NodeSet capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.capacity, other.capacity, "NodeSet capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        assert_eq!(self.capacity, other.capacity, "NodeSet capacity mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns the intersection of two sets.
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns the union of two sets.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Whether `self` and `other` have no member in common.
+    pub fn is_disjoint(&self, other: &NodeSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every member of `self` is a member of `other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the members in increasing raw-index order.
+    pub fn iter(&self) -> NodeSetIter<'_> {
+        NodeSetIter {
+            set: self,
+            block: 0,
+            bits: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Returns an arbitrary member (the one with the smallest raw index).
+    pub fn any_member(&self) -> Option<NodeId> {
+        self.iter().next()
+    }
+
+    /// Returns the member minimizing `rank[node.index()]`, i.e. the minimum of
+    /// the set with respect to the total order encoded by `rank`.
+    ///
+    /// This is the "minimum valuation" selection step of Lemma 3.4.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `rank` is shorter than the capacity.
+    pub fn min_by_rank(&self, rank: &[u32]) -> Option<NodeId> {
+        debug_assert!(rank.len() >= self.capacity);
+        let mut best: Option<(u32, NodeId)> = None;
+        for node in self.iter() {
+            let r = rank[node.index()];
+            match best {
+                Some((br, _)) if br <= r => {}
+                _ => best = Some((r, node)),
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Builds a set whose capacity is one past the largest inserted index.
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let nodes: Vec<NodeId> = iter.into_iter().collect();
+        let capacity = nodes.iter().map(|n| n.index() + 1).max().unwrap_or(0);
+        NodeSet::from_nodes(capacity, nodes)
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`].
+pub struct NodeSetIter<'a> {
+    set: &'a NodeSet,
+    block: usize,
+    bits: u64,
+}
+
+impl Iterator for NodeSetIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(NodeId::from_index(self.block * BITS + bit));
+            }
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.bits = self.set.blocks[self.block];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = NodeSet::empty(130);
+        assert!(set.insert(n(0)));
+        assert!(set.insert(n(64)));
+        assert!(set.insert(n(129)));
+        assert!(!set.insert(n(64)));
+        assert!(set.contains(n(0)));
+        assert!(set.contains(n(64)));
+        assert!(set.contains(n(129)));
+        assert!(!set.contains(n(1)));
+        assert_eq!(set.len(), 3);
+        assert!(set.remove(n(64)));
+        assert!(!set.remove(n(64)));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let set = NodeSet::full(70);
+        assert_eq!(set.len(), 70);
+        assert!(set.contains(n(69)));
+        assert!(!set.contains(n(70)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_nodes(10, [n(1), n(2), n(3)]);
+        let b = NodeSet::from_nodes(10, [n(2), n(3), n(4)]);
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![n(2), n(3)]);
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![n(1), n(2), n(3), n(4)]
+        );
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![n(1)]);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.intersection(&b).is_subset(&a));
+    }
+
+    #[test]
+    fn iter_is_sorted_by_raw_index() {
+        let set = NodeSet::from_nodes(200, [n(150), n(3), n(64), n(65)]);
+        let members: Vec<usize> = set.iter().map(|x| x.index()).collect();
+        assert_eq!(members, vec![3, 64, 65, 150]);
+    }
+
+    #[test]
+    fn min_by_rank_picks_order_minimum() {
+        // rank: node 3 has rank 9, node 5 has rank 1, node 7 has rank 4.
+        let mut rank = vec![0u32; 10];
+        rank[3] = 9;
+        rank[5] = 1;
+        rank[7] = 4;
+        let set = NodeSet::from_nodes(10, [n(3), n(5), n(7)]);
+        assert_eq!(set.min_by_rank(&rank), Some(n(5)));
+        assert_eq!(NodeSet::empty(10).min_by_rank(&rank), None);
+    }
+
+    #[test]
+    fn from_iterator_sizes_capacity() {
+        let set: NodeSet = [n(5), n(2)].into_iter().collect();
+        assert_eq!(set.capacity(), 6);
+        assert!(set.contains(n(5)));
+        assert!(set.contains(n(2)));
+    }
+}

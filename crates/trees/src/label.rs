@@ -1,0 +1,128 @@
+//! Node labels and label interning.
+//!
+//! The paper works over a labeling alphabet Σ that is not assumed to be fixed;
+//! nodes may carry multiple labels (the tractability results support this, the
+//! hardness results do not need it). We intern label strings per tree so that
+//! label comparisons during query evaluation are integer comparisons.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An interned label symbol.
+///
+/// Labels are only meaningful relative to the [`LabelInterner`] (and therefore
+/// the [`Tree`](crate::Tree)) that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(pub(crate) u32);
+
+impl Label {
+    /// Raw index of the label within its interner.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A string interner for labels.
+///
+/// Label names are arbitrary non-empty strings. Interning is idempotent:
+/// interning the same name twice yields the same [`Label`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    by_name: HashMap<String, Label>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol. Returns the existing symbol if
+    /// `name` was interned before.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&label) = self.by_name.get(name) {
+            return label;
+        }
+        let label = Label(u32::try_from(self.names.len()).expect("too many labels"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), label);
+        label
+    }
+
+    /// Looks up the symbol for `name` without interning it.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `label`.
+    ///
+    /// # Panics
+    /// Panics if `label` was not produced by this interner.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(label, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (Label(i as u32), name.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut interner = LabelInterner::new();
+        let a1 = interner.intern("A");
+        let b = interner.intern("B");
+        let a2 = interner.intern("A");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.name(a1), "A");
+        assert_eq!(interner.name(b), "B");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = LabelInterner::new();
+        assert!(interner.get("X").is_none());
+        let x = interner.intern("X");
+        assert_eq!(interner.get("X"), Some(x));
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut interner = LabelInterner::new();
+        interner.intern("S");
+        interner.intern("NP");
+        interner.intern("PP");
+        let names: Vec<&str> = interner.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["S", "NP", "PP"]);
+    }
+}

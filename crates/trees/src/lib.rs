@@ -1,0 +1,61 @@
+//! # cqt-trees — unranked labeled tree substrate
+//!
+//! This crate provides the data substrate used throughout the `cq-trees`
+//! reproduction of *Conjunctive Queries over Trees* (Gottlob, Koch, Schulz;
+//! PODS 2004 / JACM 2006):
+//!
+//! * [`Tree`] — an immutable arena-backed unranked tree whose nodes may carry
+//!   **multiple labels** (as required by the paper's tractability results),
+//!   with a structural index (pre/post/BFLR ranks, subtree intervals, depth,
+//!   sibling ranks) that makes every axis membership test O(1).
+//! * [`Axis`] — the binary structure relations of the paper
+//!   (`Child`, `Child+`, `Child*`, `NextSibling`, `NextSibling+`,
+//!   `NextSibling*`, `Following`), their inverses, and `self`.
+//! * [`Order`] — the three total orders used by the X̲-property framework:
+//!   pre-order, post-order and breadth-first-left-to-right.
+//! * [`NodeSet`] — a packed bitset over nodes, the representation of
+//!   *prevaluations* used by the arc-consistency engine.
+//! * [`parse`] / [`render`] — textual tree formats (term syntax and an
+//!   XML-lite syntax) and ASCII/DOT rendering.
+//! * [`generate`] — workload generators: random trees, synthetic
+//!   Treebank-style linguistic corpora (our stand-in for the Penn Treebank
+//!   that motivates the paper's Figure 1 query), path structures and the
+//!   scattered path structures of Section 7.
+//! * [`relation`] — explicitly materialized binary relations, used by the
+//!   generic X̲-property checker and the naive baseline evaluator.
+//!
+//! The tree model follows Section 2 of the paper: trees are finite, rooted,
+//! ordered and unranked; nodes are labeled with zero or more symbols from a
+//! labeling alphabet Σ which is *not* assumed fixed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axis;
+pub mod bitset;
+pub mod generate;
+pub mod label;
+pub mod node;
+pub mod order;
+pub mod parse;
+pub mod relation;
+pub mod render;
+pub mod tree;
+
+pub use axis::Axis;
+pub use bitset::NodeSet;
+pub use label::{Label, LabelInterner};
+pub use node::NodeId;
+pub use order::Order;
+pub use relation::MaterializedRelation;
+pub use tree::{Tree, TreeBuilder, TreeError};
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::axis::Axis;
+    pub use crate::bitset::NodeSet;
+    pub use crate::label::Label;
+    pub use crate::node::NodeId;
+    pub use crate::order::Order;
+    pub use crate::tree::{Tree, TreeBuilder};
+}

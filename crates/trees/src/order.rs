@@ -1,0 +1,67 @@
+//! The three total orders on tree nodes used by the X̲-property framework.
+//!
+//! Section 2 of the paper considers three total orderings of the nodes of an
+//! ordered tree:
+//!
+//! * the **pre-order** `≤_pre` (depth-first left-to-right; document order for
+//!   XML),
+//! * the **post-order** `≤_post` (bottom-up left-to-right; closing-tag order),
+//! * the **BFLR order** `≤_bflr` (breadth-first left-to-right).
+//!
+//! Theorem 4.1 shows which axes have the X̲-property with respect to which of
+//! these orders; the polynomial evaluator of Theorem 3.5 extracts the minimum
+//! valuation with respect to the chosen order.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three total node orders of the paper (Section 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Order {
+    /// Depth-first left-to-right traversal order (`≤_pre`, document order).
+    Pre,
+    /// Bottom-up left-to-right traversal order (`≤_post`).
+    Post,
+    /// Breadth-first left-to-right traversal order (`≤_bflr`).
+    Bflr,
+}
+
+impl Order {
+    /// All three orders, in the order they appear in the paper.
+    pub const ALL: [Order; 3] = [Order::Pre, Order::Post, Order::Bflr];
+
+    /// The name used in the paper (`pre`, `post`, `bflr`).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Order::Pre => "pre",
+            Order::Post => "post",
+            Order::Bflr => "bflr",
+        }
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(Order::Pre.to_string(), "<pre");
+        assert_eq!(Order::Post.to_string(), "<post");
+        assert_eq!(Order::Bflr.to_string(), "<bflr");
+    }
+
+    #[test]
+    fn all_lists_every_order_once() {
+        assert_eq!(Order::ALL.len(), 3);
+        assert!(Order::ALL.contains(&Order::Pre));
+        assert!(Order::ALL.contains(&Order::Post));
+        assert!(Order::ALL.contains(&Order::Bflr));
+    }
+}

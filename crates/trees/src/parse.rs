@@ -1,0 +1,452 @@
+//! Textual tree formats.
+//!
+//! Two formats are supported, both adequate for the unranked labeled trees of
+//! the paper (no attributes, no text content — the paper's model abstracts
+//! them away):
+//!
+//! * **Term syntax**: `A(B(D, E), C)` — a node label (or a `|`-separated list
+//!   of labels for multi-labeled nodes) followed by an optional parenthesized
+//!   child list. Example with multiple labels: `A(B|E, C)`.
+//! * **XML-lite**: `<A><B/><C></C></A>` — elements only; multi-labeled nodes
+//!   are written as `<A|B/>`. This is the natural format for the XML
+//!   motivation of the paper's introduction.
+//!
+//! Both parsers produce a [`Tree`]; both serializers invert them.
+
+use std::fmt;
+
+use crate::tree::{Tree, TreeBuilder, TreeError};
+use crate::NodeId;
+
+/// Errors produced by the tree parsers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseTreeError {
+    /// Unexpected character at a byte offset.
+    Unexpected {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// Description of what was found / expected.
+        message: String,
+    },
+    /// The input ended before the tree was complete.
+    UnexpectedEnd,
+    /// The parsed structure was not a valid single-rooted tree.
+    Structure(TreeError),
+    /// Mismatched XML tags.
+    TagMismatch {
+        /// The tag that was opened.
+        open: String,
+        /// The tag that closed it.
+        close: String,
+    },
+}
+
+impl fmt::Display for ParseTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTreeError::Unexpected { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            ParseTreeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            ParseTreeError::Structure(e) => write!(f, "invalid tree structure: {e}"),
+            ParseTreeError::TagMismatch { open, close } => {
+                write!(f, "closing tag </{close}> does not match opening tag <{open}>")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTreeError {}
+
+impl From<TreeError> for ParseTreeError {
+    fn from(e: TreeError) -> Self {
+        ParseTreeError::Structure(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Term syntax
+// ---------------------------------------------------------------------------
+
+struct TermParser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    builder: TreeBuilder,
+}
+
+impl<'a> TermParser<'a> {
+    fn new(input: &'a str) -> Self {
+        TermParser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            builder: TreeBuilder::new(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_labels(&mut self) -> Result<Vec<String>, ParseTreeError> {
+        let mut labels = Vec::new();
+        loop {
+            let start = self.pos;
+            while self
+                .peek()
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'\'' || c == b'.')
+                .unwrap_or(false)
+            {
+                self.pos += 1;
+            }
+            if self.pos == start {
+                return Err(ParseTreeError::Unexpected {
+                    offset: self.pos,
+                    message: "expected a label".to_owned(),
+                });
+            }
+            labels.push(self.input[start..self.pos].to_owned());
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(labels)
+    }
+
+    fn parse_node(&mut self, parent: Option<NodeId>) -> Result<NodeId, ParseTreeError> {
+        self.skip_ws();
+        let labels = self.parse_labels()?;
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let node = match parent {
+            Some(p) => self.builder.add_child(p, &label_refs),
+            None => self.builder.add_root(&label_refs),
+        };
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            loop {
+                self.parse_node(Some(node))?;
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(other) => {
+                        return Err(ParseTreeError::Unexpected {
+                            offset: self.pos,
+                            message: format!("expected ',' or ')', found {:?}", other as char),
+                        })
+                    }
+                    None => return Err(ParseTreeError::UnexpectedEnd),
+                }
+            }
+        }
+        Ok(node)
+    }
+
+    fn parse(mut self) -> Result<Tree, ParseTreeError> {
+        self.parse_node(None)?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(ParseTreeError::Unexpected {
+                offset: self.pos,
+                message: "trailing input after tree".to_owned(),
+            });
+        }
+        Ok(self.builder.build()?)
+    }
+}
+
+/// Parses a tree in term syntax, e.g. `A(B(D, E), C)` or `A(B|E, C)`.
+pub fn parse_term(input: &str) -> Result<Tree, ParseTreeError> {
+    TermParser::new(input).parse()
+}
+
+/// Serializes `tree` to term syntax (inverse of [`parse_term`]).
+pub fn to_term(tree: &Tree) -> String {
+    fn rec(tree: &Tree, node: NodeId, out: &mut String) {
+        let names = tree.label_names(node);
+        if names.is_empty() {
+            out.push('_');
+        } else {
+            out.push_str(&names.join("|"));
+        }
+        let children = tree.children(node);
+        if !children.is_empty() {
+            out.push('(');
+            for (i, &child) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                rec(tree, child, out);
+            }
+            out.push(')');
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// XML-lite
+// ---------------------------------------------------------------------------
+
+struct XmlParser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    builder: TreeBuilder,
+}
+
+impl<'a> XmlParser<'a> {
+    fn new(input: &'a str) -> Self {
+        XmlParser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            builder: TreeBuilder::new(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseTreeError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'|' || c == b'.')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ParseTreeError::Unexpected {
+                offset: self.pos,
+                message: "expected a tag name".to_owned(),
+            });
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    /// Parses one element and its content. Returns the element name.
+    fn parse_element(&mut self, parent: Option<NodeId>) -> Result<String, ParseTreeError> {
+        self.skip_ws();
+        if self.peek() != Some(b'<') {
+            return Err(ParseTreeError::Unexpected {
+                offset: self.pos,
+                message: "expected '<'".to_owned(),
+            });
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let labels: Vec<&str> = name.split('|').collect();
+        let node = match parent {
+            Some(p) => self.builder.add_child(p, &labels),
+            None => self.builder.add_root(&labels),
+        };
+        self.skip_ws();
+        match self.peek() {
+            Some(b'/') => {
+                // Self-closing tag.
+                self.pos += 1;
+                if self.peek() != Some(b'>') {
+                    return Err(ParseTreeError::Unexpected {
+                        offset: self.pos,
+                        message: "expected '>' after '/'".to_owned(),
+                    });
+                }
+                self.pos += 1;
+                Ok(name)
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                // Children until the matching closing tag.
+                loop {
+                    self.skip_ws();
+                    if self.peek() != Some(b'<') {
+                        return Err(ParseTreeError::Unexpected {
+                            offset: self.pos,
+                            message: "expected '<'".to_owned(),
+                        });
+                    }
+                    if self.bytes.get(self.pos + 1) == Some(&b'/') {
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        if close != name {
+                            return Err(ParseTreeError::TagMismatch { open: name, close });
+                        }
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(ParseTreeError::Unexpected {
+                                offset: self.pos,
+                                message: "expected '>' after closing tag".to_owned(),
+                            });
+                        }
+                        self.pos += 1;
+                        return Ok(name);
+                    }
+                    self.parse_element(Some(node))?;
+                }
+            }
+            Some(other) => Err(ParseTreeError::Unexpected {
+                offset: self.pos,
+                message: format!("expected '>' or '/>', found {:?}", other as char),
+            }),
+            None => Err(ParseTreeError::UnexpectedEnd),
+        }
+    }
+
+    fn parse(mut self) -> Result<Tree, ParseTreeError> {
+        self.parse_element(None)?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(ParseTreeError::Unexpected {
+                offset: self.pos,
+                message: "trailing input after document element".to_owned(),
+            });
+        }
+        Ok(self.builder.build()?)
+    }
+}
+
+/// Parses a tree in XML-lite syntax, e.g. `<A><B/><C></C></A>`.
+pub fn parse_xml(input: &str) -> Result<Tree, ParseTreeError> {
+    XmlParser::new(input).parse()
+}
+
+/// Serializes `tree` to XML-lite syntax (inverse of [`parse_xml`]).
+pub fn to_xml(tree: &Tree) -> String {
+    fn rec(tree: &Tree, node: NodeId, out: &mut String) {
+        let name = tree.label_names(node).join("|");
+        let name = if name.is_empty() { "_".to_owned() } else { name };
+        let children = tree.children(node);
+        if children.is_empty() {
+            out.push('<');
+            out.push_str(&name);
+            out.push_str("/>");
+        } else {
+            out.push('<');
+            out.push_str(&name);
+            out.push('>');
+            for &child in children {
+                rec(tree, child, out);
+            }
+            out.push_str("</");
+            out.push_str(&name);
+            out.push('>');
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::Order;
+
+    #[test]
+    fn term_round_trip() {
+        let src = "A(B(D, E), C)";
+        let tree = parse_term(src).unwrap();
+        assert_eq!(tree.len(), 5);
+        assert_eq!(to_term(&tree), src);
+        let labels: Vec<String> = tree
+            .nodes_in_order(Order::Pre)
+            .map(|n| tree.label_names(n).join("|"))
+            .collect();
+        assert_eq!(labels, vec!["A", "B", "D", "E", "C"]);
+    }
+
+    #[test]
+    fn term_multi_labels() {
+        let tree = parse_term("A(B|E, C)").unwrap();
+        let child = tree.children(tree.root())[0];
+        assert!(tree.has_label_name(child, "B"));
+        assert!(tree.has_label_name(child, "E"));
+        assert_eq!(to_term(&tree), "A(B|E, C)");
+    }
+
+    #[test]
+    fn term_single_node_and_whitespace() {
+        let tree = parse_term("  X  ").unwrap();
+        assert_eq!(tree.len(), 1);
+        assert!(tree.has_label_name(tree.root(), "X"));
+        let tree = parse_term("A ( B , C )").unwrap();
+        assert_eq!(tree.len(), 3);
+    }
+
+    #[test]
+    fn term_errors() {
+        assert!(parse_term("").is_err());
+        assert!(parse_term("A(").is_err());
+        assert!(parse_term("A(B").is_err());
+        assert!(parse_term("A)B").is_err());
+        assert!(parse_term("A(B,,C)").is_err());
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let src = "<A><B><D/><E/></B><C/></A>";
+        let tree = parse_xml(src).unwrap();
+        assert_eq!(tree.len(), 5);
+        assert_eq!(to_xml(&tree), src);
+    }
+
+    #[test]
+    fn xml_explicit_close_and_whitespace() {
+        let tree = parse_xml("  <A> <B></B> <C/> </A> ").unwrap();
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.children(tree.root()).len(), 2);
+    }
+
+    #[test]
+    fn xml_multi_labels() {
+        let tree = parse_xml("<A><B|E/></A>").unwrap();
+        let child = tree.children(tree.root())[0];
+        assert!(tree.has_label_name(child, "B"));
+        assert!(tree.has_label_name(child, "E"));
+    }
+
+    #[test]
+    fn xml_errors() {
+        assert!(parse_xml("").is_err());
+        assert!(parse_xml("<A>").is_err());
+        assert!(matches!(
+            parse_xml("<A></B>"),
+            Err(ParseTreeError::TagMismatch { .. })
+        ));
+        assert!(parse_xml("<A/><B/>").is_err());
+        assert!(parse_xml("<A><B/>").is_err());
+    }
+
+    #[test]
+    fn term_and_xml_agree() {
+        let term = parse_term("S(NP(DT, NN), VP(VB, NP(NN)))").unwrap();
+        let xml = parse_xml(&to_xml(&term)).unwrap();
+        assert_eq!(to_term(&xml), to_term(&term));
+    }
+}

@@ -1,0 +1,680 @@
+//! Arena-backed unranked labeled trees and their structural index.
+//!
+//! A [`Tree`] is immutable: it is produced by a [`TreeBuilder`] and, at build
+//! time, a structural index is computed that supports O(1) membership tests
+//! for every axis of the paper and O(1) rank lookups for the three traversal
+//! orders. The index stores, per node:
+//!
+//! * parent, children (in sibling order), previous/next sibling, sibling rank,
+//! * depth (root has depth 0),
+//! * pre-order rank and the largest pre-order rank inside the node's subtree
+//!   (the classic *interval encoding* — `v` is a descendant of `u` iff
+//!   `pre(u) < pre(v) ≤ pre_end(u)`),
+//! * post-order and BFLR ranks,
+//! * per-label node sets for O(1) retrieval of all nodes carrying a label.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitset::NodeSet;
+use crate::label::{Label, LabelInterner};
+use crate::node::NodeId;
+use crate::order::Order;
+
+/// Errors produced when finalizing a [`TreeBuilder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// The builder contains no nodes.
+    Empty,
+    /// More than one node has no parent; the paper's model is single-rooted.
+    MultipleRoots {
+        /// The nodes that have no parent.
+        roots: Vec<NodeId>,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "cannot build an empty tree"),
+            TreeError::MultipleRoots { roots } => {
+                write!(f, "tree has {} roots; exactly one is required", roots.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Incremental builder for [`Tree`]s.
+///
+/// Nodes are created with [`TreeBuilder::add_root`] / [`TreeBuilder::add_child`]
+/// (children are appended left-to-right); labels may be added at creation time
+/// or later with [`TreeBuilder::add_label`]. [`TreeBuilder::build`] validates
+/// the structure and computes the structural index.
+///
+/// ```
+/// use cqt_trees::TreeBuilder;
+///
+/// let mut b = TreeBuilder::new();
+/// let root = b.add_root(&["A"]);
+/// let left = b.add_child(root, &["B"]);
+/// let _right = b.add_child(root, &["C"]);
+/// b.add_child(left, &["D"]);
+/// let tree = b.build().unwrap();
+/// assert_eq!(tree.len(), 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TreeBuilder {
+    interner: LabelInterner,
+    labels: Vec<Vec<Label>>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes created so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no node has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    fn add_node(&mut self, parent: Option<NodeId>, labels: &[&str]) -> NodeId {
+        let id = NodeId::from_index(self.labels.len());
+        let mut syms: Vec<Label> = labels.iter().map(|l| self.interner.intern(l)).collect();
+        syms.sort_unstable();
+        syms.dedup();
+        self.labels.push(syms);
+        self.parent.push(parent);
+        self.children.push(Vec::new());
+        if let Some(p) = parent {
+            self.children[p.index()].push(id);
+        }
+        id
+    }
+
+    /// Adds a node with no parent. Exactly one such node must exist at build
+    /// time; it becomes the root.
+    pub fn add_root(&mut self, labels: &[&str]) -> NodeId {
+        self.add_node(None, labels)
+    }
+
+    /// Adds a new rightmost child of `parent` carrying `labels`.
+    pub fn add_child(&mut self, parent: NodeId, labels: &[&str]) -> NodeId {
+        self.add_node(Some(parent), labels)
+    }
+
+    /// Adds `label` to an existing node (nodes may carry multiple labels).
+    pub fn add_label(&mut self, node: NodeId, label: &str) {
+        let sym = self.interner.intern(label);
+        let labels = &mut self.labels[node.index()];
+        if !labels.contains(&sym) {
+            labels.push(sym);
+            labels.sort_unstable();
+        }
+    }
+
+    /// Appends a chain of `len` children below `parent`, each carrying the
+    /// corresponding label list from `labels` (cycled if shorter than `len`),
+    /// returning the last node of the chain. Useful for building the path
+    /// gadgets of Section 5 and the path structures of Section 7.
+    pub fn add_chain(&mut self, parent: NodeId, labels_per_node: &[&[&str]]) -> NodeId {
+        let mut current = parent;
+        for labels in labels_per_node {
+            current = self.add_child(current, labels);
+        }
+        current
+    }
+
+    /// Validates the structure and computes the structural index.
+    pub fn build(self) -> Result<Tree, TreeError> {
+        if self.labels.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        let roots: Vec<NodeId> = (0..self.labels.len())
+            .filter(|&i| self.parent[i].is_none())
+            .map(NodeId::from_index)
+            .collect();
+        if roots.len() != 1 {
+            return Err(TreeError::MultipleRoots { roots });
+        }
+        let root = roots[0];
+        let n = self.labels.len();
+
+        let mut depth = vec![0u32; n];
+        let mut sib_rank = vec![0u32; n];
+        let mut next_sibling = vec![None; n];
+        let mut prev_sibling = vec![None; n];
+        for children in &self.children {
+            for (rank, &child) in children.iter().enumerate() {
+                sib_rank[child.index()] = rank as u32;
+                if rank > 0 {
+                    prev_sibling[child.index()] = Some(children[rank - 1]);
+                }
+                if rank + 1 < children.len() {
+                    next_sibling[child.index()] = Some(children[rank + 1]);
+                }
+            }
+        }
+
+        // Pre-order, post-order and subtree intervals via an explicit stack
+        // (iterative DFS so deep trees do not overflow the call stack).
+        let mut pre = vec![0u32; n];
+        let mut pre_end = vec![0u32; n];
+        let mut post = vec![0u32; n];
+        let mut pre_to_node = vec![root; n];
+        let mut post_to_node = vec![root; n];
+        let mut pre_counter = 0u32;
+        let mut post_counter = 0u32;
+        // Stack entries: (node, next child index to visit).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        pre[root.index()] = pre_counter;
+        pre_to_node[pre_counter as usize] = root;
+        pre_counter += 1;
+        while let Some(top) = stack.last_mut() {
+            let node = top.0;
+            let next_child = top.1;
+            let children = &self.children[node.index()];
+            if next_child < children.len() {
+                top.1 += 1;
+                let child = children[next_child];
+                depth[child.index()] = depth[node.index()] + 1;
+                pre[child.index()] = pre_counter;
+                pre_to_node[pre_counter as usize] = child;
+                pre_counter += 1;
+                stack.push((child, 0));
+            } else {
+                pre_end[node.index()] = pre_counter - 1;
+                post[node.index()] = post_counter;
+                post_to_node[post_counter as usize] = node;
+                post_counter += 1;
+                stack.pop();
+            }
+        }
+        debug_assert_eq!(pre_counter as usize, n);
+        debug_assert_eq!(post_counter as usize, n);
+
+        // BFLR order.
+        let mut bflr = vec![0u32; n];
+        let mut bflr_to_node = vec![root; n];
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        let mut bflr_counter = 0u32;
+        while let Some(node) = queue.pop_front() {
+            bflr[node.index()] = bflr_counter;
+            bflr_to_node[bflr_counter as usize] = node;
+            bflr_counter += 1;
+            for &child in &self.children[node.index()] {
+                queue.push_back(child);
+            }
+        }
+        debug_assert_eq!(bflr_counter as usize, n);
+
+        // Per-label node sets.
+        let mut label_nodes = vec![NodeSet::empty(n); self.interner.len()];
+        for (i, labels) in self.labels.iter().enumerate() {
+            for &label in labels {
+                label_nodes[label.index()].insert(NodeId::from_index(i));
+            }
+        }
+
+        Ok(Tree {
+            interner: self.interner,
+            labels: self.labels,
+            parent: self.parent,
+            children: self.children,
+            next_sibling,
+            prev_sibling,
+            depth,
+            sib_rank,
+            pre,
+            pre_end,
+            post,
+            bflr,
+            pre_to_node,
+            post_to_node,
+            bflr_to_node,
+            label_nodes,
+            root,
+        })
+    }
+}
+
+/// An immutable unranked labeled tree with a full structural index.
+///
+/// See the [module documentation](self) for the invariants of the index.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Tree {
+    interner: LabelInterner,
+    labels: Vec<Vec<Label>>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    next_sibling: Vec<Option<NodeId>>,
+    prev_sibling: Vec<Option<NodeId>>,
+    depth: Vec<u32>,
+    sib_rank: Vec<u32>,
+    pre: Vec<u32>,
+    pre_end: Vec<u32>,
+    post: Vec<u32>,
+    bflr: Vec<u32>,
+    pre_to_node: Vec<NodeId>,
+    post_to_node: Vec<NodeId>,
+    bflr_to_node: Vec<NodeId>,
+    label_nodes: Vec<NodeSet>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the tree is empty (never true for a built tree, provided for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Iterates over all nodes in raw-index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId::from_index)
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.index()]
+    }
+
+    /// The children of `node` in left-to-right order.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.index()]
+    }
+
+    /// The first (leftmost) child of `node`.
+    pub fn first_child(&self, node: NodeId) -> Option<NodeId> {
+        self.children[node.index()].first().copied()
+    }
+
+    /// The last (rightmost) child of `node`.
+    pub fn last_child(&self, node: NodeId) -> Option<NodeId> {
+        self.children[node.index()].last().copied()
+    }
+
+    /// The right neighbouring sibling of `node`, if any.
+    pub fn next_sibling(&self, node: NodeId) -> Option<NodeId> {
+        self.next_sibling[node.index()]
+    }
+
+    /// The left neighbouring sibling of `node`, if any.
+    pub fn prev_sibling(&self, node: NodeId) -> Option<NodeId> {
+        self.prev_sibling[node.index()]
+    }
+
+    /// Depth of `node`; the root has depth 0.
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.depth[node.index()]
+    }
+
+    /// Position of `node` among its siblings (leftmost child has rank 0).
+    pub fn sibling_rank(&self, node: NodeId) -> u32 {
+        self.sib_rank[node.index()]
+    }
+
+    /// Whether `node` has no children.
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children[node.index()].is_empty()
+    }
+
+    /// Number of nodes in the subtree rooted at `node` (including `node`).
+    pub fn subtree_size(&self, node: NodeId) -> usize {
+        (self.pre_end[node.index()] - self.pre[node.index()] + 1) as usize
+    }
+
+    // ---- labels ---------------------------------------------------------
+
+    /// The labels of `node`, sorted by symbol.
+    pub fn labels(&self, node: NodeId) -> &[Label] {
+        &self.labels[node.index()]
+    }
+
+    /// The label names of `node`.
+    pub fn label_names(&self, node: NodeId) -> Vec<&str> {
+        self.labels[node.index()]
+            .iter()
+            .map(|&l| self.interner.name(l))
+            .collect()
+    }
+
+    /// Whether `node` carries `label`.
+    pub fn has_label(&self, node: NodeId, label: Label) -> bool {
+        self.labels[node.index()].binary_search(&label).is_ok()
+    }
+
+    /// Whether `node` carries the label named `name`.
+    pub fn has_label_name(&self, node: NodeId, name: &str) -> bool {
+        match self.interner.get(name) {
+            Some(label) => self.has_label(node, label),
+            None => false,
+        }
+    }
+
+    /// The symbol for label `name`, if any node of the tree uses it.
+    pub fn label(&self, name: &str) -> Option<Label> {
+        self.interner.get(name)
+    }
+
+    /// The name of a label symbol.
+    pub fn label_name(&self, label: Label) -> &str {
+        self.interner.name(label)
+    }
+
+    /// The label interner of this tree.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// All nodes carrying `label`, as a [`NodeSet`].
+    pub fn nodes_with_label(&self, label: Label) -> &NodeSet {
+        &self.label_nodes[label.index()]
+    }
+
+    /// All nodes carrying the label named `name`; the empty set if the label
+    /// does not occur in the tree.
+    pub fn nodes_with_label_name(&self, name: &str) -> NodeSet {
+        match self.interner.get(name) {
+            Some(label) => self.label_nodes[label.index()].clone(),
+            None => NodeSet::empty(self.len()),
+        }
+    }
+
+    // ---- orders ---------------------------------------------------------
+
+    /// The rank of `node` in `order` (0-based).
+    pub fn rank(&self, order: Order, node: NodeId) -> u32 {
+        match order {
+            Order::Pre => self.pre[node.index()],
+            Order::Post => self.post[node.index()],
+            Order::Bflr => self.bflr[node.index()],
+        }
+    }
+
+    /// The node at `rank` in `order`.
+    ///
+    /// # Panics
+    /// Panics if `rank >= self.len()`.
+    pub fn node_at(&self, order: Order, rank: u32) -> NodeId {
+        match order {
+            Order::Pre => self.pre_to_node[rank as usize],
+            Order::Post => self.post_to_node[rank as usize],
+            Order::Bflr => self.bflr_to_node[rank as usize],
+        }
+    }
+
+    /// The full rank array of `order`, indexed by raw node index.
+    pub fn rank_array(&self, order: Order) -> &[u32] {
+        match order {
+            Order::Pre => &self.pre,
+            Order::Post => &self.post,
+            Order::Bflr => &self.bflr,
+        }
+    }
+
+    /// Iterates over all nodes in increasing `order`.
+    pub fn nodes_in_order(&self, order: Order) -> impl Iterator<Item = NodeId> + '_ {
+        let slots: &[NodeId] = match order {
+            Order::Pre => &self.pre_to_node,
+            Order::Post => &self.post_to_node,
+            Order::Bflr => &self.bflr_to_node,
+        };
+        slots.iter().copied()
+    }
+
+    /// Whether `a` strictly precedes `b` in `order`.
+    pub fn precedes(&self, order: Order, a: NodeId, b: NodeId) -> bool {
+        self.rank(order, a) < self.rank(order, b)
+    }
+
+    /// Pre-order rank of `node`.
+    pub fn pre_rank(&self, node: NodeId) -> u32 {
+        self.pre[node.index()]
+    }
+
+    /// Largest pre-order rank occurring in the subtree of `node`.
+    pub fn pre_end(&self, node: NodeId) -> u32 {
+        self.pre_end[node.index()]
+    }
+
+    /// Post-order rank of `node`.
+    pub fn post_rank(&self, node: NodeId) -> u32 {
+        self.post[node.index()]
+    }
+
+    /// BFLR rank of `node`.
+    pub fn bflr_rank(&self, node: NodeId) -> u32 {
+        self.bflr[node.index()]
+    }
+
+    // ---- structural predicates used by the axes ------------------------
+
+    /// Whether `descendant` is a proper descendant of `ancestor`
+    /// (`Child+(ancestor, descendant)` in the paper's notation).
+    pub fn is_descendant(&self, ancestor: NodeId, descendant: NodeId) -> bool {
+        self.pre[ancestor.index()] < self.pre[descendant.index()]
+            && self.pre[descendant.index()] <= self.pre_end[ancestor.index()]
+    }
+
+    /// Whether `a` and `b` share a parent (both non-root).
+    pub fn are_siblings(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.parent(a), self.parent(b)) {
+            (Some(pa), Some(pb)) => pa == pb,
+            _ => false,
+        }
+    }
+
+    /// The ancestors of `node` from its parent up to the root.
+    pub fn ancestors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut current = self.parent(node);
+        std::iter::from_fn(move || {
+            let next = current?;
+            current = self.parent(next);
+            Some(next)
+        })
+    }
+
+    /// The nodes of the subtree rooted at `node` in pre-order (including
+    /// `node` itself).
+    pub fn descendants_or_self(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let start = self.pre[node.index()] as usize;
+        let end = self.pre_end[node.index()] as usize;
+        self.pre_to_node[start..=end].iter().copied()
+    }
+
+    /// The leaves of the tree in pre-order.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes_in_order(Order::Pre).filter(|&n| self.is_leaf(n))
+    }
+
+    /// The maximum depth over all nodes.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tree({} nodes, height {})", self.len(), self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example tree used across this crate's tests:
+    ///
+    /// ```text
+    ///         r(A)
+    ///        /    \
+    ///      a(B)   b(C)
+    ///     /    \      \
+    ///   c(D)  d(B,E)  e(D)
+    /// ```
+    fn sample() -> (Tree, Vec<NodeId>) {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(&["A"]);
+        let a = b.add_child(r, &["B"]);
+        let bb = b.add_child(r, &["C"]);
+        let c = b.add_child(a, &["D"]);
+        let d = b.add_child(a, &["B", "E"]);
+        let e = b.add_child(bb, &["D"]);
+        (b.build().unwrap(), vec![r, a, bb, c, d, e])
+    }
+
+    #[test]
+    fn empty_builder_is_an_error() {
+        assert_eq!(TreeBuilder::new().build().unwrap_err(), TreeError::Empty);
+    }
+
+    #[test]
+    fn multiple_roots_are_an_error() {
+        let mut b = TreeBuilder::new();
+        b.add_root(&["A"]);
+        b.add_root(&["B"]);
+        match b.build().unwrap_err() {
+            TreeError::MultipleRoots { roots } => assert_eq!(roots.len(), 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parent_child_sibling_links() {
+        let (t, n) = sample();
+        let (r, a, b, c, d, e) = (n[0], n[1], n[2], n[3], n[4], n[5]);
+        assert_eq!(t.root(), r);
+        assert_eq!(t.parent(r), None);
+        assert_eq!(t.parent(a), Some(r));
+        assert_eq!(t.children(r), &[a, b]);
+        assert_eq!(t.children(a), &[c, d]);
+        assert_eq!(t.first_child(a), Some(c));
+        assert_eq!(t.last_child(a), Some(d));
+        assert_eq!(t.next_sibling(a), Some(b));
+        assert_eq!(t.prev_sibling(b), Some(a));
+        assert_eq!(t.next_sibling(b), None);
+        assert_eq!(t.next_sibling(c), Some(d));
+        assert_eq!(t.sibling_rank(c), 0);
+        assert_eq!(t.sibling_rank(d), 1);
+        assert!(t.is_leaf(e));
+        assert!(!t.is_leaf(a));
+        assert!(t.are_siblings(a, b));
+        assert!(!t.are_siblings(a, c));
+    }
+
+    #[test]
+    fn depth_and_subtree_size() {
+        let (t, n) = sample();
+        assert_eq!(t.depth(n[0]), 0);
+        assert_eq!(t.depth(n[1]), 1);
+        assert_eq!(t.depth(n[3]), 2);
+        assert_eq!(t.subtree_size(n[0]), 6);
+        assert_eq!(t.subtree_size(n[1]), 3);
+        assert_eq!(t.subtree_size(n[5]), 1);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn traversal_orders_match_manual_computation() {
+        let (t, n) = sample();
+        let (r, a, b, c, d, e) = (n[0], n[1], n[2], n[3], n[4], n[5]);
+        // pre-order: r a c d b e
+        let pre: Vec<NodeId> = t.nodes_in_order(Order::Pre).collect();
+        assert_eq!(pre, vec![r, a, c, d, b, e]);
+        // post-order: c d a e b r
+        let post: Vec<NodeId> = t.nodes_in_order(Order::Post).collect();
+        assert_eq!(post, vec![c, d, a, e, b, r]);
+        // bflr: r a b c d e
+        let bflr: Vec<NodeId> = t.nodes_in_order(Order::Bflr).collect();
+        assert_eq!(bflr, vec![r, a, b, c, d, e]);
+        // rank/node_at are inverse.
+        for order in Order::ALL {
+            for node in t.nodes() {
+                assert_eq!(t.node_at(order, t.rank(order, node)), node);
+            }
+        }
+    }
+
+    #[test]
+    fn descendant_intervals() {
+        let (t, n) = sample();
+        let (r, a, b, c, d, e) = (n[0], n[1], n[2], n[3], n[4], n[5]);
+        assert!(t.is_descendant(r, a));
+        assert!(t.is_descendant(r, e));
+        assert!(t.is_descendant(a, c));
+        assert!(!t.is_descendant(a, e));
+        assert!(!t.is_descendant(a, a));
+        assert!(!t.is_descendant(c, a));
+        assert_eq!(t.descendants_or_self(a).collect::<Vec<_>>(), vec![a, c, d]);
+        assert_eq!(t.ancestors(c).collect::<Vec<_>>(), vec![a, r]);
+        assert_eq!(t.ancestors(r).count(), 0);
+        assert_eq!(t.leaves().collect::<Vec<_>>(), vec![c, d, e]);
+        assert!(t.is_descendant(b, e));
+    }
+
+    #[test]
+    fn labels_and_label_sets() {
+        let (t, n) = sample();
+        assert!(t.has_label_name(n[0], "A"));
+        assert!(!t.has_label_name(n[0], "B"));
+        assert!(t.has_label_name(n[4], "B"));
+        assert!(t.has_label_name(n[4], "E"));
+        assert_eq!(t.labels(n[4]).len(), 2);
+        assert_eq!(t.label_names(n[4]), vec!["B", "E"]);
+        let b_nodes = t.nodes_with_label_name("B");
+        assert_eq!(b_nodes.len(), 2);
+        assert!(b_nodes.contains(n[1]));
+        assert!(b_nodes.contains(n[4]));
+        assert!(t.nodes_with_label_name("Z").is_empty());
+        let d = t.label("D").unwrap();
+        assert_eq!(t.label_name(d), "D");
+        assert_eq!(t.nodes_with_label(d).len(), 2);
+    }
+
+    #[test]
+    fn add_label_after_creation_and_chain() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(&["A"]);
+        b.add_label(r, "X");
+        b.add_label(r, "X"); // duplicate is ignored
+        let tail = b.add_chain(r, &[&["P"], &["Q"], &["R"]]);
+        let t = b.build().unwrap();
+        assert_eq!(t.label_names(t.root()), vec!["A", "X"]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.depth(tail), 3);
+        assert!(t.has_label_name(tail, "R"));
+    }
+
+    #[test]
+    fn precedes_matches_rank_comparison() {
+        let (t, n) = sample();
+        assert!(t.precedes(Order::Pre, n[1], n[2]));
+        assert!(t.precedes(Order::Post, n[3], n[1]));
+        assert!(t.precedes(Order::Bflr, n[2], n[3]));
+        assert!(!t.precedes(Order::Pre, n[2], n[1]));
+    }
+}

@@ -1,0 +1,205 @@
+//! Abstract syntax of the positive Core XPath fragment.
+//!
+//! ```text
+//! query     ::= path ("|" path)*
+//! path      ::= ("/" | "//")? step (("/" | "//") step)*
+//! step      ::= (axis "::")? nodetest predicate*
+//! nodetest  ::= NAME | "*"
+//! predicate ::= "[" pred-expr "]"
+//! pred-expr ::= path | pred-expr "and" pred-expr | pred-expr "or" pred-expr | "(" pred-expr ")"
+//! ```
+//!
+//! Semantics follow XPath: a path denotes, for a set of context nodes, the
+//! set of nodes reached by following the steps; a predicate filters context
+//! nodes by existence of a match for its expression. An absolute path
+//! (`/…`) starts at the root, `//` abbreviates `descendant-or-self::*/child`.
+//! Only *forward and reverse navigational* axes are supported (no attributes,
+//! no positions, no negation) — the positive Core XPath of the paper.
+
+use cqt_trees::Axis;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node test: a label name or the wildcard `*`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeTest {
+    /// Matches nodes carrying the given label.
+    Label(String),
+    /// Matches every node.
+    Wildcard,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Label(name) => f.write_str(name),
+            NodeTest::Wildcard => f.write_str("*"),
+        }
+    }
+}
+
+/// A predicate expression (inside `[...]`).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Existence of a match for a relative path from the context node.
+    Path(LocationPath),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Path(p) => write!(f, "{p}"),
+            Predicate::And(a, b) => write!(f, "({a} and {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} or {b})"),
+        }
+    }
+}
+
+/// One location step: an axis, a node test, and zero or more predicates.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Step {
+    /// The navigation axis.
+    pub axis: Axis,
+    /// The node test applied to reached nodes.
+    pub node_test: NodeTest,
+    /// The predicates filtering reached nodes.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    /// A step with no predicates.
+    pub fn new(axis: Axis, node_test: NodeTest) -> Self {
+        Step {
+            axis,
+            node_test,
+            predicates: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let axis_name = self.axis.xpath_name().unwrap_or("child");
+        write!(f, "{axis_name}::{}", self.node_test)?;
+        for p in &self.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A location path: an optional absolute marker and a sequence of steps.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LocationPath {
+    /// Whether the path starts at the root (`/…` or `//…`).
+    pub absolute: bool,
+    /// The steps, applied left to right.
+    pub steps: Vec<Step>,
+}
+
+impl LocationPath {
+    /// A relative path from the given steps.
+    pub fn relative(steps: Vec<Step>) -> Self {
+        LocationPath {
+            absolute: false,
+            steps,
+        }
+    }
+
+    /// An absolute path from the given steps.
+    pub fn absolute(steps: Vec<Step>) -> Self {
+        LocationPath {
+            absolute: true,
+            steps,
+        }
+    }
+}
+
+impl fmt::Display for LocationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            write!(f, "/")?;
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full query: a union of location paths.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct XPathQuery {
+    /// The union branches.
+    pub paths: Vec<LocationPath>,
+}
+
+impl XPathQuery {
+    /// A query with a single path.
+    pub fn single(path: LocationPath) -> Self {
+        XPathQuery { paths: vec![path] }
+    }
+}
+
+impl fmt::Display for XPathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.paths.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_structure() {
+        let path = LocationPath::absolute(vec![
+            Step::new(Axis::ChildPlus, NodeTest::Label("A".into())),
+            Step {
+                axis: Axis::Child,
+                node_test: NodeTest::Wildcard,
+                predicates: vec![Predicate::Path(LocationPath::relative(vec![Step::new(
+                    Axis::Child,
+                    NodeTest::Label("B".into()),
+                )]))],
+            },
+        ]);
+        let text = path.to_string();
+        assert!(text.starts_with('/'));
+        assert!(text.contains("descendant::A"));
+        assert!(text.contains("child::*[child::B]"));
+        let query = XPathQuery {
+            paths: vec![path.clone(), path],
+        };
+        assert!(query.to_string().contains(" | "));
+    }
+
+    #[test]
+    fn predicate_display() {
+        let a = Predicate::Path(LocationPath::relative(vec![Step::new(
+            Axis::Child,
+            NodeTest::Label("A".into()),
+        )]));
+        let b = Predicate::Path(LocationPath::relative(vec![Step::new(
+            Axis::Following,
+            NodeTest::Label("B".into()),
+        )]));
+        let and = Predicate::And(Box::new(a.clone()), Box::new(b.clone()));
+        let or = Predicate::Or(Box::new(a), Box::new(b));
+        assert!(and.to_string().contains("and"));
+        assert!(or.to_string().contains("or"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Compilation of positive Core XPath into conjunctive queries.
+//!
+//! Every location path of the fragment compiles into a *monadic, acyclic*
+//! conjunctive query (a union of them when predicates use `or` or the query
+//! uses `|`), exactly as in the paper's introduction where
+//! `//A[B]/following::C` becomes
+//!
+//! ```text
+//! Q(z) :- A(x), Child(x, y), B(y), Following(x, z), C(z).
+//! ```
+//!
+//! Absolute paths: conjunctive queries over trees have no constant for the
+//! root, so the leading `/` context is compiled as an unconstrained variable.
+//! This is exact for paths that start with `//` or with an explicit
+//! `descendant-or-self::` step (the common case, and the form produced by
+//! [`crate::emit`]); for a path that starts with `/child::A` it widens the
+//! meaning from "A children of the root" to "A nodes with a parent".
+
+use cqt_query::{ConjunctiveQuery, PositiveQuery};
+
+use crate::ast::{LocationPath, NodeTest, Predicate, Step, XPathQuery};
+
+/// Compiles a full XPath query (union of paths) into an equivalent positive
+/// query whose disjuncts are acyclic monadic conjunctive queries.
+pub fn compile_to_positive_query(query: &XPathQuery) -> PositiveQuery {
+    let mut disjuncts = Vec::new();
+    for path in &query.paths {
+        disjuncts.extend(compile_path(path));
+    }
+    PositiveQuery::from_disjuncts(disjuncts)
+}
+
+/// A compilation context: the branch set (one conjunctive query per
+/// `or`-choice made so far) plus a counter for generating shared variable
+/// names. Variables are addressed by *name* so that branches whose internal
+/// variable numbering diverged (after an `or`) stay consistent.
+struct Compiler {
+    branches: Vec<ConjunctiveQuery>,
+    next_var: usize,
+}
+
+impl Compiler {
+    fn new() -> Self {
+        Compiler {
+            branches: vec![ConjunctiveQuery::new()],
+            next_var: 0,
+        }
+    }
+
+    fn fresh_name(&mut self) -> String {
+        let name = format!("v{}", self.next_var);
+        self.next_var += 1;
+        name
+    }
+
+    /// Adds one step anchored at the variable named `context` to every
+    /// branch; returns the name of the variable holding the step's result.
+    fn compile_step(&mut self, context: &str, step: &Step) -> String {
+        let target = self.fresh_name();
+        for branch in &mut self.branches {
+            let ctx_var = branch.var(context);
+            let target_var = branch.var(&target);
+            branch.add_axis(step.axis, ctx_var, target_var);
+            if let NodeTest::Label(label) = &step.node_test {
+                branch.add_label(target_var, label);
+            }
+        }
+        for predicate in &step.predicates {
+            self.compile_predicate(&target, predicate);
+        }
+        target
+    }
+
+    /// Adds a predicate anchored at the variable named `context` to every
+    /// branch; `or` duplicates the branch set.
+    fn compile_predicate(&mut self, context: &str, predicate: &Predicate) {
+        match predicate {
+            Predicate::Path(path) => {
+                let mut current = context.to_owned();
+                for step in &path.steps {
+                    current = self.compile_step(&current, step);
+                }
+            }
+            Predicate::And(a, b) => {
+                self.compile_predicate(context, a);
+                self.compile_predicate(context, b);
+            }
+            Predicate::Or(a, b) => {
+                let saved = self.branches.clone();
+                let saved_counter = self.next_var;
+                self.compile_predicate(context, a);
+                let left = std::mem::replace(&mut self.branches, saved);
+                // Both alternatives use the same fresh-name stream so that a
+                // later step never reuses a name already present in one side.
+                let after_left = self.next_var;
+                self.next_var = saved_counter;
+                self.compile_predicate(context, b);
+                self.next_var = self.next_var.max(after_left);
+                self.branches.extend(left);
+            }
+        }
+    }
+}
+
+/// Compiles a single location path into one acyclic conjunctive query per
+/// `or`-branch of its predicates.
+pub fn compile_path(path: &LocationPath) -> Vec<ConjunctiveQuery> {
+    let mut compiler = Compiler::new();
+    let mut current = "ctx".to_owned();
+    for branch in &mut compiler.branches {
+        branch.var(&current);
+    }
+    for step in &path.steps {
+        current = compiler.compile_step(&current, step);
+    }
+    let mut branches = compiler.branches;
+    for branch in &mut branches {
+        let head = branch
+            .find_var(&current)
+            .expect("result variable exists in every branch");
+        branch.set_head(vec![head]);
+    }
+    branches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_xpath;
+    use crate::parser::parse_xpath;
+    use cqt_core::{Answer, Engine};
+    use cqt_trees::generate::{random_tree, RandomTreeConfig};
+    use cqt_trees::parse::parse_term;
+    use cqt_trees::{Axis, Tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Compares direct XPath evaluation with evaluation of the compiled
+    /// positive query on `tree`.
+    fn cross_check(tree: &Tree, xpath: &str) {
+        let parsed = parse_xpath(xpath).unwrap();
+        let direct: Vec<_> = evaluate_xpath(tree, &parsed).iter().collect();
+        let compiled = compile_to_positive_query(&parsed);
+        assert!(compiled.is_acyclic(), "compiled queries must be acyclic");
+        match Engine::new().eval_positive(tree, &compiled) {
+            Answer::Nodes(nodes) => assert_eq!(
+                nodes,
+                direct,
+                "mismatch for {xpath} on {}",
+                cqt_trees::parse::to_term(tree)
+            ),
+            other => panic!("expected node answer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn introduction_example_compiles_to_the_expected_query() {
+        let parsed = parse_xpath("//A[B]/following::C").unwrap();
+        let compiled = compile_to_positive_query(&parsed);
+        assert_eq!(compiled.len(), 1);
+        let q = &compiled.disjuncts()[0];
+        assert!(q.is_monadic());
+        assert!(q.is_acyclic());
+        // Same atom structure as the paper's Q(z): three labels, and the
+        // Child / Following / leading descendant-or-self axes.
+        assert_eq!(q.label_atom_count(), 3);
+        assert!(q.signature().contains(Axis::Child));
+        assert!(q.signature().contains(Axis::Following));
+    }
+
+    #[test]
+    fn cross_checks_on_fixed_trees() {
+        let tree = parse_term("R(A(B, C), D(A(B), C), A(E), C)").unwrap();
+        for xpath in [
+            "//A",
+            "//A[B]",
+            "//A[B]/following::C",
+            "//A/following-sibling::C",
+            "//D/A[B]/parent::D",
+            "/descendant-or-self::R[A[B] and A[E]]",
+            "//A[B or E]",
+            "//B | //E",
+            "//A/ancestor::*",
+            "C",
+        ] {
+            cross_check(&tree, xpath);
+        }
+    }
+
+    #[test]
+    fn cross_checks_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let config = RandomTreeConfig {
+            nodes: 30,
+            alphabet: ["A", "B", "C", "D", "E"].iter().map(|s| s.to_string()).collect(),
+            ..RandomTreeConfig::default()
+        };
+        let queries = [
+            "//A[B]/following::C",
+            "//A//B",
+            "//A[.//C]",
+            "//B/following-sibling::*[C]",
+            "//A[B and C] | //D[E]",
+            "//C/preceding::A",
+        ];
+        for _ in 0..8 {
+            let tree = random_tree(&mut rng, &config);
+            for xpath in queries {
+                cross_check(&tree, xpath);
+            }
+        }
+    }
+
+    #[test]
+    fn or_predicates_produce_multiple_disjuncts() {
+        let parsed = parse_xpath("//A[B or C]").unwrap();
+        let compiled = compile_to_positive_query(&parsed);
+        assert_eq!(compiled.len(), 2);
+        let parsed = parse_xpath("//A[(B or C) and (D or E)]").unwrap();
+        let compiled = compile_to_positive_query(&parsed);
+        assert_eq!(compiled.len(), 4);
+    }
+}

@@ -1,0 +1,244 @@
+//! Emission of acyclic monadic queries as positive Core XPath (Remark 6.1).
+//!
+//! Remark 6.1 observes that positive Core XPath over the axes and their
+//! inverses captures the unary acyclic positive queries. The constructive
+//! direction implemented here renders an acyclic monadic conjunctive query as
+//! an XPath expression:
+//!
+//! * the head variable becomes the result step
+//!   `/descendant-or-self::<test>` (which ranges over *all* nodes of the
+//!   document, including the root);
+//! * every atom adjacent to an already-rendered variable becomes a predicate
+//!   `[axis::<test>…]`, using the axis itself when the atom points away from
+//!   the rendered variable and its inverse otherwise;
+//! * connected components not containing the head variable become
+//!   document-global existence predicates
+//!   `[ancestor-or-self::*[descendant-or-self::<test>…]]` anchored at the
+//!   head (every node reaches the whole document through
+//!   `ancestor-or-self::*` followed by `descendant-or-self`).
+//!
+//! Axes without an XPath name (`NextSibling`, `NextSibling*` and their
+//! inverses) are reported as unsupported — the paper notes they are not
+//! XPath axes either.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cqt_query::{ConjunctiveQuery, PositiveQuery, Var};
+use cqt_trees::Axis;
+
+/// Errors reported by the emitter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmitError {
+    /// The query is not monadic (XPath expressions select single nodes).
+    NotMonadic,
+    /// The query is not acyclic.
+    NotAcyclic,
+    /// The query uses an axis with no XPath counterpart.
+    UnsupportedAxis(Axis),
+}
+
+impl fmt::Display for EmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmitError::NotMonadic => write!(f, "only monadic queries can be emitted as XPath"),
+            EmitError::NotAcyclic => write!(f, "only acyclic queries can be emitted as XPath"),
+            EmitError::UnsupportedAxis(axis) => {
+                write!(f, "axis {axis} has no XPath counterpart")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmitError {}
+
+/// Emits an acyclic monadic conjunctive query as an XPath expression.
+pub fn emit_acyclic_query(query: &ConjunctiveQuery) -> Result<String, EmitError> {
+    if !query.is_monadic() {
+        return Err(EmitError::NotMonadic);
+    }
+    if !query.is_acyclic() {
+        return Err(EmitError::NotAcyclic);
+    }
+    let head = query.head()[0];
+    let mut rendered: BTreeSet<Var> = BTreeSet::new();
+    let head_fragment = render_var(query, head, None, &mut rendered)?;
+
+    // Remaining connected components (variables not reachable from the head)
+    // become global existence predicates.
+    let mut extra_predicates = String::new();
+    loop {
+        let next = query
+            .used_vars()
+            .into_iter()
+            .find(|v| !rendered.contains(v));
+        let Some(anchor) = next else { break };
+        let fragment = render_var(query, anchor, None, &mut rendered)?;
+        extra_predicates.push_str(&format!(
+            "[ancestor-or-self::*[descendant-or-self::{fragment}]]"
+        ));
+    }
+    Ok(format!("/descendant-or-self::{head_fragment}{extra_predicates}"))
+}
+
+/// Emits an acyclic positive query as a union of XPath expressions.
+pub fn emit_positive_query(query: &PositiveQuery) -> Result<String, EmitError> {
+    let parts: Result<Vec<String>, EmitError> =
+        query.iter().map(emit_acyclic_query).collect();
+    Ok(parts?.join(" | "))
+}
+
+/// Renders the node test and predicates of `var`, recursing into all adjacent
+/// atoms except the one leading back to `parent`.
+fn render_var(
+    query: &ConjunctiveQuery,
+    var: Var,
+    parent_atom: Option<(Var, cqt_query::AxisAtom)>,
+    rendered: &mut BTreeSet<Var>,
+) -> Result<String, EmitError> {
+    rendered.insert(var);
+    let labels = query.labels_of(var);
+    let mut out = String::new();
+    match labels.first() {
+        Some(first) => out.push_str(first),
+        None => out.push('*'),
+    }
+    // Additional labels become self-predicates.
+    for label in labels.iter().skip(1) {
+        out.push_str(&format!("[self::{label}]"));
+    }
+    for atom in query.axis_atoms_mentioning(var) {
+        if let Some((_, parent)) = parent_atom {
+            if atom == parent {
+                continue;
+            }
+        }
+        let (axis, neighbour) = if atom.from == var {
+            (atom.axis, atom.to)
+        } else {
+            (atom.axis.inverse(), atom.from)
+        };
+        // Self-loops over reflexive axes are tautologies; others cannot occur
+        // in an acyclic query (they would be cycles).
+        if neighbour == var {
+            continue;
+        }
+        let axis_name = axis
+            .xpath_name()
+            .ok_or(EmitError::UnsupportedAxis(axis))?;
+        let inner = render_var(query, neighbour, Some((var, atom)), rendered)?;
+        out.push_str(&format!("[{axis_name}::{inner}]"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_to_positive_query;
+    use crate::eval::evaluate_xpath;
+    use crate::parser::parse_xpath;
+    use cqt_core::{Answer, Engine};
+    use cqt_query::cq::intro_xpath_query;
+    use cqt_query::parse_query;
+    use cqt_trees::generate::{random_tree, RandomTreeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The emitted XPath must select the same nodes as the original query.
+    fn check_equivalence(query: &ConjunctiveQuery, xpath: &str, seed: u64) {
+        let parsed = parse_xpath(xpath).unwrap_or_else(|e| panic!("emitted invalid XPath {xpath}: {e}"));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alphabet: Vec<String> = query
+            .label_alphabet()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        alphabet.push("FILLER".to_owned());
+        let config = RandomTreeConfig {
+            nodes: 25,
+            alphabet,
+            ..RandomTreeConfig::default()
+        };
+        for _ in 0..10 {
+            let tree = random_tree(&mut rng, &config);
+            let direct: Vec<_> = evaluate_xpath(&tree, &parsed).iter().collect();
+            let original = match Engine::new().eval(&tree, query) {
+                Answer::Nodes(nodes) => nodes,
+                other => panic!("expected node answer, got {other:?}"),
+            };
+            assert_eq!(original, direct, "mismatch for emitted XPath {xpath}");
+        }
+    }
+
+    #[test]
+    fn emits_the_introduction_query() {
+        let q = intro_xpath_query();
+        let xpath = emit_acyclic_query(&q).unwrap();
+        // The head variable is the C node; it is related to the A node by the
+        // inverse of Following, i.e. the preceding axis.
+        assert!(xpath.starts_with("/descendant-or-self::C"));
+        assert!(xpath.contains("preceding::A"));
+        assert!(xpath.contains("child::B"));
+        check_equivalence(&q, &xpath, 1);
+    }
+
+    #[test]
+    fn emits_queries_with_disconnected_components() {
+        let q = parse_query("Q(x) :- A(x), Child(x, y), B(y), C(u), Child+(u, w), D(w).").unwrap();
+        let xpath = emit_acyclic_query(&q).unwrap();
+        assert!(xpath.contains("ancestor-or-self::*"));
+        check_equivalence(&q, &xpath, 2);
+    }
+
+    #[test]
+    fn emits_multi_labeled_variables_and_wildcards() {
+        let q = parse_query("Q(x) :- A(x), B(x), Child(x, y).").unwrap();
+        let xpath = emit_acyclic_query(&q).unwrap();
+        assert!(xpath.contains("[self::B]"));
+        assert!(xpath.contains("child::*"));
+        check_equivalence(&q, &xpath, 3);
+    }
+
+    #[test]
+    fn emit_compile_round_trip() {
+        let q = intro_xpath_query();
+        let xpath = emit_acyclic_query(&q).unwrap();
+        let compiled = compile_to_positive_query(&parse_xpath(&xpath).unwrap());
+        assert!(compiled.is_acyclic());
+        // The recompiled query is equivalent to the original on random trees.
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = RandomTreeConfig {
+            nodes: 20,
+            alphabet: ["A", "B", "C", "F"].iter().map(|s| s.to_string()).collect(),
+            ..RandomTreeConfig::default()
+        };
+        for _ in 0..10 {
+            let tree = random_tree(&mut rng, &config);
+            let original = Engine::new().eval(&tree, &q);
+            let recompiled = Engine::new().eval_positive(&tree, &compiled);
+            assert_eq!(original, recompiled);
+        }
+    }
+
+    #[test]
+    fn unsupported_cases_are_reported() {
+        let boolean = parse_query("Q() :- A(x).").unwrap();
+        assert_eq!(emit_acyclic_query(&boolean), Err(EmitError::NotMonadic));
+        let cyclic = cqt_query::cq::figure1_query();
+        assert_eq!(emit_acyclic_query(&cyclic), Err(EmitError::NotAcyclic));
+        let next_sibling = parse_query("Q(x) :- A(x), NextSibling(x, y).").unwrap();
+        assert!(matches!(
+            emit_acyclic_query(&next_sibling),
+            Err(EmitError::UnsupportedAxis(_))
+        ));
+        assert!(EmitError::NotMonadic.to_string().contains("monadic"));
+        // Positive-query emission concatenates with a union.
+        let apq = PositiveQuery::from_disjuncts(vec![
+            parse_query("Q(x) :- A(x).").unwrap(),
+            parse_query("Q(x) :- B(x).").unwrap(),
+        ]);
+        let emitted = emit_positive_query(&apq).unwrap();
+        assert!(emitted.contains(" | "));
+    }
+}

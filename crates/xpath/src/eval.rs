@@ -1,0 +1,164 @@
+//! Direct set-based evaluation of positive Core XPath on trees.
+//!
+//! This evaluator implements the textbook semantics (context-node sets,
+//! step-by-step navigation, existential predicates) independently of the
+//! conjunctive-query machinery; the test-suite uses it to cross-check the
+//! XPath→CQ compiler against the CQ evaluation engines.
+
+use cqt_trees::{NodeId, NodeSet, Tree};
+
+use crate::ast::{LocationPath, NodeTest, Predicate, Step, XPathQuery};
+
+fn node_matches(tree: &Tree, node: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::Wildcard => true,
+        NodeTest::Label(name) => tree.has_label_name(node, name),
+    }
+}
+
+fn eval_step(tree: &Tree, context: &NodeSet, step: &Step) -> NodeSet {
+    let mut out = NodeSet::empty(tree.len());
+    for ctx in context.iter() {
+        for candidate in step.axis.successors(tree, ctx) {
+            if node_matches(tree, candidate, &step.node_test) && out.contains(candidate) {
+                continue;
+            }
+            if node_matches(tree, candidate, &step.node_test)
+                && step
+                    .predicates
+                    .iter()
+                    .all(|p| eval_predicate(tree, candidate, p))
+            {
+                out.insert(candidate);
+            }
+        }
+    }
+    out
+}
+
+fn eval_predicate(tree: &Tree, context: NodeId, predicate: &Predicate) -> bool {
+    match predicate {
+        Predicate::Path(path) => {
+            let start = NodeSet::from_nodes(tree.len(), [context]);
+            !eval_relative(tree, &start, path).is_empty()
+        }
+        Predicate::And(a, b) => {
+            eval_predicate(tree, context, a) && eval_predicate(tree, context, b)
+        }
+        Predicate::Or(a, b) => eval_predicate(tree, context, a) || eval_predicate(tree, context, b),
+    }
+}
+
+fn eval_relative(tree: &Tree, context: &NodeSet, path: &LocationPath) -> NodeSet {
+    let mut current = context.clone();
+    for step in &path.steps {
+        current = eval_step(tree, &current, step);
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// Evaluates one location path. Absolute paths start at the root; relative
+/// paths start from `context` (or from every node if `context` is `None`).
+pub fn evaluate_path(tree: &Tree, path: &LocationPath, context: Option<&NodeSet>) -> NodeSet {
+    let start = if path.absolute {
+        NodeSet::from_nodes(tree.len(), [tree.root()])
+    } else {
+        match context {
+            Some(set) => set.clone(),
+            None => NodeSet::full(tree.len()),
+        }
+    };
+    eval_relative(tree, &start, path)
+}
+
+/// Evaluates a full query (a union of paths). Absolute paths start at the
+/// root, relative paths at every node of the tree.
+pub fn evaluate_xpath(tree: &Tree, query: &XPathQuery) -> NodeSet {
+    let mut out = NodeSet::empty(tree.len());
+    for path in &query.paths {
+        out.union_with(&evaluate_path(tree, path, None));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+    use cqt_trees::parse::parse_term;
+
+    fn nodes_with(tree: &Tree, result: &NodeSet, label: &str) -> usize {
+        result.iter().filter(|&n| tree.has_label_name(n, label)).count()
+    }
+
+    #[test]
+    fn introduction_query_semantics() {
+        // //A[B]/following::C on a small document.
+        let tree = parse_term("R(A(B), D, C, A(E), C)").unwrap();
+        let query = parse_xpath("//A[B]/following::C").unwrap();
+        let result = evaluate_xpath(&tree, &query);
+        // Both C nodes follow the A-with-B-child.
+        assert_eq!(result.len(), 2);
+        assert_eq!(nodes_with(&tree, &result, "C"), 2);
+        // Without the B predicate the second A matters too, but it has no
+        // following C... it does: the last C follows A(E)? No — the last C is
+        // a preceding sibling? Order: A(B), D, C, A(E), C: the last C follows
+        // A(E). Verify via the unpredicated query that the result is the same
+        // two C nodes.
+        let query2 = parse_xpath("//A/following::C").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &query2).len(), 2);
+    }
+
+    #[test]
+    fn absolute_vs_relative_paths() {
+        let tree = parse_term("A(B(A(C)), C)").unwrap();
+        // /A selects only the root (it is the child step from the root's
+        // context... the root has no parent, so /A is evaluated as children
+        // of the root named A — none here since the root's children are B, C).
+        let abs = parse_xpath("/A").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &abs).len(), 0);
+        // /B selects the root's B child.
+        let abs_b = parse_xpath("/B").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &abs_b).len(), 1);
+        // //A selects every non-root A (the nested one).
+        let desc = parse_xpath("//A").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &desc).len(), 1);
+        // /descendant-or-self::A selects both A nodes.
+        let dos = parse_xpath("/descendant-or-self::A").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &dos).len(), 2);
+        // Relative paths start anywhere: C has two occurrences.
+        let rel = parse_xpath("C").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &rel).len(), 2);
+    }
+
+    #[test]
+    fn predicates_filter_and_combine() {
+        let tree = parse_term("R(S(NP, VP), S(NP, PP), S(VP))").unwrap();
+        let np_and_vp = parse_xpath("//S[NP and VP]").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &np_and_vp).len(), 1);
+        let np_or_vp = parse_xpath("//S[NP or VP]").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &np_or_vp).len(), 3);
+        // Note: `//R` would exclude the root (it abbreviates a child step),
+        // so the explicit descendant-or-self axis is used to reach it.
+        let nested = parse_xpath("/descendant-or-self::R[S[PP]]").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &nested).len(), 1);
+        let missing = parse_xpath("//S[DT]").unwrap();
+        assert!(evaluate_xpath(&tree, &missing).is_empty());
+    }
+
+    #[test]
+    fn unions_and_reverse_axes() {
+        let tree = parse_term("R(A(B), C)").unwrap();
+        let union = parse_xpath("//B | //C").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &union).len(), 2);
+        let parent = parse_xpath("//B/parent::A").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &parent).len(), 1);
+        let ancestors = parse_xpath("//B/ancestor::*").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &ancestors).len(), 2);
+        let preceding = parse_xpath("//C/preceding::B").unwrap();
+        assert_eq!(evaluate_xpath(&tree, &preceding).len(), 1);
+    }
+}

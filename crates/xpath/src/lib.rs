@@ -1,0 +1,36 @@
+//! # cqt-xpath — a positive Core XPath fragment
+//!
+//! The paper relates conjunctive queries over trees to XPath in two ways:
+//!
+//! * every acyclic conjunctive query (and hence, by Theorem 6.10, every
+//!   conjunctive query) over XPath axes is expressible in positive Core
+//!   XPath (Remark 6.1 / Remark 6.12), and
+//! * the most frequently used XPath fragment maps to acyclic conjunctive
+//!   queries — the introduction's example `//A[B]/following::C` becomes
+//!   `Q(z) :- A(x), Child(x, y), B(y), Following(x, z), C(z)`.
+//!
+//! This crate implements both directions for the *positive navigational
+//! fragment* (location paths with axes, name tests, nested predicates
+//! combined with `and` / `or`, and top-level union `|`):
+//!
+//! * [`ast`] / [`parser`] — the abstract syntax and a parser;
+//! * [`compile`] — XPath → conjunctive queries (a union of acyclic CQs);
+//! * [`eval`] — a direct set-based evaluator over [`cqt_trees::Tree`], used
+//!   to cross-check the compiled queries against the CQ engines;
+//! * [`emit`] — acyclic (positive) monadic queries → XPath strings, the
+//!   constructive content of Remark 6.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod emit;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{LocationPath, NodeTest, Predicate, Step, XPathQuery};
+pub use compile::compile_to_positive_query;
+pub use emit::{emit_acyclic_query, emit_positive_query};
+pub use eval::evaluate_xpath;
+pub use parser::parse_xpath;

@@ -1,0 +1,348 @@
+//! Parser for the positive Core XPath fragment.
+//!
+//! Supported syntax (see [`crate::ast`] for the grammar):
+//!
+//! * explicit axes: `child::A`, `descendant::B`, `descendant-or-self::*`,
+//!   `following-sibling::C`, `following::D`, `parent::E`, `ancestor::F`,
+//!   `preceding::G`, `preceding-sibling::H`, `self::I`;
+//! * abbreviations: a bare name means `child::name`, `//` means a
+//!   `descendant-or-self::*` step before the next step, a leading `/` makes
+//!   the path absolute, `.` means `self::*`;
+//! * predicates `[...]` containing relative paths combined with `and` / `or`
+//!   and parentheses;
+//! * top-level union `|`.
+
+use std::fmt;
+
+use cqt_trees::Axis;
+
+use crate::ast::{LocationPath, NodeTest, Predicate, Step, XPathQuery};
+
+/// Errors produced by [`parse_xpath`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseXPathError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description of the error.
+    pub message: String,
+}
+
+impl fmt::Display for ParseXPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseXPathError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseXPathError> {
+        Err(ParseXPathError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseXPathError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'\'')
+            .unwrap_or(false)
+        {
+            // A hyphen is part of the name only when followed by a letter
+            // (axis names like following-sibling).
+            if self.peek() == Some(b'-')
+                && !self
+                    .bytes
+                    .get(self.pos + 1)
+                    .map(|c| c.is_ascii_alphabetic())
+                    .unwrap_or(false)
+            {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.error("expected a name");
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    fn parse_query(&mut self) -> Result<XPathQuery, ParseXPathError> {
+        let mut paths = vec![self.parse_path()?];
+        loop {
+            self.skip_ws();
+            if self.eat_str("|") {
+                paths.push(self.parse_path()?);
+            } else {
+                break;
+            }
+        }
+        Ok(XPathQuery { paths })
+    }
+
+    fn parse_path(&mut self) -> Result<LocationPath, ParseXPathError> {
+        self.skip_ws();
+        let mut steps = Vec::new();
+        let absolute;
+        if self.starts_with("//") {
+            absolute = true;
+            self.pos += 2;
+            steps.push(Step::new(Axis::ChildStar, NodeTest::Wildcard));
+        } else if self.starts_with("/") {
+            absolute = true;
+            self.pos += 1;
+        } else {
+            absolute = false;
+        }
+        steps.push(self.parse_step()?);
+        loop {
+            self.skip_ws();
+            if self.starts_with("//") {
+                self.pos += 2;
+                steps.push(Step::new(Axis::ChildStar, NodeTest::Wildcard));
+                steps.push(self.parse_step()?);
+            } else if self.starts_with("/") && !self.starts_with("/|") {
+                self.pos += 1;
+                steps.push(self.parse_step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(LocationPath { absolute, steps })
+    }
+
+    fn parse_step(&mut self) -> Result<Step, ParseXPathError> {
+        self.skip_ws();
+        // `.` abbreviation.
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut step = Step::new(Axis::SelfAxis, NodeTest::Wildcard);
+            self.parse_predicates(&mut step)?;
+            return Ok(step);
+        }
+        // Wildcard with implicit child axis.
+        if self.peek() == Some(b'*') {
+            self.pos += 1;
+            let mut step = Step::new(Axis::Child, NodeTest::Wildcard);
+            self.parse_predicates(&mut step)?;
+            return Ok(step);
+        }
+        let name_offset = self.pos;
+        let name = self.parse_name()?;
+        self.skip_ws();
+        let (axis, node_test) = if self.eat_str("::") {
+            // Explicit axis.
+            let axis: Axis = name.parse().map_err(|_| ParseXPathError {
+                offset: name_offset,
+                message: format!("unknown XPath axis {name:?}"),
+            })?;
+            self.skip_ws();
+            let node_test = if self.peek() == Some(b'*') {
+                self.pos += 1;
+                NodeTest::Wildcard
+            } else {
+                NodeTest::Label(self.parse_name()?)
+            };
+            (axis, node_test)
+        } else {
+            // Abbreviated step: child axis with a name test.
+            (Axis::Child, NodeTest::Label(name))
+        };
+        let mut step = Step::new(axis, node_test);
+        self.parse_predicates(&mut step)?;
+        Ok(step)
+    }
+
+    fn parse_predicates(&mut self, step: &mut Step) -> Result<(), ParseXPathError> {
+        loop {
+            self.skip_ws();
+            if !self.eat_str("[") {
+                return Ok(());
+            }
+            let predicate = self.parse_predicate_expr()?;
+            self.skip_ws();
+            if !self.eat_str("]") {
+                return self.error("expected ']'");
+            }
+            step.predicates.push(predicate);
+        }
+    }
+
+    fn parse_predicate_expr(&mut self) -> Result<Predicate, ParseXPathError> {
+        let mut lhs = self.parse_predicate_term()?;
+        loop {
+            self.skip_ws();
+            if self.starts_with("and") && self.word_boundary_after(3) {
+                self.pos += 3;
+                let rhs = self.parse_predicate_term()?;
+                lhs = Predicate::And(Box::new(lhs), Box::new(rhs));
+            } else if self.starts_with("or") && self.word_boundary_after(2) {
+                self.pos += 2;
+                let rhs = self.parse_predicate_term()?;
+                lhs = Predicate::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn word_boundary_after(&self, len: usize) -> bool {
+        self.bytes
+            .get(self.pos + len)
+            .map(|c| !c.is_ascii_alphanumeric() && *c != b'_')
+            .unwrap_or(true)
+    }
+
+    fn parse_predicate_term(&mut self) -> Result<Predicate, ParseXPathError> {
+        self.skip_ws();
+        if self.eat_str("(") {
+            let inner = self.parse_predicate_expr()?;
+            self.skip_ws();
+            if !self.eat_str(")") {
+                return self.error("expected ')'");
+            }
+            return Ok(inner);
+        }
+        Ok(Predicate::Path(self.parse_path()?))
+    }
+
+    fn parse(mut self) -> Result<XPathQuery, ParseXPathError> {
+        let query = self.parse_query()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.error("trailing input after XPath expression");
+        }
+        Ok(query)
+    }
+}
+
+/// Parses a positive Core XPath expression.
+pub fn parse_xpath(input: &str) -> Result<XPathQuery, ParseXPathError> {
+    Parser::new(input).parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_introduction_example() {
+        // //A[B]/following::C  (the query from Section 1).
+        let q = parse_xpath("//A[B]/following::C").unwrap();
+        assert_eq!(q.paths.len(), 1);
+        let path = &q.paths[0];
+        assert!(path.absolute);
+        // Steps: descendant-or-self::*, child::A[child::B], following::C.
+        assert_eq!(path.steps.len(), 3);
+        assert_eq!(path.steps[0].axis, Axis::ChildStar);
+        assert_eq!(path.steps[1].axis, Axis::Child);
+        assert_eq!(path.steps[1].node_test, NodeTest::Label("A".into()));
+        assert_eq!(path.steps[1].predicates.len(), 1);
+        assert_eq!(path.steps[2].axis, Axis::Following);
+        assert_eq!(path.steps[2].node_test, NodeTest::Label("C".into()));
+    }
+
+    #[test]
+    fn parses_explicit_axes_and_wildcards() {
+        let q = parse_xpath("/child::A/descendant::*/following-sibling::B/parent::*").unwrap();
+        let steps = &q.paths[0].steps;
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0].axis, Axis::Child);
+        assert_eq!(steps[1].axis, Axis::ChildPlus);
+        assert_eq!(steps[1].node_test, NodeTest::Wildcard);
+        assert_eq!(steps[2].axis, Axis::NextSiblingPlus);
+        assert_eq!(steps[3].axis, Axis::Parent);
+    }
+
+    #[test]
+    fn parses_predicates_with_and_or() {
+        let q = parse_xpath("//S[NP and (VP or PP)]/NP").unwrap();
+        let step = &q.paths[0].steps[1];
+        assert_eq!(step.predicates.len(), 1);
+        match &step.predicates[0] {
+            Predicate::And(_, rhs) => match rhs.as_ref() {
+                Predicate::Or(_, _) => {}
+                other => panic!("expected or, got {other:?}"),
+            },
+            other => panic!("expected and, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_and_relative_paths() {
+        let q = parse_xpath("A/B | C//D").unwrap();
+        assert_eq!(q.paths.len(), 2);
+        assert!(!q.paths[0].absolute);
+        assert_eq!(q.paths[1].steps.len(), 3);
+    }
+
+    #[test]
+    fn parses_dot_and_nested_predicates() {
+        let q = parse_xpath("//A[./B[C]]").unwrap();
+        let a_step = &q.paths[0].steps[1];
+        assert_eq!(a_step.predicates.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_xpath("").is_err());
+        assert!(parse_xpath("//A[").is_err());
+        assert!(parse_xpath("//A]").is_err());
+        assert!(parse_xpath("sideways::A").is_err());
+        assert!(parse_xpath("//A[B and ]").is_err());
+        assert!(parse_xpath("//A | ").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for text in [
+            "//A[B]/following::C",
+            "/S/NP[DT and NN]",
+            "A/B | C//D",
+            "//S[NP[PP] or VP]",
+        ] {
+            let parsed = parse_xpath(text).unwrap();
+            let reparsed = parse_xpath(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "round trip failed for {text}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The NP-hardness reduction of Theorem 5.1 in action: encode a 1-in-3 3SAT
+//! instance as a Boolean conjunctive query over {Child, Child+} on the fixed
+//! data tree of Figure 4, solve it with the MAC engine, and read the truth
+//! assignment back from the witness valuation.
+//!
+//! Run with `cargo run --example sat_reduction`.
+
+use cq_trees::hardness::sat::OneInThreeInstance;
+use cq_trees::hardness::thm51::{figure4_tree, Thm51Reduction, Thm51Variant};
+use cq_trees::prelude::*;
+use cq_trees::trees::render;
+
+fn main() {
+    // A small positive 1-in-3 3SAT instance:
+    //   (p ∨ q ∨ r), (q ∨ r ∨ s), (p ∨ r ∨ s)   — exactly one true per clause.
+    let instance = OneInThreeInstance::new(4, vec![[0, 1, 2], [1, 2, 3], [0, 2, 3]]);
+    println!("Instance: {instance}");
+    println!(
+        "Ground truth (dedicated SAT solver): {}",
+        if instance.is_satisfiable() { "satisfiable" } else { "unsatisfiable" }
+    );
+
+    // The fixed data tree of Figure 4 (independent of the instance).
+    let tree = figure4_tree();
+    println!("\nFixed data tree of Figure 4 ({}):", render::summary(&tree));
+    println!("{}", render::ascii_tree(&tree));
+
+    // The reduction: a Boolean query over {Child, Child+}.
+    let reduction = Thm51Reduction::new(instance.clone(), Thm51Variant::Tau4ChildPlus);
+    println!(
+        "Encoded query: {} atoms over signature {} (classified as {})",
+        reduction.query.size(),
+        reduction.query.signature(),
+        SignatureAnalysis::analyse_query(&reduction.query)
+    );
+
+    // Solve with the complete MAC engine and read back the assignment:
+    // mapping x_i to the k-th X node of the tree selects the k-th literal of
+    // clause i.
+    let solver = MacSolver::new(&reduction.tree);
+    match solver.witness(&reduction.query) {
+        Some(valuation) => {
+            println!("\nThe query is satisfied; extracting the assignment:");
+            let mut assignment = vec![false; instance.num_vars()];
+            for (i, clause) in instance.clauses().iter().enumerate() {
+                let x = reduction
+                    .query
+                    .find_var(&format!("x{}", i + 1))
+                    .expect("clause variable exists");
+                let node = valuation.get(x);
+                // The X nodes form the chain root → v2 → v3; the depth of the
+                // chosen node is the selected literal position (0-based).
+                let position = reduction.tree.depth(node) as usize;
+                let selected = clause[position];
+                assignment[selected] = true;
+                println!(
+                    "  clause {} {:?}: literal #{} (variable {}) is TRUE",
+                    i + 1,
+                    clause,
+                    position + 1,
+                    selected
+                );
+            }
+            println!("  derived assignment: {assignment:?}");
+            assert!(
+                instance.is_solution(&assignment),
+                "the derived assignment must solve the instance"
+            );
+            println!("  verified: exactly one true literal per clause.");
+        }
+        None => println!("\nThe query is not satisfied: the instance is unsatisfiable."),
+    }
+
+    // The same machinery certifies unsatisfiability.
+    let unsat = OneInThreeInstance::unsatisfiable_k4();
+    let unsat_reduction = Thm51Reduction::new(unsat.clone(), Thm51Variant::Tau4ChildPlus);
+    let (holds, stats) =
+        MacSolver::new(&unsat_reduction.tree).eval_boolean_with_stats(&unsat_reduction.query);
+    println!(
+        "\nUnsatisfiable family {unsat}: query holds = {holds} \
+         (search explored {} decisions, {} dead ends)",
+        stats.decisions, stats.dead_ends
+    );
+    assert!(!holds);
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: full pipelines from text formats through
+//! analysis, evaluation, rewriting and the XPath front-end.
+
+use cq_trees::prelude::*;
+use cq_trees::query::cq::{figure1_query, intro_xpath_query};
+use cq_trees::rewrite::equivalence::agree_on_random_trees;
+use cq_trees::rewrite::rewrite::{rewrite_to_apq_with, RewriteOptions};
+use cq_trees::trees::generate::{treebank, TreebankConfig};
+use cq_trees::trees::parse::{parse_term, parse_xml, to_term, to_xml};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn document_round_trips_between_formats_and_engines_agree() {
+    let xml = "<S><NP><DT/><NN/></NP><VP><VB/><NP><NN/></NP><PP><IN/><NP><NN/></NP></PP></VP></S>";
+    let tree = parse_xml(xml).unwrap();
+    assert_eq!(to_xml(&tree), xml);
+    let reparsed = parse_term(&to_term(&tree)).unwrap();
+    assert_eq!(reparsed.len(), tree.len());
+
+    // The Figure 1 query, evaluated with every applicable strategy.
+    let query = figure1_query();
+    let expected = Engine::with_strategy(EvalStrategy::Naive).eval(&tree, &query);
+    for strategy in [EvalStrategy::Mac, EvalStrategy::Auto] {
+        assert_eq!(
+            Engine::with_strategy(strategy).eval(&tree, &query),
+            expected,
+            "strategy {strategy:?} disagrees"
+        );
+    }
+    assert!(expected.is_nonempty(), "the PP follows the NP in this sentence");
+}
+
+#[test]
+fn xpath_to_cq_to_apq_to_xpath_pipeline() {
+    // Start from the paper's XPath example.
+    let xpath = parse_xpath("//A[B]/following::C").unwrap();
+    let compiled = compile_to_positive_query(&xpath);
+    assert_eq!(compiled.len(), 1);
+    let cq = compiled.disjuncts()[0].clone();
+    assert!(cq.is_acyclic());
+
+    // Rewrite (a no-op up to normalization for an acyclic query) and emit
+    // back to XPath.
+    let (apq, _) = rewrite_to_apq_with(&cq, &RewriteOptions::default()).unwrap();
+    assert!(apq.is_acyclic());
+    let emitted = cq_trees::xpath::emit_positive_query(&apq).unwrap();
+    let reparsed = parse_xpath(&emitted).unwrap();
+    let recompiled = compile_to_positive_query(&reparsed);
+
+    // All four formulations agree on random documents.
+    let mut rng = StdRng::seed_from_u64(42);
+    let config = cq_trees::trees::generate::RandomTreeConfig {
+        nodes: 40,
+        alphabet: ["A", "B", "C", "D"].iter().map(|s| s.to_string()).collect(),
+        ..Default::default()
+    };
+    let engine = Engine::new();
+    for _ in 0..10 {
+        let tree = cq_trees::trees::generate::random_tree(&mut rng, &config);
+        let via_xpath = Answer::Nodes(evaluate_xpath(&tree, &xpath).iter().collect());
+        let via_cq = engine.eval(&tree, &cq);
+        let via_apq = engine.eval_positive(&tree, &apq);
+        let via_roundtrip = engine.eval_positive(&tree, &recompiled);
+        assert_eq!(via_xpath, via_cq);
+        assert_eq!(via_cq, via_apq);
+        assert_eq!(via_apq, via_roundtrip);
+    }
+}
+
+#[test]
+fn figure1_query_rewrites_and_stays_equivalent() {
+    let query = figure1_query();
+    let (apq, stats) = rewrite_to_apq_with(&query, &RewriteOptions::default()).unwrap();
+    assert!(apq.is_acyclic());
+    assert!(stats.lifter_applications > 0);
+    assert!(
+        agree_on_random_trees(&query, &apq, 15, 0xABCD).is_none(),
+        "the rewritten APQ must be equivalent to the Figure 1 query"
+    );
+}
+
+#[test]
+fn treebank_corpus_query_counts_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus = treebank(
+        &mut rng,
+        &TreebankConfig {
+            sentences: 25,
+            max_depth: 5,
+            pp_probability: 0.8,
+        },
+    );
+    let query = figure1_query();
+    let mac = Engine::with_strategy(EvalStrategy::Mac).eval(&corpus, &query);
+    let naive = Engine::with_strategy(EvalStrategy::Naive).eval(&corpus, &query);
+    assert_eq!(mac, naive);
+    // Every answer is indeed a PP with a preceding NP inside the same S.
+    if let Answer::Nodes(nodes) = &mac {
+        for &pp in nodes {
+            assert!(corpus.has_label_name(pp, "PP"));
+        }
+    } else {
+        panic!("expected node answers");
+    }
+}
+
+#[test]
+fn tractable_signatures_evaluate_identically_across_engines() {
+    // τ1, τ2, τ3 queries evaluated with the X-property evaluator, Yannakakis
+    // (when acyclic), MAC and naive all agree.
+    let tree = parse_term("R(A(B(C), B), D(C, B(C(E))), C)").unwrap();
+    let queries = [
+        "Q() :- A(x), Child+(x, y), C(y), Child*(y, z), E(z).",
+        "Q() :- B(x), Following(x, y), C(y), Following(y, z), E(z).",
+        "Q() :- R(r), Child(r, a), A(a), NextSibling(a, d), D(d), NextSibling+(d, c), C(c).",
+        "Q(y) :- A(x), Child+(x, y), B(y).",
+        "Q(y) :- D(x), Child*(x, y).",
+    ];
+    for text in queries {
+        let query = parse_query(text).unwrap();
+        let classification = SignatureAnalysis::analyse_query(&query);
+        assert!(classification.is_polynomial(), "{text} should be tractable");
+        let reference = Engine::with_strategy(EvalStrategy::Naive).eval(&tree, &query);
+        for strategy in [EvalStrategy::XProperty, EvalStrategy::Mac, EvalStrategy::Auto] {
+            assert_eq!(
+                Engine::with_strategy(strategy).eval(&tree, &query),
+                reference,
+                "strategy {strategy:?} disagrees on {text}"
+            );
+        }
+        if query.is_acyclic() {
+            assert_eq!(
+                Engine::with_strategy(EvalStrategy::Yannakakis).eval(&tree, &query),
+                reference,
+                "Yannakakis disagrees on {text}"
+            );
+        }
+    }
+}
+
+#[test]
+fn np_hard_signature_still_evaluates_correctly_via_mac() {
+    // {Child, Child+} is NP-hard (Theorem 5.1) but small instances are easy.
+    let tree = parse_term("A(B(C(D(E))), B(C), C(D))").unwrap();
+    let query = parse_query("Q() :- A(a), Child(a, b), B(b), Child+(b, d), D(d), Child(d, e), E(e).").unwrap();
+    let classification = SignatureAnalysis::analyse_query(&query);
+    assert!(!classification.is_polynomial());
+    assert!(Engine::new().eval_boolean(&tree, &query));
+    assert!(XPropertyEvaluator::for_query(&tree, &query).is_err());
+}

@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) for the core invariants of the paper:
+//!
+//! * the three evaluation engines agree on arbitrary (tree, query) pairs;
+//! * arc consistency never removes nodes that participate in a satisfaction,
+//!   and on tractable signatures the minimum valuation of the arc-consistent
+//!   prevaluation is a satisfaction (Lemma 3.4);
+//! * Theorem 4.1's X̲-property claims hold on arbitrary trees;
+//! * the CQ→APQ rewrite preserves Boolean answers (Theorem 6.6 / 6.10).
+
+use cq_trees::core::arc::arc_consistent_prevaluation;
+use cq_trees::prelude::*;
+use cq_trees::rewrite::rewrite::{rewrite_to_apq_with, RewriteOptions};
+use cq_trees::trees::TreeBuilder;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary unranked labeled tree with up to `max_nodes` nodes,
+/// encoded as (parent-choice, label-index) pairs.
+fn arb_tree(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    let labels = ["A", "B", "C", "D"];
+    proptest::collection::vec((any::<proptest::sample::Index>(), 0..labels.len()), 1..max_nodes)
+        .prop_map(move |spec| {
+            let mut builder = TreeBuilder::new();
+            let mut nodes = Vec::new();
+            for (i, (parent_choice, label_idx)) in spec.iter().enumerate() {
+                let label = labels[*label_idx];
+                let node = if i == 0 {
+                    builder.add_root(&[label])
+                } else {
+                    let parent = nodes[parent_choice.index(nodes.len())];
+                    builder.add_child(parent, &[label])
+                };
+                nodes.push(node);
+            }
+            builder.build().expect("generated trees are valid")
+        })
+}
+
+/// Strategy: an arbitrary conjunctive query over the paper's axes with up to
+/// `max_vars` variables, built from an acyclic skeleton plus extra atoms.
+fn arb_query(max_vars: usize) -> impl Strategy<Value = ConjunctiveQuery> {
+    let axes = [
+        Axis::Child,
+        Axis::ChildPlus,
+        Axis::ChildStar,
+        Axis::NextSibling,
+        Axis::NextSiblingPlus,
+        Axis::NextSiblingStar,
+        Axis::Following,
+    ];
+    let labels = ["A", "B", "C", "D"];
+    (
+        2..=max_vars,
+        proptest::collection::vec(
+            (any::<proptest::sample::Index>(), 0..axes.len(), any::<bool>()),
+            1..max_vars,
+        ),
+        proptest::collection::vec((any::<proptest::sample::Index>(), 0..labels.len()), 0..3),
+        proptest::collection::vec(
+            (
+                any::<proptest::sample::Index>(),
+                any::<proptest::sample::Index>(),
+                0..axes.len(),
+            ),
+            0..2,
+        ),
+    )
+        .prop_map(move |(vars, skeleton, label_atoms, extra_atoms)| {
+            let mut q = ConjunctiveQuery::new();
+            let var_handles: Vec<_> = (0..vars).map(|i| q.var(&format!("v{i}"))).collect();
+            // Acyclic skeleton: attach each variable (after the first) to an
+            // earlier one.
+            for (i, (anchor, axis_idx, flip)) in skeleton.iter().enumerate() {
+                let this = i + 1;
+                if this >= vars {
+                    break;
+                }
+                let anchor = var_handles[anchor.index(this)];
+                let axis = axes[*axis_idx];
+                if *flip {
+                    q.add_axis(axis, var_handles[this], anchor);
+                } else {
+                    q.add_axis(axis, anchor, var_handles[this]);
+                }
+            }
+            for (var_choice, label_idx) in &label_atoms {
+                let var = var_handles[var_choice.index(vars)];
+                q.add_label(var, labels[*label_idx]);
+            }
+            for (a, b, axis_idx) in &extra_atoms {
+                let from = var_handles[a.index(vars)];
+                let to = var_handles[b.index(vars)];
+                if from != to {
+                    q.add_axis(axes[*axis_idx], from, to);
+                }
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The complete MAC solver and the brute-force baseline agree on the
+    /// Boolean answer of arbitrary queries on arbitrary trees.
+    #[test]
+    fn mac_and_naive_agree_on_boolean_answers(
+        tree in arb_tree(10),
+        query in arb_query(4),
+    ) {
+        let mac = MacSolver::new(&tree).eval_boolean(&query);
+        let naive = NaiveEvaluator::new(&tree).eval_boolean(&query);
+        prop_assert_eq!(mac, naive, "MAC and naive disagree on {}", query);
+    }
+
+    /// Arc consistency is sound: every satisfaction's nodes survive pruning
+    /// (Proposition 3.1 computes the subset-maximal arc-consistent
+    /// prevaluation, which contains all consistent valuations).
+    #[test]
+    fn arc_consistency_preserves_witnesses(
+        tree in arb_tree(10),
+        query in arb_query(4),
+    ) {
+        if let Some(witness) = MacSolver::new(&tree).witness(&query) {
+            let pre = arc_consistent_prevaluation(&tree, &query)
+                .expect("a satisfiable query has an arc-consistent prevaluation");
+            prop_assert!(pre.contains_valuation(&witness));
+        }
+    }
+
+    /// Lemma 3.4 / Theorem 3.5: on tractable signatures, arc-consistency
+    /// non-emptiness coincides with satisfiability, and the X-property
+    /// evaluator agrees with the complete solver.
+    #[test]
+    fn x_property_evaluator_is_correct_on_tractable_signatures(
+        tree in arb_tree(12),
+        query in arb_query(4),
+    ) {
+        if let Ok(evaluator) = XPropertyEvaluator::for_query(&tree, &query) {
+            let fast = evaluator.eval_boolean(&query);
+            let reference = MacSolver::new(&tree).eval_boolean(&query);
+            prop_assert_eq!(fast, reference, "X-property evaluator wrong on {}", query);
+            if let Some(witness) = evaluator.witness(&query) {
+                prop_assert!(witness.is_satisfaction(&tree, &query));
+            }
+        }
+    }
+
+    /// Theorem 4.1, checked on arbitrary trees: each axis has the X̲-property
+    /// with respect to the order the theorem assigns to it.
+    #[test]
+    fn theorem_4_1_axes_have_the_x_property(tree in arb_tree(10)) {
+        for axis in Axis::PAPER_AXES {
+            for &order in cq_trees::core::theorem_4_1_orders(axis) {
+                prop_assert!(
+                    cq_trees::core::xproperty::axis_has_x_property(&tree, axis, order),
+                    "{} should have the X-property wrt {:?}", axis, order
+                );
+            }
+        }
+    }
+
+    /// Theorems 6.6 / 6.10: the rewritten APQ is Boolean-equivalent to the
+    /// original query on arbitrary trees.
+    #[test]
+    fn rewrite_preserves_boolean_answers(
+        tree in arb_tree(9),
+        query in arb_query(4),
+    ) {
+        let (apq, _) = rewrite_to_apq_with(&query, &RewriteOptions::default())
+            .expect("queries over paper axes always rewrite");
+        let engine = Engine::with_strategy(EvalStrategy::Mac);
+        let original = engine.eval_boolean(&tree, &query);
+        let rewritten = apq.iter().any(|d| engine.eval_boolean(&tree, d));
+        prop_assert_eq!(original, rewritten, "APQ not equivalent for {}", query);
+    }
+
+    /// The Yannakakis evaluator agrees with MAC on acyclic queries.
+    #[test]
+    fn yannakakis_agrees_on_acyclic_queries(
+        tree in arb_tree(12),
+        query in arb_query(5),
+    ) {
+        if query.is_acyclic() {
+            let yan = YannakakisEvaluator::new(&tree).eval_boolean(&query).unwrap();
+            let mac = MacSolver::new(&tree).eval_boolean(&query);
+            prop_assert_eq!(yan, mac, "Yannakakis disagrees on {}", query);
+        }
+    }
+}
