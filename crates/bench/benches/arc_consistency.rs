@@ -15,7 +15,10 @@ use cqt_trees::Axis;
 fn bench_arc_consistency(c: &mut Criterion) {
     let query = chain_query(Axis::ChildPlus, 6);
     let mut group = c.benchmark_group("arc_consistency");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     for nodes in [200usize, 800, 3_200] {
         let tree = benchmark_tree(nodes, 41);
         group.bench_with_input(BenchmarkId::new("worklist", nodes), &tree, |b, tree| {
@@ -31,7 +34,10 @@ fn bench_arc_consistency(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("arc_consistency_query_size");
-    group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(200));
     let tree = benchmark_tree(1_000, 43);
     for atoms in [2usize, 8, 32] {
         let query = chain_query(Axis::ChildStar, atoms + 1);

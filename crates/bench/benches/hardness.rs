@@ -15,7 +15,10 @@ use rand::SeedableRng;
 
 fn bench_thm51(c: &mut Criterion) {
     let mut group = c.benchmark_group("thm51_reduction");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let mut rng = StdRng::seed_from_u64(77);
     for clauses in [2usize, 4, 6] {
         let instance = OneInThreeInstance::random_satisfiable(&mut rng, 3 * clauses, clauses);
@@ -29,7 +32,10 @@ fn bench_thm51(c: &mut Criterion) {
             },
         );
     }
-    let unsat = Thm51Reduction::new(OneInThreeInstance::unsatisfiable_k4(), Thm51Variant::Tau4ChildPlus);
+    let unsat = Thm51Reduction::new(
+        OneInThreeInstance::unsatisfiable_k4(),
+        Thm51Variant::Tau4ChildPlus,
+    );
     group.bench_with_input(BenchmarkId::new("unsat_k4", 4), &unsat, |b, reduction| {
         let solver = MacSolver::new(&reduction.tree);
         b.iter(|| solver.eval_boolean(&reduction.query));

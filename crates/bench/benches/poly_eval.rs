@@ -20,7 +20,10 @@ fn bench_poly_eval(c: &mut Criterion) {
     for (name, axis, order) in families {
         let query = chain_query(axis, 5);
         let mut group = c.benchmark_group(format!("poly_eval/{name}"));
-        group.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(900))
+            .warm_up_time(Duration::from_millis(200));
         for nodes in [200usize, 1_000, 4_000] {
             let tree = benchmark_tree(nodes, 59);
             group.bench_with_input(BenchmarkId::new("x_property", nodes), &tree, |b, tree| {

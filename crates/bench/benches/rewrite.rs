@@ -16,7 +16,10 @@ use cqt_trees::Axis;
 fn bench_rewrite(c: &mut Criterion) {
     let options = RewriteOptions::default();
     let mut group = c.benchmark_group("rewrite");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
 
     group.bench_function("figure1_query", |b| {
         let query = figure1_query();
@@ -26,9 +29,13 @@ fn bench_rewrite(c: &mut Criterion) {
     let signature = Signature::from_axes([Axis::Child, Axis::ChildPlus, Axis::ChildStar]);
     for vars in [4usize, 6, 8] {
         let query = query_over_signature(&signature, vars, 83);
-        group.bench_with_input(BenchmarkId::new("random_cyclic", vars), &query, |b, query| {
-            b.iter(|| rewrite_to_apq_with(query, &options).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_cyclic", vars),
+            &query,
+            |b, query| {
+                b.iter(|| rewrite_to_apq_with(query, &options).unwrap());
+            },
+        );
     }
 
     for n in [1usize, 2] {

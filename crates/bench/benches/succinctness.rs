@@ -16,7 +16,10 @@ use cqt_rewrite::rewrite::RewriteOptions;
 
 fn bench_succinctness(c: &mut Criterion) {
     let mut group = c.benchmark_group("succinctness");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
 
     for n in [1usize, 2] {
         group.bench_with_input(BenchmarkId::new("apq_for_diamond", n), &n, |b, &n| {

@@ -13,7 +13,10 @@ use cqt_query::Signature;
 fn bench_table1_cells(c: &mut Criterion) {
     let tree = benchmark_tree(600, 67);
     let mut group = c.benchmark_group("table1_cells");
-    group.sample_size(10).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(150));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(150));
     for (a, b, classification) in SignatureAnalysis::table1() {
         let signature = if a == b {
             Signature::from_axes([a])

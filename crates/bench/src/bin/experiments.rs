@@ -14,11 +14,17 @@
 //! Each subcommand regenerates one of the paper's tables/figures
 //! experimentally; EXPERIMENTS.md records the outputs next to the paper's
 //! claims.
+//!
+//! The `--smoke` flag (usable with any subcommand, and what CI runs) caps
+//! every instance size so the full `all` sweep finishes in seconds: the
+//! tables lose their statistical weight but every code path still executes.
 
 use std::time::{Duration, Instant};
 
 use cqt_bench::{benchmark_tree, chain_query, fmt_duration, query_over_signature, time_mean};
-use cqt_core::{Engine, EvalStrategy, MacSolver, SignatureAnalysis, Tractability, XPropertyEvaluator};
+use cqt_core::{
+    Engine, EvalStrategy, MacSolver, SignatureAnalysis, Tractability, XPropertyEvaluator,
+};
 use cqt_hardness::nand;
 use cqt_hardness::sat::OneInThreeInstance;
 use cqt_hardness::thm51::{Thm51Reduction, Thm51Variant};
@@ -30,28 +36,76 @@ use cqt_trees::{Axis, Order};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Instance sizes for the size-dependent experiments. `full()` regenerates
+/// the paper-scale tables; `smoke()` caps everything so `all` finishes in
+/// seconds (CI runs `experiments --smoke`).
+struct Scale {
+    /// Probe tree sizes for the polynomial Table I cells (small, large).
+    probe_trees: (usize, usize),
+    /// Repetitions per timing probe.
+    probe_runs: usize,
+    /// Tree size for the random-cyclic-query MAC probes of Table I.
+    mac_tree: usize,
+    /// Tree sizes swept by the Theorem 3.5 scaling experiment.
+    scaling_sizes: &'static [usize],
+    /// Clause counts swept by the Theorem 5.1 hardness experiment.
+    hardness_clauses: &'static [usize],
+    /// Default diamond bound for the succinctness experiment.
+    succinctness_max_n: usize,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Scale {
+            probe_trees: (2_000, 8_000),
+            probe_runs: 5,
+            mac_tree: 150,
+            scaling_sizes: &[500, 2_000, 8_000],
+            hardness_clauses: &[2, 4, 6, 8],
+            succinctness_max_n: 3,
+        }
+    }
+
+    fn smoke() -> Self {
+        Scale {
+            probe_trees: (150, 600),
+            probe_runs: 1,
+            mac_tree: 60,
+            scaling_sizes: &[100, 400],
+            hardness_clauses: &[2, 3],
+            succinctness_max_n: 2,
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
     let command = args.first().map(String::as_str).unwrap_or("all");
     match command {
-        "table1" => table1(),
+        "table1" => table1(&scale),
         "table2" => table2(),
         "figure3" => figure3(),
         "figure8" => figure8(),
-        "scaling" => scaling(),
-        "hardness" => hardness(),
+        "scaling" => scaling(&scale),
+        "hardness" => hardness(&scale),
         "succinctness" => {
-            let max_n = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+            let max_n = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(scale.succinctness_max_n);
             succinctness(max_n);
         }
         "all" => {
-            table1();
+            table1(&scale);
             table2();
             figure3();
             figure8();
-            scaling();
-            hardness();
-            succinctness(3);
+            scaling(&scale);
+            hardness(&scale);
+            succinctness(scale.succinctness_max_n);
         }
         other => {
             eprintln!("unknown experiment {other:?}; see the module docs for the available ones");
@@ -66,11 +120,11 @@ fn header(title: &str) {
 
 /// Table I: the complexity of conjunctive queries for every one- and two-axis
 /// signature — machine classification plus an empirical probe per cell.
-fn table1() {
+fn table1(scale: &Scale) {
     header("Table I — tractability of one- and two-axis signatures");
     println!(
-        "{:<14} {:<14} {:<34} {}",
-        "axis 1", "axis 2", "classification", "empirical probe"
+        "{:<14} {:<14} {:<34} empirical probe",
+        "axis 1", "axis 2", "classification"
     );
     for (a, b, classification) in SignatureAnalysis::table1() {
         let signature = if a == b {
@@ -79,18 +133,28 @@ fn table1() {
             Signature::from_axes([a, b])
         };
         let probe = match &classification {
-            Tractability::PolynomialTime { order } => polynomial_probe(&signature, *order),
-            Tractability::NpHard { .. } => np_hard_probe(&signature),
+            Tractability::PolynomialTime { order } => polynomial_probe(&signature, *order, scale),
+            Tractability::NpHard { .. } => np_hard_probe(&signature, scale),
         };
-        let cell_b = if a == b { "(single axis)".to_owned() } else { b.to_string() };
-        println!("{:<14} {:<14} {:<34} {}", a.to_string(), cell_b, classification.to_string(), probe);
+        let cell_b = if a == b {
+            "(single axis)".to_owned()
+        } else {
+            b.to_string()
+        };
+        println!(
+            "{:<14} {:<14} {:<34} {}",
+            a.to_string(),
+            cell_b,
+            classification.to_string(),
+            probe
+        );
     }
 }
 
 /// Probe for a polynomial cell: evaluate a chain query over the signature on
 /// trees of two sizes and report the time ratio (≈ the size ratio for the
 /// near-linear X̲-property algorithm).
-fn polynomial_probe(signature: &Signature, order: Order) -> String {
+fn polynomial_probe(signature: &Signature, order: Order, scale: &Scale) -> String {
     let axes: Vec<Axis> = signature.iter().collect();
     let mut query = cqt_query::ConjunctiveQuery::new();
     // A chain alternating through the signature's axes.
@@ -104,27 +168,31 @@ fn polynomial_probe(signature: &Signature, order: Order) -> String {
         }
         prev = next;
     }
-    let small_tree = benchmark_tree(2_000, 11);
-    let large_tree = benchmark_tree(8_000, 12);
-    let small = time_mean(5, || {
+    let (small_nodes, large_nodes) = scale.probe_trees;
+    let small_tree = benchmark_tree(small_nodes, 11);
+    let large_tree = benchmark_tree(large_nodes, 12);
+    let small = time_mean(scale.probe_runs, || {
         let eval = XPropertyEvaluator::with_order(&small_tree, order);
         std::hint::black_box(eval.eval_boolean(&query));
     });
-    let large = time_mean(5, || {
+    let large = time_mean(scale.probe_runs, || {
         let eval = XPropertyEvaluator::with_order(&large_tree, order);
         std::hint::black_box(eval.eval_boolean(&query));
     });
     format!(
-        "eval {} @2k nodes, {} @8k nodes (x{:.1} for x4 data)",
+        "eval {} @{} nodes, {} @{} nodes (x{:.1} for x{} data)",
         fmt_duration(small),
+        small_nodes,
         fmt_duration(large),
-        large.as_secs_f64() / small.as_secs_f64().max(1e-9)
+        large_nodes,
+        large.as_secs_f64() / small.as_secs_f64().max(1e-9),
+        large_nodes / small_nodes
     )
 }
 
 /// Probe for an NP-hard cell: solve a hard instance with the complete MAC
 /// solver and report its size and the number of branching decisions.
-fn np_hard_probe(signature: &Signature) -> String {
+fn np_hard_probe(signature: &Signature, scale: &Scale) -> String {
     // For the two signatures of Theorem 5.1 use the actual Figure 4
     // reduction; for the others use a random cyclic query over the signature.
     let child = signature.contains(Axis::Child);
@@ -140,7 +208,8 @@ fn np_hard_probe(signature: &Signature) -> String {
         let instance = OneInThreeInstance::random_satisfiable(&mut rng, 9, 5);
         let reduction = Thm51Reduction::new(instance, variant);
         let start = Instant::now();
-        let (sat, stats) = MacSolver::new(&reduction.tree).eval_boolean_with_stats(&reduction.query);
+        let (sat, stats) =
+            MacSolver::new(&reduction.tree).eval_boolean_with_stats(&reduction.query);
         format!(
             "Thm 5.1 reduction (5 clauses): sat={sat}, {} decisions, {}",
             stats.decisions,
@@ -148,7 +217,7 @@ fn np_hard_probe(signature: &Signature) -> String {
         )
     } else {
         let query = query_over_signature(signature, 7, 23);
-        let tree = benchmark_tree(150, 17);
+        let tree = benchmark_tree(scale.mac_tree, 17);
         let start = Instant::now();
         let (sat, stats) = MacSolver::new(&tree).eval_boolean_with_stats(&query);
         format!(
@@ -165,7 +234,12 @@ fn table2() {
     header("Table II — the NAND(k, l) offsets");
     println!("k\\l      1     2     3");
     for k in 1..=3 {
-        println!("{k}      {:>3}   {:>3}   {:>3}", nand(k, 1), nand(k, 2), nand(k, 3));
+        println!(
+            "{k}      {:>3}   {:>3}   {:>3}",
+            nand(k, 1),
+            nand(k, 2),
+            nand(k, 3)
+        );
     }
 }
 
@@ -232,7 +306,7 @@ fn figure8() {
 
 /// Theorem 3.5 scaling: evaluation time vs tree size for the three tractable
 /// signature families, with the MAC and naive evaluators as baselines.
-fn scaling() {
+fn scaling(scale: &Scale) {
     header("Theorem 3.5 — evaluation time vs data size on tractable signatures");
     let families = [
         ("tau1 {Child+, Child*}", Axis::ChildPlus, Order::Pre),
@@ -245,13 +319,13 @@ fn scaling() {
     );
     for (name, axis, order) in families {
         let query = chain_query(axis, 6);
-        for nodes in [500usize, 2_000, 8_000] {
+        for &nodes in scale.scaling_sizes {
             let tree = benchmark_tree(nodes, 31);
-            let xp = time_mean(5, || {
+            let xp = time_mean(scale.probe_runs, || {
                 let eval = XPropertyEvaluator::with_order(&tree, order);
                 std::hint::black_box(eval.eval_boolean(&query));
             });
-            let mac = time_mean(3, || {
+            let mac = time_mean(scale.probe_runs, || {
                 std::hint::black_box(MacSolver::new(&tree).eval_boolean(&query));
             });
             let naive = if nodes <= 500 {
@@ -277,18 +351,25 @@ fn scaling() {
 
 /// Section 5 hardness: MAC solve time for the Theorem 5.1 reduction as the
 /// number of clauses grows (satisfiable and unsatisfiable instances).
-fn hardness() {
+fn hardness(scale: &Scale) {
     header("Theorem 5.1 — reduction solve time vs instance size");
     println!(
         "{:<34} {:>10} {:>12} {:>12} {:>10}",
         "instance", "|Q| atoms", "decisions", "time", "result"
     );
     let mut rng = StdRng::seed_from_u64(99);
-    for clauses in [2usize, 4, 6, 8] {
-        let instance = OneInThreeInstance::random_satisfiable(&mut rng, 3 * clauses.max(1), clauses);
-        report_reduction(&format!("planted satisfiable, {clauses} clauses"), &instance);
+    for &clauses in scale.hardness_clauses {
+        let instance =
+            OneInThreeInstance::random_satisfiable(&mut rng, 3 * clauses.max(1), clauses);
+        report_reduction(
+            &format!("planted satisfiable, {clauses} clauses"),
+            &instance,
+        );
     }
-    report_reduction("unsatisfiable K4 family", &OneInThreeInstance::unsatisfiable_k4());
+    report_reduction(
+        "unsatisfiable K4 family",
+        &OneInThreeInstance::unsatisfiable_k4(),
+    );
 }
 
 fn report_reduction(name: &str, instance: &OneInThreeInstance) {

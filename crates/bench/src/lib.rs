@@ -21,7 +21,10 @@ pub fn benchmark_tree(nodes: usize, seed: u64) -> Tree {
         &mut rng,
         &RandomTreeConfig {
             nodes,
-            alphabet: ["A", "B", "C", "D", "E"].iter().map(|s| s.to_string()).collect(),
+            alphabet: ["A", "B", "C", "D", "E"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             multi_label_probability: 0.05,
             attach_window: usize::MAX,
         },
@@ -131,6 +134,10 @@ mod tests {
         let mean = time_mean(3, || {
             std::hint::black_box(1 + 1);
         });
-        assert!(fmt_duration(mean).ends_with('s') || fmt_duration(mean).contains("µs") || fmt_duration(mean).contains("ms"));
+        assert!(
+            fmt_duration(mean).ends_with('s')
+                || fmt_duration(mean).contains("µs")
+                || fmt_duration(mean).contains("ms")
+        );
     }
 }

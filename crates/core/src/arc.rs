@@ -147,9 +147,9 @@ pub fn arc_consistent_prevaluation_hornsat(
     let mut removals: VecDeque<(usize, NodeId)> = VecDeque::new();
 
     let remove = |alive: &mut Vec<Vec<bool>>,
-                      removals: &mut VecDeque<(usize, NodeId)>,
-                      var: usize,
-                      node: NodeId| {
+                  removals: &mut VecDeque<(usize, NodeId)>,
+                  var: usize,
+                  node: NodeId| {
         if alive[var][node.index()] {
             alive[var][node.index()] = false;
             removals.push_back((var, node));
@@ -366,7 +366,10 @@ mod tests {
             let b = arc_consistent_prevaluation_hornsat(&tree, &query);
             assert_eq!(a, b, "engines disagree on {text}");
             if let Some(pre) = a {
-                assert!(is_arc_consistent(&tree, &query, &pre), "not arc consistent: {text}");
+                assert!(
+                    is_arc_consistent(&tree, &query, &pre),
+                    "not arc consistent: {text}"
+                );
             }
         }
     }
@@ -427,7 +430,10 @@ mod tests {
                 }
             }
         }
-        assert!(found >= 2, "expected at least two satisfactions, found {found}");
+        assert!(
+            found >= 2,
+            "expected at least two satisfactions, found {found}"
+        );
     }
 
     #[test]
@@ -441,14 +447,19 @@ mod tests {
             let mut start = initial_prevaluation(&tree, &query);
             start.set(y, NodeSet::from_nodes(tree.len(), [candidate]));
             let result = arc_consistent_from(&tree, &query, start);
-            assert!(result.is_some(), "candidate {candidate} should be an answer");
+            assert!(
+                result.is_some(),
+                "candidate {candidate} should be an answer"
+            );
         }
         // Restricting y to the root (label A) fails on the unary atom.
         let mut start = initial_prevaluation(&tree, &query);
         start.set(y, NodeSet::from_nodes(tree.len(), [tree.root()]));
         // The intersection with the label set is done by initial_prevaluation,
         // so emulate a caller that intersects:
-        start.get_mut(y).intersect_with(&tree.nodes_with_label_name("B"));
+        start
+            .get_mut(y)
+            .intersect_with(&tree.nodes_with_label_name("B"));
         assert!(arc_consistent_from(&tree, &query, start).is_none());
     }
 }

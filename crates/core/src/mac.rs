@@ -90,11 +90,9 @@ impl<'t> MacSolver<'t> {
         let head = query.head()[0];
         let mut out = NodeSet::empty(self.tree.len());
         // One global pass narrows the candidates before per-node checks.
-        let Some(global) = arc_consistent_from(
-            self.tree,
-            query,
-            initial_prevaluation(self.tree, query),
-        ) else {
+        let Some(global) =
+            arc_consistent_from(self.tree, query, initial_prevaluation(self.tree, query))
+        else {
             return out;
         };
         for candidate in global.get(head).iter() {
@@ -286,7 +284,12 @@ mod tests {
             vars: 4,
             extra_atoms: 2,
             head_arity: 1,
-            axes: vec![Axis::Child, Axis::ChildPlus, Axis::Following, Axis::NextSibling],
+            axes: vec![
+                Axis::Child,
+                Axis::ChildPlus,
+                Axis::Following,
+                Axis::NextSibling,
+            ],
             ..RandomQueryConfig::default()
         };
         for _ in 0..25 {

@@ -38,7 +38,10 @@ impl<'t> NaiveEvaluator<'t> {
         let mut assignment: Vec<Option<NodeId>> = vec![None; query.var_count()];
         if self.search(query, 0, &mut assignment, &mut |_| true) {
             Some(Valuation::new(
-                assignment.into_iter().map(|n| n.expect("complete")).collect(),
+                assignment
+                    .into_iter()
+                    .map(|n| n.expect("complete"))
+                    .collect(),
             ))
         } else {
             None
@@ -131,10 +134,9 @@ impl<'t> NaiveEvaluator<'t> {
             if !atom.mentions(var) {
                 continue;
             }
-            if let (Some(from), Some(to)) = (
-                assignment[atom.from.index()],
-                assignment[atom.to.index()],
-            ) {
+            if let (Some(from), Some(to)) =
+                (assignment[atom.from.index()], assignment[atom.to.index()])
+            {
                 if !atom.axis.holds(self.tree, from, to) {
                     return false;
                 }

@@ -53,10 +53,7 @@ pub struct XPropertyEvaluator<'t> {
 impl<'t> XPropertyEvaluator<'t> {
     /// Creates an evaluator for `query` on `tree`, choosing the witnessing
     /// order via [`SignatureAnalysis`]. Fails if the signature is NP-hard.
-    pub fn for_query(
-        tree: &'t Tree,
-        query: &ConjunctiveQuery,
-    ) -> Result<Self, NotTractableError> {
+    pub fn for_query(tree: &'t Tree, query: &ConjunctiveQuery) -> Result<Self, NotTractableError> {
         match SignatureAnalysis::analyse_query(query) {
             Tractability::PolynomialTime { order } => Ok(XPropertyEvaluator { tree, order }),
             classification => Err(NotTractableError { classification }),
@@ -222,15 +219,18 @@ mod tests {
         assert_eq!(e2.order(), Order::Post);
         assert!(e2.eval_boolean(&q2));
         // Child/NextSibling query (τ3).
-        let q3 =
-            parse_query("Q() :- R(r), Child(r, a), A(a), NextSibling(a, b), B(b), NextSibling+(b, c), C(c).")
-                .unwrap();
+        let q3 = parse_query(
+            "Q() :- R(r), Child(r, a), A(a), NextSibling(a, b), B(b), NextSibling+(b, c), C(c).",
+        )
+        .unwrap();
         let e3 = XPropertyEvaluator::for_query(&tree, &q3).unwrap();
         assert_eq!(e3.order(), Order::Bflr);
         assert!(e3.eval_boolean(&q3));
         // And an unsatisfiable variant (C before B).
         let q3bad = parse_query("Q() :- C(x), NextSibling+(x, y), B(y).").unwrap();
-        assert!(!XPropertyEvaluator::for_query(&tree, &q3bad).unwrap().eval_boolean(&q3bad));
+        assert!(!XPropertyEvaluator::for_query(&tree, &q3bad)
+            .unwrap()
+            .eval_boolean(&q3bad));
     }
 
     #[test]

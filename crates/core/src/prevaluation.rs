@@ -30,7 +30,11 @@ impl Prevaluation {
     /// # Panics
     /// Panics if `sets.len()` differs from the query's variable count.
     pub fn from_sets(query: &ConjunctiveQuery, sets: Vec<NodeSet>) -> Self {
-        assert_eq!(sets.len(), query.var_count(), "one set per variable required");
+        assert_eq!(
+            sets.len(),
+            query.var_count(),
+            "one set per variable required"
+        );
         Prevaluation { sets }
     }
 
@@ -134,7 +138,10 @@ impl Valuation {
             }
         }
         for atom in query.axis_atoms() {
-            if !atom.axis.holds(tree, self.get(atom.from), self.get(atom.to)) {
+            if !atom
+                .axis
+                .holds(tree, self.get(atom.from), self.get(atom.to))
+            {
                 return false;
             }
         }

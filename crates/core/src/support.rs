@@ -190,9 +190,7 @@ fn sibling_support_right(tree: &Tree, targets: &NodeSet, include_self: bool) -> 
         }
         let mut any_to_the_right = false;
         for &child in children.iter().rev() {
-            if include_self && targets.contains(child) {
-                out.insert(child);
-            } else if any_to_the_right {
+            if (include_self && targets.contains(child)) || any_to_the_right {
                 out.insert(child);
             }
             if targets.contains(child) {
@@ -217,9 +215,7 @@ fn sibling_support_left(tree: &Tree, sources: &NodeSet, include_self: bool) -> N
         }
         let mut any_to_the_left = false;
         for &child in children.iter() {
-            if include_self && sources.contains(child) {
-                out.insert(child);
-            } else if any_to_the_left {
+            if (include_self && sources.contains(child)) || any_to_the_left {
                 out.insert(child);
             }
             if sources.contains(child) {

@@ -69,7 +69,11 @@ impl fmt::Display for Tractability {
                 write!(f, "in P (X-property with respect to {order})")
             }
             Tractability::NpHard { witness, theorem } => {
-                write!(f, "NP-hard ({} via {{{}, {}}})", theorem, witness.0, witness.1)
+                write!(
+                    f,
+                    "NP-hard ({} via {{{}, {}}})",
+                    theorem, witness.0, witness.1
+                )
             }
         }
     }
@@ -130,7 +134,13 @@ impl SignatureAnalysis {
         signature
             .iter()
             .filter(|&axis| axis != Axis::SelfAxis)
-            .map(|axis| if axis.is_paper_axis() { axis } else { axis.inverse() })
+            .map(|axis| {
+                if axis.is_paper_axis() {
+                    axis
+                } else {
+                    axis.inverse()
+                }
+            })
             .collect()
     }
 

@@ -284,12 +284,23 @@ mod tests {
             }
             let t = random_tree(&mut rng, &config);
             found_child_pre |= x_property_violation(&t, Axis::Child, Order::Pre).is_some();
-            found_following_bflr |= x_property_violation(&t, Axis::Following, Order::Bflr).is_some();
-            found_childplus_bflr |= x_property_violation(&t, Axis::ChildPlus, Order::Bflr).is_some();
+            found_following_bflr |=
+                x_property_violation(&t, Axis::Following, Order::Bflr).is_some();
+            found_childplus_bflr |=
+                x_property_violation(&t, Axis::ChildPlus, Order::Bflr).is_some();
         }
-        assert!(found_child_pre, "expected a tree where Child violates X wrt pre");
-        assert!(found_following_bflr, "expected a tree where Following violates X wrt bflr");
-        assert!(found_childplus_bflr, "expected a tree where Child+ violates X wrt bflr");
+        assert!(
+            found_child_pre,
+            "expected a tree where Child violates X wrt pre"
+        );
+        assert!(
+            found_following_bflr,
+            "expected a tree where Following violates X wrt bflr"
+        );
+        assert!(
+            found_childplus_bflr,
+            "expected a tree where Child+ violates X wrt bflr"
+        );
     }
 
     #[test]

@@ -155,11 +155,11 @@ impl<'t> YannakakisEvaluator<'t> {
             }
         }
         // Variables not occurring in any binary atom take any candidate.
-        for i in 0..query.var_count() {
-            if assignment[i].is_none() {
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            if slot.is_none() {
                 let var = Var::from_index(i);
                 match pre.get(var).any_member() {
-                    Some(node) => assignment[i] = Some(node),
+                    Some(node) => *slot = Some(node),
                     None => return Ok(None),
                 }
             }
@@ -311,7 +311,11 @@ mod tests {
         let no = parse_query("Q() :- F(x), Child(x, y).").unwrap();
         let eval = YannakakisEvaluator::new(&tree);
         assert!(eval.eval_boolean(&yes).unwrap());
-        assert!(eval.witness(&yes).unwrap().unwrap().is_satisfaction(&tree, &yes));
+        assert!(eval
+            .witness(&yes)
+            .unwrap()
+            .unwrap()
+            .is_satisfaction(&tree, &yes));
         assert!(!eval.eval_boolean(&no).unwrap());
         assert!(eval.witness(&no).unwrap().is_none());
     }
@@ -335,7 +339,10 @@ mod tests {
         assert_eq!(answers.len(), 2);
         for b in answers.iter() {
             assert!(tree.has_label_name(b, "B"));
-            assert!(tree.children(b).iter().any(|&c| tree.has_label_name(c, "D")));
+            assert!(tree
+                .children(b)
+                .iter()
+                .any(|&c| tree.has_label_name(c, "D")));
         }
     }
 

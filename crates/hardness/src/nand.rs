@@ -19,7 +19,10 @@
 /// Panics if `k` or `l` is outside `1..=3`.
 pub fn nand(k: usize, l: usize) -> usize {
     const TABLE: [[usize; 3]; 3] = [[10, 13, 18], [5, 8, 13], [2, 5, 10]];
-    assert!((1..=3).contains(&k) && (1..=3).contains(&l), "NAND is defined on {{1,2,3}}²");
+    assert!(
+        (1..=3).contains(&k) && (1..=3).contains(&l),
+        "NAND is defined on {{1,2,3}}²"
+    );
     TABLE[k - 1][l - 1]
 }
 

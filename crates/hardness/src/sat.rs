@@ -61,9 +61,10 @@ impl OneInThreeInstance {
     /// Whether `assignment` makes exactly one literal of every clause true.
     pub fn is_solution(&self, assignment: &[bool]) -> bool {
         assignment.len() >= self.num_vars
-            && self.clauses.iter().all(|clause| {
-                clause.iter().filter(|&&v| assignment[v]).count() == 1
-            })
+            && self
+                .clauses
+                .iter()
+                .all(|clause| clause.iter().filter(|&&v| assignment[v]).count() == 1)
     }
 
     /// Finds a solution by backtracking over the variables with early clause
@@ -106,7 +107,10 @@ impl OneInThreeInstance {
             // variables must not already have two true literals.
             let feasible = self.clauses.iter().all(|clause| {
                 let decided = clause.iter().filter(|&&v| v <= var).count();
-                let true_count = clause.iter().filter(|&&v| v <= var && assignment[v]).count();
+                let true_count = clause
+                    .iter()
+                    .filter(|&&v| v <= var && assignment[v])
+                    .count();
                 if decided == 3 {
                     true_count == 1
                 } else {
@@ -244,7 +248,11 @@ mod tests {
             let instance = OneInThreeInstance::random(&mut rng, 7, 6);
             let solvable = instance.is_satisfiable();
             let count = instance.count_solutions();
-            assert_eq!(solvable, count > 0, "solver disagrees with brute force on {instance}");
+            assert_eq!(
+                solvable,
+                count > 0,
+                "solver disagrees with brute force on {instance}"
+            );
             if let Some(solution) = instance.solve() {
                 assert!(instance.is_solution(&solution));
             }

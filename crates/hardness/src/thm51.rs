@@ -287,11 +287,12 @@ mod tests {
         // |Q| = 5 atoms per clause (X, Y, Child³) plus 2 + (8 + k − l) + 1
         // atoms per literal coincidence; here we just check the growth is
         // quadratic at worst.
-        let small = thm51_query(&OneInThreeInstance::single_clause(), Thm51Variant::Tau4ChildPlus);
-        let big_instance = OneInThreeInstance::new(
-            6,
-            vec![[0, 1, 2], [1, 2, 3], [2, 3, 4], [3, 4, 5]],
+        let small = thm51_query(
+            &OneInThreeInstance::single_clause(),
+            Thm51Variant::Tau4ChildPlus,
         );
+        let big_instance =
+            OneInThreeInstance::new(6, vec![[0, 1, 2], [1, 2, 3], [2, 3, 4], [3, 4, 5]]);
         let big = thm51_query(&big_instance, Thm51Variant::Tau4ChildPlus);
         assert!(small.size() < big.size());
         assert!(big.size() < 4 * 4 * 3 * 3 * 14);

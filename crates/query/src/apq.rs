@@ -82,7 +82,9 @@ impl PositiveQuery {
 
     /// The arity of the query (0 if there are no disjuncts).
     pub fn head_arity(&self) -> usize {
-        self.disjuncts.first().map_or(0, ConjunctiveQuery::head_arity)
+        self.disjuncts
+            .first()
+            .map_or(0, ConjunctiveQuery::head_arity)
     }
 
     /// The paper's size measure for positive queries: the sum of the sizes of

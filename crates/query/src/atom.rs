@@ -114,7 +114,12 @@ mod tests {
             to: y,
         };
         assert!(!atom.is_loop());
-        assert!(AxisAtom { axis: Axis::ChildStar, from: x, to: x }.is_loop());
+        assert!(AxisAtom {
+            axis: Axis::ChildStar,
+            from: x,
+            to: x
+        }
+        .is_loop());
         assert_eq!(atom.flipped().axis, Axis::Parent);
         assert_eq!(atom.flipped().from, y);
         assert_eq!(atom.flipped().flipped(), atom);

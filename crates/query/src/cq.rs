@@ -508,7 +508,10 @@ mod tests {
         assert_eq!(q.size(), 6);
         assert_eq!(q.head_arity(), 1);
         assert!(q.is_safe());
-        assert!(!q.is_acyclic(), "the Figure 1 query is cyclic (x–y–z triangle)");
+        assert!(
+            !q.is_acyclic(),
+            "the Figure 1 query is cyclic (x–y–z triangle)"
+        );
         let sig = q.signature();
         assert!(sig.contains(Axis::ChildPlus));
         assert!(sig.contains(Axis::Following));

@@ -159,7 +159,10 @@ mod tests {
             ..RandomQueryConfig::default()
         };
         let cyclic_seen = (0..50).any(|_| !random_query(&mut rng, &config).is_acyclic());
-        assert!(cyclic_seen, "expected at least one cyclic query in 50 draws");
+        assert!(
+            cyclic_seen,
+            "expected at least one cyclic query in 50 draws"
+        );
     }
 
     #[test]

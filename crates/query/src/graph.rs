@@ -163,7 +163,9 @@ impl QueryGraph {
     /// `None` if the directed graph has a cycle. Variables without atoms are
     /// included at arbitrary valid positions.
     pub fn topological_order(&self) -> Option<Vec<Var>> {
-        let mut in_deg: Vec<usize> = (0..self.var_count).map(|v| self.in_edges[v].len()).collect();
+        let mut in_deg: Vec<usize> = (0..self.var_count)
+            .map(|v| self.in_edges[v].len())
+            .collect();
         let mut queue: VecDeque<usize> = (0..self.var_count).filter(|&v| in_deg[v] == 0).collect();
         let mut order = Vec::with_capacity(self.var_count);
         while let Some(v) = queue.pop_front() {
@@ -242,7 +244,7 @@ impl QueryGraph {
         // Union-find on variables; every edge must join two different
         // components, otherwise it closes an undirected cycle.
         let mut parent: Vec<usize> = (0..self.var_count).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -48,7 +48,11 @@ pub struct ParseQueryError {
 
 impl fmt::Display for ParseQueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -162,7 +166,10 @@ impl<'a> Parser<'a> {
             })
     }
 
-    fn parse_var_list(&mut self, query: &mut ConjunctiveQuery) -> Result<Vec<crate::Var>, ParseQueryError> {
+    fn parse_var_list(
+        &mut self,
+        query: &mut ConjunctiveQuery,
+    ) -> Result<Vec<crate::Var>, ParseQueryError> {
         let mut vars = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b')') {
@@ -245,9 +252,7 @@ impl<'a> Parser<'a> {
         query.set_head(head);
         self.skip_ws();
         // ":-" or "<-"
-        if self.eat(b':') {
-            self.expect(b'-')?;
-        } else if self.eat(b'<') {
+        if self.eat(b':') || self.eat(b'<') {
             self.expect(b'-')?;
         } else {
             return self.error("expected ':-' or '<-'");

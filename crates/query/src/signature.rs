@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_dedup() {
-        let sig: Signature = [Axis::Child, Axis::Child, Axis::Following].into_iter().collect();
+        let sig: Signature = [Axis::Child, Axis::Child, Axis::Following]
+            .into_iter()
+            .collect();
         assert_eq!(sig.len(), 2);
     }
 }

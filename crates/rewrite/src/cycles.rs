@@ -43,10 +43,7 @@ pub fn eliminate_directed_cycles(query: &ConjunctiveQuery) -> DirectedCycleOutco
             return DirectedCycleOutcome::Rewritten(query);
         };
         // A cycle with an irreflexive axis cannot be satisfied.
-        if cycle
-            .iter()
-            .any(|atom| !atom.axis.is_reflexive())
-        {
+        if cycle.iter().any(|atom| !atom.axis.is_reflexive()) {
             return DirectedCycleOutcome::Unsatisfiable;
         }
         // Collapse: identify every variable on the cycle with the first one.

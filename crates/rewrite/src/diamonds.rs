@@ -225,8 +225,20 @@ pub fn example_7_8_query() -> ConjunctiveQuery {
     let mut q = ConjunctiveQuery::new();
     let sequences = [
         vec![y_label(1), x_label(1), y_label(2), x_label(2), y_label(3)],
-        vec![y_label(1), x_label(1), y_label(2), x_prime_label(2), y_label(3)],
-        vec![y_label(1), x_prime_label(1), y_label(2), x_label(2), y_label(3)],
+        vec![
+            y_label(1),
+            x_label(1),
+            y_label(2),
+            x_prime_label(2),
+            y_label(3),
+        ],
+        vec![
+            y_label(1),
+            x_prime_label(1),
+            y_label(2),
+            x_label(2),
+            y_label(3),
+        ],
     ];
     for (c, labels) in sequences.iter().enumerate() {
         let mut prev: Option<Var> = None;
@@ -358,7 +370,9 @@ mod tests {
         assert!(lps
             .iter()
             .any(|p| path_contains_all(p, &[x_prime_label(1), x_prime_label(2)])));
-        assert!(lps.iter().all(|p| path_contains_all(p, &[y_label(1), y_label(3)])));
+        assert!(lps
+            .iter()
+            .all(|p| path_contains_all(p, &[y_label(1), y_label(3)])));
     }
 
     #[test]

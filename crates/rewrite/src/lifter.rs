@@ -216,15 +216,13 @@ pub fn join_lifter(r: Axis, s: Axis) -> Option<JoinLifter> {
                 EqualXY { p: r },
             ],
             // R ∈ {Child, NextSibling}, S = R*.
-            (Child, ChildStar) | (NextSibling, NextSiblingStar) => vec![
-                EqualYZ { p: r },
-                ChainThroughX { p: s, p_prime: r },
-            ],
+            (Child, ChildStar) | (NextSibling, NextSiblingStar) => {
+                vec![EqualYZ { p: r }, ChainThroughX { p: s, p_prime: r }]
+            }
             // R ∈ {Child, NextSibling}, S = R+.
-            (Child, ChildPlus) | (NextSibling, NextSiblingPlus) => vec![
-                EqualXY { p: r },
-                ChainThroughX { p: s, p_prime: r },
-            ],
+            (Child, ChildPlus) | (NextSibling, NextSiblingPlus) => {
+                vec![EqualXY { p: r }, ChainThroughX { p: s, p_prime: r }]
+            }
             // R = χ+, S = χ*.
             (ChildPlus, ChildStar) | (NextSiblingPlus, NextSiblingStar) => vec![
                 EqualYZ { p: r },
@@ -308,8 +306,7 @@ mod tests {
         for (r, s) in covered_pairs() {
             let lifter = join_lifter(r, s).unwrap();
             assert!(
-                !lifter.conjuncts.is_empty()
-                    && lifter.conjuncts.len() <= JoinLifter::MAX_CONJUNCTS,
+                !lifter.conjuncts.is_empty() && lifter.conjuncts.len() <= JoinLifter::MAX_CONJUNCTS,
                 "lifter for ({r}, {s}) has {} conjuncts",
                 lifter.conjuncts.len()
             );

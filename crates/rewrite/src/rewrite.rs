@@ -160,9 +160,9 @@ pub fn rewrite_to_apq_with(
         }
         // Step (4): pick a bottom-most cycle variable and two incoming cycle
         // atoms R(x, z), S(y, z).
-        let z = graph
-            .bottommost_cycle_var()
-            .expect("a graph with undirected but no directed cycles has a bottom-most cycle variable");
+        let z = graph.bottommost_cycle_var().expect(
+            "a graph with undirected but no directed cycles has a bottom-most cycle variable",
+        );
         let (first, second) = pick_incoming_cycle_atoms(&graph, z);
         let lifter = join_lifter(first.axis, second.axis)
             .ok_or(RewriteError::UnsupportedAxis(first.axis))?;
@@ -253,13 +253,11 @@ fn expand_following(query: &ConjunctiveQuery, stats: &mut RewriteStats) -> Conju
 /// occurrences.
 fn expand_child_star(query: &ConjunctiveQuery, stats: &mut RewriteStats) -> Vec<ConjunctiveQuery> {
     let mut results = vec![query.clone()];
-    loop {
-        // Find a query that still has a Child* atom.
-        let Some(pos) = results.iter().position(|q| {
-            q.axis_atoms().iter().any(|a| a.axis == Axis::ChildStar)
-        }) else {
-            break;
-        };
+    // Repeatedly find a query that still has a Child* atom and split it.
+    while let Some(pos) = results
+        .iter()
+        .position(|q| q.axis_atoms().iter().any(|a| a.axis == Axis::ChildStar))
+    {
         let q = results.swap_remove(pos);
         let atom = *q
             .axis_atoms()
@@ -318,13 +316,7 @@ fn pick_incoming_cycle_atoms(graph: &cqt_query::QueryGraph, z: Var) -> (AxisAtom
 
 /// Applies one lifter disjunct: adds its atoms (instantiated with the actual
 /// variables x, y, z) and performs its equality substitution, if any.
-fn apply_conjunct(
-    query: &mut ConjunctiveQuery,
-    conjunct: LifterConjunct,
-    x: Var,
-    y: Var,
-    z: Var,
-) {
+fn apply_conjunct(query: &mut ConjunctiveQuery, conjunct: LifterConjunct, x: Var, y: Var, z: Var) {
     match conjunct {
         LifterConjunct::ChainThroughY { p, p_prime } => {
             query.add_axis(p, x, y);
@@ -380,7 +372,10 @@ mod tests {
         let q = parse_query("Q(x, y) :- Child*(x, y), NextSibling*(x, y).").unwrap();
         let (apq, stats) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
         assert!(apq.is_acyclic());
-        assert!(stats.unsat_pruned >= 1, "the Child+(x, x) branch must be pruned");
+        assert!(
+            stats.unsat_pruned >= 1,
+            "the Child+(x, x) branch must be pruned"
+        );
         // Every surviving disjunct must be equivalent to "x = y" (both head
         // positions list the same variable).
         assert!(!apq.is_empty());
@@ -417,10 +412,8 @@ mod tests {
     #[test]
     fn triangle_queries_over_vertical_axes() {
         // A genuinely cyclic query over {Child, Child+, Child*}.
-        let q = parse_query(
-            "Q() :- A(x), B(y), C(z), Child(x, y), Child+(y, z), Child*(x, z).",
-        )
-        .unwrap();
+        let q = parse_query("Q() :- A(x), B(y), C(z), Child(x, y), Child+(y, z), Child*(x, z).")
+            .unwrap();
         let (apq, _) = rewrite_to_apq_with(&q, &RewriteOptions::default()).unwrap();
         assert!(apq.is_acyclic());
         assert!(agree_on_random_trees(&q, &apq, 30, 42).is_none());

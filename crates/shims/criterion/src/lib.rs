@@ -1,0 +1,343 @@
+//! Offline stand-in for the crates.io `criterion` crate (0.5 API subset).
+//!
+//! A real — if deliberately small — benchmark harness: it warms each
+//! benchmark up, sizes iteration counts so a sample lasts roughly
+//! `measurement_time / sample_size`, collects `sample_size` samples, and
+//! reports min/median/max per-iteration times in criterion's familiar
+//! `time: [low mid high]` format. There is no statistical regression
+//! analysis, plotting, or saved baselines; `cargo bench` output is meant for
+//! eyeballing scaling claims, and CI only compiles benches (`--no-run`).
+//!
+//! Command-line compatibility: a positional argument filters benchmarks by
+//! substring (as `cargo bench -- <filter>` does), `--bench` and criterion's
+//! other flags are accepted and ignored, and `--test` runs every benchmark
+//! exactly once (as criterion does under `cargo test --benches`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark manager: holds global configuration parsed from the
+/// command line and runs benchmark groups.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (filter substring, `--test`), ignoring
+    /// the harness flags cargo and criterion pass around.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags with a value we accept-and-drop for compatibility.
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--sample-size"
+                | "--warm-up-time" | "--measurement-time" | "--color" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.run(id, f);
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with `input` passed by reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Ends the group. (Reporting happens eagerly; this is for API parity.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full_name = match (self.name.is_empty(), &id.parameter) {
+            (true, None) => id.function.clone(),
+            (true, Some(p)) => format!("{}/{}", id.function, p),
+            (false, None) => format!("{}/{}", self.name, id.function),
+            (false, Some(p)) => format!("{}/{}/{}", self.name, id.function, p),
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {full_name} ... ok");
+            return;
+        }
+
+        // Warm up and estimate the per-iteration cost.
+        let warm_up_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+            warm_iters += b.iters;
+            b.iters = (b.iters * 2).min(1 << 20);
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Size samples so the whole measurement lasts ~measurement_time.
+        let sample_target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_target / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let low = samples[0];
+        let mid = samples[samples.len() / 2];
+        let high = samples[samples.len() - 1];
+        println!(
+            "{full_name:<48} time: [{} {} {}]  ({} samples × {} iters)",
+            fmt_time(low),
+            fmt_time(mid),
+            fmt_time(high),
+            samples.len(),
+            iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a displayed parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` the harness-chosen number of times, timing the whole batch.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn benchmark_ids_render_names() {
+        let id = BenchmarkId::new("worklist", 200);
+        assert_eq!(id.function, "worklist");
+        assert_eq!(id.parameter.as_deref(), Some("200"));
+        let from_str: BenchmarkId = "figure1_query".into();
+        assert_eq!(from_str.function, "figure1_query");
+        assert!(from_str.parameter.is_none());
+    }
+
+    #[test]
+    fn groups_run_benchmarks() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("f", 1), &3usize, |b, &n| {
+            b.iter(|| n + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            test_mode: true,
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("f", |b| {
+            b.iter(|| ());
+            ran = true;
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,387 @@
+//! Offline stand-in for the crates.io `proptest` crate. See the package
+//! description for scope; the short version: deterministic seeded case
+//! generation with the `Strategy` combinators the test-suite uses, and no
+//! shrinking (a failing case panics with its assertion message, and the
+//! case index is reported by the `proptest!` runner).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The most commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Runner configuration (`proptest::test_runner` subset).
+pub mod test_runner {
+    /// How many cases each property runs, and the seed they derive from.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Base seed; each case perturbs it deterministically.
+        pub seed: u64,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                seed: 0x8f37_1c2d_a44e_9b05,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+}
+
+/// Value-generation strategies (`proptest::strategy` subset).
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating values of an output type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value. (The real crate generates a shrinkable
+        /// value tree; this shim generates the value directly.)
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// Strategy returned by [`crate::any`] for types with a canonical strategy.
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Strategy for Any<crate::sample::Index> {
+        type Value = crate::sample::Index;
+
+        fn generate(&self, rng: &mut StdRng) -> crate::sample::Index {
+            crate::sample::Index {
+                raw: rng.gen_range(0..u64::MAX),
+            }
+        }
+    }
+}
+
+/// Types with a canonical strategy, selectable via [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> strategy::Any<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> strategy::Any<bool> {
+        strategy::Any(std::marker::PhantomData)
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary() -> strategy::Any<sample::Index> {
+        strategy::Any(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    T::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// A length range for [`vec`], convertible from `a..b` and `a..=b`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        low: usize,
+        high_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range must be non-empty");
+            SizeRange {
+                low: r.start,
+                high_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "vec size range must be non-empty");
+            SizeRange {
+                low: *r.start(),
+                high_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                low: n,
+                high_inclusive: n,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.low..=self.size.high_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Random indexing into runtime-sized collections (`proptest::sample`).
+pub mod sample {
+    /// An abstract index resolved against a concrete length at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index {
+        pub(crate) raw: u64,
+    }
+
+    impl Index {
+        /// Resolves the index against a collection of length `len` (> 0).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.raw % len as u64) as usize
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod runner {
+    use super::*;
+
+    /// Reports the failing case on unwind, so a red property identifies
+    /// which deterministic case to re-generate when debugging.
+    struct CaseReporter {
+        case: u32,
+        seed: u64,
+    }
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest shim: property failed at case {} (case rng seed {:#x}); \
+                     cases are deterministic, so this case reproduces on every run",
+                    self.case, self.seed
+                );
+            }
+        }
+    }
+
+    /// Runs `body` on `cases` generated inputs; panics identify the case.
+    pub fn run_cases<V>(
+        config: &test_runner::ProptestConfig,
+        strategy: &impl strategy::Strategy<Value = V>,
+        mut body: impl FnMut(V),
+    ) {
+        for case in 0..config.cases {
+            let seed = config.seed ^ (case as u64).wrapping_mul(0x9E37);
+            let reporter = CaseReporter { case, seed };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            body(value);
+            std::mem::forget(reporter);
+        }
+    }
+}
+
+/// Declares property tests: each `name(arg in strategy, ...)` block becomes
+/// a `#[test]` running the body over generated cases. No shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategy = ($($strategy,)+);
+            $crate::runner::run_cases(&config, &strategy, |($($arg,)+)| $body);
+        }
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking, so it simply
+/// panics with the provided message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let config = ProptestConfig::with_cases(50);
+        let strategy = crate::collection::vec(
+            (
+                crate::any::<crate::sample::Index>(),
+                0..4usize,
+                crate::any::<bool>(),
+            ),
+            1..10usize,
+        );
+        crate::runner::run_cases(&config, &strategy, |v| {
+            assert!(!v.is_empty() && v.len() < 10);
+            for (idx, label, _flag) in v {
+                assert!(label < 4);
+                assert!(idx.index(7) < 7);
+            }
+        });
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let config = ProptestConfig::with_cases(20);
+        let strategy = (2..=5usize).prop_map(|n| n * 10);
+        crate::runner::run_cases(&config, &strategy, |n| {
+            assert!((20..=50).contains(&n) && n % 10 == 0);
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: multiple args, trailing comma, doc attributes.
+        #[test]
+        fn macro_generates_cases(a in 0..10usize, b in crate::any::<bool>()) {
+            prop_assert!(a < 10, "a = {} out of range", a);
+            let _ = b;
+            prop_assert_eq!(a, a);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Offline stand-in for the crates.io `rand` crate (0.8 API subset).
+//!
+//! The workspace builds in an environment without a crates.io registry, so
+//! this crate implements — dependency-free — exactly the `rand` 0.8 surface
+//! the codebase uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded with
+//!   SplitMix64 (not the ChaCha12 generator of the real crate, but the same
+//!   contract: a high-quality, seedable, reproducible PRNG);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_range`] over integer ranges and [`Rng::gen_bool`];
+//! * [`distributions::Distribution`] and [`distributions::WeightedIndex`].
+//!
+//! Seeded sequences are stable across runs and platforms (everything is
+//! plain integer arithmetic) but differ from the real `rand` crate's
+//! `StdRng` stream. Workspace code only relies on determinism per seed,
+//! but a few *tests* assert stream-sensitive facts about fixed seeds
+//! (e.g. "50 random draws contain a cyclic query", or that a particular
+//! generated tree witnesses an X̲-property violation); swapping the real
+//! crate back in changes every seeded draw, so expect to re-seed a handful
+//! of such assertions when taking that path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The core of a random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience methods layered on top of [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns a uniformly distributed value in `range` (which must be
+    /// non-empty). Supports `a..b` and `a..=b` over the common integer types.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (which must lie in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps a `u64` to a float uniform in `[0, 1)` using the top 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A random number generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed (via a SplitMix64 expansion, so
+    /// nearby seeds yield unrelated streams).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++ seeded with
+    /// SplitMix64. (The real `rand` crate uses ChaCha12 here; see the crate
+    /// docs for why the exact stream does not matter to this workspace.)
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sampling distributions (the `rand::distributions` subset in use).
+pub mod distributions {
+    use super::{unit_f64, Rng, RngCore};
+    use std::borrow::Borrow;
+    use std::fmt;
+
+    /// Types that can produce values of type `T` given a source of
+    /// randomness.
+    pub trait Distribution<T> {
+        /// Samples one value from the distribution.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// A discrete distribution over indices `0..weights.len()` proportional
+    /// to the (non-negative, finitely summable) weights.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    /// Error returned by [`WeightedIndex::new`] on empty, negative, or
+    /// all-zero weights.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WeightedError;
+
+    impl fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("weights must be non-empty, non-negative, and not all zero")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    impl WeightedIndex {
+        /// Builds the distribution from an iterator of weights.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: Borrow<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = *w.borrow();
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(WeightedError);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let x = unit_f64(rng.next_u64()) * self.total;
+            // partition_point returns the first index whose cumulative weight
+            // exceeds x; clamp guards the x == total edge from rounding.
+            self.cumulative
+                .partition_point(|&c| c <= x)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+
+    /// Uniform range sampling (the `rand::distributions::uniform` subset).
+    pub mod uniform {
+        use super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Range types from which a single uniform value can be drawn.
+        pub trait SampleRange<T> {
+            /// Draws one uniform value from the range. Panics when empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Integer types supporting uniform range sampling.
+        pub trait SampleUniform: Sized + Copy {
+            /// Uniform draw from `low + (0..span)`; `span >= 1` fits `u128`.
+            fn sample_span<R: RngCore + ?Sized>(low: Self, span: u128, rng: &mut R) -> Self;
+            /// The exclusive span `high - low` of `low..high` as a `u128`.
+            fn span_to(low: Self, high: Self) -> u128;
+        }
+
+        macro_rules! impl_sample_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_span<R: RngCore + ?Sized>(
+                        low: Self,
+                        span: u128,
+                        rng: &mut R,
+                    ) -> Self {
+                        // Multiply-shift keeps the draw unbiased enough for
+                        // workload generation without a rejection loop.
+                        let draw = (rng.next_u64() as u128).wrapping_mul(span) >> 64;
+                        (low as i128 + draw as i128) as $t
+                    }
+
+                    fn span_to(low: Self, high: Self) -> u128 {
+                        (high as i128 - low as i128) as u128
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = T::span_to(self.start, self.end);
+                T::sample_span(self.start, span, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "gen_range: empty range");
+                let span = T::span_to(low, high) + 1;
+                T::sample_span(low, span, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2..=5usize);
+            assert!((2..=5).contains(&y));
+        }
+        // Degenerate singleton ranges still work.
+        assert_eq!(rng.gen_range(4..5usize), 4);
+        assert_eq!(rng.gen_range(9..=9usize), 9);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate} too far from 0.25");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn weighted_index_follows_weights() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio} too far from 3.0");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        assert!(WeightedIndex::new(std::iter::empty::<f64>()).is_err());
+        assert!(WeightedIndex::new([0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new([-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw<R: Rng>(rng: &mut R) -> usize {
+            rng.gen_range(0..10usize)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let via_ref = draw(&mut &mut rng);
+        assert!(via_ref < 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the crates.io `serde` crate. See the package
+//! description for the rationale; in short, the workspace only derives the
+//! serde traits and never (yet) serializes, so empty marker traits plus
+//! no-op derives are sufficient to compile the annotated types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. The no-op derive does not
+/// implement it; nothing in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. The no-op derive does not
+/// implement it; nothing in the workspace requires the bound.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,23 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline `serde`
+//! stand-in. The derives accept the `#[serde(...)]` helper attribute (so
+//! annotated types still compile) and expand to nothing: the workspace only
+//! *derives* the serde traits on its public types as forward-looking API
+//! surface — nothing serializes yet. When a registry is available, pointing
+//! the workspace `serde` dependency back at the real crate turns these
+//! derives into functioning implementations with no source changes.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; placeholder for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; placeholder for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

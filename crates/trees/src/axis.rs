@@ -141,9 +141,10 @@ impl Axis {
             Axis::PrevSiblingPlus => Some("preceding-sibling"),
             Axis::Preceding => Some("preceding"),
             Axis::SelfAxis => Some("self"),
-            Axis::NextSibling | Axis::NextSiblingStar | Axis::PrevSibling | Axis::PrevSiblingStar => {
-                None
-            }
+            Axis::NextSibling
+            | Axis::NextSiblingStar
+            | Axis::PrevSibling
+            | Axis::PrevSiblingStar => None,
         }
     }
 
@@ -172,7 +173,11 @@ impl Axis {
     pub fn is_reflexive(self) -> bool {
         matches!(
             self,
-            Axis::ChildStar | Axis::NextSiblingStar | Axis::AncestorStar | Axis::PrevSiblingStar | Axis::SelfAxis
+            Axis::ChildStar
+                | Axis::NextSiblingStar
+                | Axis::AncestorStar
+                | Axis::PrevSiblingStar
+                | Axis::SelfAxis
         )
     }
 
@@ -559,7 +564,10 @@ mod tests {
             assert_eq!(parsed, axis);
         }
         assert_eq!("descendant".parse::<Axis>().unwrap(), Axis::ChildPlus);
-        assert_eq!("following-sibling".parse::<Axis>().unwrap(), Axis::NextSiblingPlus);
+        assert_eq!(
+            "following-sibling".parse::<Axis>().unwrap(),
+            Axis::NextSiblingPlus
+        );
         assert_eq!("CHILD*".parse::<Axis>().unwrap(), Axis::ChildStar);
         assert!("sideways".parse::<Axis>().is_err());
     }

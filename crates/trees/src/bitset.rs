@@ -286,7 +286,10 @@ mod tests {
     fn set_algebra() {
         let a = NodeSet::from_nodes(10, [n(1), n(2), n(3)]);
         let b = NodeSet::from_nodes(10, [n(2), n(3), n(4)]);
-        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![n(2), n(3)]);
+        assert_eq!(
+            a.intersection(&b).iter().collect::<Vec<_>>(),
+            vec![n(2), n(3)]
+        );
         assert_eq!(
             a.union(&b).iter().collect::<Vec<_>>(),
             vec![n(1), n(2), n(3), n(4)]

@@ -44,7 +44,10 @@ impl Default for RandomTreeConfig {
     fn default() -> Self {
         RandomTreeConfig {
             nodes: 100,
-            alphabet: ["A", "B", "C", "D", "E"].iter().map(|s| s.to_string()).collect(),
+            alphabet: ["A", "B", "C", "D", "E"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             multi_label_probability: 0.0,
             attach_window: usize::MAX,
         }
@@ -57,7 +60,10 @@ impl Default for RandomTreeConfig {
 /// Panics if `config.nodes == 0` or the alphabet is empty.
 pub fn random_tree<R: Rng>(rng: &mut R, config: &RandomTreeConfig) -> Tree {
     assert!(config.nodes > 0, "random_tree requires at least one node");
-    assert!(!config.alphabet.is_empty(), "random_tree requires a non-empty alphabet");
+    assert!(
+        !config.alphabet.is_empty(),
+        "random_tree requires a non-empty alphabet"
+    );
     let mut builder = TreeBuilder::new();
     let mut created: Vec<NodeId> = Vec::with_capacity(config.nodes);
 
@@ -107,7 +113,10 @@ pub fn full_tree(depth: u32, branching: usize, label: &str) -> Tree {
 /// path, labeled top-to-bottom with the given label lists (empty list = an
 /// unlabeled node).
 pub fn path_structure(labels_top_down: &[Vec<String>]) -> Tree {
-    assert!(!labels_top_down.is_empty(), "path structure needs at least one node");
+    assert!(
+        !labels_top_down.is_empty(),
+        "path structure needs at least one node"
+    );
     let mut builder = TreeBuilder::new();
     let first: Vec<&str> = labels_top_down[0].iter().map(String::as_str).collect();
     let mut current = builder.add_root(&first);
@@ -182,10 +191,24 @@ pub fn treebank<R: Rng>(rng: &mut R, config: &TreebankConfig) -> Tree {
     let root = builder.add_root(&["CORPUS"]);
     for _ in 0..config.sentences.max(1) {
         let s = builder.add_child(root, &["S"]);
-        expand_np(rng, &mut builder, s, config.max_depth, config.pp_probability);
-        expand_vp(rng, &mut builder, s, config.max_depth, config.pp_probability);
+        expand_np(
+            rng,
+            &mut builder,
+            s,
+            config.max_depth,
+            config.pp_probability,
+        );
+        expand_vp(
+            rng,
+            &mut builder,
+            s,
+            config.max_depth,
+            config.pp_probability,
+        );
     }
-    builder.build().expect("treebank generator produced a valid tree")
+    builder
+        .build()
+        .expect("treebank generator produced a valid tree")
 }
 
 fn expand_np<R: Rng>(rng: &mut R, b: &mut TreeBuilder, parent: NodeId, depth: u32, pp_prob: f64) {
@@ -291,7 +314,9 @@ pub fn xml_document<R: Rng>(rng: &mut R, config: &XmlDocumentConfig) -> Tree {
             config.max_nesting,
         );
     }
-    builder.build().expect("xml document generator produced a valid tree")
+    builder
+        .build()
+        .expect("xml document generator produced a valid tree")
 }
 
 /// Label weights for [`weighted_random_tree`]: a label alphabet where some
@@ -335,7 +360,9 @@ pub fn weighted_random_tree<R: Rng>(
         let label = alphabet.labels[dist.sample(rng)].0.clone();
         created.push(builder.add_child(parent, &[label.as_str()]));
     }
-    builder.build().expect("weighted generator produced a valid tree")
+    builder
+        .build()
+        .expect("weighted generator produced a valid tree")
 }
 
 #[cfg(test)]
@@ -419,7 +446,10 @@ mod tests {
         let k = 5;
         let tree = scattered_path_structure(&labels, k);
         // At most one label per node, no repeats.
-        let labeled: Vec<_> = tree.nodes().filter(|&n| !tree.labels(n).is_empty()).collect();
+        let labeled: Vec<_> = tree
+            .nodes()
+            .filter(|&n| !tree.labels(n).is_empty())
+            .collect();
         assert_eq!(labeled.len(), 3);
         for &n in &labeled {
             assert_eq!(tree.labels(n).len(), 1);
@@ -513,6 +543,9 @@ mod tests {
         assert_eq!(tree.len(), 2000);
         let common = tree.nodes_with_label_name("L0").len();
         let rare = tree.nodes_with_label_name("L4").len();
-        assert!(common > rare, "L0 ({common}) should be more frequent than L4 ({rare})");
+        assert!(
+            common > rare,
+            "L0 ({common}) should be more frequent than L4 ({rare})"
+        );
     }
 }

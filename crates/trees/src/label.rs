@@ -5,9 +5,9 @@
 //! hardness results do not need it). We intern label strings per tree so that
 //! label comparisons during query evaluation are integer comparisons.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 /// An interned label symbol.
@@ -37,7 +37,9 @@ impl fmt::Debug for Label {
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LabelInterner {
     names: Vec<String>,
-    by_name: HashMap<String, Label>,
+    // FxHashMap: label names are trusted, short, and hashed on every intern /
+    // lookup during tree construction — the non-DoS-resistant fast hash wins.
+    by_name: FxHashMap<String, Label>,
 }
 
 impl LabelInterner {

@@ -50,7 +50,10 @@ impl fmt::Display for ParseTreeError {
             ParseTreeError::UnexpectedEnd => write!(f, "unexpected end of input"),
             ParseTreeError::Structure(e) => write!(f, "invalid tree structure: {e}"),
             ParseTreeError::TagMismatch { open, close } => {
-                write!(f, "closing tag </{close}> does not match opening tag <{open}>")
+                write!(
+                    f,
+                    "closing tag </{close}> does not match opening tag <{open}>"
+                )
             }
         }
     }
@@ -101,7 +104,9 @@ impl<'a> TermParser<'a> {
             let start = self.pos;
             while self
                 .peek()
-                .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'\'' || c == b'.')
+                .map(|c| {
+                    c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'\'' || c == b'.'
+                })
                 .unwrap_or(false)
             {
                 self.pos += 1;
@@ -340,7 +345,11 @@ pub fn parse_xml(input: &str) -> Result<Tree, ParseTreeError> {
 pub fn to_xml(tree: &Tree) -> String {
     fn rec(tree: &Tree, node: NodeId, out: &mut String) {
         let name = tree.label_names(node).join("|");
-        let name = if name.is_empty() { "_".to_owned() } else { name };
+        let name = if name.is_empty() {
+            "_".to_owned()
+        } else {
+            name
+        };
         let children = tree.children(node);
         if children.is_empty() {
             out.push('<');

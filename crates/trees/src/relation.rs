@@ -183,7 +183,8 @@ mod tests {
     #[test]
     fn from_pairs_dedups() {
         let n = NodeId::from_index;
-        let rel = MaterializedRelation::from_pairs("R", 4, [(n(0), n(1)), (n(0), n(1)), (n(2), n(3))]);
+        let rel =
+            MaterializedRelation::from_pairs("R", 4, [(n(0), n(1)), (n(0), n(1)), (n(2), n(3))]);
         assert_eq!(rel.len(), 2);
         assert!(rel.contains(n(0), n(1)));
         assert!(!rel.contains(n(1), n(0)));

@@ -53,7 +53,11 @@ pub fn to_dot(tree: &Tree) -> String {
     let mut out = String::from("digraph tree {\n  node [shape=box];\n");
     for node in tree.nodes_in_order(Order::Pre) {
         let labels = tree.label_names(node).join("|");
-        let labels = if labels.is_empty() { "_".to_owned() } else { labels };
+        let labels = if labels.is_empty() {
+            "_".to_owned()
+        } else {
+            labels
+        };
         out.push_str(&format!("  {} [label=\"{}\"];\n", node.index(), labels));
     }
     for node in tree.nodes_in_order(Order::Pre) {
@@ -68,7 +72,11 @@ pub fn to_dot(tree: &Tree) -> String {
 /// Renders a one-line summary of `tree`: node count, height, label alphabet
 /// size, maximum branching factor.
 pub fn summary(tree: &Tree) -> String {
-    let max_branching = tree.nodes().map(|n| tree.children(n).len()).max().unwrap_or(0);
+    let max_branching = tree
+        .nodes()
+        .map(|n| tree.children(n).len())
+        .max()
+        .unwrap_or(0);
     format!(
         "{} nodes, height {}, {} labels, max fan-out {}",
         tree.len(),

@@ -192,7 +192,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(101);
         let config = RandomTreeConfig {
             nodes: 30,
-            alphabet: ["A", "B", "C", "D", "E"].iter().map(|s| s.to_string()).collect(),
+            alphabet: ["A", "B", "C", "D", "E"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             ..RandomTreeConfig::default()
         };
         let queries = [

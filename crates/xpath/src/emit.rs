@@ -78,13 +78,14 @@ pub fn emit_acyclic_query(query: &ConjunctiveQuery) -> Result<String, EmitError>
             "[ancestor-or-self::*[descendant-or-self::{fragment}]]"
         ));
     }
-    Ok(format!("/descendant-or-self::{head_fragment}{extra_predicates}"))
+    Ok(format!(
+        "/descendant-or-self::{head_fragment}{extra_predicates}"
+    ))
 }
 
 /// Emits an acyclic positive query as a union of XPath expressions.
 pub fn emit_positive_query(query: &PositiveQuery) -> Result<String, EmitError> {
-    let parts: Result<Vec<String>, EmitError> =
-        query.iter().map(emit_acyclic_query).collect();
+    let parts: Result<Vec<String>, EmitError> = query.iter().map(emit_acyclic_query).collect();
     Ok(parts?.join(" | "))
 }
 
@@ -123,9 +124,7 @@ fn render_var(
         if neighbour == var {
             continue;
         }
-        let axis_name = axis
-            .xpath_name()
-            .ok_or(EmitError::UnsupportedAxis(axis))?;
+        let axis_name = axis.xpath_name().ok_or(EmitError::UnsupportedAxis(axis))?;
         let inner = render_var(query, neighbour, Some((var, atom)), rendered)?;
         out.push_str(&format!("[{axis_name}::{inner}]"));
     }
@@ -147,7 +146,8 @@ mod tests {
 
     /// The emitted XPath must select the same nodes as the original query.
     fn check_equivalence(query: &ConjunctiveQuery, xpath: &str, seed: u64) {
-        let parsed = parse_xpath(xpath).unwrap_or_else(|e| panic!("emitted invalid XPath {xpath}: {e}"));
+        let parsed =
+            parse_xpath(xpath).unwrap_or_else(|e| panic!("emitted invalid XPath {xpath}: {e}"));
         let mut rng = StdRng::seed_from_u64(seed);
         let mut alphabet: Vec<String> = query
             .label_alphabet()

@@ -91,7 +91,10 @@ mod tests {
     use cqt_trees::parse::parse_term;
 
     fn nodes_with(tree: &Tree, result: &NodeSet, label: &str) -> usize {
-        result.iter().filter(|&n| tree.has_label_name(n, label)).count()
+        result
+            .iter()
+            .filter(|&n| tree.has_label_name(n, label))
+            .count()
     }
 
     #[test]

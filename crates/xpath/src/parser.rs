@@ -29,7 +29,11 @@ pub struct ParseXPathError {
 
 impl fmt::Display for ParseXPathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XPath parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XPath parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

@@ -36,7 +36,11 @@ fn main() {
     );
     println!(
         "  the constraint graph is {} (the two dominance chains meet at the verb)",
-        if constraint.is_acyclic() { "acyclic" } else { "cyclic" }
+        if constraint.is_acyclic() {
+            "acyclic"
+        } else {
+            "cyclic"
+        }
     );
 
     // Candidate parse trees (the two scope readings plus a defective one).
@@ -51,7 +55,10 @@ fn main() {
         ("fragments in disjoint subtrees", &broken),
     ] {
         let satisfied = engine.eval_boolean(tree, &constraint);
-        println!("  candidate '{name}': {}", if satisfied { "admissible" } else { "ruled out" });
+        println!(
+            "  candidate '{name}': {}",
+            if satisfied { "admissible" } else { "ruled out" }
+        );
     }
 
     // Solved forms: rewrite the (cyclic) constraint into an acyclic positive

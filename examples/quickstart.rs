@@ -27,10 +27,9 @@ fn main() {
     // 2. An acyclic query, written in datalog notation: titles of books that
     //    are followed by a catalog somewhere later in the document.
     // ------------------------------------------------------------------
-    let acyclic = parse_query(
-        "Q(t) :- book(b), Child(b, t), title(t), Following(b, c), catalog(c).",
-    )
-    .expect("valid query");
+    let acyclic =
+        parse_query("Q(t) :- book(b), Child(b, t), title(t), Following(b, c), catalog(c).")
+            .expect("valid query");
     println!("Acyclic query:    {acyclic}");
     let engine = Engine::new();
     let (strategy, classification) = engine.plan(&acyclic);

@@ -17,12 +17,19 @@ fn main() {
     println!("Instance: {instance}");
     println!(
         "Ground truth (dedicated SAT solver): {}",
-        if instance.is_satisfiable() { "satisfiable" } else { "unsatisfiable" }
+        if instance.is_satisfiable() {
+            "satisfiable"
+        } else {
+            "unsatisfiable"
+        }
     );
 
     // The fixed data tree of Figure 4 (independent of the instance).
     let tree = figure4_tree();
-    println!("\nFixed data tree of Figure 4 ({}):", render::summary(&tree));
+    println!(
+        "\nFixed data tree of Figure 4 ({}):",
+        render::summary(&tree)
+    );
     println!("{}", render::ascii_tree(&tree));
 
     // The reduction: a Boolean query over {Child, Child+}.

@@ -82,13 +82,14 @@ fn main() {
 
     // A few more linguistically flavoured queries, written as XPath where
     // possible and as conjunctive queries where not.
-    let vp_with_embedded_np = parse_query(
-        "Q(v) :- VP(v), Child(v, n), NP(n), Child+(n, p), PP(p).",
-    )
-    .unwrap();
+    let vp_with_embedded_np =
+        parse_query("Q(v) :- VP(v), Child(v, n), NP(n), Child+(n, p), PP(p).").unwrap();
     let nested_sentences = parse_query("Q(s) :- S(s), Child+(s, t), S(t).").unwrap();
     for (name, q) in [
-        ("VPs with an NP object containing a PP", &vp_with_embedded_np),
+        (
+            "VPs with an NP object containing a PP",
+            &vp_with_embedded_np,
+        ),
         ("sentences embedding another sentence", &nested_sentences),
     ] {
         let (strategy, _) = engine.plan(q);

@@ -59,10 +59,8 @@ fn main() {
 
     // The reverse direction (Remark 6.1): an acyclic conjunctive query that
     // was never written as XPath can be emitted as XPath.
-    let cq = parse_query(
-        "Q(v) :- record(r), Child(r, n), name(n), Following(n, v), value(v).",
-    )
-    .unwrap();
+    let cq =
+        parse_query("Q(v) :- record(r), Child(r, n), name(n), Following(n, v), value(v).").unwrap();
     println!("\nConjunctive query: {cq}");
     match emit_acyclic_query(&cq) {
         Ok(xpath) => {
@@ -71,7 +69,10 @@ fn main() {
             let direct = evaluate_path(&document, &reparsed.paths[0], None);
             let original = engine.eval(&document, &cq);
             assert_eq!(original, Answer::Nodes(direct.iter().collect()));
-            println!("Both formulations select the same {} node(s).", direct.len());
+            println!(
+                "Both formulations select the same {} node(s).",
+                direct.len()
+            );
         }
         Err(err) => println!("(not expressible: {err})"),
     }

@@ -65,5 +65,7 @@ pub mod prelude {
     pub use cqt_query::{parse_query, ConjunctiveQuery, PositiveQuery, Signature};
     pub use cqt_rewrite::{diamond_query, join_lifter, ps_structure, rewrite_to_apq};
     pub use cqt_trees::{Axis, NodeId, NodeSet, Order, Tree, TreeBuilder};
-    pub use cqt_xpath::{compile_to_positive_query, emit_acyclic_query, evaluate_xpath, parse_xpath};
+    pub use cqt_xpath::{
+        compile_to_positive_query, emit_acyclic_query, evaluate_xpath, parse_xpath,
+    };
 }

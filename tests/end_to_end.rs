@@ -2,7 +2,7 @@
 //! analysis, evaluation, rewriting and the XPath front-end.
 
 use cq_trees::prelude::*;
-use cq_trees::query::cq::{figure1_query, intro_xpath_query};
+use cq_trees::query::cq::figure1_query;
 use cq_trees::rewrite::equivalence::agree_on_random_trees;
 use cq_trees::rewrite::rewrite::{rewrite_to_apq_with, RewriteOptions};
 use cq_trees::trees::generate::{treebank, TreebankConfig};
@@ -28,7 +28,10 @@ fn document_round_trips_between_formats_and_engines_agree() {
             "strategy {strategy:?} disagrees"
         );
     }
-    assert!(expected.is_nonempty(), "the PP follows the NP in this sentence");
+    assert!(
+        expected.is_nonempty(),
+        "the PP follows the NP in this sentence"
+    );
 }
 
 #[test]
@@ -122,7 +125,11 @@ fn tractable_signatures_evaluate_identically_across_engines() {
         let classification = SignatureAnalysis::analyse_query(&query);
         assert!(classification.is_polynomial(), "{text} should be tractable");
         let reference = Engine::with_strategy(EvalStrategy::Naive).eval(&tree, &query);
-        for strategy in [EvalStrategy::XProperty, EvalStrategy::Mac, EvalStrategy::Auto] {
+        for strategy in [
+            EvalStrategy::XProperty,
+            EvalStrategy::Mac,
+            EvalStrategy::Auto,
+        ] {
             assert_eq!(
                 Engine::with_strategy(strategy).eval(&tree, &query),
                 reference,
@@ -143,7 +150,9 @@ fn tractable_signatures_evaluate_identically_across_engines() {
 fn np_hard_signature_still_evaluates_correctly_via_mac() {
     // {Child, Child+} is NP-hard (Theorem 5.1) but small instances are easy.
     let tree = parse_term("A(B(C(D(E))), B(C), C(D))").unwrap();
-    let query = parse_query("Q() :- A(a), Child(a, b), B(b), Child+(b, d), D(d), Child(d, e), E(e).").unwrap();
+    let query =
+        parse_query("Q() :- A(a), Child(a, b), B(b), Child+(b, d), D(d), Child(d, e), E(e).")
+            .unwrap();
     let classification = SignatureAnalysis::analyse_query(&query);
     assert!(!classification.is_polynomial());
     assert!(Engine::new().eval_boolean(&tree, &query));

@@ -17,22 +17,25 @@ use proptest::prelude::*;
 /// encoded as (parent-choice, label-index) pairs.
 fn arb_tree(max_nodes: usize) -> impl Strategy<Value = Tree> {
     let labels = ["A", "B", "C", "D"];
-    proptest::collection::vec((any::<proptest::sample::Index>(), 0..labels.len()), 1..max_nodes)
-        .prop_map(move |spec| {
-            let mut builder = TreeBuilder::new();
-            let mut nodes = Vec::new();
-            for (i, (parent_choice, label_idx)) in spec.iter().enumerate() {
-                let label = labels[*label_idx];
-                let node = if i == 0 {
-                    builder.add_root(&[label])
-                } else {
-                    let parent = nodes[parent_choice.index(nodes.len())];
-                    builder.add_child(parent, &[label])
-                };
-                nodes.push(node);
-            }
-            builder.build().expect("generated trees are valid")
-        })
+    proptest::collection::vec(
+        (any::<proptest::sample::Index>(), 0..labels.len()),
+        1..max_nodes,
+    )
+    .prop_map(move |spec| {
+        let mut builder = TreeBuilder::new();
+        let mut nodes = Vec::new();
+        for (i, (parent_choice, label_idx)) in spec.iter().enumerate() {
+            let label = labels[*label_idx];
+            let node = if i == 0 {
+                builder.add_root(&[label])
+            } else {
+                let parent = nodes[parent_choice.index(nodes.len())];
+                builder.add_child(parent, &[label])
+            };
+            nodes.push(node);
+        }
+        builder.build().expect("generated trees are valid")
+    })
 }
 
 /// Strategy: an arbitrary conjunctive query over the paper's axes with up to
@@ -51,7 +54,11 @@ fn arb_query(max_vars: usize) -> impl Strategy<Value = ConjunctiveQuery> {
     (
         2..=max_vars,
         proptest::collection::vec(
-            (any::<proptest::sample::Index>(), 0..axes.len(), any::<bool>()),
+            (
+                any::<proptest::sample::Index>(),
+                0..axes.len(),
+                any::<bool>(),
+            ),
             1..max_vars,
         ),
         proptest::collection::vec((any::<proptest::sample::Index>(), 0..labels.len()), 0..3),

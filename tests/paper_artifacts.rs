@@ -8,8 +8,8 @@ use cq_trees::hardness::thm51::{Thm51Reduction, Thm51Variant};
 use cq_trees::prelude::*;
 use cq_trees::query::cq::figure1_query;
 use cq_trees::rewrite::diamonds::{
-    all_ps_structures, apq_size_for_diamond, diamond_query, example_7_8_query,
-    lemma_7_3_structure, x_prime_label,
+    all_ps_structures, apq_size_for_diamond, diamond_query, example_7_8_query, lemma_7_3_structure,
+    x_prime_label,
 };
 use cq_trees::rewrite::rewrite::RewriteOptions;
 
@@ -52,10 +52,8 @@ fn table_2_nand_function() {
 #[test]
 fn figure_1_query_on_a_sentence() {
     // The motivating sentence: an S containing an NP followed by a PP.
-    let tree = cq_trees::trees::parse::parse_term(
-        "S(NP(DT, NN), VP(VB, NP(NN), PP(IN, NP(NN))))",
-    )
-    .unwrap();
+    let tree = cq_trees::trees::parse::parse_term("S(NP(DT, NN), VP(VB, NP(NN), PP(IN, NP(NN))))")
+        .unwrap();
     let query = figure1_query();
     let answer = Engine::new().eval(&tree, &query);
     // The PP follows both NPs that precede it; it is reported once.
@@ -83,10 +81,16 @@ fn figure_4_reduction_tracks_sat_exactly() {
     let unsatisfiable = OneInThreeInstance::unsatisfiable_k4();
     for variant in [Thm51Variant::Tau4ChildPlus, Thm51Variant::Tau5ChildStar] {
         let r = Thm51Reduction::new(satisfiable.clone(), variant);
-        assert!(r.verify(), "satisfiable instance must verify under {variant:?}");
+        assert!(
+            r.verify(),
+            "satisfiable instance must verify under {variant:?}"
+        );
         assert!(r.query_holds());
         let r = Thm51Reduction::new(unsatisfiable.clone(), variant);
-        assert!(r.verify(), "unsatisfiable instance must verify under {variant:?}");
+        assert!(
+            r.verify(),
+            "unsatisfiable instance must verify under {variant:?}"
+        );
         assert!(!r.query_holds());
     }
 }

@@ -1,0 +1,92 @@
+//! Workspace smoke test: the four forced engine strategies (Naive, MAC,
+//! Yannakakis, Auto) agree on the answers of random queries over random
+//! trees. This is the cheap cross-crate sanity gate CI leans on: it
+//! exercises `cqt_trees::generate`, `cqt_query::generate`, and every
+//! evaluator behind [`Engine::with_strategy`] in one pass, deterministically
+//! seeded so failures reproduce.
+//!
+//! Yannakakis only handles acyclic queries, so the batch draws acyclic
+//! queries for the four-way comparison and possibly-cyclic ones for a
+//! separate Naive/MAC/Auto comparison.
+
+use cq_trees::prelude::*;
+use cq_trees::query::generate::{random_acyclic_query, random_query, RandomQueryConfig};
+use cq_trees::trees::generate::{random_tree, RandomTreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tree_config(nodes: usize) -> RandomTreeConfig {
+    RandomTreeConfig {
+        nodes,
+        alphabet: ["A", "B", "C", "D"].iter().map(|s| s.to_string()).collect(),
+        multi_label_probability: 0.1,
+        attach_window: usize::MAX,
+    }
+}
+
+fn query_config(vars: usize, head_arity: usize, extra_atoms: usize) -> RandomQueryConfig {
+    RandomQueryConfig {
+        vars,
+        axes: vec![
+            Axis::Child,
+            Axis::ChildPlus,
+            Axis::ChildStar,
+            Axis::NextSibling,
+            Axis::NextSiblingPlus,
+            Axis::NextSiblingStar,
+            Axis::Following,
+        ],
+        labels: ["A", "B", "C"].iter().map(|s| s.to_string()).collect(),
+        label_probability: 0.7,
+        extra_atoms,
+        head_arity,
+    }
+}
+
+/// All four strategies agree on Boolean and monadic answers of acyclic
+/// queries.
+#[test]
+fn all_strategies_agree_on_acyclic_queries() {
+    let strategies = [
+        EvalStrategy::Naive,
+        EvalStrategy::Mac,
+        EvalStrategy::Yannakakis,
+        EvalStrategy::Auto,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..30 {
+        let tree = random_tree(&mut rng, &tree_config(12 + case % 9));
+        for head_arity in [0usize, 1] {
+            let query = random_acyclic_query(&mut rng, &query_config(4, head_arity, 0));
+            assert!(query.is_acyclic(), "skeleton generator must stay acyclic");
+            let reference = Engine::with_strategy(EvalStrategy::Naive).eval(&tree, &query);
+            for strategy in strategies {
+                let answer = Engine::with_strategy(strategy).eval(&tree, &query);
+                assert_eq!(
+                    answer, reference,
+                    "case {case}: {strategy:?} disagrees with Naive on {query}"
+                );
+            }
+        }
+    }
+}
+
+/// Naive, MAC and Auto agree on possibly-cyclic queries (where Yannakakis
+/// does not apply).
+#[test]
+fn complete_strategies_agree_on_cyclic_queries() {
+    let strategies = [EvalStrategy::Naive, EvalStrategy::Mac, EvalStrategy::Auto];
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..20 {
+        let tree = random_tree(&mut rng, &tree_config(10 + case % 7));
+        let query = random_query(&mut rng, &query_config(4, 0, 2));
+        let reference = Engine::with_strategy(EvalStrategy::Naive).eval(&tree, &query);
+        for strategy in strategies {
+            let answer = Engine::with_strategy(strategy).eval(&tree, &query);
+            assert_eq!(
+                answer, reference,
+                "case {case}: {strategy:?} disagrees with Naive on {query}"
+            );
+        }
+    }
+}
