@@ -9,11 +9,22 @@
 //! cargo run --release -p cqt-bench --bin experiments -- scaling
 //! cargo run --release -p cqt-bench --bin experiments -- hardness
 //! cargo run --release -p cqt-bench --bin experiments -- succinctness [max_n]
+//! cargo run --release -p cqt-bench --bin experiments -- bench \
+//!     [--bench-json out.json] [--bench-check ref.json]
 //! ```
 //!
 //! Each subcommand regenerates one of the paper's tables/figures
 //! experimentally; EXPERIMENTS.md records the outputs next to the paper's
 //! claims.
+//!
+//! The `bench` subcommand is the perf baseline harness: it times the
+//! word-parallel semijoin kernels against the retained scalar baseline, and
+//! the shipping arc-consistency engine against the previous-generation one,
+//! across tree sizes 10³–10⁶ (10³–10⁴ under `--smoke`). `--bench-json`
+//! writes the medians to a JSON file (the committed `BENCH_2.json` is one
+//! such run); `--bench-check` compares the current smoke-scale AC-fixpoint
+//! timing against a reference JSON and exits non-zero on a >3× regression —
+//! CI runs this against the committed baseline.
 //!
 //! The `--smoke` flag (usable with any subcommand, and what CI runs) caps
 //! every instance size so the full `all` sweep finishes in seconds: the
@@ -21,7 +32,10 @@
 
 use std::time::{Duration, Instant};
 
-use cqt_bench::{benchmark_tree, chain_query, fmt_duration, query_over_signature, time_mean};
+use cqt_bench::{
+    benchmark_tree, chain_query, fmt_duration, query_over_signature, scalar_arc_consistent_from,
+    time_mean, time_median_ns,
+};
 use cqt_core::{
     Engine, EvalStrategy, MacSolver, SignatureAnalysis, Tractability, XPropertyEvaluator,
 };
@@ -82,8 +96,24 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
+    let take_value_flag = |args: &mut Vec<String>, flag: &str| -> Option<String> {
+        let pos = args.iter().position(|a| a == flag)?;
+        if pos + 1 >= args.len() {
+            eprintln!("{flag} requires a path argument");
+            std::process::exit(1);
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Some(value)
+    };
+    let bench_json = take_value_flag(&mut args, "--bench-json");
+    let bench_check = take_value_flag(&mut args, "--bench-check");
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
     let command = args.first().map(String::as_str).unwrap_or("all");
+    if command != "bench" && (bench_json.is_some() || bench_check.is_some()) {
+        eprintln!("--bench-json/--bench-check are only valid with the `bench` subcommand");
+        std::process::exit(1);
+    }
     match command {
         "table1" => table1(&scale),
         "table2" => table2(),
@@ -98,6 +128,7 @@ fn main() {
                 .unwrap_or(scale.succinctness_max_n);
             succinctness(max_n);
         }
+        "bench" => bench_baseline(smoke, bench_json.as_deref(), bench_check.as_deref()),
         "all" => {
             table1(&scale);
             table2();
@@ -386,6 +417,319 @@ fn report_reduction(name: &str, instance: &OneInThreeInstance) {
         fmt_duration(elapsed),
         if sat { "sat" } else { "unsat" }
     );
+}
+
+/// One row of the kernel comparison in the `bench` subcommand.
+struct KernelRow {
+    kernel: &'static str,
+    axis: Axis,
+    nodes: usize,
+    scalar_ns: f64,
+    word_ns: f64,
+}
+
+/// One row of the AC-fixpoint comparison in the `bench` subcommand.
+struct AcRow {
+    nodes: usize,
+    scalar_ns: f64,
+    word_ns: f64,
+}
+
+/// The perf baseline harness: semijoin kernels (scalar vs word-parallel),
+/// end-to-end arc-consistency fixpoints (previous-generation engine vs the
+/// shipping one) and an engine evaluation probe, with medians optionally
+/// written to `--bench-json` and regression-checked against `--bench-check`.
+fn bench_baseline(smoke: bool, json_path: Option<&str>, check_path: Option<&str>) {
+    use cqt_core::arc::{arc_consistent_from, initial_prevaluation};
+    use cqt_core::support::{pre_supported_sources, pre_supported_targets, scalar};
+    use cqt_trees::NodeSet;
+
+    header("Perf baseline — word-parallel semijoin kernels vs scalar baseline");
+    let sizes: &[usize] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let samples = if smoke { 3 } else { 5 };
+    let axes = [Axis::ChildStar, Axis::Following, Axis::NextSiblingPlus];
+
+    let mut kernel_rows: Vec<KernelRow> = Vec::new();
+    let mut ac_rows: Vec<AcRow> = Vec::new();
+    let mut engine_rows: Vec<(usize, f64)> = Vec::new();
+
+    println!(
+        "{:<10} {:<16} {:>10} {:>14} {:>14} {:>9}",
+        "kernel", "axis", "nodes", "scalar", "word-parallel", "speedup"
+    );
+    for &nodes in sizes {
+        let tree = benchmark_tree(nodes, 7);
+        // A realistically dense candidate set (~1/5 of the nodes).
+        let set = tree.nodes_with_label_name("A");
+        let set_pre = tree.to_pre_space(&set);
+        let mut out = NodeSet::empty(nodes);
+        for axis in axes {
+            for (kernel, scalar_ns, word_ns) in [
+                (
+                    "sources",
+                    time_median_ns(samples, || {
+                        std::hint::black_box(scalar::supported_sources(&tree, axis, &set));
+                    }),
+                    time_median_ns(samples, || {
+                        pre_supported_sources(&tree, axis, &set_pre, &mut out);
+                        std::hint::black_box(&out);
+                    }),
+                ),
+                (
+                    "targets",
+                    time_median_ns(samples, || {
+                        std::hint::black_box(scalar::supported_targets(&tree, axis, &set));
+                    }),
+                    time_median_ns(samples, || {
+                        pre_supported_targets(&tree, axis, &set_pre, &mut out);
+                        std::hint::black_box(&out);
+                    }),
+                ),
+            ] {
+                println!(
+                    "{:<10} {:<16} {:>10} {:>14} {:>14} {:>8.1}x",
+                    kernel,
+                    axis.to_string(),
+                    nodes,
+                    fmt_ns(scalar_ns),
+                    fmt_ns(word_ns),
+                    scalar_ns / word_ns.max(1.0)
+                );
+                kernel_rows.push(KernelRow {
+                    kernel,
+                    axis,
+                    nodes,
+                    scalar_ns,
+                    word_ns,
+                });
+            }
+        }
+
+        // End-to-end arc-consistency fixpoint on a Child+ chain query.
+        let query = chain_query(Axis::ChildPlus, 6);
+        let scalar_ns = time_median_ns(samples, || {
+            std::hint::black_box(scalar_arc_consistent_from(
+                &tree,
+                &query,
+                initial_prevaluation(&tree, &query),
+            ));
+        });
+        let word_ns = time_median_ns(samples, || {
+            std::hint::black_box(arc_consistent_from(
+                &tree,
+                &query,
+                initial_prevaluation(&tree, &query),
+            ));
+        });
+        println!(
+            "{:<10} {:<16} {:>10} {:>14} {:>14} {:>8.1}x",
+            "ac-fix",
+            "Child+ chain",
+            nodes,
+            fmt_ns(scalar_ns),
+            fmt_ns(word_ns),
+            scalar_ns / word_ns.max(1.0)
+        );
+        ac_rows.push(AcRow {
+            nodes,
+            scalar_ns,
+            word_ns,
+        });
+
+        // Engine evaluation probe (shipping path only; trajectory metric).
+        let eval_ns = time_median_ns(samples, || {
+            let eval = XPropertyEvaluator::with_order(&tree, Order::Pre);
+            std::hint::black_box(eval.eval_boolean(&query));
+        });
+        println!(
+            "{:<10} {:<16} {:>10} {:>14} {:>14} {:>9}",
+            "engine",
+            "X-prop boolean",
+            nodes,
+            "-",
+            fmt_ns(eval_ns),
+            "-"
+        );
+        engine_rows.push((nodes, eval_ns));
+    }
+
+    // The smoke anchor: the AC fixpoint at the smallest common size. The
+    // absolute ns is recorded for the trajectory; the *within-run speedup*
+    // (scalar vs word-parallel, both measured on the same machine in the
+    // same process) is what `--bench-check` gates on, because it is
+    // machine-independent.
+    let anchor = ac_rows
+        .iter()
+        .find(|r| r.nodes == 10_000)
+        .or_else(|| ac_rows.first());
+    let smoke_anchor_ns = anchor.map(|r| r.word_ns).unwrap_or(0.0);
+    let smoke_anchor_speedup = anchor
+        .map(|r| r.scalar_ns / r.word_ns.max(1.0))
+        .unwrap_or(0.0);
+    println!("\nac_fixpoint_smoke_ns = {smoke_anchor_ns:.0}");
+    println!("ac_fixpoint_smoke_speedup = {smoke_anchor_speedup:.2}");
+
+    if let Some(path) = json_path {
+        let json = render_bench_json(
+            smoke,
+            &kernel_rows,
+            &ac_rows,
+            &engine_rows,
+            smoke_anchor_ns,
+            smoke_anchor_speedup,
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        check_regression(path, smoke_anchor_ns, smoke_anchor_speedup);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Renders the measurement rows as JSON (hand-formatted: the vendored serde
+/// shim has no serializer, and the schema is small and stable).
+fn render_bench_json(
+    smoke: bool,
+    kernels: &[KernelRow],
+    ac: &[AcRow],
+    engine: &[(usize, f64)],
+    smoke_anchor_ns: f64,
+    smoke_anchor_speedup: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cq-trees-bench/1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    out.push_str(&format!(
+        "  \"ac_fixpoint_smoke_ns\": {smoke_anchor_ns:.0},\n"
+    ));
+    out.push_str(&format!(
+        "  \"ac_fixpoint_smoke_speedup\": {smoke_anchor_speedup:.2},\n"
+    ));
+    out.push_str("  \"semijoin_kernels\": [\n");
+    for (i, row) in kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"axis\": \"{}\", \"nodes\": {}, \
+             \"scalar_ns\": {:.0}, \"word_ns\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            row.kernel,
+            row.axis,
+            row.nodes,
+            row.scalar_ns,
+            row.word_ns,
+            row.scalar_ns / row.word_ns.max(1.0),
+            if i + 1 == kernels.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ac_fixpoint\": [\n");
+    for (i, row) in ac.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {}, \"scalar_ns\": {:.0}, \"word_ns\": {:.0}, \
+             \"speedup\": {:.2}}}{}\n",
+            row.nodes,
+            row.scalar_ns,
+            row.word_ns,
+            row.scalar_ns / row.word_ns.max(1.0),
+            if i + 1 == ac.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"engine_eval\": [\n");
+    for (i, (nodes, ns)) in engine.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"nodes\": {nodes}, \"xproperty_boolean_ns\": {ns:.0}}}{}\n",
+            if i + 1 == engine.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Compares the current AC-fixpoint smoke measurement against a reference
+/// JSON; exits non-zero on a regression of more than 3×.
+///
+/// The gate is **machine-independent**: it compares the within-run speedup
+/// of the shipping engine over the in-repo scalar baseline (both timed on
+/// the same machine in the same process) against the reference's recorded
+/// speedup. A CI runner being uniformly slower than the machine that
+/// produced the committed baseline cancels out; only an algorithmic
+/// regression in the shipping engine moves the ratio. The absolute ns
+/// comparison is printed for information only. (References without the
+/// speedup field fall back to the absolute-ns check.)
+fn check_regression(ref_path: &str, current_ns: f64, current_speedup: f64) {
+    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
+        eprintln!("cannot read bench reference {ref_path}: {e}");
+        std::process::exit(1);
+    });
+    if let Some(ref_ns) = extract_json_number(&reference, "ac_fixpoint_smoke_ns") {
+        println!(
+            "bench-check (informational): AC fixpoint smoke {} vs reference {} ({:.2}x)",
+            fmt_ns(current_ns),
+            fmt_ns(ref_ns),
+            current_ns / ref_ns.max(1.0)
+        );
+    }
+    match extract_json_number(&reference, "ac_fixpoint_smoke_speedup") {
+        Some(ref_speedup) => {
+            println!(
+                "bench-check: AC fixpoint speedup over scalar baseline {current_speedup:.2}x \
+                 vs reference {ref_speedup:.2}x"
+            );
+            if current_speedup < ref_speedup / 3.0 {
+                eprintln!(
+                    "bench-check FAILED: within-run AC-fixpoint speedup collapsed more than 3x \
+                     vs the committed baseline"
+                );
+                std::process::exit(1);
+            }
+        }
+        None => {
+            let Some(ref_ns) = extract_json_number(&reference, "ac_fixpoint_smoke_ns") else {
+                eprintln!("no ac_fixpoint_smoke_ns/ac_fixpoint_smoke_speedup in {ref_path}");
+                std::process::exit(1);
+            };
+            if current_ns / ref_ns.max(1.0) > 3.0 {
+                eprintln!("bench-check FAILED: AC-fixpoint smoke timing regressed more than 3x");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("bench-check passed");
+}
+
+/// Minimal extraction of a numeric top-level field from a known-schema JSON
+/// document (the vendored serde shim has no deserializer).
+fn extract_json_number(json: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Theorem 7.1: size of the APQ produced for the diamond queries D_n.

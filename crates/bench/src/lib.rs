@@ -4,8 +4,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
+use cqt_core::prevaluation::Prevaluation;
+use cqt_core::support::scalar;
 use cqt_query::generate::{random_query, RandomQueryConfig};
 use cqt_query::{ConjunctiveQuery, Signature};
 use cqt_trees::generate::{random_tree, treebank, RandomTreeConfig, TreebankConfig};
@@ -78,6 +81,105 @@ pub fn chain_query(axis: Axis, length: usize) -> ConjunctiveQuery {
     q
 }
 
+/// The previous-generation arc-consistency engine: an atom-granularity AC-3
+/// worklist whose revision step uses the *scalar* (per-node, allocating)
+/// semijoin primitives of [`cqt_core::support::scalar`].
+///
+/// This is a faithful retention of the engine that shipped before the
+/// word-parallel rank-space kernels landed; `experiments bench` times it
+/// against [`cqt_core::arc::arc_consistent_from`] to produce the
+/// before/after numbers recorded in `BENCH_*.json`.
+pub fn scalar_arc_consistent_from(
+    tree: &Tree,
+    query: &ConjunctiveQuery,
+    mut pre: Prevaluation,
+) -> Option<Prevaluation> {
+    let atoms = query.axis_atoms();
+    if pre.has_empty_set() {
+        return None;
+    }
+    let mut atoms_of_var: Vec<Vec<usize>> = vec![Vec::new(); query.var_count()];
+    for (i, atom) in atoms.iter().enumerate() {
+        atoms_of_var[atom.from.index()].push(i);
+        if atom.to != atom.from {
+            atoms_of_var[atom.to.index()].push(i);
+        }
+    }
+
+    let mut queue: VecDeque<usize> = (0..atoms.len()).collect();
+    let mut in_queue = vec![true; atoms.len()];
+
+    while let Some(i) = queue.pop_front() {
+        in_queue[i] = false;
+        let atom = atoms[i];
+
+        // Revise the `from` side against the `to` side.
+        let supported = scalar::supported_sources(tree, atom.axis, pre.get(atom.to));
+        let new_from = pre.get(atom.from).intersection(&supported);
+        let from_changed = &new_from != pre.get(atom.from);
+        if from_changed {
+            if new_from.is_empty() {
+                return None;
+            }
+            pre.set(atom.from, new_from);
+        }
+
+        // Revise the `to` side against the (possibly updated) `from` side.
+        let supported = scalar::supported_targets(tree, atom.axis, pre.get(atom.from));
+        let new_to = pre.get(atom.to).intersection(&supported);
+        let to_changed = &new_to != pre.get(atom.to);
+        if to_changed {
+            if new_to.is_empty() {
+                return None;
+            }
+            pre.set(atom.to, new_to);
+        }
+
+        if from_changed || to_changed {
+            let mut enqueue_for = |var: cqt_query::Var| {
+                for &j in &atoms_of_var[var.index()] {
+                    if !in_queue[j] {
+                        in_queue[j] = true;
+                        queue.push_back(j);
+                    }
+                }
+            };
+            if from_changed {
+                enqueue_for(atom.from);
+            }
+            if to_changed {
+                enqueue_for(atom.to);
+            }
+        }
+    }
+    Some(pre)
+}
+
+/// Median per-invocation time of `f` in nanoseconds, over `samples` samples.
+///
+/// Each sample batches enough invocations to last ~2ms (auto-calibrated from
+/// one warm-up call), so sub-microsecond kernels are measured above timer
+/// resolution. The median makes the committed `BENCH_*.json` numbers robust
+/// to scheduler noise.
+pub fn time_median_ns(samples: usize, mut f: impl FnMut()) -> f64 {
+    assert!(samples > 0);
+    let warmup = Instant::now();
+    f();
+    let once = warmup.elapsed().as_nanos().max(1);
+    let iters = (2_000_000 / once).clamp(1, 1 << 20) as u32;
+    let mut measured: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    measured.sort_by(f64::total_cmp);
+    measured[measured.len() / 2]
+}
+
 /// Times one closure invocation.
 pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
@@ -124,6 +226,27 @@ mod tests {
         let chain = chain_query(Axis::ChildPlus, 6);
         assert_eq!(chain.axis_atom_count(), 5);
         assert!(chain.is_acyclic());
+    }
+
+    #[test]
+    fn scalar_baseline_ac_agrees_with_shipping_engine() {
+        use cqt_core::arc::{arc_consistent_from, initial_prevaluation};
+        let tree = benchmark_tree(80, 5);
+        for axis in [Axis::ChildPlus, Axis::ChildStar, Axis::Following] {
+            let query = chain_query(axis, 5);
+            let start = initial_prevaluation(&tree, &query);
+            let old = scalar_arc_consistent_from(&tree, &query, start.clone());
+            let new = arc_consistent_from(&tree, &query, start);
+            assert_eq!(old, new, "engines disagree on {axis} chain");
+        }
+    }
+
+    #[test]
+    fn time_median_ns_is_positive() {
+        let ns = time_median_ns(3, || {
+            std::hint::black_box(17u64.wrapping_mul(31));
+        });
+        assert!(ns > 0.0);
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //! program and solving it with Minoux-style unit resolution in time
 //! O(‖A‖·|Q|). Two implementations are provided:
 //!
-//! * [`arc_consistent_prevaluation`] — a worklist (AC-3 style) engine whose
-//!   revision step uses the O(n) per-axis support primitives of
-//!   [`crate::support`]; it never materializes the axis relations and is the
-//!   engine used by the evaluators.
+//! * [`arc_consistent_prevaluation`] — a **directed-arc worklist** engine
+//!   whose revision step uses the word-parallel rank-space semijoin kernels
+//!   of [`crate::support`]. Each queue entry revises one direction of one
+//!   atom; a shrink re-enqueues only the arcs whose *support side* is the
+//!   shrunken variable. All candidate sets are converted to pre-order rank
+//!   space once up front and every revision writes into the reusable scratch
+//!   buffers of an [`AcScratch`], so the fixpoint loop performs **zero
+//!   `NodeSet` allocations**. It never materializes the axis relations and
+//!   is the engine used by the evaluators.
 //! * [`arc_consistent_prevaluation_hornsat`] — a literal rendering of the
 //!   proof of Proposition 3.1: the axis relations are materialized, support
 //!   counters play the role of the Horn clause bodies, and removals are
@@ -21,11 +26,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use cqt_query::ConjunctiveQuery;
+use cqt_query::{ConjunctiveQuery, Var};
 use cqt_trees::{Axis, MaterializedRelation, NodeId, NodeSet, Tree};
 
 use crate::prevaluation::Prevaluation;
-use crate::support::{supported_sources, supported_targets};
+use crate::support::{pre_supported_sources, pre_supported_targets};
 
 /// The starting prevaluation: every variable gets all nodes, intersected with
 /// the label sets demanded by the query's unary atoms.
@@ -38,6 +43,35 @@ pub fn initial_prevaluation(tree: &Tree, query: &ConjunctiveQuery) -> Prevaluati
     pre
 }
 
+/// Reusable buffers for the arc-consistency worklist.
+///
+/// Holds the rank-space candidate sets, the support scratch set, the queue
+/// and the dependency lists. Creating one is free; the buffers grow on first
+/// use and are then reused across calls, which is what makes repeated
+/// propagation (MAC branching, per-candidate monadic checks) allocation-free
+/// in the steady state.
+#[derive(Debug, Default)]
+pub struct AcScratch {
+    /// Rank-space candidate set per variable.
+    sets: Vec<NodeSet>,
+    /// Scratch for the freshly computed support set of one revision.
+    support: NodeSet,
+    /// Worklist of directed arcs, encoded as `atom_index * 2 + direction`
+    /// (direction 0 revises the `from` side, 1 the `to` side).
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+    /// `deps[v]` = directed arcs whose support side is variable `v`, i.e.
+    /// the arcs to re-enqueue when `v` shrinks.
+    deps: Vec<Vec<u32>>,
+}
+
+impl AcScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Computes the subset-maximal arc-consistent prevaluation contained in
 /// `start`, or `None` if some variable's candidate set becomes empty
 /// (in which case the query has no satisfaction within `start`).
@@ -48,68 +82,155 @@ pub fn initial_prevaluation(tree: &Tree, query: &ConjunctiveQuery) -> Prevaluati
 pub fn arc_consistent_from(
     tree: &Tree,
     query: &ConjunctiveQuery,
-    mut pre: Prevaluation,
+    pre: Prevaluation,
 ) -> Option<Prevaluation> {
-    let atoms = query.axis_atoms();
-    if pre.has_empty_set() {
+    arc_consistent_from_with(tree, query, pre, &mut AcScratch::new())
+}
+
+/// [`arc_consistent_from`] with caller-provided scratch buffers; the
+/// revision loop allocates nothing.
+pub fn arc_consistent_from_with(
+    tree: &Tree,
+    query: &ConjunctiveQuery,
+    mut pre: Prevaluation,
+    scratch: &mut AcScratch,
+) -> Option<Prevaluation> {
+    if !propagate(tree, query, &pre, scratch) {
         return None;
     }
-    // Atom indices that mention each variable, for efficient re-enqueueing.
-    let mut atoms_of_var: Vec<Vec<usize>> = vec![Vec::new(); query.var_count()];
-    for (i, atom) in atoms.iter().enumerate() {
-        atoms_of_var[atom.from.index()].push(i);
-        if atom.to != atom.from {
-            atoms_of_var[atom.to.index()].push(i);
-        }
-    }
-
-    let mut queue: VecDeque<usize> = (0..atoms.len()).collect();
-    let mut in_queue = vec![true; atoms.len()];
-
-    while let Some(i) = queue.pop_front() {
-        in_queue[i] = false;
-        let atom = atoms[i];
-
-        // Revise the `from` side against the `to` side.
-        let supported = supported_sources(tree, atom.axis, pre.get(atom.to));
-        let new_from = pre.get(atom.from).intersection(&supported);
-        let from_changed = &new_from != pre.get(atom.from);
-        if from_changed {
-            if new_from.is_empty() {
-                return None;
-            }
-            pre.set(atom.from, new_from);
-        }
-
-        // Revise the `to` side against the (possibly updated) `from` side.
-        let supported = supported_targets(tree, atom.axis, pre.get(atom.from));
-        let new_to = pre.get(atom.to).intersection(&supported);
-        let to_changed = &new_to != pre.get(atom.to);
-        if to_changed {
-            if new_to.is_empty() {
-                return None;
-            }
-            pre.set(atom.to, new_to);
-        }
-
-        if from_changed || to_changed {
-            let mut enqueue_for = |var: cqt_query::Var| {
-                for &j in &atoms_of_var[var.index()] {
-                    if !in_queue[j] {
-                        in_queue[j] = true;
-                        queue.push_back(j);
-                    }
-                }
-            };
-            if from_changed {
-                enqueue_for(atom.from);
-            }
-            if to_changed {
-                enqueue_for(atom.to);
-            }
-        }
+    // Convert the rank-space fixpoint back into the caller's prevaluation,
+    // reusing its set allocations.
+    for i in 0..query.var_count() {
+        let var = Var::from_index(i);
+        tree.from_pre_space_into(&scratch.sets[i], pre.get_mut(var));
     }
     Some(pre)
+}
+
+/// Borrowing variant of [`arc_consistent_from_with`]: leaves `start`
+/// untouched and returns the fixpoint as a fresh prevaluation. Callers that
+/// re-derive many restricted starts from one shared prevaluation (the MAC
+/// search) keep a single reusable start buffer and call this per restriction
+/// instead of cloning the start for every propagation.
+pub fn arc_consistent_closure(
+    tree: &Tree,
+    query: &ConjunctiveQuery,
+    start: &Prevaluation,
+    scratch: &mut AcScratch,
+) -> Option<Prevaluation> {
+    if !propagate(tree, query, start, scratch) {
+        return None;
+    }
+    let sets = (0..query.var_count())
+        .map(|i| tree.from_pre_space(&scratch.sets[i]))
+        .collect();
+    Some(Prevaluation::from_sets(query, sets))
+}
+
+/// Boolean variant: runs the fixpoint and reports satisfiability of the arc
+/// consistency closure without materializing the result prevaluation.
+/// Used by tuple checking and per-candidate monadic evaluation, where only
+/// emptiness matters.
+pub fn arc_consistent_check(
+    tree: &Tree,
+    query: &ConjunctiveQuery,
+    start: &Prevaluation,
+    scratch: &mut AcScratch,
+) -> bool {
+    propagate(tree, query, start, scratch)
+}
+
+/// Core directed-arc worklist. Loads `start` into `scratch` (rank space) and
+/// runs revisions to the fixpoint. Returns `false` iff some candidate set
+/// became empty. On success the fixpoint is left in `scratch.sets`.
+fn propagate(
+    tree: &Tree,
+    query: &ConjunctiveQuery,
+    start: &Prevaluation,
+    scratch: &mut AcScratch,
+) -> bool {
+    let atoms = query.axis_atoms();
+    let n = tree.len();
+    let var_count = query.var_count();
+
+    // Load the candidate sets into rank space, reusing buffers of matching
+    // capacity.
+    scratch.sets.resize_with(var_count, || NodeSet::empty(n));
+    for (i, set) in scratch.sets.iter_mut().enumerate() {
+        if set.capacity() != n {
+            *set = NodeSet::empty(n);
+        }
+        let domain = start.get(Var::from_index(i));
+        if domain.is_empty() {
+            return false;
+        }
+        tree.to_pre_space_into(domain, set);
+    }
+    if scratch.support.capacity() != n {
+        scratch.support = NodeSet::empty(n);
+    }
+
+    // Dependency lists: arc (i, 0) prunes `from` using `to` (support side
+    // `to`); arc (i, 1) prunes `to` using `from`.
+    scratch.deps.resize_with(var_count, Vec::new);
+    for deps in scratch.deps.iter_mut() {
+        deps.clear();
+    }
+    for (i, atom) in atoms.iter().enumerate() {
+        scratch.deps[atom.to.index()].push(i as u32 * 2);
+        scratch.deps[atom.from.index()].push(i as u32 * 2 + 1);
+    }
+
+    // Seed the worklist with every directed arc.
+    scratch.queue.clear();
+    scratch.queue.extend(0..2 * atoms.len() as u32);
+    scratch.in_queue.clear();
+    scratch.in_queue.resize(2 * atoms.len(), true);
+
+    while let Some(arc) = scratch.queue.pop_front() {
+        scratch.in_queue[arc as usize] = false;
+        let atom = atoms[arc as usize / 2];
+        let revise_from = arc % 2 == 0;
+        let (pruned_var, support_var) = if revise_from {
+            (atom.from.index(), atom.to.index())
+        } else {
+            (atom.to.index(), atom.from.index())
+        };
+        // Compute the support set into the scratch buffer, then intersect in
+        // place. Going through `scratch.support` sidesteps aliasing for
+        // self-loop atoms (`R(x, x)`) and avoids split borrows.
+        if revise_from {
+            pre_supported_sources(
+                tree,
+                atom.axis,
+                &scratch.sets[support_var],
+                &mut scratch.support,
+            );
+        } else {
+            pre_supported_targets(
+                tree,
+                atom.axis,
+                &scratch.sets[support_var],
+                &mut scratch.support,
+            );
+        }
+        if scratch.sets[pruned_var].intersect_with_changed(&scratch.support) {
+            if scratch.sets[pruned_var].is_empty() {
+                return false;
+            }
+            // Re-enqueue every arc supported by the shrunken variable. For a
+            // self-loop atom `R(x, x)` this includes the arc just processed:
+            // its support set came from the pre-revision domain and must be
+            // recomputed.
+            for &dep in &scratch.deps[pruned_var] {
+                if !scratch.in_queue[dep as usize] {
+                    scratch.in_queue[dep as usize] = true;
+                    scratch.queue.push_back(dep);
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Computes the subset-maximal arc-consistent prevaluation of `query` on
@@ -172,19 +293,32 @@ pub fn arc_consistent_prevaluation_hornsat(
     // removals already queued above will decrement them during propagation
     // (the standard AC-4 initialization order). A node whose counter reaches
     // 0 is removed (the second and third clause groups of the Horn program).
-    let mut succ_count: Vec<Vec<usize>> = Vec::with_capacity(atoms.len());
-    let mut pred_count: Vec<Vec<usize>> = Vec::with_capacity(atoms.len());
-    for atom in atoms {
-        let rel = &relations[&atom.axis];
+    //
+    // The degree vectors are computed once per *distinct axis* — O(n) per
+    // axis — and atoms sharing an axis clone them (a memcpy), so
+    // initialization is O(#axes · n + #atoms · n/word) rather than one
+    // adjacency-list length lookup per (atom, node).
+    let mut degrees: HashMap<Axis, (Vec<usize>, Vec<usize>)> = HashMap::new();
+    for (&axis, rel) in &relations {
         let mut sc = vec![0usize; n];
         let mut pc = vec![0usize; n];
         for node in tree.nodes() {
             sc[node.index()] = rel.successors(node).len();
             pc[node.index()] = rel.predecessors(node).len();
         }
-        succ_count.push(sc);
-        pred_count.push(pc);
+        degrees.insert(axis, (sc, pc));
     }
+    let mut succ_count: Vec<Vec<usize>> = Vec::with_capacity(atoms.len());
+    let mut pred_count: Vec<Vec<usize>> = Vec::with_capacity(atoms.len());
+    for atom in atoms {
+        let (sc, pc) = &degrees[&atom.axis];
+        succ_count.push(sc.clone());
+        pred_count.push(pc.clone());
+    }
+    // Resolve each atom's relation once; the unit-propagation loop below runs
+    // per (removal, atom) and must not pay a hash lookup per iteration.
+    let rel_of_atom: Vec<&MaterializedRelation> =
+        atoms.iter().map(|atom| &relations[&atom.axis]).collect();
     // Nodes with no support at all are removed up front.
     for (a, atom) in atoms.iter().enumerate() {
         for node in tree.nodes() {
@@ -200,7 +334,7 @@ pub fn arc_consistent_prevaluation_hornsat(
     // Unit propagation of removals.
     while let Some((var, node)) = removals.pop_front() {
         for (a, atom) in atoms.iter().enumerate() {
-            let rel = &relations[&atom.axis];
+            let rel = rel_of_atom[a];
             // `node` disappeared from the `to` side: its predecessors lose one
             // successor-support.
             if atom.to.index() == var {

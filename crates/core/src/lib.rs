@@ -46,7 +46,7 @@ pub mod tractability;
 pub mod xproperty;
 pub mod yannakakis;
 
-pub use arc::{arc_consistent_prevaluation, arc_consistent_prevaluation_hornsat};
+pub use arc::{arc_consistent_prevaluation, arc_consistent_prevaluation_hornsat, AcScratch};
 pub use engine::{Answer, Engine, EvalStrategy};
 pub use mac::MacSolver;
 pub use naive::NaiveEvaluator;

@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 use cqt_query::{ConjunctiveQuery, Var};
 use cqt_trees::{NodeId, NodeSet, Tree};
 
-use crate::arc::{arc_consistent_from, initial_prevaluation};
+use crate::arc::{arc_consistent_closure, initial_prevaluation, AcScratch};
 use crate::prevaluation::{Prevaluation, Valuation};
 
 /// Statistics of one solver run.
@@ -56,14 +56,18 @@ impl<'t> MacSolver<'t> {
     /// Evaluates the Boolean reading and reports search statistics.
     pub fn eval_boolean_with_stats(&self, query: &ConjunctiveQuery) -> (bool, SearchStats) {
         let mut stats = SearchStats::default();
-        let result = self.solve(query, initial_prevaluation(self.tree, query), &mut stats);
+        let mut scratch = AcScratch::new();
+        let start = initial_prevaluation(self.tree, query);
+        let result = self.solve(query, &start, &mut stats, &mut scratch);
         (result.is_some(), stats)
     }
 
     /// Returns some satisfaction of `query`, if one exists.
     pub fn witness(&self, query: &ConjunctiveQuery) -> Option<Valuation> {
         let mut stats = SearchStats::default();
-        self.solve(query, initial_prevaluation(self.tree, query), &mut stats)
+        let mut scratch = AcScratch::new();
+        let start = initial_prevaluation(self.tree, query);
+        self.solve(query, &start, &mut stats, &mut scratch)
     }
 
     /// Whether `tuple` is an answer of the k-ary query.
@@ -78,7 +82,9 @@ impl<'t> MacSolver<'t> {
             start.get_mut(var).intersect_with(&singleton);
         }
         let mut stats = SearchStats::default();
-        self.solve(query, start, &mut stats).is_some()
+        let mut scratch = AcScratch::new();
+        self.solve(query, &start, &mut stats, &mut scratch)
+            .is_some()
     }
 
     /// The answer set of a monadic query.
@@ -90,16 +96,22 @@ impl<'t> MacSolver<'t> {
         let head = query.head()[0];
         let mut out = NodeSet::empty(self.tree.len());
         // One global pass narrows the candidates before per-node checks.
-        let Some(global) =
-            arc_consistent_from(self.tree, query, initial_prevaluation(self.tree, query))
-        else {
+        let mut scratch = AcScratch::new();
+        let initial = initial_prevaluation(self.tree, query);
+        let Some(global) = arc_consistent_closure(self.tree, query, &initial, &mut scratch) else {
             return out;
         };
+        // One reusable start buffer for every candidate check: the loop body
+        // performs no per-candidate prevaluation allocation.
+        let mut start = global.clone();
         for candidate in global.get(head).iter() {
-            let mut start = global.clone();
-            start.set(head, NodeSet::from_nodes(self.tree.len(), [candidate]));
+            start.copy_from(&global);
+            start.restrict_to_singleton(head, candidate);
             let mut stats = SearchStats::default();
-            if self.solve(query, start, &mut stats).is_some() {
+            if self
+                .solve(query, &start, &mut stats, &mut scratch)
+                .is_some()
+            {
                 out.insert(candidate);
             }
         }
@@ -113,7 +125,8 @@ impl<'t> MacSolver<'t> {
         let mut answers: BTreeSet<Vec<NodeId>> = BTreeSet::new();
         let start = initial_prevaluation(self.tree, query);
         let mut stats = SearchStats::default();
-        self.enumerate(query, start, &mut stats, &mut |valuation| {
+        let mut scratch = AcScratch::new();
+        self.enumerate(query, &start, &mut stats, &mut scratch, &mut |valuation| {
             answers.insert(valuation.head_tuple(query));
             answers.len() >= limit
         });
@@ -121,14 +134,20 @@ impl<'t> MacSolver<'t> {
     }
 
     /// Core search: returns a satisfaction contained in `start`, if any.
+    /// `scratch` holds the arc-consistency buffers, shared across the whole
+    /// search tree so propagation never allocates; `start` is borrowed, so
+    /// each search level keeps exactly two owned prevaluations (the fixpoint
+    /// and one restriction buffer reused across all candidates) instead of
+    /// one clone per candidate.
     fn solve(
         &self,
         query: &ConjunctiveQuery,
-        start: Prevaluation,
+        start: &Prevaluation,
         stats: &mut SearchStats,
+        scratch: &mut AcScratch,
     ) -> Option<Valuation> {
         stats.propagations += 1;
-        let pre = match arc_consistent_from(self.tree, query, start) {
+        let pre = match arc_consistent_closure(self.tree, query, start, scratch) {
             Some(pre) => pre,
             None => {
                 stats.dead_ends += 1;
@@ -144,12 +163,12 @@ impl<'t> MacSolver<'t> {
             debug_assert!(valuation.is_satisfaction(self.tree, query));
             return Some(valuation);
         };
-        let candidates: Vec<NodeId> = pre.get(var).iter().collect();
-        for node in candidates {
+        let mut restricted = pre.clone();
+        for node in pre.get(var).iter() {
             stats.decisions += 1;
-            let mut restricted = pre.clone();
-            restricted.set(var, NodeSet::from_nodes(self.tree.len(), [node]));
-            if let Some(valuation) = self.solve(query, restricted, stats) {
+            restricted.copy_from(&pre);
+            restricted.restrict_to_singleton(var, node);
+            if let Some(valuation) = self.solve(query, &restricted, stats, scratch) {
                 return Some(valuation);
             }
         }
@@ -161,12 +180,13 @@ impl<'t> MacSolver<'t> {
     fn enumerate(
         &self,
         query: &ConjunctiveQuery,
-        start: Prevaluation,
+        start: &Prevaluation,
         stats: &mut SearchStats,
+        scratch: &mut AcScratch,
         on_solution: &mut dyn FnMut(&Valuation) -> bool,
     ) -> bool {
         stats.propagations += 1;
-        let pre = match arc_consistent_from(self.tree, query, start) {
+        let pre = match arc_consistent_closure(self.tree, query, start, scratch) {
             Some(pre) => pre,
             None => {
                 stats.dead_ends += 1;
@@ -182,12 +202,12 @@ impl<'t> MacSolver<'t> {
             debug_assert!(valuation.is_satisfaction(self.tree, query));
             return on_solution(&valuation);
         };
-        let candidates: Vec<NodeId> = pre.get(var).iter().collect();
-        for node in candidates {
+        let mut restricted = pre.clone();
+        for node in pre.get(var).iter() {
             stats.decisions += 1;
-            let mut restricted = pre.clone();
-            restricted.set(var, NodeSet::from_nodes(self.tree.len(), [node]));
-            if self.enumerate(query, restricted, stats, on_solution) {
+            restricted.copy_from(&pre);
+            restricted.restrict_to_singleton(var, node);
+            if self.enumerate(query, &restricted, stats, scratch, on_solution) {
                 return true;
             }
         }

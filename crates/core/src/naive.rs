@@ -119,10 +119,26 @@ impl<'t> NaiveEvaluator<'t> {
             .all(|label| self.tree.has_label_name(node, label))
     }
 
+    /// Indices of the binary atoms mentioning each variable. Hoisted out of
+    /// the search so the innermost consistency check scans only the atoms
+    /// that can be affected by the newly assigned variable, instead of every
+    /// atom of the query at every node of every branch.
+    fn atoms_by_var(&self, query: &ConjunctiveQuery) -> Vec<Vec<usize>> {
+        let mut by_var: Vec<Vec<usize>> = vec![Vec::new(); query.var_count()];
+        for (i, atom) in query.axis_atoms().iter().enumerate() {
+            by_var[atom.from.index()].push(i);
+            if atom.to != atom.from {
+                by_var[atom.to.index()].push(i);
+            }
+        }
+        by_var
+    }
+
     /// Checks all atoms whose endpoints are both assigned and involve `var`.
     fn consistent_so_far(
         &self,
         query: &ConjunctiveQuery,
+        atoms_by_var: &[Vec<usize>],
         assignment: &[Option<NodeId>],
         var: Var,
     ) -> bool {
@@ -130,10 +146,9 @@ impl<'t> NaiveEvaluator<'t> {
         if !self.labels_ok(query, var, node) {
             return false;
         }
-        for atom in query.axis_atoms() {
-            if !atom.mentions(var) {
-                continue;
-            }
+        let atoms = query.axis_atoms();
+        for &i in &atoms_by_var[var.index()] {
+            let atom = atoms[i];
             if let (Some(from), Some(to)) =
                 (assignment[atom.from.index()], assignment[atom.to.index()])
             {
@@ -155,21 +170,33 @@ impl<'t> NaiveEvaluator<'t> {
         assignment: &mut Vec<Option<NodeId>>,
         on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
     ) -> bool {
+        let atoms_by_var = self.atoms_by_var(query);
+        self.search_rec(query, &atoms_by_var, next_var, assignment, on_solution)
+    }
+
+    fn search_rec(
+        &self,
+        query: &ConjunctiveQuery,
+        atoms_by_var: &[Vec<usize>],
+        next_var: usize,
+        assignment: &mut Vec<Option<NodeId>>,
+        on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
         if next_var == query.var_count() {
             return on_solution(assignment);
         }
         let var = Var::from_index(next_var);
         if assignment[next_var].is_some() {
             // Pre-assigned (tuple checking): just validate and recurse.
-            if self.consistent_so_far(query, assignment, var) {
-                return self.search(query, next_var + 1, assignment, on_solution);
+            if self.consistent_so_far(query, atoms_by_var, assignment, var) {
+                return self.search_rec(query, atoms_by_var, next_var + 1, assignment, on_solution);
             }
             return false;
         }
         for node in self.tree.nodes() {
             assignment[next_var] = Some(node);
-            if self.consistent_so_far(query, assignment, var)
-                && self.search(query, next_var + 1, assignment, on_solution)
+            if self.consistent_so_far(query, atoms_by_var, assignment, var)
+                && self.search_rec(query, atoms_by_var, next_var + 1, assignment, on_solution)
             {
                 return true;
             }

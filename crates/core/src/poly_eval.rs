@@ -19,7 +19,9 @@ use cqt_query::ConjunctiveQuery;
 use cqt_trees::{NodeId, NodeSet, Order, Tree};
 use std::fmt;
 
-use crate::arc::{arc_consistent_from, arc_consistent_prevaluation, initial_prevaluation};
+use crate::arc::{
+    arc_consistent_check, arc_consistent_prevaluation, initial_prevaluation, AcScratch,
+};
 use crate::prevaluation::Valuation;
 use crate::tractability::{SignatureAnalysis, Tractability};
 
@@ -114,7 +116,7 @@ impl<'t> XPropertyEvaluator<'t> {
             let singleton = NodeSet::from_nodes(self.tree.len(), [node]);
             start.get_mut(var).intersect_with(&singleton);
         }
-        arc_consistent_from(self.tree, query, start).is_some()
+        arc_consistent_check(self.tree, query, &start, &mut AcScratch::new())
     }
 
     /// Evaluates a monadic (unary) query: the set of nodes in the answer.
@@ -131,10 +133,14 @@ impl<'t> XPropertyEvaluator<'t> {
         let Some(global) = arc_consistent_prevaluation(self.tree, query) else {
             return result;
         };
+        // One propagation per candidate, all sharing the same scratch and the
+        // same restart prevaluation: the loop body allocates nothing.
+        let mut scratch = AcScratch::new();
+        let mut start = global.clone();
         for candidate in global.get(head).iter() {
-            let mut start = global.clone();
-            start.set(head, NodeSet::from_nodes(self.tree.len(), [candidate]));
-            if arc_consistent_from(self.tree, query, start).is_some() {
+            start.copy_from(&global);
+            start.restrict_to_singleton(head, candidate);
+            if arc_consistent_check(self.tree, query, &start, &mut scratch) {
                 result.insert(candidate);
             }
         }

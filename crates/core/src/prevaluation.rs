@@ -53,6 +53,32 @@ impl Prevaluation {
         self.sets[var.index()] = nodes;
     }
 
+    /// Overwrites this prevaluation with `other`, reusing the existing
+    /// per-variable set allocations (blockwise copies when the shapes match).
+    ///
+    /// The per-candidate loops of the evaluators re-derive many restricted
+    /// prevaluations from one global fixpoint; `copy_from` keeps that
+    /// allocation-free where `clone` would reallocate every set.
+    pub fn copy_from(&mut self, other: &Prevaluation) {
+        self.sets.resize_with(other.sets.len(), || {
+            NodeSet::empty(other.sets.first().map_or(0, NodeSet::capacity))
+        });
+        for (dst, src) in self.sets.iter_mut().zip(&other.sets) {
+            dst.clone_from(src);
+        }
+    }
+
+    /// Restricts the candidate set of `var` to the single node `candidate`,
+    /// without allocating.
+    ///
+    /// # Panics
+    /// Panics if `candidate` is out of range for the set.
+    pub fn restrict_to_singleton(&mut self, var: Var, candidate: NodeId) {
+        let set = &mut self.sets[var.index()];
+        set.clear();
+        set.insert(candidate);
+    }
+
     /// Number of variables.
     pub fn var_count(&self) -> usize {
         self.sets.len()
@@ -207,6 +233,22 @@ mod tests {
         assert_eq!(good.head_tuple(&query), Vec::<NodeId>::new());
         assert_eq!(good.var_count(), 2);
         assert_eq!(good.as_slice().len(), 2);
+    }
+
+    #[test]
+    fn copy_from_and_singleton_restriction() {
+        let (tree, query) = setup();
+        let full = Prevaluation::full(&tree, &query);
+        let mut scratch = Prevaluation::from_sets(&query, vec![NodeSet::empty(tree.len()); 2]);
+        scratch.copy_from(&full);
+        assert_eq!(scratch, full);
+        let y = query.find_var("y").unwrap();
+        scratch.restrict_to_singleton(y, tree.root());
+        assert_eq!(scratch.get(y).len(), 1);
+        assert!(scratch.get(y).contains(tree.root()));
+        // Copying again restores the full set without reallocating shape.
+        scratch.copy_from(&full);
+        assert_eq!(scratch, full);
     }
 
     #[test]

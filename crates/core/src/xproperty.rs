@@ -55,16 +55,17 @@ pub fn relation_x_property_violation(
     relation: &MaterializedRelation,
     rank: &[u32],
 ) -> Option<XViolation> {
-    let edges: Vec<(NodeId, NodeId)> = relation.pairs().collect();
-    for &(a_from, a_to) in &edges {
-        for &(b_from, b_to) in &edges {
-            // Try to see (a_from, a_to) as (n1, n2) and (b_from, b_to) as (n0, n3).
-            let (n1, n2) = (a_from, a_to);
-            let (n0, n3) = (b_from, b_to);
-            if rank[n0.index()] < rank[n1.index()]
-                && rank[n2.index()] < rank[n3.index()]
-                && !relation.contains(n0, n2)
-            {
+    // Materialize each edge once, together with its endpoint ranks, so the
+    // quadratic pair scan below touches flat arrays instead of re-deriving
+    // ranks per comparison.
+    let edges: Vec<(NodeId, NodeId, u32, u32)> = relation
+        .pairs()
+        .map(|(u, v)| (u, v, rank[u.index()], rank[v.index()]))
+        .collect();
+    for &(n1, n2, r1, r2) in &edges {
+        for &(n0, n3, r0, r3) in &edges {
+            // See (n1, n2) and (n0, n3) as the crossing arcs of Figure 2.
+            if r0 < r1 && r2 < r3 && !relation.contains(n0, n2) {
                 return Some(XViolation { n0, n1, n2, n3 });
             }
         }

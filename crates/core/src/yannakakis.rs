@@ -25,7 +25,22 @@ use cqt_trees::{NodeId, NodeSet, Tree};
 
 use crate::arc::initial_prevaluation;
 use crate::prevaluation::{Prevaluation, Valuation};
-use crate::support::{supported_sources, supported_targets};
+use crate::support::{revise_sources, revise_targets};
+
+/// Splits the per-variable rank-space sets into the (shared) support set and
+/// the (mutable) set being pruned; the two variables must differ, which join
+/// forests guarantee (their edges never form self-loops).
+fn index_two(sets: &mut [NodeSet], support: Var, pruned: Var) -> (&NodeSet, &mut NodeSet) {
+    let (s, p) = (support.index(), pruned.index());
+    assert_ne!(s, p, "semi-join support and pruned variable must differ");
+    if s < p {
+        let (left, right) = sets.split_at_mut(p);
+        (&left[s], &mut right[0])
+    } else {
+        let (left, right) = sets.split_at_mut(s);
+        (&right[0], &mut left[p])
+    }
+}
 
 /// Error returned when the query handed to the Yannakakis evaluator is not
 /// acyclic.
@@ -55,6 +70,11 @@ impl<'t> YannakakisEvaluator<'t> {
     /// Performs the full (two-pass) semi-join reduction. Returns the reduced
     /// prevaluation, or `None` if some candidate set became empty (the query
     /// is unsatisfiable within `start`).
+    ///
+    /// The candidate sets are converted to pre-order rank space once, both
+    /// passes run on the word-parallel in-place kernels of [`crate::support`]
+    /// with a single scratch set (no allocation per semi-join), and the
+    /// result is converted back at the end.
     fn reduce(
         &self,
         query: &ConjunctiveQuery,
@@ -64,21 +84,27 @@ impl<'t> YannakakisEvaluator<'t> {
         if pre.has_empty_set() {
             return None;
         }
+        let n = self.tree.len();
+        let mut sets: Vec<NodeSet> = (0..query.var_count())
+            .map(|i| self.tree.to_pre_space(pre.get(Var::from_index(i))))
+            .collect();
+        let mut scratch = NodeSet::empty(n);
         for tree_component in &forest.components {
             // Upward pass: children prune their parents, processed in reverse
             // BFS order so that grandchildren have already pruned children.
             for &var in tree_component.bfs_order.iter().rev() {
                 if let Some(&(parent, atom)) = tree_component.parent.get(&var) {
-                    let pruned = if atom.from == parent {
+                    debug_assert_ne!(parent, var, "join forests have no self-loops");
+                    let (child_set, parent_set) = index_two(&mut sets, var, parent);
+                    if atom.from == parent {
                         // Atom is R(parent, var): parent needs an R-successor
                         // among var's candidates.
-                        supported_sources(self.tree, atom.axis, pre.get(var))
+                        revise_sources(self.tree, atom.axis, child_set, parent_set, &mut scratch);
                     } else {
                         // Atom is R(var, parent): parent needs an R-predecessor.
-                        supported_targets(self.tree, atom.axis, pre.get(var))
-                    };
-                    pre.get_mut(parent).intersect_with(&pruned);
-                    if pre.get(parent).is_empty() {
+                        revise_targets(self.tree, atom.axis, child_set, parent_set, &mut scratch);
+                    }
+                    if parent_set.is_empty() {
                         return None;
                     }
                 }
@@ -86,19 +112,22 @@ impl<'t> YannakakisEvaluator<'t> {
             // Downward pass: parents prune their children, in BFS order.
             for &var in &tree_component.bfs_order {
                 if let Some(&(parent, atom)) = tree_component.parent.get(&var) {
-                    let pruned = if atom.from == parent {
-                        supported_targets(self.tree, atom.axis, pre.get(parent))
+                    let (parent_set, child_set) = index_two(&mut sets, parent, var);
+                    if atom.from == parent {
+                        revise_targets(self.tree, atom.axis, parent_set, child_set, &mut scratch);
                     } else {
-                        supported_sources(self.tree, atom.axis, pre.get(parent))
-                    };
-                    pre.get_mut(var).intersect_with(&pruned);
-                    if pre.get(var).is_empty() {
+                        revise_sources(self.tree, atom.axis, parent_set, child_set, &mut scratch);
+                    }
+                    if child_set.is_empty() {
                         return None;
                     }
                 }
             }
         }
-        let _ = query;
+        for (i, set) in sets.iter().enumerate() {
+            self.tree
+                .from_pre_space_into(set, pre.get_mut(Var::from_index(i)));
+        }
         Some(pre)
     }
 

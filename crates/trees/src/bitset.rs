@@ -1,9 +1,22 @@
 //! Packed bitsets over tree nodes.
 //!
 //! A [`NodeSet`] represents a set of nodes of one particular tree as a packed
-//! `u64` bitset indexed by raw node index. Prevaluations (Section 3 of the
-//! paper) map each query variable to such a set; arc-consistency pruning and
-//! the minimum-valuation extraction of Lemma 3.4 operate directly on them.
+//! `u64` bitset. Prevaluations (Section 3 of the paper) map each query
+//! variable to such a set; arc-consistency pruning and the minimum-valuation
+//! extraction of Lemma 3.4 operate directly on them.
+//!
+//! A `NodeSet` is agnostic about *which* index space its bits live in: the
+//! evaluators use both raw-node-index sets and **pre-order rank space** sets
+//! (bit `i` = the node with pre-order rank `i`, see
+//! [`Tree::to_pre_space`](crate::Tree::to_pre_space)). Rank space is what
+//! makes the word-parallel semijoin kernels possible: a subtree is a
+//! *contiguous bit range* `[pre(u), pre_end(u)]`, so descendant closures are
+//! blockwise interval fills ([`NodeSet::prefix_or_within_intervals`]) and the
+//! `Following` axis reduces to a rank-threshold mask
+//! ([`NodeSet::insert_range`] / [`NodeSet::range_mask`]). The hot kernels
+//! below (`insert_range`, `first_member_in_range`, `max_member`,
+//! `intersect_with_changed`, `copy_from`) all operate one `u64` block at a
+//! time and never allocate.
 
 use crate::node::NodeId;
 use serde::{Deserialize, Serialize};
@@ -12,11 +25,29 @@ use std::fmt;
 const BITS: usize = 64;
 
 /// A set of nodes of a fixed-size tree, stored as a packed bitset.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NodeSet {
     blocks: Vec<u64>,
     /// Number of addressable nodes (the tree size), not the number of members.
     capacity: usize,
+}
+
+impl Clone for NodeSet {
+    fn clone(&self) -> Self {
+        NodeSet {
+            blocks: self.blocks.clone(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Reuses `self`'s block allocation (a plain memcpy when the capacities
+    /// already match) — this is what makes `clone_from`-based scratch reuse
+    /// in the evaluators allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.capacity = source.capacity;
+        self.blocks.clear();
+        self.blocks.extend_from_slice(&source.blocks);
+    }
 }
 
 impl NodeSet {
@@ -47,6 +78,14 @@ impl NodeSet {
         set
     }
 
+    /// Clears the padding bits of the last block.
+    ///
+    /// Invariant: bits at positions `>= capacity` are always zero. Every
+    /// method that writes whole blocks (`full`, `insert_range`, blockwise
+    /// unions of trusted inputs) must re-establish this, because `len`,
+    /// `is_empty`, `max_member` and the equality/ordering impls read blocks
+    /// wholesale and would otherwise see phantom members. Bit-level writers
+    /// (`insert`, `remove`) instead reject out-of-range indices outright.
     fn trim(&mut self) {
         let rem = self.capacity % BITS;
         if rem != 0 {
@@ -62,9 +101,15 @@ impl NodeSet {
     }
 
     /// Adds `node` to the set. Returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if `node.index() >= capacity`. (This used to be a debug-only
+    /// assertion; in release builds an out-of-range insert into the padding
+    /// bits of the last block would silently corrupt `len`/`is_empty` when
+    /// `capacity % 64 != 0`, so the check is now unconditional.)
     pub fn insert(&mut self, node: NodeId) -> bool {
         let idx = node.index();
-        debug_assert!(idx < self.capacity, "node out of range for NodeSet");
+        assert!(idx < self.capacity, "node out of range for NodeSet");
         let (block, bit) = (idx / BITS, idx % BITS);
         let mask = 1u64 << bit;
         let was_absent = self.blocks[block] & mask == 0;
@@ -73,9 +118,12 @@ impl NodeSet {
     }
 
     /// Removes `node` from the set. Returns `true` if it was present.
+    ///
+    /// # Panics
+    /// Panics if `node.index() >= capacity` (see [`NodeSet::insert`]).
     pub fn remove(&mut self, node: NodeId) -> bool {
         let idx = node.index();
-        debug_assert!(idx < self.capacity, "node out of range for NodeSet");
+        assert!(idx < self.capacity, "node out of range for NodeSet");
         let (block, bit) = (idx / BITS, idx % BITS);
         let mask = 1u64 << bit;
         let was_present = self.blocks[block] & mask != 0;
@@ -114,6 +162,7 @@ impl NodeSet {
     ///
     /// # Panics
     /// Panics if the capacities differ.
+    #[inline]
     pub fn intersect_with(&mut self, other: &NodeSet) {
         assert_eq!(self.capacity, other.capacity, "NodeSet capacity mismatch");
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
@@ -121,14 +170,150 @@ impl NodeSet {
         }
     }
 
+    /// In-place intersection with `other`, reporting whether `self` shrank.
+    ///
+    /// This is the semijoin *revision* primitive: the arc-consistency
+    /// worklist intersects a variable's domain with a freshly computed
+    /// support set and re-enqueues dependent arcs only when something was
+    /// actually removed. One pass, no allocation, no post-hoc comparison.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    #[inline]
+    pub fn intersect_with_changed(&mut self, other: &NodeSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "NodeSet capacity mismatch");
+        let mut changed = 0u64;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let new = *a & b;
+            changed |= *a ^ new;
+            *a = new;
+        }
+        changed != 0
+    }
+
     /// In-place union with `other`.
     ///
     /// # Panics
     /// Panics if the capacities differ.
+    #[inline]
     pub fn union_with(&mut self, other: &NodeSet) {
         assert_eq!(self.capacity, other.capacity, "NodeSet capacity mismatch");
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             *a |= b;
+        }
+    }
+
+    /// Overwrites `self` with the contents of `other` (a blockwise memcpy).
+    ///
+    /// # Panics
+    /// Panics if the capacities differ (use `clone_from` to also adopt the
+    /// capacity).
+    #[inline]
+    pub fn copy_from(&mut self, other: &NodeSet) {
+        assert_eq!(self.capacity, other.capacity, "NodeSet capacity mismatch");
+        self.blocks.copy_from_slice(&other.blocks);
+    }
+
+    /// Inserts every index in the semi-open range `[lo, hi)`, blockwise.
+    ///
+    /// This is the *range mask* primitive of the rank-space kernels: in
+    /// pre-order rank space a subtree, and everything after a rank threshold
+    /// (the `Following` axis), are contiguous index ranges.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > capacity`.
+    #[inline]
+    pub fn insert_range(&mut self, lo: usize, hi: usize) {
+        assert!(lo <= hi && hi <= self.capacity, "range out of bounds");
+        if lo == hi {
+            return;
+        }
+        let (first_block, first_bit) = (lo / BITS, lo % BITS);
+        let (last_block, last_bit) = ((hi - 1) / BITS, (hi - 1) % BITS);
+        let lo_mask = u64::MAX << first_bit;
+        let hi_mask = u64::MAX >> (BITS - 1 - last_bit);
+        if first_block == last_block {
+            self.blocks[first_block] |= lo_mask & hi_mask;
+        } else {
+            self.blocks[first_block] |= lo_mask;
+            for block in &mut self.blocks[first_block + 1..last_block] {
+                *block = u64::MAX;
+            }
+            self.blocks[last_block] |= hi_mask;
+        }
+    }
+
+    /// The set `{lo, lo+1, …, hi-1}` over a domain of `capacity` indices.
+    pub fn range_mask(capacity: usize, lo: usize, hi: usize) -> NodeSet {
+        let mut set = NodeSet::empty(capacity);
+        set.insert_range(lo, hi);
+        set
+    }
+
+    /// The smallest member with index in `[lo, hi)`, found blockwise
+    /// (one `trailing_zeros` per 64 indices scanned).
+    #[inline]
+    pub fn first_member_in_range(&self, lo: usize, hi: usize) -> Option<NodeId> {
+        let hi = hi.min(self.capacity);
+        if lo >= hi {
+            return None;
+        }
+        let mut block = lo / BITS;
+        let mut bits = self.blocks[block] & (u64::MAX << (lo % BITS));
+        loop {
+            if bits != 0 {
+                let idx = block * BITS + bits.trailing_zeros() as usize;
+                return (idx < hi).then(|| NodeId::from_index(idx));
+            }
+            block += 1;
+            if block * BITS >= hi {
+                return None;
+            }
+            bits = self.blocks[block];
+        }
+    }
+
+    /// The largest member of the set, found blockwise from the top.
+    #[inline]
+    pub fn max_member(&self) -> Option<NodeId> {
+        for (block, &bits) in self.blocks.iter().enumerate().rev() {
+            if bits != 0 {
+                return Some(NodeId::from_index(
+                    block * BITS + (BITS - 1 - bits.leading_zeros() as usize),
+                ));
+            }
+        }
+        None
+    }
+
+    /// Interval-closure kernel: for every member `i` of `self`, ORs the index
+    /// range `[i + !include_start, ends[i]]` (inclusive) into `out`.
+    ///
+    /// The member set is interpreted in an index space where `ends[i] >= i`
+    /// describes a **laminar** interval family — any member `j` inside
+    /// `(i, ends[i]]` must satisfy `ends[j] <= ends[i]`, as subtree intervals
+    /// in pre-order rank space do. Laminarity lets the kernel fill each
+    /// *maximal* interval once (blockwise) and skip every member it covers,
+    /// so the cost is O(output blocks + maximal members) rather than
+    /// O(sum of interval lengths).
+    ///
+    /// With `include_start` this computes the `Child*` (descendant-or-self)
+    /// image of `self`; without it, the `Child+` (proper descendant) image.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ or `ends` is shorter than the
+    /// capacity; debug-asserts laminarity-consistent bounds.
+    pub fn prefix_or_within_intervals(&self, ends: &[u32], include_start: bool, out: &mut NodeSet) {
+        assert_eq!(self.capacity, out.capacity, "NodeSet capacity mismatch");
+        assert!(ends.len() >= self.capacity, "ends array too short");
+        let mut cursor = 0;
+        while let Some(member) = self.first_member_in_range(cursor, self.capacity) {
+            let i = member.index();
+            let end = ends[i] as usize;
+            debug_assert!(end >= i && end < self.capacity, "invalid interval end");
+            let lo = if include_start { i } else { i + 1 };
+            out.insert_range(lo, end + 1);
+            cursor = end + 1;
         }
     }
 
@@ -205,6 +390,14 @@ impl NodeSet {
             }
         }
         best.map(|(_, n)| n)
+    }
+}
+
+impl Default for NodeSet {
+    /// The empty set over the empty domain (capacity 0); useful for
+    /// lazily-sized scratch buffers.
+    fn default() -> Self {
+        NodeSet::empty(0)
     }
 }
 
@@ -326,5 +519,126 @@ mod tests {
         assert_eq!(set.capacity(), 6);
         assert!(set.contains(n(5)));
         assert!(set.contains(n(2)));
+    }
+
+    #[test]
+    fn insert_range_and_range_mask() {
+        for capacity in [1usize, 63, 64, 65, 130, 200] {
+            for (lo, hi) in [(0, 0), (0, 1), (3, 17), (0, capacity), (capacity, capacity)] {
+                if hi > capacity || lo > hi {
+                    continue;
+                }
+                let mask = NodeSet::range_mask(capacity, lo, hi);
+                assert_eq!(mask.len(), hi - lo, "range [{lo}, {hi}) at cap {capacity}");
+                for i in 0..capacity {
+                    assert_eq!(mask.contains(n(i)), lo <= i && i < hi);
+                }
+            }
+        }
+        // Multi-block interior fill.
+        let mask = NodeSet::range_mask(300, 10, 290);
+        assert_eq!(mask.len(), 280);
+        assert!(!mask.contains(n(9)) && mask.contains(n(10)));
+        assert!(mask.contains(n(289)) && !mask.contains(n(290)));
+    }
+
+    #[test]
+    fn first_member_in_range_and_max_member() {
+        let set = NodeSet::from_nodes(300, [n(5), n(64), n(130), n(299)]);
+        assert_eq!(set.first_member_in_range(0, 300), Some(n(5)));
+        assert_eq!(set.first_member_in_range(6, 300), Some(n(64)));
+        assert_eq!(set.first_member_in_range(65, 130), None);
+        assert_eq!(set.first_member_in_range(65, 131), Some(n(130)));
+        assert_eq!(set.first_member_in_range(131, 299), None);
+        assert_eq!(set.first_member_in_range(131, usize::MAX), Some(n(299)));
+        assert_eq!(set.max_member(), Some(n(299)));
+        assert_eq!(NodeSet::empty(300).max_member(), None);
+        assert_eq!(NodeSet::empty(0).first_member_in_range(0, 10), None);
+    }
+
+    #[test]
+    fn intersect_with_changed_reports_shrinkage() {
+        let mut a = NodeSet::from_nodes(100, [n(1), n(70), n(99)]);
+        let same = NodeSet::full(100);
+        assert!(!a.intersect_with_changed(&same));
+        assert_eq!(a.len(), 3);
+        let b = NodeSet::from_nodes(100, [n(1), n(99)]);
+        assert!(a.intersect_with_changed(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![n(1), n(99)]);
+    }
+
+    #[test]
+    fn copy_from_and_clone_from_reuse_blocks() {
+        let source = NodeSet::from_nodes(130, [n(0), n(129)]);
+        let mut dest = NodeSet::full(130);
+        dest.copy_from(&source);
+        assert_eq!(dest, source);
+        let mut other = NodeSet::empty(64);
+        other.clone_from(&source);
+        assert_eq!(other, source);
+        assert_eq!(other.capacity(), 130);
+    }
+
+    #[test]
+    fn prefix_or_within_intervals_laminar_fill() {
+        // A laminar family over 10 indices: interval of 0 covers everything,
+        // interval of 1 covers [1, 4], leaves cover themselves.
+        let ends: Vec<u32> = vec![9, 4, 2, 3, 4, 5, 9, 7, 8, 9];
+        let n10 = 10;
+        // Members {1, 5}: Child* image fills [1,4] and [5,5].
+        let members = NodeSet::from_nodes(n10, [n(1), n(5)]);
+        let mut out = NodeSet::empty(n10);
+        members.prefix_or_within_intervals(&ends, true, &mut out);
+        assert_eq!(
+            out.iter().map(|x| x.index()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        // Same members, strict (Child+): drops the interval starts.
+        let mut strict = NodeSet::empty(n10);
+        members.prefix_or_within_intervals(&ends, false, &mut strict);
+        assert_eq!(
+            strict.iter().map(|x| x.index()).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        // A member covered by an earlier maximal interval is skipped, not
+        // re-filled: {0, 2} fills [0, 9] once.
+        let covering = NodeSet::from_nodes(n10, [n(0), n(2)]);
+        let mut all = NodeSet::empty(n10);
+        covering.prefix_or_within_intervals(&ends, true, &mut all);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn boundary_capacities_respect_trim_invariant() {
+        for capacity in [63usize, 64, 65] {
+            let mut set = NodeSet::full(capacity);
+            assert_eq!(set.len(), capacity, "full at capacity {capacity}");
+            assert!(set.contains(n(capacity - 1)));
+            assert!(!set.contains(n(capacity)));
+            assert_eq!(set.max_member(), Some(n(capacity - 1)));
+            assert!(set.remove(n(capacity - 1)));
+            assert!(!set.remove(n(capacity - 1)));
+            assert_eq!(set.len(), capacity - 1);
+            assert!(set.insert(n(capacity - 1)));
+            assert_eq!(set.len(), capacity);
+            // Range mask over the full domain equals the full set.
+            assert_eq!(NodeSet::range_mask(capacity, 0, capacity), set);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics_at_padding_boundary() {
+        // Capacity 63: index 63 is inside the last block's padding; it must
+        // be rejected, not silently written.
+        let mut set = NodeSet::empty(63);
+        set.insert(n(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remove_out_of_range_panics_at_padding_boundary() {
+        let mut set = NodeSet::empty(65);
+        set.remove(n(65));
     }
 }

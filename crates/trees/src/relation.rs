@@ -30,9 +30,74 @@ pub struct MaterializedRelation {
 
 impl MaterializedRelation {
     /// Materializes `axis` over `tree`.
+    ///
+    /// The local axes (`Child`, `NextSibling`, their inverses, `Self`) are
+    /// built directly from the structural index in O(n) — one adjacency read
+    /// per node, no `Axis::successors` probing and no re-sort. The closure
+    /// axes go through the generic path, which is output-linear (the
+    /// materialized extension itself may be quadratic, as the paper's cost
+    /// model `‖A‖` accounts for).
     pub fn from_axis(tree: &Tree, axis: Axis) -> Self {
-        let mut successors = vec![Vec::new(); tree.len()];
-        let mut predecessors = vec![Vec::new(); tree.len()];
+        let n = tree.len();
+        let name = axis.paper_name().to_owned();
+        // Direct structural adjacency for the local axes. TreeBuilder hands
+        // out ids in creation order, so children lists (and the single-entry
+        // parent/sibling lists) are already sorted by raw index.
+        /// Forward and backward adjacency lists, as built by the local-axis
+        /// fast path.
+        type Adjacency = (Vec<Vec<NodeId>>, Vec<Vec<NodeId>>);
+        let local: Option<Adjacency> = match axis {
+            Axis::Child | Axis::Parent => {
+                let mut succ = vec![Vec::new(); n];
+                let mut pred = vec![Vec::new(); n];
+                for v in tree.nodes() {
+                    if let Some(p) = tree.parent(v) {
+                        succ[p.index()].push(v);
+                        pred[v.index()].push(p);
+                    }
+                }
+                Some(if axis == Axis::Child {
+                    (succ, pred)
+                } else {
+                    (pred, succ)
+                })
+            }
+            Axis::NextSibling | Axis::PrevSibling => {
+                let mut succ = vec![Vec::new(); n];
+                let mut pred = vec![Vec::new(); n];
+                for v in tree.nodes() {
+                    if let Some(next) = tree.next_sibling(v) {
+                        succ[v.index()].push(next);
+                        pred[next.index()].push(v);
+                    }
+                }
+                Some(if axis == Axis::NextSibling {
+                    (succ, pred)
+                } else {
+                    (pred, succ)
+                })
+            }
+            Axis::SelfAxis => {
+                let diagonal: Vec<Vec<NodeId>> = tree.nodes().map(|v| vec![v]).collect();
+                Some((diagonal.clone(), diagonal))
+            }
+            _ => None,
+        };
+        if let Some((successors, predecessors)) = local {
+            debug_assert!(successors
+                .iter()
+                .chain(&predecessors)
+                .all(|list| list.windows(2).all(|w| w[0] < w[1])));
+            let pair_count = successors.iter().map(Vec::len).sum();
+            return MaterializedRelation {
+                name,
+                successors,
+                predecessors,
+                pair_count,
+            };
+        }
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
         let mut pair_count = 0;
         for u in tree.nodes() {
             for v in axis.successors(tree, u) {
@@ -41,11 +106,16 @@ impl MaterializedRelation {
                 pair_count += 1;
             }
         }
+        // Successor lists from `Axis::successors` are not sorted by raw index
+        // for every axis, but predecessors are appended in increasing `u`;
+        // skip the sort wherever insertion order is already sorted.
         for list in successors.iter_mut().chain(predecessors.iter_mut()) {
-            list.sort_unstable();
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                list.sort_unstable();
+            }
         }
         MaterializedRelation {
-            name: axis.paper_name().to_owned(),
+            name,
             successors,
             predecessors,
             pair_count,

@@ -229,6 +229,28 @@ impl TreeBuilder {
             }
         }
 
+        // Rank-space views of the structural index, used by the word-parallel
+        // semijoin kernels: everything indexed by pre-order rank so the hot
+        // loops touch memory sequentially and never chase NodeIds.
+        let mut pre_end_by_pre = vec![0u32; n];
+        let mut parent_by_pre = vec![Tree::NO_PARENT; n];
+        let mut prev_sibling_by_pre = vec![Tree::NO_PARENT; n];
+        let mut next_sibling_by_pre = vec![Tree::NO_PARENT; n];
+        let mut pre_is_identity = true;
+        for (rank, &node) in pre_to_node.iter().enumerate() {
+            pre_end_by_pre[rank] = pre_end[node.index()];
+            if let Some(p) = self.parent[node.index()] {
+                parent_by_pre[rank] = pre[p.index()];
+            }
+            if let Some(s) = prev_sibling[node.index()] {
+                prev_sibling_by_pre[rank] = pre[s.index()];
+            }
+            if let Some(s) = next_sibling[node.index()] {
+                next_sibling_by_pre[rank] = pre[s.index()];
+            }
+            pre_is_identity &= node.index() == rank;
+        }
+
         Ok(Tree {
             interner: self.interner,
             labels: self.labels,
@@ -245,6 +267,11 @@ impl TreeBuilder {
             pre_to_node,
             post_to_node,
             bflr_to_node,
+            pre_end_by_pre,
+            parent_by_pre,
+            prev_sibling_by_pre,
+            next_sibling_by_pre,
+            pre_is_identity,
             label_nodes,
             root,
         })
@@ -271,6 +298,21 @@ pub struct Tree {
     pre_to_node: Vec<NodeId>,
     post_to_node: Vec<NodeId>,
     bflr_to_node: Vec<NodeId>,
+    /// `pre_end` of the node at pre-order rank `i` (rank-space view).
+    pre_end_by_pre: Vec<u32>,
+    /// Pre-order rank of the parent of the node at pre-order rank `i`
+    /// ([`Tree::NO_PARENT`] for the root).
+    parent_by_pre: Vec<u32>,
+    /// Pre-order rank of the previous sibling of the node at rank `i`
+    /// ([`Tree::NO_PARENT`] when there is none).
+    prev_sibling_by_pre: Vec<u32>,
+    /// Pre-order rank of the next sibling of the node at rank `i`
+    /// ([`Tree::NO_PARENT`] when there is none).
+    next_sibling_by_pre: Vec<u32>,
+    /// Whether raw node indices coincide with pre-order ranks (true for any
+    /// tree built in DFS order, e.g. by the term parser); set conversions
+    /// between the two spaces degrade to memcpys in that case.
+    pre_is_identity: bool,
     label_nodes: Vec<NodeSet>,
     root: NodeId,
 }
@@ -459,6 +501,98 @@ impl Tree {
     /// Largest pre-order rank occurring in the subtree of `node`.
     pub fn pre_end(&self, node: NodeId) -> u32 {
         self.pre_end[node.index()]
+    }
+
+    /// Sentinel in [`Tree::parent_by_pre`] marking the root (no parent).
+    pub const NO_PARENT: u32 = u32::MAX;
+
+    /// `pre_end` indexed by pre-order rank: `pre_end_by_pre()[i]` is the
+    /// largest pre-order rank inside the subtree of the node at rank `i`.
+    ///
+    /// This is the interval array consumed by
+    /// [`NodeSet::prefix_or_within_intervals`]: subtree intervals in pre-order
+    /// rank space are laminar, which is what makes the descendant-closure
+    /// semijoin a blockwise fill.
+    pub fn pre_end_by_pre(&self) -> &[u32] {
+        &self.pre_end_by_pre
+    }
+
+    /// Parent pre-order rank indexed by pre-order rank
+    /// ([`Tree::NO_PARENT`] for the root).
+    pub fn parent_by_pre(&self) -> &[u32] {
+        &self.parent_by_pre
+    }
+
+    /// Previous-sibling pre-order rank indexed by pre-order rank
+    /// ([`Tree::NO_PARENT`] when there is none). Lets sibling-chain walks in
+    /// rank space hop one array instead of converting rank → node → sibling
+    /// → rank per step.
+    pub fn prev_sibling_by_pre(&self) -> &[u32] {
+        &self.prev_sibling_by_pre
+    }
+
+    /// Next-sibling pre-order rank indexed by pre-order rank
+    /// ([`Tree::NO_PARENT`] when there is none).
+    pub fn next_sibling_by_pre(&self) -> &[u32] {
+        &self.next_sibling_by_pre
+    }
+
+    /// Whether raw node indices coincide with pre-order ranks on this tree.
+    pub fn pre_is_identity(&self) -> bool {
+        self.pre_is_identity
+    }
+
+    // ---- rank-space set conversions -------------------------------------
+
+    /// Converts a raw-index [`NodeSet`] into **pre-order rank space** (bit
+    /// `i` set iff the node with pre-order rank `i` is a member), writing
+    /// into `out` without allocating. The evaluation engines convert each
+    /// candidate set once, run the whole semijoin/arc-consistency fixpoint
+    /// on rank-space sets, and convert back at the end.
+    ///
+    /// # Panics
+    /// Panics if either set's capacity differs from the tree size.
+    pub fn to_pre_space_into(&self, set: &NodeSet, out: &mut NodeSet) {
+        assert_eq!(set.capacity(), self.len(), "NodeSet/tree size mismatch");
+        if self.pre_is_identity {
+            out.copy_from(set);
+            return;
+        }
+        out.clear();
+        for v in set.iter() {
+            out.insert(NodeId::from_index(self.pre[v.index()] as usize));
+        }
+    }
+
+    /// Allocating variant of [`Tree::to_pre_space_into`].
+    pub fn to_pre_space(&self, set: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::empty(self.len());
+        self.to_pre_space_into(set, &mut out);
+        out
+    }
+
+    /// Converts a pre-order rank-space [`NodeSet`] back to raw node indices,
+    /// writing into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics if either set's capacity differs from the tree size.
+    pub fn from_pre_space_into(&self, set: &NodeSet, out: &mut NodeSet) {
+        assert_eq!(set.capacity(), self.len(), "NodeSet/tree size mismatch");
+        if self.pre_is_identity {
+            out.copy_from(set);
+            return;
+        }
+        out.clear();
+        for rank in set.iter() {
+            out.insert(self.pre_to_node[rank.index()]);
+        }
+    }
+
+    /// Allocating variant of [`Tree::from_pre_space_into`].
+    pub fn from_pre_space(&self, set: &NodeSet) -> NodeSet {
+        let mut out = NodeSet::empty(self.len());
+        self.from_pre_space_into(set, &mut out);
+        out
     }
 
     /// Post-order rank of `node`.
@@ -667,6 +801,58 @@ mod tests {
         assert_eq!(t.len(), 4);
         assert_eq!(t.depth(tail), 3);
         assert!(t.has_label_name(tail, "R"));
+    }
+
+    #[test]
+    fn rank_space_index_arrays_are_consistent() {
+        let (t, _) = sample();
+        let ends = t.pre_end_by_pre();
+        let parents = t.parent_by_pre();
+        for node in t.nodes() {
+            let rank = t.pre_rank(node) as usize;
+            assert_eq!(ends[rank], t.pre_end(node));
+            match t.parent(node) {
+                Some(p) => assert_eq!(parents[rank], t.pre_rank(p)),
+                None => assert_eq!(parents[rank], Tree::NO_PARENT),
+            }
+            match t.prev_sibling(node) {
+                Some(s) => assert_eq!(t.prev_sibling_by_pre()[rank], t.pre_rank(s)),
+                None => assert_eq!(t.prev_sibling_by_pre()[rank], Tree::NO_PARENT),
+            }
+            match t.next_sibling(node) {
+                Some(s) => assert_eq!(t.next_sibling_by_pre()[rank], t.pre_rank(s)),
+                None => assert_eq!(t.next_sibling_by_pre()[rank], Tree::NO_PARENT),
+            }
+        }
+        // The sample tree is built in BFS-ish order, so pre-order is not the
+        // identity permutation on raw indices.
+        assert!(!t.pre_is_identity());
+    }
+
+    #[test]
+    fn pre_space_conversions_round_trip() {
+        let (t, n) = sample();
+        let set = NodeSet::from_nodes(t.len(), [n[0], n[2], n[4]]);
+        let pre = t.to_pre_space(&set);
+        assert_eq!(pre.len(), set.len());
+        for node in t.nodes() {
+            assert_eq!(
+                pre.contains(NodeId::from_index(t.pre_rank(node) as usize)),
+                set.contains(node)
+            );
+        }
+        assert_eq!(t.from_pre_space(&pre), set);
+        // A DFS-built tree takes the identity fast path.
+        let mut b = TreeBuilder::new();
+        let r = b.add_root(&["A"]);
+        let c = b.add_child(r, &["B"]);
+        b.add_child(c, &["C"]);
+        b.add_child(r, &["D"]);
+        let dfs = b.build().unwrap();
+        assert!(dfs.pre_is_identity());
+        let s = NodeSet::from_nodes(dfs.len(), [dfs.root()]);
+        assert_eq!(dfs.to_pre_space(&s), s);
+        assert_eq!(dfs.from_pre_space(&s), s);
     }
 
     #[test]

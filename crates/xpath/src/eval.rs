@@ -4,36 +4,48 @@
 //! step-by-step navigation, existential predicates) independently of the
 //! conjunctive-query machinery; the test-suite uses it to cross-check the
 //! XPath→CQ compiler against the CQ evaluation engines.
+//!
+//! A location path is evaluated *set-at-a-time in pre-order rank space*: the
+//! context set is converted once
+//! ([`Tree::to_pre_space`]), each navigation step is one in-place semijoin
+//! ([`cqt_core::support::pre_supported_targets`], the word-parallel
+//! rank-space kernels), the node test intersects with the tree's per-label
+//! set, and the result converts back once at the end of the path. Only the
+//! predicate filter — existential subpath evaluation — visits surviving
+//! nodes individually. This replaces the previous per-context-node
+//! `Axis::successors` enumeration, which materialized overlapping successor
+//! lists (quadratic on `//`-heavy paths).
 
-use cqt_trees::{NodeId, NodeSet, Tree};
+use cqt_core::support::pre_supported_targets;
+use cqt_trees::{NodeId, NodeSet, Order, Tree};
 
 use crate::ast::{LocationPath, NodeTest, Predicate, Step, XPathQuery};
 
-fn node_matches(tree: &Tree, node: NodeId, test: &NodeTest) -> bool {
-    match test {
-        NodeTest::Wildcard => true,
-        NodeTest::Label(name) => tree.has_label_name(node, name),
-    }
-}
-
-fn eval_step(tree: &Tree, context: &NodeSet, step: &Step) -> NodeSet {
-    let mut out = NodeSet::empty(tree.len());
-    for ctx in context.iter() {
-        for candidate in step.axis.successors(tree, ctx) {
-            if node_matches(tree, candidate, &step.node_test) && out.contains(candidate) {
-                continue;
-            }
-            if node_matches(tree, candidate, &step.node_test)
-                && step
-                    .predicates
-                    .iter()
-                    .all(|p| eval_predicate(tree, candidate, p))
-            {
-                out.insert(candidate);
-            }
+/// One navigation step, entirely in rank space: `current` is the context set
+/// (consumed as scratch), the result lands in `out`.
+fn eval_step_pre(tree: &Tree, current: &NodeSet, step: &Step, out: &mut NodeSet) {
+    pre_supported_targets(tree, step.axis, current, out);
+    match &step.node_test {
+        NodeTest::Wildcard => {}
+        NodeTest::Label(name) => {
+            out.intersect_with(&tree.to_pre_space(&tree.nodes_with_label_name(name)));
         }
     }
-    out
+    if !step.predicates.is_empty() {
+        let failing: Vec<NodeId> = out
+            .iter()
+            .filter(|&rank| {
+                let node = tree.node_at(Order::Pre, rank.index() as u32);
+                !step
+                    .predicates
+                    .iter()
+                    .all(|p| eval_predicate(tree, node, p))
+            })
+            .collect();
+        for rank in failing {
+            out.remove(rank);
+        }
+    }
 }
 
 fn eval_predicate(tree: &Tree, context: NodeId, predicate: &Predicate) -> bool {
@@ -50,14 +62,18 @@ fn eval_predicate(tree: &Tree, context: NodeId, predicate: &Predicate) -> bool {
 }
 
 fn eval_relative(tree: &Tree, context: &NodeSet, path: &LocationPath) -> NodeSet {
-    let mut current = context.clone();
+    // Convert into rank space once, run every step there with two
+    // ping-ponged buffers, convert back once.
+    let mut current = tree.to_pre_space(context);
+    let mut next = NodeSet::empty(tree.len());
     for step in &path.steps {
-        current = eval_step(tree, &current, step);
+        eval_step_pre(tree, &current, step, &mut next);
+        std::mem::swap(&mut current, &mut next);
         if current.is_empty() {
             break;
         }
     }
-    current
+    tree.from_pre_space(&current)
 }
 
 /// Evaluates one location path. Absolute paths start at the root; relative
