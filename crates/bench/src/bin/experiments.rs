@@ -11,6 +11,8 @@
 //! cargo run --release -p cqt-bench --bin experiments -- succinctness [max_n]
 //! cargo run --release -p cqt-bench --bin experiments -- bench \
 //!     [--bench-json out.json] [--bench-check ref.json]
+//! cargo run --release -p cqt-bench --bin experiments -- serve \
+//!     [--threads N] [--bench-json out.json] [--bench-check ref.json]
 //! ```
 //!
 //! Each subcommand regenerates one of the paper's tables/figures
@@ -26,6 +28,17 @@
 //! timing against a reference JSON and exits non-zero on a >3× regression —
 //! CI runs this against the committed baseline.
 //!
+//! The `serve` subcommand is the throughput harness for the `cqt-service`
+//! serving layer: it batches a mixed workload (acyclic / tractable-cyclic /
+//! NP-hard conjunctive queries plus XPath) over a corpus of prepared trees,
+//! runs it single-threaded and multi-threaded, and reports QPS, p50/p99
+//! latency, the multi-vs-single within-run speedup and the plan-cache
+//! counters. `--bench-json` writes the numbers; `--bench-check` compares the
+//! within-run speedup against a reference JSON (the committed `BENCH_3.json`)
+//! and exits non-zero when it collapsed by more than 3× — like the kernel
+//! gate, a ratio of two same-machine measurements, so runner speed (and
+//! core count) largely cancel out.
+//!
 //! The `--smoke` flag (usable with any subcommand, and what CI runs) caps
 //! every instance size so the full `all` sweep finishes in seconds: the
 //! tables lose their statistical weight but every code path still executes.
@@ -33,8 +46,8 @@
 use std::time::{Duration, Instant};
 
 use cqt_bench::{
-    benchmark_tree, chain_query, fmt_duration, query_over_signature, scalar_arc_consistent_from,
-    time_mean, time_median_ns,
+    benchmark_corpus, benchmark_tree, chain_query, fmt_duration, query_over_signature,
+    scalar_arc_consistent_from, time_mean, time_median_ns,
 };
 use cqt_core::{
     Engine, EvalStrategy, MacSolver, SignatureAnalysis, Tractability, XPropertyEvaluator,
@@ -108,10 +121,21 @@ fn main() {
     };
     let bench_json = take_value_flag(&mut args, "--bench-json");
     let bench_check = take_value_flag(&mut args, "--bench-check");
+    let threads = take_value_flag(&mut args, "--threads").map(|t| match t.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("--threads requires a positive integer");
+            std::process::exit(1);
+        }
+    });
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
     let command = args.first().map(String::as_str).unwrap_or("all");
-    if command != "bench" && (bench_json.is_some() || bench_check.is_some()) {
-        eprintln!("--bench-json/--bench-check are only valid with the `bench` subcommand");
+    if !matches!(command, "bench" | "serve") && (bench_json.is_some() || bench_check.is_some()) {
+        eprintln!("--bench-json/--bench-check are only valid with `bench` or `serve`");
+        std::process::exit(1);
+    }
+    if command != "serve" && threads.is_some() {
+        eprintln!("--threads is only valid with the `serve` subcommand");
         std::process::exit(1);
     }
     match command {
@@ -129,6 +153,12 @@ fn main() {
             succinctness(max_n);
         }
         "bench" => bench_baseline(smoke, bench_json.as_deref(), bench_check.as_deref()),
+        "serve" => serve(
+            smoke,
+            threads,
+            bench_json.as_deref(),
+            bench_check.as_deref(),
+        ),
         "all" => {
             table1(&scale);
             table2();
@@ -591,6 +621,171 @@ fn bench_baseline(smoke: bool, json_path: Option<&str>, check_path: Option<&str>
     if let Some(path) = check_path {
         check_regression(path, smoke_anchor_ns, smoke_anchor_speedup);
     }
+}
+
+/// The throughput harness for the serving layer: a mixed (query × tree)
+/// batch executed single-threaded and multi-threaded, with the within-run
+/// speedup as the gated metric.
+fn serve(smoke: bool, threads: Option<usize>, json_path: Option<&str>, check_path: Option<&str>) {
+    use cqt_service::{QuerySpec, ServiceConfig, ServiceRunner, Workload};
+    use cqt_trees::PreparedTree;
+    use std::sync::Arc;
+
+    header("Serving throughput — compiled plans over prepared trees");
+    let (tree_sizes, sentences, repeats): (&[usize], usize, usize) = if smoke {
+        (&[2_000, 6_000], 80, 30)
+    } else {
+        (&[50_000, 200_000], 1_000, 30)
+    };
+    let multi_threads = threads.unwrap_or(4).max(1);
+
+    // The document corpus: random trees over the benchmark alphabet plus a
+    // synthetic treebank (the introduction's workload shape).
+    let mut trees: Vec<Arc<PreparedTree>> = Vec::new();
+    for (i, &nodes) in tree_sizes.iter().enumerate() {
+        trees.push(Arc::new(PreparedTree::new(benchmark_tree(
+            nodes,
+            40 + i as u64,
+        ))));
+    }
+    trees.push(Arc::new(PreparedTree::new(benchmark_corpus(sentences, 9))));
+
+    // The query mix: every engine strategy plus the XPath front-end.
+    let queries = vec![
+        QuerySpec::from_cq(chain_query(Axis::ChildPlus, 5)),
+        QuerySpec::parse_cq("Q(y) :- A(x), Child+(x, y), B(y).").expect("valid query"),
+        QuerySpec::parse_cq("Q() :- A(x), Child(x, y), B(y), NextSibling(y, z), C(z).")
+            .expect("valid query"),
+        QuerySpec::from_cq(figure1_query()),
+        QuerySpec::parse_xpath("//A[B]/following::C").expect("valid xpath"),
+        QuerySpec::parse_xpath("//NP[NN]/following::PP | //B/ancestor::A").expect("valid xpath"),
+    ];
+    let workload = Workload::new(queries, trees, repeats);
+    println!(
+        "workload: {} queries x {} trees x {} repeats = {} requests",
+        workload.queries.len(),
+        workload.trees.len(),
+        workload.repeats,
+        workload.request_count()
+    );
+    for (i, tree) in workload.trees.iter().enumerate() {
+        println!(
+            "  tree[{i}]: {} nodes (structure hash {:016x})",
+            tree.tree().len(),
+            tree.structure_hash()
+        );
+    }
+
+    // Warm the per-tree caches AND the shared plan cache once, so both timed
+    // runs measure steady-state serving: no lazy label-set conversion and no
+    // plan compilation inside the timed loops.
+    let cache = std::sync::Arc::new(cqt_service::PlanCache::new());
+    let warm = ServiceRunner::with_cache(
+        ServiceConfig::with_threads(1),
+        std::sync::Arc::clone(&cache),
+    );
+    warm.run(&Workload::new(
+        workload.queries.clone(),
+        workload.trees.clone(),
+        1,
+    ));
+
+    let single = ServiceRunner::with_cache(
+        ServiceConfig::with_threads(1),
+        std::sync::Arc::clone(&cache),
+    )
+    .run(&workload);
+    let multi = ServiceRunner::with_cache(
+        ServiceConfig::with_threads(multi_threads),
+        std::sync::Arc::clone(&cache),
+    )
+    .run(&workload);
+    assert_eq!(
+        single.answer_fingerprint, multi.answer_fingerprint,
+        "single- and multi-threaded runs must produce identical answers"
+    );
+
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "threads", "requests", "QPS", "p50", "p99", "wall"
+    );
+    for report in [&single, &multi] {
+        println!(
+            "{:<10} {:>10} {:>12.0} {:>12} {:>12} {:>12}",
+            report.threads,
+            report.requests,
+            report.qps,
+            fmt_ns(report.latency.p50_ns as f64),
+            fmt_ns(report.latency.p99_ns as f64),
+            fmt_ns(report.wall_ns as f64),
+        );
+    }
+    let speedup = multi.qps / single.qps.max(1e-12);
+    let cache_stats = multi.plan_cache;
+    println!(
+        "\nserve_speedup ({multi_threads} threads vs 1) = {speedup:.2}x \
+         (available parallelism: {})",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    println!(
+        "plan cache (cumulative over warm + both timed runs): {} plans compiled, \
+         {} analyses, {} hits — the timed runs compile nothing, and the \
+         relation/label caches re-derive nothing across repeats",
+        cache_stats.misses, cache_stats.analyses, cache_stats.hits
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"cq-trees-serve-bench/1\",\n  \"mode\": \"{}\",\n  \
+             \"threads_single\": 1,\n  \"threads_multi\": {},\n  \
+             \"requests\": {},\n  \"qps_single\": {:.1},\n  \"qps_multi\": {:.1},\n  \
+             \"serve_speedup\": {:.3},\n  \
+             \"single\": {},\n  \"multi\": {}\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            multi_threads,
+            workload.request_count(),
+            single.qps,
+            multi.qps,
+            speedup,
+            single.to_json(),
+            multi.to_json(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        check_serve_regression(path, speedup);
+    }
+}
+
+/// Compares the current multi-vs-single-thread speedup against a reference
+/// JSON; exits non-zero when it collapsed by more than 3×. Same
+/// machine-independence argument as [`check_regression`]: both numbers are
+/// within-run ratios, so absolute machine speed cancels; only the serving
+/// layer's scaling behaviour moves them.
+fn check_serve_regression(ref_path: &str, current_speedup: f64) {
+    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
+        eprintln!("cannot read serve reference {ref_path}: {e}");
+        std::process::exit(1);
+    });
+    let Some(ref_speedup) = extract_json_number(&reference, "serve_speedup") else {
+        eprintln!("no serve_speedup in {ref_path}");
+        std::process::exit(1);
+    };
+    println!(
+        "serve-check: multi-thread speedup {current_speedup:.2}x vs reference {ref_speedup:.2}x"
+    );
+    if current_speedup < ref_speedup / 3.0 {
+        eprintln!(
+            "serve-check FAILED: multi-thread throughput speedup collapsed more than 3x \
+             vs the committed baseline"
+        );
+        std::process::exit(1);
+    }
+    println!("serve-check passed");
 }
 
 fn fmt_ns(ns: f64) -> String {

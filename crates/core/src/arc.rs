@@ -27,7 +27,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use cqt_query::{ConjunctiveQuery, Var};
-use cqt_trees::{Axis, MaterializedRelation, NodeId, NodeSet, Tree};
+use cqt_trees::{Axis, MaterializedRelation, NodeId, NodeSet, PreparedTree, Tree};
 
 use crate::prevaluation::Prevaluation;
 use crate::support::{pre_supported_sources, pre_supported_targets};
@@ -52,8 +52,11 @@ pub fn initial_prevaluation(tree: &Tree, query: &ConjunctiveQuery) -> Prevaluati
 /// in the steady state.
 #[derive(Debug, Default)]
 pub struct AcScratch {
-    /// Rank-space candidate set per variable.
-    sets: Vec<NodeSet>,
+    /// Rank-space candidate set per variable. The compiled-query fast path
+    /// ([`crate::compiled`]) loads these directly from a
+    /// [`cqt_trees::PreparedTree`]'s cached label sets and reads the fixpoint
+    /// back out, which is why they are crate-visible.
+    pub(crate) sets: Vec<NodeSet>,
     /// Scratch for the freshly computed support set of one revision.
     support: NodeSet,
     /// Worklist of directed arcs, encoded as `atom_index * 2 + direction`
@@ -149,7 +152,6 @@ fn propagate(
     start: &Prevaluation,
     scratch: &mut AcScratch,
 ) -> bool {
-    let atoms = query.axis_atoms();
     let n = tree.len();
     let var_count = query.var_count();
 
@@ -165,6 +167,27 @@ fn propagate(
             return false;
         }
         tree.to_pre_space_into(domain, set);
+    }
+    propagate_loaded(tree, query, scratch)
+}
+
+/// The revision loop of [`propagate`], operating on candidate sets that are
+/// **already loaded** into `scratch.sets` in pre-order rank space (one set
+/// per query variable, each with capacity `tree.len()`). Used directly by the
+/// compiled-query fast path, which loads the start sets from a prepared
+/// tree's cached label sets instead of going through a raw-space
+/// [`Prevaluation`]. On success the fixpoint is left in `scratch.sets`.
+pub(crate) fn propagate_loaded(
+    tree: &Tree,
+    query: &ConjunctiveQuery,
+    scratch: &mut AcScratch,
+) -> bool {
+    let atoms = query.axis_atoms();
+    let n = tree.len();
+    let var_count = query.var_count();
+    debug_assert!(scratch.sets.len() >= var_count);
+    if scratch.sets[..var_count].iter().any(NodeSet::is_empty) {
+        return false;
     }
     if scratch.support.capacity() != n {
         scratch.support = NodeSet::empty(n);
@@ -250,17 +273,40 @@ pub fn arc_consistent_prevaluation_hornsat(
     tree: &Tree,
     query: &ConjunctiveQuery,
 ) -> Option<Prevaluation> {
-    let n = tree.len();
-    let var_count = query.var_count();
-    let atoms = query.axis_atoms();
-
-    // Materialize each distinct axis once.
+    // Materialize each distinct axis once (and only for this call — use
+    // [`arc_consistent_prevaluation_hornsat_prepared`] to reuse relations
+    // across calls on the same tree).
     let mut relations: HashMap<Axis, MaterializedRelation> = HashMap::new();
-    for atom in atoms {
+    for atom in query.axis_atoms() {
         relations
             .entry(atom.axis)
             .or_insert_with(|| MaterializedRelation::from_axis(tree, atom.axis));
     }
+    hornsat_fixpoint(tree, query, |axis| &relations[&axis])
+}
+
+/// [`arc_consistent_prevaluation_hornsat`] over a [`PreparedTree`]: the axis
+/// relations come from the prepared tree's shared cache, so repeated queries
+/// over the same document materialize each axis at most once (assert via
+/// [`PreparedTree::relation_builds`]).
+pub fn arc_consistent_prevaluation_hornsat_prepared(
+    prepared: &PreparedTree,
+    query: &ConjunctiveQuery,
+) -> Option<Prevaluation> {
+    hornsat_fixpoint(prepared.tree(), query, |axis| prepared.relation(axis))
+}
+
+/// The AC-4 unit-resolution fixpoint shared by the owned-relation and
+/// prepared-tree entry points; `relation` resolves an axis to its
+/// materialized extension.
+fn hornsat_fixpoint<'a>(
+    tree: &Tree,
+    query: &ConjunctiveQuery,
+    relation: impl Fn(Axis) -> &'a MaterializedRelation,
+) -> Option<Prevaluation> {
+    let n = tree.len();
+    let var_count = query.var_count();
+    let atoms = query.axis_atoms();
 
     // Membership matrix: alive[var][node].
     let mut alive: Vec<Vec<bool>> = vec![vec![true; n]; var_count];
@@ -298,15 +344,21 @@ pub fn arc_consistent_prevaluation_hornsat(
     // axis — and atoms sharing an axis clone them (a memcpy), so
     // initialization is O(#axes · n + #atoms · n/word) rather than one
     // adjacency-list length lookup per (atom, node).
+    // Resolve each atom's relation once; the unit-propagation loop below runs
+    // per (removal, atom) and must not pay a hash lookup per iteration.
+    let rel_of_atom: Vec<&MaterializedRelation> =
+        atoms.iter().map(|atom| relation(atom.axis)).collect();
     let mut degrees: HashMap<Axis, (Vec<usize>, Vec<usize>)> = HashMap::new();
-    for (&axis, rel) in &relations {
-        let mut sc = vec![0usize; n];
-        let mut pc = vec![0usize; n];
-        for node in tree.nodes() {
-            sc[node.index()] = rel.successors(node).len();
-            pc[node.index()] = rel.predecessors(node).len();
-        }
-        degrees.insert(axis, (sc, pc));
+    for (atom, rel) in atoms.iter().zip(&rel_of_atom) {
+        degrees.entry(atom.axis).or_insert_with(|| {
+            let mut sc = vec![0usize; n];
+            let mut pc = vec![0usize; n];
+            for node in tree.nodes() {
+                sc[node.index()] = rel.successors(node).len();
+                pc[node.index()] = rel.predecessors(node).len();
+            }
+            (sc, pc)
+        });
     }
     let mut succ_count: Vec<Vec<usize>> = Vec::with_capacity(atoms.len());
     let mut pred_count: Vec<Vec<usize>> = Vec::with_capacity(atoms.len());
@@ -315,10 +367,6 @@ pub fn arc_consistent_prevaluation_hornsat(
         succ_count.push(sc.clone());
         pred_count.push(pc.clone());
     }
-    // Resolve each atom's relation once; the unit-propagation loop below runs
-    // per (removal, atom) and must not pay a hash lookup per iteration.
-    let rel_of_atom: Vec<&MaterializedRelation> =
-        atoms.iter().map(|atom| &relations[&atom.axis]).collect();
     // Nodes with no support at all are removed up front.
     for (a, atom) in atoms.iter().enumerate() {
         for node in tree.nodes() {
@@ -506,6 +554,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn prepared_hornsat_agrees_and_reuses_cached_relations() {
+        let prepared = PreparedTree::new(parse_term("A(B(D, E), C(D, B(E)))").unwrap());
+        let queries = [
+            "Q() :- A(x), Child+(x, y), E(y).",
+            "Q() :- B(x), Following(x, y), B(y).",
+            "Q() :- A(x), Child+(x, y), Following(y, z), E(z).",
+        ];
+        for text in queries {
+            let query = parse_query(text).unwrap();
+            let plain = arc_consistent_prevaluation_hornsat(prepared.tree(), &query);
+            let cached = arc_consistent_prevaluation_hornsat_prepared(&prepared, &query);
+            assert_eq!(plain, cached, "prepared engine disagrees on {text}");
+        }
+        // The three queries mention two distinct axes; repeating the whole
+        // batch must not materialize anything new.
+        let builds = prepared.relation_builds();
+        assert_eq!(builds, 2);
+        for text in queries {
+            let query = parse_query(text).unwrap();
+            arc_consistent_prevaluation_hornsat_prepared(&prepared, &query);
+        }
+        assert_eq!(prepared.relation_builds(), builds);
     }
 
     #[test]

@@ -11,15 +11,12 @@
 //! harness uses to compare the evaluators against each other.
 
 use cqt_query::{ConjunctiveQuery, PositiveQuery};
-use cqt_trees::{NodeId, Tree};
+use cqt_trees::{NodeId, PreparedTree, Tree};
 use serde::{Deserialize, Serialize};
 
-use crate::mac::MacSolver;
-use crate::naive::NaiveEvaluator;
-use crate::poly_eval::XPropertyEvaluator;
+use crate::compiled::{CompiledQuery, ExecScratch};
 use crate::prevaluation::Valuation;
 use crate::tractability::{SignatureAnalysis, Tractability};
-use crate::yannakakis::YannakakisEvaluator;
 
 /// Which evaluator to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,22 +118,16 @@ impl Engine {
     /// signature classification that informed the choice.
     pub fn plan(&self, query: &ConjunctiveQuery) -> (SelectedStrategy, Tractability) {
         let classification = SignatureAnalysis::analyse_query(query);
-        let selected = match self.strategy {
-            EvalStrategy::XProperty => SelectedStrategy::XProperty,
-            EvalStrategy::Mac => SelectedStrategy::Mac,
-            EvalStrategy::Yannakakis => SelectedStrategy::Yannakakis,
-            EvalStrategy::Naive => SelectedStrategy::Naive,
-            EvalStrategy::Auto => {
-                if query.is_acyclic() {
-                    SelectedStrategy::Yannakakis
-                } else if classification.is_polynomial() {
-                    SelectedStrategy::XProperty
-                } else {
-                    SelectedStrategy::Mac
-                }
-            }
-        };
+        let selected = crate::compiled::select_strategy(query, self.strategy, &classification);
         (selected, classification)
+    }
+
+    /// Compiles `query` into a reusable execution plan carrying this engine's
+    /// strategy — the one-time phase of the prepare/execute split. Serving
+    /// callers hold on to the result (see [`CompiledQuery`]); the one-shot
+    /// `eval*` methods below compile on the fly and throw the plan away.
+    pub fn compile(&self, query: &ConjunctiveQuery) -> CompiledQuery {
+        CompiledQuery::compile_with(query.clone(), self.strategy)
     }
 
     /// Evaluates the Boolean reading of `query`.
@@ -145,78 +136,38 @@ impl Engine {
     /// Panics if a forced strategy cannot handle the query (X̲-property on an
     /// NP-hard signature, Yannakakis on a cyclic query).
     pub fn eval_boolean(&self, tree: &Tree, query: &ConjunctiveQuery) -> bool {
-        match self.plan(query).0 {
-            SelectedStrategy::Yannakakis => YannakakisEvaluator::new(tree)
-                .eval_boolean(query)
-                .expect("Yannakakis strategy requires an acyclic query"),
-            SelectedStrategy::XProperty => XPropertyEvaluator::for_query(tree, query)
-                .expect("X-property strategy requires a tractable signature")
-                .eval_boolean(query),
-            SelectedStrategy::Mac => MacSolver::new(tree).eval_boolean(query),
-            SelectedStrategy::Naive => NaiveEvaluator::new(tree).eval_boolean(query),
-        }
+        self.compile(query)
+            .eval_boolean_on(tree, &mut ExecScratch::new())
     }
 
     /// Returns some satisfaction of `query`, if one exists.
     pub fn witness(&self, tree: &Tree, query: &ConjunctiveQuery) -> Option<Valuation> {
-        match self.plan(query).0 {
-            SelectedStrategy::Yannakakis => YannakakisEvaluator::new(tree)
-                .witness(query)
-                .expect("Yannakakis strategy requires an acyclic query"),
-            SelectedStrategy::XProperty => XPropertyEvaluator::for_query(tree, query)
-                .expect("X-property strategy requires a tractable signature")
-                .witness(query),
-            SelectedStrategy::Mac => MacSolver::new(tree).witness(query),
-            SelectedStrategy::Naive => NaiveEvaluator::new(tree).witness(query),
-        }
+        self.compile(query)
+            .witness_on(tree, &mut ExecScratch::new())
     }
 
     /// Whether `tuple` is in the answer of the k-ary `query`.
     pub fn check_tuple(&self, tree: &Tree, query: &ConjunctiveQuery, tuple: &[NodeId]) -> bool {
-        match self.plan(query).0 {
-            SelectedStrategy::Yannakakis => YannakakisEvaluator::new(tree)
-                .check_tuple(query, tuple)
-                .expect("Yannakakis strategy requires an acyclic query"),
-            SelectedStrategy::XProperty => XPropertyEvaluator::for_query(tree, query)
-                .expect("X-property strategy requires a tractable signature")
-                .check_tuple(query, tuple),
-            SelectedStrategy::Mac => MacSolver::new(tree).check_tuple(query, tuple),
-            SelectedStrategy::Naive => NaiveEvaluator::new(tree).check_tuple(query, tuple),
-        }
+        self.compile(query)
+            .check_tuple_on(tree, tuple, &mut ExecScratch::new())
     }
 
     /// Evaluates `query` and returns the full answer in the shape matching
     /// its arity (Boolean / node set / tuple relation).
     pub fn eval(&self, tree: &Tree, query: &ConjunctiveQuery) -> Answer {
-        match query.head_arity() {
-            0 => Answer::Boolean(self.eval_boolean(tree, query)),
-            1 => {
-                let nodes = match self.plan(query).0 {
-                    SelectedStrategy::Yannakakis => YannakakisEvaluator::new(tree)
-                        .eval_monadic(query)
-                        .expect("Yannakakis strategy requires an acyclic query"),
-                    SelectedStrategy::XProperty => XPropertyEvaluator::for_query(tree, query)
-                        .expect("X-property strategy requires a tractable signature")
-                        .eval_monadic(query),
-                    SelectedStrategy::Mac => MacSolver::new(tree).eval_monadic(query),
-                    SelectedStrategy::Naive => NaiveEvaluator::new(tree).eval_monadic(query),
-                };
-                Answer::Nodes(nodes.iter().collect())
-            }
-            _ => {
-                let tuples = match self.plan(query).0 {
-                    SelectedStrategy::Yannakakis => YannakakisEvaluator::new(tree)
-                        .eval_tuples(query)
-                        .expect("Yannakakis strategy requires an acyclic query"),
-                    SelectedStrategy::XProperty => XPropertyEvaluator::for_query(tree, query)
-                        .expect("X-property strategy requires a tractable signature")
-                        .eval_tuples(query),
-                    SelectedStrategy::Mac => MacSolver::new(tree).eval_tuples(query, usize::MAX),
-                    SelectedStrategy::Naive => NaiveEvaluator::new(tree).eval_tuples(query),
-                };
-                Answer::Tuples(tuples)
-            }
-        }
+        self.compile(query).eval_on(tree, &mut ExecScratch::new())
+    }
+
+    /// Evaluates `query` against a prepared tree, reusing its cached label
+    /// sets and the caller's scratch buffers — the serving path for callers
+    /// that do not keep compiled plans themselves.
+    pub fn eval_prepared(
+        &self,
+        prepared: &PreparedTree,
+        query: &ConjunctiveQuery,
+        scratch: &mut ExecScratch,
+    ) -> Answer {
+        self.compile(query).execute(prepared, scratch)
     }
 
     /// Evaluates a positive query (union of conjunctive queries): the union

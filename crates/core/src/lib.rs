@@ -31,11 +31,16 @@
 //!   desirable) and of acyclic positive queries.
 //! * [`engine`] — a façade that analyses the query and dispatches to the
 //!   appropriate evaluator.
+//! * [`compiled`] — the prepare/execute split for serving workloads: a
+//!   [`CompiledQuery`] runs the per-query analysis once and executes any
+//!   number of times against plain or prepared trees, with all mutable state
+//!   in a per-worker [`ExecScratch`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arc;
+pub mod compiled;
 pub mod engine;
 pub mod mac;
 pub mod naive;
@@ -46,8 +51,12 @@ pub mod tractability;
 pub mod xproperty;
 pub mod yannakakis;
 
-pub use arc::{arc_consistent_prevaluation, arc_consistent_prevaluation_hornsat, AcScratch};
-pub use engine::{Answer, Engine, EvalStrategy};
+pub use arc::{
+    arc_consistent_prevaluation, arc_consistent_prevaluation_hornsat,
+    arc_consistent_prevaluation_hornsat_prepared, AcScratch,
+};
+pub use compiled::{CompiledQuery, ExecScratch};
+pub use engine::{Answer, Engine, EvalStrategy, SelectedStrategy};
 pub use mac::MacSolver;
 pub use naive::NaiveEvaluator;
 pub use poly_eval::XPropertyEvaluator;
@@ -59,6 +68,7 @@ pub use yannakakis::YannakakisEvaluator;
 /// Convenience prelude re-exporting the most commonly used items.
 pub mod prelude {
     pub use crate::arc::arc_consistent_prevaluation;
+    pub use crate::compiled::{CompiledQuery, ExecScratch};
     pub use crate::engine::{Answer, Engine, EvalStrategy};
     pub use crate::mac::MacSolver;
     pub use crate::naive::NaiveEvaluator;

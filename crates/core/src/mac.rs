@@ -53,6 +53,12 @@ impl<'t> MacSolver<'t> {
         self.witness(query).is_some()
     }
 
+    /// [`MacSolver::eval_boolean`] with caller-provided propagation buffers,
+    /// for workers that serve many queries with one [`AcScratch`].
+    pub fn eval_boolean_with(&self, query: &ConjunctiveQuery, scratch: &mut AcScratch) -> bool {
+        self.witness_with(query, scratch).is_some()
+    }
+
     /// Evaluates the Boolean reading and reports search statistics.
     pub fn eval_boolean_with_stats(&self, query: &ConjunctiveQuery) -> (bool, SearchStats) {
         let mut stats = SearchStats::default();
@@ -64,10 +70,18 @@ impl<'t> MacSolver<'t> {
 
     /// Returns some satisfaction of `query`, if one exists.
     pub fn witness(&self, query: &ConjunctiveQuery) -> Option<Valuation> {
+        self.witness_with(query, &mut AcScratch::new())
+    }
+
+    /// [`MacSolver::witness`] with caller-provided propagation buffers.
+    pub fn witness_with(
+        &self,
+        query: &ConjunctiveQuery,
+        scratch: &mut AcScratch,
+    ) -> Option<Valuation> {
         let mut stats = SearchStats::default();
-        let mut scratch = AcScratch::new();
         let start = initial_prevaluation(self.tree, query);
-        self.solve(query, &start, &mut stats, &mut scratch)
+        self.solve(query, &start, &mut stats, scratch)
     }
 
     /// Whether `tuple` is an answer of the k-ary query.
@@ -75,6 +89,19 @@ impl<'t> MacSolver<'t> {
     /// # Panics
     /// Panics if `tuple.len()` differs from the head arity.
     pub fn check_tuple(&self, query: &ConjunctiveQuery, tuple: &[NodeId]) -> bool {
+        self.check_tuple_with(query, tuple, &mut AcScratch::new())
+    }
+
+    /// [`MacSolver::check_tuple`] with caller-provided propagation buffers.
+    ///
+    /// # Panics
+    /// Panics if `tuple.len()` differs from the head arity.
+    pub fn check_tuple_with(
+        &self,
+        query: &ConjunctiveQuery,
+        tuple: &[NodeId],
+        scratch: &mut AcScratch,
+    ) -> bool {
         assert_eq!(tuple.len(), query.head_arity(), "tuple arity mismatch");
         let mut start = initial_prevaluation(self.tree, query);
         for (&var, &node) in query.head().iter().zip(tuple) {
@@ -82,9 +109,7 @@ impl<'t> MacSolver<'t> {
             start.get_mut(var).intersect_with(&singleton);
         }
         let mut stats = SearchStats::default();
-        let mut scratch = AcScratch::new();
-        self.solve(query, &start, &mut stats, &mut scratch)
-            .is_some()
+        self.solve(query, &start, &mut stats, scratch).is_some()
     }
 
     /// The answer set of a monadic query.
@@ -92,13 +117,20 @@ impl<'t> MacSolver<'t> {
     /// # Panics
     /// Panics if the query is not monadic.
     pub fn eval_monadic(&self, query: &ConjunctiveQuery) -> NodeSet {
+        self.eval_monadic_with(query, &mut AcScratch::new())
+    }
+
+    /// [`MacSolver::eval_monadic`] with caller-provided propagation buffers.
+    ///
+    /// # Panics
+    /// Panics if the query is not monadic.
+    pub fn eval_monadic_with(&self, query: &ConjunctiveQuery, scratch: &mut AcScratch) -> NodeSet {
         assert!(query.is_monadic(), "eval_monadic requires a unary query");
         let head = query.head()[0];
         let mut out = NodeSet::empty(self.tree.len());
         // One global pass narrows the candidates before per-node checks.
-        let mut scratch = AcScratch::new();
         let initial = initial_prevaluation(self.tree, query);
-        let Some(global) = arc_consistent_closure(self.tree, query, &initial, &mut scratch) else {
+        let Some(global) = arc_consistent_closure(self.tree, query, &initial, scratch) else {
             return out;
         };
         // One reusable start buffer for every candidate check: the loop body
@@ -108,10 +140,7 @@ impl<'t> MacSolver<'t> {
             start.copy_from(&global);
             start.restrict_to_singleton(head, candidate);
             let mut stats = SearchStats::default();
-            if self
-                .solve(query, &start, &mut stats, &mut scratch)
-                .is_some()
-            {
+            if self.solve(query, &start, &mut stats, scratch).is_some() {
                 out.insert(candidate);
             }
         }
@@ -122,11 +151,20 @@ impl<'t> MacSolver<'t> {
     /// tuples; one empty tuple for a satisfied Boolean query). `limit` bounds
     /// the number of tuples returned (`usize::MAX` for all).
     pub fn eval_tuples(&self, query: &ConjunctiveQuery, limit: usize) -> Vec<Vec<NodeId>> {
+        self.eval_tuples_with(query, limit, &mut AcScratch::new())
+    }
+
+    /// [`MacSolver::eval_tuples`] with caller-provided propagation buffers.
+    pub fn eval_tuples_with(
+        &self,
+        query: &ConjunctiveQuery,
+        limit: usize,
+        scratch: &mut AcScratch,
+    ) -> Vec<Vec<NodeId>> {
         let mut answers: BTreeSet<Vec<NodeId>> = BTreeSet::new();
         let start = initial_prevaluation(self.tree, query);
         let mut stats = SearchStats::default();
-        let mut scratch = AcScratch::new();
-        self.enumerate(query, &start, &mut stats, &mut scratch, &mut |valuation| {
+        self.enumerate(query, &start, &mut stats, scratch, &mut |valuation| {
             answers.insert(valuation.head_tuple(query));
             answers.len() >= limit
         });

@@ -106,6 +106,20 @@ impl<'t> XPropertyEvaluator<'t> {
     /// # Panics
     /// Panics if `tuple.len()` differs from the query's head arity.
     pub fn check_tuple(&self, query: &ConjunctiveQuery, tuple: &[NodeId]) -> bool {
+        self.check_tuple_with(query, tuple, &mut AcScratch::new())
+    }
+
+    /// [`XPropertyEvaluator::check_tuple`] with caller-provided propagation
+    /// buffers, for workers that serve many queries with one [`AcScratch`].
+    ///
+    /// # Panics
+    /// Panics if `tuple.len()` differs from the query's head arity.
+    pub fn check_tuple_with(
+        &self,
+        query: &ConjunctiveQuery,
+        tuple: &[NodeId],
+        scratch: &mut AcScratch,
+    ) -> bool {
         assert_eq!(
             tuple.len(),
             query.head_arity(),
@@ -116,7 +130,7 @@ impl<'t> XPropertyEvaluator<'t> {
             let singleton = NodeSet::from_nodes(self.tree.len(), [node]);
             start.get_mut(var).intersect_with(&singleton);
         }
-        arc_consistent_check(self.tree, query, &start, &mut AcScratch::new())
+        arc_consistent_check(self.tree, query, &start, scratch)
     }
 
     /// Evaluates a monadic (unary) query: the set of nodes in the answer.
@@ -127,6 +141,15 @@ impl<'t> XPropertyEvaluator<'t> {
     /// # Panics
     /// Panics if the query is not monadic.
     pub fn eval_monadic(&self, query: &ConjunctiveQuery) -> NodeSet {
+        self.eval_monadic_with(query, &mut AcScratch::new())
+    }
+
+    /// [`XPropertyEvaluator::eval_monadic`] with caller-provided propagation
+    /// buffers.
+    ///
+    /// # Panics
+    /// Panics if the query is not monadic.
+    pub fn eval_monadic_with(&self, query: &ConjunctiveQuery, scratch: &mut AcScratch) -> NodeSet {
         assert!(query.is_monadic(), "eval_monadic requires a unary query");
         let head = query.head()[0];
         let mut result = NodeSet::empty(self.tree.len());
@@ -135,12 +158,11 @@ impl<'t> XPropertyEvaluator<'t> {
         };
         // One propagation per candidate, all sharing the same scratch and the
         // same restart prevaluation: the loop body allocates nothing.
-        let mut scratch = AcScratch::new();
         let mut start = global.clone();
         for candidate in global.get(head).iter() {
             start.copy_from(&global);
             start.restrict_to_singleton(head, candidate);
-            if arc_consistent_check(self.tree, query, &start, &mut scratch) {
+            if arc_consistent_check(self.tree, query, &start, scratch) {
                 result.insert(candidate);
             }
         }

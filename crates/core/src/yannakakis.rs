@@ -42,6 +42,56 @@ fn index_two(sets: &mut [NodeSet], support: Var, pruned: Var) -> (&NodeSet, &mut
     }
 }
 
+/// The two-pass semi-join reduction over candidate sets that are **already
+/// in pre-order rank space** (`sets[i]` is the candidate set of the variable
+/// with index `i`). Prunes in place and returns `false` iff some set became
+/// empty. Shared by [`YannakakisEvaluator::reduce`] and the compiled-query
+/// fast path, which loads the sets straight from a prepared tree's cached
+/// label sets.
+pub(crate) fn reduce_loaded(
+    tree: &Tree,
+    forest: &JoinForest,
+    sets: &mut [NodeSet],
+    scratch: &mut NodeSet,
+) -> bool {
+    for tree_component in &forest.components {
+        // Upward pass: children prune their parents, processed in reverse
+        // BFS order so that grandchildren have already pruned children.
+        for &var in tree_component.bfs_order.iter().rev() {
+            if let Some(&(parent, atom)) = tree_component.parent.get(&var) {
+                debug_assert_ne!(parent, var, "join forests have no self-loops");
+                let (child_set, parent_set) = index_two(sets, var, parent);
+                if atom.from == parent {
+                    // Atom is R(parent, var): parent needs an R-successor
+                    // among var's candidates.
+                    revise_sources(tree, atom.axis, child_set, parent_set, scratch);
+                } else {
+                    // Atom is R(var, parent): parent needs an R-predecessor.
+                    revise_targets(tree, atom.axis, child_set, parent_set, scratch);
+                }
+                if parent_set.is_empty() {
+                    return false;
+                }
+            }
+        }
+        // Downward pass: parents prune their children, in BFS order.
+        for &var in &tree_component.bfs_order {
+            if let Some(&(parent, atom)) = tree_component.parent.get(&var) {
+                let (parent_set, child_set) = index_two(sets, parent, var);
+                if atom.from == parent {
+                    revise_targets(tree, atom.axis, parent_set, child_set, scratch);
+                } else {
+                    revise_sources(tree, atom.axis, parent_set, child_set, scratch);
+                }
+                if child_set.is_empty() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 /// Error returned when the query handed to the Yannakakis evaluator is not
 /// acyclic.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -89,40 +139,8 @@ impl<'t> YannakakisEvaluator<'t> {
             .map(|i| self.tree.to_pre_space(pre.get(Var::from_index(i))))
             .collect();
         let mut scratch = NodeSet::empty(n);
-        for tree_component in &forest.components {
-            // Upward pass: children prune their parents, processed in reverse
-            // BFS order so that grandchildren have already pruned children.
-            for &var in tree_component.bfs_order.iter().rev() {
-                if let Some(&(parent, atom)) = tree_component.parent.get(&var) {
-                    debug_assert_ne!(parent, var, "join forests have no self-loops");
-                    let (child_set, parent_set) = index_two(&mut sets, var, parent);
-                    if atom.from == parent {
-                        // Atom is R(parent, var): parent needs an R-successor
-                        // among var's candidates.
-                        revise_sources(self.tree, atom.axis, child_set, parent_set, &mut scratch);
-                    } else {
-                        // Atom is R(var, parent): parent needs an R-predecessor.
-                        revise_targets(self.tree, atom.axis, child_set, parent_set, &mut scratch);
-                    }
-                    if parent_set.is_empty() {
-                        return None;
-                    }
-                }
-            }
-            // Downward pass: parents prune their children, in BFS order.
-            for &var in &tree_component.bfs_order {
-                if let Some(&(parent, atom)) = tree_component.parent.get(&var) {
-                    let (parent_set, child_set) = index_two(&mut sets, parent, var);
-                    if atom.from == parent {
-                        revise_targets(self.tree, atom.axis, parent_set, child_set, &mut scratch);
-                    } else {
-                        revise_sources(self.tree, atom.axis, parent_set, child_set, &mut scratch);
-                    }
-                    if child_set.is_empty() {
-                        return None;
-                    }
-                }
-            }
+        if !reduce_loaded(self.tree, forest, &mut sets, &mut scratch) {
+            return None;
         }
         for (i, set) in sets.iter().enumerate() {
             self.tree
@@ -149,10 +167,18 @@ impl<'t> YannakakisEvaluator<'t> {
     /// witness is assembled backtrack-free from the reduced candidate sets.
     pub fn witness(&self, query: &ConjunctiveQuery) -> Result<Option<Valuation>, NotAcyclicError> {
         let forest = query.graph().join_forest().ok_or(NotAcyclicError)?;
+        Ok(self.witness_with_forest(query, &forest))
+    }
+
+    /// [`YannakakisEvaluator::witness`] with a caller-provided join forest
+    /// (the compiled-query path builds it once at compile time).
+    pub(crate) fn witness_with_forest(
+        &self,
+        query: &ConjunctiveQuery,
+        forest: &JoinForest,
+    ) -> Option<Valuation> {
         let start = initial_prevaluation(self.tree, query);
-        let Some(pre) = self.reduce(query, &forest, start) else {
-            return Ok(None);
-        };
+        let pre = self.reduce(query, forest, start)?;
         let mut assignment: Vec<Option<NodeId>> = vec![None; query.var_count()];
         // Variables in join-tree components: choose the root freely, then
         // extend downward, always consistently with the already-chosen parent.
@@ -189,13 +215,13 @@ impl<'t> YannakakisEvaluator<'t> {
                 let var = Var::from_index(i);
                 match pre.get(var).any_member() {
                     Some(node) => *slot = Some(node),
-                    None => return Ok(None),
+                    None => return None,
                 }
             }
         }
         let valuation = Valuation::new(assignment.into_iter().map(Option::unwrap).collect());
         debug_assert!(valuation.is_satisfaction(self.tree, query));
-        Ok(Some(valuation))
+        Some(valuation)
     }
 
     /// Whether `tuple` is an answer of the acyclic k-ary query.
@@ -207,13 +233,28 @@ impl<'t> YannakakisEvaluator<'t> {
         query: &ConjunctiveQuery,
         tuple: &[NodeId],
     ) -> Result<bool, NotAcyclicError> {
+        let forest = query.graph().join_forest().ok_or(NotAcyclicError)?;
+        Ok(self.check_tuple_with_forest(query, &forest, tuple))
+    }
+
+    /// [`YannakakisEvaluator::check_tuple`] with a caller-provided join
+    /// forest.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity differs from the head arity.
+    pub(crate) fn check_tuple_with_forest(
+        &self,
+        query: &ConjunctiveQuery,
+        forest: &JoinForest,
+        tuple: &[NodeId],
+    ) -> bool {
         assert_eq!(tuple.len(), query.head_arity(), "tuple arity mismatch");
         let mut start = initial_prevaluation(self.tree, query);
         for (&var, &node) in query.head().iter().zip(tuple) {
             let singleton = NodeSet::from_nodes(self.tree.len(), [node]);
             start.get_mut(var).intersect_with(&singleton);
         }
-        Ok(self.reduced_prevaluation(query, start)?.is_some())
+        self.reduce(query, forest, start).is_some()
     }
 
     /// The answer set of an acyclic monadic query.
@@ -243,12 +284,23 @@ impl<'t> YannakakisEvaluator<'t> {
         &self,
         query: &ConjunctiveQuery,
     ) -> Result<Vec<Vec<NodeId>>, NotAcyclicError> {
+        let forest = query.graph().join_forest().ok_or(NotAcyclicError)?;
+        Ok(self.eval_tuples_with_forest(query, &forest))
+    }
+
+    /// [`YannakakisEvaluator::eval_tuples`] with a caller-provided join
+    /// forest, built once instead of per enumerated candidate tuple.
+    pub(crate) fn eval_tuples_with_forest(
+        &self,
+        query: &ConjunctiveQuery,
+        forest: &JoinForest,
+    ) -> Vec<Vec<NodeId>> {
         let start = initial_prevaluation(self.tree, query);
-        let Some(pre) = self.reduced_prevaluation(query, start)? else {
-            return Ok(Vec::new());
+        let Some(pre) = self.reduce(query, forest, start) else {
+            return Vec::new();
         };
         if query.is_boolean() {
-            return Ok(vec![Vec::new()]);
+            return vec![Vec::new()];
         }
         let domains: Vec<Vec<NodeId>> = query
             .head()
@@ -257,30 +309,30 @@ impl<'t> YannakakisEvaluator<'t> {
             .collect();
         let mut out = BTreeSet::new();
         let mut current = Vec::with_capacity(domains.len());
-        self.enumerate_rec(query, &domains, 0, &mut current, &mut out)?;
-        Ok(out.into_iter().collect())
+        self.enumerate_rec(query, forest, &domains, 0, &mut current, &mut out);
+        out.into_iter().collect()
     }
 
     fn enumerate_rec(
         &self,
         query: &ConjunctiveQuery,
+        forest: &JoinForest,
         domains: &[Vec<NodeId>],
         position: usize,
         current: &mut Vec<NodeId>,
         out: &mut BTreeSet<Vec<NodeId>>,
-    ) -> Result<(), NotAcyclicError> {
+    ) {
         if position == domains.len() {
-            if self.check_tuple(query, current)? {
+            if self.check_tuple_with_forest(query, forest, current) {
                 out.insert(current.clone());
             }
-            return Ok(());
+            return;
         }
         for &node in &domains[position] {
             current.push(node);
-            self.enumerate_rec(query, domains, position + 1, current, out)?;
+            self.enumerate_rec(query, forest, domains, position + 1, current, out);
             current.pop();
         }
-        Ok(())
     }
 
     // ---- acyclic positive queries (APQs) --------------------------------

@@ -14,8 +14,8 @@
 //!   `{Child, Child+}` (or `{Child, Child*}`) that is satisfied on the tree
 //!   iff the 1-in-3 3SAT instance is satisfiable — establishing NP-hardness
 //!   already for *query complexity*;
-//! * [`nand`] — the `NAND(k, l)` offset function of Table II used by the
-//!   `{Child, Following}` reduction of Theorem 5.2.
+//! * [`mod@nand`] — the `NAND(k, l)` offset function of Table II used by
+//!   the `{Child, Following}` reduction of Theorem 5.2.
 //!
 //! The remaining reductions of Section 5 (Theorems 5.2–5.8) modify the
 //! Theorem 5.2 clause gadget of Figure 5; that figure (like Figures 6 and 7)

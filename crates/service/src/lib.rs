@@ -1,0 +1,60 @@
+//! # cqt-service — the concurrent query-serving layer
+//!
+//! The paper's engines ([`cqt_core`]) answer one query on one tree. This
+//! crate turns them into a serving subsystem shaped like a production query
+//! engine's prepare/execute split:
+//!
+//! * **compile once** — a [`Plan`] runs the whole per-query phase (parse,
+//!   [`cqt_core::SignatureAnalysis`] against the Theorem 1.1 dichotomy,
+//!   strategy selection, optional CQ→APQ rewrite, XPath→CQ compilation) a
+//!   single time; the [`PlanCache`] memoizes plans under a signature +
+//!   structure key with hit/miss/analysis counters;
+//! * **prepare documents once** — trees enter the workload as
+//!   [`cqt_trees::PreparedTree`]s, whose materialized axis relations and
+//!   rank-space label sets are built lazily and shared across threads;
+//! * **execute many times, in parallel** — a [`ServiceRunner`] shards the
+//!   (query, tree) requests of a [`Workload`] over a fixed pool of OS
+//!   threads. Plans and prepared trees are shared immutably (`Arc`); all
+//!   mutable evaluation state lives in one [`cqt_core::ExecScratch`] per
+//!   worker, so evaluation allocates nothing in the steady state and the
+//!   only per-request shared access is a brief read-lock on the plan map
+//!   (cache keys are hashed once per workload query, and the write lock is
+//!   taken only while a plan is missing).
+//!
+//! The [`ServiceReport`] returned by a run carries throughput (QPS), latency
+//! percentiles (p50/p99), an order-independent answer fingerprint for
+//! cross-checking runs at different thread counts, and the plan-cache
+//! counters — all renderable as JSON for the benchmark harness
+//! (`experiments serve`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cqt_service::{QuerySpec, ServiceConfig, ServiceRunner, Workload};
+//! use cqt_trees::{parse::parse_term, PreparedTree};
+//!
+//! let tree = Arc::new(PreparedTree::new(parse_term("A(B(D), C(D, B))").unwrap()));
+//! let workload = Workload::new(
+//!     vec![
+//!         QuerySpec::parse_cq("Q(y) :- A(x), Child+(x, y), B(y).").unwrap(),
+//!         QuerySpec::parse_xpath("//B | //C").unwrap(),
+//!     ],
+//!     vec![tree],
+//!     100,
+//! );
+//! let report = ServiceRunner::new(ServiceConfig::with_threads(2)).run(&workload);
+//! assert_eq!(report.requests, 200);
+//! assert_eq!(report.plan_cache.misses, 2); // each plan compiled once
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod runner;
+pub mod stats;
+pub mod workload;
+
+pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanOptions};
+pub use runner::{ServiceConfig, ServiceRunner};
+pub use stats::{LatencySummary, ServiceReport};
+pub use workload::{QuerySpec, Workload};

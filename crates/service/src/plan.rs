@@ -1,0 +1,482 @@
+//! Compiled plans and the signature-keyed plan cache.
+//!
+//! A [`Plan`] is the executable form of a [`QuerySpec`]: one
+//! [`CompiledQuery`] for a conjunctive query, a union of them for an XPath
+//! query (one per acyclic disjunct) or for an NP-hard query that the
+//! optional CQ→APQ rewrite (Theorem 6.10) turned into an acyclic positive
+//! query. The [`PlanCache`] memoizes plans under a [`PlanKey`] — the query's
+//! axis signature plus a structural hash — so serving the same query text
+//! twice performs exactly one [`SignatureAnalysis`] pass (asserted by the
+//! [`PlanCacheStats::analyses`] counter).
+//!
+//! [`SignatureAnalysis`]: cqt_core::SignatureAnalysis
+
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use cqt_core::{Answer, CompiledQuery, EvalStrategy, ExecScratch};
+use cqt_query::ConjunctiveQuery;
+use cqt_rewrite::rewrite::{rewrite_to_apq_with, RewriteOptions};
+use cqt_trees::{NodeId, NodeSet, PreparedTree};
+use cqt_xpath::CompiledXPath;
+use rustc_hash::{FxHashMap, FxHasher};
+
+use crate::workload::QuerySpec;
+
+/// Options for the compile phase of the serving layer.
+#[derive(Clone, Debug)]
+pub struct PlanOptions {
+    /// The engine strategy compiled plans use (default: automatic).
+    pub strategy: EvalStrategy,
+    /// Rewrite NP-hard cyclic queries into acyclic positive queries
+    /// (Theorem 6.10) at plan time, so execution runs backtrack-free
+    /// Yannakakis passes instead of MAC search. Off by default: the rewrite
+    /// can be exponential (Theorem 7.1); plans fall back to MAC when the
+    /// disjunct cap is hit.
+    pub rewrite_nphard: bool,
+    /// Disjunct cap for the NP-hard rewrite.
+    pub rewrite_max_disjuncts: usize,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            strategy: EvalStrategy::Auto,
+            rewrite_nphard: false,
+            rewrite_max_disjuncts: 4_096,
+        }
+    }
+}
+
+/// Cache key: the query's axis signature (one bit per axis) plus a
+/// structural hash over its head, atoms and labels. Two queries that differ
+/// in any atom hash differently; the same text always hashes identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// One bit per [`cqt_trees::Axis`] occurring in the query.
+    pub signature: u64,
+    /// Structural hash of head, label atoms and axis atoms.
+    pub structure: u64,
+}
+
+impl PlanKey {
+    /// The key of a conjunctive query.
+    pub fn of_query(query: &ConjunctiveQuery) -> Self {
+        let mut signature = 0u64;
+        for axis in query.signature().iter() {
+            signature |= 1u64 << axis.index();
+        }
+        let mut hasher = FxHasher::default();
+        hasher.write_usize(query.var_count());
+        hasher.write_u8(b'H');
+        for &var in query.head() {
+            hasher.write_usize(var.index());
+        }
+        hasher.write_u8(b'L');
+        for atom in query.label_atoms() {
+            hasher.write_usize(atom.var.index());
+            hasher.write(atom.label.as_bytes());
+            hasher.write_u8(0);
+        }
+        hasher.write_u8(b'A');
+        for atom in query.axis_atoms() {
+            hasher.write_usize(atom.axis.index());
+            hasher.write_usize(atom.from.index());
+            hasher.write_usize(atom.to.index());
+        }
+        PlanKey {
+            signature,
+            structure: hasher.finish(),
+        }
+    }
+
+    /// The key of a workload query spec.
+    pub fn of_spec(spec: &QuerySpec) -> Self {
+        match spec {
+            QuerySpec::Cq(query) => Self::of_query(query),
+            QuerySpec::XPath(query) => {
+                // Hash the XPath surface form; distinct paths compiling to
+                // the same CQ shape are rare and a duplicate plan is harmless.
+                let mut hasher = FxHasher::default();
+                hasher.write(query.to_string().as_bytes());
+                PlanKey {
+                    signature: u64::MAX,
+                    structure: hasher.finish(),
+                }
+            }
+        }
+    }
+
+    /// Folds the compile options into the key. A [`PlanCache`] shared across
+    /// runners with different [`PlanOptions`] must not serve one runner a
+    /// plan compiled under another's strategy or rewrite settings.
+    pub fn with_options(mut self, options: &PlanOptions) -> Self {
+        let mut hasher = FxHasher::default();
+        hasher.write_u64(self.structure);
+        hasher.write_u8(match options.strategy {
+            EvalStrategy::Auto => 0,
+            EvalStrategy::XProperty => 1,
+            EvalStrategy::Mac => 2,
+            EvalStrategy::Yannakakis => 3,
+            EvalStrategy::Naive => 4,
+        });
+        hasher.write_u8(u8::from(options.rewrite_nphard));
+        if options.rewrite_nphard {
+            hasher.write_usize(options.rewrite_max_disjuncts);
+        }
+        self.structure = hasher.finish();
+        self
+    }
+}
+
+/// An executable plan: one compiled conjunctive query, or a union of
+/// compiled disjuncts (XPath unions, rewritten NP-hard queries).
+#[derive(Clone, Debug)]
+pub struct Plan {
+    disjuncts: Vec<CompiledQuery>,
+    head_arity: usize,
+}
+
+impl Plan {
+    /// Compiles `spec` under `options`. This is the entire one-time phase:
+    /// signature analysis, strategy selection and any rewrite happen here and
+    /// never at execution time.
+    pub fn compile(spec: &QuerySpec, options: &PlanOptions) -> (Plan, u64) {
+        match spec {
+            QuerySpec::Cq(query) => {
+                let head_arity = query.head_arity();
+                let plan = CompiledQuery::compile_with(query.clone(), options.strategy);
+                let mut analyses = 1;
+                if options.rewrite_nphard
+                    && !plan.classification().is_polynomial()
+                    && !query.is_acyclic()
+                {
+                    let rewrite_options = RewriteOptions {
+                        max_disjuncts: options.rewrite_max_disjuncts,
+                        ..RewriteOptions::default()
+                    };
+                    if let Ok((apq, _)) = rewrite_to_apq_with(query, &rewrite_options) {
+                        if apq.is_acyclic() {
+                            let disjuncts: Vec<CompiledQuery> = apq
+                                .disjuncts()
+                                .iter()
+                                .map(|d| CompiledQuery::compile(d.clone()))
+                                .collect();
+                            analyses += disjuncts.len() as u64;
+                            return (
+                                Plan {
+                                    disjuncts,
+                                    head_arity,
+                                },
+                                analyses,
+                            );
+                        }
+                    }
+                }
+                (
+                    Plan {
+                        disjuncts: vec![plan],
+                        head_arity,
+                    },
+                    analyses,
+                )
+            }
+            QuerySpec::XPath(query) => {
+                // One pipeline for XPath: reuse the front-end's own
+                // prepare/execute compiler rather than re-deriving it here.
+                let compiled = CompiledXPath::compile(query.clone());
+                let disjuncts = compiled.plans().to_vec();
+                let analyses = disjuncts.len() as u64;
+                (
+                    Plan {
+                        disjuncts,
+                        head_arity: 1,
+                    },
+                    analyses,
+                )
+            }
+        }
+    }
+
+    /// The compiled disjuncts (one for a plain conjunctive query).
+    pub fn disjuncts(&self) -> &[CompiledQuery] {
+        &self.disjuncts
+    }
+
+    /// Arity of the answer.
+    pub fn head_arity(&self) -> usize {
+        self.head_arity
+    }
+
+    /// Executes the plan against a prepared tree: the disjuncts' answers,
+    /// unioned in the shape matching the head arity.
+    pub fn execute(&self, prepared: &PreparedTree, scratch: &mut ExecScratch) -> Answer {
+        match self.head_arity {
+            0 => Answer::Boolean(
+                self.disjuncts
+                    .iter()
+                    .any(|plan| plan.execute_boolean(prepared, scratch)),
+            ),
+            1 => {
+                let mut nodes = NodeSet::empty(prepared.tree().len());
+                for plan in &self.disjuncts {
+                    nodes.union_with(&plan.execute_monadic(prepared, scratch));
+                }
+                Answer::Nodes(nodes.iter().collect())
+            }
+            _ => {
+                let mut tuples: std::collections::BTreeSet<Vec<NodeId>> = Default::default();
+                for plan in &self.disjuncts {
+                    if let Answer::Tuples(more) = plan.execute(prepared, scratch) {
+                        tuples.extend(more);
+                    }
+                }
+                Answer::Tuples(tuples.into_iter().collect())
+            }
+        }
+    }
+}
+
+/// Counters of a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that compiled a new plan.
+    pub misses: u64,
+    /// Total signature-analysis passes performed (one per compiled
+    /// conjunctive query, including rewrite/XPath disjuncts). Serving the
+    /// same query twice must not increase this.
+    pub analyses: u64,
+}
+
+/// One cache slot: the spec it was created for (checked on every lookup, so
+/// a 64-bit [`PlanKey`] hash collision can never serve the wrong plan) plus
+/// the once-compiled plan.
+#[derive(Debug)]
+struct CacheCell {
+    spec: QuerySpec,
+    plan: OnceLock<Arc<Plan>>,
+}
+
+/// A thread-safe memo of compiled plans, keyed by [`PlanKey`] (options
+/// folded in via [`PlanKey::with_options`]).
+///
+/// Shared by every worker of a [`crate::runner::ServiceRunner`] behind an
+/// `Arc`. The map only hands out per-key once-cells under its lock;
+/// compilation itself runs *outside* the map lock inside the key's cell, so
+/// each plan is compiled (and its signature analysed) exactly once no matter
+/// how many workers race for it, and a slow compile blocks only requests for
+/// that same key — hits on other keys proceed concurrently. Each cell
+/// remembers the spec it was compiled from; a lookup whose spec differs
+/// (a key collision) compiles uncached instead of serving the wrong plan.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<FxHashMap<PlanKey, Arc<CacheCell>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    analyses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the plan of `spec` under `options`, compiling (and memoizing)
+    /// it on first use.
+    pub fn get_or_compile(&self, spec: &QuerySpec, options: &PlanOptions) -> Arc<Plan> {
+        self.get_or_compile_keyed(PlanKey::of_spec(spec).with_options(options), spec, options)
+    }
+
+    /// [`PlanCache::get_or_compile`] with a caller-precomputed key — the
+    /// serving hot loop hashes each workload query once, not per request.
+    ///
+    /// `key` must be `PlanKey::of_spec(spec).with_options(options)`; passing
+    /// a mismatched key costs a redundant compile but never a wrong answer
+    /// (the cell's stored spec is compared on every lookup).
+    pub fn get_or_compile_keyed(
+        &self,
+        key: PlanKey,
+        spec: &QuerySpec,
+        options: &PlanOptions,
+    ) -> Arc<Plan> {
+        let cell = {
+            let plans = self.plans.read().expect("plan cache poisoned");
+            plans.get(&key).cloned()
+        };
+        let cell = cell.unwrap_or_else(|| {
+            let mut plans = self.plans.write().expect("plan cache poisoned");
+            Arc::clone(plans.entry(key).or_insert_with(|| {
+                Arc::new(CacheCell {
+                    spec: spec.clone(),
+                    plan: OnceLock::new(),
+                })
+            }))
+        });
+        if cell.spec != *spec {
+            // 64-bit key collision: serve a correct, uncached plan.
+            let (plan, analyses) = Plan::compile(spec, options);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.analyses.fetch_add(analyses, Ordering::Relaxed);
+            return Arc::new(plan);
+        }
+        // Compile outside the map lock: only racers for this key block here.
+        let mut compiled_now = false;
+        let plan = Arc::clone(cell.plan.get_or_init(|| {
+            let (plan, analyses) = Plan::compile(spec, options);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.analyses.fetch_add(analyses, Ordering::Relaxed);
+            compiled_now = true;
+            Arc::new(plan)
+        }));
+        if !compiled_now {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        plan
+    }
+
+    /// Number of distinct plans currently cached (including any whose first
+    /// compile is still in flight).
+    pub fn len(&self) -> usize {
+        self.plans.read().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The hit/miss/analysis counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            analyses: self.analyses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_core::{Engine, SelectedStrategy};
+    use cqt_query::cq::figure1_query;
+    use cqt_trees::parse::parse_term;
+
+    #[test]
+    fn same_query_text_twice_analyses_once() {
+        let cache = PlanCache::new();
+        let options = PlanOptions::default();
+        let first = cache.get_or_compile(
+            &QuerySpec::parse_cq("Q(x) :- A(x), Child(x, y), B(y).").unwrap(),
+            &options,
+        );
+        let second = cache.get_or_compile(
+            &QuerySpec::parse_cq("Q(x) :- A(x), Child(x, y), B(y).").unwrap(),
+            &options,
+        );
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.analyses, 1, "one SignatureAnalysis for one text");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_signatures_get_distinct_keys_and_plans() {
+        let cache = PlanCache::new();
+        let options = PlanOptions::default();
+        let tractable = QuerySpec::parse_cq("Q() :- A(x), Child+(x, y), Child*(x, y).").unwrap();
+        let hard = QuerySpec::from_cq(figure1_query());
+        let acyclic = QuerySpec::parse_cq("Q() :- A(x), Child(x, y), B(y).").unwrap();
+        assert_ne!(PlanKey::of_spec(&tractable), PlanKey::of_spec(&hard));
+        assert_ne!(PlanKey::of_spec(&tractable), PlanKey::of_spec(&acyclic));
+        let t = cache.get_or_compile(&tractable, &options);
+        let h = cache.get_or_compile(&hard, &options);
+        let a = cache.get_or_compile(&acyclic, &options);
+        assert_eq!(t.disjuncts()[0].strategy(), SelectedStrategy::XProperty);
+        assert_eq!(h.disjuncts()[0].strategy(), SelectedStrategy::Mac);
+        assert_eq!(a.disjuncts()[0].strategy(), SelectedStrategy::Yannakakis);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.analyses, 3);
+        assert_eq!(cache.len(), 3);
+        // Re-fetching each is a pure hit.
+        cache.get_or_compile(&tractable, &options);
+        cache.get_or_compile(&hard, &options);
+        assert_eq!(cache.stats().analyses, 3);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn plan_options_are_part_of_the_cache_key() {
+        let cache = PlanCache::new();
+        let spec = QuerySpec::from_cq(figure1_query());
+        let default_options = PlanOptions::default();
+        let rewrite_options = PlanOptions {
+            rewrite_nphard: true,
+            ..PlanOptions::default()
+        };
+        let mac_plan = cache.get_or_compile(&spec, &default_options);
+        let rewritten = cache.get_or_compile(&spec, &rewrite_options);
+        assert_eq!(mac_plan.disjuncts().len(), 1);
+        assert!(
+            rewritten.disjuncts().len() > 1,
+            "the rewrite-enabled runner must not be served the MAC plan"
+        );
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn structurally_different_queries_over_the_same_signature_differ() {
+        let a = QuerySpec::parse_cq("Q() :- A(x), Child(x, y).").unwrap();
+        let b = QuerySpec::parse_cq("Q() :- B(x), Child(x, y).").unwrap();
+        let c = QuerySpec::parse_cq("Q() :- A(x), Child(y, x).").unwrap();
+        let ka = PlanKey::of_spec(&a);
+        let kb = PlanKey::of_spec(&b);
+        let kc = PlanKey::of_spec(&c);
+        assert_eq!(ka.signature, kb.signature);
+        assert_ne!(ka.structure, kb.structure);
+        assert_ne!(ka.structure, kc.structure);
+    }
+
+    #[test]
+    fn rewritten_nphard_plan_matches_mac_answers() {
+        let tree = parse_term("CORPUS(S(NP(DT, NN), VP(VB, NP(NN), PP(IN, NP(NN)))))").unwrap();
+        let expected = Engine::new().eval(&tree, &figure1_query());
+        let prepared = PreparedTree::new(tree);
+        let options = PlanOptions {
+            rewrite_nphard: true,
+            ..PlanOptions::default()
+        };
+        let (plan, analyses) = Plan::compile(&QuerySpec::from_cq(figure1_query()), &options);
+        assert!(
+            plan.disjuncts().len() > 1,
+            "figure 1 query should rewrite into an APQ"
+        );
+        assert!(analyses as usize > plan.disjuncts().len());
+        let mut scratch = ExecScratch::new();
+        assert_eq!(plan.execute(&prepared, &mut scratch), expected);
+    }
+
+    #[test]
+    fn xpath_plans_execute_as_node_sets() {
+        let prepared = PreparedTree::new(parse_term("R(A(B), D, C, A(E), C)").unwrap());
+        let cache = PlanCache::new();
+        let options = PlanOptions::default();
+        let spec = QuerySpec::parse_xpath("//A[B]/following::C").unwrap();
+        let plan = cache.get_or_compile(&spec, &options);
+        let mut scratch = ExecScratch::new();
+        let Answer::Nodes(nodes) = plan.execute(&prepared, &mut scratch) else {
+            panic!("xpath plans are monadic");
+        };
+        assert_eq!(nodes.len(), 2);
+        cache.get_or_compile(&spec, &options);
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

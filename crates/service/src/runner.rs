@@ -1,0 +1,280 @@
+//! The multi-threaded batch runner.
+//!
+//! [`ServiceRunner::run`] shards a [`Workload`]'s requests over a fixed pool
+//! of `std::thread` workers. Workers claim chunks of the request sequence
+//! from a shared atomic cursor, resolve each request's plan through the
+//! shared [`PlanCache`] (keys are hashed once per workload query up front,
+//! so the per-request cost is one brief read-lock on the plan map — the
+//! write lock is only ever taken while a plan is missing), and execute
+//! against the request's `Arc<PreparedTree>` with a worker-local
+//! [`cqt_core::ExecScratch`], so evaluation itself allocates nothing in the
+//! steady state beyond the answer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cqt_core::{Answer, ExecScratch};
+
+use crate::plan::{PlanCache, PlanKey, PlanOptions};
+use crate::stats::{LatencySummary, ServiceReport};
+use crate::workload::Workload;
+
+/// Configuration of a [`ServiceRunner`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads. Defaults to the machine's available parallelism.
+    pub threads: usize,
+    /// Plan-compilation options.
+    pub plan: PlanOptions,
+    /// Requests claimed per cursor increment. Small enough to balance load,
+    /// large enough to keep cursor contention negligible.
+    pub chunk: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            plan: PlanOptions::default(),
+            chunk: 16,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with `threads` workers and default options.
+    pub fn with_threads(threads: usize) -> Self {
+        ServiceConfig {
+            threads,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// The batch-serving runner: a plan cache plus a thread-pool configuration.
+#[derive(Debug, Default)]
+pub struct ServiceRunner {
+    config: ServiceConfig,
+    cache: Arc<PlanCache>,
+}
+
+impl ServiceRunner {
+    /// A runner with a fresh plan cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        ServiceRunner {
+            config,
+            cache: Arc::new(PlanCache::new()),
+        }
+    }
+
+    /// A runner sharing an existing plan cache (e.g. across batches).
+    pub fn with_cache(config: ServiceConfig, cache: Arc<PlanCache>) -> Self {
+        ServiceRunner { config, cache }
+    }
+
+    /// The shared plan cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The runner configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Executes every request of `workload` and reports throughput, latency
+    /// percentiles and cache counters.
+    pub fn run(&self, workload: &Workload) -> ServiceReport {
+        let total = workload.request_count();
+        let threads = self.config.threads.max(1);
+        let chunk = self.config.chunk.max(1);
+        let cursor = AtomicUsize::new(0);
+        // Hash every workload query into its cache key once, up front; the
+        // hot loop then never re-hashes (or re-serializes, for XPath) specs.
+        let keys: Vec<PlanKey> = workload
+            .queries
+            .iter()
+            .map(|spec| PlanKey::of_spec(spec).with_options(&self.config.plan))
+            .collect();
+        let started = Instant::now();
+        let mut all_latencies: Vec<u64> = Vec::with_capacity(total);
+        let mut fingerprint = 0u64;
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let cache = &self.cache;
+                let options = &self.config.plan;
+                let keys = &keys;
+                workers.push(scope.spawn(move || {
+                    let mut scratch = ExecScratch::new();
+                    let mut latencies = Vec::new();
+                    let mut fingerprint = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= total {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(total) {
+                            let (query_index, tree_index) = workload.request(i);
+                            let spec = &workload.queries[query_index];
+                            let tree = &workload.trees[tree_index];
+                            let begin = Instant::now();
+                            let plan = cache.get_or_compile_keyed(keys[query_index], spec, options);
+                            let answer = plan.execute(tree, &mut scratch);
+                            latencies.push(begin.elapsed().as_nanos() as u64);
+                            fingerprint =
+                                fingerprint.wrapping_add(answer_fingerprint(i as u64, &answer));
+                        }
+                    }
+                    (latencies, fingerprint)
+                }));
+            }
+            for worker in workers {
+                let (latencies, worker_fingerprint) =
+                    worker.join().expect("serving worker panicked");
+                all_latencies.extend(latencies);
+                fingerprint = fingerprint.wrapping_add(worker_fingerprint);
+            }
+        });
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let requests = all_latencies.len() as u64;
+        debug_assert_eq!(requests as usize, total);
+        ServiceReport {
+            threads,
+            requests,
+            wall_ns,
+            qps: requests as f64 / (wall_ns as f64 / 1e9).max(1e-12),
+            latency: LatencySummary::from_samples(all_latencies),
+            answer_fingerprint: fingerprint,
+            plan_cache: self.cache.stats(),
+        }
+    }
+}
+
+/// An order-independent fingerprint of one request's answer, keyed by the
+/// request index so that swapping two different answers between requests
+/// changes the sum.
+fn answer_fingerprint(request: u64, answer: &Answer) -> u64 {
+    let mut h = request.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xcafe_f00d;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    match answer {
+        Answer::Boolean(b) => mix(u64::from(*b)),
+        Answer::Nodes(nodes) => {
+            for node in nodes {
+                mix(node.index() as u64 + 1);
+            }
+        }
+        Answer::Tuples(tuples) => {
+            for tuple in tuples {
+                for node in tuple {
+                    mix(node.index() as u64 + 1);
+                }
+                mix(u64::MAX);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::QuerySpec;
+    use cqt_core::Engine;
+    use cqt_query::cq::figure1_query;
+    use cqt_trees::parse::parse_term;
+    use cqt_trees::PreparedTree;
+
+    fn smoke_workload(repeats: usize) -> Workload {
+        let trees = vec![
+            Arc::new(PreparedTree::new(
+                parse_term(
+                    "CORPUS(S(NP(DT, NN), VP(VB, NP(NN), PP(IN, NP(NN)))), S(NP(NN), VP(VB)))",
+                )
+                .unwrap(),
+            )),
+            Arc::new(PreparedTree::new(
+                parse_term("A(B(D), C(D, B(E)))").unwrap(),
+            )),
+        ];
+        let queries = vec![
+            QuerySpec::parse_cq("Q(y) :- A(x), Child+(x, y), B(y).").unwrap(),
+            QuerySpec::parse_cq("Q() :- NP(x), Following(x, y), PP(y).").unwrap(),
+            QuerySpec::from_cq(figure1_query()),
+            QuerySpec::parse_xpath("//NP | //B").unwrap(),
+        ];
+        Workload::new(queries, trees, repeats)
+    }
+
+    #[test]
+    fn multi_thread_run_matches_single_thread_fingerprint() {
+        let workload = smoke_workload(3);
+        let single = ServiceRunner::new(ServiceConfig::with_threads(1)).run(&workload);
+        let multi = ServiceRunner::new(ServiceConfig {
+            threads: 4,
+            chunk: 2,
+            ..ServiceConfig::default()
+        })
+        .run(&workload);
+        assert_eq!(single.requests, workload.request_count() as u64);
+        assert_eq!(multi.requests, single.requests);
+        assert_eq!(multi.answer_fingerprint, single.answer_fingerprint);
+        assert!(multi.qps > 0.0);
+        assert!(multi.latency.p50_ns <= multi.latency.p99_ns);
+        assert!(multi.latency.p99_ns <= multi.latency.max_ns);
+    }
+
+    #[test]
+    fn answers_match_the_one_shot_engine() {
+        let workload = smoke_workload(1);
+        let runner = ServiceRunner::new(ServiceConfig::with_threads(3));
+        let report = runner.run(&workload);
+        // Re-derive the fingerprint with the unbatched Engine facade.
+        let engine = Engine::new();
+        let mut expected = 0u64;
+        for i in 0..workload.request_count() {
+            let (qi, ti) = workload.request(i);
+            let tree = workload.trees[ti].tree();
+            let answer = match &workload.queries[qi] {
+                QuerySpec::Cq(query) => engine.eval(tree, query),
+                QuerySpec::XPath(query) => {
+                    let compiled = cqt_xpath::CompiledXPath::compile(query.clone());
+                    let mut scratch = ExecScratch::new();
+                    Answer::Nodes(compiled.eval_on(tree, &mut scratch).iter().collect())
+                }
+            };
+            expected = expected.wrapping_add(answer_fingerprint(i as u64, &answer));
+        }
+        assert_eq!(report.answer_fingerprint, expected);
+    }
+
+    #[test]
+    fn plan_cache_is_shared_across_workers_and_runs() {
+        let workload = smoke_workload(4);
+        let runner = ServiceRunner::new(ServiceConfig::with_threads(4));
+        let first = runner.run(&workload);
+        assert_eq!(first.plan_cache.misses, workload.queries.len() as u64);
+        let analyses_after_first = first.plan_cache.analyses;
+        let second = runner.run(&workload);
+        // The second batch compiles nothing new.
+        assert_eq!(second.plan_cache.misses, first.plan_cache.misses);
+        assert_eq!(second.plan_cache.analyses, analyses_after_first);
+        assert_eq!(
+            second.plan_cache.hits,
+            2 * workload.request_count() as u64 - first.plan_cache.misses
+        );
+    }
+
+    #[test]
+    fn empty_workload_reports_zero_requests() {
+        let workload = Workload::new(Vec::new(), Vec::new(), 5);
+        let report = ServiceRunner::new(ServiceConfig::with_threads(2)).run(&workload);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.latency, LatencySummary::default());
+    }
+}

@@ -1,0 +1,136 @@
+//! Latency/throughput statistics of a serving run, with JSON rendering.
+
+use crate::plan::PlanCacheStats;
+
+/// Latency percentiles over one run, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median request latency.
+    pub p50_ns: u64,
+    /// 99th-percentile request latency.
+    pub p99_ns: u64,
+    /// Mean request latency.
+    pub mean_ns: u64,
+    /// Slowest request.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency sample; `latencies` is consumed (sorted).
+    pub fn from_samples(mut latencies: Vec<u64>) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        latencies.sort_unstable();
+        let pick = |q: f64| {
+            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[idx]
+        };
+        let sum: u128 = latencies.iter().map(|&ns| u128::from(ns)).sum();
+        LatencySummary {
+            p50_ns: pick(0.50),
+            p99_ns: pick(0.99),
+            mean_ns: (sum / latencies.len() as u128) as u64,
+            max_ns: *latencies.last().expect("non-empty"),
+        }
+    }
+}
+
+/// The result of one [`crate::runner::ServiceRunner::run`] call.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Requests executed.
+    pub requests: u64,
+    /// Wall-clock duration of the whole batch, in nanoseconds.
+    pub wall_ns: u64,
+    /// Requests per second (requests / wall time).
+    pub qps: f64,
+    /// Per-request latency percentiles.
+    pub latency: LatencySummary,
+    /// Order-independent fingerprint of every answer, for cross-checking
+    /// runs at different thread counts against each other.
+    pub answer_fingerprint: u64,
+    /// Plan cache counters at the end of the run.
+    pub plan_cache: PlanCacheStats,
+}
+
+impl ServiceReport {
+    /// Renders the report as a JSON object (hand-formatted: the vendored
+    /// serde shim has no serializer, and the schema is small and stable).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"requests\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \
+             \"answer_fingerprint\": {}, \
+             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"analyses\": {}}}}}",
+            self.threads,
+            self.requests,
+            self.wall_ns,
+            self.qps,
+            self.latency.p50_ns,
+            self.latency.p99_ns,
+            self.latency.mean_ns,
+            self.latency.max_ns,
+            self.answer_fingerprint,
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache.analyses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let summary = LatencySummary::from_samples((1..=100).collect());
+        // Index (99 * 0.5).round() = 50 → the 51st sample.
+        assert_eq!(summary.p50_ns, 51);
+        assert_eq!(summary.p99_ns, 99);
+        assert_eq!(summary.mean_ns, 50);
+        assert_eq!(summary.max_ns, 100);
+        assert_eq!(
+            LatencySummary::from_samples(Vec::new()),
+            LatencySummary::default()
+        );
+        let single = LatencySummary::from_samples(vec![7]);
+        assert_eq!(single.p50_ns, 7);
+        assert_eq!(single.p99_ns, 7);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let report = ServiceReport {
+            threads: 4,
+            requests: 100,
+            wall_ns: 1_000_000,
+            qps: 100_000.0,
+            latency: LatencySummary {
+                p50_ns: 10,
+                p99_ns: 90,
+                mean_ns: 20,
+                max_ns: 95,
+            },
+            answer_fingerprint: 42,
+            plan_cache: PlanCacheStats {
+                hits: 95,
+                misses: 5,
+                analyses: 5,
+            },
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for field in [
+            "\"threads\": 4",
+            "\"qps\": 100000.0",
+            "\"p99_ns\": 90",
+            "\"analyses\": 5",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Workloads: the (query, document) batches the runner shards over threads.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cqt_query::{parse_query, ConjunctiveQuery};
+use cqt_trees::PreparedTree;
+use cqt_xpath::{parse_xpath, XPathQuery};
+
+/// One query of a workload: a datalog-syntax conjunctive query or an XPath
+/// location-path query. Both ride the same compiled-plan path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// A conjunctive query (possibly cyclic / NP-hard).
+    Cq(ConjunctiveQuery),
+    /// A positive Core XPath query (compiled to a union of acyclic monadic
+    /// conjunctive queries).
+    XPath(XPathQuery),
+}
+
+impl QuerySpec {
+    /// Parses a datalog-syntax conjunctive query, e.g.
+    /// `"Q(x) :- A(x), Child(x, y), B(y)."`.
+    pub fn parse_cq(text: &str) -> Result<Self, String> {
+        parse_query(text)
+            .map(QuerySpec::Cq)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Parses an XPath query, e.g. `"//A[B]/following::C"`.
+    pub fn parse_xpath(text: &str) -> Result<Self, String> {
+        parse_xpath(text)
+            .map(QuerySpec::XPath)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Wraps an already-built conjunctive query.
+    pub fn from_cq(query: ConjunctiveQuery) -> Self {
+        QuerySpec::Cq(query)
+    }
+}
+
+impl fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuerySpec::Cq(query) => write!(f, "{query}"),
+            QuerySpec::XPath(query) => write!(f, "{query}"),
+        }
+    }
+}
+
+/// A batch of requests: every query of `queries` against every tree of
+/// `trees`, `repeats` times over. Requests are interleaved query-first so
+/// that consecutive requests exercise different plans (the worst case for a
+/// plan cache, the common case for live traffic).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The query mix.
+    pub queries: Vec<QuerySpec>,
+    /// The document corpus, shared (and lazily indexed) across threads.
+    pub trees: Vec<Arc<PreparedTree>>,
+    /// How many times to run the full (query × tree) product.
+    pub repeats: usize,
+}
+
+impl Workload {
+    /// Builds a workload over the full query × tree product.
+    pub fn new(queries: Vec<QuerySpec>, trees: Vec<Arc<PreparedTree>>, repeats: usize) -> Self {
+        Workload {
+            queries,
+            trees,
+            repeats,
+        }
+    }
+
+    /// Total number of requests the runner will execute.
+    pub fn request_count(&self) -> usize {
+        self.queries.len() * self.trees.len() * self.repeats
+    }
+
+    /// Whether the workload contains no requests.
+    pub fn is_empty(&self) -> bool {
+        self.request_count() == 0
+    }
+
+    /// The (query index, tree index) of request number `i`, interleaving
+    /// queries fastest.
+    pub(crate) fn request(&self, i: usize) -> (usize, usize) {
+        let pair = i % (self.queries.len() * self.trees.len());
+        (pair % self.queries.len(), pair / self.queries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_trees::parse::parse_term;
+
+    #[test]
+    fn request_indexing_covers_the_product() {
+        let workload = Workload::new(
+            vec![
+                QuerySpec::parse_cq("Q() :- A(x).").unwrap(),
+                QuerySpec::parse_xpath("//A").unwrap(),
+            ],
+            vec![
+                Arc::new(PreparedTree::new(parse_term("A(B)").unwrap())),
+                Arc::new(PreparedTree::new(parse_term("A(B, C)").unwrap())),
+                Arc::new(PreparedTree::new(parse_term("A").unwrap())),
+            ],
+            2,
+        );
+        assert_eq!(workload.request_count(), 12);
+        assert!(!workload.is_empty());
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..6 {
+            seen.insert(workload.request(i));
+        }
+        assert_eq!(seen.len(), 6);
+        // The second repeat revisits the same pairs.
+        assert_eq!(workload.request(6), workload.request(0));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(QuerySpec::parse_cq("not a query").is_err());
+        assert!(QuerySpec::parse_xpath("//[").is_err());
+        assert!(QuerySpec::parse_cq("Q() :- A(x).").is_ok());
+    }
+}

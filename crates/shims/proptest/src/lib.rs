@@ -181,7 +181,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::*;
 
-    /// A length range for [`vec`], convertible from `a..b` and `a..=b`.
+    /// A length range for [`vec()`], convertible from `a..b` and `a..=b`.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         low: usize,
@@ -226,7 +226,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

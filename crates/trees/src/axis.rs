@@ -97,6 +97,16 @@ impl Axis {
         Axis::SelfAxis,
     ];
 
+    /// Number of axes in [`Axis::ALL`].
+    pub const COUNT: usize = Axis::ALL.len();
+
+    /// Dense index of the axis (its position in [`Axis::ALL`], which matches
+    /// declaration order). Used by per-axis cache arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Whether this axis is one of the seven axes of the paper's set `Ax`.
     pub fn is_paper_axis(self) -> bool {
         Self::PAPER_AXES.contains(&self)

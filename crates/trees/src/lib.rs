@@ -38,6 +38,7 @@ pub mod label;
 pub mod node;
 pub mod order;
 pub mod parse;
+pub mod prepared;
 pub mod relation;
 pub mod render;
 pub mod tree;
@@ -47,6 +48,7 @@ pub use bitset::NodeSet;
 pub use label::{Label, LabelInterner};
 pub use node::NodeId;
 pub use order::Order;
+pub use prepared::PreparedTree;
 pub use relation::MaterializedRelation;
 pub use tree::{Tree, TreeBuilder, TreeError};
 

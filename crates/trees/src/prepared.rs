@@ -1,0 +1,243 @@
+//! A tree prepared for repeated (and concurrent) query evaluation.
+//!
+//! The evaluation engines derive everything they need from a [`Tree`]'s
+//! structural index, but some derived artifacts are worth keeping around when
+//! the *same document* is queried many times — the serving scenario of the
+//! `cqt-service` crate:
+//!
+//! * **materialized axis relations** ([`MaterializedRelation`]): the explicit
+//!   extensions used by the Horn-SAT/AC-4 arc-consistency engine, the naive
+//!   baseline and the X̲-property checker. Building one is O(output) — up to
+//!   quadratic for the closure axes — so re-deriving it per query dwarfs the
+//!   query itself on repeated workloads;
+//! * **pre-order rank-space label sets**: the per-label [`NodeSet`]s of the
+//!   tree converted into the rank space the word-parallel semijoin kernels
+//!   operate in. Every evaluation starts by intersecting candidate sets with
+//!   label sets, so caching the converted sets makes the start-up of each
+//!   request a handful of `memcpy`s.
+//!
+//! A [`PreparedTree`] owns the tree and builds both caches **lazily** behind
+//! [`std::sync::OnceLock`]s, so it is `Sync`: a corpus of `Arc<PreparedTree>`s
+//! can be shared across worker threads and whichever thread first needs an
+//! artifact builds it exactly once. Build counters are exposed so tests (and
+//! the serving harness) can assert that repeated queries do not re-derive
+//! axes or label sets.
+
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use rustc_hash::FxHasher;
+use std::hash::Hasher;
+
+use crate::axis::Axis;
+use crate::bitset::NodeSet;
+use crate::label::Label;
+use crate::relation::MaterializedRelation;
+use crate::tree::Tree;
+
+/// A [`Tree`] plus lazily-built, thread-shared caches of derived artifacts
+/// (materialized axis relations, rank-space label sets).
+///
+/// Dereferences to [`Tree`], so every structural accessor is available
+/// directly. Construction computes a cheap *structure hash* over the tree's
+/// shape and labels, which serving layers can use to identify documents in
+/// reports and cache keys.
+#[derive(Debug)]
+pub struct PreparedTree {
+    tree: Tree,
+    /// One lazily-built relation per axis, indexed by [`Axis::index`].
+    relations: Vec<OnceLock<MaterializedRelation>>,
+    /// Number of relations actually built (cache misses).
+    relation_builds: AtomicU64,
+    /// One lazily-built pre-order rank-space node set per interned label,
+    /// indexed by [`Label::index`].
+    label_pre_sets: Vec<OnceLock<NodeSet>>,
+    /// Number of label sets actually converted (cache misses).
+    label_set_builds: AtomicU64,
+    structure_hash: u64,
+}
+
+impl PreparedTree {
+    /// Prepares `tree` for repeated evaluation. No cache entry is built yet;
+    /// each is derived on first use.
+    pub fn new(tree: Tree) -> Self {
+        let structure_hash = Self::hash_structure(&tree);
+        let label_count = tree.interner().len();
+        PreparedTree {
+            tree,
+            relations: (0..Axis::COUNT).map(|_| OnceLock::new()).collect(),
+            relation_builds: AtomicU64::new(0),
+            label_pre_sets: (0..label_count).map(|_| OnceLock::new()).collect(),
+            label_set_builds: AtomicU64::new(0),
+            structure_hash,
+        }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Consumes the preparation, returning the tree (caches are dropped).
+    pub fn into_tree(self) -> Tree {
+        self.tree
+    }
+
+    /// The materialized extension of `axis` over this tree, built on first
+    /// use and shared by every subsequent caller (and thread).
+    pub fn relation(&self, axis: Axis) -> &MaterializedRelation {
+        self.relations[axis.index()].get_or_init(|| {
+            self.relation_builds.fetch_add(1, Ordering::Relaxed);
+            MaterializedRelation::from_axis(&self.tree, axis)
+        })
+    }
+
+    /// How many axis relations have been materialized so far. Flat across
+    /// repeated queries touching the same axes — that is the point.
+    pub fn relation_builds(&self) -> u64 {
+        self.relation_builds.load(Ordering::Relaxed)
+    }
+
+    /// The nodes carrying `label`, as a **pre-order rank-space** set (bit `i`
+    /// set iff the node with pre-order rank `i` carries the label), built on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics if `label` is not a symbol of this tree's interner.
+    pub fn label_pre_set(&self, label: Label) -> &NodeSet {
+        self.label_pre_sets[label.index()].get_or_init(|| {
+            self.label_set_builds.fetch_add(1, Ordering::Relaxed);
+            self.tree.to_pre_space(self.tree.nodes_with_label(label))
+        })
+    }
+
+    /// [`PreparedTree::label_pre_set`] by label name; `None` when no node of
+    /// the tree carries the label (the set would be empty).
+    pub fn label_pre_set_by_name(&self, name: &str) -> Option<&NodeSet> {
+        self.tree.label(name).map(|label| self.label_pre_set(label))
+    }
+
+    /// How many label sets have been converted to rank space so far.
+    pub fn label_set_builds(&self) -> u64 {
+        self.label_set_builds.load(Ordering::Relaxed)
+    }
+
+    /// A hash of the tree's structure and labeling, stable for a given tree
+    /// regardless of when or where it was prepared. Serving layers use it to
+    /// identify documents in reports.
+    pub fn structure_hash(&self) -> u64 {
+        self.structure_hash
+    }
+
+    fn hash_structure(tree: &Tree) -> u64 {
+        let mut hasher = FxHasher::default();
+        hasher.write_usize(tree.len());
+        for &end in tree.pre_end_by_pre() {
+            hasher.write_u32(end);
+        }
+        for node in tree.nodes_in_order(crate::order::Order::Pre) {
+            for name in tree.label_names(node) {
+                hasher.write(name.as_bytes());
+                hasher.write_u8(0xfe);
+            }
+            hasher.write_u8(0xff);
+        }
+        hasher.finish()
+    }
+}
+
+impl Deref for PreparedTree {
+    type Target = Tree;
+
+    fn deref(&self) -> &Tree {
+        &self.tree
+    }
+}
+
+impl From<Tree> for PreparedTree {
+    fn from(tree: Tree) -> Self {
+        PreparedTree::new(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_term;
+
+    #[test]
+    fn relations_are_built_once_and_agree_with_direct_materialization() {
+        let prepared = PreparedTree::new(parse_term("A(B(D, E), C(F))").unwrap());
+        assert_eq!(prepared.relation_builds(), 0);
+        for _ in 0..3 {
+            let rel = prepared.relation(Axis::Following);
+            let direct = MaterializedRelation::from_axis(prepared.tree(), Axis::Following);
+            assert_eq!(rel.len(), direct.len());
+            for (u, v) in direct.pairs() {
+                assert!(rel.contains(u, v));
+            }
+        }
+        assert_eq!(prepared.relation_builds(), 1);
+        prepared.relation(Axis::Child);
+        prepared.relation(Axis::Following);
+        assert_eq!(prepared.relation_builds(), 2);
+    }
+
+    #[test]
+    fn label_pre_sets_are_built_once() {
+        let prepared = PreparedTree::new(parse_term("A(B(A), C)").unwrap());
+        let a = prepared.tree().label("A").unwrap();
+        let direct = prepared
+            .tree()
+            .to_pre_space(prepared.tree().nodes_with_label(a));
+        assert_eq!(prepared.label_pre_set(a), &direct);
+        assert_eq!(prepared.label_pre_set(a), &direct);
+        assert_eq!(prepared.label_set_builds(), 1);
+        assert!(prepared.label_pre_set_by_name("Z").is_none());
+        assert!(prepared.label_pre_set_by_name("C").is_some());
+        assert_eq!(prepared.label_set_builds(), 2);
+    }
+
+    #[test]
+    fn structure_hash_distinguishes_shape_and_labels() {
+        let a = PreparedTree::new(parse_term("A(B, C)").unwrap());
+        let a2 = PreparedTree::new(parse_term("A(B, C)").unwrap());
+        let shape = PreparedTree::new(parse_term("A(B(C))").unwrap());
+        let labels = PreparedTree::new(parse_term("A(B, D)").unwrap());
+        assert_eq!(a.structure_hash(), a2.structure_hash());
+        assert_ne!(a.structure_hash(), shape.structure_hash());
+        assert_ne!(a.structure_hash(), labels.structure_hash());
+    }
+
+    #[test]
+    fn deref_exposes_tree_accessors() {
+        let prepared = PreparedTree::new(parse_term("A(B)").unwrap());
+        assert_eq!(prepared.len(), 2);
+        assert_eq!(prepared.tree().len(), 2);
+        let tree = PreparedTree::new(parse_term("A(B)").unwrap()).into_tree();
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn prepared_tree_is_sync_and_shareable() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<PreparedTree>();
+        let prepared = std::sync::Arc::new(PreparedTree::new(parse_term("A(B, C)").unwrap()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = std::sync::Arc::clone(&prepared);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        p.relation(Axis::ChildPlus);
+                        p.label_pre_set_by_name("B");
+                    }
+                });
+            }
+        });
+        // OnceLock runs the initializer exactly once even under contention.
+        assert_eq!(prepared.relation_builds(), 1);
+        assert_eq!(prepared.label_set_builds(), 1);
+        assert!(!prepared.relation(Axis::ChildPlus).is_empty());
+    }
+}

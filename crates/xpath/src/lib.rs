@@ -28,9 +28,11 @@ pub mod compile;
 pub mod emit;
 pub mod eval;
 pub mod parser;
+pub mod prepared;
 
 pub use ast::{LocationPath, NodeTest, Predicate, Step, XPathQuery};
 pub use compile::compile_to_positive_query;
 pub use emit::{emit_acyclic_query, emit_positive_query};
 pub use eval::evaluate_xpath;
 pub use parser::parse_xpath;
+pub use prepared::CompiledXPath;

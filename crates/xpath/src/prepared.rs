@@ -1,0 +1,125 @@
+//! XPath on the prepare/execute path.
+//!
+//! A [`CompiledXPath`] takes a location-path query through the full one-time
+//! pipeline — parse → compile to a union of acyclic monadic conjunctive
+//! queries ([`crate::compile`]) → one [`CompiledQuery`] plan per disjunct —
+//! and then evaluates any number of times against [`PreparedTree`]s with a
+//! caller-provided [`ExecScratch`]. This is the same prepared path the
+//! `cqt-service` serving layer drives for datalog-syntax queries, so
+//! location paths ride the plan cache and per-tree label/relation caches
+//! like every other query shape.
+
+use cqt_core::{CompiledQuery, ExecScratch};
+use cqt_trees::{NodeSet, PreparedTree, Tree};
+
+use crate::ast::XPathQuery;
+use crate::compile::compile_to_positive_query;
+use crate::parser::{parse_xpath, ParseXPathError};
+
+/// An XPath query compiled once into per-disjunct execution plans.
+#[derive(Clone, Debug)]
+pub struct CompiledXPath {
+    source: XPathQuery,
+    plans: Vec<CompiledQuery>,
+}
+
+impl CompiledXPath {
+    /// Compiles an already-parsed XPath query.
+    pub fn compile(query: XPathQuery) -> Self {
+        let positive = compile_to_positive_query(&query);
+        let plans = positive
+            .disjuncts()
+            .iter()
+            .map(|disjunct| CompiledQuery::compile(disjunct.clone()))
+            .collect();
+        CompiledXPath {
+            source: query,
+            plans,
+        }
+    }
+
+    /// Parses and compiles an XPath string.
+    pub fn parse(text: &str) -> Result<Self, ParseXPathError> {
+        Ok(Self::compile(parse_xpath(text)?))
+    }
+
+    /// The parsed query this plan was compiled from.
+    pub fn source(&self) -> &XPathQuery {
+        &self.source
+    }
+
+    /// The per-disjunct conjunctive-query plans.
+    pub fn plans(&self) -> &[CompiledQuery] {
+        &self.plans
+    }
+
+    /// Evaluates against a prepared tree: the union of the disjuncts'
+    /// monadic answers.
+    pub fn execute(&self, prepared: &PreparedTree, scratch: &mut ExecScratch) -> NodeSet {
+        let mut out = NodeSet::empty(prepared.tree().len());
+        for plan in &self.plans {
+            out.union_with(&plan.execute_monadic(prepared, scratch));
+        }
+        out
+    }
+
+    /// Evaluates against a plain tree (no shared caches).
+    pub fn eval_on(&self, tree: &Tree, scratch: &mut ExecScratch) -> NodeSet {
+        let mut out = NodeSet::empty(tree.len());
+        for plan in &self.plans {
+            if let cqt_core::Answer::Nodes(nodes) = plan.eval_on(tree, scratch) {
+                for node in nodes {
+                    out.insert(node);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_xpath;
+    use cqt_trees::parse::parse_term;
+
+    #[test]
+    fn compiled_xpath_agrees_with_direct_evaluator() {
+        let prepared = PreparedTree::new(parse_term("R(A(B), D, C, A(E), C)").unwrap());
+        let mut scratch = ExecScratch::new();
+        for text in [
+            "//A[B]/following::C",
+            "//A | //C",
+            "//B/parent::A",
+            "/descendant-or-self::R[A[B]]",
+            "//S[NP and VP]",
+        ] {
+            let compiled = CompiledXPath::parse(text).unwrap();
+            let direct = evaluate_xpath(prepared.tree(), compiled.source());
+            assert_eq!(
+                compiled.execute(&prepared, &mut scratch),
+                direct,
+                "prepared mismatch on {text}"
+            );
+            assert_eq!(
+                compiled.eval_on(prepared.tree(), &mut scratch),
+                direct,
+                "plain mismatch on {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_execution_is_stable_and_uses_the_label_cache() {
+        let prepared = PreparedTree::new(parse_term("R(A(B), D, C, A(E), C)").unwrap());
+        let mut scratch = ExecScratch::new();
+        let compiled = CompiledXPath::parse("//A[B]/following::C").unwrap();
+        let first = compiled.execute(&prepared, &mut scratch);
+        for _ in 0..4 {
+            assert_eq!(compiled.execute(&prepared, &mut scratch), first);
+        }
+        let builds = prepared.label_set_builds();
+        compiled.execute(&prepared, &mut scratch);
+        assert_eq!(prepared.label_set_builds(), builds);
+    }
+}

@@ -25,7 +25,10 @@
 //!   succinctness machinery;
 //! * [`hardness`] — 1-in-3 3SAT and the Theorem 5.1 reduction;
 //! * [`xpath`] — positive Core XPath parsing, evaluation, compilation to
-//!   CQs and emission from acyclic queries.
+//!   CQs and emission from acyclic queries;
+//! * [`service`] — the concurrent serving layer: compiled plans with a
+//!   signature-keyed cache, prepared-tree corpora, and a multi-threaded
+//!   batch runner with latency/throughput statistics.
 //!
 //! ## Quick start
 //!
@@ -53,18 +56,21 @@ pub use cqt_core as core;
 pub use cqt_hardness as hardness;
 pub use cqt_query as query;
 pub use cqt_rewrite as rewrite;
+pub use cqt_service as service;
 pub use cqt_trees as trees;
 pub use cqt_xpath as xpath;
 
 /// The most commonly used items from all workspace crates.
 pub mod prelude {
     pub use cqt_core::{
-        arc_consistent_prevaluation, Answer, Engine, EvalStrategy, MacSolver, NaiveEvaluator,
-        SignatureAnalysis, Tractability, XPropertyEvaluator, YannakakisEvaluator,
+        arc_consistent_prevaluation, Answer, CompiledQuery, Engine, EvalStrategy, ExecScratch,
+        MacSolver, NaiveEvaluator, SignatureAnalysis, Tractability, XPropertyEvaluator,
+        YannakakisEvaluator,
     };
     pub use cqt_query::{parse_query, ConjunctiveQuery, PositiveQuery, Signature};
     pub use cqt_rewrite::{diamond_query, join_lifter, ps_structure, rewrite_to_apq};
-    pub use cqt_trees::{Axis, NodeId, NodeSet, Order, Tree, TreeBuilder};
+    pub use cqt_service::{QuerySpec, ServiceConfig, ServiceRunner, Workload};
+    pub use cqt_trees::{Axis, NodeId, NodeSet, Order, PreparedTree, Tree, TreeBuilder};
     pub use cqt_xpath::{
         compile_to_positive_query, emit_acyclic_query, evaluate_xpath, parse_xpath,
     };

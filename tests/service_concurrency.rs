@@ -1,0 +1,123 @@
+//! Multi-threaded stress test for the serving layer: N worker threads hammer
+//! one shared `Arc<PreparedTree>` with a mix of tractable and NP-hard
+//! queries, and every concurrent answer is cross-checked against the
+//! single-threaded `Engine` facade.
+
+use std::sync::Arc;
+
+use cq_trees::core::{Answer, CompiledQuery, Engine, ExecScratch};
+use cq_trees::query::cq::figure1_query;
+use cq_trees::query::parse_query;
+use cq_trees::service::{QuerySpec, ServiceConfig, ServiceRunner, Workload};
+use cq_trees::trees::generate::{treebank, TreebankConfig};
+use cq_trees::trees::PreparedTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The shared corpus document: a synthetic treebank, the workload shape the
+/// paper's introduction motivates.
+fn corpus() -> PreparedTree {
+    let mut rng = StdRng::seed_from_u64(2004);
+    PreparedTree::new(treebank(
+        &mut rng,
+        &TreebankConfig {
+            sentences: 30,
+            max_depth: 5,
+            pp_probability: 0.5,
+        },
+    ))
+}
+
+/// The query mix: acyclic (Yannakakis), cyclic-tractable (X̲-property) and
+/// NP-hard (MAC) signatures, Boolean and monadic heads.
+fn query_mix() -> Vec<cq_trees::query::ConjunctiveQuery> {
+    vec![
+        // Acyclic monadic: NP nodes with an NN child.
+        parse_query("Q(x) :- NP(x), Child(x, y), NN(y).").unwrap(),
+        // Acyclic Boolean chain across sentence structure.
+        parse_query("Q() :- S(s), Child(s, v), VP(v), Child+(v, p), PP(p).").unwrap(),
+        // Cyclic but tractable signature {Child+, Child*} → X̲-property.
+        parse_query("Q() :- S(x), Child+(x, y), Child*(x, y), NP(y).").unwrap(),
+        // The paper's Figure 1 query: cyclic over {Child+, Following}, NP-hard
+        // signature → MAC.
+        figure1_query(),
+        // Monadic NP-hard mix.
+        parse_query("Q(y) :- VP(x), Child(x, y), Child+(x, z), Following(y, z).").unwrap(),
+    ]
+}
+
+#[test]
+fn concurrent_compiled_execution_matches_single_threaded_engine() {
+    const WORKERS: usize = 8;
+    const ROUNDS: usize = 12;
+
+    let prepared = Arc::new(corpus());
+    let queries = query_mix();
+    let engine = Engine::new();
+
+    // Single-threaded ground truth via the one-shot Engine facade.
+    let expected: Vec<Answer> = queries
+        .iter()
+        .map(|q| engine.eval(prepared.tree(), q))
+        .collect();
+    assert!(
+        expected.iter().any(|a| a.is_nonempty()),
+        "the corpus should satisfy at least one query of the mix"
+    );
+
+    // Shared compiled plans, per-worker scratch: every worker evaluates every
+    // query ROUNDS times against the same Arc<PreparedTree>.
+    let plans: Vec<Arc<CompiledQuery>> = queries
+        .iter()
+        .map(|q| Arc::new(CompiledQuery::compile(q.clone())))
+        .collect();
+    std::thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let prepared = Arc::clone(&prepared);
+            let plans = plans.clone();
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut scratch = ExecScratch::new();
+                for round in 0..ROUNDS {
+                    // Stagger plan order per worker so different strategies
+                    // run concurrently against the same shared caches.
+                    for offset in 0..plans.len() {
+                        let i = (worker + round + offset) % plans.len();
+                        let answer = plans[i].execute(&prepared, &mut scratch);
+                        assert_eq!(
+                            answer, expected[i],
+                            "worker {worker} round {round} diverged on query {i}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn service_runner_stress_is_thread_count_invariant() {
+    let prepared = Arc::new(corpus());
+    let mut queries: Vec<QuerySpec> = query_mix().into_iter().map(QuerySpec::from_cq).collect();
+    queries.push(QuerySpec::parse_xpath("//NP[NN]/following::PP").unwrap());
+    let workload = Workload::new(queries, vec![prepared], 6);
+
+    let single = ServiceRunner::new(ServiceConfig::with_threads(1)).run(&workload);
+    let multi = ServiceRunner::new(ServiceConfig {
+        threads: 8,
+        chunk: 2,
+        ..ServiceConfig::default()
+    })
+    .run(&workload);
+
+    assert_eq!(single.requests, workload.request_count() as u64);
+    assert_eq!(multi.requests, single.requests);
+    // Same answers regardless of sharding and interleaving.
+    assert_eq!(multi.answer_fingerprint, single.answer_fingerprint);
+    // One compilation per distinct query, however many threads raced.
+    assert_eq!(multi.plan_cache.misses, workload.queries.len() as u64);
+    assert_eq!(
+        multi.plan_cache.hits + multi.plan_cache.misses,
+        workload.request_count() as u64
+    );
+}
