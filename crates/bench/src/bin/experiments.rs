@@ -12,7 +12,7 @@
 //! cargo run --release -p cqt-bench --bin experiments -- bench \
 //!     [--bench-json out.json] [--bench-check ref.json]
 //! cargo run --release -p cqt-bench --bin experiments -- serve \
-//!     [--threads N] [--bench-json out.json] [--bench-check ref.json]
+//!     [--threads N] [--mutate] [--bench-json out.json] [--bench-check ref.json]
 //! ```
 //!
 //! Each subcommand regenerates one of the paper's tables/figures
@@ -38,6 +38,16 @@
 //! and exits non-zero when it collapsed by more than 3× — like the kernel
 //! gate, a ratio of two same-machine measurements, so runner speed (and
 //! core count) largely cancel out.
+//!
+//! With `--mutate`, the `serve` subcommand instead benchmarks the
+//! **epoch-swapped mutable corpus**: one writer thread commits random edit
+//! scripts against a `CorpusHandle` while N reader threads serve the query
+//! mix, every observed answer is verified against the per-epoch
+//! `MutationOracle` (the harness exits non-zero on any epoch-consistency
+//! violation), and the read throughput is compared against a frozen-corpus
+//! run of the same workload. `--bench-json` writes the numbers (the
+//! committed `BENCH_4.json`); `--bench-check` gates on the frozen/mutate
+//! throughput ratio — a within-run ratio, so machine speed cancels out.
 //!
 //! The `--smoke` flag (usable with any subcommand, and what CI runs) caps
 //! every instance size so the full `all` sweep finishes in seconds: the
@@ -109,6 +119,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
+    let mutate = args.iter().any(|a| a == "--mutate");
+    args.retain(|a| a != "--mutate");
     let take_value_flag = |args: &mut Vec<String>, flag: &str| -> Option<String> {
         let pos = args.iter().position(|a| a == flag)?;
         if pos + 1 >= args.len() {
@@ -138,6 +150,10 @@ fn main() {
         eprintln!("--threads is only valid with the `serve` subcommand");
         std::process::exit(1);
     }
+    if command != "serve" && mutate {
+        eprintln!("--mutate is only valid with the `serve` subcommand");
+        std::process::exit(1);
+    }
     match command {
         "table1" => table1(&scale),
         "table2" => table2(),
@@ -153,6 +169,12 @@ fn main() {
             succinctness(max_n);
         }
         "bench" => bench_baseline(smoke, bench_json.as_deref(), bench_check.as_deref()),
+        "serve" if mutate => serve_mutate(
+            smoke,
+            threads,
+            bench_json.as_deref(),
+            bench_check.as_deref(),
+        ),
         "serve" => serve(
             smoke,
             threads,
@@ -759,6 +781,216 @@ fn serve(smoke: bool, threads: Option<usize>, json_path: Option<&str>, check_pat
     if let Some(path) = check_path {
         check_serve_regression(path, speedup);
     }
+}
+
+/// The mutable-corpus throughput harness (`serve --mutate`): a writer
+/// committing random edit scripts against an epoch-swapped [`CorpusHandle`]
+/// while reader threads serve the treebank query mix; every observation is
+/// verified against the per-epoch oracle, and the read throughput is
+/// compared to a frozen-corpus run of the same workload.
+///
+/// [`CorpusHandle`]: cqt_service::CorpusHandle
+fn serve_mutate(
+    smoke: bool,
+    threads: Option<usize>,
+    json_path: Option<&str>,
+    check_path: Option<&str>,
+) {
+    use cqt_service::{
+        CorpusHandle, MutationOracle, MutationWorkload, QuerySpec, ServiceConfig, ServiceRunner,
+        Workload,
+    };
+    use cqt_trees::edit::EditScript;
+    use cqt_trees::generate::{random_edit_script, treebank, EditScriptConfig, TreebankConfig};
+    use cqt_trees::PreparedTree;
+    use std::sync::Arc;
+
+    header("Mutable-corpus serving — epoch swaps under concurrent reads");
+    let (sentences, reads, script_count) = if smoke {
+        (80, 3_000, 6)
+    } else {
+        (800, 30_000, 12)
+    };
+    let reader_threads = threads.unwrap_or(4).max(1);
+
+    let initial = {
+        let mut rng = StdRng::seed_from_u64(2006);
+        treebank(
+            &mut rng,
+            &TreebankConfig {
+                sentences,
+                max_depth: 5,
+                pp_probability: 0.5,
+            },
+        )
+    };
+    let queries = vec![
+        QuerySpec::parse_cq("Q(x) :- NP(x), Child(x, y), NN(y).").expect("valid query"),
+        QuerySpec::parse_cq("Q() :- S(s), Child(s, v), VP(v), Child+(v, p), PP(p).")
+            .expect("valid query"),
+        QuerySpec::from_cq(figure1_query()),
+        QuerySpec::parse_xpath("//NP[NN]/following::PP | //VP").expect("valid xpath"),
+    ];
+    // Scripts address successive epochs, exactly as the writer commits them.
+    let script_config = EditScriptConfig {
+        edits: 4,
+        alphabet: ["NP", "PP", "NN", "S", "VB", "DT"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ..EditScriptConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut scripts: Vec<EditScript> = Vec::new();
+    let mut tree = initial.clone();
+    for _ in 0..script_count {
+        let script = random_edit_script(&mut rng, &tree, &script_config);
+        tree = script.apply_to(&tree).expect("generated script applies").0;
+        scripts.push(script);
+    }
+    // End on a deterministic relabel-only script so the benchmark also
+    // serves an epoch with carried-forward caches (random scripts are
+    // almost never relabel-only).
+    scripts.push(EditScript::from_edits(vec![
+        cqt_trees::TreeEdit::Relabel {
+            node_pre: (tree.len() as u32 - 1).min(1),
+            labels: vec!["NP".into()],
+        },
+        cqt_trees::TreeEdit::Relabel {
+            node_pre: tree.len() as u32 / 2,
+            labels: vec!["PP".into(), "NN".into()],
+        },
+    ]));
+    println!(
+        "corpus: {} nodes (epoch 0), {} scripts x {} edits, {} reads over {} reader threads",
+        initial.len(),
+        scripts.len(),
+        script_config.edits,
+        reads,
+        reader_threads,
+    );
+
+    // Frozen baseline: the same read stream with no writer, same threads.
+    let frozen_runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+    let frozen_workload = Workload::new(
+        queries.clone(),
+        vec![Arc::new(PreparedTree::new(initial.clone()))],
+        reads / queries.len(),
+    );
+    frozen_runner.run(&frozen_workload); // warm plans + caches
+    let frozen = frozen_runner.run(&frozen_workload);
+
+    // Mutating run: one writer + the readers.
+    let corpus = CorpusHandle::new(initial.clone());
+    let runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+    let workload = MutationWorkload::new(queries.clone(), scripts.clone(), reads);
+    let report = runner
+        .run_mutating(&corpus, &workload)
+        .expect("generated scripts commit cleanly");
+
+    // Hard correctness gate: every observation must match its epoch oracle.
+    let oracle = MutationOracle::build(&initial, &scripts, &queries, &runner.config().plan)
+        .expect("oracle replay applies");
+    if let Err(violation) = oracle.check(&report) {
+        eprintln!("EPOCH-CONSISTENCY FAILED: {violation}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "mode", "reads", "QPS", "p50", "p99", "commits", "epochs"
+    );
+    println!(
+        "{:<10} {:>10} {:>12.0} {:>12} {:>12} {:>9} {:>9}",
+        "frozen",
+        frozen.requests,
+        frozen.qps,
+        fmt_ns(frozen.latency.p50_ns as f64),
+        fmt_ns(frozen.latency.p99_ns as f64),
+        0,
+        1,
+    );
+    println!(
+        "{:<10} {:>10} {:>12.0} {:>12} {:>12} {:>9} {:>9}",
+        "mutate",
+        report.reads,
+        report.qps,
+        fmt_ns(report.latency.p50_ns as f64),
+        fmt_ns(report.latency.p99_ns as f64),
+        report.commits.len(),
+        report.epochs_observed().len(),
+    );
+    let overhead = frozen.qps / report.qps.max(1e-12);
+    println!(
+        "\nmutate_overhead (frozen QPS / mutate QPS, {reader_threads} readers + 1 writer) \
+         = {overhead:.2}x"
+    );
+    println!(
+        "epoch consistency: OK ({} observations across {} epochs); {} plan compiles \
+         (re-preparation per epoch hash), {} cache entries carried across commits",
+        report.observations.len(),
+        report.epochs_observed().len(),
+        report.plan_cache.misses,
+        report.carried_entries(),
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"cq-trees-mutate-bench/1\",\n  \"mode\": \"{}\",\n  \
+             \"reader_threads\": {},\n  \"reads\": {},\n  \"commits\": {},\n  \
+             \"epochs_observed\": {},\n  \"carried_entries\": {},\n  \
+             \"qps_frozen\": {:.1},\n  \"qps_mutate\": {:.1},\n  \
+             \"mutate_overhead\": {:.3},\n  \"consistency\": \"ok\",\n  \
+             \"frozen\": {},\n  \"mutate\": {}\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            reader_threads,
+            report.reads,
+            report.commits.len(),
+            report.epochs_observed().len(),
+            report.carried_entries(),
+            frozen.qps,
+            report.qps,
+            overhead,
+            frozen.to_json(),
+            report.to_json(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        check_mutate_regression(path, overhead);
+    }
+}
+
+/// Compares the frozen/mutate throughput ratio against a reference JSON;
+/// exits non-zero when serving under mutation got more than 3× slower
+/// relative to frozen serving than the committed baseline recorded. Both
+/// numbers are within-run ratios on one machine, so absolute runner speed
+/// cancels out.
+fn check_mutate_regression(ref_path: &str, current_overhead: f64) {
+    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
+        eprintln!("cannot read mutate reference {ref_path}: {e}");
+        std::process::exit(1);
+    });
+    let Some(ref_overhead) = extract_json_number(&reference, "mutate_overhead") else {
+        eprintln!("no mutate_overhead in {ref_path}");
+        std::process::exit(1);
+    };
+    println!(
+        "mutate-check: frozen/mutate overhead {current_overhead:.2}x vs reference \
+         {ref_overhead:.2}x"
+    );
+    if current_overhead > ref_overhead * 3.0 {
+        eprintln!(
+            "mutate-check FAILED: serving under mutation slowed down more than 3x vs the \
+             committed baseline"
+        );
+        std::process::exit(1);
+    }
+    println!("mutate-check passed");
 }
 
 /// Compares the current multi-vs-single-thread speedup against a reference

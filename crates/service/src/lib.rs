@@ -21,6 +21,18 @@
 //!   (cache keys are hashed once per workload query, and the write lock is
 //!   taken only while a plan is missing).
 //!
+//! * **mutate through epochs** — a [`CorpusHandle`] serves one logical
+//!   document as a sequence of immutable epochs: readers snapshot an
+//!   `Arc<PreparedTree>` and evaluate lock-free while
+//!   [`CorpusHandle::commit`] applies a [`cqt_trees::edit::EditScript`],
+//!   carries forward every per-tree cache the edit provably could not
+//!   invalidate, and swaps the pointer. Epoch-aware serving binds plan-cache
+//!   keys to the epoch's structure hash ([`PlanKey::with_document`]), so a
+//!   commit forces re-preparation and a stale plan entry can never serve the
+//!   new epoch. [`ServiceRunner::run_mutating`] drives a mixed read/write
+//!   stream (one writer, N readers) over such a corpus and records
+//!   per-epoch answer observations checkable against a [`MutationOracle`].
+//!
 //! The [`ServiceReport`] returned by a run carries throughput (QPS), latency
 //! percentiles (p50/p99), an order-independent answer fingerprint for
 //! cross-checking runs at different thread counts, and the plan-cache
@@ -49,12 +61,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod plan;
 pub mod runner;
 pub mod stats;
 pub mod workload;
 
+pub use corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanOptions};
 pub use runner::{ServiceConfig, ServiceRunner};
-pub use stats::{LatencySummary, ServiceReport};
-pub use workload::{QuerySpec, Workload};
+pub use stats::{answer_fingerprint, LatencySummary, MutationReport, ServiceReport};
+pub use workload::{MutationWorkload, QuerySpec, Workload};

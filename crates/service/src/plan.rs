@@ -58,6 +58,11 @@ pub struct PlanKey {
     pub signature: u64,
     /// Structural hash of head, label atoms and axis atoms.
     pub structure: u64,
+    /// Structure hash of the document epoch the key is bound to, or 0 for
+    /// an unbound (corpus-wide) key. Kept as its own field — rather than
+    /// folded into `structure` — so [`PlanCache::evict_document`] can drop
+    /// every entry of a superseded epoch.
+    pub document: u64,
 }
 
 impl PlanKey {
@@ -88,6 +93,7 @@ impl PlanKey {
         PlanKey {
             signature,
             structure: hasher.finish(),
+            document: 0,
         }
     }
 
@@ -103,9 +109,27 @@ impl PlanKey {
                 PlanKey {
                     signature: u64::MAX,
                     structure: hasher.finish(),
+                    document: 0,
                 }
             }
         }
+    }
+
+    /// Binds the key to a document epoch via its structure hash
+    /// ([`cqt_trees::PreparedTree::structure_hash`]). The epoch-aware
+    /// serving path ([`crate::runner::ServiceRunner::run_mutating`]) keys
+    /// every lookup this way, so a commit — which by construction changes
+    /// the structure hash — forces re-preparation: a plan entry created for
+    /// the previous epoch can never be returned for the new one. (Plans are
+    /// currently document-independent, so the binding costs one redundant
+    /// compile per epoch; what it buys is the invalidation discipline — no
+    /// future document-dependent planning decision can ever leak across a
+    /// commit.) The writer evicts superseded epochs' entries via
+    /// [`PlanCache::evict_document`], so the cache stays bounded by the
+    /// number of *live* epochs, not the number of commits ever made.
+    pub fn with_document(mut self, structure_hash: u64) -> Self {
+        self.document = structure_hash;
+        self
     }
 
     /// Folds the compile options into the key. A [`PlanCache`] shared across
@@ -338,6 +362,24 @@ impl PlanCache {
         plan
     }
 
+    /// Drops every entry bound (via [`PlanKey::with_document`]) to the
+    /// given document epoch, returning how many were removed. Called by the
+    /// mutating runner's writer after a commit supersedes an epoch, so the
+    /// cache does not grow with the number of commits ever made. Readers
+    /// still holding the old epoch's snapshot simply recompile on their next
+    /// lookup — a correctness-neutral cost, since lookups never return
+    /// entries for a different key.
+    pub fn evict_document(&self, document: u64) -> usize {
+        if document == 0 {
+            // 0 marks *unbound* keys; never sweep those.
+            return 0;
+        }
+        let mut plans = self.plans.write().expect("plan cache poisoned");
+        let before = plans.len();
+        plans.retain(|key, _| key.document != document);
+        before - plans.len()
+    }
+
     /// Number of distinct plans currently cached (including any whose first
     /// compile is still in flight).
     pub fn len(&self) -> usize {
@@ -462,6 +504,96 @@ mod tests {
         assert!(analyses as usize > plan.disjuncts().len());
         let mut scratch = ExecScratch::new();
         assert_eq!(plan.execute(&prepared, &mut scratch), expected);
+    }
+
+    #[test]
+    fn document_bound_keys_miss_after_every_mutation() {
+        use crate::corpus::CorpusHandle;
+        use cqt_trees::edit::{EditScript, TreeEdit};
+
+        let cache = PlanCache::new();
+        let options = PlanOptions::default();
+        let spec = QuerySpec::parse_cq("Q(y) :- A(x), Child(x, y), B(y).").unwrap();
+        let corpus = CorpusHandle::new(parse_term("R(A(B), C)").unwrap());
+        let base = PlanKey::of_spec(&spec).with_options(&options);
+
+        let epoch0 = corpus.snapshot();
+        let key0 = base.with_document(epoch0.prepared.structure_hash());
+        let plan0 = cache.get_or_compile_keyed(key0, &spec, &options);
+        assert_eq!(cache.stats().misses, 1);
+
+        // A structural commit changes the structure hash: the next lookup
+        // MUST miss — the epoch-0 entry is unreachable under the new key, so
+        // a stale plan can never serve answers for the new epoch.
+        corpus
+            .commit(&EditScript::single(TreeEdit::InsertSubtree {
+                parent_pre: 1,
+                position: 1,
+                subtree: Box::new(parse_term("B").unwrap()),
+            }))
+            .unwrap();
+        let epoch1 = corpus.snapshot();
+        let key1 = base.with_document(epoch1.prepared.structure_hash());
+        assert_ne!(key0, key1);
+        let plan1 = cache.get_or_compile_keyed(key1, &spec, &options);
+        assert!(!Arc::ptr_eq(&plan0, &plan1));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+
+        // A relabel-only commit also changes the hash (labels are part of
+        // the document), so it too forces re-preparation.
+        corpus
+            .commit(&EditScript::single(TreeEdit::Relabel {
+                node_pre: 4,
+                labels: vec!["D".into()],
+            }))
+            .unwrap();
+        let epoch2 = corpus.snapshot();
+        let key2 = base.with_document(epoch2.prepared.structure_hash());
+        assert_ne!(key1, key2);
+        cache.get_or_compile_keyed(key2, &spec, &options);
+        assert_eq!(cache.stats().misses, 3);
+
+        // Re-reading any epoch still held by a reader hits its own entry.
+        let again = cache.get_or_compile_keyed(key0, &spec, &options);
+        assert!(Arc::ptr_eq(&plan0, &again));
+        assert_eq!(cache.stats().hits, 1);
+
+        // And each epoch's plan answers correctly against its own tree:
+        // epoch 1 gained a second (A-child) B witness.
+        let mut scratch = ExecScratch::new();
+        let at0 = plan0.execute(&epoch0.prepared, &mut scratch);
+        let at1 = plan1.execute(&epoch1.prepared, &mut scratch);
+        assert_eq!(at0.len() + 1, at1.len());
+    }
+
+    #[test]
+    fn evicting_a_document_drops_only_its_entries() {
+        let cache = PlanCache::new();
+        let options = PlanOptions::default();
+        let spec = QuerySpec::parse_cq("Q() :- A(x), Child(x, y).").unwrap();
+        let base = PlanKey::of_spec(&spec).with_options(&options);
+        let unbound = cache.get_or_compile_keyed(base, &spec, &options);
+        cache.get_or_compile_keyed(base.with_document(11), &spec, &options);
+        let kept = cache.get_or_compile_keyed(base.with_document(22), &spec, &options);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evict_document(11), 1);
+        assert_eq!(cache.len(), 2);
+        // Unbound keys are never swept, even by a (pathological) 0 hash.
+        assert_eq!(cache.evict_document(0), 0);
+        // Survivors still hit; the evicted epoch recompiles as a fresh miss.
+        assert!(Arc::ptr_eq(
+            &unbound,
+            &cache.get_or_compile_keyed(base, &spec, &options)
+        ));
+        assert!(Arc::ptr_eq(
+            &kept,
+            &cache.get_or_compile_keyed(base.with_document(22), &spec, &options)
+        ));
+        let misses_before = cache.stats().misses;
+        cache.get_or_compile_keyed(base.with_document(11), &spec, &options);
+        assert_eq!(cache.stats().misses, misses_before + 1);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

@@ -10,15 +10,18 @@
 //! [`cqt_core::ExecScratch`], so evaluation itself allocates nothing in the
 //! steady state beyond the answer.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use cqt_core::{Answer, ExecScratch};
+use cqt_core::ExecScratch;
+use cqt_trees::edit::EditError;
 
+use crate::corpus::{CommitReport, CorpusHandle};
 use crate::plan::{PlanCache, PlanKey, PlanOptions};
-use crate::stats::{LatencySummary, ServiceReport};
-use crate::workload::Workload;
+use crate::stats::{answer_fingerprint, LatencySummary, MutationReport, ServiceReport};
+use crate::workload::{MutationWorkload, Workload};
 
 /// Configuration of a [`ServiceRunner`].
 #[derive(Clone, Debug)]
@@ -151,41 +154,193 @@ impl ServiceRunner {
             plan_cache: self.cache.stats(),
         }
     }
+
+    /// Executes a mixed read/write workload against an epoch-swapped corpus:
+    /// `config.threads` reader threads drain the read stream while one extra
+    /// writer thread commits the workload's scripts at the configured cursor
+    /// points.
+    ///
+    /// Every read snapshots the corpus, binds its plan-cache key to the
+    /// snapshot's structure hash ([`PlanKey::with_document`]) and executes
+    /// against the snapshot's prepared tree — so a reader either serves the
+    /// epoch it snapshot, entirely, or a later snapshot, entirely; there is
+    /// no state through which pre- and post-commit data could blend. The
+    /// returned [`MutationReport`] records each distinct
+    /// `(query, epoch, answer fingerprint)` observation for checking against
+    /// a [`crate::corpus::MutationOracle`]. One probe read per query runs
+    /// before the writer starts and after it finishes, so epoch 0 and the
+    /// final epoch are always observed regardless of thread scheduling.
+    ///
+    /// Fails if a script does not apply to the epoch it is committed
+    /// against (the corpus is left at the last successfully committed
+    /// epoch).
+    pub fn run_mutating(
+        &self,
+        corpus: &CorpusHandle,
+        workload: &MutationWorkload,
+    ) -> Result<MutationReport, EditError> {
+        let total = if workload.queries.is_empty() {
+            0
+        } else {
+            workload.reads
+        };
+        let threads = self.config.threads.max(1);
+        let chunk = self.config.chunk.max(1);
+        let cursor = AtomicUsize::new(0);
+        let keys: Vec<PlanKey> = workload
+            .queries
+            .iter()
+            .map(|spec| PlanKey::of_spec(spec).with_options(&self.config.plan))
+            .collect();
+        let commit_points: Vec<usize> = workload
+            .commit_points()
+            .into_iter()
+            .map(|point| point.min(total))
+            .collect();
+        // One read of query `qi` through the full serving path, recording
+        // the (query, epoch, fingerprint) observation.
+        let serve_one = |query_index: usize,
+                         scratch: &mut ExecScratch,
+                         observations: &mut BTreeSet<(usize, u64, u64)>|
+         -> u64 {
+            let begin = Instant::now();
+            let snapshot = corpus.snapshot();
+            let spec = &workload.queries[query_index];
+            let key = keys[query_index].with_document(snapshot.prepared.structure_hash());
+            let plan = self
+                .cache
+                .get_or_compile_keyed(key, spec, &self.config.plan);
+            let answer = plan.execute(&snapshot.prepared, scratch);
+            observations.insert((
+                query_index,
+                snapshot.epoch,
+                answer_fingerprint(query_index as u64, &answer),
+            ));
+            begin.elapsed().as_nanos() as u64
+        };
+
+        let started = Instant::now();
+        let mut all_latencies: Vec<u64> = Vec::with_capacity(total + 2 * workload.queries.len());
+        let mut observations: BTreeSet<(usize, u64, u64)> = BTreeSet::new();
+        // Probe every query on epoch 0 before any writer runs.
+        {
+            let mut scratch = ExecScratch::new();
+            for query_index in 0..workload.queries.len() {
+                all_latencies.push(serve_one(query_index, &mut scratch, &mut observations));
+            }
+        }
+        let mut commits: Vec<CommitReport> = Vec::with_capacity(workload.scripts.len());
+        let mut commit_error: Option<EditError> = None;
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                let mut reports: Vec<CommitReport> = Vec::with_capacity(workload.scripts.len());
+                for (i, script) in workload.scripts.iter().enumerate() {
+                    while cursor.load(Ordering::Relaxed) < commit_points[i] {
+                        // Sleep, don't spin: reads take microseconds, so a
+                        // 100µs poll paces commits finely enough without the
+                        // writer stealing a core from the readers it is
+                        // being benchmarked against.
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                    match corpus.commit(script) {
+                        Ok(report) => {
+                            reports.push(report);
+                            // Superseded epochs are unreachable for new
+                            // snapshots: drop their plan entries so the
+                            // cache is bounded by live epochs, not total
+                            // commits. Every superseded hash is re-swept on
+                            // each commit because an in-flight reader that
+                            // snapshot an epoch just before its eviction
+                            // can re-insert its entry afterwards (a correct,
+                            // merely unmemoized read); the re-sweep keeps
+                            // such stragglers from accumulating.
+                            sweep_superseded(&self.cache, &reports);
+                        }
+                        Err(error) => return (reports, Some(error)),
+                    }
+                }
+                (reports, None)
+            });
+            let mut workers = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let serve_one = &serve_one;
+                workers.push(scope.spawn(move || {
+                    let mut scratch = ExecScratch::new();
+                    let mut latencies = Vec::new();
+                    let mut observations = BTreeSet::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= total {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(total) {
+                            latencies.push(serve_one(
+                                workload.query_of(i),
+                                &mut scratch,
+                                &mut observations,
+                            ));
+                        }
+                    }
+                    (latencies, observations)
+                }));
+            }
+            for worker in workers {
+                let (latencies, observed) = worker.join().expect("reader worker panicked");
+                all_latencies.extend(latencies);
+                observations.extend(observed);
+            }
+            let (reports, error) = writer.join().expect("writer thread panicked");
+            commits = reports;
+            commit_error = error;
+        });
+        if let Some(error) = commit_error {
+            return Err(error);
+        }
+        // All readers have joined, so no stale re-insert can happen after
+        // this final sweep: the cache now holds exactly the live epoch's
+        // entries (plus any unbound ones).
+        sweep_superseded(&self.cache, &commits);
+        // Probe the final epoch: the writer has finished, so this is
+        // deterministically the last committed epoch.
+        {
+            let mut scratch = ExecScratch::new();
+            for query_index in 0..workload.queries.len() {
+                all_latencies.push(serve_one(query_index, &mut scratch, &mut observations));
+            }
+        }
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let reads = all_latencies.len() as u64;
+        Ok(MutationReport {
+            threads,
+            reads,
+            wall_ns,
+            qps: reads as f64 / (wall_ns as f64 / 1e9).max(1e-12),
+            latency: LatencySummary::from_samples(all_latencies),
+            commits,
+            observations,
+            plan_cache: self.cache.stats(),
+        })
+    }
 }
 
-/// An order-independent fingerprint of one request's answer, keyed by the
-/// request index so that swapping two different answers between requests
-/// changes the sum.
-fn answer_fingerprint(request: u64, answer: &Answer) -> u64 {
-    let mut h = request.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xcafe_f00d;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    };
-    match answer {
-        Answer::Boolean(b) => mix(u64::from(*b)),
-        Answer::Nodes(nodes) => {
-            for node in nodes {
-                mix(node.index() as u64 + 1);
-            }
-        }
-        Answer::Tuples(tuples) => {
-            for tuple in tuples {
-                for node in tuple {
-                    mix(node.index() as u64 + 1);
-                }
-                mix(u64::MAX);
-            }
+/// Evicts the plan entries of every epoch `commits` superseded (skipping
+/// no-op commits whose hash did not change — their "previous" hash is the
+/// live one).
+fn sweep_superseded(cache: &PlanCache, commits: &[CommitReport]) {
+    let live = commits.last().map(|c| c.structure_hash);
+    for commit in commits {
+        if Some(commit.previous_structure_hash) != live {
+            cache.evict_document(commit.previous_structure_hash);
         }
     }
-    h
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::QuerySpec;
-    use cqt_core::Engine;
+    use cqt_core::{Answer, Engine};
     use cqt_query::cq::figure1_query;
     use cqt_trees::parse::parse_term;
     use cqt_trees::PreparedTree;
@@ -276,5 +431,68 @@ mod tests {
         let report = ServiceRunner::new(ServiceConfig::with_threads(2)).run(&workload);
         assert_eq!(report.requests, 0);
         assert_eq!(report.latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn mutating_run_is_epoch_consistent_and_probes_both_ends() {
+        use crate::corpus::{CorpusHandle, MutationOracle};
+        use cqt_trees::edit::{EditScript, TreeEdit};
+
+        let initial = parse_term("R(A(B), C, A(B, B))").unwrap();
+        let scripts = vec![
+            EditScript::single(TreeEdit::InsertSubtree {
+                parent_pre: 0,
+                position: 0,
+                subtree: Box::new(parse_term("A(B(C))").unwrap()),
+            }),
+            EditScript::single(TreeEdit::Relabel {
+                node_pre: 2,
+                labels: vec!["C".into()],
+            }),
+        ];
+        let queries = vec![
+            QuerySpec::parse_cq("Q(y) :- A(x), Child(x, y), B(y).").unwrap(),
+            QuerySpec::parse_xpath("//A[B] | //C").unwrap(),
+        ];
+        let workload = MutationWorkload::new(queries.clone(), scripts.clone(), 400);
+        let corpus = CorpusHandle::new(initial.clone());
+        let runner = ServiceRunner::new(ServiceConfig {
+            threads: 4,
+            chunk: 4,
+            ..ServiceConfig::default()
+        });
+        let report = runner.run_mutating(&corpus, &workload).unwrap();
+        assert_eq!(report.commits.len(), 2);
+        assert_eq!(report.final_epoch(), 2);
+        assert_eq!(report.reads, 400 + 2 * 2);
+        // The probes guarantee both the initial and the final epoch were
+        // served, whatever the thread interleaving did in between.
+        let epochs = report.epochs_observed();
+        assert!(epochs.contains(&0) && epochs.contains(&2), "{epochs:?}");
+        // Every observation matches the oracle of its exact epoch.
+        let oracle =
+            MutationOracle::build(&initial, &scripts, &queries, &runner.config().plan).unwrap();
+        oracle.check(&report).unwrap();
+        // The relabel-only second commit carried its caches forward.
+        assert!(report.commits[1].summary.keeps_structure());
+    }
+
+    #[test]
+    fn mutating_run_surfaces_commit_errors() {
+        use crate::corpus::CorpusHandle;
+        use cqt_trees::edit::{EditError, EditScript, TreeEdit};
+
+        let corpus = CorpusHandle::new(parse_term("R(A)").unwrap());
+        let workload = MutationWorkload::new(
+            vec![QuerySpec::parse_cq("Q() :- A(x).").unwrap()],
+            vec![EditScript::single(TreeEdit::DeleteSubtree { node_pre: 0 })],
+            50,
+        );
+        let runner = ServiceRunner::new(ServiceConfig::with_threads(2));
+        assert_eq!(
+            runner.run_mutating(&corpus, &workload).unwrap_err(),
+            EditError::DeleteRoot
+        );
+        assert_eq!(corpus.epoch(), 0);
     }
 }

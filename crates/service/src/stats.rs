@@ -1,6 +1,41 @@
 //! Latency/throughput statistics of a serving run, with JSON rendering.
 
+use std::collections::BTreeSet;
+
+use cqt_core::Answer;
+
+use crate::corpus::CommitReport;
 use crate::plan::PlanCacheStats;
+
+/// An order-independent fingerprint of one answer, mixed with a caller
+/// `key`: the batch runner keys by request index (so swapping two different
+/// answers between requests changes the sum), the mutation runner and the
+/// [`crate::corpus::MutationOracle`] key by query index (so fingerprints of
+/// the same query are comparable across epochs and runs).
+pub fn answer_fingerprint(key: u64, answer: &Answer) -> u64 {
+    let mut h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xcafe_f00d;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    match answer {
+        Answer::Boolean(b) => mix(u64::from(*b)),
+        Answer::Nodes(nodes) => {
+            for node in nodes {
+                mix(node.index() as u64 + 1);
+            }
+        }
+        Answer::Tuples(tuples) => {
+            for tuple in tuples {
+                for node in tuple {
+                    mix(node.index() as u64 + 1);
+                }
+                mix(u64::MAX);
+            }
+        }
+    }
+    h
+}
 
 /// Latency percentiles over one run, in nanoseconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -74,6 +109,77 @@ impl ServiceReport {
             self.latency.mean_ns,
             self.latency.max_ns,
             self.answer_fingerprint,
+            self.plan_cache.hits,
+            self.plan_cache.misses,
+            self.plan_cache.analyses,
+        )
+    }
+}
+
+/// The result of one [`crate::runner::ServiceRunner::run_mutating`] call:
+/// a read/write run over an epoch-swapped corpus.
+#[derive(Clone, Debug)]
+pub struct MutationReport {
+    /// Reader threads used (the writer is one extra thread).
+    pub threads: usize,
+    /// Read requests executed (including the epoch probes).
+    pub reads: u64,
+    /// Wall-clock duration of the whole run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Read requests per second.
+    pub qps: f64,
+    /// Per-read latency percentiles (snapshot + plan lookup + execution).
+    pub latency: LatencySummary,
+    /// One report per committed script, in commit order.
+    pub commits: Vec<CommitReport>,
+    /// Every distinct `(query index, epoch, answer fingerprint)` a reader
+    /// observed — checked against a [`crate::corpus::MutationOracle`] for
+    /// epoch consistency.
+    pub observations: BTreeSet<(usize, u64, u64)>,
+    /// Plan cache counters at the end of the run.
+    pub plan_cache: PlanCacheStats,
+}
+
+impl MutationReport {
+    /// The distinct epochs readers observed.
+    pub fn epochs_observed(&self) -> BTreeSet<u64> {
+        self.observations
+            .iter()
+            .map(|&(_, epoch, _)| epoch)
+            .collect()
+    }
+
+    /// The epoch the corpus ended on (number of commits).
+    pub fn final_epoch(&self) -> u64 {
+        self.commits.last().map_or(0, |commit| commit.epoch)
+    }
+
+    /// Total cache entries carried across all commits.
+    pub fn carried_entries(&self) -> u64 {
+        self.commits
+            .iter()
+            .map(|c| c.carried_relations + c.carried_label_sets)
+            .sum()
+    }
+
+    /// Renders the report as a JSON object (hand-formatted, like
+    /// [`ServiceReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"reads\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"commits\": {}, \"final_epoch\": {}, \
+             \"epochs_observed\": {}, \"carried_entries\": {}, \
+             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"analyses\": {}}}}}",
+            self.threads,
+            self.reads,
+            self.wall_ns,
+            self.qps,
+            self.latency.p50_ns,
+            self.latency.p99_ns,
+            self.commits.len(),
+            self.final_epoch(),
+            self.epochs_observed().len(),
+            self.carried_entries(),
             self.plan_cache.hits,
             self.plan_cache.misses,
             self.plan_cache.analyses,

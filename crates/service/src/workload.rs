@@ -91,6 +91,54 @@ impl Workload {
     }
 }
 
+/// A mixed read/write workload over one epoch-swapped document: `reads`
+/// read requests (cycling through `queries`) served by N reader threads
+/// while a single writer commits `scripts` in order, each script addressed
+/// to the tree state left by its predecessors.
+///
+/// Commit pacing is cursor-driven: the writer commits script `i` once the
+/// readers have claimed a fixed fraction of the stream, spreading the epoch
+/// swaps over the first 60% of the reads so the tail of the run measurably
+/// serves the final epoch.
+#[derive(Clone, Debug)]
+pub struct MutationWorkload {
+    /// The read-side query mix.
+    pub queries: Vec<QuerySpec>,
+    /// The scripts the writer commits, in order.
+    pub scripts: Vec<cqt_trees::edit::EditScript>,
+    /// Total read requests.
+    pub reads: usize,
+}
+
+impl MutationWorkload {
+    /// Builds a mutation workload.
+    pub fn new(
+        queries: Vec<QuerySpec>,
+        scripts: Vec<cqt_trees::edit::EditScript>,
+        reads: usize,
+    ) -> Self {
+        MutationWorkload {
+            queries,
+            scripts,
+            reads,
+        }
+    }
+
+    /// The query index of read request `i`.
+    pub(crate) fn query_of(&self, i: usize) -> usize {
+        i % self.queries.len()
+    }
+
+    /// The read-cursor positions at which the writer commits each script:
+    /// evenly spread over the first 60% of the read stream.
+    pub(crate) fn commit_points(&self) -> Vec<usize> {
+        let spread = self.reads * 3 / 5;
+        (0..self.scripts.len())
+            .map(|i| spread * (i + 1) / (self.scripts.len() + 1))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +167,24 @@ mod tests {
         assert_eq!(seen.len(), 6);
         // The second repeat revisits the same pairs.
         assert_eq!(workload.request(6), workload.request(0));
+    }
+
+    #[test]
+    fn mutation_workload_paces_commits_into_the_read_stream() {
+        let workload = MutationWorkload::new(
+            vec![
+                QuerySpec::parse_cq("Q() :- A(x).").unwrap(),
+                QuerySpec::parse_xpath("//A").unwrap(),
+            ],
+            vec![cqt_trees::edit::EditScript::new(); 3],
+            1000,
+        );
+        let points = workload.commit_points();
+        assert_eq!(points.len(), 3);
+        assert!(points.windows(2).all(|w| w[0] < w[1]), "{points:?}");
+        assert!(*points.last().unwrap() <= 600);
+        assert_eq!(workload.query_of(0), 0);
+        assert_eq!(workload.query_of(5), 1);
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::Rng;
 
+use crate::edit::{EditScript, TreeEdit};
 use crate::node::NodeId;
+use crate::order::Order;
 use crate::tree::{Tree, TreeBuilder};
 
 /// Configuration for [`random_tree`].
@@ -319,6 +321,117 @@ pub fn xml_document<R: Rng>(rng: &mut R, config: &XmlDocumentConfig) -> Tree {
         .expect("xml document generator produced a valid tree")
 }
 
+/// Configuration for [`random_edit_script`].
+#[derive(Clone, Debug)]
+pub struct EditScriptConfig {
+    /// Number of edits in the script.
+    pub edits: usize,
+    /// Relative weight of insert-subtree edits.
+    pub insert_weight: u32,
+    /// Relative weight of delete-subtree edits (skipped while the tree has a
+    /// single node, since the root cannot be deleted).
+    pub delete_weight: u32,
+    /// Relative weight of relabel edits.
+    pub relabel_weight: u32,
+    /// Largest fragment an insert may graft (≥ 1).
+    pub max_insert_nodes: usize,
+    /// Alphabet for grafted fragments and new label sets.
+    pub alphabet: Vec<String>,
+}
+
+impl Default for EditScriptConfig {
+    fn default() -> Self {
+        EditScriptConfig {
+            edits: 4,
+            insert_weight: 2,
+            delete_weight: 1,
+            relabel_weight: 2,
+            max_insert_nodes: 6,
+            alphabet: ["A", "B", "C", "D", "E"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Generates a random, always-valid [`EditScript`] against `tree`.
+///
+/// Each edit is drawn for the tree state left by the preceding edits (the
+/// generator applies them as it goes), so the script applies cleanly via
+/// [`EditScript::apply_to`] — the workload shape of the mutable-corpus
+/// serving benchmarks and the differential edit-property tests.
+///
+/// # Panics
+/// Panics if all three weights are zero or the alphabet is empty.
+pub fn random_edit_script<R: Rng>(
+    rng: &mut R,
+    tree: &Tree,
+    config: &EditScriptConfig,
+) -> EditScript {
+    assert!(
+        config.insert_weight + config.relabel_weight > 0,
+        "insert or relabel must have positive weight: a delete-only script \
+         cannot be generated for every tree (the root is undeletable)"
+    );
+    assert!(
+        !config.alphabet.is_empty(),
+        "edit generation requires a non-empty alphabet"
+    );
+    let mut current = tree.clone();
+    let mut script = EditScript::new();
+    for _ in 0..config.edits {
+        let total = config.insert_weight + config.delete_weight + config.relabel_weight;
+        let mut roll = rng.gen_range(0..total);
+        // Deletes need a non-root victim; redraw over the remaining kinds
+        // otherwise (so a zero-weight kind is never emitted by fallback).
+        if roll >= config.insert_weight
+            && roll < config.insert_weight + config.delete_weight
+            && current.len() == 1
+        {
+            let redraw = rng.gen_range(0..config.insert_weight + config.relabel_weight);
+            roll = if redraw < config.insert_weight {
+                redraw
+            } else {
+                config.delete_weight + redraw
+            };
+        }
+        let edit = if roll < config.insert_weight {
+            let parent_pre = rng.gen_range(0..current.len()) as u32;
+            let parent = current.node_at(Order::Pre, parent_pre);
+            let position = rng.gen_range(0..=current.children(parent).len());
+            let nodes = rng.gen_range(1..=config.max_insert_nodes.max(1));
+            let subtree = random_tree(
+                rng,
+                &RandomTreeConfig {
+                    nodes,
+                    alphabet: config.alphabet.clone(),
+                    multi_label_probability: 0.1,
+                    attach_window: usize::MAX,
+                },
+            );
+            TreeEdit::insert_subtree(parent_pre, position, subtree)
+        } else if roll < config.insert_weight + config.delete_weight {
+            TreeEdit::DeleteSubtree {
+                node_pre: rng.gen_range(1..current.len()) as u32,
+            }
+        } else {
+            let node_pre = rng.gen_range(0..current.len()) as u32;
+            let count = rng.gen_range(0..=2usize);
+            let labels = (0..count)
+                .map(|_| config.alphabet[rng.gen_range(0..config.alphabet.len())].clone())
+                .collect();
+            TreeEdit::Relabel { node_pre, labels }
+        };
+        let (next, _) = edit
+            .apply_to(&current)
+            .expect("generated edits target live nodes");
+        script.push(edit);
+        current = next;
+    }
+    script
+}
+
 /// Label weights for [`weighted_random_tree`]: a label alphabet where some
 /// labels are rarer than others (useful for selective queries).
 #[derive(Clone, Debug)]
@@ -533,6 +646,29 @@ mod tests {
         let records = tree.nodes_with_label_name("record");
         assert!(records.len() >= 20);
         assert!(!tree.nodes_with_label_name("name").is_empty());
+    }
+
+    #[test]
+    fn random_edit_scripts_apply_cleanly() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let base = random_tree(&mut rng, &RandomTreeConfig::default());
+        for _ in 0..10 {
+            let script = random_edit_script(
+                &mut rng,
+                &base,
+                &EditScriptConfig {
+                    edits: 5,
+                    ..EditScriptConfig::default()
+                },
+            );
+            assert_eq!(script.len(), 5);
+            let (tree, summary) = script.apply_to(&base).unwrap();
+            assert!(!tree.is_empty());
+            if summary.structure_changed {
+                assert!(tree.pre_is_identity());
+                assert!(summary.inserted_nodes + summary.deleted_nodes > 0);
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   *prevaluations* used by the arc-consistency engine.
 //! * [`parse`] / [`render`] — textual tree formats (term syntax and an
 //!   XML-lite syntax) and ASCII/DOT rendering.
+//! * [`edit`] — the write path: [`TreeEdit`]/[`EditScript`] mutations
+//!   (insert-subtree, delete-subtree, relabel) that re-index incrementally
+//!   and report what they may have invalidated, feeding the serving layer's
+//!   epoch-swapped cache carry-forward.
 //! * [`generate`] — workload generators: random trees, synthetic
 //!   Treebank-style linguistic corpora (our stand-in for the Penn Treebank
 //!   that motivates the paper's Figure 1 query), path structures and the
@@ -33,6 +37,7 @@
 
 pub mod axis;
 pub mod bitset;
+pub mod edit;
 pub mod generate;
 pub mod label;
 pub mod node;
@@ -45,6 +50,7 @@ pub mod tree;
 
 pub use axis::Axis;
 pub use bitset::NodeSet;
+pub use edit::{EditError, EditScript, EditSummary, TreeEdit};
 pub use label::{Label, LabelInterner};
 pub use node::NodeId;
 pub use order::Order;

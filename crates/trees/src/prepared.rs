@@ -25,13 +25,11 @@
 
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
-
-use rustc_hash::FxHasher;
-use std::hash::Hasher;
+use std::sync::{Arc, OnceLock};
 
 use crate::axis::Axis;
 use crate::bitset::NodeSet;
+use crate::edit::EditSummary;
 use crate::label::Label;
 use crate::relation::MaterializedRelation;
 use crate::tree::Tree;
@@ -47,7 +45,9 @@ use crate::tree::Tree;
 pub struct PreparedTree {
     tree: Tree,
     /// One lazily-built relation per axis, indexed by [`Axis::index`].
-    relations: Vec<OnceLock<MaterializedRelation>>,
+    /// `Arc`-wrapped so an epoch swap carries a relation (up to O(n²) pairs
+    /// for the closure axes) by reference count, not by deep copy.
+    relations: Vec<OnceLock<Arc<MaterializedRelation>>>,
     /// Number of relations actually built (cache misses).
     relation_builds: AtomicU64,
     /// One lazily-built pre-order rank-space node set per interned label,
@@ -55,6 +55,11 @@ pub struct PreparedTree {
     label_pre_sets: Vec<OnceLock<NodeSet>>,
     /// Number of label sets actually converted (cache misses).
     label_set_builds: AtomicU64,
+    /// Axis relations adopted from a previous epoch by
+    /// [`PreparedTree::prepare_edited`] instead of being re-derived.
+    carried_relations: u64,
+    /// Label sets adopted from a previous epoch.
+    carried_label_sets: u64,
     structure_hash: u64,
 }
 
@@ -62,7 +67,7 @@ impl PreparedTree {
     /// Prepares `tree` for repeated evaluation. No cache entry is built yet;
     /// each is derived on first use.
     pub fn new(tree: Tree) -> Self {
-        let structure_hash = Self::hash_structure(&tree);
+        let structure_hash = tree.structure_digest();
         let label_count = tree.interner().len();
         PreparedTree {
             tree,
@@ -70,8 +75,70 @@ impl PreparedTree {
             relation_builds: AtomicU64::new(0),
             label_pre_sets: (0..label_count).map(|_| OnceLock::new()).collect(),
             label_set_builds: AtomicU64::new(0),
+            carried_relations: 0,
+            carried_label_sets: 0,
             structure_hash,
         }
+    }
+
+    /// Prepares the result of an edit commit, carrying forward every cache
+    /// entry of `self` (the previous epoch) that the edit *provably* cannot
+    /// have invalidated — per the [`EditSummary`] contract of
+    /// [`crate::edit`]:
+    ///
+    /// * when the script changed no structure
+    ///   ([`EditSummary::keeps_structure`]), the structural index of `tree`
+    ///   is bit-identical to the previous epoch's, so every already-built
+    ///   **axis relation** is adopted as-is, and the rank-space set of every
+    ///   label not in [`EditSummary::touched_labels`] is adopted too;
+    /// * a structural edit shifts pre-order ranks and node ids, so nothing
+    ///   is carried and every cache is rebuilt lazily on first use.
+    ///
+    /// `tree` must be the result of applying the summarized script to
+    /// `self.tree()` — label symbols are matched by index, which is sound
+    /// because the edit applier extends the interner instead of re-interning.
+    /// Carried entries are counted in [`PreparedTree::carried_relations`] /
+    /// [`PreparedTree::carried_label_sets`], not in the build counters.
+    pub fn prepare_edited(&self, tree: Tree, summary: &EditSummary) -> Self {
+        let mut next = PreparedTree::new(tree);
+        if !summary.keeps_structure() {
+            return next;
+        }
+        debug_assert_eq!(next.tree.len(), self.tree.len());
+        for (slot, prev) in next.relations.iter_mut().zip(&self.relations) {
+            if let Some(relation) = prev.get() {
+                let _ = slot.set(Arc::clone(relation));
+                next.carried_relations += 1;
+            }
+        }
+        for (index, (slot, prev)) in next
+            .label_pre_sets
+            .iter_mut()
+            .zip(&self.label_pre_sets)
+            .enumerate()
+        {
+            let name = self.tree.interner().name(Label(index as u32));
+            if summary.touches_label(name) {
+                continue;
+            }
+            if let Some(set) = prev.get() {
+                let _ = slot.set(set.clone());
+                next.carried_label_sets += 1;
+            }
+        }
+        next
+    }
+
+    /// How many axis relations were adopted from the previous epoch at
+    /// construction time (zero for a tree prepared from scratch).
+    pub fn carried_relations(&self) -> u64 {
+        self.carried_relations
+    }
+
+    /// How many label sets were adopted from the previous epoch at
+    /// construction time.
+    pub fn carried_label_sets(&self) -> u64 {
+        self.carried_label_sets
     }
 
     /// The underlying tree.
@@ -89,7 +156,7 @@ impl PreparedTree {
     pub fn relation(&self, axis: Axis) -> &MaterializedRelation {
         self.relations[axis.index()].get_or_init(|| {
             self.relation_builds.fetch_add(1, Ordering::Relaxed);
-            MaterializedRelation::from_axis(&self.tree, axis)
+            Arc::new(MaterializedRelation::from_axis(&self.tree, axis))
         })
     }
 
@@ -123,27 +190,14 @@ impl PreparedTree {
         self.label_set_builds.load(Ordering::Relaxed)
     }
 
-    /// A hash of the tree's structure and labeling, stable for a given tree
-    /// regardless of when or where it was prepared. Serving layers use it to
-    /// identify documents in reports.
+    /// A hash of the tree's structure and labeling
+    /// ([`Tree::structure_digest`], precomputed), stable for a given
+    /// document regardless of when or where it was prepared. Serving layers
+    /// use it to identify document *epochs* in reports and plan-cache keys:
+    /// any committed edit changes it, so a plan bound to the old hash can
+    /// never be looked up for the new epoch.
     pub fn structure_hash(&self) -> u64 {
         self.structure_hash
-    }
-
-    fn hash_structure(tree: &Tree) -> u64 {
-        let mut hasher = FxHasher::default();
-        hasher.write_usize(tree.len());
-        for &end in tree.pre_end_by_pre() {
-            hasher.write_u32(end);
-        }
-        for node in tree.nodes_in_order(crate::order::Order::Pre) {
-            for name in tree.label_names(node) {
-                hasher.write(name.as_bytes());
-                hasher.write_u8(0xfe);
-            }
-            hasher.write_u8(0xff);
-        }
-        hasher.finish()
     }
 }
 
@@ -217,6 +271,66 @@ mod tests {
         assert_eq!(prepared.tree().len(), 2);
         let tree = PreparedTree::new(parse_term("A(B)").unwrap()).into_tree();
         assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn relabel_only_commit_carries_relations_and_untouched_label_sets() {
+        use crate::edit::{EditScript, TreeEdit};
+        let prev = PreparedTree::new(parse_term("A(B(D), C(D))").unwrap());
+        prev.relation(Axis::ChildPlus);
+        prev.relation(Axis::Following);
+        let b = prev.tree().label("B").unwrap();
+        let d = prev.tree().label("D").unwrap();
+        prev.label_pre_set(b);
+        prev.label_pre_set(d);
+        // Relabel the B node to E: structure untouched, labels B and E touched.
+        let script = EditScript::single(TreeEdit::Relabel {
+            node_pre: 1,
+            labels: vec!["E".into()],
+        });
+        let (tree, summary) = script.apply_to(prev.tree()).unwrap();
+        let next = prev.prepare_edited(tree, &summary);
+        assert_ne!(prev.structure_hash(), next.structure_hash());
+        assert_eq!(next.carried_relations(), 2);
+        assert_eq!(next.carried_label_sets(), 1, "only D's set is untouched");
+        // Carried artifacts are *legal*: identical to a from-scratch rebuild.
+        let fresh = MaterializedRelation::from_axis(next.tree(), Axis::ChildPlus);
+        let carried = next.relation(Axis::ChildPlus);
+        assert_eq!(carried.len(), fresh.len());
+        for (u, v) in fresh.pairs() {
+            assert!(carried.contains(u, v));
+        }
+        assert_eq!(
+            next.label_pre_set(d),
+            &next.tree().to_pre_space(next.tree().nodes_with_label(d))
+        );
+        // Serving from carried entries performs no builds; only genuinely new
+        // artifacts (the touched label's set) are derived.
+        assert_eq!(next.relation_builds(), 0);
+        assert_eq!(next.label_set_builds(), 0);
+        let e = next.tree().label("E").unwrap();
+        assert_eq!(
+            next.label_pre_set(e),
+            &next.tree().to_pre_space(next.tree().nodes_with_label(e))
+        );
+        assert_eq!(next.label_set_builds(), 1);
+    }
+
+    #[test]
+    fn structural_commit_carries_nothing() {
+        use crate::edit::{EditScript, TreeEdit};
+        let prev = PreparedTree::new(parse_term("A(B(D), C(D))").unwrap());
+        prev.relation(Axis::Child);
+        prev.label_pre_set(prev.tree().label("D").unwrap());
+        let script = EditScript::single(TreeEdit::DeleteSubtree { node_pre: 3 });
+        let (tree, summary) = script.apply_to(prev.tree()).unwrap();
+        let next = prev.prepare_edited(tree, &summary);
+        assert_eq!(next.carried_relations(), 0);
+        assert_eq!(next.carried_label_sets(), 0);
+        assert_ne!(prev.structure_hash(), next.structure_hash());
+        // Everything is rebuilt lazily against the new epoch.
+        assert!(!next.relation(Axis::Child).is_empty());
+        assert_eq!(next.relation_builds(), 1);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::hash::Hasher;
 
+use rustc_hash::FxHasher;
 use serde::{Deserialize, Serialize};
 
 use crate::bitset::NodeSet;
@@ -139,143 +141,158 @@ impl TreeBuilder {
 
     /// Validates the structure and computes the structural index.
     pub fn build(self) -> Result<Tree, TreeError> {
-        if self.labels.is_empty() {
-            return Err(TreeError::Empty);
-        }
-        let roots: Vec<NodeId> = (0..self.labels.len())
-            .filter(|&i| self.parent[i].is_none())
-            .map(NodeId::from_index)
-            .collect();
-        if roots.len() != 1 {
-            return Err(TreeError::MultipleRoots { roots });
-        }
-        let root = roots[0];
-        let n = self.labels.len();
-
-        let mut depth = vec![0u32; n];
-        let mut sib_rank = vec![0u32; n];
-        let mut next_sibling = vec![None; n];
-        let mut prev_sibling = vec![None; n];
-        for children in &self.children {
-            for (rank, &child) in children.iter().enumerate() {
-                sib_rank[child.index()] = rank as u32;
-                if rank > 0 {
-                    prev_sibling[child.index()] = Some(children[rank - 1]);
-                }
-                if rank + 1 < children.len() {
-                    next_sibling[child.index()] = Some(children[rank + 1]);
-                }
-            }
-        }
-
-        // Pre-order, post-order and subtree intervals via an explicit stack
-        // (iterative DFS so deep trees do not overflow the call stack).
-        let mut pre = vec![0u32; n];
-        let mut pre_end = vec![0u32; n];
-        let mut post = vec![0u32; n];
-        let mut pre_to_node = vec![root; n];
-        let mut post_to_node = vec![root; n];
-        let mut pre_counter = 0u32;
-        let mut post_counter = 0u32;
-        // Stack entries: (node, next child index to visit).
-        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
-        pre[root.index()] = pre_counter;
-        pre_to_node[pre_counter as usize] = root;
-        pre_counter += 1;
-        while let Some(top) = stack.last_mut() {
-            let node = top.0;
-            let next_child = top.1;
-            let children = &self.children[node.index()];
-            if next_child < children.len() {
-                top.1 += 1;
-                let child = children[next_child];
-                depth[child.index()] = depth[node.index()] + 1;
-                pre[child.index()] = pre_counter;
-                pre_to_node[pre_counter as usize] = child;
-                pre_counter += 1;
-                stack.push((child, 0));
-            } else {
-                pre_end[node.index()] = pre_counter - 1;
-                post[node.index()] = post_counter;
-                post_to_node[post_counter as usize] = node;
-                post_counter += 1;
-                stack.pop();
-            }
-        }
-        debug_assert_eq!(pre_counter as usize, n);
-        debug_assert_eq!(post_counter as usize, n);
-
-        // BFLR order.
-        let mut bflr = vec![0u32; n];
-        let mut bflr_to_node = vec![root; n];
-        let mut queue = VecDeque::new();
-        queue.push_back(root);
-        let mut bflr_counter = 0u32;
-        while let Some(node) = queue.pop_front() {
-            bflr[node.index()] = bflr_counter;
-            bflr_to_node[bflr_counter as usize] = node;
-            bflr_counter += 1;
-            for &child in &self.children[node.index()] {
-                queue.push_back(child);
-            }
-        }
-        debug_assert_eq!(bflr_counter as usize, n);
-
-        // Per-label node sets.
-        let mut label_nodes = vec![NodeSet::empty(n); self.interner.len()];
-        for (i, labels) in self.labels.iter().enumerate() {
-            for &label in labels {
-                label_nodes[label.index()].insert(NodeId::from_index(i));
-            }
-        }
-
-        // Rank-space views of the structural index, used by the word-parallel
-        // semijoin kernels: everything indexed by pre-order rank so the hot
-        // loops touch memory sequentially and never chase NodeIds.
-        let mut pre_end_by_pre = vec![0u32; n];
-        let mut parent_by_pre = vec![Tree::NO_PARENT; n];
-        let mut prev_sibling_by_pre = vec![Tree::NO_PARENT; n];
-        let mut next_sibling_by_pre = vec![Tree::NO_PARENT; n];
-        let mut pre_is_identity = true;
-        for (rank, &node) in pre_to_node.iter().enumerate() {
-            pre_end_by_pre[rank] = pre_end[node.index()];
-            if let Some(p) = self.parent[node.index()] {
-                parent_by_pre[rank] = pre[p.index()];
-            }
-            if let Some(s) = prev_sibling[node.index()] {
-                prev_sibling_by_pre[rank] = pre[s.index()];
-            }
-            if let Some(s) = next_sibling[node.index()] {
-                next_sibling_by_pre[rank] = pre[s.index()];
-            }
-            pre_is_identity &= node.index() == rank;
-        }
-
-        Ok(Tree {
-            interner: self.interner,
-            labels: self.labels,
-            parent: self.parent,
-            children: self.children,
-            next_sibling,
-            prev_sibling,
-            depth,
-            sib_rank,
-            pre,
-            pre_end,
-            post,
-            bflr,
-            pre_to_node,
-            post_to_node,
-            bflr_to_node,
-            pre_end_by_pre,
-            parent_by_pre,
-            prev_sibling_by_pre,
-            next_sibling_by_pre,
-            pre_is_identity,
-            label_nodes,
-            root,
-        })
+        index_tree(self.interner, self.labels, self.parent, self.children)
     }
+}
+
+/// Validates a parent/children arena and computes the full structural index.
+///
+/// This is the single place the index invariants live: [`TreeBuilder::build`]
+/// and the incremental [`crate::edit`] applier both funnel through it, so an
+/// edited tree's rank-space arrays are recomputed by exactly the code that
+/// defines them.
+pub(crate) fn index_tree(
+    interner: LabelInterner,
+    labels: Vec<Vec<Label>>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+) -> Result<Tree, TreeError> {
+    if labels.is_empty() {
+        return Err(TreeError::Empty);
+    }
+    let roots: Vec<NodeId> = (0..labels.len())
+        .filter(|&i| parent[i].is_none())
+        .map(NodeId::from_index)
+        .collect();
+    if roots.len() != 1 {
+        return Err(TreeError::MultipleRoots { roots });
+    }
+    let root = roots[0];
+    let n = labels.len();
+
+    let mut depth = vec![0u32; n];
+    let mut sib_rank = vec![0u32; n];
+    let mut next_sibling = vec![None; n];
+    let mut prev_sibling = vec![None; n];
+    for child_list in &children {
+        for (rank, &child) in child_list.iter().enumerate() {
+            sib_rank[child.index()] = rank as u32;
+            if rank > 0 {
+                prev_sibling[child.index()] = Some(child_list[rank - 1]);
+            }
+            if rank + 1 < child_list.len() {
+                next_sibling[child.index()] = Some(child_list[rank + 1]);
+            }
+        }
+    }
+
+    // Pre-order, post-order and subtree intervals via an explicit stack
+    // (iterative DFS so deep trees do not overflow the call stack).
+    let mut pre = vec![0u32; n];
+    let mut pre_end = vec![0u32; n];
+    let mut post = vec![0u32; n];
+    let mut pre_to_node = vec![root; n];
+    let mut post_to_node = vec![root; n];
+    let mut pre_counter = 0u32;
+    let mut post_counter = 0u32;
+    // Stack entries: (node, next child index to visit).
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    pre[root.index()] = pre_counter;
+    pre_to_node[pre_counter as usize] = root;
+    pre_counter += 1;
+    while let Some(top) = stack.last_mut() {
+        let node = top.0;
+        let next_child = top.1;
+        let child_list = &children[node.index()];
+        if next_child < child_list.len() {
+            top.1 += 1;
+            let child = child_list[next_child];
+            depth[child.index()] = depth[node.index()] + 1;
+            pre[child.index()] = pre_counter;
+            pre_to_node[pre_counter as usize] = child;
+            pre_counter += 1;
+            stack.push((child, 0));
+        } else {
+            pre_end[node.index()] = pre_counter - 1;
+            post[node.index()] = post_counter;
+            post_to_node[post_counter as usize] = node;
+            post_counter += 1;
+            stack.pop();
+        }
+    }
+    debug_assert_eq!(pre_counter as usize, n);
+    debug_assert_eq!(post_counter as usize, n);
+
+    // BFLR order.
+    let mut bflr = vec![0u32; n];
+    let mut bflr_to_node = vec![root; n];
+    let mut queue = VecDeque::new();
+    queue.push_back(root);
+    let mut bflr_counter = 0u32;
+    while let Some(node) = queue.pop_front() {
+        bflr[node.index()] = bflr_counter;
+        bflr_to_node[bflr_counter as usize] = node;
+        bflr_counter += 1;
+        for &child in &children[node.index()] {
+            queue.push_back(child);
+        }
+    }
+    debug_assert_eq!(bflr_counter as usize, n);
+
+    // Per-label node sets.
+    let mut label_nodes = vec![NodeSet::empty(n); interner.len()];
+    for (i, node_labels) in labels.iter().enumerate() {
+        for &label in node_labels {
+            label_nodes[label.index()].insert(NodeId::from_index(i));
+        }
+    }
+
+    // Rank-space views of the structural index, used by the word-parallel
+    // semijoin kernels: everything indexed by pre-order rank so the hot
+    // loops touch memory sequentially and never chase NodeIds.
+    let mut pre_end_by_pre = vec![0u32; n];
+    let mut parent_by_pre = vec![Tree::NO_PARENT; n];
+    let mut prev_sibling_by_pre = vec![Tree::NO_PARENT; n];
+    let mut next_sibling_by_pre = vec![Tree::NO_PARENT; n];
+    let mut pre_is_identity = true;
+    for (rank, &node) in pre_to_node.iter().enumerate() {
+        pre_end_by_pre[rank] = pre_end[node.index()];
+        if let Some(p) = parent[node.index()] {
+            parent_by_pre[rank] = pre[p.index()];
+        }
+        if let Some(s) = prev_sibling[node.index()] {
+            prev_sibling_by_pre[rank] = pre[s.index()];
+        }
+        if let Some(s) = next_sibling[node.index()] {
+            next_sibling_by_pre[rank] = pre[s.index()];
+        }
+        pre_is_identity &= node.index() == rank;
+    }
+
+    Ok(Tree {
+        interner,
+        labels,
+        parent,
+        children,
+        next_sibling,
+        prev_sibling,
+        depth,
+        sib_rank,
+        pre,
+        pre_end,
+        post,
+        bflr,
+        pre_to_node,
+        post_to_node,
+        bflr_to_node,
+        pre_end_by_pre,
+        parent_by_pre,
+        prev_sibling_by_pre,
+        next_sibling_by_pre,
+        pre_is_identity,
+        label_nodes,
+        root,
+    })
 }
 
 /// An immutable unranked labeled tree with a full structural index.
@@ -648,6 +665,69 @@ impl Tree {
     /// The maximum depth over all nodes.
     pub fn height(&self) -> u32 {
         self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    // ---- structural identity and editing support ------------------------
+
+    /// A hash of the tree's structure and labeling: the subtree intervals in
+    /// pre-order rank space plus the label *names* of every node in pre-order.
+    /// Two trees digest equally iff they are isomorphic as ordered labeled
+    /// trees — independently of arena numbering and label interning order —
+    /// so an incrementally edited tree and a from-scratch rebuild of the same
+    /// document always agree. Serving layers use the digest to key caches to
+    /// a document epoch.
+    pub fn structure_digest(&self) -> u64 {
+        let mut hasher = FxHasher::default();
+        hasher.write_usize(self.len());
+        for &end in self.pre_end_by_pre() {
+            hasher.write_u32(end);
+        }
+        for node in self.nodes_in_order(Order::Pre) {
+            // Sorted by name, not by symbol: trees whose interners grew in
+            // different orders (carried vs fresh) must digest equally.
+            let mut names = self.label_names(node);
+            names.sort_unstable();
+            for name in names {
+                hasher.write(name.as_bytes());
+                hasher.write_u8(0xfe);
+            }
+            hasher.write_u8(0xff);
+        }
+        hasher.finish()
+    }
+
+    /// A copy of the tree with `node`'s label set replaced by `new_labels`
+    /// (symbols of `interner`, which must extend this tree's interner).
+    ///
+    /// This is the relabel fast path of the [`crate::edit`] applier: the
+    /// structural index (ranks, intervals, sibling links) is shared verbatim
+    /// — only the per-label node sets are surgically updated — which is what
+    /// makes it *provably safe* for a prepared tree to carry materialized
+    /// axis relations across a relabel-only edit.
+    pub(crate) fn relabeled(
+        &self,
+        node: NodeId,
+        mut new_labels: Vec<Label>,
+        interner: LabelInterner,
+    ) -> Tree {
+        new_labels.sort_unstable();
+        new_labels.dedup();
+        let mut tree = self.clone();
+        let n = tree.len();
+        while tree.label_nodes.len() < interner.len() {
+            tree.label_nodes.push(NodeSet::empty(n));
+        }
+        for &old in &tree.labels[node.index()] {
+            if new_labels.binary_search(&old).is_err() {
+                tree.label_nodes[old.index()].remove(node);
+            }
+        }
+        for &new in &new_labels {
+            tree.label_nodes[new.index()].insert(node);
+        }
+        tree.labels[node.index()] = new_labels;
+        tree.interner = interner;
+        tree
     }
 }
 

@@ -33,6 +33,6 @@ pub mod prepared;
 pub use ast::{LocationPath, NodeTest, Predicate, Step, XPathQuery};
 pub use compile::compile_to_positive_query;
 pub use emit::{emit_acyclic_query, emit_positive_query};
-pub use eval::evaluate_xpath;
+pub use eval::{evaluate_xpath, evaluate_xpath_prepared};
 pub use parser::parse_xpath;
 pub use prepared::CompiledXPath;

@@ -110,6 +110,32 @@ mod tests {
     }
 
     #[test]
+    fn compiled_xpath_observes_document_epochs() {
+        use cqt_trees::edit::{EditScript, TreeEdit};
+        // One compiled plan, two document epochs: the plan is bound to
+        // neither, so executing against each epoch's PreparedTree snapshot
+        // yields that epoch's answers — the contract the serving layer's
+        // epoch swap relies on.
+        let compiled = CompiledXPath::parse("//A[B]/following::C").unwrap();
+        let epoch0 = PreparedTree::new(parse_term("R(A(B), D, C)").unwrap());
+        let mut scratch = ExecScratch::new();
+        assert_eq!(compiled.execute(&epoch0, &mut scratch).len(), 1);
+        // Append another C after the existing one: two following C's now.
+        let script = EditScript::single(TreeEdit::InsertSubtree {
+            parent_pre: 0,
+            position: 3,
+            subtree: Box::new(parse_term("C").unwrap()),
+        });
+        let (tree, summary) = script.apply_to(epoch0.tree()).unwrap();
+        let epoch1 = epoch0.prepare_edited(tree, &summary);
+        assert_ne!(epoch0.structure_hash(), epoch1.structure_hash());
+        assert_eq!(compiled.execute(&epoch1, &mut scratch).len(), 2);
+        // The old epoch keeps serving its own answers (readers holding the
+        // previous snapshot are unaffected by the commit).
+        assert_eq!(compiled.execute(&epoch0, &mut scratch).len(), 1);
+    }
+
+    #[test]
     fn repeated_execution_is_stable_and_uses_the_label_cache() {
         let prepared = PreparedTree::new(parse_term("R(A(B), D, C, A(E), C)").unwrap());
         let mut scratch = ExecScratch::new();

@@ -27,8 +27,10 @@
 //! * [`xpath`] — positive Core XPath parsing, evaluation, compilation to
 //!   CQs and emission from acyclic queries;
 //! * [`service`] — the concurrent serving layer: compiled plans with a
-//!   signature-keyed cache, prepared-tree corpora, and a multi-threaded
-//!   batch runner with latency/throughput statistics.
+//!   signature-keyed cache, prepared-tree corpora, a multi-threaded batch
+//!   runner with latency/throughput statistics, and epoch-swapped mutable
+//!   documents (`CorpusHandle`) serving mixed read/write streams with
+//!   oracle-checked epoch consistency.
 //!
 //! ## Quick start
 //!
@@ -69,8 +71,13 @@ pub mod prelude {
     };
     pub use cqt_query::{parse_query, ConjunctiveQuery, PositiveQuery, Signature};
     pub use cqt_rewrite::{diamond_query, join_lifter, ps_structure, rewrite_to_apq};
-    pub use cqt_service::{QuerySpec, ServiceConfig, ServiceRunner, Workload};
-    pub use cqt_trees::{Axis, NodeId, NodeSet, Order, PreparedTree, Tree, TreeBuilder};
+    pub use cqt_service::{
+        CorpusHandle, MutationOracle, MutationWorkload, QuerySpec, ServiceConfig, ServiceRunner,
+        Workload,
+    };
+    pub use cqt_trees::{
+        Axis, EditScript, NodeId, NodeSet, Order, PreparedTree, Tree, TreeBuilder, TreeEdit,
+    };
     pub use cqt_xpath::{
         compile_to_positive_query, emit_acyclic_query, evaluate_xpath, parse_xpath,
     };

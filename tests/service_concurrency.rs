@@ -1,15 +1,22 @@
-//! Multi-threaded stress test for the serving layer: N worker threads hammer
-//! one shared `Arc<PreparedTree>` with a mix of tractable and NP-hard
-//! queries, and every concurrent answer is cross-checked against the
-//! single-threaded `Engine` facade.
+//! Multi-threaded stress tests for the serving layer: N worker threads
+//! hammer one shared `Arc<PreparedTree>` with a mix of tractable and NP-hard
+//! queries (every concurrent answer cross-checked against the
+//! single-threaded `Engine` facade), and a writer thread commits edit
+//! scripts against an epoch-swapped corpus while 8 readers serve — with
+//! every observed answer required to match the oracle of the exact epoch it
+//! was read from.
 
 use std::sync::Arc;
 
 use cq_trees::core::{Answer, CompiledQuery, Engine, ExecScratch};
 use cq_trees::query::cq::figure1_query;
 use cq_trees::query::parse_query;
-use cq_trees::service::{QuerySpec, ServiceConfig, ServiceRunner, Workload};
-use cq_trees::trees::generate::{treebank, TreebankConfig};
+use cq_trees::service::{
+    CorpusHandle, MutationOracle, MutationWorkload, QuerySpec, ServiceConfig, ServiceRunner,
+    Workload,
+};
+use cq_trees::trees::edit::EditScript;
+use cq_trees::trees::generate::{random_edit_script, treebank, EditScriptConfig, TreebankConfig};
 use cq_trees::trees::PreparedTree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -93,6 +100,103 @@ fn concurrent_compiled_execution_matches_single_threaded_engine() {
             });
         }
     });
+}
+
+/// One writer committing edit scripts while 8 readers serve mixed
+/// tractable / NP-hard / XPath queries against the same corpus handle.
+/// Epoch consistency is the hard requirement: every reader's answer must
+/// match the single-threaded oracle *of the epoch the reader snapshot* —
+/// pre- or post-edit depending on timing, but never a blend of the two.
+#[test]
+fn one_writer_eight_readers_are_epoch_consistent() {
+    let initial = {
+        let mut rng = StdRng::seed_from_u64(42);
+        treebank(
+            &mut rng,
+            &TreebankConfig {
+                sentences: 12,
+                max_depth: 4,
+                pp_probability: 0.6,
+            },
+        )
+    };
+
+    // Scripts address successive epochs: script i is generated against the
+    // tree left by scripts 0..i, exactly as the writer will commit them.
+    let script_config = EditScriptConfig {
+        edits: 3,
+        alphabet: ["NP", "PP", "NN", "S", "VB"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        ..EditScriptConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut scripts: Vec<EditScript> = Vec::new();
+    let mut tree = initial.clone();
+    for _ in 0..3 {
+        let script = random_edit_script(&mut rng, &tree, &script_config);
+        tree = script.apply_to(&tree).unwrap().0;
+        scripts.push(script);
+    }
+    // End on a relabel-only script so readers also serve an epoch whose
+    // caches were carried forward from its predecessor.
+    scripts.push(EditScript::single(cq_trees::trees::TreeEdit::Relabel {
+        node_pre: tree.len() as u32 / 2,
+        labels: vec!["NP".into(), "NN".into()],
+    }));
+
+    let mut queries: Vec<QuerySpec> = query_mix().into_iter().map(QuerySpec::from_cq).collect();
+    queries.push(QuerySpec::parse_xpath("//NP[NN]/following::PP | //VP").unwrap());
+
+    let workload = MutationWorkload::new(queries.clone(), scripts.clone(), 1200);
+    let corpus = CorpusHandle::new(initial.clone());
+    let runner = ServiceRunner::new(ServiceConfig {
+        threads: 8,
+        chunk: 2,
+        ..ServiceConfig::default()
+    });
+    let report = runner.run_mutating(&corpus, &workload).unwrap();
+
+    assert_eq!(report.commits.len(), scripts.len());
+    assert_eq!(report.final_epoch(), scripts.len() as u64);
+    assert_eq!(corpus.epoch(), scripts.len() as u64);
+    // The probes pin both ends of the epoch range; the concurrent readers
+    // fill in whatever the scheduler produced in between.
+    let epochs = report.epochs_observed();
+    assert!(
+        epochs.contains(&0) && epochs.contains(&(scripts.len() as u64)),
+        "expected first and final epochs among {epochs:?}"
+    );
+
+    // THE check: every (query, epoch, answer) observation matches the
+    // replayed single-threaded oracle for that exact epoch.
+    let oracle =
+        MutationOracle::build(&initial, &scripts, &queries, &runner.config().plan).unwrap();
+    oracle.check(&report).expect("epoch-consistency violated");
+    // The trailing relabel-only script preserved structure, so its epoch is
+    // eligible for cache carry-forward (actual carry counts depend on what
+    // readers had warmed when the writer committed).
+    assert!(report.commits.last().unwrap().summary.keeps_structure());
+
+    // Plan-cache accounting: every read is a hit or a compile, at least the
+    // epoch-0 plans compiled, and — because the writer evicts each
+    // superseded epoch's entries — the cache ends bounded by the live
+    // epoch's plans (plus at most a few stale re-inserts from readers that
+    // snapshot an epoch right before its eviction), not by total commits.
+    let query_count = queries.len() as u64;
+    assert!(report.plan_cache.misses >= query_count);
+    assert_eq!(
+        report.plan_cache.hits + report.plan_cache.misses,
+        report.reads
+    );
+    // After the runner's final sweep (no readers left to re-insert stale
+    // epochs), only the live epoch's plans remain.
+    assert!(
+        runner.cache().len() as u64 <= query_count,
+        "evicted cache should hold one epoch of plans, found {}",
+        runner.cache().len()
+    );
 }
 
 #[test]
