@@ -13,11 +13,16 @@
 //!     [--bench-json out.json] [--bench-check ref.json]
 //! cargo run --release -p cqt-bench --bin experiments -- serve \
 //!     [--threads N] [--mutate] [--bench-json out.json] [--bench-check ref.json]
+//! cargo run --release -p cqt-bench --bin experiments -- serve \
+//!     --corpus N [--shards S] [--threads N] [--bench-json out.json] \
+//!     [--bench-check ref.json]
+//! cargo run --release -p cqt-bench --bin experiments -- help
 //! ```
 //!
 //! Each subcommand regenerates one of the paper's tables/figures
 //! experimentally; EXPERIMENTS.md records the outputs next to the paper's
-//! claims.
+//! claims. Run `experiments help` (or `--help`) for the full flag
+//! reference.
 //!
 //! The `bench` subcommand is the perf baseline harness: it times the
 //! word-parallel semijoin kernels against the retained scalar baseline, and
@@ -48,6 +53,21 @@
 //! run of the same workload. `--bench-json` writes the numbers (the
 //! committed `BENCH_4.json`); `--bench-check` gates on the frozen/mutate
 //! throughput ratio — a within-run ratio, so machine speed cancels out.
+//!
+//! With `--corpus N [--shards S]`, the `serve` subcommand benchmarks the
+//! **sharded multi-document corpus** (`cqt-service::shard`): `N` named
+//! documents (half of them structural clones, so cross-document plan-cache
+//! sharing is observable) partitioned across `S` shards. Phase 1 runs a
+//! frozen scatter–gather batch (fan-out to one document, a tagged subset,
+//! and all documents) single- and multi-threaded and cross-checks their
+//! fingerprints; phase 2 reruns the read stream with **multiple concurrent
+//! writers** (one per mutated document) and verifies every observation
+//! against the per-document `CorpusMutationOracle` — exiting non-zero on
+//! any epoch-consistency or writer-isolation violation. `--bench-json`
+//! writes the numbers (the committed `BENCH_5.json`); `--bench-check` gates
+//! on the frozen/mutating read-throughput ratio (within-run, so machine
+//! speed cancels) and requires a **nonzero cross-document plan-cache hit
+//! rate**.
 //!
 //! The `--smoke` flag (usable with any subcommand, and what CI runs) caps
 //! every instance size so the full `all` sweep finishes in seconds: the
@@ -115,8 +135,83 @@ impl Scale {
     }
 }
 
+/// The CLI reference, printed by `experiments help` / `--help` and on
+/// unknown input. Every subcommand and every flag added since the harness
+/// first shipped is documented here.
+fn usage() -> &'static str {
+    "experiments — tables, figures and benchmark harnesses of the cq-trees workspace
+
+USAGE:
+    experiments [SUBCOMMAND] [FLAGS]
+
+SUBCOMMANDS (default: all):
+    all                 run every table/figure experiment below
+    table1              Table I — tractability of one- and two-axis signatures
+    table2              Table II — the NAND(k, l) offsets
+    figure3             Figure 3 — X-property counterexamples (Example 4.5)
+    figure8             Figure 8 — the worked CQ -> APQ rewrite
+    scaling             Theorem 3.5 — evaluation time vs data size
+    hardness            Theorem 5.1 — reduction solve time vs instance size
+    succinctness [N]    Theorem 7.1 — APQ blow-up for the diamond queries D_n
+    bench               perf baseline: semijoin kernels + AC fixpoint vs the
+                        in-repo scalar baseline (committed as BENCH_2.json)
+    serve               serving throughput: single- vs multi-threaded batch
+                        over prepared trees (committed as BENCH_3.json)
+    serve --mutate      epoch-swapped single-document corpus: 1 writer + N
+                        readers under the MutationOracle (BENCH_4.json)
+    serve --corpus N    sharded multi-document corpus: scatter-gather fan-out
+                        plus multiple concurrent writers under per-document
+                        oracles (BENCH_5.json)
+    help                print this reference
+
+FLAGS:
+    --smoke             cap every instance size so the run finishes in
+                        seconds (any subcommand; what CI runs)
+    --threads N         reader/worker thread count for `serve` (default 4)
+    --mutate            `serve` only: benchmark the mutable single-document
+                        corpus instead of the frozen batch
+    --corpus N          `serve` only: benchmark the sharded multi-document
+                        corpus with N documents (includes a mutating phase;
+                        exclusive with --mutate)
+    --shards S          with --corpus: number of shards (default 4)
+    --bench-json PATH   `bench`/`serve`: write the run's numbers as JSON
+    --bench-check PATH  `bench`/`serve`: compare against a committed
+                        reference JSON and exit non-zero on a regression
+                        (each gate is a within-run ratio, so machine speed
+                        cancels out; the corpus gate additionally requires a
+                        nonzero cross-document plan-cache hit rate)
+"
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Help detection must not look inside flag *values* (`--bench-json
+    // help` names a file, not a request for help), so skip the argument
+    // after each value-taking flag.
+    const VALUE_FLAGS: [&str; 5] = [
+        "--bench-json",
+        "--bench-check",
+        "--threads",
+        "--corpus",
+        "--shards",
+    ];
+    let mut wants_help = false;
+    let mut skip_value = false;
+    for arg in &args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_value = true;
+        } else if arg == "help" || arg == "--help" || arg == "-h" {
+            wants_help = true;
+        }
+    }
+    if wants_help {
+        print!("{}", usage());
+        return;
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     let mutate = args.iter().any(|a| a == "--mutate");
@@ -124,34 +219,43 @@ fn main() {
     let take_value_flag = |args: &mut Vec<String>, flag: &str| -> Option<String> {
         let pos = args.iter().position(|a| a == flag)?;
         if pos + 1 >= args.len() {
-            eprintln!("{flag} requires a path argument");
+            eprintln!("{flag} requires a value argument");
             std::process::exit(1);
         }
         let value = args.remove(pos + 1);
         args.remove(pos);
         Some(value)
     };
+    let parse_positive = |flag: &str, value: Option<String>| -> Option<usize> {
+        value.map(|t| match t.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} requires a positive integer");
+                std::process::exit(1);
+            }
+        })
+    };
     let bench_json = take_value_flag(&mut args, "--bench-json");
     let bench_check = take_value_flag(&mut args, "--bench-check");
-    let threads = take_value_flag(&mut args, "--threads").map(|t| match t.parse::<usize>() {
-        Ok(n) if n > 0 => n,
-        _ => {
-            eprintln!("--threads requires a positive integer");
-            std::process::exit(1);
-        }
-    });
+    let threads = parse_positive("--threads", take_value_flag(&mut args, "--threads"));
+    let corpus = parse_positive("--corpus", take_value_flag(&mut args, "--corpus"));
+    let shards = parse_positive("--shards", take_value_flag(&mut args, "--shards"));
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
     let command = args.first().map(String::as_str).unwrap_or("all");
     if !matches!(command, "bench" | "serve") && (bench_json.is_some() || bench_check.is_some()) {
         eprintln!("--bench-json/--bench-check are only valid with `bench` or `serve`");
         std::process::exit(1);
     }
-    if command != "serve" && threads.is_some() {
-        eprintln!("--threads is only valid with the `serve` subcommand");
+    if command != "serve" && (threads.is_some() || mutate || corpus.is_some() || shards.is_some()) {
+        eprintln!("--threads/--mutate/--corpus/--shards are only valid with `serve`");
         std::process::exit(1);
     }
-    if command != "serve" && mutate {
-        eprintln!("--mutate is only valid with the `serve` subcommand");
+    if mutate && corpus.is_some() {
+        eprintln!("--mutate and --corpus are exclusive (the corpus mode includes mutation)");
+        std::process::exit(1);
+    }
+    if shards.is_some() && corpus.is_none() {
+        eprintln!("--shards requires --corpus");
         std::process::exit(1);
     }
     match command {
@@ -169,18 +273,32 @@ fn main() {
             succinctness(max_n);
         }
         "bench" => bench_baseline(smoke, bench_json.as_deref(), bench_check.as_deref()),
-        "serve" if mutate => serve_mutate(
-            smoke,
-            threads,
-            bench_json.as_deref(),
-            bench_check.as_deref(),
-        ),
-        "serve" => serve(
-            smoke,
-            threads,
-            bench_json.as_deref(),
-            bench_check.as_deref(),
-        ),
+        "serve" => {
+            if let Some(documents) = corpus {
+                serve_corpus(
+                    smoke,
+                    threads,
+                    documents,
+                    shards.unwrap_or(4),
+                    bench_json.as_deref(),
+                    bench_check.as_deref(),
+                );
+            } else if mutate {
+                serve_mutate(
+                    smoke,
+                    threads,
+                    bench_json.as_deref(),
+                    bench_check.as_deref(),
+                );
+            } else {
+                serve(
+                    smoke,
+                    threads,
+                    bench_json.as_deref(),
+                    bench_check.as_deref(),
+                );
+            }
+        }
         "all" => {
             table1(&scale);
             table2();
@@ -191,7 +309,7 @@ fn main() {
             succinctness(scale.succinctness_max_n);
         }
         other => {
-            eprintln!("unknown experiment {other:?}; see the module docs for the available ones");
+            eprintln!("unknown experiment {other:?}\n\n{}", usage());
             std::process::exit(1);
         }
     }
@@ -991,6 +1109,294 @@ fn check_mutate_regression(ref_path: &str, current_overhead: f64) {
         std::process::exit(1);
     }
     println!("mutate-check passed");
+}
+
+/// The sharded multi-document corpus harness (`serve --corpus N
+/// [--shards S]`): phase 1 runs a frozen scatter–gather batch (fan-out to
+/// one document, a tagged subset, and all documents) single- and
+/// multi-threaded over a corpus whose documents are 50% structural clones —
+/// proving cross-document plan-cache sharing with a live counter; phase 2
+/// reruns the read stream with multiple concurrent per-document writers and
+/// verifies every observation against the per-document
+/// [`CorpusMutationOracle`], exiting non-zero on any epoch-consistency or
+/// writer-isolation violation.
+///
+/// [`CorpusMutationOracle`]: cqt_service::CorpusMutationOracle
+fn serve_corpus(
+    smoke: bool,
+    threads: Option<usize>,
+    documents: usize,
+    shards: usize,
+    json_path: Option<&str>,
+    check_path: Option<&str>,
+) {
+    use cqt_service::{
+        Corpus, CorpusMutationOracle, CorpusMutationWorkload, CorpusRequest, CorpusWorkload, DocId,
+        FanOut, QuerySpec, ServiceConfig, ServiceRunner,
+    };
+    use cqt_trees::edit::EditScript;
+    use cqt_trees::generate::{
+        document_corpus, random_edit_script, DocumentCorpusConfig, EditScriptConfig,
+    };
+    use cqt_trees::Tree;
+    use std::collections::BTreeMap;
+
+    header("Sharded corpus serving — scatter–gather + concurrent per-document writers");
+    let (nodes_per_document, reads, scatter_repeats) = if smoke {
+        (300, 2_400, 24)
+    } else {
+        (3_000, 24_000, 60)
+    };
+    let reader_threads = threads.unwrap_or(4).max(1);
+    // Half the corpus consists of structural clones, so cross-document
+    // plan-cache sharing has something to share.
+    let distinct = documents.div_ceil(2);
+    let mut rng = StdRng::seed_from_u64(2005);
+    let trees = document_corpus(
+        &mut rng,
+        &DocumentCorpusConfig {
+            documents,
+            distinct,
+            nodes_per_document,
+            ..DocumentCorpusConfig::default()
+        },
+    );
+    let corpus = Corpus::new(shards);
+    let doc_ids: Vec<DocId> = (0..documents)
+        .map(|i| DocId::new(format!("doc-{i:04}")))
+        .collect();
+    for (i, tree) in trees.iter().enumerate() {
+        let tags: &[&str] = if i % 4 == 0 { &["hot"] } else { &[] };
+        corpus
+            .insert_tagged(doc_ids[i].clone(), tags, tree.clone())
+            .expect("fresh corpus has no duplicates");
+    }
+    println!(
+        "corpus: {documents} documents x {nodes_per_document} nodes \
+         ({distinct} distinct structures, collision rate {:.2}), {shards} shards \
+         (sizes {:?})",
+        corpus.structure_collision_rate(),
+        corpus.shard_sizes(),
+    );
+
+    let queries = vec![
+        QuerySpec::parse_cq("Q(y) :- A(x), Child+(x, y), B(y).").expect("valid query"),
+        QuerySpec::parse_cq("Q() :- C(x), Child(x, y), D(y).").expect("valid query"),
+        QuerySpec::parse_xpath("//A[B] | //E").expect("valid xpath"),
+    ];
+
+    // Phase 1 — frozen scatter–gather, single- vs multi-threaded.
+    let scatter = CorpusWorkload::new(
+        vec![
+            CorpusRequest {
+                query: queries[0].clone(),
+                target: FanOut::All,
+            },
+            CorpusRequest {
+                query: queries[1].clone(),
+                target: FanOut::Tagged("hot".into()),
+            },
+            CorpusRequest {
+                query: queries[2].clone(),
+                target: FanOut::One(doc_ids[documents / 2].clone()),
+            },
+        ],
+        scatter_repeats,
+    );
+    let single = ServiceRunner::new(ServiceConfig::with_threads(1)).run_corpus(&corpus, &scatter);
+    let multi = ServiceRunner::new(ServiceConfig::with_threads(reader_threads))
+        .run_corpus(&corpus, &scatter);
+    if single.answer_fingerprint != multi.answer_fingerprint {
+        eprintln!("SCATTER-GATHER FAILED: thread count changed the gathered answers");
+        std::process::exit(1);
+    }
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "threads", "requests", "doc execs", "QPS", "p50", "p99", "cross-doc hits"
+    );
+    for report in [&single, &multi] {
+        println!(
+            "{:<10} {:>10} {:>12} {:>12.0} {:>12} {:>12} {:>14}",
+            report.threads,
+            report.requests,
+            report.doc_executions,
+            report.qps,
+            fmt_ns(report.latency.p50_ns as f64),
+            fmt_ns(report.latency.p99_ns as f64),
+            report.plan_cache.cross_document_hits,
+        );
+    }
+    let cross_doc_hits = multi.plan_cache.cross_document_hits;
+    let cross_doc_hit_rate = multi.sharing.cross_document_hit_rate;
+    println!(
+        "cross-document sharing ({reader_threads} threads): {} of {} lookups \
+         ({:.1}%) hit a plan another document compiled — only possible between \
+         equal structure hashes",
+        cross_doc_hits,
+        multi.sharing.lookups,
+        cross_doc_hit_rate * 100.0,
+    );
+
+    // Phase 2 — the same read stream frozen, then under concurrent
+    // per-document writers (one writer thread per mutated document).
+    let frozen_workload =
+        CorpusMutationWorkload::new(queries.clone(), doc_ids.clone(), Vec::new(), reads);
+    let frozen_runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+    frozen_runner
+        .run_corpus_mutating(&corpus, &frozen_workload)
+        .expect("frozen corpus run cannot fail"); // warm plans + caches
+    let frozen = frozen_runner
+        .run_corpus_mutating(&corpus, &frozen_workload)
+        .expect("frozen corpus run cannot fail");
+
+    let writer_count = documents.min(if smoke { 6 } else { 12 }).max(1);
+    let script_config = EditScriptConfig {
+        edits: 3,
+        ..EditScriptConfig::default()
+    };
+    let mut writers: Vec<(DocId, Vec<EditScript>)> = Vec::new();
+    for w in 0..writer_count {
+        let doc = w * documents / writer_count;
+        let mut tree = trees[doc].clone();
+        let mut scripts = Vec::new();
+        for _ in 0..3 {
+            let script = random_edit_script(&mut rng, &tree, &script_config);
+            tree = script.apply_to(&tree).expect("generated script applies").0;
+            scripts.push(script);
+        }
+        writers.push((doc_ids[doc].clone(), scripts));
+    }
+    let mutate_workload =
+        CorpusMutationWorkload::new(queries.clone(), doc_ids.clone(), writers.clone(), reads);
+    let runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+    let report = runner
+        .run_corpus_mutating(&corpus, &mutate_workload)
+        .expect("generated scripts commit cleanly");
+
+    // Hard correctness gate: per-document epoch consistency AND writer
+    // isolation (frozen documents only ever observed at epoch 0).
+    let initial: BTreeMap<DocId, Tree> = doc_ids.iter().cloned().zip(trees.clone()).collect();
+    let writer_map: BTreeMap<DocId, Vec<EditScript>> = writers.into_iter().collect();
+    let oracle =
+        CorpusMutationOracle::build(&initial, &writer_map, &queries, &runner.config().plan)
+            .expect("oracle replay applies");
+    if let Err(violation) = oracle.check(&report) {
+        eprintln!("CORPUS EPOCH-CONSISTENCY FAILED: {violation}");
+        std::process::exit(1);
+    }
+
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "mode", "reads", "QPS", "p50", "p99", "writers", "commits"
+    );
+    println!(
+        "{:<10} {:>10} {:>12.0} {:>12} {:>12} {:>9} {:>9}",
+        "frozen",
+        frozen.reads,
+        frozen.qps,
+        fmt_ns(frozen.latency.p50_ns as f64),
+        fmt_ns(frozen.latency.p99_ns as f64),
+        0,
+        0,
+    );
+    println!(
+        "{:<10} {:>10} {:>12.0} {:>12} {:>12} {:>9} {:>9}",
+        "mutate",
+        report.reads,
+        report.qps,
+        fmt_ns(report.latency.p50_ns as f64),
+        fmt_ns(report.latency.p99_ns as f64),
+        report.writers,
+        report.total_commits(),
+    );
+    let overhead = frozen.qps / report.qps.max(1e-12);
+    println!(
+        "\ncorpus_overhead (frozen QPS / mutate QPS, {reader_threads} readers + \
+         {writer_count} writers) = {overhead:.2}x"
+    );
+    println!(
+        "epoch consistency + writer isolation: OK ({} observations over {} documents, \
+         {} commits, {} cache entries carried)",
+        report.observations.len(),
+        documents,
+        report.total_commits(),
+        report.carried_entries(),
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"cq-trees-corpus-bench/1\",\n  \"mode\": \"{}\",\n  \
+             \"documents\": {},\n  \"shards\": {},\n  \"distinct_structures\": {},\n  \
+             \"reader_threads\": {},\n  \"writers\": {},\n  \
+             \"scatter_requests\": {},\n  \"doc_executions\": {},\n  \
+             \"qps_scatter\": {:.1},\n  \
+             \"cross_doc_hits\": {},\n  \"cross_doc_hit_rate\": {:.4},\n  \
+             \"reads\": {},\n  \"qps_frozen\": {:.1},\n  \"qps_mutate\": {:.1},\n  \
+             \"corpus_overhead\": {:.3},\n  \"consistency\": \"ok\",\n  \
+             \"scatter\": {},\n  \"frozen\": {},\n  \"mutate\": {}\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            documents,
+            shards,
+            distinct,
+            reader_threads,
+            writer_count,
+            multi.requests,
+            multi.doc_executions,
+            multi.qps,
+            cross_doc_hits,
+            cross_doc_hit_rate,
+            report.reads,
+            frozen.qps,
+            report.qps,
+            overhead,
+            multi.to_json(),
+            frozen.to_json(),
+            report.to_json(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        check_corpus_regression(path, overhead, cross_doc_hits);
+    }
+}
+
+/// Compares the frozen/mutate corpus throughput ratio against a reference
+/// JSON (same machine-independence argument as [`check_mutate_regression`])
+/// and additionally requires a **nonzero cross-document plan-cache hit
+/// count** — the live proof that structurally identical documents share
+/// compiled plans.
+fn check_corpus_regression(ref_path: &str, current_overhead: f64, cross_doc_hits: u64) {
+    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
+        eprintln!("cannot read corpus reference {ref_path}: {e}");
+        std::process::exit(1);
+    });
+    let Some(ref_overhead) = extract_json_number(&reference, "corpus_overhead") else {
+        eprintln!("no corpus_overhead in {ref_path}");
+        std::process::exit(1);
+    };
+    println!(
+        "corpus-check: frozen/mutate overhead {current_overhead:.2}x vs reference \
+         {ref_overhead:.2}x; cross-document hits {cross_doc_hits}"
+    );
+    if current_overhead > ref_overhead * 3.0 {
+        eprintln!(
+            "corpus-check FAILED: corpus serving under mutation slowed down more than 3x \
+             vs the committed baseline"
+        );
+        std::process::exit(1);
+    }
+    if cross_doc_hits == 0 {
+        eprintln!(
+            "corpus-check FAILED: no cross-document plan-cache hits — structurally \
+             identical documents stopped sharing plans"
+        );
+        std::process::exit(1);
+    }
+    println!("corpus-check passed");
 }
 
 /// Compares the current multi-vs-single-thread speedup against a reference

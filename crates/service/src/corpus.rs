@@ -16,6 +16,25 @@
 //! [`PreparedTree::structure_hash`], and the serving loop binds plan-cache
 //! keys to it ([`crate::plan::PlanKey::with_document`]), so a lookup for the
 //! new epoch can never return an entry created for the old one.
+//!
+//! ```
+//! use cqt_service::CorpusHandle;
+//! use cqt_trees::edit::{EditScript, TreeEdit};
+//! use cqt_trees::parse::parse_term;
+//!
+//! let handle = CorpusHandle::new(parse_term("R(A(B), C)").unwrap());
+//! let reader = handle.snapshot(); // epoch 0; evaluation is lock-free
+//! let report = handle
+//!     .commit(&EditScript::single(TreeEdit::Relabel {
+//!         node_pre: 3, // pre-order rank of the C node
+//!         labels: vec!["D".into()],
+//!     }))
+//!     .unwrap();
+//! assert_eq!(report.epoch, 1);
+//! assert!(report.summary.keeps_structure()); // relabel-only: caches carried
+//! assert_eq!(handle.snapshot().epoch, 1);    // new readers see epoch 1
+//! assert_eq!(reader.epoch, 0);               // the old snapshot keeps serving epoch 0
+//! ```
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};

@@ -33,6 +33,19 @@
 //!   stream (one writer, N readers) over such a corpus and records
 //!   per-epoch answer observations checkable against a [`MutationOracle`].
 //!
+//! * **scale to many documents** — a sharded [`Corpus`]
+//!   ([`shard`]) maps [`DocId`]s to independently mutable documents
+//!   partitioned across shards by id hash: per-document epoch swapping
+//!   (a writer to one document never blocks — or is observable by — a
+//!   reader of another), scatter–gather fan-out ([`FanOut`]: one document,
+//!   a tagged subset, or all) via [`ServiceRunner::run_corpus`], multiple
+//!   concurrent writers (at most one per document) via
+//!   [`ServiceRunner::run_corpus_mutating`] checked by a per-document
+//!   [`CorpusMutationOracle`], and **cross-document plan sharing**:
+//!   document-bound plan keys collide exactly for documents with equal
+//!   structure hashes, proven live by
+//!   [`PlanCacheStats::cross_document_hits`].
+//!
 //! The [`ServiceReport`] returned by a run carries throughput (QPS), latency
 //! percentiles (p50/p99), an order-independent answer fingerprint for
 //! cross-checking runs at different thread counts, and the plan-cache
@@ -64,11 +77,18 @@
 pub mod corpus;
 pub mod plan;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 pub mod workload;
 
 pub use corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanOptions};
 pub use runner::{ServiceConfig, ServiceRunner};
-pub use stats::{answer_fingerprint, LatencySummary, MutationReport, ServiceReport};
-pub use workload::{MutationWorkload, QuerySpec, Workload};
+pub use shard::{Corpus, CorpusError, CorpusMutationOracle, DocId, Document, FanOut};
+pub use stats::{
+    answer_fingerprint, CorpusMutationReport, CorpusReport, LatencySummary, MutationReport,
+    ServiceReport,
+};
+pub use workload::{
+    CorpusMutationWorkload, CorpusRequest, CorpusWorkload, MutationWorkload, QuerySpec, Workload,
+};

@@ -273,6 +273,13 @@ pub struct PlanCacheStats {
     /// conjunctive query, including rewrite/XPath disjuncts). Serving the
     /// same query twice must not increase this.
     pub analyses: u64,
+    /// Hits served to a *different document* than the one that compiled the
+    /// entry (only counted on tagged lookups, see
+    /// [`PlanCache::get_or_compile_tagged`]). Document-bound keys embed the
+    /// document's structure hash, so a cross-document hit can only happen
+    /// between documents with **equal structure hashes** — this counter is
+    /// the proof that structurally identical documents share plans.
+    pub cross_document_hits: u64,
 }
 
 /// One cache slot: the spec it was created for (checked on every lookup, so
@@ -282,6 +289,9 @@ pub struct PlanCacheStats {
 struct CacheCell {
     spec: QuerySpec,
     plan: OnceLock<Arc<Plan>>,
+    /// Tag of the document whose lookup compiled the plan (0 = untagged).
+    /// Later tagged hits with a different tag are cross-document hits.
+    owner: AtomicU64,
 }
 
 /// A thread-safe memo of compiled plans, keyed by [`PlanKey`] (options
@@ -301,6 +311,7 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     analyses: AtomicU64,
+    cross_document_hits: AtomicU64,
 }
 
 impl PlanCache {
@@ -327,6 +338,33 @@ impl PlanCache {
         spec: &QuerySpec,
         options: &PlanOptions,
     ) -> Arc<Plan> {
+        self.get_or_compile_tagged(key, spec, options, 0)
+    }
+
+    /// [`PlanCache::get_or_compile_keyed`] with a caller-supplied **document
+    /// tag** (0 = untagged) for cross-document accounting: the tag of the
+    /// lookup that compiles a plan is remembered, and a later tagged hit with
+    /// a *different* tag increments
+    /// [`PlanCacheStats::cross_document_hits`].
+    ///
+    /// The sharded corpus layer ([`crate::shard::Corpus`]) tags every lookup
+    /// with the owning document's identity. Since corpus lookups bind keys to
+    /// the document's structure hash ([`PlanKey::with_document`]), a
+    /// cross-document hit proves two *distinct* documents with *equal*
+    /// structure hashes shared one compiled plan. (Plans are currently
+    /// derived from the query alone, so the sharing is trivially sound
+    /// today; the counter exists so that if planning ever becomes
+    /// data-dependent, the sharing stays observable — and the structure
+    /// hash, covering the whole labeled shape, would still be a sound share
+    /// key. See [`PlanKey::with_document`] for why keys are document-bound
+    /// at all.)
+    pub fn get_or_compile_tagged(
+        &self,
+        key: PlanKey,
+        spec: &QuerySpec,
+        options: &PlanOptions,
+        tag: u64,
+    ) -> Arc<Plan> {
         let cell = {
             let plans = self.plans.read().expect("plan cache poisoned");
             plans.get(&key).cloned()
@@ -337,6 +375,7 @@ impl PlanCache {
                 Arc::new(CacheCell {
                     spec: spec.clone(),
                     plan: OnceLock::new(),
+                    owner: AtomicU64::new(0),
                 })
             }))
         });
@@ -353,11 +392,18 @@ impl PlanCache {
             let (plan, analyses) = Plan::compile(spec, options);
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.analyses.fetch_add(analyses, Ordering::Relaxed);
+            cell.owner.store(tag, Ordering::Relaxed);
             compiled_now = true;
             Arc::new(plan)
         }));
         if !compiled_now {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if tag != 0 {
+                let owner = cell.owner.load(Ordering::Relaxed);
+                if owner != 0 && owner != tag {
+                    self.cross_document_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         plan
     }
@@ -397,6 +443,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             analyses: self.analyses.load(Ordering::Relaxed),
+            cross_document_hits: self.cross_document_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -594,6 +641,46 @@ mod tests {
         cache.get_or_compile_keyed(base.with_document(11), &spec, &options);
         assert_eq!(cache.stats().misses, misses_before + 1);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn tagged_lookups_count_cross_document_hits() {
+        let cache = PlanCache::new();
+        let options = PlanOptions::default();
+        let spec = QuerySpec::parse_cq("Q() :- A(x), Child(x, y).").unwrap();
+        // Two documents with the same structure hash share one key.
+        let key = PlanKey::of_spec(&spec)
+            .with_options(&options)
+            .with_document(0xfeed);
+        let doc_a = 1u64;
+        let doc_b = 2u64;
+        let first = cache.get_or_compile_tagged(key, &spec, &options, doc_a);
+        assert_eq!(cache.stats().cross_document_hits, 0);
+        // Same document re-hitting its own entry is not cross-document.
+        cache.get_or_compile_tagged(key, &spec, &options, doc_a);
+        assert_eq!(cache.stats().cross_document_hits, 0);
+        assert_eq!(cache.stats().hits, 1);
+        // A different document hitting the shared entry is.
+        let shared = cache.get_or_compile_tagged(key, &spec, &options, doc_b);
+        assert!(Arc::ptr_eq(&first, &shared));
+        assert_eq!(cache.stats().cross_document_hits, 1);
+        // Untagged hits never count (no document identity to compare).
+        cache.get_or_compile_tagged(key, &spec, &options, 0);
+        assert_eq!(cache.stats().cross_document_hits, 1);
+        assert_eq!(cache.stats().hits, 3);
+        // Distinct structure hashes mean distinct keys: no sharing, and
+        // therefore no cross-document hit is possible between them.
+        let other = cache.get_or_compile_tagged(
+            PlanKey::of_spec(&spec)
+                .with_options(&options)
+                .with_document(0xbeef),
+            &spec,
+            &options,
+            doc_b,
+        );
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(cache.stats().cross_document_hits, 1);
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]

@@ -9,8 +9,15 @@
 //! against the request's `Arc<PreparedTree>` with a worker-local
 //! [`cqt_core::ExecScratch`], so evaluation itself allocates nothing in the
 //! steady state beyond the answer.
+//!
+//! The same pool drives the three other serving modes:
+//! [`ServiceRunner::run_mutating`] (one writer + N readers over an
+//! epoch-swapped [`CorpusHandle`]), [`ServiceRunner::run_corpus`]
+//! (scatter–gather over a sharded multi-document [`Corpus`]) and
+//! [`ServiceRunner::run_corpus_mutating`] (N readers + one writer thread
+//! per mutated document).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -20,8 +27,12 @@ use cqt_trees::edit::EditError;
 
 use crate::corpus::{CommitReport, CorpusHandle};
 use crate::plan::{PlanCache, PlanKey, PlanOptions};
-use crate::stats::{answer_fingerprint, LatencySummary, MutationReport, ServiceReport};
-use crate::workload::{MutationWorkload, Workload};
+use crate::shard::{Corpus, CorpusError, DocId, Document, SharingSummary};
+use crate::stats::{
+    answer_fingerprint, CorpusMutationReport, CorpusReport, LatencySummary, MutationReport,
+    ServiceReport,
+};
+use crate::workload::{CorpusMutationWorkload, CorpusWorkload, MutationWorkload, Workload};
 
 /// Configuration of a [`ServiceRunner`].
 #[derive(Clone, Debug)]
@@ -320,6 +331,337 @@ impl ServiceRunner {
             commits,
             observations,
             plan_cache: self.cache.stats(),
+        })
+    }
+
+    /// Executes every scatter–gather request of `workload` against a
+    /// sharded multi-document corpus.
+    ///
+    /// Each request resolves its [`crate::shard::FanOut`] target to a
+    /// document list (resolved once, up front), then — per document —
+    /// snapshots the document's current epoch, binds the plan-cache key to
+    /// the snapshot's structure hash and tags the lookup with the
+    /// document's identity (so [`crate::plan::PlanCacheStats`] counts
+    /// cross-document sharing), executes, and folds the answer into an
+    /// order-independent per-request fingerprint. A request's latency
+    /// covers its whole scatter–gather.
+    pub fn run_corpus(&self, corpus: &Corpus, workload: &CorpusWorkload) -> CorpusReport {
+        // 0 whenever `requests` is empty, so `request_of`'s modulo is safe.
+        let total = workload.request_count();
+        let threads = self.config.threads.max(1);
+        let chunk = self.config.chunk.max(1);
+        let cursor = AtomicUsize::new(0);
+        let keys: Vec<PlanKey> = workload
+            .requests
+            .iter()
+            .map(|r| PlanKey::of_spec(&r.query).with_options(&self.config.plan))
+            .collect();
+        // Resolve fan-out targets once: corpus membership is stable during a
+        // run (only commits happen concurrently), so this avoids re-walking
+        // shard maps per request. Snapshots are still taken per execution —
+        // a concurrent commit is picked up by the next request that touches
+        // the document.
+        let targets: Vec<Vec<Arc<Document>>> = workload
+            .requests
+            .iter()
+            .map(|r| corpus.select(&r.target))
+            .collect();
+        let documents = corpus.len();
+        let started = Instant::now();
+        let mut all_latencies: Vec<u64> = Vec::with_capacity(total);
+        let mut fingerprint = 0u64;
+        let mut doc_executions = 0u64;
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let cache = &self.cache;
+                let options = &self.config.plan;
+                let keys = &keys;
+                let targets = &targets;
+                workers.push(scope.spawn(move || {
+                    let mut scratch = ExecScratch::new();
+                    let mut latencies = Vec::new();
+                    let mut fingerprint = 0u64;
+                    let mut executions = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= total {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(total) {
+                            let request_index = workload.request_of(i);
+                            let spec = &workload.requests[request_index].query;
+                            let begin = Instant::now();
+                            for (j, document) in targets[request_index].iter().enumerate() {
+                                let snapshot = document.handle().snapshot();
+                                let key = keys[request_index]
+                                    .with_document(snapshot.prepared.structure_hash());
+                                let plan = cache.get_or_compile_tagged(
+                                    key,
+                                    spec,
+                                    options,
+                                    document.doc_tag(),
+                                );
+                                let answer = plan.execute(&snapshot.prepared, &mut scratch);
+                                // Key each gathered answer by (request, doc
+                                // position): swapping answers between
+                                // documents or requests changes the sum,
+                                // while thread scheduling does not.
+                                fingerprint = fingerprint.wrapping_add(answer_fingerprint(
+                                    i as u64 * 1_000_003 + j as u64,
+                                    &answer,
+                                ));
+                                executions += 1;
+                            }
+                            latencies.push(begin.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    (latencies, fingerprint, executions)
+                }));
+            }
+            for worker in workers {
+                let (latencies, worker_fingerprint, executions) =
+                    worker.join().expect("corpus worker panicked");
+                all_latencies.extend(latencies);
+                fingerprint = fingerprint.wrapping_add(worker_fingerprint);
+                doc_executions += executions;
+            }
+        });
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let requests = all_latencies.len() as u64;
+        let plan_cache = self.cache.stats();
+        CorpusReport {
+            threads,
+            shards: corpus.shard_count(),
+            documents,
+            requests,
+            doc_executions,
+            wall_ns,
+            qps: requests as f64 / (wall_ns as f64 / 1e9).max(1e-12),
+            latency: LatencySummary::from_samples(all_latencies),
+            answer_fingerprint: fingerprint,
+            sharing: SharingSummary::from_stats(&plan_cache),
+            plan_cache,
+        }
+    }
+
+    /// Executes a mixed read/write workload against a sharded corpus:
+    /// `config.threads` reader threads cycle the (query × document) read
+    /// stream while **one writer thread per workload writer** commits its
+    /// document's scripts at cursor-paced points — writers to distinct
+    /// documents run concurrently and never block each other's readers.
+    ///
+    /// Every read snapshots exactly one document and binds its plan key to
+    /// that snapshot's structure hash, so per-document epoch consistency
+    /// holds for the same reason as in [`ServiceRunner::run_mutating`]; the
+    /// recorded `(document, query, epoch, fingerprint)` observations are
+    /// checkable with a [`crate::shard::CorpusMutationOracle`], whose check
+    /// also enforces **writer isolation** (documents without a writer are
+    /// only ever observed at epoch 0). One probe read per (query, document)
+    /// pair runs before the writers start and after they all finish.
+    ///
+    /// Fails fast (before any thread starts) if a read target or writer
+    /// document is not in the corpus; fails after the run if any script did
+    /// not apply (its document is left at its last good epoch; other
+    /// writers are unaffected).
+    pub fn run_corpus_mutating(
+        &self,
+        corpus: &Corpus,
+        workload: &CorpusMutationWorkload,
+    ) -> Result<CorpusMutationReport, CorpusError> {
+        let resolve = |id: &DocId| -> Result<Arc<Document>, CorpusError> {
+            corpus
+                .get(id)
+                .ok_or_else(|| CorpusError::UnknownDocument(id.clone()))
+        };
+        let readers_docs: Vec<Arc<Document>> = workload
+            .doc_ids
+            .iter()
+            .map(&resolve)
+            .collect::<Result<_, _>>()?;
+        let writer_docs: Vec<(Arc<Document>, &[cqt_trees::edit::EditScript])> = workload
+            .writers
+            .iter()
+            .map(|(id, scripts)| Ok((resolve(id)?, scripts.as_slice())))
+            .collect::<Result<_, CorpusError>>()?;
+        let total = if workload.queries.is_empty() || readers_docs.is_empty() {
+            0
+        } else {
+            workload.reads
+        };
+        let threads = self.config.threads.max(1);
+        let chunk = self.config.chunk.max(1);
+        let cursor = AtomicUsize::new(0);
+        let keys: Vec<PlanKey> = workload
+            .queries
+            .iter()
+            .map(|spec| PlanKey::of_spec(spec).with_options(&self.config.plan))
+            .collect();
+        // One read of query `qi` against document `di` through the full
+        // serving path, recording the (doc, query, epoch, fingerprint)
+        // observation. Fingerprints are keyed by query index, exactly like
+        // the per-document oracle's expectations.
+        type Observations = BTreeSet<(DocId, usize, u64, u64)>;
+        let serve_one = |query_index: usize,
+                         doc_index: usize,
+                         scratch: &mut ExecScratch,
+                         observations: &mut Observations|
+         -> u64 {
+            let begin = Instant::now();
+            let document = &readers_docs[doc_index];
+            let snapshot = document.handle().snapshot();
+            let spec = &workload.queries[query_index];
+            let key = keys[query_index].with_document(snapshot.prepared.structure_hash());
+            let plan =
+                self.cache
+                    .get_or_compile_tagged(key, spec, &self.config.plan, document.doc_tag());
+            let answer = plan.execute(&snapshot.prepared, scratch);
+            observations.insert((
+                document.id().clone(),
+                query_index,
+                snapshot.epoch,
+                answer_fingerprint(query_index as u64, &answer),
+            ));
+            begin.elapsed().as_nanos() as u64
+        };
+
+        let started = Instant::now();
+        let probe_count = workload.queries.len() * readers_docs.len();
+        let mut all_latencies: Vec<u64> = Vec::with_capacity(total + 2 * probe_count);
+        let mut observations: Observations = BTreeSet::new();
+        // Probe every (query, document) pair on its epoch 0 before any
+        // writer runs.
+        if total > 0 {
+            let mut scratch = ExecScratch::new();
+            for doc_index in 0..readers_docs.len() {
+                for query_index in 0..workload.queries.len() {
+                    all_latencies.push(serve_one(
+                        query_index,
+                        doc_index,
+                        &mut scratch,
+                        &mut observations,
+                    ));
+                }
+            }
+        }
+        let mut commits: BTreeMap<DocId, Vec<CommitReport>> = BTreeMap::new();
+        let mut commit_error: Option<CorpusError> = None;
+        std::thread::scope(|scope| {
+            let mut writer_handles = Vec::with_capacity(writer_docs.len());
+            for (w, (document, scripts)) in writer_docs.iter().enumerate() {
+                let cursor = &cursor;
+                let commit_points = workload.commit_points(w);
+                let cache = &self.cache;
+                writer_handles.push(scope.spawn(move || {
+                    let mut reports: Vec<CommitReport> = Vec::with_capacity(scripts.len());
+                    for (i, script) in scripts.iter().enumerate() {
+                        while cursor.load(Ordering::Relaxed) < commit_points[i].min(total) {
+                            // Sleep, don't spin (see `run_mutating`): a
+                            // 100µs poll paces commits finely enough
+                            // without stealing reader cores.
+                            std::thread::sleep(std::time::Duration::from_micros(100));
+                        }
+                        match document.handle().commit(script) {
+                            Ok(report) => {
+                                reports.push(report);
+                                // Sweeping a superseded hash may also evict
+                                // entries a structurally identical *clone*
+                                // document still serves — a correct, merely
+                                // unmemoized read for the clone (its next
+                                // lookup recompiles), accepted to keep the
+                                // cache bounded by live epochs.
+                                sweep_superseded(cache, &reports);
+                            }
+                            Err(error) => {
+                                return (
+                                    document.id().clone(),
+                                    reports,
+                                    Some(CorpusError::Edit(document.id().clone(), error)),
+                                )
+                            }
+                        }
+                    }
+                    (document.id().clone(), reports, None)
+                }));
+            }
+            let mut workers = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let serve_one = &serve_one;
+                workers.push(scope.spawn(move || {
+                    let mut scratch = ExecScratch::new();
+                    let mut latencies = Vec::new();
+                    let mut observations = BTreeSet::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= total {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(total) {
+                            let (query_index, doc_index) = workload.read_of(i);
+                            latencies.push(serve_one(
+                                query_index,
+                                doc_index,
+                                &mut scratch,
+                                &mut observations,
+                            ));
+                        }
+                    }
+                    (latencies, observations)
+                }));
+            }
+            for worker in workers {
+                let (latencies, observed) = worker.join().expect("corpus reader panicked");
+                all_latencies.extend(latencies);
+                observations.extend(observed);
+            }
+            for handle in writer_handles {
+                let (id, reports, error) = handle.join().expect("corpus writer panicked");
+                // Final sweep per document: readers have joined, so no
+                // stale re-insert can outlive this.
+                sweep_superseded(&self.cache, &reports);
+                if !reports.is_empty() {
+                    commits.insert(id, reports);
+                }
+                if commit_error.is_none() {
+                    commit_error = error;
+                }
+            }
+        });
+        if let Some(error) = commit_error {
+            return Err(error);
+        }
+        // Probe the final epoch of every (query, document) pair: all
+        // writers have finished, so these are deterministically the last
+        // committed epochs.
+        if total > 0 {
+            let mut scratch = ExecScratch::new();
+            for doc_index in 0..readers_docs.len() {
+                for query_index in 0..workload.queries.len() {
+                    all_latencies.push(serve_one(
+                        query_index,
+                        doc_index,
+                        &mut scratch,
+                        &mut observations,
+                    ));
+                }
+            }
+        }
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let reads = all_latencies.len() as u64;
+        let plan_cache = self.cache.stats();
+        Ok(CorpusMutationReport {
+            threads,
+            writers: writer_docs.len(),
+            reads,
+            wall_ns,
+            qps: reads as f64 / (wall_ns as f64 / 1e9).max(1e-12),
+            latency: LatencySummary::from_samples(all_latencies),
+            commits,
+            observations,
+            sharing: SharingSummary::from_stats(&plan_cache),
+            plan_cache,
         })
     }
 }

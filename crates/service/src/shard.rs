@@ -1,0 +1,638 @@
+//! Sharded multi-document corpus serving: many named documents, one
+//! serving plane.
+//!
+//! A [`Corpus`] scales the single-document [`CorpusHandle`] of
+//! [`crate::corpus`] to a production-shaped document store: `S` **shards**,
+//! each holding a map from [`DocId`] to a [`Document`], with documents
+//! partitioned by a hash of their id. The design keeps every property the
+//! single-document layer established and adds exactly one new axis — *many
+//! independently mutable documents*:
+//!
+//! * **Per-document epoch swapping.** Each document owns its own
+//!   [`CorpusHandle`]; a commit takes only that document's writer lock and
+//!   swaps only that document's epoch pointer. A writer to document A never
+//!   blocks — or is even observable by — a reader of document B (asserted by
+//!   the corpus routing tests).
+//! * **Read-mostly shard maps.** A shard's map is only write-locked by
+//!   document *insertion/removal*; looking a document up takes a brief read
+//!   lock to clone an `Arc<Document>`, after which snapshotting and
+//!   evaluation proceed exactly as in the single-document layer — the
+//!   snapshot is immutable, so the read path holds no lock while executing.
+//! * **Cross-document plan sharing.** Plan-cache keys bind to a document
+//!   *epoch* via its structure hash ([`crate::plan::PlanKey::with_document`]),
+//!   not to the document's *name* — so two documents whose current epochs
+//!   have **equal structure hashes** (e.g. replicated or templated
+//!   documents) resolve to the same cache entry. This is sound for free: the
+//!   structure hash covers the whole labeled shape, which is everything a
+//!   plan could depend on. The corpus serving loop tags every lookup with
+//!   the document's identity so that
+//!   [`PlanCacheStats::cross_document_hits`] *proves* the sharing happens.
+//!
+//! ```
+//! use cqt_service::shard::{Corpus, FanOut};
+//! use cqt_trees::edit::{EditScript, TreeEdit};
+//! use cqt_trees::parse::parse_term;
+//!
+//! let corpus = Corpus::new(4);
+//! corpus.insert("news/a", parse_term("R(A(B), C)").unwrap());
+//! corpus.insert_tagged("news/b", &["hot"], parse_term("R(A, A)").unwrap());
+//! assert_eq!(corpus.len(), 2);
+//!
+//! // Readers snapshot one document; writers commit to one document.
+//! let before = corpus.snapshot(&"news/a".into()).unwrap();
+//! corpus
+//!     .commit(
+//!         &"news/a".into(),
+//!         &EditScript::single(TreeEdit::Relabel { node_pre: 2, labels: vec!["D".into()] }),
+//!     )
+//!     .unwrap();
+//! assert_eq!(corpus.snapshot(&"news/a".into()).unwrap().epoch, 1);
+//! assert_eq!(before.epoch, 0); // the old snapshot still serves epoch 0
+//!
+//! // A commit to one document never moves another document's epoch.
+//! assert_eq!(corpus.snapshot(&"news/b".into()).unwrap().epoch, 0);
+//!
+//! // Fan-out targets select one document, a tagged subset, or everything.
+//! assert_eq!(corpus.select(&FanOut::All).len(), 2);
+//! assert_eq!(corpus.select(&FanOut::Tagged("hot".into())).len(), 1);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use cqt_trees::edit::{EditError, EditScript};
+use cqt_trees::Tree;
+use rustc_hash::{FxHashMap, FxHasher};
+
+use crate::corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
+use crate::plan::{PlanCacheStats, PlanOptions};
+use crate::stats::CorpusMutationReport;
+use crate::workload::QuerySpec;
+
+/// The name of a document in a [`Corpus`]. Cheap to clone (shared string),
+/// totally ordered so reports and oracles can index documents
+/// deterministically.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(Arc<str>);
+
+impl DocId {
+    /// A document id from any string-ish name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        DocId(Arc::from(name.as_ref()))
+    }
+
+    /// The document name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for DocId {
+    fn from(name: &str) -> Self {
+        DocId::new(name)
+    }
+}
+
+impl From<String> for DocId {
+    fn from(name: String) -> Self {
+        DocId::new(name)
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One named document of a [`Corpus`]: an epoch-swapped [`CorpusHandle`]
+/// plus the routing metadata (id, tags, a corpus-unique accounting tag).
+#[derive(Debug)]
+pub struct Document {
+    id: DocId,
+    tags: BTreeSet<String>,
+    handle: CorpusHandle,
+    /// Corpus-unique nonzero identity used to tag plan-cache lookups for
+    /// cross-document hit accounting (never 0, which marks untagged
+    /// lookups).
+    doc_tag: u64,
+}
+
+impl Document {
+    /// The document's id.
+    pub fn id(&self) -> &DocId {
+        &self.id
+    }
+
+    /// The document's routing tags.
+    pub fn tags(&self) -> &BTreeSet<String> {
+        &self.tags
+    }
+
+    /// Whether the document carries `tag`.
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.contains(tag)
+    }
+
+    /// The document's epoch-swapped serving handle.
+    pub fn handle(&self) -> &CorpusHandle {
+        &self.handle
+    }
+
+    /// The corpus-unique nonzero plan-cache accounting tag
+    /// (see [`crate::plan::PlanCache::get_or_compile_tagged`]).
+    pub fn doc_tag(&self) -> u64 {
+        self.doc_tag
+    }
+}
+
+/// Which documents a corpus request fans out to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FanOut {
+    /// Exactly one document.
+    One(DocId),
+    /// Every document carrying the tag (scatter–gather).
+    Tagged(String),
+    /// Every document of the corpus (scatter–gather).
+    All,
+}
+
+/// Errors of corpus-level operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CorpusError {
+    /// The addressed document is not in the corpus.
+    UnknownDocument(DocId),
+    /// A document id was inserted twice.
+    DuplicateDocument(DocId),
+    /// The document exists but its edit script failed to apply; the
+    /// document is untouched.
+    Edit(DocId, EditError),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::UnknownDocument(id) => write!(f, "unknown document {id:?}"),
+            CorpusError::DuplicateDocument(id) => write!(f, "document {id:?} already exists"),
+            CorpusError::Edit(id, error) => write!(f, "edit on document {id:?} failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// A sharded corpus of named, independently mutable documents. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct Corpus {
+    shards: Vec<RwLock<FxHashMap<DocId, Arc<Document>>>>,
+    /// Source of [`Document::doc_tag`]s; starts at 1 so 0 stays the
+    /// "untagged" sentinel of the plan cache.
+    next_tag: AtomicU64,
+}
+
+impl Corpus {
+    /// An empty corpus with `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        Corpus {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            next_tag: AtomicU64::new(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `id` routes to: a hash of the document *name* modulo
+    /// the shard count — stable across processes for a fixed shard count.
+    ///
+    /// The Fx hash is passed through an avalanche finalizer first: Fx's low
+    /// bits are dominated by the first input byte, so ids sharing a prefix
+    /// (`doc-0`, `doc-1`, …) would otherwise all land on one shard.
+    pub fn shard_of(&self, id: &DocId) -> usize {
+        let mut hasher = FxHasher::default();
+        hasher.write(id.as_str().as_bytes());
+        let mut h = hasher.finish();
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, id: &DocId) -> &RwLock<FxHashMap<DocId, Arc<Document>>> {
+        &self.shards[self.shard_of(id)]
+    }
+
+    /// Inserts a document with no tags. See [`Corpus::insert_tagged`].
+    pub fn insert(&self, id: impl Into<DocId>, tree: Tree) -> Result<Arc<Document>, CorpusError> {
+        self.insert_tagged(id, &[], tree)
+    }
+
+    /// Inserts a new document under `id` with the given routing tags,
+    /// serving `tree` as its epoch 0. Fails on a duplicate id (documents are
+    /// mutated through [`Corpus::commit`], never by re-insertion).
+    ///
+    /// This is the only operation (besides [`Corpus::remove`]) that
+    /// write-locks a shard map, and it locks exactly one shard.
+    pub fn insert_tagged(
+        &self,
+        id: impl Into<DocId>,
+        tags: &[&str],
+        tree: Tree,
+    ) -> Result<Arc<Document>, CorpusError> {
+        let id = id.into();
+        let document = Arc::new(Document {
+            id: id.clone(),
+            tags: tags.iter().map(|t| t.to_string()).collect(),
+            handle: CorpusHandle::new(tree),
+            doc_tag: self.next_tag.fetch_add(1, Ordering::Relaxed),
+        });
+        let mut shard = self.shard(&id).write().expect("shard lock poisoned");
+        if shard.contains_key(&id) {
+            return Err(CorpusError::DuplicateDocument(id));
+        }
+        shard.insert(id, Arc::clone(&document));
+        Ok(document)
+    }
+
+    /// Removes and returns the document under `id`. Readers still holding
+    /// the document (or snapshots of it) keep serving it; the corpus just
+    /// stops routing to it.
+    pub fn remove(&self, id: &DocId) -> Option<Arc<Document>> {
+        self.shard(id)
+            .write()
+            .expect("shard lock poisoned")
+            .remove(id)
+    }
+
+    /// The document under `id`. The shard read lock is held only while the
+    /// `Arc` is cloned.
+    pub fn get(&self, id: &DocId) -> Option<Arc<Document>> {
+        self.shard(id)
+            .read()
+            .expect("shard lock poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// The current epoch snapshot of the document under `id`. Evaluation
+    /// against the snapshot runs lock-free, exactly as in the
+    /// single-document layer.
+    pub fn snapshot(&self, id: &DocId) -> Option<CorpusSnapshot> {
+        self.get(id).map(|document| document.handle.snapshot())
+    }
+
+    /// Applies `script` to the document under `id`, swapping in its next
+    /// epoch. Takes only that document's writer lock: commits to distinct
+    /// documents run fully in parallel, and no reader of any document is
+    /// blocked (readers of *this* document keep serving the epoch they
+    /// snapshot).
+    pub fn commit(&self, id: &DocId, script: &EditScript) -> Result<CommitReport, CorpusError> {
+        let document = self
+            .get(id)
+            .ok_or_else(|| CorpusError::UnknownDocument(id.clone()))?;
+        document
+            .handle
+            .commit(script)
+            .map_err(|error| CorpusError::Edit(id.clone(), error))
+    }
+
+    /// Total number of documents.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Documents per shard, for balance diagnostics.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock poisoned").len())
+            .collect()
+    }
+
+    /// Every document, sorted by id (deterministic scatter order).
+    pub fn documents(&self) -> Vec<Arc<Document>> {
+        let mut documents: Vec<Arc<Document>> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .expect("shard lock poisoned")
+                    .values()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        documents.sort_by(|a, b| a.id.cmp(&b.id));
+        documents
+    }
+
+    /// The documents a [`FanOut`] target resolves to, sorted by id. An
+    /// unknown [`FanOut::One`] id resolves to the empty list (the runner
+    /// reports zero per-document executions for it).
+    pub fn select(&self, target: &FanOut) -> Vec<Arc<Document>> {
+        match target {
+            FanOut::One(id) => self.get(id).into_iter().collect(),
+            FanOut::Tagged(tag) => self
+                .documents()
+                .into_iter()
+                .filter(|d| d.has_tag(tag))
+                .collect(),
+            FanOut::All => self.documents(),
+        }
+    }
+
+    /// The fraction of documents sharing their current structure hash with
+    /// at least one *other* document — the corpus's plan-sharing
+    /// opportunity. 0.0 for an empty corpus.
+    pub fn structure_collision_rate(&self) -> f64 {
+        let documents = self.documents();
+        if documents.is_empty() {
+            return 0.0;
+        }
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+        for document in &documents {
+            *counts.entry(document.handle.structure_hash()).or_default() += 1;
+        }
+        let colliding: usize = counts.values().filter(|&&c| c > 1).sum();
+        colliding as f64 / documents.len() as f64
+    }
+}
+
+/// Ground truth for a multi-writer corpus mutation run: one
+/// [`MutationOracle`] per document (documents without a writer get a
+/// single-epoch oracle), checked against the `(doc, query, epoch,
+/// fingerprint)` observations of a
+/// [`crate::runner::ServiceRunner::run_corpus_mutating`] run.
+///
+/// Beyond per-document epoch consistency, the corpus-level check enforces
+/// **writer isolation**: a document with no writer must only ever be
+/// observed at epoch 0 — a commit to document A that moved a reader of
+/// document B off its epoch would surface here.
+#[derive(Clone, Debug)]
+pub struct CorpusMutationOracle {
+    per_doc: BTreeMap<DocId, MutationOracle>,
+}
+
+impl CorpusMutationOracle {
+    /// Replays every document: `initial` maps ids to epoch-0 trees,
+    /// `writers` maps ids to the scripts their writer commits in order
+    /// (missing ids are frozen documents with a single epoch).
+    pub fn build(
+        initial: &BTreeMap<DocId, Tree>,
+        writers: &BTreeMap<DocId, Vec<EditScript>>,
+        queries: &[QuerySpec],
+        options: &PlanOptions,
+    ) -> Result<Self, EditError> {
+        let empty: Vec<EditScript> = Vec::new();
+        let mut per_doc = BTreeMap::new();
+        for (id, tree) in initial {
+            let scripts = writers.get(id).unwrap_or(&empty);
+            per_doc.insert(
+                id.clone(),
+                MutationOracle::build(tree, scripts, queries, options)?,
+            );
+        }
+        Ok(CorpusMutationOracle { per_doc })
+    }
+
+    /// The per-document oracle of `id`.
+    pub fn for_document(&self, id: &DocId) -> Option<&MutationOracle> {
+        self.per_doc.get(id)
+    }
+
+    /// Verifies every observation of a corpus mutation run: the answer must
+    /// match the owning document's oracle at the *exact* epoch the reader
+    /// snapshot, and a document whose oracle covers only epoch 0 (no
+    /// writer) must never be observed anywhere else.
+    pub fn check(&self, report: &CorpusMutationReport) -> Result<(), String> {
+        for (id, query, epoch, fingerprint) in &report.observations {
+            let oracle = self
+                .per_doc
+                .get(id)
+                .ok_or_else(|| format!("observation for unknown document {id:?}"))?;
+            match oracle.expected(*query, *epoch) {
+                Some(want) if want == *fingerprint => {}
+                Some(want) => {
+                    return Err(format!(
+                        "document {id:?}, query {query} at epoch {epoch}: observed answer \
+                         fingerprint {fingerprint:#018x} but the oracle says {want:#018x} — \
+                         a blended or stale answer"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "document {id:?}, query {query} observed at unknown epoch {epoch} \
+                         (oracle covers 0..{}): a writer on another document must never \
+                         move this document's epoch",
+                        oracle.epochs()
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Summary of the plan-sharing a corpus run achieved, derived from
+/// [`PlanCacheStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SharingSummary {
+    /// Total cache lookups (hits + misses).
+    pub lookups: u64,
+    /// Hits served to a different document than the one that compiled the
+    /// entry.
+    pub cross_document_hits: u64,
+    /// `cross_document_hits / lookups` (0.0 when there were no lookups).
+    pub cross_document_hit_rate: f64,
+}
+
+impl SharingSummary {
+    /// Derives the summary from cache counters.
+    pub fn from_stats(stats: &PlanCacheStats) -> Self {
+        let lookups = stats.hits + stats.misses;
+        SharingSummary {
+            lookups,
+            cross_document_hits: stats.cross_document_hits,
+            cross_document_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                stats.cross_document_hits as f64 / lookups as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_trees::edit::TreeEdit;
+    use cqt_trees::parse::parse_term;
+
+    fn corpus_of(names: &[&str]) -> Corpus {
+        let corpus = Corpus::new(4);
+        for name in names {
+            corpus
+                .insert(*name, parse_term("R(A(B), C)").unwrap())
+                .unwrap();
+        }
+        corpus
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_all_shards_eventually() {
+        let corpus = corpus_of(&[]);
+        let id = DocId::new("doc-42");
+        assert_eq!(corpus.shard_of(&id), corpus.shard_of(&DocId::new("doc-42")));
+        let mut seen = BTreeSet::new();
+        for i in 0..64 {
+            seen.insert(corpus.shard_of(&DocId::new(format!("doc-{i}"))));
+        }
+        assert_eq!(seen.len(), corpus.shard_count(), "64 ids hit all 4 shards");
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let corpus = corpus_of(&["a", "b"]);
+        assert_eq!(corpus.len(), 2);
+        assert!(!corpus.is_empty());
+        assert_eq!(corpus.shard_sizes().iter().sum::<usize>(), 2);
+        assert!(corpus.get(&"a".into()).is_some());
+        assert!(corpus.get(&"missing".into()).is_none());
+        assert_eq!(
+            corpus.insert("a", parse_term("R(A)").unwrap()).unwrap_err(),
+            CorpusError::DuplicateDocument("a".into())
+        );
+        let removed = corpus.remove(&"a".into()).unwrap();
+        assert_eq!(removed.id().as_str(), "a");
+        assert!(corpus.get(&"a".into()).is_none());
+        assert_eq!(corpus.len(), 1);
+        assert!(corpus.remove(&"a".into()).is_none());
+        // Doc tags are unique and nonzero.
+        let b = corpus.get(&"b".into()).unwrap();
+        assert_ne!(b.doc_tag(), 0);
+        assert_ne!(b.doc_tag(), removed.doc_tag());
+    }
+
+    #[test]
+    fn fan_out_selection() {
+        let corpus = Corpus::new(2);
+        corpus
+            .insert_tagged("a", &["hot"], parse_term("R(A)").unwrap())
+            .unwrap();
+        corpus
+            .insert_tagged("b", &["hot", "big"], parse_term("R(B)").unwrap())
+            .unwrap();
+        corpus.insert("c", parse_term("R(C)").unwrap()).unwrap();
+        let all = corpus.select(&FanOut::All);
+        assert_eq!(
+            all.iter().map(|d| d.id().as_str()).collect::<Vec<_>>(),
+            ["a", "b", "c"],
+            "scatter order is sorted by id"
+        );
+        let hot = corpus.select(&FanOut::Tagged("hot".into()));
+        assert_eq!(hot.len(), 2);
+        assert!(hot.iter().all(|d| d.has_tag("hot")));
+        assert_eq!(corpus.select(&FanOut::Tagged("cold".into())).len(), 0);
+        assert_eq!(corpus.select(&FanOut::One("c".into())).len(), 1);
+        assert_eq!(corpus.select(&FanOut::One("zzz".into())).len(), 0);
+    }
+
+    #[test]
+    fn commits_are_per_document() {
+        let corpus = corpus_of(&["a", "b"]);
+        let b_before = corpus.snapshot(&"b".into()).unwrap();
+        let report = corpus
+            .commit(
+                &"a".into(),
+                &EditScript::single(TreeEdit::Relabel {
+                    node_pre: 2,
+                    labels: vec!["D".into()],
+                }),
+            )
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(corpus.snapshot(&"a".into()).unwrap().epoch, 1);
+        // Document b is completely untouched: same epoch, same hash, and the
+        // pinned snapshot still serves the same prepared tree.
+        let b_after = corpus.snapshot(&"b".into()).unwrap();
+        assert_eq!(b_after.epoch, 0);
+        assert_eq!(
+            b_before.prepared.structure_hash(),
+            b_after.prepared.structure_hash()
+        );
+        assert!(Arc::ptr_eq(&b_before.prepared, &b_after.prepared));
+        assert_eq!(
+            corpus
+                .commit(
+                    &"missing".into(),
+                    &EditScript::single(TreeEdit::DeleteSubtree { node_pre: 1 })
+                )
+                .unwrap_err(),
+            CorpusError::UnknownDocument("missing".into())
+        );
+        // A failing edit reports the document and leaves it untouched.
+        match corpus
+            .commit(
+                &"b".into(),
+                &EditScript::single(TreeEdit::DeleteSubtree { node_pre: 0 }),
+            )
+            .unwrap_err()
+        {
+            CorpusError::Edit(id, _) => assert_eq!(id.as_str(), "b"),
+            other => panic!("expected edit error, got {other:?}"),
+        }
+        assert_eq!(corpus.snapshot(&"b".into()).unwrap().epoch, 0);
+    }
+
+    #[test]
+    fn structure_collision_rate_counts_shared_hashes() {
+        let corpus = Corpus::new(3);
+        assert_eq!(corpus.structure_collision_rate(), 0.0);
+        corpus.insert("a", parse_term("R(A)").unwrap()).unwrap();
+        corpus.insert("b", parse_term("R(A)").unwrap()).unwrap();
+        corpus.insert("c", parse_term("R(B)").unwrap()).unwrap();
+        corpus.insert("d", parse_term("R(C)").unwrap()).unwrap();
+        assert!((corpus.structure_collision_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corpus_oracle_rejects_epoch_motion_on_frozen_documents() {
+        let mut initial = BTreeMap::new();
+        initial.insert(DocId::new("a"), parse_term("R(A(B), C)").unwrap());
+        initial.insert(DocId::new("b"), parse_term("R(B)").unwrap());
+        let mut writers = BTreeMap::new();
+        writers.insert(
+            DocId::new("a"),
+            vec![EditScript::single(TreeEdit::Relabel {
+                node_pre: 2,
+                labels: vec!["B".into()],
+            })],
+        );
+        let queries = vec![QuerySpec::parse_cq("Q(x) :- B(x).").unwrap()];
+        let oracle =
+            CorpusMutationOracle::build(&initial, &writers, &queries, &PlanOptions::default())
+                .unwrap();
+        assert_eq!(oracle.for_document(&"a".into()).unwrap().epochs(), 2);
+        assert_eq!(oracle.for_document(&"b".into()).unwrap().epochs(), 1);
+        // A frozen document observed at epoch 1 is a writer-isolation
+        // violation, whatever the fingerprint.
+        let mut report = CorpusMutationReport::empty_for_test();
+        report.observations.insert((DocId::new("b"), 0, 1, 0xdead));
+        let err = oracle.check(&report).unwrap_err();
+        assert!(err.contains("unknown epoch 1"), "{err}");
+    }
+}

@@ -1,11 +1,18 @@
 //! Latency/throughput statistics of a serving run, with JSON rendering.
+//!
+//! One report type per serving mode: [`ServiceReport`] (frozen batch),
+//! [`MutationReport`] (single-document read/write), [`CorpusReport`]
+//! (sharded scatter–gather) and [`CorpusMutationReport`] (multi-writer
+//! corpus). All render to JSON by hand — the vendored serde shim has no
+//! serializer, and the schemas are small and stable.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cqt_core::Answer;
 
 use crate::corpus::CommitReport;
 use crate::plan::PlanCacheStats;
+use crate::shard::{DocId, SharingSummary};
 
 /// An order-independent fingerprint of one answer, mixed with a caller
 /// `key`: the batch runner keys by request index (so swapping two different
@@ -98,8 +105,7 @@ impl ServiceReport {
         format!(
             "{{\"threads\": {}, \"requests\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \
              \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \
-             \"answer_fingerprint\": {}, \
-             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"analyses\": {}}}}}",
+             \"answer_fingerprint\": {}, \"plan_cache\": {}}}",
             self.threads,
             self.requests,
             self.wall_ns,
@@ -109,11 +115,17 @@ impl ServiceReport {
             self.latency.mean_ns,
             self.latency.max_ns,
             self.answer_fingerprint,
-            self.plan_cache.hits,
-            self.plan_cache.misses,
-            self.plan_cache.analyses,
+            plan_cache_json(&self.plan_cache),
         )
     }
+}
+
+/// Renders [`PlanCacheStats`] as the JSON object every report embeds.
+pub(crate) fn plan_cache_json(stats: &PlanCacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"analyses\": {}, \"cross_document_hits\": {}}}",
+        stats.hits, stats.misses, stats.analyses, stats.cross_document_hits,
+    )
 }
 
 /// The result of one [`crate::runner::ServiceRunner::run_mutating`] call:
@@ -168,8 +180,7 @@ impl MutationReport {
         format!(
             "{{\"threads\": {}, \"reads\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \
              \"p50_ns\": {}, \"p99_ns\": {}, \"commits\": {}, \"final_epoch\": {}, \
-             \"epochs_observed\": {}, \"carried_entries\": {}, \
-             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"analyses\": {}}}}}",
+             \"epochs_observed\": {}, \"carried_entries\": {}, \"plan_cache\": {}}}",
             self.threads,
             self.reads,
             self.wall_ns,
@@ -180,10 +191,166 @@ impl MutationReport {
             self.final_epoch(),
             self.epochs_observed().len(),
             self.carried_entries(),
-            self.plan_cache.hits,
-            self.plan_cache.misses,
-            self.plan_cache.analyses,
+            plan_cache_json(&self.plan_cache),
         )
+    }
+}
+
+/// The result of one [`crate::runner::ServiceRunner::run_corpus`] call: a
+/// scatter–gather batch over a sharded multi-document corpus.
+#[derive(Clone, Debug)]
+pub struct CorpusReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Shards of the corpus served.
+    pub shards: usize,
+    /// Documents in the corpus at run start.
+    pub documents: usize,
+    /// Scatter–gather requests executed (each may touch many documents).
+    pub requests: u64,
+    /// Per-document plan executions performed across all requests.
+    pub doc_executions: u64,
+    /// Wall-clock duration of the whole batch, in nanoseconds.
+    pub wall_ns: u64,
+    /// Requests per second (scatter–gather requests / wall time).
+    pub qps: f64,
+    /// Per-request latency percentiles (a request's latency covers its full
+    /// scatter–gather, snapshot to last document).
+    pub latency: LatencySummary,
+    /// Order-independent fingerprint over every per-document answer,
+    /// comparable across thread counts and against a single-threaded
+    /// per-document replay (the scatter–gather equivalence tests do both).
+    pub answer_fingerprint: u64,
+    /// Plan cache counters at the end of the run.
+    pub plan_cache: PlanCacheStats,
+    /// Cross-document plan-sharing summary derived from `plan_cache`.
+    pub sharing: SharingSummary,
+}
+
+impl CorpusReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"shards\": {}, \"documents\": {}, \"requests\": {}, \
+             \"doc_executions\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \
+             \"answer_fingerprint\": {}, \"cross_document_hit_rate\": {:.4}, \
+             \"plan_cache\": {}}}",
+            self.threads,
+            self.shards,
+            self.documents,
+            self.requests,
+            self.doc_executions,
+            self.wall_ns,
+            self.qps,
+            self.latency.p50_ns,
+            self.latency.p99_ns,
+            self.latency.mean_ns,
+            self.latency.max_ns,
+            self.answer_fingerprint,
+            self.sharing.cross_document_hit_rate,
+            plan_cache_json(&self.plan_cache),
+        )
+    }
+}
+
+/// The result of one [`crate::runner::ServiceRunner::run_corpus_mutating`]
+/// call: a multi-writer read/write run over a sharded corpus.
+#[derive(Clone, Debug)]
+pub struct CorpusMutationReport {
+    /// Reader threads used (each writer is one extra thread).
+    pub threads: usize,
+    /// Writer threads that ran.
+    pub writers: usize,
+    /// Read requests executed (including the per-document epoch probes).
+    pub reads: u64,
+    /// Wall-clock duration of the whole run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Read requests per second.
+    pub qps: f64,
+    /// Per-read latency percentiles.
+    pub latency: LatencySummary,
+    /// Commit reports per mutated document, in each writer's commit order.
+    pub commits: BTreeMap<DocId, Vec<CommitReport>>,
+    /// Every distinct `(document, query index, epoch, answer fingerprint)`
+    /// a reader observed — checked against a
+    /// [`crate::shard::CorpusMutationOracle`].
+    pub observations: BTreeSet<(DocId, usize, u64, u64)>,
+    /// Plan cache counters at the end of the run.
+    pub plan_cache: PlanCacheStats,
+    /// Cross-document plan-sharing summary derived from `plan_cache`.
+    pub sharing: SharingSummary,
+}
+
+impl CorpusMutationReport {
+    /// The distinct epochs readers observed for `doc`.
+    pub fn epochs_observed_for(&self, doc: &DocId) -> BTreeSet<u64> {
+        self.observations
+            .iter()
+            .filter(|(id, _, _, _)| id == doc)
+            .map(|&(_, _, epoch, _)| epoch)
+            .collect()
+    }
+
+    /// The epoch each mutated document ended on.
+    pub fn final_epochs(&self) -> BTreeMap<DocId, u64> {
+        self.commits
+            .iter()
+            .map(|(id, commits)| (id.clone(), commits.last().map_or(0, |c| c.epoch)))
+            .collect()
+    }
+
+    /// Total commits across all writers.
+    pub fn total_commits(&self) -> usize {
+        self.commits.values().map(Vec::len).sum()
+    }
+
+    /// Total cache entries carried across all commits of all documents.
+    pub fn carried_entries(&self) -> u64 {
+        self.commits
+            .values()
+            .flatten()
+            .map(|c| c.carried_relations + c.carried_label_sets)
+            .sum()
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"writers\": {}, \"reads\": {}, \"wall_ns\": {}, \
+             \"qps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"commits\": {}, \
+             \"mutated_documents\": {}, \"carried_entries\": {}, \
+             \"cross_document_hit_rate\": {:.4}, \"plan_cache\": {}}}",
+            self.threads,
+            self.writers,
+            self.reads,
+            self.wall_ns,
+            self.qps,
+            self.latency.p50_ns,
+            self.latency.p99_ns,
+            self.total_commits(),
+            self.commits.len(),
+            self.carried_entries(),
+            self.sharing.cross_document_hit_rate,
+            plan_cache_json(&self.plan_cache),
+        )
+    }
+
+    /// An empty report for oracle unit tests.
+    #[cfg(test)]
+    pub(crate) fn empty_for_test() -> Self {
+        CorpusMutationReport {
+            threads: 0,
+            writers: 0,
+            reads: 0,
+            wall_ns: 0,
+            qps: 0.0,
+            latency: LatencySummary::default(),
+            commits: BTreeMap::new(),
+            observations: BTreeSet::new(),
+            plan_cache: PlanCacheStats::default(),
+            sharing: SharingSummary::default(),
+        }
     }
 }
 
@@ -226,6 +393,7 @@ mod tests {
                 hits: 95,
                 misses: 5,
                 analyses: 5,
+                cross_document_hits: 2,
             },
         };
         let json = report.to_json();
@@ -235,6 +403,7 @@ mod tests {
             "\"qps\": 100000.0",
             "\"p99_ns\": 90",
             "\"analyses\": 5",
+            "\"cross_document_hits\": 2",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

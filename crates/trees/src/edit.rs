@@ -33,6 +33,24 @@
 //! extends its predecessor's interner instead of re-interning, so a
 //! [`Label`] obtained from the old epoch still names the same string in the
 //! new one (its node set may of course differ).
+//!
+//! ```
+//! use cqt_trees::edit::{EditScript, TreeEdit};
+//! use cqt_trees::parse::{parse_term, to_term};
+//!
+//! let tree = parse_term("R(A(B), C)").unwrap(); // pre-order: R=0 A=1 B=2 C=3
+//! let script = EditScript::from_edits(vec![
+//!     // Graft D(E) as A's second child; ranks shift: C is now rank 5.
+//!     TreeEdit::insert_subtree(1, 1, parse_term("D(E)").unwrap()),
+//!     TreeEdit::Relabel { node_pre: 5, labels: vec!["F".into()] },
+//!     // Delete the B leaf (rank 2 in the tree the first two edits left).
+//!     TreeEdit::DeleteSubtree { node_pre: 2 },
+//! ]);
+//! let (edited, summary) = script.apply_to(&tree).unwrap();
+//! assert_eq!(to_term(&edited), "R(A(D(E)), F)");
+//! assert!(summary.structure_changed); // inserts/deletes invalidate caches
+//! assert!(summary.touches_label("F"));
+//! ```
 
 use std::collections::BTreeSet;
 use std::fmt;

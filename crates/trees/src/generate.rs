@@ -16,7 +16,12 @@
 //!   data-centric XML;
 //! * [`path_structure`] / [`scattered_path_structure`] — the path structures
 //!   of Section 7 (Lemma 7.2, Theorem 7.1);
-//! * [`full_tree`] — complete k-ary trees for scaling experiments.
+//! * [`full_tree`] — complete k-ary trees for scaling experiments;
+//! * [`random_edit_script`] — always-valid random [`EditScript`]s, the write
+//!   workload of the mutable-corpus benchmarks;
+//! * [`document_corpus`] — a multi-document corpus with a controllable
+//!   structure-hash collision rate, the workload of the sharded serving
+//!   layer (`cqt-service::shard`).
 
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::Rng;
@@ -432,6 +437,73 @@ pub fn random_edit_script<R: Rng>(
     script
 }
 
+/// Configuration for [`document_corpus`].
+#[derive(Clone, Debug)]
+pub struct DocumentCorpusConfig {
+    /// Number of documents to generate.
+    pub documents: usize,
+    /// Number of *distinct* template trees among them (clamped to
+    /// `1..=documents`). Documents cycle through the templates, so
+    /// `documents - distinct` of them are exact clones of an earlier
+    /// document — the **structure-hash collision rate** of the corpus is
+    /// `1 - distinct/documents`, which the sharded serving layer's
+    /// cross-document plan-cache sharing exploits (and its tests control).
+    pub distinct: usize,
+    /// Nodes per document.
+    pub nodes_per_document: usize,
+    /// Label alphabet shared by every template.
+    pub alphabet: Vec<String>,
+}
+
+impl Default for DocumentCorpusConfig {
+    fn default() -> Self {
+        DocumentCorpusConfig {
+            documents: 16,
+            distinct: 8,
+            nodes_per_document: 100,
+            alphabet: ["A", "B", "C", "D", "E"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Generates a multi-document corpus with a **controllable structure-hash
+/// collision rate**: `config.distinct` independent random template trees,
+/// cycled across `config.documents` documents (document `i` is a clone of
+/// template `i % distinct`).
+///
+/// Two clones have equal [`Tree::structure_digest`]s, so a serving layer
+/// keying plan caches by document structure hash shares entries between
+/// them; two distinct templates collide only with probability ~2⁻⁶⁴. The
+/// sharded-corpus benchmarks and the cross-document cache tests both build
+/// their corpora here.
+///
+/// # Panics
+/// Panics if `config.documents == 0`, `config.nodes_per_document == 0` or
+/// the alphabet is empty.
+pub fn document_corpus<R: Rng>(rng: &mut R, config: &DocumentCorpusConfig) -> Vec<Tree> {
+    assert!(config.documents > 0, "corpus needs at least one document");
+    let distinct = config.distinct.clamp(1, config.documents);
+    let templates: Vec<Tree> = (0..distinct)
+        .map(|_| {
+            random_tree(
+                rng,
+                &RandomTreeConfig {
+                    nodes: config.nodes_per_document,
+                    alphabet: config.alphabet.clone(),
+                    multi_label_probability: 0.05,
+                    attach_window: usize::MAX,
+                },
+            )
+        })
+        .collect();
+    (0..config.documents)
+        .map(|i| templates[i % distinct].clone())
+        .collect()
+}
+
 /// Label weights for [`weighted_random_tree`]: a label alphabet where some
 /// labels are rarer than others (useful for selective queries).
 #[derive(Clone, Debug)]
@@ -669,6 +741,39 @@ mod tests {
                 assert!(summary.inserted_nodes + summary.deleted_nodes > 0);
             }
         }
+    }
+
+    #[test]
+    fn document_corpus_controls_structure_hash_collisions() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = DocumentCorpusConfig {
+            documents: 12,
+            distinct: 3,
+            nodes_per_document: 40,
+            ..DocumentCorpusConfig::default()
+        };
+        let corpus = document_corpus(&mut rng, &config);
+        assert_eq!(corpus.len(), 12);
+        assert!(corpus.iter().all(|t| t.len() == 40));
+        let digests: std::collections::BTreeSet<u64> =
+            corpus.iter().map(|t| t.structure_digest()).collect();
+        assert_eq!(digests.len(), 3, "exactly `distinct` structure hashes");
+        // Clones cycle: documents i and i+3 share a template.
+        assert_eq!(corpus[0].structure_digest(), corpus[3].structure_digest());
+        assert_ne!(corpus[0].structure_digest(), corpus[1].structure_digest());
+        // A fully-distinct corpus has no collisions at all.
+        let all_distinct = document_corpus(
+            &mut rng,
+            &DocumentCorpusConfig {
+                documents: 6,
+                distinct: 6,
+                nodes_per_document: 30,
+                ..DocumentCorpusConfig::default()
+            },
+        );
+        let digests: std::collections::BTreeSet<u64> =
+            all_distinct.iter().map(|t| t.structure_digest()).collect();
+        assert_eq!(digests.len(), 6);
     }
 
     #[test]

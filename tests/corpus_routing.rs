@@ -1,0 +1,292 @@
+//! Corpus-routing correctness for the sharded multi-document serving layer
+//! (`cqt-service::shard`):
+//!
+//! 1. **Scatter–gather equivalence** — a multi-threaded `run_corpus` batch
+//!    produces exactly the answers of a per-document single-threaded replay
+//!    (same fingerprint), for every fan-out shape.
+//! 2. **Cross-document plan sharing** — cache entries are shared between
+//!    documents *iff* their structure hashes are equal: a corpus of clones
+//!    records cross-document hits; an all-distinct corpus records none.
+//! 3. **Writer isolation** — a writer committing to document A never moves
+//!    the epoch (or the served content) observed by a reader pinned to
+//!    document B, both directly and across a full multi-writer run.
+//! 4. **Multi-writer epoch consistency** — every observation of a
+//!    concurrent multi-writer run matches the per-document oracle at the
+//!    exact epoch the reader snapshot.
+
+use std::collections::BTreeMap;
+
+use cq_trees::core::ExecScratch;
+use cq_trees::service::{
+    Corpus, CorpusMutationOracle, CorpusMutationWorkload, CorpusRequest, CorpusWorkload, DocId,
+    FanOut, Plan, QuerySpec, ServiceConfig, ServiceRunner,
+};
+use cq_trees::trees::edit::{EditScript, TreeEdit};
+use cq_trees::trees::generate::{
+    document_corpus, random_edit_script, DocumentCorpusConfig, EditScriptConfig,
+};
+use cq_trees::trees::Tree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus_trees(documents: usize, distinct: usize, seed: u64) -> Vec<Tree> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    document_corpus(
+        &mut rng,
+        &DocumentCorpusConfig {
+            documents,
+            distinct,
+            nodes_per_document: 60,
+            ..DocumentCorpusConfig::default()
+        },
+    )
+}
+
+fn build_corpus(trees: Vec<Tree>, shards: usize) -> Corpus {
+    let corpus = Corpus::new(shards);
+    for (i, tree) in trees.into_iter().enumerate() {
+        let tags: &[&str] = if i % 3 == 0 { &["hot"] } else { &[] };
+        corpus
+            .insert_tagged(format!("doc-{i:04}"), tags, tree)
+            .unwrap();
+    }
+    corpus
+}
+
+fn query_mix() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::parse_cq("Q(y) :- A(x), Child+(x, y), B(y).").unwrap(),
+        QuerySpec::parse_cq("Q() :- C(x), Child(x, y), D(y).").unwrap(),
+        QuerySpec::parse_xpath("//A[B] | //E").unwrap(),
+    ]
+}
+
+#[test]
+fn scatter_gather_matches_per_document_single_threaded_evaluation() {
+    let corpus = build_corpus(corpus_trees(9, 4, 11), 4);
+    let queries = query_mix();
+    let requests: Vec<CorpusRequest> = vec![
+        CorpusRequest {
+            query: queries[0].clone(),
+            target: FanOut::All,
+        },
+        CorpusRequest {
+            query: queries[1].clone(),
+            target: FanOut::Tagged("hot".into()),
+        },
+        CorpusRequest {
+            query: queries[2].clone(),
+            target: FanOut::One("doc-0005".into()),
+        },
+    ];
+    let workload = CorpusWorkload::new(requests.clone(), 4);
+    let multi = ServiceRunner::new(ServiceConfig {
+        threads: 4,
+        chunk: 2,
+        ..ServiceConfig::default()
+    })
+    .run_corpus(&corpus, &workload);
+    let single = ServiceRunner::new(ServiceConfig::with_threads(1)).run_corpus(&corpus, &workload);
+    assert_eq!(multi.requests, workload.request_count() as u64);
+    assert_eq!(multi.requests, single.requests);
+    assert_eq!(multi.doc_executions, single.doc_executions);
+    // 9 docs (All) + 3 docs (hot: 0, 3, 6) + 1 doc (One) per repeat.
+    assert_eq!(multi.doc_executions, 4 * (9 + 3 + 1));
+    assert_eq!(
+        multi.answer_fingerprint, single.answer_fingerprint,
+        "thread count must not change scatter–gather answers"
+    );
+
+    // And both equal a hand-rolled per-document replay outside the runner:
+    // plan each query once, execute it against each selected document's
+    // snapshot, key fingerprints exactly as the runner does.
+    let options = ServiceConfig::default().plan;
+    let mut scratch = ExecScratch::new();
+    let mut expected = 0u64;
+    for i in 0..workload.request_count() {
+        let request = &requests[i % requests.len()];
+        let (plan, _) = Plan::compile(&request.query, &options);
+        for (j, document) in corpus.select(&request.target).iter().enumerate() {
+            let snapshot = document.handle().snapshot();
+            let answer = plan.execute(&snapshot.prepared, &mut scratch);
+            expected = expected.wrapping_add(cq_trees::service::answer_fingerprint(
+                i as u64 * 1_000_003 + j as u64,
+                &answer,
+            ));
+        }
+    }
+    assert_eq!(multi.answer_fingerprint, expected);
+}
+
+#[test]
+fn cross_document_hits_occur_only_between_equal_structure_hashes() {
+    // A corpus of 8 documents over 2 templates: 6 of the 8 are clones.
+    let corpus = build_corpus(corpus_trees(8, 2, 22), 4);
+    assert!(corpus.structure_collision_rate() > 0.9);
+    let workload = CorpusWorkload::new(
+        vec![CorpusRequest {
+            query: query_mix()[0].clone(),
+            target: FanOut::All,
+        }],
+        2,
+    );
+    let report = ServiceRunner::new(ServiceConfig::with_threads(2)).run_corpus(&corpus, &workload);
+    // 2 templates -> 2 compiles; every other execution is a hit, and the
+    // hits on another clone's entry are cross-document.
+    assert_eq!(report.plan_cache.misses, 2);
+    assert!(
+        report.plan_cache.cross_document_hits > 0,
+        "clone documents must share plans: {:?}",
+        report.plan_cache
+    );
+    assert!(report.sharing.cross_document_hit_rate > 0.0);
+
+    // The same workload over an all-distinct corpus shares nothing: every
+    // document compiles its own entry and only ever hits its own entry.
+    let distinct = build_corpus(corpus_trees(8, 8, 33), 4);
+    assert_eq!(distinct.structure_collision_rate(), 0.0);
+    let report =
+        ServiceRunner::new(ServiceConfig::with_threads(2)).run_corpus(&distinct, &workload);
+    assert_eq!(report.plan_cache.misses, 8);
+    assert_eq!(
+        report.plan_cache.cross_document_hits, 0,
+        "distinct structure hashes must never share a cache entry"
+    );
+    assert_eq!(report.sharing.cross_document_hit_rate, 0.0);
+}
+
+#[test]
+fn a_writer_on_one_document_is_invisible_to_readers_of_another() {
+    let corpus = build_corpus(corpus_trees(4, 4, 44), 2);
+    let doc_a = DocId::new("doc-0000");
+    let doc_b = DocId::new("doc-0001");
+    // Pin a reader to document B.
+    let pinned = corpus.snapshot(&doc_b).unwrap();
+    let pinned_hash = pinned.prepared.structure_hash();
+    // Hammer document A with commits.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..5 {
+        let current = corpus.snapshot(&doc_a).unwrap().prepared.tree().clone();
+        let script = random_edit_script(&mut rng, &current, &EditScriptConfig::default());
+        corpus.commit(&doc_a, &script).unwrap();
+    }
+    assert_eq!(corpus.snapshot(&doc_a).unwrap().epoch, 5);
+    // B's live epoch, structure hash and even the prepared-tree pointer are
+    // all untouched.
+    let after = corpus.snapshot(&doc_b).unwrap();
+    assert_eq!(after.epoch, 0);
+    assert_eq!(after.prepared.structure_hash(), pinned_hash);
+    assert!(std::sync::Arc::ptr_eq(&pinned.prepared, &after.prepared));
+}
+
+#[test]
+fn multi_writer_run_is_epoch_consistent_and_isolates_frozen_documents() {
+    let trees = corpus_trees(6, 3, 55);
+    let corpus = build_corpus(trees.clone(), 3);
+    let doc_ids: Vec<DocId> = (0..6).map(|i| DocId::new(format!("doc-{i:04}"))).collect();
+    let queries = query_mix();
+
+    // Writers on documents 0 and 2; documents 1, 3, 4, 5 stay frozen.
+    let mut rng = StdRng::seed_from_u64(66);
+    let mut writers: Vec<(DocId, Vec<EditScript>)> = Vec::new();
+    for &w in &[0usize, 2] {
+        let mut tree = trees[w].clone();
+        let mut scripts = Vec::new();
+        for _ in 0..3 {
+            let script = random_edit_script(&mut rng, &tree, &EditScriptConfig::default());
+            tree = script.apply_to(&tree).unwrap().0;
+            scripts.push(script);
+        }
+        writers.push((doc_ids[w].clone(), scripts));
+    }
+    // One extra deterministic relabel on doc 0 so a carried-cache epoch is
+    // exercised too.
+    writers[0].1.push(EditScript::single(TreeEdit::Relabel {
+        node_pre: 1,
+        labels: vec!["A".into()],
+    }));
+
+    let workload = CorpusMutationWorkload::new(queries.clone(), doc_ids.clone(), writers, 600);
+    let runner = ServiceRunner::new(ServiceConfig {
+        threads: 4,
+        chunk: 4,
+        ..ServiceConfig::default()
+    });
+    let report = runner.run_corpus_mutating(&corpus, &workload).unwrap();
+    assert_eq!(report.writers, 2);
+    assert_eq!(report.total_commits(), 4 + 3);
+    assert_eq!(
+        report.reads,
+        600 + 2 * (queries.len() * doc_ids.len()) as u64
+    );
+
+    // Per-document epoch consistency + writer isolation, via the oracle.
+    let initial: BTreeMap<DocId, Tree> =
+        doc_ids.iter().cloned().zip(trees.iter().cloned()).collect();
+    let writer_map: BTreeMap<DocId, Vec<EditScript>> = workload
+        .writers
+        .iter()
+        .map(|(id, scripts)| (id.clone(), scripts.clone()))
+        .collect();
+    let oracle =
+        CorpusMutationOracle::build(&initial, &writer_map, &queries, &runner.config().plan)
+            .unwrap();
+    oracle.check(&report).unwrap();
+
+    // The probes guarantee both ends of every mutated document's epoch
+    // range were served.
+    assert!(report.epochs_observed_for(&doc_ids[0]).contains(&0));
+    assert!(report.epochs_observed_for(&doc_ids[0]).contains(&4));
+    assert!(report.epochs_observed_for(&doc_ids[2]).contains(&3));
+    // Frozen documents were genuinely read — and only ever at epoch 0.
+    for frozen in [1usize, 3, 4, 5] {
+        let epochs = report.epochs_observed_for(&doc_ids[frozen]);
+        assert_eq!(
+            epochs.into_iter().collect::<Vec<_>>(),
+            vec![0],
+            "document {frozen} has no writer and must stay at epoch 0"
+        );
+    }
+    // Final corpus state matches the commit counts.
+    assert_eq!(corpus.snapshot(&doc_ids[0]).unwrap().epoch, 4);
+    assert_eq!(corpus.snapshot(&doc_ids[2]).unwrap().epoch, 3);
+    assert_eq!(corpus.snapshot(&doc_ids[1]).unwrap().epoch, 0);
+
+    // Clones existed (3 templates over 6 docs), so the mutating run also
+    // exercised cross-document sharing before the writers diverged them.
+    assert!(report.plan_cache.cross_document_hits > 0);
+}
+
+#[test]
+fn corpus_mutating_run_surfaces_commit_errors_and_unknown_documents() {
+    let corpus = build_corpus(corpus_trees(2, 2, 77), 2);
+    let queries = vec![QuerySpec::parse_cq("Q() :- A(x).").unwrap()];
+    let runner = ServiceRunner::new(ServiceConfig::with_threads(2));
+
+    // Unknown read target fails before anything runs.
+    let unknown =
+        CorpusMutationWorkload::new(queries.clone(), vec![DocId::new("nope")], Vec::new(), 10);
+    assert!(matches!(
+        runner.run_corpus_mutating(&corpus, &unknown),
+        Err(cq_trees::service::CorpusError::UnknownDocument(_))
+    ));
+
+    // A script that cannot apply surfaces as an edit error naming the
+    // document, and leaves it at its last good epoch.
+    let bad = CorpusMutationWorkload::new(
+        queries,
+        vec![DocId::new("doc-0000"), DocId::new("doc-0001")],
+        vec![(
+            DocId::new("doc-0001"),
+            vec![EditScript::single(TreeEdit::DeleteSubtree { node_pre: 0 })],
+        )],
+        40,
+    );
+    match runner.run_corpus_mutating(&corpus, &bad) {
+        Err(cq_trees::service::CorpusError::Edit(id, _)) => {
+            assert_eq!(id.as_str(), "doc-0001");
+        }
+        other => panic!("expected edit error, got {other:?}"),
+    }
+    assert_eq!(corpus.snapshot(&DocId::new("doc-0001")).unwrap().epoch, 0);
+}
