@@ -4,6 +4,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod netload;
+
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,530 @@
+//! Open-loop load generation against the `cqt-service::net` TCP front end.
+//!
+//! Closed-loop benchmarks (send, wait, send) hide queueing: the generator
+//! slows down exactly when the server does, so measured latency stays flat
+//! no matter how overloaded the server is. This module is **open-loop**:
+//! request `k` is sent at `start + k / target_qps` regardless of whether
+//! earlier responses have arrived, so offered load is independent of server
+//! behaviour and queueing delay becomes visible in the end-to-end latency
+//! of admitted requests — the honest way to measure a service under load
+//! (and the reason overload shows up as an explicit shed rate instead of a
+//! silently slower generator).
+//!
+//! The generator drives real sockets: one sender thread paces frames across
+//! `connections` TCP connections (requests are pipelined per connection),
+//! one receiver thread per connection collects responses by request id, and
+//! [`run_phase`] reconciles every request with exactly one response —
+//! a missing response is a **silent drop**, which the serving layer
+//! guarantees never happens and the harness treats as a hard failure.
+//!
+//! Every response is verified on the way through:
+//!
+//! * answers must carry the fingerprint the same query produced on a serial
+//!   probe ([`probe`]) — which the `experiments net` harness in turn checks
+//!   against an in-process `run_corpus` of the same corpus and mix;
+//! * `queue_ns + exec_ns` must equal `total_ns` exactly (the server's
+//!   accounting invariant);
+//! * shed responses must report a queue depth at or above capacity (the
+//!   admission invariant: the server never sheds below the threshold).
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use cqt_service::net::frame::{write_frame, FRAME_HEADER_LEN};
+use cqt_service::net::protocol::{Request, Response, WireFanOut, WireLang};
+use cqt_service::LatencySummary;
+
+/// One query kind of the load mix. Requests cycle through the mix
+/// (request `id` is kind `id % mix.len()`), and every request of a kind
+/// carries the kind's index as its fingerprint key, so all its answers are
+/// comparable against one serial probe and against `run_corpus`.
+#[derive(Clone, Debug)]
+pub struct NetQuery {
+    /// Query language of `text`.
+    pub lang: WireLang,
+    /// Query text, parsed server-side.
+    pub text: String,
+    /// Fan-out target.
+    pub fanout: WireFanOut,
+}
+
+impl NetQuery {
+    /// A conjunctive-query kind fanning out to the whole corpus.
+    pub fn cq_all(text: impl Into<String>) -> Self {
+        NetQuery {
+            lang: WireLang::Cq,
+            text: text.into(),
+            fanout: WireFanOut::All,
+        }
+    }
+
+    fn request(&self, id: u64, fp_key: u64) -> Request {
+        Request::Query {
+            id,
+            lang: self.lang,
+            text: self.text.clone(),
+            fanout: self.fanout.clone(),
+            fp_key,
+        }
+    }
+}
+
+/// The answer of one probed kind.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeResult {
+    /// The answer fingerprint (keyed by the kind index).
+    pub fingerprint: u64,
+    /// Documents the query fanned out to.
+    pub docs: u32,
+    /// Server-side execution time.
+    pub exec_ns: u64,
+}
+
+/// Reads exactly one response frame from `stream`.
+fn read_response(stream: &mut TcpStream) -> Result<Response, String> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream
+        .read_exact(&mut header)
+        .map_err(|e| format!("reading frame header: {e}"))?;
+    let len = u32::from_be_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| format!("reading frame payload: {e}"))?;
+    Response::decode(&payload).map_err(|e| format!("decoding response: {e}"))
+}
+
+/// Serially probes every kind of `mix` once (request/response lockstep on
+/// one connection), returning per-kind fingerprints and execution times.
+///
+/// This is the generator's ground truth: phase runs compare every answer's
+/// fingerprint against the probe, and the harness compares the probe's
+/// fingerprint sum against an in-process `run_corpus` of the same mix.
+/// Fails on any non-answer response or accounting violation.
+pub fn probe(addr: SocketAddr, mix: &[NetQuery]) -> Result<Vec<ProbeResult>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("setting timeout: {e}"))?;
+    let mut results = Vec::with_capacity(mix.len());
+    for (kind, query) in mix.iter().enumerate() {
+        let request = query.request(kind as u64, kind as u64);
+        write_frame(&mut stream, &request.encode()).map_err(|e| format!("sending probe: {e}"))?;
+        match read_response(&mut stream)? {
+            Response::Answer {
+                id,
+                fingerprint,
+                docs,
+                queue_ns,
+                exec_ns,
+                total_ns,
+            } => {
+                if id != kind as u64 {
+                    return Err(format!("probe {kind}: response for wrong id {id}"));
+                }
+                if queue_ns + exec_ns != total_ns {
+                    return Err(format!(
+                        "probe {kind}: accounting violated ({queue_ns} + {exec_ns} != {total_ns})"
+                    ));
+                }
+                results.push(ProbeResult {
+                    fingerprint,
+                    docs,
+                    exec_ns,
+                });
+            }
+            other => return Err(format!("probe {kind}: unexpected response {other:?}")),
+        }
+    }
+    Ok(results)
+}
+
+/// Estimates the server's saturation throughput: `rounds` serial probe
+/// passes over `mix`, averaged to a mean per-request execution time, scaled
+/// by the worker count. Serial execution excludes queueing by construction,
+/// so this is a pure service-rate estimate.
+pub fn calibrate_capacity_qps(
+    addr: SocketAddr,
+    mix: &[NetQuery],
+    rounds: usize,
+    workers: usize,
+) -> Result<f64, String> {
+    let mut total_exec_ns = 0u64;
+    let mut samples = 0u64;
+    for _ in 0..rounds.max(1) {
+        for result in probe(addr, mix)? {
+            total_exec_ns += result.exec_ns;
+            samples += 1;
+        }
+    }
+    let mean_ns = (total_exec_ns / samples.max(1)).max(1);
+    Ok(workers.max(1) as f64 * 1e9 / mean_ns as f64)
+}
+
+/// Configuration of one open-loop phase.
+#[derive(Clone, Debug)]
+pub struct PhaseConfig {
+    /// Offered load: request `k` is sent at `k / target_qps` seconds.
+    pub target_qps: f64,
+    /// Total requests to send.
+    pub total: usize,
+    /// TCP connections to spread the requests over (round-robin by id).
+    pub connections: usize,
+    /// How long receivers wait after the last send before declaring
+    /// unanswered requests silently dropped.
+    pub drain_timeout: Duration,
+}
+
+/// The reconciled outcome of one open-loop phase: counters, verification
+/// failures, and latency summaries over **admitted** (answered) requests.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseReport {
+    /// Offered load (the configured target).
+    pub offered_qps: f64,
+    /// Answered requests per second of wall time (first send → last
+    /// response). Under overload this saturates below `offered_qps`.
+    pub achieved_qps: f64,
+    /// Requests sent.
+    pub sent: usize,
+    /// Requests answered with an [`Response::Answer`].
+    pub answered: usize,
+    /// Requests explicitly shed at admission.
+    pub shed: usize,
+    /// Requests answered with an error.
+    pub errors: usize,
+    /// Requests with **no** response — silent drops, which must be zero.
+    pub missing: usize,
+    /// Answers whose fingerprint differed from the serial probe's.
+    pub fingerprint_mismatches: usize,
+    /// Answers where `queue_ns + exec_ns != total_ns`.
+    pub accounting_violations: usize,
+    /// Shed responses reporting a queue depth below capacity.
+    pub shed_below_capacity: usize,
+    /// End-to-end latency of answered requests (send → response received,
+    /// measured at the client through the real socket).
+    pub e2e: LatencySummary,
+    /// Server-side queue-wait of answered requests.
+    pub queue: LatencySummary,
+    /// Server-side execution time of answered requests.
+    pub exec: LatencySummary,
+}
+
+impl PhaseReport {
+    /// The fraction of sent requests that were shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.sent as f64
+        }
+    }
+
+    /// Whether every per-response invariant held: no silent drops, no
+    /// fingerprint drift, exact latency accounting, no under-threshold
+    /// shedding.
+    pub fn invariants_ok(&self) -> bool {
+        self.missing == 0
+            && self.fingerprint_mismatches == 0
+            && self.accounting_violations == 0
+            && self.shed_below_capacity == 0
+    }
+}
+
+/// What one request came back as.
+enum Outcome {
+    Answer {
+        fingerprint: u64,
+        queue_ns: u64,
+        exec_ns: u64,
+        total_ns: u64,
+    },
+    Shed {
+        queue_depth: u32,
+        capacity: u32,
+    },
+    Error,
+}
+
+struct RecvRecord {
+    id: u64,
+    outcome: Outcome,
+    received_at: Instant,
+}
+
+/// Sleeps until `deadline`, spinning for the sub-millisecond tail —
+/// `thread::sleep` alone is too coarse to pace requests at tens of
+/// microseconds apart.
+fn pace_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let remaining = deadline - now;
+        if remaining > Duration::from_millis(1) {
+            std::thread::sleep(remaining - Duration::from_millis(1));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Runs one open-loop phase against the server at `addr`.
+///
+/// `expected_fingerprints[kind]` is the serial probe's answer for each mix
+/// kind; every answer in the phase is checked against it (the corpus is
+/// frozen, so any difference is a serving bug). The returned report never
+/// errs on the side of hiding a failure: requests the server never answered
+/// are counted in [`PhaseReport::missing`].
+pub fn run_phase(
+    addr: SocketAddr,
+    mix: &[NetQuery],
+    expected_fingerprints: &[u64],
+    config: &PhaseConfig,
+) -> Result<PhaseReport, String> {
+    assert_eq!(mix.len(), expected_fingerprints.len());
+    assert!(config.target_qps > 0.0, "offered load must be positive");
+    let connections = config.connections.max(1);
+    let total = config.total;
+
+    // One write half per connection (owned by the sender), one cloned read
+    // half per connection (owned by its receiver thread).
+    let mut write_halves = Vec::with_capacity(connections);
+    let mut read_halves = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connecting: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(|e| format!("setting timeout: {e}"))?;
+        read_halves.push(stream.try_clone().map_err(|e| format!("cloning: {e}"))?);
+        write_halves.push(stream);
+    }
+
+    let interval_ns = 1e9 / config.target_qps;
+    let start = Instant::now();
+    let mut sent_at: Vec<Option<Instant>> = vec![None; total];
+    let mut records: Vec<Option<RecvRecord>> = Vec::with_capacity(total);
+    records.resize_with(total, || None);
+    let mut send_errors = 0usize;
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        let deadline_base = config.drain_timeout;
+        let mut receivers = Vec::with_capacity(connections);
+        for (conn, mut stream) in read_halves.into_iter().enumerate() {
+            // Receiver `conn` owns the responses to ids ≡ conn (mod C).
+            let expected_count = if total > conn {
+                (total - conn).div_ceil(connections)
+            } else {
+                0
+            };
+            receivers.push(scope.spawn(move || {
+                let mut received: Vec<RecvRecord> = Vec::with_capacity(expected_count);
+                let mut deadline: Option<Instant> = None;
+                while received.len() < expected_count {
+                    match read_response(&mut stream) {
+                        Ok(response) => {
+                            let received_at = Instant::now();
+                            let (id, outcome) = match response {
+                                Response::Answer {
+                                    id,
+                                    fingerprint,
+                                    queue_ns,
+                                    exec_ns,
+                                    total_ns,
+                                    ..
+                                } => (
+                                    id,
+                                    Outcome::Answer {
+                                        fingerprint,
+                                        queue_ns,
+                                        exec_ns,
+                                        total_ns,
+                                    },
+                                ),
+                                Response::Shed {
+                                    id,
+                                    queue_depth,
+                                    capacity,
+                                } => (
+                                    id,
+                                    Outcome::Shed {
+                                        queue_depth,
+                                        capacity,
+                                    },
+                                ),
+                                Response::Error { id, .. } => (id, Outcome::Error),
+                                Response::Pong { id } | Response::Stats { id, .. } => {
+                                    (id, Outcome::Error)
+                                }
+                            };
+                            received.push(RecvRecord {
+                                id,
+                                outcome,
+                                received_at,
+                            });
+                        }
+                        Err(_) => {
+                            // Timeout or connection trouble: once the drain
+                            // deadline passes, whatever is still unanswered
+                            // counts as silently dropped.
+                            let now = Instant::now();
+                            match deadline {
+                                None => deadline = Some(now + deadline_base),
+                                Some(d) if now >= d => break,
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                }
+                received
+            }));
+        }
+
+        // The open-loop sender: request k goes out at start + k·interval,
+        // whether or not anything has come back.
+        for id in 0..total {
+            pace_until(start + Duration::from_nanos((id as f64 * interval_ns) as u64));
+            let kind = id % mix.len();
+            let request = mix[kind].request(id as u64, kind as u64);
+            sent_at[id] = Some(Instant::now());
+            if write_frame(&mut write_halves[id % connections], &request.encode()).is_err() {
+                send_errors += 1;
+            }
+        }
+
+        for receiver in receivers {
+            for record in receiver.join().expect("receiver thread panicked") {
+                let id = record.id as usize;
+                if id < total && records[id].is_none() {
+                    records[id] = Some(record);
+                }
+            }
+        }
+        Ok(())
+    })?;
+    if send_errors > 0 {
+        return Err(format!("{send_errors} requests failed to send"));
+    }
+
+    // Reconcile: every request gets exactly one verified outcome.
+    let mut report = PhaseReport {
+        offered_qps: config.target_qps,
+        sent: total,
+        ..PhaseReport::default()
+    };
+    let mut e2e_samples = Vec::new();
+    let mut queue_samples = Vec::new();
+    let mut exec_samples = Vec::new();
+    let mut last_response: Option<Instant> = None;
+    for (id, record) in records.iter().enumerate() {
+        let Some(record) = record else {
+            report.missing += 1;
+            continue;
+        };
+        last_response = Some(match last_response {
+            Some(t) => t.max(record.received_at),
+            None => record.received_at,
+        });
+        match record.outcome {
+            Outcome::Answer {
+                fingerprint,
+                queue_ns,
+                exec_ns,
+                total_ns,
+            } => {
+                report.answered += 1;
+                if fingerprint != expected_fingerprints[id % mix.len()] {
+                    report.fingerprint_mismatches += 1;
+                }
+                if queue_ns + exec_ns != total_ns {
+                    report.accounting_violations += 1;
+                }
+                if let Some(sent) = sent_at[id] {
+                    e2e_samples.push(record.received_at.duration_since(sent).as_nanos() as u64);
+                }
+                queue_samples.push(queue_ns);
+                exec_samples.push(exec_ns);
+            }
+            Outcome::Shed {
+                queue_depth,
+                capacity,
+            } => {
+                report.shed += 1;
+                if queue_depth < capacity {
+                    report.shed_below_capacity += 1;
+                }
+            }
+            Outcome::Error => report.errors += 1,
+        }
+    }
+    let wall = last_response
+        .map(|t| t.duration_since(start))
+        .unwrap_or_default();
+    report.achieved_qps = report.answered as f64 / wall.as_secs_f64().max(1e-9);
+    report.e2e = LatencySummary::from_samples(e2e_samples);
+    report.queue = LatencySummary::from_samples(queue_samples);
+    report.exec = LatencySummary::from_samples(exec_samples);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqt_service::shard::Corpus;
+    use cqt_service::{NetServer, NetServerConfig};
+    use cqt_trees::parse::parse_term;
+    use std::sync::Arc;
+
+    fn mix() -> Vec<NetQuery> {
+        vec![
+            NetQuery::cq_all("Q(y) :- A(x), Child(x, y), B(y)."),
+            NetQuery {
+                lang: WireLang::XPath,
+                text: "//A[B]".into(),
+                fanout: WireFanOut::All,
+            },
+        ]
+    }
+
+    fn server() -> cqt_service::ServerHandle {
+        let corpus = Arc::new(Corpus::new(2));
+        corpus
+            .insert("a", parse_term("R(A(B), C)").unwrap())
+            .unwrap();
+        corpus
+            .insert("b", parse_term("R(A(B, B))").unwrap())
+            .unwrap();
+        NetServer::start(corpus, NetServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn probe_then_open_loop_phase_verifies_every_response() {
+        let handle = server();
+        let mix = mix();
+        let probed = probe(handle.addr(), &mix).unwrap();
+        assert_eq!(probed.len(), 2);
+        assert!(probed.iter().all(|p| p.docs == 2));
+        let expected: Vec<u64> = probed.iter().map(|p| p.fingerprint).collect();
+        let report = run_phase(
+            handle.addr(),
+            &mix,
+            &expected,
+            &PhaseConfig {
+                target_qps: 2_000.0,
+                total: 120,
+                connections: 3,
+                drain_timeout: Duration::from_secs(10),
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sent, 120);
+        assert_eq!(report.answered + report.shed, 120, "no silent drops");
+        assert!(report.invariants_ok(), "{report:?}");
+        assert!(report.achieved_qps > 0.0);
+        assert!(report.e2e.p50_ns > 0);
+        let capacity = calibrate_capacity_qps(handle.addr(), &mix, 2, 2).unwrap();
+        assert!(capacity > 0.0);
+        handle.shutdown();
+    }
+}

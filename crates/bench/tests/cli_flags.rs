@@ -1,0 +1,110 @@
+//! CLI contract of the `experiments` binary: unknown flags and stray
+//! arguments are hard errors with usage text, never silently ignored.
+//!
+//! (They used to be: `experiments serve --bench-jsom out.json` would run
+//! the default serve benchmark and drop the misspelled flag on the floor —
+//! the worst possible behaviour for a harness whose flags gate CI.)
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("experiments binary runs")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn unknown_flags_are_hard_errors_with_usage() {
+    for args in [
+        &["--frobnicate"][..],
+        &["serve", "--bogus"][..],
+        &["bench", "--bench-jsom", "out.json"][..],
+        &["net", "--target-pqs", "100"][..],
+    ] {
+        let output = run(args);
+        assert!(
+            !output.status.success(),
+            "{args:?} must fail, succeeded instead"
+        );
+        let err = stderr(&output);
+        assert!(err.contains("unknown flag"), "{args:?}: {err}");
+        assert!(err.contains("USAGE:"), "{args:?} must print usage: {err}");
+    }
+}
+
+#[test]
+fn stray_positional_arguments_are_hard_errors() {
+    let output = run(&["table1", "extra"]);
+    assert!(!output.status.success());
+    let err = stderr(&output);
+    assert!(err.contains("unexpected argument"), "{err}");
+    assert!(err.contains("USAGE:"), "{err}");
+
+    // succinctness takes one optional positional, but it must parse.
+    let output = run(&["succinctness", "not-a-number"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("positive integer"));
+    let output = run(&["succinctness", "2", "3"]);
+    assert!(!output.status.success());
+    assert!(stderr(&output).contains("unexpected argument"));
+}
+
+#[test]
+fn flags_are_rejected_outside_their_subcommand() {
+    for (args, needle) in [
+        (
+            &["table1", "--bench-json", "out.json"][..],
+            "only valid with `bench`, `serve` or `net`",
+        ),
+        (&["net", "--threads", "4"][..], "only valid with `serve`"),
+        (
+            &["bench", "--corpus", "8"][..],
+            "only valid with `serve` or `net`",
+        ),
+        (
+            &["serve", "--target-qps", "100"][..],
+            "only valid with `net`",
+        ),
+        (
+            &["net", "--target-qps", "100", "--bench-check", "ref.json"][..],
+            "--bench-check needs the calibrated low/overload pair",
+        ),
+        (
+            &["serve", "--shards", "2"][..],
+            "--shards requires --corpus",
+        ),
+        (
+            &["net", "--target-qps", "zero"][..],
+            "--target-qps requires a positive number",
+        ),
+        (
+            &["net", "--workers", "0"][..],
+            "--workers requires a positive integer",
+        ),
+    ] {
+        let output = run(args);
+        assert!(!output.status.success(), "{args:?} must fail");
+        let err = stderr(&output);
+        assert!(
+            err.contains(needle),
+            "{args:?}: expected {needle:?} in {err}"
+        );
+    }
+}
+
+#[test]
+fn help_is_not_confused_by_flag_values_named_help() {
+    // `help` anywhere outside a flag value prints the reference and exits 0.
+    let output = run(&["help"]);
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout).into_owned();
+    assert!(text.contains("USAGE:"));
+    assert!(text.contains("net"));
+    assert!(text.contains("--target-qps"));
+    assert!(text.contains("--queue-cap"));
+}

@@ -46,6 +46,15 @@
 //!   structure hashes, proven live by
 //!   [`PlanCacheStats::cross_document_hits`].
 //!
+//! * **serve over the network** — the [`net`] module puts the corpus behind
+//!   a std-only TCP front end: length-prefixed binary frames, pipelined
+//!   requests per connection, a bounded admission queue with explicit
+//!   load-shedding ([`net::protocol::Response::Shed`], never a silent
+//!   drop), and per-request latency split exactly into queue-wait and
+//!   execute time. The `experiments net` harness drives it open-loop over
+//!   real sockets and cross-checks answer fingerprints against the
+//!   in-process [`ServiceRunner::run_corpus`] path.
+//!
 //! The [`ServiceReport`] returned by a run carries throughput (QPS), latency
 //! percentiles (p50/p99), an order-independent answer fingerprint for
 //! cross-checking runs at different thread counts, and the plan-cache
@@ -75,6 +84,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod net;
 pub mod plan;
 pub mod runner;
 pub mod shard;
@@ -82,6 +92,7 @@ pub mod stats;
 pub mod workload;
 
 pub use corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
+pub use net::{NetServer, NetServerConfig, ServerHandle, ServerStats};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanOptions};
 pub use runner::{ServiceConfig, ServiceRunner};
 pub use shard::{Corpus, CorpusError, CorpusMutationOracle, DocId, Document, FanOut};

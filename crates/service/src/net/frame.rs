@@ -1,0 +1,221 @@
+//! Length-prefixed framing for the network serving front end.
+//!
+//! Every message on the wire is one **frame**: a 4-byte big-endian payload
+//! length followed by exactly that many payload bytes. Framing is the only
+//! thing this module knows; what the payload *means* is
+//! [`crate::net::protocol`]'s business.
+//!
+//! Decoding is incremental: a [`FrameBuffer`] accepts bytes in whatever
+//! chunks the socket delivers them (a frame may arrive split across many
+//! TCP segments, or many frames may arrive in one read) and yields complete
+//! payloads as they become available. Oversized declared lengths are
+//! rejected *before* any payload is buffered, so a malicious or corrupt
+//! peer cannot make the server allocate unboundedly.
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// Number of bytes in the length prefix.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Default cap on a frame's payload length (1 MiB) — far above any real
+/// request, far below anything that could hurt the server.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Why a frame could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The declared payload length exceeds the decoder's cap. The stream is
+    /// unrecoverable after this (the peer's framing cannot be trusted), so
+    /// connection handlers close on it.
+    TooLarge {
+        /// Length the header declared.
+        declared: u32,
+        /// The decoder's cap.
+        max: u32,
+    },
+    /// A zero-length payload was declared. No protocol message encodes to
+    /// zero bytes, so this always indicates a desynchronized stream.
+    Empty,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { declared, max } => {
+                write!(
+                    f,
+                    "frame payload of {declared} bytes exceeds the {max}-byte cap"
+                )
+            }
+            FrameError::Empty => write!(f, "zero-length frame"),
+        }
+    }
+}
+
+/// Writes one frame (header + payload) to `w` as a single `write_all`.
+///
+/// The caller is expected to hold whatever lock serializes writers to the
+/// stream; assembling header and payload into one buffer first means a
+/// frame can never be interleaved with another writer's bytes even if the
+/// OS splits the write.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(!payload.is_empty(), "protocol messages never encode empty");
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Incremental frame decoder: push bytes in, pull complete payloads out.
+///
+/// ```
+/// use cqt_service::net::frame::FrameBuffer;
+///
+/// let mut decoder = FrameBuffer::new(1024);
+/// // One frame split across arbitrary chunk boundaries...
+/// decoder.push(&[0, 0]);
+/// decoder.push(&[0, 3, b'a']);
+/// assert_eq!(decoder.next_frame(), Ok(None)); // not complete yet
+/// decoder.push(&[b'b', b'c']);
+/// assert_eq!(decoder.next_frame(), Ok(Some(b"abc".to_vec())));
+/// assert_eq!(decoder.next_frame(), Ok(None));
+/// ```
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by returned frames. Compacted when
+    /// it grows past half the buffer, so the buffer never creeps.
+    consumed: usize,
+    max_frame_len: u32,
+}
+
+impl FrameBuffer {
+    /// A decoder rejecting payloads longer than `max_frame_len`.
+    pub fn new(max_frame_len: u32) -> Self {
+        FrameBuffer {
+            buf: Vec::new(),
+            consumed: 0,
+            max_frame_len,
+        }
+    }
+
+    /// Appends bytes received from the peer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Returns the next complete payload, `Ok(None)` if more bytes are
+    /// needed, or an error if the peer's framing is invalid. After an
+    /// error the stream is desynchronized and must be closed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let declared = u32::from_be_bytes(
+            pending[..FRAME_HEADER_LEN]
+                .try_into()
+                .expect("header slice is 4 bytes"),
+        );
+        if declared == 0 {
+            return Err(FrameError::Empty);
+        }
+        if declared > self.max_frame_len {
+            return Err(FrameError::TooLarge {
+                declared,
+                max: self.max_frame_len,
+            });
+        }
+        let total = FRAME_HEADER_LEN + declared as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = pending[FRAME_HEADER_LEN..total].to_vec();
+        self.consumed += total;
+        if self.consumed * 2 > self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrip_whole_and_split() {
+        let mut decoder = FrameBuffer::new(64);
+        let wire = frame_bytes(b"hello");
+        // Whole.
+        decoder.push(&wire);
+        assert_eq!(decoder.next_frame(), Ok(Some(b"hello".to_vec())));
+        // One byte at a time.
+        for &b in &wire {
+            assert_eq!(decoder.next_frame(), Ok(None));
+            decoder.push(&[b]);
+        }
+        assert_eq!(decoder.next_frame(), Ok(Some(b"hello".to_vec())));
+        assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn many_frames_in_one_push() {
+        let mut decoder = FrameBuffer::new(64);
+        let mut wire = frame_bytes(b"a");
+        wire.extend(frame_bytes(b"bb"));
+        wire.extend(frame_bytes(b"ccc"));
+        decoder.push(&wire);
+        assert_eq!(decoder.next_frame(), Ok(Some(b"a".to_vec())));
+        assert_eq!(decoder.next_frame(), Ok(Some(b"bb".to_vec())));
+        assert_eq!(decoder.next_frame(), Ok(Some(b"ccc".to_vec())));
+        assert_eq!(decoder.next_frame(), Ok(None));
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_are_rejected_without_buffering() {
+        let mut decoder = FrameBuffer::new(8);
+        decoder.push(&(9u32).to_be_bytes());
+        assert_eq!(
+            decoder.next_frame(),
+            Err(FrameError::TooLarge {
+                declared: 9,
+                max: 8
+            })
+        );
+        let mut decoder = FrameBuffer::new(8);
+        decoder.push(&(0u32).to_be_bytes());
+        assert_eq!(decoder.next_frame(), Err(FrameError::Empty));
+        // The oversized rejection happens before any payload arrives: only
+        // the 4 header bytes were ever buffered.
+        let mut decoder = FrameBuffer::new(8);
+        decoder.push(&(u32::MAX).to_be_bytes());
+        assert_eq!(decoder.pending(), 4);
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn buffer_compacts_as_frames_drain() {
+        let mut decoder = FrameBuffer::new(1024);
+        for i in 0..100u8 {
+            decoder.push(&frame_bytes(&[i; 16]));
+            assert_eq!(decoder.next_frame(), Ok(Some(vec![i; 16])));
+        }
+        // After draining every frame the buffer holds nothing.
+        assert_eq!(decoder.pending(), 0);
+        assert!(decoder.buf.len() < 64, "buffer must not accumulate");
+    }
+}

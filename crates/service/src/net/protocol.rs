@@ -1,0 +1,577 @@
+//! The request/response protocol spoken inside [`crate::net::frame`]s.
+//!
+//! Messages are encoded in a small tagged binary format (the vendored serde
+//! shim is derive-only — it has no serializer — so encoding is hand-rolled,
+//! like every JSON renderer in this workspace, but binary: no escaping
+//! rules, fully round-trippable for arbitrary strings):
+//!
+//! * integers are little-endian (`u8` tags, `u32`/`u64` fields);
+//! * strings are a `u32` byte length followed by that many UTF-8 bytes;
+//! * every message starts with a one-byte kind tag.
+//!
+//! Decoding never panics: every malformed input (unknown tag, truncated
+//! field, trailing bytes, invalid UTF-8) is a [`WireError`], and string
+//! lengths are validated against the remaining payload before any
+//! allocation, so a corrupt length cannot cause an oversized reservation.
+//!
+//! The request/response kinds and their fields are documented in
+//! `docs/ARCHITECTURE.md` ("Network serving front end"); the invariants the
+//! server maintains over them (SHED only at capacity, queue + exec = total)
+//! are enforced by `experiments net` and the overload tests.
+
+use std::fmt;
+
+/// The fan-out target of a query request, mirroring
+/// [`crate::shard::FanOut`] in wire-friendly form (owned strings, no
+/// corpus types).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireFanOut {
+    /// Every document in the corpus.
+    All,
+    /// The single named document.
+    Doc(String),
+    /// Every document carrying the tag.
+    Tag(String),
+}
+
+/// The query language of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireLang {
+    /// Datalog-syntax conjunctive query.
+    Cq,
+    /// Positive Core XPath.
+    XPath,
+}
+
+/// A client → server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Evaluate a query against the corpus.
+    Query {
+        /// Client-chosen request id, echoed on the response (responses may
+        /// be pipelined and can return out of order).
+        id: u64,
+        /// Query language of `text`.
+        lang: WireLang,
+        /// Query text.
+        text: String,
+        /// Documents to fan out to.
+        fanout: WireFanOut,
+        /// Client-chosen fingerprint key mixed into the answer digest: the
+        /// per-document answers are folded as
+        /// `answer_fingerprint(fp_key * 1_000_003 + doc_position, answer)`,
+        /// exactly the keying `ServiceRunner::run_corpus` uses with its
+        /// request index — so a client that keys by request kind can compare
+        /// the server's digests against an in-process `run_corpus` run.
+        fp_key: u64,
+    },
+    /// Liveness probe, answered immediately (never queued).
+    Ping {
+        /// Echoed id.
+        id: u64,
+    },
+    /// Server counters, answered immediately (never queued).
+    Stats {
+        /// Echoed id.
+        id: u64,
+    },
+}
+
+/// A server → client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The answer to an admitted, executed query.
+    Answer {
+        /// Id of the request this answers.
+        id: u64,
+        /// Order-independent digest of the per-document answers (see
+        /// [`Request::Query::fp_key`]).
+        fingerprint: u64,
+        /// Documents the query fanned out to.
+        docs: u32,
+        /// Time spent waiting in the admission queue.
+        queue_ns: u64,
+        /// Time spent executing (snapshot + plan + evaluation, all
+        /// documents).
+        exec_ns: u64,
+        /// Total server-side latency. Invariant: `queue_ns + exec_ns ==
+        /// total_ns`, checked end-to-end by the load generator — queueing
+        /// time and execution time account for every server-side
+        /// nanosecond.
+        total_ns: u64,
+    },
+    /// The request was **shed**: the admission queue was full when it
+    /// arrived. Shedding is always explicit — the server never silently
+    /// drops an admitted or unadmitted request — and never affects
+    /// requests admitted before it.
+    Shed {
+        /// Id of the shed request.
+        id: u64,
+        /// Queue depth observed at rejection (≥ `capacity` by the
+        /// admission invariant).
+        queue_depth: u32,
+        /// The configured admission-queue capacity.
+        capacity: u32,
+    },
+    /// The request was malformed (parse error, unknown document, …).
+    Error {
+        /// Id of the failed request.
+        id: u64,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Echoed id.
+        id: u64,
+    },
+    /// Answer to [`Request::Stats`]: the server's cumulative counters.
+    Stats {
+        /// Echoed id.
+        id: u64,
+        /// Queries admitted to the queue since start.
+        admitted: u64,
+        /// Admitted queries fully executed and answered.
+        executed: u64,
+        /// Queries shed at admission.
+        shed: u64,
+        /// Malformed requests answered with [`Response::Error`].
+        errors: u64,
+        /// Current queue depth.
+        queue_depth: u32,
+        /// Configured queue capacity.
+        capacity: u32,
+    },
+}
+
+/// Why a payload could not be decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The message's kind tag is not one this version speaks.
+    UnknownTag(u8),
+    /// The payload ended before the message's fields did.
+    Truncated,
+    /// Bytes remained after the message's last field.
+    TrailingBytes(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A field had a domain-invalid value (e.g. an unknown enum byte).
+    BadValue(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            WireError::Truncated => write!(f, "payload truncated mid-message"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadValue(what) => write!(f, "invalid value for {what}"),
+        }
+    }
+}
+
+// ---- encoding primitives ----
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a payload being decoded.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        // The length is validated against the remaining payload by `take`
+        // before any allocation happens.
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let left = self.bytes.len() - self.pos;
+        if left != 0 {
+            return Err(WireError::TrailingBytes(left));
+        }
+        Ok(())
+    }
+}
+
+// ---- message tags ----
+
+const REQ_QUERY: u8 = 1;
+const REQ_PING: u8 = 2;
+const REQ_STATS: u8 = 3;
+
+const RESP_ANSWER: u8 = 1;
+const RESP_SHED: u8 = 2;
+const RESP_ERROR: u8 = 3;
+const RESP_PONG: u8 = 4;
+const RESP_STATS: u8 = 5;
+
+const LANG_CQ: u8 = 0;
+const LANG_XPATH: u8 = 1;
+
+const FANOUT_ALL: u8 = 0;
+const FANOUT_DOC: u8 = 1;
+const FANOUT_TAG: u8 = 2;
+
+impl Request {
+    /// Encodes the request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Query {
+                id,
+                lang,
+                text,
+                fanout,
+                fp_key,
+            } => {
+                out.push(REQ_QUERY);
+                put_u64(&mut out, *id);
+                out.push(match lang {
+                    WireLang::Cq => LANG_CQ,
+                    WireLang::XPath => LANG_XPATH,
+                });
+                put_str(&mut out, text);
+                match fanout {
+                    WireFanOut::All => {
+                        out.push(FANOUT_ALL);
+                        put_str(&mut out, "");
+                    }
+                    WireFanOut::Doc(name) => {
+                        out.push(FANOUT_DOC);
+                        put_str(&mut out, name);
+                    }
+                    WireFanOut::Tag(tag) => {
+                        out.push(FANOUT_TAG);
+                        put_str(&mut out, tag);
+                    }
+                }
+                put_u64(&mut out, *fp_key);
+            }
+            Request::Ping { id } => {
+                out.push(REQ_PING);
+                put_u64(&mut out, *id);
+            }
+            Request::Stats { id } => {
+                out.push(REQ_STATS);
+                put_u64(&mut out, *id);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload as a request.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let request = match r.u8()? {
+            REQ_QUERY => {
+                let id = r.u64()?;
+                let lang = match r.u8()? {
+                    LANG_CQ => WireLang::Cq,
+                    LANG_XPATH => WireLang::XPath,
+                    _ => return Err(WireError::BadValue("query language")),
+                };
+                let text = r.string()?;
+                let fanout_tag = r.u8()?;
+                let target = r.string()?;
+                let fanout = match fanout_tag {
+                    FANOUT_ALL => WireFanOut::All,
+                    FANOUT_DOC => WireFanOut::Doc(target),
+                    FANOUT_TAG => WireFanOut::Tag(target),
+                    _ => return Err(WireError::BadValue("fan-out")),
+                };
+                let fp_key = r.u64()?;
+                Request::Query {
+                    id,
+                    lang,
+                    text,
+                    fanout,
+                    fp_key,
+                }
+            }
+            REQ_PING => Request::Ping { id: r.u64()? },
+            REQ_STATS => Request::Stats { id: r.u64()? },
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+
+    /// The request id (every request kind carries one).
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Query { id, .. } | Request::Ping { id } | Request::Stats { id } => *id,
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Answer {
+                id,
+                fingerprint,
+                docs,
+                queue_ns,
+                exec_ns,
+                total_ns,
+            } => {
+                out.push(RESP_ANSWER);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *fingerprint);
+                put_u32(&mut out, *docs);
+                put_u64(&mut out, *queue_ns);
+                put_u64(&mut out, *exec_ns);
+                put_u64(&mut out, *total_ns);
+            }
+            Response::Shed {
+                id,
+                queue_depth,
+                capacity,
+            } => {
+                out.push(RESP_SHED);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, *queue_depth);
+                put_u32(&mut out, *capacity);
+            }
+            Response::Error { id, message } => {
+                out.push(RESP_ERROR);
+                put_u64(&mut out, *id);
+                put_str(&mut out, message);
+            }
+            Response::Pong { id } => {
+                out.push(RESP_PONG);
+                put_u64(&mut out, *id);
+            }
+            Response::Stats {
+                id,
+                admitted,
+                executed,
+                shed,
+                errors,
+                queue_depth,
+                capacity,
+            } => {
+                out.push(RESP_STATS);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *admitted);
+                put_u64(&mut out, *executed);
+                put_u64(&mut out, *shed);
+                put_u64(&mut out, *errors);
+                put_u32(&mut out, *queue_depth);
+                put_u32(&mut out, *capacity);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload as a response.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let response = match r.u8()? {
+            RESP_ANSWER => Response::Answer {
+                id: r.u64()?,
+                fingerprint: r.u64()?,
+                docs: r.u32()?,
+                queue_ns: r.u64()?,
+                exec_ns: r.u64()?,
+                total_ns: r.u64()?,
+            },
+            RESP_SHED => Response::Shed {
+                id: r.u64()?,
+                queue_depth: r.u32()?,
+                capacity: r.u32()?,
+            },
+            RESP_ERROR => Response::Error {
+                id: r.u64()?,
+                message: r.string()?,
+            },
+            RESP_PONG => Response::Pong { id: r.u64()? },
+            RESP_STATS => Response::Stats {
+                id: r.u64()?,
+                admitted: r.u64()?,
+                executed: r.u64()?,
+                shed: r.u64()?,
+                errors: r.u64()?,
+                queue_depth: r.u32()?,
+                capacity: r.u32()?,
+            },
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+
+    /// The id of the request this response belongs to.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Answer { id, .. }
+            | Response::Shed { id, .. }
+            | Response::Error { id, .. }
+            | Response::Pong { id }
+            | Response::Stats { id, .. } => *id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let requests = [
+            Request::Query {
+                id: 7,
+                lang: WireLang::Cq,
+                text: "Q(y) :- A(x), Child+(x, y), B(y).".into(),
+                fanout: WireFanOut::All,
+                fp_key: 3,
+            },
+            Request::Query {
+                id: u64::MAX,
+                lang: WireLang::XPath,
+                text: "//A[B]/following::C".into(),
+                fanout: WireFanOut::Doc("doc-0001".into()),
+                fp_key: 0,
+            },
+            Request::Query {
+                id: 0,
+                lang: WireLang::Cq,
+                text: String::new(),
+                fanout: WireFanOut::Tag("hot".into()),
+                fp_key: u64::MAX,
+            },
+            Request::Ping { id: 1 },
+            Request::Stats { id: 2 },
+        ];
+        for request in requests {
+            let wire = request.encode();
+            assert_eq!(Request::decode(&wire), Ok(request));
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let responses = [
+            Response::Answer {
+                id: 9,
+                fingerprint: 0xdead_beef,
+                docs: 64,
+                queue_ns: 1_000,
+                exec_ns: 2_000,
+                total_ns: 3_000,
+            },
+            Response::Shed {
+                id: 10,
+                queue_depth: 65,
+                capacity: 64,
+            },
+            Response::Error {
+                id: 11,
+                message: "parse error: unexpected token".into(),
+            },
+            Response::Pong { id: 12 },
+            Response::Stats {
+                id: 13,
+                admitted: 100,
+                executed: 99,
+                shed: 5,
+                errors: 1,
+                queue_depth: 1,
+                capacity: 64,
+            },
+        ];
+        for response in responses {
+            let wire = response.encode();
+            assert_eq!(Response::decode(&wire), Ok(response));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_errors_not_panics() {
+        assert_eq!(Request::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Request::decode(&[99]), Err(WireError::UnknownTag(99)));
+        assert_eq!(Response::decode(&[0]), Err(WireError::UnknownTag(0)));
+        // Truncated mid-field.
+        let wire = Request::Ping { id: 5 }.encode();
+        assert_eq!(
+            Request::decode(&wire[..wire.len() - 1]),
+            Err(WireError::Truncated)
+        );
+        // Trailing garbage.
+        let mut wire = Response::Pong { id: 5 }.encode();
+        wire.push(0);
+        assert_eq!(Response::decode(&wire), Err(WireError::TrailingBytes(1)));
+        // A string length pointing past the payload is Truncated, and the
+        // decoder must not have tried to allocate the declared length.
+        let mut wire = Vec::new();
+        wire.push(3); // REQ_STATS... actually RESP_ERROR for responses
+        wire.extend_from_slice(&5u64.to_le_bytes());
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Response::decode(&wire), Err(WireError::Truncated));
+        // Invalid UTF-8 in a string field.
+        let mut wire = Vec::new();
+        wire.push(3);
+        wire.extend_from_slice(&5u64.to_le_bytes());
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(Response::decode(&wire), Err(WireError::BadUtf8));
+        // Invalid enum bytes.
+        let mut wire = Vec::new();
+        wire.push(1); // REQ_QUERY
+        wire.extend_from_slice(&1u64.to_le_bytes());
+        wire.push(9); // bad language
+        assert_eq!(
+            Request::decode(&wire),
+            Err(WireError::BadValue("query language"))
+        );
+    }
+}

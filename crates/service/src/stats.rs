@@ -51,6 +51,9 @@ pub struct LatencySummary {
     pub p50_ns: u64,
     /// 99th-percentile request latency.
     pub p99_ns: u64,
+    /// 99.9th-percentile request latency (the open-loop load generator's
+    /// tail metric; equals `max_ns` for samples smaller than ~1000).
+    pub p999_ns: u64,
     /// Mean request latency.
     pub mean_ns: u64,
     /// Slowest request.
@@ -72,6 +75,7 @@ impl LatencySummary {
         LatencySummary {
             p50_ns: pick(0.50),
             p99_ns: pick(0.99),
+            p999_ns: pick(0.999),
             mean_ns: (sum / latencies.len() as u128) as u64,
             max_ns: *latencies.last().expect("non-empty"),
         }
@@ -364,6 +368,8 @@ mod tests {
         // Index (99 * 0.5).round() = 50 → the 51st sample.
         assert_eq!(summary.p50_ns, 51);
         assert_eq!(summary.p99_ns, 99);
+        // Index (99 * 0.999).round() = 99 → the last sample.
+        assert_eq!(summary.p999_ns, 100);
         assert_eq!(summary.mean_ns, 50);
         assert_eq!(summary.max_ns, 100);
         assert_eq!(
@@ -385,6 +391,7 @@ mod tests {
             latency: LatencySummary {
                 p50_ns: 10,
                 p99_ns: 90,
+                p999_ns: 94,
                 mean_ns: 20,
                 max_ns: 95,
             },

@@ -1,0 +1,162 @@
+//! Deterministic overload behaviour of the TCP serving front end.
+//!
+//! Load-shedding is usually timing-dependent; this test removes the timing.
+//! The server starts with its worker pool **paused** (`start_paused`), so
+//! nothing ever leaves the admission queue while we fill it. With a queue
+//! capacity of 4:
+//!
+//! * the first 4 queries are admitted (no response yet — workers are
+//!   parked);
+//! * the next 3 get an **immediate** `SHED` response, each reporting a
+//!   queue depth at capacity — receiving them while zero answers have
+//!   arrived proves admission control never blocks the connection behind
+//!   the full queue;
+//! * after `resume()`, all 4 admitted requests are answered, and their
+//!   fingerprints equal the fingerprint of the same query executed later
+//!   with no contention at all — shedding never changes the answer of an
+//!   already-admitted request.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cqt_service::net::frame::{write_frame, FRAME_HEADER_LEN};
+use cqt_service::net::protocol::{Request, Response, WireFanOut, WireLang};
+use cqt_service::shard::Corpus;
+use cqt_service::{NetServer, NetServerConfig};
+use cqt_trees::parse::parse_term;
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_be_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap();
+    Response::decode(&payload).unwrap()
+}
+
+fn query(id: u64) -> Request {
+    Request::Query {
+        id,
+        lang: WireLang::Cq,
+        text: "Q(y) :- A(x), Child(x, y), B(y).".into(),
+        fanout: WireFanOut::All,
+        // Same fingerprint key for every request: every answer to this
+        // query must carry the identical fingerprint, contended or not.
+        fp_key: 7,
+    }
+}
+
+#[test]
+fn full_queue_sheds_immediately_and_never_touches_admitted_answers() {
+    const CAPACITY: usize = 4;
+    let corpus = Arc::new(Corpus::new(2));
+    corpus
+        .insert("doc-a", parse_term("R(A(B), C(A(B)))").unwrap())
+        .unwrap();
+    corpus
+        .insert("doc-b", parse_term("R(A(B, B), A)").unwrap())
+        .unwrap();
+    let handle = NetServer::start(
+        corpus,
+        NetServerConfig {
+            workers: 1,
+            queue_capacity: CAPACITY,
+            start_paused: true,
+            ..NetServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Fill the queue exactly to capacity. The single reader thread admits
+    // pipelined requests in order, and the paused workers drain nothing,
+    // so after these sends the queue deterministically holds 4 jobs.
+    for id in 1..=CAPACITY as u64 {
+        write_frame(&mut stream, &query(id).encode()).unwrap();
+    }
+
+    // Everything beyond capacity is shed *immediately* — the responses
+    // arrive while all 4 admitted requests are still unanswered, so a full
+    // queue cannot block or stall the connection.
+    for id in 10..13u64 {
+        write_frame(&mut stream, &query(id).encode()).unwrap();
+        match read_response(&mut stream) {
+            Response::Shed {
+                id: shed_id,
+                queue_depth,
+                capacity,
+            } => {
+                assert_eq!(shed_id, id);
+                assert_eq!(capacity, CAPACITY as u32);
+                assert!(
+                    queue_depth >= capacity,
+                    "shed below the admission threshold: depth {queue_depth} < {capacity}"
+                );
+            }
+            other => panic!("request {id} expected SHED, got {other:?}"),
+        }
+    }
+
+    // Un-park the workers: every admitted request must now be answered, in
+    // admission order (single worker), with exact latency accounting.
+    handle.resume();
+    let mut admitted_fingerprints = Vec::new();
+    for expected_id in 1..=CAPACITY as u64 {
+        match read_response(&mut stream) {
+            Response::Answer {
+                id,
+                fingerprint,
+                docs,
+                queue_ns,
+                exec_ns,
+                total_ns,
+            } => {
+                assert_eq!(id, expected_id);
+                assert_eq!(docs, 2);
+                assert_eq!(queue_ns + exec_ns, total_ns, "accounting must sum");
+                admitted_fingerprints.push(fingerprint);
+            }
+            other => panic!("request {expected_id} expected answer, got {other:?}"),
+        }
+    }
+
+    // Ground truth: the same query with zero contention. Shedding must not
+    // have perturbed the answers of the requests that were admitted.
+    write_frame(&mut stream, &query(99).encode()).unwrap();
+    let uncontended = match read_response(&mut stream) {
+        Response::Answer { fingerprint, .. } => fingerprint,
+        other => panic!("uncontended request expected answer, got {other:?}"),
+    };
+    for (i, fingerprint) in admitted_fingerprints.iter().enumerate() {
+        assert_eq!(
+            *fingerprint,
+            uncontended,
+            "admitted request {} answered differently under overload",
+            i + 1
+        );
+    }
+
+    // The server's own counters agree with what the client saw.
+    write_frame(&mut stream, &Request::Stats { id: 1000 }.encode()).unwrap();
+    match read_response(&mut stream) {
+        Response::Stats {
+            admitted,
+            executed,
+            shed,
+            errors,
+            ..
+        } => {
+            assert_eq!(admitted, 5);
+            assert_eq!(executed, 5);
+            assert_eq!(shed, 3);
+            assert_eq!(errors, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    handle.shutdown();
+}
