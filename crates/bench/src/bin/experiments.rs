@@ -184,20 +184,33 @@ SUBCOMMANDS (default: all):
                         fingerprints cross-checked against in-process
                         run_corpus, queue-wait/execute latency accounting,
                         and explicit load-shedding gates (BENCH_6.json)
+    prune               corpus-scale pruning: label/axis posting lists vs
+                        unpruned scatter-gather on a low-selectivity corpus,
+                        with a hard fingerprint-equality gate, a concurrent-
+                        writer oracle phase, and pruning-rate/speedup gates
+                        (BENCH_7.json)
     help                print this reference
 
 FLAGS:
     --smoke             cap every instance size so the run finishes in
                         seconds (any subcommand; what CI runs)
-    --threads N         reader/worker thread count for `serve` (default 4)
+    --threads N         reader/worker thread count for `serve` and `prune`
+                        (default 4)
     --mutate            `serve` only: benchmark the mutable single-document
                         corpus instead of the frozen batch
     --corpus N          `serve`: benchmark the sharded multi-document corpus
                         with N documents (includes a mutating phase;
                         exclusive with --mutate; mandatory meaning for
                         `serve`). `net`: corpus size behind the server
-                        (default 12 smoke / 24 full)
-    --shards S          with --corpus or `net`: number of shards (default 4)
+                        (default 12 smoke / 24 full). `prune`: corpus size
+                        (default 16 smoke / 32 full)
+    --shards S          with --corpus, `net` or `prune`: number of shards
+                        (default 4)
+    --vocab V           `prune` only: how the corpus templates' label
+                        vocabularies relate — one of shared (every query
+                        hits everything, pruning rate ~0), overlapping, or
+                        disjoint (the low-selectivity extreme; the default
+                        and what BENCH_7.json gates)
     --target-qps N      `net` only: run one open-loop phase at the given
                         offered load instead of the calibrated low/overload
                         pair (not combinable with --bench-check)
@@ -207,15 +220,17 @@ FLAGS:
                         SHED response (default 32)
     --connections C     `net` only: client TCP connections the open-loop
                         generator spreads requests over (default 2)
-    --bench-json PATH   `bench`/`serve`/`net`: write the run's numbers as
-                        JSON
-    --bench-check PATH  `bench`/`serve`/`net`: compare against a committed
-                        reference JSON and exit non-zero on a regression
-                        (each gate is a within-run ratio, so machine speed
-                        cancels out; the corpus gate additionally requires a
-                        nonzero cross-document plan-cache hit rate, and the
-                        net gate requires zero fingerprint/accounting/
-                        shedding violations)
+    --bench-json PATH   `bench`/`serve`/`net`/`prune`: write the run's
+                        numbers as JSON
+    --bench-check PATH  `bench`/`serve`/`net`/`prune`: compare against a
+                        committed reference JSON and exit non-zero on a
+                        regression (each gate is a within-run ratio, so
+                        machine speed cancels out; the corpus gate
+                        additionally requires a nonzero cross-document
+                        plan-cache hit rate, the net gate requires zero
+                        fingerprint/accounting/shedding violations, and the
+                        prune gate requires pruning rate >= 50% and a
+                        pruned-vs-unpruned speedup > 1.5x within the run)
 
 Unknown flags and stray arguments are hard errors.
 "
@@ -226,7 +241,7 @@ fn main() {
     // Help detection must not look inside flag *values* (`--bench-json
     // help` names a file, not a request for help), so skip the argument
     // after each value-taking flag.
-    const VALUE_FLAGS: [&str; 9] = [
+    const VALUE_FLAGS: [&str; 10] = [
         "--bench-json",
         "--bench-check",
         "--threads",
@@ -236,6 +251,7 @@ fn main() {
         "--workers",
         "--queue-cap",
         "--connections",
+        "--vocab",
     ];
     let mut wants_help = false;
     let mut skip_value = false;
@@ -292,6 +308,13 @@ fn main() {
     let workers = parse_positive("--workers", take_value_flag(&mut args, "--workers"));
     let queue_cap = parse_positive("--queue-cap", take_value_flag(&mut args, "--queue-cap"));
     let connections = parse_positive("--connections", take_value_flag(&mut args, "--connections"));
+    let vocab = take_value_flag(&mut args, "--vocab");
+    if let Some(v) = &vocab {
+        if !matches!(v.as_str(), "shared" | "overlapping" | "disjoint") {
+            eprintln!("--vocab must be one of shared|overlapping|disjoint, got {v:?}");
+            std::process::exit(1);
+        }
+    }
     // Every known flag has been extracted; anything still dash-prefixed is
     // unknown and a hard error (silently ignoring it would let typos like
     // `--bench-jsom` run an entirely different experiment than intended).
@@ -312,18 +335,28 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if !matches!(command, "bench" | "serve" | "net")
+    if !matches!(command, "bench" | "serve" | "net" | "prune")
         && (bench_json.is_some() || bench_check.is_some())
     {
-        eprintln!("--bench-json/--bench-check are only valid with `bench`, `serve` or `net`");
+        eprintln!(
+            "--bench-json/--bench-check are only valid with `bench`, `serve`, `net` or `prune`"
+        );
         std::process::exit(1);
     }
-    if command != "serve" && (threads.is_some() || mutate) {
-        eprintln!("--threads/--mutate are only valid with `serve`");
+    if command != "serve" && mutate {
+        eprintln!("--mutate is only valid with `serve`");
         std::process::exit(1);
     }
-    if !matches!(command, "serve" | "net") && (corpus.is_some() || shards.is_some()) {
-        eprintln!("--corpus/--shards are only valid with `serve` or `net`");
+    if !matches!(command, "serve" | "prune") && threads.is_some() {
+        eprintln!("--threads is only valid with `serve` or `prune`");
+        std::process::exit(1);
+    }
+    if !matches!(command, "serve" | "net" | "prune") && (corpus.is_some() || shards.is_some()) {
+        eprintln!("--corpus/--shards are only valid with `serve`, `net` or `prune`");
+        std::process::exit(1);
+    }
+    if command != "prune" && vocab.is_some() {
+        eprintln!("--vocab is only valid with `prune`");
         std::process::exit(1);
     }
     if command != "net"
@@ -391,6 +424,15 @@ fn main() {
                 );
             }
         }
+        "prune" => serve_prune(
+            smoke,
+            threads,
+            corpus,
+            shards.unwrap_or(4),
+            vocab.as_deref().unwrap_or("disjoint"),
+            bench_json.as_deref(),
+            bench_check.as_deref(),
+        ),
         "net" => serve_net(NetRunConfig {
             smoke,
             target_qps,
@@ -1500,6 +1542,304 @@ fn check_corpus_regression(ref_path: &str, current_overhead: f64, cross_doc_hits
         std::process::exit(1);
     }
     println!("corpus-check passed");
+}
+
+/// The corpus-scale pruning benchmark (`experiments prune`, BENCH_7.json):
+/// the same scatter–gather workload with the label-index pruning layer off
+/// and on, over a corpus whose selectivity the `--vocab` flag controls.
+///
+/// Three hard gates run regardless of `--bench-check`:
+///
+/// 1. **fingerprint equality** — the pruned run's gathered answers must be
+///    bit-identical to the unpruned run's;
+/// 2. **oracle consistency** — a concurrent-writer phase (relabel-heavy
+///    scripts that move documents across the queried posting lists) must
+///    pass the per-document [`cqt_service::CorpusMutationOracle`] with
+///    pruning enabled;
+/// 3. with `--bench-check`, **pruning rate ≥ 50%** and **pruned/unpruned
+///    speedup > 1.5×**, both within-run so machine speed cancels out.
+fn serve_prune(
+    smoke: bool,
+    threads: Option<usize>,
+    documents: Option<usize>,
+    shards: usize,
+    vocab: &str,
+    json_path: Option<&str>,
+    check_path: Option<&str>,
+) {
+    use cqt_service::{
+        Corpus, CorpusMutationOracle, CorpusMutationWorkload, CorpusRequest, CorpusWorkload, DocId,
+        FanOut, QuerySpec, ServiceConfig, ServiceRunner,
+    };
+    use cqt_trees::edit::EditScript;
+    use cqt_trees::generate::{
+        document_corpus, random_edit_script, DocumentCorpusConfig, EditScriptConfig,
+        LabelVocabulary,
+    };
+    use cqt_trees::Tree;
+    use std::collections::BTreeMap;
+
+    header("Corpus-scale pruning — label/axis posting lists vs full scatter–gather");
+    let vocabulary = match vocab {
+        "shared" => LabelVocabulary::Shared,
+        "overlapping" => LabelVocabulary::Overlapping,
+        _ => LabelVocabulary::Disjoint,
+    };
+    let (nodes_per_document, scatter_repeats, reads) = if smoke {
+        (300, 24, 1_600)
+    } else {
+        (2_000, 60, 12_000)
+    };
+    let documents = documents.unwrap_or(if smoke { 16 } else { 32 });
+    let reader_threads = threads.unwrap_or(4).max(1);
+    // One template family per two documents (capped): each family query's
+    // posting intersection keeps ~1/families of the corpus, so the pruning
+    // rate — and the work an unpruned run wastes — rises with the cap.
+    let distinct = (documents / 2).clamp(1, 16);
+    let mut rng = StdRng::seed_from_u64(2007);
+    let trees = document_corpus(
+        &mut rng,
+        &DocumentCorpusConfig {
+            documents,
+            distinct,
+            nodes_per_document,
+            vocabulary,
+            ..DocumentCorpusConfig::default()
+        },
+    );
+    let corpus = Corpus::new(shards);
+    let doc_ids: Vec<DocId> = (0..documents)
+        .map(|i| DocId::new(format!("doc-{i:04}")))
+        .collect();
+    for (i, tree) in trees.iter().enumerate() {
+        corpus
+            .insert(doc_ids[i].clone(), tree.clone())
+            .expect("fresh corpus has no duplicates");
+    }
+    println!(
+        "corpus: {documents} documents x {nodes_per_document} nodes, {distinct} template \
+         families, vocabulary {vocab}, {shards} shards, {} indexed labels",
+        corpus.label_index().label_count(),
+    );
+
+    // One query per template family on labels from the alphabet's second
+    // half — private to the family under `overlapping` and `disjoint`, so
+    // each request's posting intersection keeps ~1/distinct of the corpus.
+    // Under `shared` the same queries hit every document (the control:
+    // pruning rate ~0, speedup ~1). Plus one query on a label nothing
+    // carries, which prunes the entire corpus from the index alone.
+    let family_label = |t: usize, base: &str| -> String {
+        match vocabulary {
+            LabelVocabulary::Shared => base.to_string(),
+            _ => format!("T{t}_{base}"),
+        }
+    };
+    let mut queries: Vec<QuerySpec> = (0..distinct.min(4))
+        .map(|t| {
+            let outer = family_label(t, "D");
+            let inner = family_label(t, "E");
+            QuerySpec::parse_cq(&format!("Q(y) :- {outer}(x), Child(x, y), {inner}(y)."))
+                .expect("valid query")
+        })
+        .collect();
+    queries.push(QuerySpec::parse_cq("Q(x) :- ZZZ_MISSING(x).").expect("valid query"));
+
+    let scatter = CorpusWorkload::new(
+        queries
+            .iter()
+            .map(|query| CorpusRequest {
+                query: query.clone(),
+                target: FanOut::All,
+            })
+            .collect(),
+        scatter_repeats,
+    );
+
+    // Each runner keeps its plan cache across runs: run the workload once
+    // to warm plans and lazy axis indexes, measure the second run.
+    let unpruned_runner =
+        ServiceRunner::new(ServiceConfig::with_threads(reader_threads).with_prune(false));
+    unpruned_runner.run_corpus(&corpus, &scatter);
+    let unpruned = unpruned_runner.run_corpus(&corpus, &scatter);
+    let pruned_runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+    pruned_runner.run_corpus(&corpus, &scatter);
+    let pruned = pruned_runner.run_corpus(&corpus, &scatter);
+
+    if pruned.answer_fingerprint != unpruned.answer_fingerprint {
+        eprintln!(
+            "PRUNING FAILED: pruned fingerprint {:#018x} != unpruned {:#018x} — \
+             the index dropped a non-empty answer",
+            pruned.answer_fingerprint, unpruned.answer_fingerprint
+        );
+        std::process::exit(1);
+    }
+    let prune_rate = pruned.prune.prune_rate();
+    let speedup = pruned.qps / unpruned.qps.max(1e-12);
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "mode", "requests", "doc execs", "QPS", "p50", "p99"
+    );
+    for (name, report) in [("unpruned", &unpruned), ("pruned", &pruned)] {
+        println!(
+            "{:<10} {:>10} {:>12} {:>12.0} {:>12} {:>12}",
+            name,
+            report.requests,
+            report.doc_executions,
+            report.qps,
+            fmt_ns(report.latency.p50_ns as f64),
+            fmt_ns(report.latency.p99_ns as f64),
+        );
+    }
+    println!(
+        "\npruning: {} of {} candidates pruned ({:.1}%), {} survivors, \
+         {} false positives; fingerprints equal; prune_speedup = {speedup:.2}x",
+        pruned.prune.pruned,
+        pruned.prune.candidates,
+        prune_rate * 100.0,
+        pruned.prune.survivors,
+        pruned.prune.false_positives,
+    );
+
+    // Concurrent-writer phase: relabel-heavy scripts drawing from every
+    // family's vocabulary, so commits move documents in and out of the
+    // queried posting lists mid-run; the oracle checks every observation at
+    // its exact epoch, with pruning enabled.
+    let mut edit_alphabet: Vec<String> = vec!["A".into(), "B".into(), "C".into()];
+    for t in 0..distinct {
+        edit_alphabet.push(family_label(t, "D"));
+        edit_alphabet.push(family_label(t, "E"));
+    }
+    edit_alphabet.sort();
+    edit_alphabet.dedup();
+    let script_config = EditScriptConfig {
+        edits: 3,
+        insert_weight: 1,
+        delete_weight: 1,
+        relabel_weight: 4,
+        alphabet: edit_alphabet,
+        ..EditScriptConfig::default()
+    };
+    let writer_count = documents.min(if smoke { 4 } else { 8 }).max(1);
+    let mut writers: Vec<(DocId, Vec<EditScript>)> = Vec::new();
+    for w in 0..writer_count {
+        let doc = w * documents / writer_count;
+        let mut tree = trees[doc].clone();
+        let mut scripts = Vec::new();
+        for _ in 0..3 {
+            let script = random_edit_script(&mut rng, &tree, &script_config);
+            tree = script.apply_to(&tree).expect("generated script applies").0;
+            scripts.push(script);
+        }
+        writers.push((doc_ids[doc].clone(), scripts));
+    }
+    let mutate_workload =
+        CorpusMutationWorkload::new(queries.clone(), doc_ids.clone(), writers.clone(), reads);
+    let runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+    let mutate = runner
+        .run_corpus_mutating(&corpus, &mutate_workload)
+        .expect("generated scripts commit cleanly");
+    let initial: BTreeMap<DocId, Tree> = doc_ids.iter().cloned().zip(trees.clone()).collect();
+    let writer_map: BTreeMap<DocId, Vec<EditScript>> = writers.into_iter().collect();
+    let oracle =
+        CorpusMutationOracle::build(&initial, &writer_map, &queries, &runner.config().plan)
+            .expect("oracle replay applies");
+    if let Err(violation) = oracle.check(&mutate) {
+        eprintln!("PRUNED MUTATION FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "concurrent writers: {} reads over {} epochs committed by {} writers, \
+         pruning rate {:.1}% under mutation, oracle consistency: OK",
+        mutate.reads,
+        mutate.total_commits(),
+        mutate.writers,
+        mutate.prune.prune_rate() * 100.0,
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"cq-trees-prune-bench/1\",\n  \"mode\": \"{}\",\n  \
+             \"vocabulary\": \"{vocab}\",\n  \"documents\": {},\n  \"shards\": {},\n  \
+             \"template_families\": {},\n  \"reader_threads\": {},\n  \
+             \"requests\": {},\n  \"candidates\": {},\n  \"pruned_docs\": {},\n  \
+             \"survivors\": {},\n  \"false_positives\": {},\n  \"prune_rate\": {:.4},\n  \
+             \"qps_unpruned\": {:.1},\n  \"qps_pruned\": {:.1},\n  \
+             \"prune_speedup\": {:.3},\n  \"fingerprints\": \"equal\",\n  \
+             \"mutate_reads\": {},\n  \"mutate_prune_rate\": {:.4},\n  \
+             \"consistency\": \"ok\",\n  \
+             \"pruned\": {},\n  \"unpruned\": {},\n  \"mutate\": {}\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            documents,
+            shards,
+            distinct,
+            reader_threads,
+            pruned.requests,
+            pruned.prune.candidates,
+            pruned.prune.pruned,
+            pruned.prune.survivors,
+            pruned.prune.false_positives,
+            prune_rate,
+            unpruned.qps,
+            pruned.qps,
+            speedup,
+            mutate.reads,
+            mutate.prune.prune_rate(),
+            pruned.to_json(),
+            unpruned.to_json(),
+            mutate.to_json(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        check_prune_regression(path, prune_rate, speedup);
+    }
+}
+
+/// Gates the pruning benchmark: the committed reference must parse, and the
+/// **current run** must prune at least half of its candidates and be more
+/// than 1.5× faster than its own unpruned phase. Both gates are within-run
+/// ratios — machine speed cancels out, and a run whose index stops pruning
+/// (or whose pruning stops paying for itself) fails regardless of how fast
+/// the hardware is.
+fn check_prune_regression(ref_path: &str, prune_rate: f64, speedup: f64) {
+    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
+        eprintln!("cannot read prune reference {ref_path}: {e}");
+        std::process::exit(1);
+    });
+    let Some(ref_rate) = extract_json_number(&reference, "prune_rate") else {
+        eprintln!("no prune_rate in {ref_path}");
+        std::process::exit(1);
+    };
+    let Some(ref_speedup) = extract_json_number(&reference, "prune_speedup") else {
+        eprintln!("no prune_speedup in {ref_path}");
+        std::process::exit(1);
+    };
+    println!(
+        "prune-check: rate {:.1}% vs reference {:.1}%; speedup {speedup:.2}x vs \
+         reference {ref_speedup:.2}x",
+        prune_rate * 100.0,
+        ref_rate * 100.0,
+    );
+    if prune_rate < 0.5 {
+        eprintln!(
+            "prune-check FAILED: pruning rate {:.1}% fell below 50% on the \
+             low-selectivity corpus — the index stopped pruning",
+            prune_rate * 100.0
+        );
+        std::process::exit(1);
+    }
+    if speedup <= 1.5 {
+        eprintln!(
+            "prune-check FAILED: pruned run only {speedup:.2}x faster than unpruned \
+             (gate: > 1.5x within-run) — pruning stopped paying for itself"
+        );
+        std::process::exit(1);
+    }
+    println!("prune-check passed");
 }
 
 /// The parsed CLI flags of one `experiments net` run.

@@ -59,12 +59,24 @@ fn flags_are_rejected_outside_their_subcommand() {
     for (args, needle) in [
         (
             &["table1", "--bench-json", "out.json"][..],
-            "only valid with `bench`, `serve` or `net`",
+            "only valid with `bench`, `serve`, `net` or `prune`",
         ),
-        (&["net", "--threads", "4"][..], "only valid with `serve`"),
+        (
+            &["net", "--threads", "4"][..],
+            "only valid with `serve` or `prune`",
+        ),
+        (&["prune", "--mutate"][..], "only valid with `serve`"),
         (
             &["bench", "--corpus", "8"][..],
-            "only valid with `serve` or `net`",
+            "only valid with `serve`, `net` or `prune`",
+        ),
+        (
+            &["bench", "--vocab", "disjoint"][..],
+            "--vocab is only valid with `prune`",
+        ),
+        (
+            &["prune", "--vocab", "sideways"][..],
+            "--vocab must be one of shared|overlapping|disjoint",
         ),
         (
             &["serve", "--target-qps", "100"][..],
@@ -107,4 +119,6 @@ fn help_is_not_confused_by_flag_values_named_help() {
     assert!(text.contains("net"));
     assert!(text.contains("--target-qps"));
     assert!(text.contains("--queue-cap"));
+    assert!(text.contains("prune"));
+    assert!(text.contains("--vocab"));
 }

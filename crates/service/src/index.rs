@@ -1,0 +1,198 @@
+//! Corpus-scale pruning: the label → posting-list inverted index.
+//!
+//! `FanOut::All` scatter is Θ(documents) per request regardless of
+//! selectivity. The paper's signature analysis already derives, per query,
+//! which labels and axes *must* be non-empty for any answer to exist
+//! ([`crate::plan::Plan::required_labels`] /
+//! [`crate::plan::Plan::required_axes`]); this module applies the same idea
+//! one level up: a [`LabelIndex`] maps every label occurring in the corpus
+//! to the posting list of documents carrying it, so the scatter phase
+//! intersects a handful of posting lists instead of executing the query on
+//! every document.
+//!
+//! ## Consistency contract
+//!
+//! The index is maintained by the [`Corpus`](crate::shard::Corpus) write
+//! path (insert adds postings from the document's
+//! [`DocSummary`](cqt_trees::DocSummary), remove drops them, commit syncs
+//! exactly the labels in
+//! [`EditSummary::touched_labels`](cqt_trees::EditSummary)) and is treated
+//! as an **over-approximation with a per-snapshot double check**: a stale
+//! posting (document no longer carries the label) merely costs one summary
+//! probe, and a *missing* posting is caught by the read path re-validating
+//! every pruning decision against the document's own epoch snapshot summary
+//! before skipping it. The gathered answers are therefore exact — bitwise
+//! fingerprint-identical to an unpruned fan-out — even while writers commit
+//! concurrently; the index only decides how much work the fast path saves.
+
+use std::collections::BTreeSet;
+use std::hash::Hasher;
+use std::sync::RwLock;
+
+use rustc_hash::{FxHashMap, FxHasher};
+
+use crate::shard::DocId;
+
+/// A sharded inverted index from label name to the posting list of
+/// documents carrying it. Sharded by label hash, so commits touching
+/// disjoint labels update disjoint locks.
+#[derive(Debug)]
+pub struct LabelIndex {
+    shards: Vec<RwLock<FxHashMap<String, BTreeSet<DocId>>>>,
+}
+
+impl LabelIndex {
+    /// An empty index with `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        LabelIndex {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    /// The shard a label routes to — same avalanche-finalized Fx hash as
+    /// [`Corpus::shard_of`](crate::shard::Corpus::shard_of), for the same
+    /// reason (prefix-sharing label families must spread).
+    fn shard_of(&self, label: &str) -> usize {
+        let mut hasher = FxHasher::default();
+        hasher.write(label.as_bytes());
+        let mut h = hasher.finish();
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, label: &str) -> &RwLock<FxHashMap<String, BTreeSet<DocId>>> {
+        &self.shards[self.shard_of(label)]
+    }
+
+    /// Adds `id` to the posting list of `label`.
+    pub fn add(&self, label: &str, id: &DocId) {
+        let mut shard = self.shard(label).write().expect("index lock poisoned");
+        shard
+            .entry(label.to_owned())
+            .or_default()
+            .insert(id.clone());
+    }
+
+    /// Removes `id` from the posting list of `label`, dropping the list
+    /// when it empties.
+    pub fn remove(&self, label: &str, id: &DocId) {
+        let mut shard = self.shard(label).write().expect("index lock poisoned");
+        if let Some(posting) = shard.get_mut(label) {
+            posting.remove(id);
+            if posting.is_empty() {
+                shard.remove(label);
+            }
+        }
+    }
+
+    /// Adds `id` to every posting list in `labels` — the insert path,
+    /// seeded from the document's epoch summary.
+    pub fn add_document<'a>(&self, id: &DocId, labels: impl IntoIterator<Item = &'a str>) {
+        for label in labels {
+            self.add(label, id);
+        }
+    }
+
+    /// Removes `id` from every posting list in `labels` — the remove path.
+    pub fn remove_document<'a>(&self, id: &DocId, labels: impl IntoIterator<Item = &'a str>) {
+        for label in labels {
+            self.remove(label, id);
+        }
+    }
+
+    /// Whether `label`'s posting list contains `id`.
+    pub fn contains(&self, label: &str, id: &DocId) -> bool {
+        self.shard(label)
+            .read()
+            .expect("index lock poisoned")
+            .get(label)
+            .is_some_and(|posting| posting.contains(id))
+    }
+
+    /// The posting list of `label` (empty when the label is unindexed).
+    pub fn posting(&self, label: &str) -> BTreeSet<DocId> {
+        self.shard(label)
+            .read()
+            .expect("index lock poisoned")
+            .get(label)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of labels with a non-empty posting list.
+    pub fn label_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("index lock poisoned").len())
+            .sum()
+    }
+
+    /// The documents whose posting lists contain **every** label in
+    /// `labels` — the candidate survivors of label pruning. `None` when
+    /// `labels` is empty (no label constraint: every document survives);
+    /// `Some(∅)` when some label is absent from the whole corpus.
+    ///
+    /// Intersects smallest-posting-first, so highly selective labels cut
+    /// the working set immediately.
+    pub fn candidates(&self, labels: &[String]) -> Option<BTreeSet<DocId>> {
+        if labels.is_empty() {
+            return None;
+        }
+        let mut postings: Vec<BTreeSet<DocId>> =
+            labels.iter().map(|label| self.posting(label)).collect();
+        postings.sort_by_key(BTreeSet::len);
+        let mut survivors = postings.remove(0);
+        for posting in postings {
+            if survivors.is_empty() {
+                break;
+            }
+            survivors.retain(|id| posting.contains(id));
+        }
+        Some(survivors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(name: &str) -> DocId {
+        DocId::new(name)
+    }
+
+    #[test]
+    fn postings_track_adds_and_removes() {
+        let index = LabelIndex::new(4);
+        index.add_document(&id("a"), ["A", "B"]);
+        index.add_document(&id("b"), ["B", "C"]);
+        assert!(index.contains("A", &id("a")));
+        assert!(index.contains("B", &id("b")));
+        assert!(!index.contains("C", &id("a")));
+        assert_eq!(index.label_count(), 3);
+        assert_eq!(index.posting("B").len(), 2);
+        index.remove_document(&id("a"), ["A", "B"]);
+        assert!(!index.contains("A", &id("a")));
+        assert_eq!(index.label_count(), 2, "empty postings are dropped");
+        // Removing from a label that was never indexed is a no-op.
+        index.remove("Z", &id("a"));
+    }
+
+    #[test]
+    fn candidates_intersect_posting_lists() {
+        let index = LabelIndex::new(2);
+        index.add_document(&id("a"), ["A", "B"]);
+        index.add_document(&id("b"), ["A"]);
+        index.add_document(&id("c"), ["A", "B", "C"]);
+        // No label constraint: no pruning possible.
+        assert_eq!(index.candidates(&[]), None);
+        let a = index.candidates(&["A".into()]).unwrap();
+        assert_eq!(a.len(), 3);
+        let ab = index.candidates(&["A".into(), "B".into()]).unwrap();
+        assert_eq!(ab.iter().map(DocId::as_str).collect::<Vec<_>>(), ["a", "c"]);
+        // A corpus-absent label empties the intersection immediately.
+        let none = index.candidates(&["A".into(), "Z".into()]).unwrap();
+        assert!(none.is_empty());
+    }
+}

@@ -46,6 +46,18 @@
 //!   structure hashes, proven live by
 //!   [`PlanCacheStats::cross_document_hits`].
 //!
+//! * **prune before you scatter** — a corpus-wide [`LabelIndex`]
+//!   ([`index`]) maps every label to the posting list of documents carrying
+//!   it, maintained epoch-consistently by the corpus write path; compiled
+//!   plans expose the labels and axes *every* answer requires
+//!   ([`Plan::required_labels`] / [`Plan::required_axes`]), so
+//!   [`ServiceRunner::run_corpus`] intersects posting lists first and fans
+//!   out only to surviving documents. Every pruning decision is re-validated
+//!   against the document's own epoch snapshot summary
+//!   ([`cqt_trees::DocSummary`]), so pruned runs are answer-fingerprint
+//!   identical to unpruned runs — even under concurrent writers — and
+//!   [`PruneStats`] reports candidates/pruned/survivors/false-positives.
+//!
 //! * **serve over the network** — the [`net`] module puts the corpus behind
 //!   a std-only TCP front end: length-prefixed binary frames, pipelined
 //!   requests per connection, a bounded admission queue with explicit
@@ -84,6 +96,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod index;
 pub mod net;
 pub mod plan;
 pub mod runner;
@@ -92,13 +105,14 @@ pub mod stats;
 pub mod workload;
 
 pub use corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
+pub use index::LabelIndex;
 pub use net::{NetServer, NetServerConfig, ServerHandle, ServerStats};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanOptions};
 pub use runner::{ServiceConfig, ServiceRunner};
 pub use shard::{Corpus, CorpusError, CorpusMutationOracle, DocId, Document, FanOut};
 pub use stats::{
     answer_fingerprint, CorpusMutationReport, CorpusReport, LatencySummary, MutationReport,
-    ServiceReport,
+    PruneStats, ServiceReport,
 };
 pub use workload::{
     CorpusMutationWorkload, CorpusRequest, CorpusWorkload, MutationWorkload, QuerySpec, Workload,

@@ -126,6 +126,13 @@ pub enum Response {
         id: u64,
     },
     /// Answer to [`Request::Stats`]: the server's cumulative counters.
+    ///
+    /// Encoded under the **versioned** stats tag (`RESP_STATS_V2 = 6`),
+    /// which appends plan-cache and pruning counters to the original
+    /// layout. The decoder still accepts the legacy tag (`RESP_STATS = 5`)
+    /// — its messages decode with the new counters zero-filled — while an
+    /// old client receiving a v2 message fails cleanly with
+    /// [`WireError::UnknownTag`] rather than misparsing the longer payload.
     Stats {
         /// Echoed id.
         id: u64,
@@ -141,6 +148,23 @@ pub enum Response {
         queue_depth: u32,
         /// Configured queue capacity.
         capacity: u32,
+        /// Plan-cache hits (v2).
+        plan_hits: u64,
+        /// Plan-cache misses / compilations (v2).
+        plan_misses: u64,
+        /// Signature analyses performed by compilations (v2).
+        plan_analyses: u64,
+        /// Cache hits served to a different document than the compiling one
+        /// (v2).
+        plan_cross_document_hits: u64,
+        /// Scatter candidates considered by the pruning layer (v2).
+        prune_candidates: u64,
+        /// Candidates pruned without executing (v2).
+        prune_pruned: u64,
+        /// Candidates that survived and executed (v2).
+        prune_survivors: u64,
+        /// Survivors whose answer was empty anyway (v2).
+        prune_false_positives: u64,
     },
 }
 
@@ -249,7 +273,11 @@ const RESP_ANSWER: u8 = 1;
 const RESP_SHED: u8 = 2;
 const RESP_ERROR: u8 = 3;
 const RESP_PONG: u8 = 4;
+/// Legacy stats layout (decode-only): counters end at `capacity`.
 const RESP_STATS: u8 = 5;
+/// Versioned stats layout: legacy fields plus plan-cache and prune
+/// counters. Always used for encoding.
+const RESP_STATS_V2: u8 = 6;
 
 const LANG_CQ: u8 = 0;
 const LANG_XPATH: u8 = 1;
@@ -398,8 +426,16 @@ impl Response {
                 errors,
                 queue_depth,
                 capacity,
+                plan_hits,
+                plan_misses,
+                plan_analyses,
+                plan_cross_document_hits,
+                prune_candidates,
+                prune_pruned,
+                prune_survivors,
+                prune_false_positives,
             } => {
-                out.push(RESP_STATS);
+                out.push(RESP_STATS_V2);
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *admitted);
                 put_u64(&mut out, *executed);
@@ -407,6 +443,14 @@ impl Response {
                 put_u64(&mut out, *errors);
                 put_u32(&mut out, *queue_depth);
                 put_u32(&mut out, *capacity);
+                put_u64(&mut out, *plan_hits);
+                put_u64(&mut out, *plan_misses);
+                put_u64(&mut out, *plan_analyses);
+                put_u64(&mut out, *plan_cross_document_hits);
+                put_u64(&mut out, *prune_candidates);
+                put_u64(&mut out, *prune_pruned);
+                put_u64(&mut out, *prune_survivors);
+                put_u64(&mut out, *prune_false_positives);
             }
         }
         out
@@ -434,6 +478,8 @@ impl Response {
                 message: r.string()?,
             },
             RESP_PONG => Response::Pong { id: r.u64()? },
+            // Legacy stats: a pre-pruning server's layout. The counters it
+            // does not know about decode as zero.
             RESP_STATS => Response::Stats {
                 id: r.u64()?,
                 admitted: r.u64()?,
@@ -442,6 +488,31 @@ impl Response {
                 errors: r.u64()?,
                 queue_depth: r.u32()?,
                 capacity: r.u32()?,
+                plan_hits: 0,
+                plan_misses: 0,
+                plan_analyses: 0,
+                plan_cross_document_hits: 0,
+                prune_candidates: 0,
+                prune_pruned: 0,
+                prune_survivors: 0,
+                prune_false_positives: 0,
+            },
+            RESP_STATS_V2 => Response::Stats {
+                id: r.u64()?,
+                admitted: r.u64()?,
+                executed: r.u64()?,
+                shed: r.u64()?,
+                errors: r.u64()?,
+                queue_depth: r.u32()?,
+                capacity: r.u32()?,
+                plan_hits: r.u64()?,
+                plan_misses: r.u64()?,
+                plan_analyses: r.u64()?,
+                plan_cross_document_hits: r.u64()?,
+                prune_candidates: r.u64()?,
+                prune_pruned: r.u64()?,
+                prune_survivors: r.u64()?,
+                prune_false_positives: r.u64()?,
             },
             other => return Err(WireError::UnknownTag(other)),
         };
@@ -527,12 +598,72 @@ mod tests {
                 errors: 1,
                 queue_depth: 1,
                 capacity: 64,
+                plan_hits: 90,
+                plan_misses: 9,
+                plan_analyses: 12,
+                plan_cross_document_hits: 33,
+                prune_candidates: 640,
+                prune_pruned: 500,
+                prune_survivors: 140,
+                prune_false_positives: 7,
             },
         ];
         for response in responses {
             let wire = response.encode();
             assert_eq!(Response::decode(&wire), Ok(response));
         }
+    }
+
+    #[test]
+    fn stats_are_versioned_on_the_wire() {
+        // Encoding always uses the v2 tag...
+        let stats = Response::Stats {
+            id: 4,
+            admitted: 10,
+            executed: 9,
+            shed: 1,
+            errors: 0,
+            queue_depth: 2,
+            capacity: 8,
+            plan_hits: 7,
+            plan_misses: 2,
+            plan_analyses: 2,
+            plan_cross_document_hits: 3,
+            prune_candidates: 90,
+            prune_pruned: 60,
+            prune_survivors: 30,
+            prune_false_positives: 4,
+        };
+        let wire = stats.encode();
+        assert_eq!(wire[0], 6, "stats encode under the versioned tag");
+        // ...so an old client (which only knows tags 1..=5) rejects it with
+        // a clean UnknownTag error instead of misparsing the longer layout.
+        // A byte-for-byte legacy frame still decodes, zero-filling the
+        // counters the old server never tracked.
+        let mut legacy = Vec::new();
+        legacy.push(5); // RESP_STATS (legacy)
+        for v in [4u64, 10, 9, 1, 0] {
+            legacy.extend_from_slice(&v.to_le_bytes());
+        }
+        legacy.extend_from_slice(&2u32.to_le_bytes());
+        legacy.extend_from_slice(&8u32.to_le_bytes());
+        match Response::decode(&legacy).unwrap() {
+            Response::Stats {
+                id,
+                admitted,
+                plan_hits,
+                prune_candidates,
+                ..
+            } => {
+                assert_eq!((id, admitted), (4, 10));
+                assert_eq!((plan_hits, prune_candidates), (0, 0));
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // A legacy frame with v2 trailing bytes is rejected, not silently
+        // truncated.
+        legacy.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(Response::decode(&legacy), Err(WireError::TrailingBytes(8)));
     }
 
     #[test]

@@ -40,9 +40,10 @@ use cqt_core::ExecScratch;
 use crate::net::frame::{write_frame, FrameBuffer, DEFAULT_MAX_FRAME_LEN};
 use crate::net::protocol::{Request, Response, WireFanOut, WireLang};
 use crate::net::queue::{BoundedQueue, PushError};
-use crate::plan::{PlanCache, PlanKey, PlanOptions};
+use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanOptions};
+use crate::runner::should_prune;
 use crate::shard::{Corpus, FanOut};
-use crate::stats::answer_fingerprint;
+use crate::stats::{answer_fingerprint, PruneStats};
 use crate::workload::QuerySpec;
 
 /// Configuration of a [`NetServer`].
@@ -62,6 +63,11 @@ pub struct NetServerConfig {
     pub start_paused: bool,
     /// Plan-compilation options.
     pub plan: PlanOptions,
+    /// Prune fan-out with the corpus [`crate::index::LabelIndex`] before
+    /// executing (default: on). Pruned documents still contribute their
+    /// (provably empty) answers to the response fingerprint, so digests are
+    /// identical either way.
+    pub prune: bool,
 }
 
 impl Default for NetServerConfig {
@@ -72,6 +78,7 @@ impl Default for NetServerConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             start_paused: false,
             plan: PlanOptions::default(),
+            prune: true,
         }
     }
 }
@@ -91,6 +98,10 @@ pub struct ServerStats {
     pub queue_depth: usize,
     /// Configured queue capacity.
     pub capacity: usize,
+    /// Plan-cache counters at the time of the snapshot.
+    pub plan_cache: PlanCacheStats,
+    /// Index-pruning counters at the time of the snapshot.
+    pub prune: PruneStats,
 }
 
 /// One admitted query: everything a worker needs to execute and answer it.
@@ -109,6 +120,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     cache: PlanCache,
     plan: PlanOptions,
+    prune: bool,
     stop: AtomicBool,
     /// `true` while the worker pool is paused; workers wait on the condvar
     /// before each pop.
@@ -118,6 +130,10 @@ struct Shared {
     executed: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
+    prune_candidates: AtomicU64,
+    prune_pruned: AtomicU64,
+    prune_survivors: AtomicU64,
+    prune_false_positives: AtomicU64,
 }
 
 impl Shared {
@@ -129,6 +145,13 @@ impl Shared {
             errors: self.errors.load(Ordering::Relaxed),
             queue_depth: self.queue.depth(),
             capacity: self.queue.capacity(),
+            plan_cache: self.cache.stats(),
+            prune: PruneStats {
+                candidates: self.prune_candidates.load(Ordering::Relaxed),
+                pruned: self.prune_pruned.load(Ordering::Relaxed),
+                survivors: self.prune_survivors.load(Ordering::Relaxed),
+                false_positives: self.prune_false_positives.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -170,6 +193,7 @@ impl NetServer {
             queue: BoundedQueue::new(config.queue_capacity.max(1)),
             cache: PlanCache::new(),
             plan: config.plan.clone(),
+            prune: config.prune,
             stop: AtomicBool::new(false),
             paused: Mutex::new(config.start_paused),
             unpaused: Condvar::new(),
@@ -177,6 +201,10 @@ impl NetServer {
             executed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            prune_candidates: AtomicU64::new(0),
+            prune_pruned: AtomicU64::new(0),
+            prune_survivors: AtomicU64::new(0),
+            prune_false_positives: AtomicU64::new(0),
         });
         let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -359,6 +387,14 @@ fn handle_payload(shared: &Shared, payload: &[u8], out: &Arc<Mutex<TcpStream>>) 
                     errors: stats.errors,
                     queue_depth: stats.queue_depth as u32,
                     capacity: stats.capacity as u32,
+                    plan_hits: stats.plan_cache.hits,
+                    plan_misses: stats.plan_cache.misses,
+                    plan_analyses: stats.plan_cache.analyses,
+                    plan_cross_document_hits: stats.plan_cache.cross_document_hits,
+                    prune_candidates: stats.prune.candidates,
+                    prune_pruned: stats.prune.pruned,
+                    prune_survivors: stats.prune.survivors,
+                    prune_false_positives: stats.prune.false_positives,
                 },
             );
         }
@@ -444,9 +480,41 @@ fn worker_loop(shared: &Shared) {
         let exec_start = Instant::now();
         let documents = shared.corpus.select(&job.target);
         let key = PlanKey::of_spec(&job.spec).with_options(&shared.plan);
+        // The pruning pre-pass: compile the plan once (document-independent)
+        // and intersect the corpus label index's posting lists. Each
+        // document's decision is still re-validated against its own snapshot
+        // summary in the loop below, so a posting list racing a concurrent
+        // commit can cost a wasted execution but never a wrong answer.
+        let pruner = shared.prune.then(|| {
+            let plan = shared.cache.get_or_compile(&job.spec, &shared.plan);
+            let empty = plan.empty_answer();
+            let survivors = shared
+                .corpus
+                .label_index()
+                .candidates(plan.required_labels());
+            (plan, empty, survivors)
+        });
+        let mut prune = PruneStats::default();
         let mut fingerprint = 0u64;
         for (j, document) in documents.iter().enumerate() {
+            // The same (fp_key, doc position) keying `run_corpus` uses with
+            // its request index, so clients can compare digests against an
+            // in-process run (wrapping, because fp_key is client-supplied).
+            let fp_key = job.fp_key.wrapping_mul(1_000_003).wrapping_add(j as u64);
             let snapshot = document.handle().snapshot();
+            if let Some((plan, empty, survivors)) = &pruner {
+                prune.candidates += 1;
+                let index_candidate = match survivors {
+                    Some(ids) => ids.contains(document.id()),
+                    None => true,
+                };
+                if should_prune(plan, index_candidate, snapshot.prepared.doc_summary()) {
+                    prune.pruned += 1;
+                    fingerprint = fingerprint.wrapping_add(answer_fingerprint(fp_key, empty));
+                    continue;
+                }
+                prune.survivors += 1;
+            }
             let plan = shared.cache.get_or_compile_tagged(
                 key.with_document(snapshot.prepared.structure_hash()),
                 &job.spec,
@@ -454,15 +522,26 @@ fn worker_loop(shared: &Shared) {
                 document.doc_tag(),
             );
             let answer = plan.execute(&snapshot.prepared, &mut scratch);
-            // The same (fp_key, doc position) keying `run_corpus` uses with
-            // its request index, so clients can compare digests against an
-            // in-process run (wrapping, because fp_key is client-supplied).
-            fingerprint = fingerprint.wrapping_add(answer_fingerprint(
-                job.fp_key.wrapping_mul(1_000_003).wrapping_add(j as u64),
-                &answer,
-            ));
+            if let Some((_, empty, _)) = &pruner {
+                if answer == *empty {
+                    prune.false_positives += 1;
+                }
+            }
+            fingerprint = fingerprint.wrapping_add(answer_fingerprint(fp_key, &answer));
         }
         let exec_ns = exec_start.elapsed().as_nanos() as u64;
+        shared
+            .prune_candidates
+            .fetch_add(prune.candidates, Ordering::Relaxed);
+        shared
+            .prune_pruned
+            .fetch_add(prune.pruned, Ordering::Relaxed);
+        shared
+            .prune_survivors
+            .fetch_add(prune.survivors, Ordering::Relaxed);
+        shared
+            .prune_false_positives
+            .fetch_add(prune.false_positives, Ordering::Relaxed);
         shared.executed.fetch_add(1, Ordering::Relaxed);
         respond(
             &job.out,
@@ -580,6 +659,10 @@ mod tests {
                 shed,
                 errors,
                 capacity,
+                plan_misses,
+                prune_candidates,
+                prune_pruned,
+                prune_survivors,
                 ..
             } => {
                 assert_eq!(id, 5);
@@ -588,10 +671,66 @@ mod tests {
                 assert_eq!(shed, 0);
                 assert_eq!(errors, 0);
                 assert_eq!(capacity, 64);
+                assert!(plan_misses > 0, "queries compiled plans");
+                // Three queries touched 2 + 1 + 0 documents; every document
+                // in this corpus carries the required labels, so none prune.
+                assert_eq!(prune_candidates, 3);
+                assert_eq!(prune_pruned, 0);
+                assert_eq!(prune_survivors, 3);
             }
             other => panic!("expected stats, got {other:?}"),
         }
         handle.shutdown();
+    }
+
+    #[test]
+    fn pruned_and_unpruned_servers_agree_on_fingerprints() {
+        // `doc-c` has no `B` anywhere: the label index prunes it for a
+        // B-requiring query, and the pruned server must still produce the
+        // exact fingerprint of the unpruned one.
+        let corpus = || {
+            let corpus = test_corpus();
+            corpus
+                .insert("doc-c", parse_term("R(C(C), C)").unwrap())
+                .unwrap();
+            corpus
+        };
+        let query = |id| Request::Query {
+            id,
+            lang: WireLang::Cq,
+            text: "Q(y) :- A(x), Child(x, y), B(y).".into(),
+            fanout: WireFanOut::All,
+            fp_key: 42,
+        };
+        let run = |prune: bool| {
+            let config = NetServerConfig {
+                prune,
+                ..NetServerConfig::default()
+            };
+            let handle = NetServer::start(corpus(), config).unwrap();
+            let mut stream = TcpStream::connect(handle.addr()).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let response = call(&mut stream, &query(1));
+            let Response::Answer {
+                fingerprint, docs, ..
+            } = response
+            else {
+                panic!("expected answer, got {response:?}");
+            };
+            assert_eq!(docs, 3, "fan-out still reports every selected doc");
+            let stats = handle.stats();
+            handle.shutdown();
+            (fingerprint, stats)
+        };
+        let (pruned_fp, pruned_stats) = run(true);
+        let (unpruned_fp, unpruned_stats) = run(false);
+        assert_eq!(pruned_fp, unpruned_fp, "pruning must not change answers");
+        assert_eq!(pruned_stats.prune.candidates, 3);
+        assert_eq!(pruned_stats.prune.pruned, 1, "doc-c lacks label B");
+        assert_eq!(pruned_stats.prune.survivors, 2);
+        assert_eq!(unpruned_stats.prune, PruneStats::default());
     }
 
     #[test]

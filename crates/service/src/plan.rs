@@ -18,7 +18,7 @@ use std::sync::{Arc, OnceLock, RwLock};
 use cqt_core::{Answer, CompiledQuery, EvalStrategy, ExecScratch};
 use cqt_query::ConjunctiveQuery;
 use cqt_rewrite::rewrite::{rewrite_to_apq_with, RewriteOptions};
-use cqt_trees::{NodeId, NodeSet, PreparedTree};
+use cqt_trees::{Axis, DocSummary, NodeId, NodeSet, PreparedTree};
 use cqt_xpath::CompiledXPath;
 use rustc_hash::{FxHashMap, FxHasher};
 
@@ -160,9 +160,68 @@ impl PlanKey {
 pub struct Plan {
     disjuncts: Vec<CompiledQuery>,
     head_arity: usize,
+    /// Labels that must occur on some node of a document for the plan to
+    /// have any answer there (sorted). See [`Plan::required_labels`].
+    required_labels: Vec<String>,
+    /// Non-reflexive axes that must hold between some pair of nodes for the
+    /// plan to have any answer. See [`Plan::required_axes`].
+    required_axes: Vec<Axis>,
 }
 
 impl Plan {
+    /// Assembles a plan from compiled disjuncts, deriving the pruning
+    /// requirements from their atom lists.
+    fn assemble(disjuncts: Vec<CompiledQuery>, head_arity: usize) -> Plan {
+        let (required_labels, required_axes) = Plan::requirements(&disjuncts);
+        Plan {
+            disjuncts,
+            head_arity,
+            required_labels,
+            required_axes,
+        }
+    }
+
+    /// The labels and non-reflexive axes required by **every** disjunct. The
+    /// plan's answer is the union of disjunct answers, so a label (or axis)
+    /// is required overall only when each disjunct requires it; a label atom
+    /// `L(x)` empties the disjunct on any document without an `L` node, and
+    /// an axis atom over an empty axis relation does the same.
+    fn requirements(disjuncts: &[CompiledQuery]) -> (Vec<String>, Vec<Axis>) {
+        let mut label_req: Option<std::collections::BTreeSet<&str>> = None;
+        let mut axis_req = u64::MAX;
+        for disjunct in disjuncts {
+            let query = disjunct.query();
+            let labels: std::collections::BTreeSet<&str> = query
+                .label_atoms()
+                .iter()
+                .map(|atom| atom.label.as_str())
+                .collect();
+            label_req = Some(match label_req {
+                None => labels,
+                Some(prev) => prev.intersection(&labels).copied().collect(),
+            });
+            let mut axes = 0u64;
+            for atom in query.axis_atoms() {
+                // Reflexive axes hold on every node loop — never prunable.
+                if !atom.axis.is_reflexive() {
+                    axes |= 1 << atom.axis.index();
+                }
+            }
+            axis_req &= axes;
+        }
+        // No disjuncts (a rewrite proved the query unsatisfiable): the
+        // requirements are irrelevant — `is_always_empty` prunes everything.
+        let label_req = label_req.unwrap_or_default();
+        let axis_req = if disjuncts.is_empty() { 0 } else { axis_req };
+        (
+            label_req.into_iter().map(str::to_owned).collect(),
+            Axis::ALL
+                .iter()
+                .copied()
+                .filter(|axis| axis_req & (1 << axis.index()) != 0)
+                .collect(),
+        )
+    }
     /// Compiles `spec` under `options`. This is the entire one-time phase:
     /// signature analysis, strategy selection and any rewrite happen here and
     /// never at execution time.
@@ -188,23 +247,11 @@ impl Plan {
                                 .map(|d| CompiledQuery::compile(d.clone()))
                                 .collect();
                             analyses += disjuncts.len() as u64;
-                            return (
-                                Plan {
-                                    disjuncts,
-                                    head_arity,
-                                },
-                                analyses,
-                            );
+                            return (Plan::assemble(disjuncts, head_arity), analyses);
                         }
                     }
                 }
-                (
-                    Plan {
-                        disjuncts: vec![plan],
-                        head_arity,
-                    },
-                    analyses,
-                )
+                (Plan::assemble(vec![plan], head_arity), analyses)
             }
             QuerySpec::XPath(query) => {
                 // One pipeline for XPath: reuse the front-end's own
@@ -212,13 +259,7 @@ impl Plan {
                 let compiled = CompiledXPath::compile(query.clone());
                 let disjuncts = compiled.plans().to_vec();
                 let analyses = disjuncts.len() as u64;
-                (
-                    Plan {
-                        disjuncts,
-                        head_arity: 1,
-                    },
-                    analyses,
-                )
+                (Plan::assemble(disjuncts, 1), analyses)
             }
         }
     }
@@ -231,6 +272,53 @@ impl Plan {
     /// Arity of the answer.
     pub fn head_arity(&self) -> usize {
         self.head_arity
+    }
+
+    /// Labels required by every disjunct: a document without one of them
+    /// cannot contribute any answer. Sorted, deduplicated; empty when no
+    /// label is common to all disjuncts (pruning on labels is then
+    /// impossible).
+    pub fn required_labels(&self) -> &[String] {
+        &self.required_labels
+    }
+
+    /// Non-reflexive axes required by every disjunct: a document on which
+    /// one of them is an empty relation cannot contribute any answer.
+    pub fn required_axes(&self) -> &[Axis] {
+        &self.required_axes
+    }
+
+    /// Whether the plan has no disjuncts at all (a rewrite proved the query
+    /// unsatisfiable) — the answer is empty on every document.
+    pub fn is_always_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Whether `summary` rules the document **out**: the plan provably has
+    /// an empty answer there, because a required label is absent or a
+    /// required axis relation is empty. `false` means the document must be
+    /// executed — it says nothing about whether an answer exists.
+    pub fn prunes(&self, summary: &DocSummary) -> bool {
+        self.is_always_empty()
+            || self
+                .required_labels
+                .iter()
+                .any(|label| !summary.has_label(label))
+            || self
+                .required_axes
+                .iter()
+                .any(|&axis| !summary.can_satisfy(axis))
+    }
+
+    /// The empty answer in this plan's shape — what [`Plan::execute`] returns
+    /// on a document with no matches, and what the pruned fan-out path folds
+    /// into the gathered fingerprint for documents it never executes.
+    pub fn empty_answer(&self) -> Answer {
+        match self.head_arity {
+            0 => Answer::Boolean(false),
+            1 => Answer::Nodes(Vec::new()),
+            _ => Answer::Tuples(Vec::new()),
+        }
     }
 
     /// Executes the plan against a prepared tree: the disjuncts' answers,
@@ -681,6 +769,63 @@ mod tests {
         assert!(!Arc::ptr_eq(&first, &other));
         assert_eq!(cache.stats().cross_document_hits, 1);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn requirements_are_the_per_disjunct_intersection() {
+        let options = PlanOptions::default();
+        // A single conjunctive query requires every label and every
+        // non-reflexive axis it mentions; `Child*` is reflexive and must
+        // not appear.
+        let (plan, _) = Plan::compile(
+            &QuerySpec::parse_cq("Q(y) :- A(x), Child(x, y), B(y), Child*(x, x).").unwrap(),
+            &options,
+        );
+        assert_eq!(plan.required_labels(), ["A", "B"]);
+        assert_eq!(plan.required_axes(), [cqt_trees::Axis::Child]);
+        assert!(!plan.is_always_empty());
+        // An XPath union only requires what *every* branch requires: here
+        // the B label and a Child step (both branches) but neither branch's
+        // private parts (A, C).
+        let (union, _) =
+            Plan::compile(&QuerySpec::parse_xpath("//A/B | //B[C]").unwrap(), &options);
+        assert_eq!(union.required_labels(), ["B"]);
+        assert_eq!(union.required_axes(), [cqt_trees::Axis::Child]);
+    }
+
+    #[test]
+    fn prunes_matches_doc_summaries_and_empty_answer_shapes() {
+        let options = PlanOptions::default();
+        let (plan, _) = Plan::compile(
+            &QuerySpec::parse_cq("Q(y) :- A(x), Child(x, y), B(y).").unwrap(),
+            &options,
+        );
+        let with_both = PreparedTree::new(parse_term("A(B)").unwrap());
+        let missing_b = PreparedTree::new(parse_term("A(C)").unwrap());
+        // A root-only tree cannot satisfy the Child requirement (and also
+        // lacks B — either reason alone suffices to prune).
+        let no_child = PreparedTree::new(parse_term("A").unwrap());
+        assert!(!plan.prunes(with_both.doc_summary()));
+        assert!(plan.prunes(missing_b.doc_summary()));
+        assert!(plan
+            .required_axes()
+            .iter()
+            .any(|&axis| !no_child.doc_summary().can_satisfy(axis)));
+        assert!(plan.prunes(no_child.doc_summary()));
+        // Empty answers take the plan's head shape — what the pruned path
+        // folds into the gathered fingerprint.
+        assert_eq!(plan.empty_answer(), Answer::Nodes(Vec::new()));
+        let (boolean, _) = Plan::compile(&QuerySpec::parse_cq("Q() :- A(x).").unwrap(), &options);
+        assert_eq!(boolean.empty_answer(), Answer::Boolean(false));
+        let (binary, _) = Plan::compile(
+            &QuerySpec::parse_cq("Q(x, y) :- A(x), Child(x, y).").unwrap(),
+            &options,
+        );
+        assert_eq!(binary.empty_answer(), Answer::Tuples(Vec::new()));
+        // `prunes` is exact on the snapshot it judged: whenever it says
+        // prune, executing really does return the empty answer.
+        let mut scratch = ExecScratch::new();
+        assert_eq!(plan.execute(&missing_b, &mut scratch), plan.empty_answer());
     }
 
     #[test]

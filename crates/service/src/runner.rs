@@ -22,15 +22,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use cqt_core::ExecScratch;
+use cqt_core::{Answer, ExecScratch};
 use cqt_trees::edit::EditError;
+use cqt_trees::DocSummary;
 
 use crate::corpus::{CommitReport, CorpusHandle};
-use crate::plan::{PlanCache, PlanKey, PlanOptions};
+use crate::plan::{Plan, PlanCache, PlanKey, PlanOptions};
 use crate::shard::{Corpus, CorpusError, DocId, Document, SharingSummary};
 use crate::stats::{
     answer_fingerprint, CorpusMutationReport, CorpusReport, LatencySummary, MutationReport,
-    ServiceReport,
+    PruneStats, ServiceReport,
 };
 use crate::workload::{CorpusMutationWorkload, CorpusWorkload, MutationWorkload, Workload};
 
@@ -44,6 +45,11 @@ pub struct ServiceConfig {
     /// Requests claimed per cursor increment. Small enough to balance load,
     /// large enough to keep cursor contention negligible.
     pub chunk: usize,
+    /// Whether corpus scatter prunes documents through the
+    /// [`crate::index::LabelIndex`] + per-snapshot summary double check.
+    /// On by default; the differential tests run both settings and assert
+    /// identical answer fingerprints.
+    pub prune: bool,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +58,7 @@ impl Default for ServiceConfig {
             threads: std::thread::available_parallelism().map_or(1, usize::from),
             plan: PlanOptions::default(),
             chunk: 16,
+            prune: true,
         }
     }
 }
@@ -64,6 +71,41 @@ impl ServiceConfig {
             ..ServiceConfig::default()
         }
     }
+
+    /// The same config with pruning switched on or off.
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+}
+
+/// The scatter phase's per-document pruning decision. `index_candidate`
+/// says whether the posting-list intersection kept the document; `summary`
+/// is the document's *current snapshot* summary, which makes the decision
+/// exact whatever the index says:
+///
+/// * not an index candidate → confirm against the snapshot summary
+///   ([`Plan::prunes`]) — a stale index (the document gained a required
+///   label since the intersection) is rescued here, so pruning never drops
+///   a non-empty answer;
+/// * index candidate → the labels are (said to be) present, so only the
+///   axis requirements — which the label index does not cover — are
+///   checked. A stale-extra posting just means one wasted execution that
+///   returns the correct empty answer (counted as a false positive).
+///
+/// Whenever this returns `true`, the answer on `summary`'s snapshot is
+/// provably empty, so emitting [`Plan::empty_answer`] without executing is
+/// fingerprint-exact.
+pub(crate) fn should_prune(plan: &Plan, index_candidate: bool, summary: &DocSummary) -> bool {
+    if plan.is_always_empty() {
+        return true;
+    }
+    if !index_candidate {
+        return plan.prunes(summary);
+    }
+    plan.required_axes()
+        .iter()
+        .any(|&axis| !summary.can_satisfy(axis))
 }
 
 /// The batch-serving runner: a plan cache plus a thread-pool configuration.
@@ -361,16 +403,37 @@ impl ServiceRunner {
         // shard maps per request. Snapshots are still taken per execution —
         // a concurrent commit is picked up by the next request that touches
         // the document.
-        let targets: Vec<Vec<Arc<Document>>> = workload
+        let targets: Vec<Arc<Vec<Arc<Document>>>> = workload
             .requests
             .iter()
             .map(|r| corpus.select(&r.target))
+            .collect();
+        // Prune state per request: the document-independent compiled plan
+        // (source of required labels/axes and the empty answer) and the
+        // posting-list intersection over the corpus label index — computed
+        // once here, before the fan-out, so the hot loop only tests set
+        // membership. `None` inner set = the plan requires no labels, so
+        // the index cannot prune (axis checks still can).
+        #[allow(clippy::type_complexity)]
+        let pruners: Vec<Option<(Plan, Answer, Option<BTreeSet<DocId>>)>> = workload
+            .requests
+            .iter()
+            .map(|r| {
+                if !self.config.prune {
+                    return None;
+                }
+                let (plan, _analyses) = Plan::compile(&r.query, &self.config.plan);
+                let empty = plan.empty_answer();
+                let survivors = corpus.label_index().candidates(plan.required_labels());
+                Some((plan, empty, survivors))
+            })
             .collect();
         let documents = corpus.len();
         let started = Instant::now();
         let mut all_latencies: Vec<u64> = Vec::with_capacity(total);
         let mut fingerprint = 0u64;
         let mut doc_executions = 0u64;
+        let mut prune = PruneStats::default();
         std::thread::scope(|scope| {
             let mut workers = Vec::with_capacity(threads);
             for _ in 0..threads {
@@ -379,11 +442,13 @@ impl ServiceRunner {
                 let options = &self.config.plan;
                 let keys = &keys;
                 let targets = &targets;
+                let pruners = &pruners;
                 workers.push(scope.spawn(move || {
                     let mut scratch = ExecScratch::new();
                     let mut latencies = Vec::new();
                     let mut fingerprint = 0u64;
                     let mut executions = 0u64;
+                    let mut prune = PruneStats::default();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= total {
@@ -394,7 +459,35 @@ impl ServiceRunner {
                             let spec = &workload.requests[request_index].query;
                             let begin = Instant::now();
                             for (j, document) in targets[request_index].iter().enumerate() {
+                                // Key each gathered answer by (request, doc
+                                // position): swapping answers between
+                                // documents or requests changes the sum,
+                                // while thread scheduling does not. Pruned
+                                // documents fold their empty answer under
+                                // the *same* key, so a pruned run's total
+                                // equals the unpruned run's bit for bit.
+                                let fp_key = i as u64 * 1_000_003 + j as u64;
                                 let snapshot = document.handle().snapshot();
+                                if let Some((prune_plan, empty, survivors)) =
+                                    &pruners[request_index]
+                                {
+                                    prune.candidates += 1;
+                                    let index_candidate = match survivors {
+                                        Some(s) => s.contains(document.id()),
+                                        None => true,
+                                    };
+                                    if should_prune(
+                                        prune_plan,
+                                        index_candidate,
+                                        snapshot.prepared.doc_summary(),
+                                    ) {
+                                        fingerprint = fingerprint
+                                            .wrapping_add(answer_fingerprint(fp_key, empty));
+                                        prune.pruned += 1;
+                                        continue;
+                                    }
+                                    prune.survivors += 1;
+                                }
                                 let key = keys[request_index]
                                     .with_document(snapshot.prepared.structure_hash());
                                 let plan = cache.get_or_compile_tagged(
@@ -404,28 +497,28 @@ impl ServiceRunner {
                                     document.doc_tag(),
                                 );
                                 let answer = plan.execute(&snapshot.prepared, &mut scratch);
-                                // Key each gathered answer by (request, doc
-                                // position): swapping answers between
-                                // documents or requests changes the sum,
-                                // while thread scheduling does not.
-                                fingerprint = fingerprint.wrapping_add(answer_fingerprint(
-                                    i as u64 * 1_000_003 + j as u64,
-                                    &answer,
-                                ));
+                                if let Some((_, empty, _)) = &pruners[request_index] {
+                                    if answer == *empty {
+                                        prune.false_positives += 1;
+                                    }
+                                }
+                                fingerprint =
+                                    fingerprint.wrapping_add(answer_fingerprint(fp_key, &answer));
                                 executions += 1;
                             }
                             latencies.push(begin.elapsed().as_nanos() as u64);
                         }
                     }
-                    (latencies, fingerprint, executions)
+                    (latencies, fingerprint, executions, prune)
                 }));
             }
             for worker in workers {
-                let (latencies, worker_fingerprint, executions) =
+                let (latencies, worker_fingerprint, executions, worker_prune) =
                     worker.join().expect("corpus worker panicked");
                 all_latencies.extend(latencies);
                 fingerprint = fingerprint.wrapping_add(worker_fingerprint);
                 doc_executions += executions;
+                prune.absorb(&worker_prune);
             }
         });
         let wall_ns = started.elapsed().as_nanos() as u64;
@@ -443,6 +536,7 @@ impl ServiceRunner {
             answer_fingerprint: fingerprint,
             sharing: SharingSummary::from_stats(&plan_cache),
             plan_cache,
+            prune,
         }
     }
 
@@ -498,6 +592,24 @@ impl ServiceRunner {
             .iter()
             .map(|spec| PlanKey::of_spec(spec).with_options(&self.config.plan))
             .collect();
+        // Document-independent prune plans, one per query: the index is
+        // consulted *live* per read (postings move under concurrent
+        // commits), and the decision is re-validated against the snapshot
+        // summary, so a pruned read observes exactly the empty answer its
+        // snapshot epoch would have produced — the oracle check below holds
+        // with pruning on or off.
+        let pruners: Vec<Option<(Plan, Answer)>> = workload
+            .queries
+            .iter()
+            .map(|spec| {
+                if !self.config.prune {
+                    return None;
+                }
+                let (plan, _analyses) = Plan::compile(spec, &self.config.plan);
+                let empty = plan.empty_answer();
+                Some((plan, empty))
+            })
+            .collect();
         // One read of query `qi` against document `di` through the full
         // serving path, recording the (doc, query, epoch, fingerprint)
         // observation. Fingerprints are keyed by query index, exactly like
@@ -506,17 +618,42 @@ impl ServiceRunner {
         let serve_one = |query_index: usize,
                          doc_index: usize,
                          scratch: &mut ExecScratch,
-                         observations: &mut Observations|
+                         observations: &mut Observations,
+                         prune: &mut PruneStats|
          -> u64 {
             let begin = Instant::now();
             let document = &readers_docs[doc_index];
             let snapshot = document.handle().snapshot();
+            if let Some((prune_plan, empty)) = &pruners[query_index] {
+                prune.candidates += 1;
+                let labels = prune_plan.required_labels();
+                let index_candidate = labels.is_empty()
+                    || labels
+                        .iter()
+                        .all(|label| corpus.label_index().contains(label, document.id()));
+                if should_prune(prune_plan, index_candidate, snapshot.prepared.doc_summary()) {
+                    observations.insert((
+                        document.id().clone(),
+                        query_index,
+                        snapshot.epoch,
+                        answer_fingerprint(query_index as u64, empty),
+                    ));
+                    prune.pruned += 1;
+                    return begin.elapsed().as_nanos() as u64;
+                }
+                prune.survivors += 1;
+            }
             let spec = &workload.queries[query_index];
             let key = keys[query_index].with_document(snapshot.prepared.structure_hash());
             let plan =
                 self.cache
                     .get_or_compile_tagged(key, spec, &self.config.plan, document.doc_tag());
             let answer = plan.execute(&snapshot.prepared, scratch);
+            if let Some((_, empty)) = &pruners[query_index] {
+                if answer == *empty {
+                    prune.false_positives += 1;
+                }
+            }
             observations.insert((
                 document.id().clone(),
                 query_index,
@@ -530,6 +667,7 @@ impl ServiceRunner {
         let probe_count = workload.queries.len() * readers_docs.len();
         let mut all_latencies: Vec<u64> = Vec::with_capacity(total + 2 * probe_count);
         let mut observations: Observations = BTreeSet::new();
+        let mut prune = PruneStats::default();
         // Probe every (query, document) pair on its epoch 0 before any
         // writer runs.
         if total > 0 {
@@ -541,6 +679,7 @@ impl ServiceRunner {
                         doc_index,
                         &mut scratch,
                         &mut observations,
+                        &mut prune,
                     ));
                 }
             }
@@ -593,6 +732,7 @@ impl ServiceRunner {
                     let mut scratch = ExecScratch::new();
                     let mut latencies = Vec::new();
                     let mut observations = BTreeSet::new();
+                    let mut prune = PruneStats::default();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= total {
@@ -605,16 +745,19 @@ impl ServiceRunner {
                                 doc_index,
                                 &mut scratch,
                                 &mut observations,
+                                &mut prune,
                             ));
                         }
                     }
-                    (latencies, observations)
+                    (latencies, observations, prune)
                 }));
             }
             for worker in workers {
-                let (latencies, observed) = worker.join().expect("corpus reader panicked");
+                let (latencies, observed, worker_prune) =
+                    worker.join().expect("corpus reader panicked");
                 all_latencies.extend(latencies);
                 observations.extend(observed);
+                prune.absorb(&worker_prune);
             }
             for handle in writer_handles {
                 let (id, reports, error) = handle.join().expect("corpus writer panicked");
@@ -644,6 +787,7 @@ impl ServiceRunner {
                         doc_index,
                         &mut scratch,
                         &mut observations,
+                        &mut prune,
                     ));
                 }
             }
@@ -662,6 +806,7 @@ impl ServiceRunner {
             observations,
             sharing: SharingSummary::from_stats(&plan_cache),
             plan_cache,
+            prune,
         })
     }
 }

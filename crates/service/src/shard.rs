@@ -68,6 +68,7 @@ use cqt_trees::Tree;
 use rustc_hash::{FxHashMap, FxHasher};
 
 use crate::corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
+use crate::index::LabelIndex;
 use crate::plan::{PlanCacheStats, PlanOptions};
 use crate::stats::CorpusMutationReport;
 use crate::workload::QuerySpec;
@@ -192,6 +193,13 @@ pub struct Corpus {
     /// Source of [`Document::doc_tag`]s; starts at 1 so 0 stays the
     /// "untagged" sentinel of the plan cache.
     next_tag: AtomicU64,
+    /// Maintained sorted-by-id snapshot of every document, swapped
+    /// copy-on-write by insert/remove so [`FanOut::All`] scatter never
+    /// re-collects and re-sorts the shard maps per request.
+    sorted: RwLock<Arc<Vec<Arc<Document>>>>,
+    /// Label → posting-list pruning index, maintained by the write path.
+    /// See [`crate::index`].
+    index: LabelIndex,
 }
 
 impl Corpus {
@@ -200,6 +208,8 @@ impl Corpus {
         Corpus {
             shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
             next_tag: AtomicU64::new(1),
+            sorted: RwLock::new(Arc::new(Vec::new())),
+            index: LabelIndex::new(shards.max(1)),
         }
     }
 
@@ -252,22 +262,62 @@ impl Corpus {
             handle: CorpusHandle::new(tree),
             doc_tag: self.next_tag.fetch_add(1, Ordering::Relaxed),
         });
-        let mut shard = self.shard(&id).write().expect("shard lock poisoned");
-        if shard.contains_key(&id) {
-            return Err(CorpusError::DuplicateDocument(id));
+        {
+            let mut shard = self.shard(&id).write().expect("shard lock poisoned");
+            if shard.contains_key(&id) {
+                return Err(CorpusError::DuplicateDocument(id));
+            }
+            shard.insert(id.clone(), Arc::clone(&document));
         }
-        shard.insert(id, Arc::clone(&document));
+        // Seed the pruning index from the epoch-0 summary (built here, at
+        // prepare time) and splice the document into the sorted snapshot.
+        let snapshot = document.handle.snapshot();
+        self.index.add_document(
+            &id,
+            snapshot
+                .prepared
+                .doc_summary()
+                .labels()
+                .iter()
+                .map(String::as_str),
+        );
+        let mut sorted = self.sorted.write().expect("sorted snapshot lock poisoned");
+        let mut next = (**sorted).clone();
+        let at = next
+            .binary_search_by(|d| d.id.cmp(&id))
+            .unwrap_or_else(|at| at);
+        next.insert(at, Arc::clone(&document));
+        *sorted = Arc::new(next);
+        drop(sorted);
         Ok(document)
     }
 
     /// Removes and returns the document under `id`. Readers still holding
     /// the document (or snapshots of it) keep serving it; the corpus just
-    /// stops routing to it.
+    /// stops routing to it, drops its posting lists, and splices it out of
+    /// the sorted scatter snapshot.
     pub fn remove(&self, id: &DocId) -> Option<Arc<Document>> {
-        self.shard(id)
+        let removed = self
+            .shard(id)
             .write()
             .expect("shard lock poisoned")
-            .remove(id)
+            .remove(id);
+        if let Some(document) = &removed {
+            let snapshot = document.handle.snapshot();
+            self.index.remove_document(
+                id,
+                snapshot
+                    .prepared
+                    .doc_summary()
+                    .labels()
+                    .iter()
+                    .map(String::as_str),
+            );
+            let mut sorted = self.sorted.write().expect("sorted snapshot lock poisoned");
+            let next: Vec<Arc<Document>> = sorted.iter().filter(|d| d.id != *id).cloned().collect();
+            *sorted = Arc::new(next);
+        }
+        removed
     }
 
     /// The document under `id`. The shard read lock is held only while the
@@ -296,10 +346,24 @@ impl Corpus {
         let document = self
             .get(id)
             .ok_or_else(|| CorpusError::UnknownDocument(id.clone()))?;
-        document
+        let report = document
             .handle
             .commit(script)
-            .map_err(|error| CorpusError::Edit(id.clone(), error))
+            .map_err(|error| CorpusError::Edit(id.clone(), error))?;
+        // Sync the pruning index for exactly the labels this commit may have
+        // touched, probing the new epoch's summary (carried cheaply for
+        // relabel-only commits). Any window between the epoch swap and this
+        // sync is covered by the read path's per-snapshot double check.
+        let summary_snapshot = document.handle.snapshot();
+        let summary = summary_snapshot.prepared.doc_summary();
+        for label in &report.summary.touched_labels {
+            if summary.has_label(label) {
+                self.index.add(label, id);
+            } else {
+                self.index.remove(label, id);
+            }
+        }
+        Ok(report)
     }
 
     /// Total number of documents.
@@ -323,36 +387,36 @@ impl Corpus {
             .collect()
     }
 
-    /// Every document, sorted by id (deterministic scatter order).
-    pub fn documents(&self) -> Vec<Arc<Document>> {
-        let mut documents: Vec<Arc<Document>> = self
-            .shards
-            .iter()
-            .flat_map(|s| {
-                s.read()
-                    .expect("shard lock poisoned")
-                    .values()
-                    .cloned()
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        documents.sort_by(|a, b| a.id.cmp(&b.id));
-        documents
+    /// Every document, sorted by id (deterministic scatter order). Returns
+    /// the maintained snapshot by `Arc` — an O(1) pointer clone, no shard
+    /// locking or re-sorting per scatter.
+    pub fn documents(&self) -> Arc<Vec<Arc<Document>>> {
+        Arc::clone(&self.sorted.read().expect("sorted snapshot lock poisoned"))
     }
 
     /// The documents a [`FanOut`] target resolves to, sorted by id. An
     /// unknown [`FanOut::One`] id resolves to the empty list (the runner
-    /// reports zero per-document executions for it).
-    pub fn select(&self, target: &FanOut) -> Vec<Arc<Document>> {
+    /// reports zero per-document executions for it). [`FanOut::All`] shares
+    /// the maintained sorted snapshot without copying.
+    pub fn select(&self, target: &FanOut) -> Arc<Vec<Arc<Document>>> {
         match target {
-            FanOut::One(id) => self.get(id).into_iter().collect(),
-            FanOut::Tagged(tag) => self
-                .documents()
-                .into_iter()
-                .filter(|d| d.has_tag(tag))
-                .collect(),
+            FanOut::One(id) => Arc::new(self.get(id).into_iter().collect()),
+            FanOut::Tagged(tag) => Arc::new(
+                self.documents()
+                    .iter()
+                    .filter(|d| d.has_tag(tag))
+                    .cloned()
+                    .collect(),
+            ),
             FanOut::All => self.documents(),
         }
+    }
+
+    /// The corpus's label → posting-list pruning index, maintained by
+    /// insert/remove/commit. See [`crate::index`] for the consistency
+    /// contract.
+    pub fn label_index(&self) -> &LabelIndex {
+        &self.index
     }
 
     /// The fraction of documents sharing their current structure hash with
@@ -364,7 +428,7 @@ impl Corpus {
             return 0.0;
         }
         let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
-        for document in &documents {
+        for document in documents.iter() {
             *counts.entry(document.handle.structure_hash()).or_default() += 1;
         }
         let colliding: usize = counts.values().filter(|&&c| c > 1).sum();
@@ -596,6 +660,81 @@ mod tests {
             other => panic!("expected edit error, got {other:?}"),
         }
         assert_eq!(corpus.snapshot(&"b".into()).unwrap().epoch, 0);
+    }
+
+    #[test]
+    fn sorted_snapshot_tracks_inserts_and_removes() {
+        let corpus = Corpus::new(4);
+        for name in ["m", "a", "z", "f"] {
+            corpus.insert(name, parse_term("R(A)").unwrap()).unwrap();
+        }
+        let before = corpus.documents();
+        assert_eq!(
+            before.iter().map(|d| d.id().as_str()).collect::<Vec<_>>(),
+            ["a", "f", "m", "z"],
+            "snapshot stays sorted whatever the insertion order"
+        );
+        corpus.remove(&"f".into()).unwrap();
+        corpus.insert("b", parse_term("R(B)").unwrap()).unwrap();
+        assert_eq!(
+            corpus
+                .documents()
+                .iter()
+                .map(|d| d.id().as_str())
+                .collect::<Vec<_>>(),
+            ["a", "b", "m", "z"]
+        );
+        // The earlier snapshot is immutable — readers that grabbed it keep
+        // exactly the view they started with.
+        assert_eq!(before.len(), 4);
+        // Two consecutive scatters share the same snapshot allocation.
+        assert!(Arc::ptr_eq(
+            &corpus.select(&FanOut::All),
+            &corpus.select(&FanOut::All)
+        ));
+    }
+
+    #[test]
+    fn label_index_follows_the_write_path() {
+        let corpus = Corpus::new(2);
+        corpus
+            .insert("a", parse_term("R(A(B), C)").unwrap())
+            .unwrap();
+        corpus.insert("b", parse_term("R(B)").unwrap()).unwrap();
+        let index = corpus.label_index();
+        assert!(index.contains("B", &"a".into()));
+        assert!(index.contains("B", &"b".into()));
+        assert!(index.contains("C", &"a".into()));
+        assert!(!index.contains("C", &"b".into()));
+        // A relabel commit syncs exactly the touched labels: B disappears
+        // from document a, D appears — visible in the very next epoch.
+        corpus
+            .commit(
+                &"a".into(),
+                &EditScript::single(TreeEdit::Relabel {
+                    node_pre: 2,
+                    labels: vec!["D".into()],
+                }),
+            )
+            .unwrap();
+        assert!(!index.contains("B", &"a".into()));
+        assert!(index.contains("D", &"a".into()));
+        assert!(
+            index.contains("B", &"b".into()),
+            "other documents untouched"
+        );
+        // Removing a document drops all of its postings.
+        corpus.remove(&"b".into()).unwrap();
+        assert!(!index.contains("B", &"b".into()));
+        assert_eq!(
+            index
+                .candidates(&["R".into(), "D".into()])
+                .unwrap()
+                .iter()
+                .map(DocId::as_str)
+                .collect::<Vec<_>>(),
+            ["a"]
+        );
     }
 
     #[test]

@@ -132,6 +132,58 @@ pub(crate) fn plan_cache_json(stats: &PlanCacheStats) -> String {
     )
 }
 
+/// Pruning counters of a corpus scatter–gather run: how much of the
+/// fan-out the [`crate::index::LabelIndex`] + per-snapshot
+/// [`cqt_trees::DocSummary`] double check saved, and how much it missed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Per-document executions an unpruned scatter would have performed
+    /// (`pruned + survivors`).
+    pub candidates: u64,
+    /// Documents skipped: the plan's required labels/axes are provably
+    /// unsatisfiable on the document's snapshot, so the (empty) answer was
+    /// emitted without executing.
+    pub pruned: u64,
+    /// Documents that survived pruning and executed normally.
+    pub survivors: u64,
+    /// Survivors whose answer turned out empty anyway — the pruning layer's
+    /// missed opportunities, a quality metric for the over-approximation
+    /// (never a correctness problem).
+    pub false_positives: u64,
+}
+
+impl PruneStats {
+    /// Fraction of candidate executions pruned (0.0 when nothing ran).
+    pub fn prune_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.candidates as f64
+        }
+    }
+
+    /// Accumulates another worker's counters into this one.
+    pub fn absorb(&mut self, other: &PruneStats) {
+        self.candidates += other.candidates;
+        self.pruned += other.pruned;
+        self.survivors += other.survivors;
+        self.false_positives += other.false_positives;
+    }
+}
+
+/// Renders [`PruneStats`] as the JSON object the corpus reports embed.
+pub(crate) fn prune_stats_json(stats: &PruneStats) -> String {
+    format!(
+        "{{\"candidates\": {}, \"pruned\": {}, \"survivors\": {}, \
+         \"false_positives\": {}, \"prune_rate\": {:.4}}}",
+        stats.candidates,
+        stats.pruned,
+        stats.survivors,
+        stats.false_positives,
+        stats.prune_rate(),
+    )
+}
+
 /// The result of one [`crate::runner::ServiceRunner::run_mutating`] call:
 /// a read/write run over an epoch-swapped corpus.
 #[derive(Clone, Debug)]
@@ -229,6 +281,9 @@ pub struct CorpusReport {
     pub plan_cache: PlanCacheStats,
     /// Cross-document plan-sharing summary derived from `plan_cache`.
     pub sharing: SharingSummary,
+    /// Pruning counters of the scatter phase (all-zero when pruning is
+    /// disabled in the [`crate::runner::ServiceConfig`]).
+    pub prune: PruneStats,
 }
 
 impl CorpusReport {
@@ -239,7 +294,7 @@ impl CorpusReport {
              \"doc_executions\": {}, \"wall_ns\": {}, \"qps\": {:.1}, \
              \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \
              \"answer_fingerprint\": {}, \"cross_document_hit_rate\": {:.4}, \
-             \"plan_cache\": {}}}",
+             \"plan_cache\": {}, \"prune\": {}}}",
             self.threads,
             self.shards,
             self.documents,
@@ -254,6 +309,7 @@ impl CorpusReport {
             self.answer_fingerprint,
             self.sharing.cross_document_hit_rate,
             plan_cache_json(&self.plan_cache),
+            prune_stats_json(&self.prune),
         )
     }
 }
@@ -284,6 +340,9 @@ pub struct CorpusMutationReport {
     pub plan_cache: PlanCacheStats,
     /// Cross-document plan-sharing summary derived from `plan_cache`.
     pub sharing: SharingSummary,
+    /// Pruning counters of the readers' scatter phases (all-zero when
+    /// pruning is disabled).
+    pub prune: PruneStats,
 }
 
 impl CorpusMutationReport {
@@ -324,7 +383,7 @@ impl CorpusMutationReport {
             "{{\"threads\": {}, \"writers\": {}, \"reads\": {}, \"wall_ns\": {}, \
              \"qps\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \"commits\": {}, \
              \"mutated_documents\": {}, \"carried_entries\": {}, \
-             \"cross_document_hit_rate\": {:.4}, \"plan_cache\": {}}}",
+             \"cross_document_hit_rate\": {:.4}, \"plan_cache\": {}, \"prune\": {}}}",
             self.threads,
             self.writers,
             self.reads,
@@ -337,6 +396,7 @@ impl CorpusMutationReport {
             self.carried_entries(),
             self.sharing.cross_document_hit_rate,
             plan_cache_json(&self.plan_cache),
+            prune_stats_json(&self.prune),
         )
     }
 
@@ -354,6 +414,7 @@ impl CorpusMutationReport {
             observations: BTreeSet::new(),
             plan_cache: PlanCacheStats::default(),
             sharing: SharingSummary::default(),
+            prune: PruneStats::default(),
         }
     }
 }
@@ -379,6 +440,29 @@ mod tests {
         let single = LatencySummary::from_samples(vec![7]);
         assert_eq!(single.p50_ns, 7);
         assert_eq!(single.p99_ns, 7);
+    }
+
+    #[test]
+    fn prune_stats_rate_and_json() {
+        let mut stats = PruneStats {
+            candidates: 8,
+            pruned: 6,
+            survivors: 2,
+            false_positives: 1,
+        };
+        assert!((stats.prune_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(PruneStats::default().prune_rate(), 0.0);
+        stats.absorb(&PruneStats {
+            candidates: 2,
+            pruned: 0,
+            survivors: 2,
+            false_positives: 0,
+        });
+        assert_eq!(stats.candidates, 10);
+        assert_eq!(stats.survivors, 4);
+        let json = prune_stats_json(&stats);
+        assert!(json.contains("\"pruned\": 6"), "{json}");
+        assert!(json.contains("\"prune_rate\": 0.6000"), "{json}");
     }
 
     #[test]

@@ -97,6 +97,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     errors: a.wrapping_add(b),
                     queue_depth: x,
                     capacity: y,
+                    plan_hits: a.rotate_left(1),
+                    plan_misses: b.rotate_left(3),
+                    plan_analyses: a.rotate_right(7),
+                    plan_cross_document_hits: b.rotate_right(11),
+                    prune_candidates: a.wrapping_mul(3),
+                    prune_pruned: b.wrapping_mul(5),
+                    prune_survivors: a.wrapping_sub(b),
+                    prune_false_positives: b.wrapping_sub(a),
                 },
             }
         })

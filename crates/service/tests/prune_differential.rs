@@ -1,0 +1,306 @@
+//! Differential properties of the corpus-scale pruning layer: a pruned
+//! scatter–gather run must be **answer-fingerprint identical** to an
+//! unpruned run of the same workload — on random corpora at every
+//! selectivity extreme, across arbitrary committed edit scripts, and under
+//! concurrent writers (where the per-document oracle replays ground truth).
+//!
+//! The pruning layer is an over-approximating index double-checked against
+//! per-snapshot [`cqt_trees::DocSummary`]s, so these tests are exactly the
+//! soundness contract: pruning may only skip documents whose answer is
+//! provably empty, and the skipped answers still enter the fingerprint at
+//! their original positions.
+
+use std::collections::BTreeMap;
+
+use cqt_service::{
+    Corpus, CorpusMutationOracle, CorpusMutationWorkload, CorpusReport, CorpusRequest,
+    CorpusWorkload, FanOut, PlanOptions, PruneStats, QuerySpec, ServiceConfig, ServiceRunner,
+};
+use cqt_trees::edit::{EditScript, TreeEdit};
+use cqt_trees::generate::{
+    document_corpus, random_edit_script, DocumentCorpusConfig, EditScriptConfig, LabelVocabulary,
+};
+use cqt_trees::parse::parse_term;
+use cqt_trees::Tree;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BASE_ALPHABET: [&str; 4] = ["A", "B", "C", "D"];
+
+fn base_alphabet() -> Vec<String> {
+    BASE_ALPHABET.iter().map(|s| s.to_string()).collect()
+}
+
+/// Every label a corpus generated with `distinct` templates could carry:
+/// the base alphabet plus each template's private prefixed copy. Queries
+/// drawn from this pool cover hit-everything, hit-one-family and
+/// hit-nothing selectivities in the same run.
+fn label_pool(distinct: usize) -> Vec<String> {
+    let mut pool = base_alphabet();
+    for t in 0..distinct {
+        for label in BASE_ALPHABET {
+            pool.push(format!("T{t}_{label}"));
+        }
+    }
+    pool
+}
+
+fn corpus_of(trees: Vec<Tree>, shards: usize) -> Corpus {
+    let corpus = Corpus::new(shards);
+    for (i, tree) in trees.into_iter().enumerate() {
+        corpus.insert(format!("doc-{i:03}"), tree).unwrap();
+    }
+    corpus
+}
+
+/// Runs `workload` twice — pruning on, pruning off — and returns both
+/// reports after asserting the invariants every pair must satisfy.
+fn run_both(corpus: &Corpus, workload: &CorpusWorkload) -> (CorpusReport, CorpusReport) {
+    let pruned = ServiceRunner::new(ServiceConfig::with_threads(2)).run_corpus(corpus, workload);
+    let unpruned = ServiceRunner::new(ServiceConfig::with_threads(2).with_prune(false))
+        .run_corpus(corpus, workload);
+    assert_eq!(
+        pruned.answer_fingerprint, unpruned.answer_fingerprint,
+        "pruning changed the gathered answers"
+    );
+    assert_eq!(
+        unpruned.prune,
+        PruneStats::default(),
+        "a disabled pruner must count nothing"
+    );
+    assert_eq!(
+        pruned.prune.candidates,
+        pruned.prune.pruned + pruned.prune.survivors,
+        "every candidate is either pruned or survives"
+    );
+    (pruned, unpruned)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random corpora at every vocabulary extreme: whatever the index
+    /// prunes, the fingerprints agree.
+    #[test]
+    fn pruned_runs_match_unpruned_on_random_corpora(
+        seed in 0u64..1 << 32,
+        vocab in 0usize..3,
+        documents in 1usize..10,
+        distinct in 1usize..5,
+        picks in proptest::collection::vec((0usize..64, 0usize..64), 1..6),
+    ) {
+        let vocabulary = [
+            LabelVocabulary::Shared,
+            LabelVocabulary::Overlapping,
+            LabelVocabulary::Disjoint,
+        ][vocab];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = document_corpus(
+            &mut rng,
+            &DocumentCorpusConfig {
+                documents,
+                distinct,
+                nodes_per_document: 24,
+                alphabet: base_alphabet(),
+                vocabulary,
+            },
+        );
+        let corpus = corpus_of(trees, 3);
+        let pool = label_pool(distinct);
+        let requests: Vec<CorpusRequest> = picks
+            .iter()
+            .map(|&(a, b)| {
+                let l1 = &pool[a % pool.len()];
+                let l2 = &pool[b % pool.len()];
+                CorpusRequest {
+                    query: QuerySpec::parse_cq(&format!(
+                        "Q(y) :- {l1}(x), Child(x, y), {l2}(y)."
+                    ))
+                    .unwrap(),
+                    target: FanOut::All,
+                }
+            })
+            .collect();
+        let workload = CorpusWorkload::new(requests, 2);
+        let (pruned, unpruned) = run_both(&corpus, &workload);
+        // Unpruned executes every (request, document) pair; those pairs are
+        // exactly the pruned run's candidates.
+        prop_assert_eq!(pruned.prune.candidates, unpruned.doc_executions);
+    }
+
+    /// Random edit scripts committed between runs: the index follows the
+    /// write path, and fingerprints agree on every epoch the corpus
+    /// passes through.
+    #[test]
+    fn pruned_runs_match_unpruned_across_random_edit_scripts(
+        seed in 0u64..1 << 32,
+        rounds in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = document_corpus(
+            &mut rng,
+            &DocumentCorpusConfig {
+                documents: 4,
+                distinct: 3,
+                nodes_per_document: 16,
+                alphabet: base_alphabet(),
+                vocabulary: LabelVocabulary::Overlapping,
+            },
+        );
+        let corpus = corpus_of(trees, 2);
+        let pool = label_pool(3);
+        let requests: Vec<CorpusRequest> = pool
+            .iter()
+            .step_by(3)
+            .map(|label| CorpusRequest {
+                query: QuerySpec::parse_cq(&format!("Q(x) :- {label}(x).")).unwrap(),
+                target: FanOut::All,
+            })
+            .collect();
+        let workload = CorpusWorkload::new(requests, 1);
+        let script_config = EditScriptConfig {
+            edits: 3,
+            // Include prefixed labels so edits move documents in and out of
+            // the queried posting lists, not just around inside them.
+            alphabet: pool.clone(),
+            ..EditScriptConfig::default()
+        };
+        run_both(&corpus, &workload);
+        for round in 0..rounds {
+            let id = format!("doc-{:03}", round % 4);
+            let tree = {
+                let document = corpus.get(&id.clone().into()).unwrap();
+                let snapshot = document.handle().snapshot();
+                snapshot.prepared.tree().clone()
+            };
+            let script = random_edit_script(&mut rng, &tree, &script_config);
+            corpus.commit(&id.into(), &script).unwrap();
+            run_both(&corpus, &workload);
+        }
+    }
+}
+
+/// A relabel that *adds* a required label makes the document visible to
+/// queries requiring it in the very next epoch — the index is synced by the
+/// commit itself, not by some later refresh.
+#[test]
+fn relabel_makes_a_document_visible_in_the_next_epoch() {
+    let corpus = Corpus::new(2);
+    corpus
+        .insert("a", parse_term("R(A(B), C)").unwrap())
+        .unwrap();
+    corpus.insert("b", parse_term("R(C)").unwrap()).unwrap();
+    let workload = CorpusWorkload::new(
+        vec![CorpusRequest {
+            query: QuerySpec::parse_cq("Q(x) :- Z(x).").unwrap(),
+            target: FanOut::All,
+        }],
+        1,
+    );
+    // No document carries `Z`: everything prunes, and the pruned
+    // fingerprint still matches the unpruned run's (all-empty) answers.
+    let (pruned, _) = run_both(&corpus, &workload);
+    assert_eq!(pruned.prune.pruned, 2);
+    assert_eq!(pruned.prune.survivors, 0);
+
+    // Relabel `C` → `Z` in document `b` (node 1 in preorder).
+    let mut script = EditScript::new();
+    script.push(TreeEdit::Relabel {
+        node_pre: 1,
+        labels: vec!["Z".to_string()],
+    });
+    corpus.commit(&"b".into(), &script).unwrap();
+    assert!(
+        corpus.label_index().contains("Z", &"b".into()),
+        "the commit itself syncs the posting list"
+    );
+
+    let (pruned, unpruned) = run_both(&corpus, &workload);
+    assert_eq!(pruned.prune.pruned, 1, "document a still prunes");
+    assert_eq!(pruned.prune.survivors, 1, "document b is visible");
+    assert_eq!(
+        pruned.prune.false_positives, 0,
+        "the survivor's answer is non-empty"
+    );
+    assert!(unpruned.answer_fingerprint != 0);
+
+    // And a relabel *removing* the label prunes it again.
+    let mut script = EditScript::new();
+    script.push(TreeEdit::Relabel {
+        node_pre: 1,
+        labels: vec!["C".to_string()],
+    });
+    corpus.commit(&"b".into(), &script).unwrap();
+    let (pruned, _) = run_both(&corpus, &workload);
+    assert_eq!(pruned.prune.pruned, 2);
+}
+
+/// Concurrent writers: a pruned mutating run's every observation must match
+/// the per-document oracle at the exact epoch the reader snapshot — pruned
+/// reads record the empty answer's fingerprint, which the oracle confirms.
+#[test]
+fn pruned_mutating_runs_satisfy_the_corpus_oracle() {
+    let initial: BTreeMap<_, _> = [("a", "R(A(B), C)"), ("b", "R(C(C), C)"), ("c", "R(B, B)")]
+        .into_iter()
+        .map(|(id, term)| (id.into(), parse_term(term).unwrap()))
+        .collect();
+
+    // Writer on `a` flips node 3 (`C`) between `Z` and back; writer on `b`
+    // grows and shrinks a `B` — both move documents across the posting
+    // lists the queries consult, mid-run.
+    let relabel = |node_pre: u32, label: &str| {
+        let mut script = EditScript::new();
+        script.push(TreeEdit::Relabel {
+            node_pre,
+            labels: vec![label.to_string()],
+        });
+        script
+    };
+    let insert_b = {
+        let mut script = EditScript::new();
+        script.push(TreeEdit::insert_subtree(0, 0, parse_term("B").unwrap()));
+        script
+    };
+    let delete_first = {
+        let mut script = EditScript::new();
+        script.push(TreeEdit::DeleteSubtree { node_pre: 1 });
+        script
+    };
+    let writers: BTreeMap<_, Vec<EditScript>> = [
+        ("a".into(), vec![relabel(3, "Z"), relabel(3, "C")]),
+        ("b".into(), vec![insert_b, delete_first]),
+    ]
+    .into_iter()
+    .collect();
+
+    let queries = vec![
+        QuerySpec::parse_cq("Q(x) :- B(x).").unwrap(),
+        QuerySpec::parse_cq("Q(x) :- Z(x).").unwrap(),
+        QuerySpec::parse_cq("Q(y) :- R(x), Child(x, y), C(y).").unwrap(),
+    ];
+    let oracle =
+        CorpusMutationOracle::build(&initial, &writers, &queries, &PlanOptions::default()).unwrap();
+
+    let corpus = Corpus::new(2);
+    for (id, tree) in &initial {
+        corpus.insert(id.clone(), tree.clone()).unwrap();
+    }
+    let workload = CorpusMutationWorkload::new(
+        queries,
+        initial.keys().cloned().collect(),
+        writers.into_iter().collect(),
+        600,
+    );
+    let report = ServiceRunner::new(ServiceConfig::with_threads(3))
+        .run_corpus_mutating(&corpus, &workload)
+        .unwrap();
+    oracle
+        .check(&report)
+        .expect("pruned observations match the oracle");
+    assert!(report.prune.candidates > 0, "pruning ran");
+    assert!(
+        report.prune.pruned > 0,
+        "the Z query prunes at least some epochs"
+    );
+}

@@ -437,6 +437,31 @@ pub fn random_edit_script<R: Rng>(
     script
 }
 
+/// How the label vocabularies of the corpus templates relate — the
+/// **selectivity control** of [`document_corpus`]. Label-based pruning
+/// layers are exercised at both extremes: a [`Shared`] vocabulary makes
+/// every document a candidate for every label query (pruning rate ~0), a
+/// [`Disjoint`] one makes only one template family a candidate (pruning
+/// rate `1 - 1/distinct`).
+///
+/// [`Shared`]: LabelVocabulary::Shared
+/// [`Disjoint`]: LabelVocabulary::Disjoint
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LabelVocabulary {
+    /// Every template draws from the same alphabet (the historical
+    /// behaviour, and the default).
+    #[default]
+    Shared,
+    /// Template `t` draws from the shared first half of the alphabet plus a
+    /// private `T{t}_`-prefixed copy of the second half: some queries hit
+    /// every document, some hit one template family.
+    Overlapping,
+    /// Template `t` draws exclusively from a private `T{t}_`-prefixed copy
+    /// of the alphabet: label vocabularies of distinct templates are
+    /// disjoint, the low-selectivity extreme.
+    Disjoint,
+}
+
 /// Configuration for [`document_corpus`].
 #[derive(Clone, Debug)]
 pub struct DocumentCorpusConfig {
@@ -451,8 +476,11 @@ pub struct DocumentCorpusConfig {
     pub distinct: usize,
     /// Nodes per document.
     pub nodes_per_document: usize,
-    /// Label alphabet shared by every template.
+    /// Base label alphabet; how templates share it is governed by
+    /// `vocabulary`.
     pub alphabet: Vec<String>,
+    /// Selectivity control: how template vocabularies relate.
+    pub vocabulary: LabelVocabulary,
 }
 
 impl Default for DocumentCorpusConfig {
@@ -465,7 +493,33 @@ impl Default for DocumentCorpusConfig {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            vocabulary: LabelVocabulary::Shared,
         }
+    }
+}
+
+/// The alphabet template `t` draws from under `vocabulary` (see
+/// [`LabelVocabulary`]).
+fn template_alphabet(config: &DocumentCorpusConfig, t: usize) -> Vec<String> {
+    match config.vocabulary {
+        LabelVocabulary::Shared => config.alphabet.clone(),
+        LabelVocabulary::Overlapping => {
+            let shared = (config.alphabet.len() / 2).max(1);
+            config.alphabet[..shared]
+                .iter()
+                .cloned()
+                .chain(
+                    config.alphabet[shared.min(config.alphabet.len())..]
+                        .iter()
+                        .map(|l| format!("T{t}_{l}")),
+                )
+                .collect()
+        }
+        LabelVocabulary::Disjoint => config
+            .alphabet
+            .iter()
+            .map(|l| format!("T{t}_{l}"))
+            .collect(),
     }
 }
 
@@ -487,12 +541,12 @@ pub fn document_corpus<R: Rng>(rng: &mut R, config: &DocumentCorpusConfig) -> Ve
     assert!(config.documents > 0, "corpus needs at least one document");
     let distinct = config.distinct.clamp(1, config.documents);
     let templates: Vec<Tree> = (0..distinct)
-        .map(|_| {
+        .map(|t| {
             random_tree(
                 rng,
                 &RandomTreeConfig {
                     nodes: config.nodes_per_document,
-                    alphabet: config.alphabet.clone(),
+                    alphabet: template_alphabet(config, t),
                     multi_label_probability: 0.05,
                     attach_window: usize::MAX,
                 },
@@ -774,6 +828,58 @@ mod tests {
         let digests: std::collections::BTreeSet<u64> =
             all_distinct.iter().map(|t| t.structure_digest()).collect();
         assert_eq!(digests.len(), 6);
+    }
+
+    #[test]
+    fn document_corpus_vocabulary_controls_selectivity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let labels_of = |t: &Tree| -> std::collections::BTreeSet<String> {
+            t.interner()
+                .iter()
+                .filter(|(l, _)| !t.nodes_with_label(*l).is_empty())
+                .map(|(_, name)| name.to_owned())
+                .collect()
+        };
+        // Disjoint: distinct templates share no label at all.
+        let disjoint = document_corpus(
+            &mut rng,
+            &DocumentCorpusConfig {
+                documents: 4,
+                distinct: 4,
+                nodes_per_document: 60,
+                vocabulary: LabelVocabulary::Disjoint,
+                ..DocumentCorpusConfig::default()
+            },
+        );
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let a = labels_of(&disjoint[i]);
+                let b = labels_of(&disjoint[j]);
+                assert!(
+                    a.is_disjoint(&b),
+                    "templates {i} and {j} share labels: {:?}",
+                    a.intersection(&b).collect::<Vec<_>>()
+                );
+            }
+        }
+        assert!(labels_of(&disjoint[0]).iter().all(|l| l.starts_with("T0_")));
+        // Overlapping: a shared core plus template-private labels.
+        let overlapping = document_corpus(
+            &mut rng,
+            &DocumentCorpusConfig {
+                documents: 2,
+                distinct: 2,
+                nodes_per_document: 400,
+                vocabulary: LabelVocabulary::Overlapping,
+                ..DocumentCorpusConfig::default()
+            },
+        );
+        let a = labels_of(&overlapping[0]);
+        let b = labels_of(&overlapping[1]);
+        assert!(!a.is_disjoint(&b), "shared core labels appear in both");
+        assert!(a.iter().any(|l| l.starts_with("T0_")));
+        assert!(b.iter().any(|l| l.starts_with("T1_")));
+        assert!(a.iter().all(|l| !l.starts_with("T1_")));
     }
 
     #[test]

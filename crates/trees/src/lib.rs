@@ -54,7 +54,7 @@ pub use edit::{EditError, EditScript, EditSummary, TreeEdit};
 pub use label::{Label, LabelInterner};
 pub use node::NodeId;
 pub use order::Order;
-pub use prepared::PreparedTree;
+pub use prepared::{DocSummary, PreparedTree};
 pub use relation::MaterializedRelation;
 pub use tree::{Tree, TreeBuilder, TreeError};
 

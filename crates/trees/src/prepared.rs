@@ -23,6 +23,7 @@
 //! the serving harness) can assert that repeated queries do not re-derive
 //! axes or label sets.
 
+use std::collections::BTreeSet;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -33,6 +34,119 @@ use crate::edit::EditSummary;
 use crate::label::Label;
 use crate::relation::MaterializedRelation;
 use crate::tree::Tree;
+
+/// A compact, epoch-accurate summary of one document, consumed by
+/// corpus-level pruning layers (the `cqt-service` label index): which labels
+/// occur on at least one node, how many nodes the tree has, its height, and
+/// which axes can hold between *any* pair of nodes at all.
+///
+/// The axis flags are a sound over-approximation: [`DocSummary::can_satisfy`]
+/// returning `false` proves the axis relation is empty on this tree (a
+/// root-only tree has no `Child` pair; a tree where no node has two children
+/// has no `NextSibling` or `Following` pair), so a query whose every disjunct
+/// contains such an axis atom has an empty answer on the document. Returning
+/// `true` proves nothing — the query still runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DocSummary {
+    /// Names of every label carried by at least one node.
+    labels: BTreeSet<String>,
+    node_count: usize,
+    max_depth: u32,
+    /// Whether some node has at least two children — the existence condition
+    /// shared by every sibling-order axis and by `Following`/`Preceding`.
+    has_sibling_pair: bool,
+}
+
+impl DocSummary {
+    /// Summarizes `tree` from scratch: one pass over the interner for label
+    /// presence and one pass over the nodes for the sibling flag.
+    pub fn of_tree(tree: &Tree) -> DocSummary {
+        let mut labels = BTreeSet::new();
+        for (label, name) in tree.interner().iter() {
+            if !tree.nodes_with_label(label).is_empty() {
+                labels.insert(name.to_owned());
+            }
+        }
+        let has_sibling_pair = tree.nodes().any(|n| tree.children(n).len() >= 2);
+        DocSummary {
+            labels,
+            node_count: tree.len(),
+            max_depth: tree.height(),
+            has_sibling_pair,
+        }
+    }
+
+    /// Carries `prev` across a structure-preserving commit: the structural
+    /// fields are adopted unchanged (the edit moved no nodes) and only the
+    /// labels named in [`EditSummary::touched_labels`] are re-probed against
+    /// the post-edit `tree`. Equivalent to — but much cheaper than —
+    /// [`DocSummary::of_tree`] on the new epoch.
+    pub fn carried(prev: &DocSummary, tree: &Tree, edit: &EditSummary) -> DocSummary {
+        debug_assert!(edit.keeps_structure());
+        let mut labels = prev.labels.clone();
+        for name in &edit.touched_labels {
+            let present = tree
+                .label(name)
+                .is_some_and(|l| !tree.nodes_with_label(l).is_empty());
+            if present {
+                labels.insert(name.clone());
+            } else {
+                labels.remove(name);
+            }
+        }
+        DocSummary {
+            labels,
+            node_count: prev.node_count,
+            max_depth: prev.max_depth,
+            has_sibling_pair: prev.has_sibling_pair,
+        }
+    }
+
+    /// Whether at least one node carries `label`.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.labels.contains(label)
+    }
+
+    /// The names of every label present on the document, sorted.
+    pub fn labels(&self) -> &BTreeSet<String> {
+        &self.labels
+    }
+
+    /// Number of nodes in the document.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Height of the document (root-only tree: 0).
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Whether `axis` holds between at least one pair of nodes. `false` is a
+    /// proof of emptiness; `true` is merely "cannot rule it out".
+    pub fn can_satisfy(&self, axis: Axis) -> bool {
+        match axis {
+            // Reflexive axes hold on every (node, node) loop.
+            Axis::ChildStar
+            | Axis::NextSiblingStar
+            | Axis::AncestorStar
+            | Axis::PrevSiblingStar
+            | Axis::SelfAxis => true,
+            // A parent/child pair exists iff the tree has an edge.
+            Axis::Child | Axis::ChildPlus | Axis::Parent | Axis::AncestorPlus => {
+                self.node_count >= 2
+            }
+            // Sibling-order pairs (and disjoint-subtree pairs) exist iff
+            // some node has two children.
+            Axis::NextSibling
+            | Axis::NextSiblingPlus
+            | Axis::PrevSibling
+            | Axis::PrevSiblingPlus
+            | Axis::Following
+            | Axis::Preceding => self.has_sibling_pair,
+        }
+    }
+}
 
 /// A [`Tree`] plus lazily-built, thread-shared caches of derived artifacts
 /// (materialized axis relations, rank-space label sets).
@@ -55,6 +169,10 @@ pub struct PreparedTree {
     label_pre_sets: Vec<OnceLock<NodeSet>>,
     /// Number of label sets actually converted (cache misses).
     label_set_builds: AtomicU64,
+    /// Lazily-built document summary for corpus-level pruning.
+    summary: OnceLock<DocSummary>,
+    /// Number of summaries actually computed from scratch (cache misses).
+    summary_builds: AtomicU64,
     /// Axis relations adopted from a previous epoch by
     /// [`PreparedTree::prepare_edited`] instead of being re-derived.
     carried_relations: u64,
@@ -75,6 +193,8 @@ impl PreparedTree {
             relation_builds: AtomicU64::new(0),
             label_pre_sets: (0..label_count).map(|_| OnceLock::new()).collect(),
             label_set_builds: AtomicU64::new(0),
+            summary: OnceLock::new(),
+            summary_builds: AtomicU64::new(0),
             carried_relations: 0,
             carried_label_sets: 0,
             structure_hash,
@@ -125,6 +245,13 @@ impl PreparedTree {
                 let _ = slot.set(set.clone());
                 next.carried_label_sets += 1;
             }
+        }
+        // The document summary survives a structure-preserving commit too:
+        // only the touched labels are re-probed against the new tree.
+        if let Some(prev) = self.summary.get() {
+            let _ = next
+                .summary
+                .set(DocSummary::carried(prev, &next.tree, summary));
         }
         next
     }
@@ -188,6 +315,23 @@ impl PreparedTree {
     /// How many label sets have been converted to rank space so far.
     pub fn label_set_builds(&self) -> u64 {
         self.label_set_builds.load(Ordering::Relaxed)
+    }
+
+    /// The pruning summary of this document epoch, built on first use and
+    /// shared by every subsequent caller (and thread). A structure-preserving
+    /// commit carries the previous epoch's summary forward via
+    /// [`DocSummary::carried`] instead of rebuilding it.
+    pub fn doc_summary(&self) -> &DocSummary {
+        self.summary.get_or_init(|| {
+            self.summary_builds.fetch_add(1, Ordering::Relaxed);
+            DocSummary::of_tree(&self.tree)
+        })
+    }
+
+    /// How many document summaries were computed from scratch (zero when the
+    /// summary was carried from the previous epoch or never requested).
+    pub fn summary_builds(&self) -> u64 {
+        self.summary_builds.load(Ordering::Relaxed)
     }
 
     /// A hash of the tree's structure and labeling
@@ -331,6 +475,72 @@ mod tests {
         // Everything is rebuilt lazily against the new epoch.
         assert!(!next.relation(Axis::Child).is_empty());
         assert_eq!(next.relation_builds(), 1);
+    }
+
+    #[test]
+    fn doc_summary_reports_labels_and_axis_presence() {
+        let chain = PreparedTree::new(parse_term("A(B(C))").unwrap());
+        let summary = chain.doc_summary();
+        assert!(summary.has_label("A") && summary.has_label("B") && summary.has_label("C"));
+        assert!(!summary.has_label("Z"));
+        assert_eq!(summary.node_count(), 3);
+        assert_eq!(summary.max_depth(), 2);
+        // A pure chain has parent/child pairs but no sibling pair, hence no
+        // Following/NextSibling pair either.
+        assert!(summary.can_satisfy(Axis::Child));
+        assert!(summary.can_satisfy(Axis::AncestorPlus));
+        assert!(!summary.can_satisfy(Axis::NextSibling));
+        assert!(!summary.can_satisfy(Axis::Following));
+        assert!(!summary.can_satisfy(Axis::Preceding));
+
+        let root_only = PreparedTree::new(parse_term("A").unwrap());
+        let summary = root_only.doc_summary();
+        assert!(!summary.can_satisfy(Axis::Child));
+        assert!(!summary.can_satisfy(Axis::ChildPlus));
+        assert!(!summary.can_satisfy(Axis::Parent));
+        // Reflexive axes hold on the root loop regardless.
+        assert!(summary.can_satisfy(Axis::ChildStar));
+        assert!(summary.can_satisfy(Axis::SelfAxis));
+
+        let bushy = PreparedTree::new(parse_term("A(B, C)").unwrap());
+        assert!(bushy.doc_summary().can_satisfy(Axis::NextSibling));
+        assert!(bushy.doc_summary().can_satisfy(Axis::Following));
+        assert_eq!(bushy.summary_builds(), 1, "summary is built once");
+    }
+
+    #[test]
+    fn relabel_only_commit_carries_the_doc_summary() {
+        use crate::edit::{EditScript, TreeEdit};
+        let prev = PreparedTree::new(parse_term("A(B(D), C(D))").unwrap());
+        assert!(prev.doc_summary().has_label("B"));
+        // Relabel the only B node to E: B disappears, E appears.
+        let script = EditScript::single(TreeEdit::Relabel {
+            node_pre: 1,
+            labels: vec!["E".into()],
+        });
+        let (tree, summary) = script.apply_to(prev.tree()).unwrap();
+        let next = prev.prepare_edited(tree, &summary);
+        let carried = next.doc_summary();
+        assert_eq!(next.summary_builds(), 0, "summary was carried, not rebuilt");
+        assert_eq!(carried, &DocSummary::of_tree(next.tree()));
+        assert!(!carried.has_label("B"));
+        assert!(carried.has_label("E"));
+        assert!(carried.has_label("D"), "untouched labels survive");
+    }
+
+    #[test]
+    fn structural_commit_rebuilds_the_doc_summary() {
+        use crate::edit::{EditScript, TreeEdit};
+        let prev = PreparedTree::new(parse_term("A(B, C)").unwrap());
+        assert!(prev.doc_summary().can_satisfy(Axis::NextSibling));
+        let script = EditScript::single(TreeEdit::DeleteSubtree { node_pre: 2 });
+        let (tree, summary) = script.apply_to(prev.tree()).unwrap();
+        let next = prev.prepare_edited(tree, &summary);
+        let rebuilt = next.doc_summary();
+        assert_eq!(next.summary_builds(), 1);
+        assert_eq!(rebuilt, &DocSummary::of_tree(next.tree()));
+        assert!(!rebuilt.has_label("C"));
+        assert!(!rebuilt.can_satisfy(Axis::NextSibling));
     }
 
     #[test]
