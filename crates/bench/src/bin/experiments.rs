@@ -189,13 +189,18 @@ SUBCOMMANDS (default: all):
                         with a hard fingerprint-equality gate, a concurrent-
                         writer oracle phase, and pruning-rate/speedup gates
                         (BENCH_7.json)
+    recover             durable write path: WAL + snapshot corpus, commits
+                        under concurrent readers, a hard kill mid-record,
+                        timed crash recovery and follower catch-up — every
+                        recovered answer fingerprint gated against the
+                        mutation oracle (BENCH_8.json)
     help                print this reference
 
 FLAGS:
     --smoke             cap every instance size so the run finishes in
                         seconds (any subcommand; what CI runs)
-    --threads N         reader/worker thread count for `serve` and `prune`
-                        (default 4)
+    --threads N         reader/worker thread count for `serve`, `prune` and
+                        `recover` (default 4)
     --mutate            `serve` only: benchmark the mutable single-document
                         corpus instead of the frozen batch
     --corpus N          `serve`: benchmark the sharded multi-document corpus
@@ -203,9 +208,10 @@ FLAGS:
                         exclusive with --mutate; mandatory meaning for
                         `serve`). `net`: corpus size behind the server
                         (default 12 smoke / 24 full). `prune`: corpus size
-                        (default 16 smoke / 32 full)
-    --shards S          with --corpus, `net` or `prune`: number of shards
-                        (default 4)
+                        (default 16 smoke / 32 full). `recover`: corpus size
+                        (default 6 smoke / 12 full)
+    --shards S          with --corpus, `net`, `prune` or `recover`: number
+                        of shards (default 4)
     --vocab V           `prune` only: how the corpus templates' label
                         vocabularies relate — one of shared (every query
                         hits everything, pruning rate ~0), overlapping, or
@@ -220,17 +226,19 @@ FLAGS:
                         SHED response (default 32)
     --connections C     `net` only: client TCP connections the open-loop
                         generator spreads requests over (default 2)
-    --bench-json PATH   `bench`/`serve`/`net`/`prune`: write the run's
-                        numbers as JSON
-    --bench-check PATH  `bench`/`serve`/`net`/`prune`: compare against a
-                        committed reference JSON and exit non-zero on a
-                        regression (each gate is a within-run ratio, so
+    --bench-json PATH   `bench`/`serve`/`net`/`prune`/`recover`: write the
+                        run's numbers as JSON
+    --bench-check PATH  `bench`/`serve`/`net`/`prune`/`recover`: compare
+                        against a committed reference JSON and exit non-zero
+                        on a regression (each gate is a within-run ratio, so
                         machine speed cancels out; the corpus gate
                         additionally requires a nonzero cross-document
                         plan-cache hit rate, the net gate requires zero
-                        fingerprint/accounting/shedding violations, and the
+                        fingerprint/accounting/shedding violations, the
                         prune gate requires pruning rate >= 50% and a
-                        pruned-vs-unpruned speedup > 1.5x within the run)
+                        pruned-vs-unpruned speedup > 1.5x within the run,
+                        and the recover gate requires zero post-recovery
+                        fingerprint divergences on leader and follower)
 
 Unknown flags and stray arguments are hard errors.
 "
@@ -335,11 +343,12 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if !matches!(command, "bench" | "serve" | "net" | "prune")
+    if !matches!(command, "bench" | "serve" | "net" | "prune" | "recover")
         && (bench_json.is_some() || bench_check.is_some())
     {
         eprintln!(
-            "--bench-json/--bench-check are only valid with `bench`, `serve`, `net` or `prune`"
+            "--bench-json/--bench-check are only valid with `bench`, `serve`, `net`, `prune` \
+             or `recover`"
         );
         std::process::exit(1);
     }
@@ -347,12 +356,14 @@ fn main() {
         eprintln!("--mutate is only valid with `serve`");
         std::process::exit(1);
     }
-    if !matches!(command, "serve" | "prune") && threads.is_some() {
-        eprintln!("--threads is only valid with `serve` or `prune`");
+    if !matches!(command, "serve" | "prune" | "recover") && threads.is_some() {
+        eprintln!("--threads is only valid with `serve`, `prune` or `recover`");
         std::process::exit(1);
     }
-    if !matches!(command, "serve" | "net" | "prune") && (corpus.is_some() || shards.is_some()) {
-        eprintln!("--corpus/--shards are only valid with `serve`, `net` or `prune`");
+    if !matches!(command, "serve" | "net" | "prune" | "recover")
+        && (corpus.is_some() || shards.is_some())
+    {
+        eprintln!("--corpus/--shards are only valid with `serve`, `net`, `prune` or `recover`");
         std::process::exit(1);
     }
     if command != "prune" && vocab.is_some() {
@@ -430,6 +441,14 @@ fn main() {
             corpus,
             shards.unwrap_or(4),
             vocab.as_deref().unwrap_or("disjoint"),
+            bench_json.as_deref(),
+            bench_check.as_deref(),
+        ),
+        "recover" => serve_recover(
+            smoke,
+            threads,
+            corpus,
+            shards.unwrap_or(4),
             bench_json.as_deref(),
             bench_check.as_deref(),
         ),
@@ -1234,14 +1253,7 @@ fn serve_mutate(
 /// numbers are within-run ratios on one machine, so absolute runner speed
 /// cancels out.
 fn check_mutate_regression(ref_path: &str, current_overhead: f64) {
-    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
-        eprintln!("cannot read mutate reference {ref_path}: {e}");
-        std::process::exit(1);
-    });
-    let Some(ref_overhead) = extract_json_number(&reference, "mutate_overhead") else {
-        eprintln!("no mutate_overhead in {ref_path}");
-        std::process::exit(1);
-    };
+    let ref_overhead = require_check_field(ref_path, "mutate_overhead");
     println!(
         "mutate-check: frozen/mutate overhead {current_overhead:.2}x vs reference \
          {ref_overhead:.2}x"
@@ -1515,14 +1527,7 @@ fn serve_corpus(
 /// count** — the live proof that structurally identical documents share
 /// compiled plans.
 fn check_corpus_regression(ref_path: &str, current_overhead: f64, cross_doc_hits: u64) {
-    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
-        eprintln!("cannot read corpus reference {ref_path}: {e}");
-        std::process::exit(1);
-    });
-    let Some(ref_overhead) = extract_json_number(&reference, "corpus_overhead") else {
-        eprintln!("no corpus_overhead in {ref_path}");
-        std::process::exit(1);
-    };
+    let ref_overhead = require_check_field(ref_path, "corpus_overhead");
     println!(
         "corpus-check: frozen/mutate overhead {current_overhead:.2}x vs reference \
          {ref_overhead:.2}x; cross-document hits {cross_doc_hits}"
@@ -1806,18 +1811,8 @@ fn serve_prune(
 /// (or whose pruning stops paying for itself) fails regardless of how fast
 /// the hardware is.
 fn check_prune_regression(ref_path: &str, prune_rate: f64, speedup: f64) {
-    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
-        eprintln!("cannot read prune reference {ref_path}: {e}");
-        std::process::exit(1);
-    });
-    let Some(ref_rate) = extract_json_number(&reference, "prune_rate") else {
-        eprintln!("no prune_rate in {ref_path}");
-        std::process::exit(1);
-    };
-    let Some(ref_speedup) = extract_json_number(&reference, "prune_speedup") else {
-        eprintln!("no prune_speedup in {ref_path}");
-        std::process::exit(1);
-    };
+    let ref_rate = require_check_field(ref_path, "prune_rate");
+    let ref_speedup = require_check_field(ref_path, "prune_speedup");
     println!(
         "prune-check: rate {:.1}% vs reference {:.1}%; speedup {speedup:.2}x vs \
          reference {ref_speedup:.2}x",
@@ -1840,6 +1835,397 @@ fn check_prune_regression(ref_path: &str, prune_rate: f64, speedup: f64) {
         std::process::exit(1);
     }
     println!("prune-check passed");
+}
+
+/// The durability benchmark (`experiments recover`, BENCH_8.json): builds a
+/// WAL-backed corpus in a scratch directory, commits relabel-heavy edit
+/// scripts to every document **under concurrent readers** (checked for
+/// epoch-consistency by the per-document mutation oracle), then hard-kills
+/// the writer by truncating one document's log mid-record — exactly the
+/// torn tail a power cut leaves — and measures a cold [`cqt_service::Corpus::open_durable`].
+///
+/// Hard gates run regardless of `--bench-check`:
+///
+/// 1. the kill must actually tear the log (`torn_bytes > 0`) and recovery
+///    must land every document on the expected epoch — the durable prefix
+///    for the victim, the full history for everyone else;
+/// 2. every recovered (document, query) answer fingerprint must equal the
+///    mutation oracle's fingerprint **at the recovered epoch** — zero
+///    divergences;
+/// 3. a read-only [`cqt_service::Follower`] tailing the same directory must
+///    agree answer-for-answer, including after the lost commit is re-issued
+///    on the recovered leader.
+fn serve_recover(
+    smoke: bool,
+    threads: Option<usize>,
+    documents: Option<usize>,
+    shards: usize,
+    json_path: Option<&str>,
+    check_path: Option<&str>,
+) {
+    use cqt_core::ExecScratch;
+    use cqt_service::{
+        answer_fingerprint, Corpus, CorpusMutationOracle, CorpusMutationWorkload, DocId,
+        Durability, Follower, Plan, QuerySpec, ServiceConfig, ServiceRunner,
+    };
+    use cqt_trees::edit::EditScript;
+    use cqt_trees::generate::{
+        document_corpus, random_edit_script, DocumentCorpusConfig, EditScriptConfig,
+    };
+    use cqt_trees::Tree;
+    use std::collections::BTreeMap;
+
+    header("Durable write path — WAL commits under readers, hard-kill recovery, follower");
+    // `commits_per_doc % snapshot_every == 2` by construction: the final
+    // snapshot truncates the log, and exactly two records land after it, so
+    // the mid-record kill always has a record to tear and the victim always
+    // recovers to `commits_per_doc - 1`.
+    let (nodes_per_document, commits_per_doc, reads, snapshot_every) = if smoke {
+        (200, 6u64, 1_200, 4u64)
+    } else {
+        (1_200, 26u64, 8_000, 8u64)
+    };
+    let documents = documents.unwrap_or(if smoke { 6 } else { 12 });
+    let reader_threads = threads.unwrap_or(4).max(1);
+
+    // The log directory a deployment would put on persistent storage; a
+    // scratch path unique to this process here.
+    let dir = std::env::temp_dir().join(format!("cqt-recover-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durability = || Durability::Wal {
+        dir: dir.clone(),
+        snapshot_every,
+    };
+
+    let mut rng = StdRng::seed_from_u64(2008);
+    let trees = document_corpus(
+        &mut rng,
+        &DocumentCorpusConfig {
+            documents,
+            distinct: documents.clamp(1, 8),
+            nodes_per_document,
+            ..DocumentCorpusConfig::default()
+        },
+    );
+    let (corpus, fresh) = Corpus::open_durable(shards, durability()).unwrap_or_else(|error| {
+        eprintln!("cannot open fresh durable corpus: {error}");
+        std::process::exit(1);
+    });
+    assert!(fresh.documents.is_empty(), "scratch dir starts empty");
+    let doc_ids: Vec<DocId> = (0..documents)
+        .map(|i| DocId::new(format!("doc-{i:04}")))
+        .collect();
+    for (i, tree) in trees.iter().enumerate() {
+        corpus
+            .insert(doc_ids[i].clone(), tree.clone())
+            .expect("fresh corpus has no duplicates");
+    }
+    println!(
+        "corpus: {documents} documents x {nodes_per_document} nodes, {shards} shards, \
+         {commits_per_doc} commits per document, snapshot every {snapshot_every}, wal at {}",
+        dir.display()
+    );
+
+    let queries: Vec<QuerySpec> = [
+        "Q(x) :- A(x).",
+        "Q(y) :- A(x), Child(x, y), B(y).",
+        "Q(y) :- C(x), Child+(x, y), E(y).",
+    ]
+    .iter()
+    .map(|q| QuerySpec::parse_cq(q).expect("valid query"))
+    .collect();
+
+    // Every document gets its own chain of scripts — the full corpus is
+    // mutated, so recovery has to replay every log, not just the victim's.
+    let script_config = EditScriptConfig {
+        edits: 3,
+        insert_weight: 1,
+        delete_weight: 1,
+        relabel_weight: 4,
+        ..EditScriptConfig::default()
+    };
+    let mut writers: Vec<(DocId, Vec<EditScript>)> = Vec::new();
+    for (i, initial) in trees.iter().enumerate() {
+        let mut tree = initial.clone();
+        let mut scripts = Vec::new();
+        for _ in 0..commits_per_doc {
+            let script = random_edit_script(&mut rng, &tree, &script_config);
+            tree = script.apply_to(&tree).expect("generated script applies").0;
+            scripts.push(script);
+        }
+        writers.push((doc_ids[i].clone(), scripts));
+    }
+
+    // Commit phase: every writer drains its scripts while reader threads
+    // snapshot and query concurrently; the oracle checks each observation
+    // at the exact epoch it snapshot.
+    let workload =
+        CorpusMutationWorkload::new(queries.clone(), doc_ids.clone(), writers.clone(), reads);
+    let runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+    let commit_start = Instant::now();
+    let mutate = runner
+        .run_corpus_mutating(&corpus, &workload)
+        .expect("generated scripts commit cleanly");
+    let commit_ns = commit_start.elapsed().as_nanos() as u64;
+    let initial: BTreeMap<DocId, Tree> = doc_ids.iter().cloned().zip(trees.clone()).collect();
+    let writer_map: BTreeMap<DocId, Vec<EditScript>> = writers.iter().cloned().collect();
+    let oracle =
+        CorpusMutationOracle::build(&initial, &writer_map, &queries, &runner.config().plan)
+            .expect("oracle replay applies");
+    if let Err(violation) = oracle.check(&mutate) {
+        eprintln!("DURABLE MUTATION FAILED: {violation}");
+        std::process::exit(1);
+    }
+    let live = corpus.durability_stats();
+    println!(
+        "commit phase: {} reads over {} commits by {} writers in {}; wal: {} records, \
+         {} bytes, latest snapshot epoch {}",
+        mutate.reads,
+        mutate.total_commits(),
+        mutate.writers,
+        fmt_ns(commit_ns as f64),
+        live.log_records,
+        live.log_bytes,
+        live.snapshot_epoch,
+    );
+
+    // Hard kill: drop the corpus (the process dies), then tear the victim's
+    // log mid-way through its final record — the torn tail an interrupted
+    // append leaves. `doc-0000` is filesystem-safe, so its directory is its
+    // id verbatim.
+    drop(corpus);
+    let victim = &doc_ids[0];
+    let victim_log = dir.join(victim.as_str()).join("wal.log");
+    let bytes = std::fs::read(&victim_log).expect("victim log readable");
+    let last_start = wal_final_record_start(&bytes);
+    let cut = last_start + (bytes.len() - last_start) / 2;
+    assert!(cut > last_start, "final record is never empty");
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&victim_log)
+        .and_then(|file| file.set_len(cut as u64))
+        .expect("truncating the victim log simulates the kill");
+    println!(
+        "hard kill: tore {} of {} log bytes off {victim} mid-record",
+        bytes.len() - cut,
+        bytes.len(),
+    );
+
+    // Cold recovery: newest snapshot + log-tail replay, digest-verified.
+    let recover_start = Instant::now();
+    let (recovered, recovery) =
+        Corpus::open_durable(shards, durability()).unwrap_or_else(|error| {
+            eprintln!("RECOVERY FAILED: {error}");
+            std::process::exit(1);
+        });
+    let recovery_ns = recover_start.elapsed().as_nanos() as u64;
+    let replayed = recovery.replayed_records();
+    let torn = recovery.torn_bytes();
+    let replay_rate = replayed as f64 / (recovery_ns as f64 / 1e9).max(1e-12);
+    if torn == 0 {
+        eprintln!("RECOVERY GATE FAILED: the kill tore no bytes — the scenario tested nothing");
+        std::process::exit(1);
+    }
+    println!(
+        "recovery: {} documents in {} — {} records replayed ({:.0} records/s), \
+         {} torn bytes dropped",
+        recovery.documents.len(),
+        fmt_ns(recovery_ns as f64),
+        replayed,
+        replay_rate,
+        torn,
+    );
+
+    // Fingerprint gate: every recovered document must answer every query
+    // exactly as the oracle says its recovered epoch answers it. The victim
+    // lost its final commit to the torn tail; everyone else kept the full
+    // history.
+    let plans: Vec<Plan> = queries
+        .iter()
+        .map(|spec| Plan::compile(spec, &runner.config().plan).0)
+        .collect();
+    // Returns (fingerprints checked, divergences) for one corpus pass.
+    let check_corpus = |corpus: &Corpus, phase: &str, expect: &dyn Fn(usize) -> u64| {
+        let mut scratch = ExecScratch::new();
+        let mut checked = 0u64;
+        let mut divergences = 0u64;
+        for (i, id) in doc_ids.iter().enumerate() {
+            let Some(snapshot) = corpus.snapshot(id) else {
+                eprintln!("{phase} GATE FAILED: document {id} missing after recovery");
+                std::process::exit(1);
+            };
+            if snapshot.epoch != expect(i) {
+                eprintln!(
+                    "{phase} GATE FAILED: {id} at epoch {} (expected {})",
+                    snapshot.epoch,
+                    expect(i)
+                );
+                std::process::exit(1);
+            }
+            let doc_oracle = oracle.for_document(id).expect("oracle covers every doc");
+            for (query_index, plan) in plans.iter().enumerate() {
+                let answer = plan.execute(&snapshot.prepared, &mut scratch);
+                let fingerprint = answer_fingerprint(query_index as u64, &answer);
+                checked += 1;
+                if doc_oracle.expected(query_index, snapshot.epoch) != Some(fingerprint) {
+                    divergences += 1;
+                    eprintln!(
+                        "{phase} DIVERGENCE: {id} query {query_index} at epoch {} answers \
+                         {fingerprint:#018x}, oracle disagrees",
+                        snapshot.epoch
+                    );
+                }
+            }
+        }
+        (checked, divergences)
+    };
+    let victim_epoch = |i: usize| {
+        if i == 0 {
+            commits_per_doc - 1
+        } else {
+            commits_per_doc
+        }
+    };
+    let (leader_checked, leader_divergences) = check_corpus(&recovered, "RECOVERY", &victim_epoch);
+
+    // A read-only follower opens over the same directory (catching up to
+    // the recovered state), then the lost commit is re-issued on the
+    // recovered leader: the log resumes where the durable prefix ended and
+    // the next poll applies exactly that record incrementally.
+    let follower = Follower::open(dir.clone(), shards).unwrap_or_else(|error| {
+        eprintln!("FOLLOWER FAILED: {error}");
+        std::process::exit(1);
+    });
+    let last_script = &writer_map[victim][commits_per_doc as usize - 1];
+    let report = recovered
+        .commit(victim, last_script)
+        .expect("re-issued commit applies");
+    assert_eq!(report.epoch, commits_per_doc, "log resumes past the tear");
+    let progress = follower.poll().unwrap_or_else(|error| {
+        eprintln!("FOLLOWER FAILED: {error}");
+        std::process::exit(1);
+    });
+    if progress.records_applied != 1 {
+        eprintln!(
+            "FOLLOWER GATE FAILED: poll applied {} records (expected exactly the \
+             re-issued commit)",
+            progress.records_applied
+        );
+        std::process::exit(1);
+    }
+    let (follower_checked, follower_divergences) =
+        check_corpus(follower.corpus(), "FOLLOWER", &|_| commits_per_doc);
+    let checked = leader_checked + follower_checked;
+    let divergences = leader_divergences + follower_divergences;
+    println!(
+        "follower: caught up at open, then applied the re-issued commit incrementally; \
+         {} fingerprints checked ({} leader, {} follower), {divergences} divergences",
+        checked, leader_checked, follower_checked,
+    );
+    if divergences > 0 {
+        eprintln!("RECOVERY GATE FAILED: {divergences} answer fingerprints diverged");
+        std::process::exit(1);
+    }
+    println!("recovery + follower fingerprints: all {checked} equal to the oracle");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"cq-trees-recover-bench/1\",\n  \"mode\": \"{}\",\n  \
+             \"documents\": {},\n  \"shards\": {},\n  \"reader_threads\": {},\n  \
+             \"commits_per_doc\": {},\n  \"total_commits\": {},\n  \"reads\": {},\n  \
+             \"snapshot_every\": {},\n  \"wal_records\": {},\n  \"wal_bytes\": {},\n  \
+             \"snapshot_epoch\": {},\n  \"commit_ns\": {},\n  \"torn_bytes\": {},\n  \
+             \"replayed_records\": {},\n  \"recovery_ns\": {},\n  \
+             \"replay_records_per_s\": {:.0},\n  \"fingerprints_checked\": {},\n  \
+             \"divergences\": {},\n  \"follower_divergences\": {},\n  \
+             \"consistency\": \"ok\"\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            documents,
+            shards,
+            reader_threads,
+            commits_per_doc,
+            mutate.total_commits(),
+            mutate.reads,
+            snapshot_every,
+            live.log_records,
+            live.log_bytes,
+            live.snapshot_epoch,
+            commit_ns,
+            torn,
+            replayed,
+            recovery_ns,
+            replay_rate,
+            checked,
+            divergences,
+            follower_divergences,
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        check_recover_regression(path, divergences, replayed, recovery_ns, replay_rate);
+    }
+}
+
+/// Byte offset where the final WAL record starts: walks the
+/// length-prefixed frames (5-byte header, then `4 + body_len + 8` per
+/// record) of a log known to be intact.
+fn wal_final_record_start(bytes: &[u8]) -> usize {
+    let mut offset = 5;
+    let mut last = offset;
+    while offset < bytes.len() {
+        last = offset;
+        let body_len = u32::from_le_bytes(
+            bytes[offset..offset + 4]
+                .try_into()
+                .expect("intact log has full length prefixes"),
+        ) as usize;
+        offset += 4 + body_len + 8;
+    }
+    assert_eq!(offset, bytes.len(), "intact log ends on a record boundary");
+    assert!(last < bytes.len(), "log has at least one record to tear");
+    last
+}
+
+/// Gates the durability benchmark: the committed reference must parse
+/// (typed [`BenchCheckError`] diagnostics on a bad file), and the **current
+/// run** must have recovered with zero answer-fingerprint divergences and a
+/// non-empty replay. Recovery time and replay rate are machine-dependent,
+/// so they are printed against the reference for information, never gated.
+fn check_recover_regression(
+    ref_path: &str,
+    divergences: u64,
+    replayed: u64,
+    recovery_ns: u64,
+    replay_rate: f64,
+) {
+    let ref_divergences = require_check_field(ref_path, "divergences");
+    let ref_rate = require_check_field(ref_path, "replay_records_per_s");
+    println!(
+        "recover-check: {divergences} divergences (reference {ref_divergences:.0}); \
+         replayed {replayed} records in {} at {replay_rate:.0} records/s \
+         (reference {ref_rate:.0}, informational)",
+        fmt_ns(recovery_ns as f64),
+    );
+    if divergences > 0 {
+        eprintln!(
+            "recover-check FAILED: {divergences} recovered answer fingerprints diverged \
+             from the mutation oracle"
+        );
+        std::process::exit(1);
+    }
+    if replayed == 0 {
+        eprintln!(
+            "recover-check FAILED: recovery replayed no log records — the scenario \
+             stopped exercising the replay path"
+        );
+        std::process::exit(1);
+    }
+    println!("recover-check passed");
 }
 
 /// The parsed CLI flags of one `experiments net` run.
@@ -2266,14 +2652,7 @@ fn serve_net(cfg: NetRunConfig) {
 /// out of the accounting — would blow the overload p99 up by orders of
 /// magnitude, far beyond the 3x tolerance.
 fn check_net_regression(ref_path: &str, current_ratio: f64, overload_shed_rate: f64) {
-    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
-        eprintln!("cannot read net reference {ref_path}: {e}");
-        std::process::exit(1);
-    });
-    let Some(ref_ratio) = extract_json_number(&reference, "overload_p99_ratio") else {
-        eprintln!("no overload_p99_ratio in {ref_path}");
-        std::process::exit(1);
-    };
+    let ref_ratio = require_check_field(ref_path, "overload_p99_ratio");
     println!(
         "net-check: overload/low p99 ratio {current_ratio:.2}x vs reference \
          {ref_ratio:.2}x; overload shed rate {:.1}%",
@@ -2300,14 +2679,7 @@ fn check_net_regression(ref_path: &str, current_ratio: f64, overload_shed_rate: 
 /// within-run ratios, so absolute machine speed cancels; only the serving
 /// layer's scaling behaviour moves them.
 fn check_serve_regression(ref_path: &str, current_speedup: f64) {
-    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
-        eprintln!("cannot read serve reference {ref_path}: {e}");
-        std::process::exit(1);
-    });
-    let Some(ref_speedup) = extract_json_number(&reference, "serve_speedup") else {
-        eprintln!("no serve_speedup in {ref_path}");
-        std::process::exit(1);
-    };
+    let ref_speedup = require_check_field(ref_path, "serve_speedup");
     println!(
         "serve-check: multi-thread speedup {current_speedup:.2}x vs reference {ref_speedup:.2}x"
     );
@@ -2408,11 +2780,8 @@ fn render_bench_json(
 /// comparison is printed for information only. (References without the
 /// speedup field fall back to the absolute-ns check.)
 fn check_regression(ref_path: &str, current_ns: f64, current_speedup: f64) {
-    let reference = std::fs::read_to_string(ref_path).unwrap_or_else(|e| {
-        eprintln!("cannot read bench reference {ref_path}: {e}");
-        std::process::exit(1);
-    });
-    if let Some(ref_ns) = extract_json_number(&reference, "ac_fixpoint_smoke_ns") {
+    let ref_ns = optional_check_field(ref_path, "ac_fixpoint_smoke_ns");
+    if let Some(ref_ns) = ref_ns {
         println!(
             "bench-check (informational): AC fixpoint smoke {} vs reference {} ({:.2}x)",
             fmt_ns(current_ns),
@@ -2420,7 +2789,7 @@ fn check_regression(ref_path: &str, current_ns: f64, current_speedup: f64) {
             current_ns / ref_ns.max(1.0)
         );
     }
-    match extract_json_number(&reference, "ac_fixpoint_smoke_speedup") {
+    match optional_check_field(ref_path, "ac_fixpoint_smoke_speedup") {
         Some(ref_speedup) => {
             println!(
                 "bench-check: AC fixpoint speedup over scalar baseline {current_speedup:.2}x \
@@ -2435,8 +2804,15 @@ fn check_regression(ref_path: &str, current_ns: f64, current_speedup: f64) {
             }
         }
         None => {
-            let Some(ref_ns) = extract_json_number(&reference, "ac_fixpoint_smoke_ns") else {
-                eprintln!("no ac_fixpoint_smoke_ns/ac_fixpoint_smoke_speedup in {ref_path}");
+            let Some(ref_ns) = ref_ns else {
+                eprintln!(
+                    "{}",
+                    BenchCheckError {
+                        path: ref_path.to_string(),
+                        field: "ac_fixpoint_smoke_speedup",
+                        kind: BenchCheckErrorKind::MissingField,
+                    }
+                );
                 std::process::exit(1);
             };
             if current_ns / ref_ns.max(1.0) > 3.0 {
@@ -2446,6 +2822,88 @@ fn check_regression(ref_path: &str, current_ns: f64, current_speedup: f64) {
         }
     }
     println!("bench-check passed");
+}
+
+/// Why a `--bench-check` reference JSON could not be used. The offending
+/// path and field travel with the error, so a CI gate failure is diagnosable
+/// from the log alone — "invalid reference" without saying *which* file and
+/// *which* field it wanted is what this type replaces.
+#[derive(Debug)]
+struct BenchCheckError {
+    /// The reference file the check tried to use.
+    path: String,
+    /// The field the check needed from it.
+    field: &'static str,
+    /// What went wrong.
+    kind: BenchCheckErrorKind,
+}
+
+/// The ways a reference JSON fails a `--bench-check` gate before any
+/// numbers are compared.
+#[derive(Debug)]
+enum BenchCheckErrorKind {
+    /// The file could not be read at all (carries the I/O detail).
+    Unreadable(String),
+    /// The file was read but the field is absent or not a number.
+    MissingField,
+}
+
+impl std::fmt::Display for BenchCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            BenchCheckErrorKind::Unreadable(detail) => write!(
+                f,
+                "bench-check reference {} (wanted field \"{}\"): {detail}",
+                self.path, self.field
+            ),
+            BenchCheckErrorKind::MissingField => write!(
+                f,
+                "bench-check reference {}: field \"{}\" is missing or not a number — \
+                 wrong file, truncated JSON, or schema drift",
+                self.path, self.field
+            ),
+        }
+    }
+}
+
+/// Reads one numeric field from the reference JSON at `path` — the common
+/// prologue of every `--bench-check` gate, with both failure modes typed.
+fn read_check_field(path: &str, field: &'static str) -> Result<f64, BenchCheckError> {
+    let text = std::fs::read_to_string(path).map_err(|e| BenchCheckError {
+        path: path.to_string(),
+        field,
+        kind: BenchCheckErrorKind::Unreadable(e.to_string()),
+    })?;
+    extract_json_number(&text, field).ok_or(BenchCheckError {
+        path: path.to_string(),
+        field,
+        kind: BenchCheckErrorKind::MissingField,
+    })
+}
+
+/// [`read_check_field`], exiting with the typed diagnostic on any failure.
+fn require_check_field(path: &str, field: &'static str) -> f64 {
+    read_check_field(path, field).unwrap_or_else(|error| {
+        eprintln!("{error}");
+        std::process::exit(1);
+    })
+}
+
+/// [`read_check_field`] for fields with a fallback: a missing field is
+/// `None` (the caller substitutes its legacy gate), an unreadable file is
+/// still fatal — no gate can run without the reference.
+fn optional_check_field(path: &str, field: &'static str) -> Option<f64> {
+    match read_check_field(path, field) {
+        Ok(value) => Some(value),
+        Err(BenchCheckError {
+            kind: BenchCheckErrorKind::MissingField,
+            ..
+        }) => None,
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Minimal extraction of a numeric top-level field from a known-schema JSON

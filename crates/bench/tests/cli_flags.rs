@@ -59,16 +59,24 @@ fn flags_are_rejected_outside_their_subcommand() {
     for (args, needle) in [
         (
             &["table1", "--bench-json", "out.json"][..],
-            "only valid with `bench`, `serve`, `net` or `prune`",
+            "only valid with `bench`, `serve`, `net`, `prune`",
         ),
         (
             &["net", "--threads", "4"][..],
-            "only valid with `serve` or `prune`",
+            "only valid with `serve`, `prune` or `recover`",
         ),
         (&["prune", "--mutate"][..], "only valid with `serve`"),
         (
             &["bench", "--corpus", "8"][..],
-            "only valid with `serve`, `net` or `prune`",
+            "only valid with `serve`, `net`, `prune` or `recover`",
+        ),
+        (
+            &["recover", "--vocab", "disjoint"][..],
+            "--vocab is only valid with `prune`",
+        ),
+        (
+            &["recover", "--target-qps", "100"][..],
+            "only valid with `net`",
         ),
         (
             &["bench", "--vocab", "disjoint"][..],
@@ -121,4 +129,5 @@ fn help_is_not_confused_by_flag_values_named_help() {
     assert!(text.contains("--queue-cap"));
     assert!(text.contains("prune"));
     assert!(text.contains("--vocab"));
+    assert!(text.contains("recover"));
 }

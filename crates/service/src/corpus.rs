@@ -43,6 +43,7 @@ use cqt_core::ExecScratch;
 use cqt_trees::edit::{EditError, EditScript, EditSummary};
 use cqt_trees::{PreparedTree, Tree};
 
+use crate::durability::{DocWal, DurabilityStats};
 use crate::plan::{Plan, PlanOptions};
 use crate::stats::{answer_fingerprint, MutationReport};
 use crate::workload::QuerySpec;
@@ -84,6 +85,10 @@ pub struct CorpusHandle {
     current: RwLock<CorpusSnapshot>,
     /// Serializes writers; readers never touch it.
     writer: Mutex<()>,
+    /// The document's write-ahead log, when the owning corpus is durable.
+    /// Appended (and fsync'd) inside [`CorpusHandle::commit`] *before* the
+    /// epoch swap: a commit is durable before it is visible.
+    wal: Option<DocWal>,
 }
 
 impl CorpusHandle {
@@ -98,7 +103,33 @@ impl CorpusHandle {
         CorpusHandle {
             current: RwLock::new(CorpusSnapshot { epoch: 0, prepared }),
             writer: Mutex::new(()),
+            wal: None,
         }
+    }
+
+    /// A handle serving `tree` at `epoch` (not necessarily 0 — a recovered
+    /// document resumes at the epoch its durable state reached), optionally
+    /// logging further commits to `wal`.
+    pub(crate) fn recovered(tree: Tree, epoch: u64, wal: Option<DocWal>) -> Self {
+        CorpusHandle {
+            current: RwLock::new(CorpusSnapshot {
+                epoch,
+                prepared: Arc::new(PreparedTree::new(tree)),
+            }),
+            writer: Mutex::new(()),
+            wal,
+        }
+    }
+
+    /// The durability counters of this document's log, if it has one.
+    pub(crate) fn wal_stats(&self) -> Option<DurabilityStats> {
+        self.wal.as_ref().map(DocWal::stats)
+    }
+
+    /// The document's log, if it has one (used by corpus-level removal to
+    /// delete the on-disk directory).
+    pub(crate) fn wal(&self) -> Option<&DocWal> {
+        self.wal.as_ref()
     }
 
     /// The current epoch's snapshot. The read lock is held only while the
@@ -128,6 +159,13 @@ impl CorpusHandle {
     ///
     /// Concurrent commits are serialized (last writer builds on the epoch
     /// the previous writer installed).
+    ///
+    /// On a durable handle the commit record is appended to the
+    /// write-ahead log and fsync'd **before** the epoch swap, so a commit
+    /// is never visible to a reader unless it would survive a crash. Log
+    /// I/O failures are fail-stop (they panic — see
+    /// [`crate::durability`]); script validation failures stay ordinary
+    /// typed errors and leave both the corpus and the log untouched.
     pub fn commit(&self, script: &EditScript) -> Result<CommitReport, EditError> {
         let _writer = self.writer.lock().expect("corpus writer lock poisoned");
         let before = self.snapshot();
@@ -141,10 +179,22 @@ impl CorpusHandle {
             carried_label_sets: prepared.carried_label_sets(),
             summary,
         };
+        if let Some(wal) = &self.wal {
+            wal.append(
+                report.epoch,
+                report.previous_structure_hash,
+                report.structure_hash,
+                script,
+            );
+        }
+        let committed = Arc::clone(&prepared);
         *self.current.write().expect("corpus lock poisoned") = CorpusSnapshot {
             epoch: report.epoch,
             prepared,
         };
+        if let Some(wal) = &self.wal {
+            wal.maybe_snapshot(report.epoch, committed.tree());
+        }
         Ok(report)
     }
 }

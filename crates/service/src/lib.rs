@@ -58,6 +58,15 @@
 //!   identical to unpruned runs — even under concurrent writers — and
 //!   [`PruneStats`] reports candidates/pruned/survivors/false-positives.
 //!
+//! * **survive restarts** — the [`durability`] module gives the corpus a
+//!   durable write path: a per-document write-ahead log of committed edit
+//!   scripts (fsync'd *before* the epoch swap, so a commit is durable
+//!   before it is visible), periodic snapshots bounding the log, typed
+//!   crash recovery ([`Corpus::open_durable`]) that replays the log tail
+//!   over the newest valid snapshot verifying the `structure_digest`
+//!   chain, and a read-only [`Follower`] that tails a leader's log
+//!   directory into its own corpus.
+//!
 //! * **serve over the network** — the [`net`] module puts the corpus behind
 //!   a std-only TCP front end: length-prefixed binary frames, pipelined
 //!   requests per connection, a bounded admission queue with explicit
@@ -96,6 +105,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod durability;
 pub mod index;
 pub mod net;
 pub mod plan;
@@ -105,6 +115,10 @@ pub mod stats;
 pub mod workload;
 
 pub use corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
+pub use durability::{
+    recover_corpus_dir, recover_document, DocRecovery, Durability, DurabilityStats, Follower,
+    FollowerProgress, RecoveredDocument, RecoveryError, RecoveryReport,
+};
 pub use index::LabelIndex;
 pub use net::{NetServer, NetServerConfig, ServerHandle, ServerStats};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanOptions};

@@ -127,11 +127,13 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`]: the server's cumulative counters.
     ///
-    /// Encoded under the **versioned** stats tag (`RESP_STATS_V2 = 6`),
-    /// which appends plan-cache and pruning counters to the original
-    /// layout. The decoder still accepts the legacy tag (`RESP_STATS = 5`)
-    /// — its messages decode with the new counters zero-filled — while an
-    /// old client receiving a v2 message fails cleanly with
+    /// Encoded under the **versioned** stats tag (`RESP_STATS_V3 = 7`),
+    /// which appends the durability counters (write-ahead log records and
+    /// bytes, newest snapshot epoch) to the v2 layout of plan-cache and
+    /// pruning counters. The decoder still accepts the older tags
+    /// (`RESP_STATS = 5`, `RESP_STATS_V2 = 6`) — their messages decode
+    /// with the counters they predate zero-filled — while an old client
+    /// receiving a v3 message fails cleanly with
     /// [`WireError::UnknownTag`] rather than misparsing the longer payload.
     Stats {
         /// Echoed id.
@@ -165,6 +167,13 @@ pub enum Response {
         prune_survivors: u64,
         /// Survivors whose answer was empty anyway (v2).
         prune_false_positives: u64,
+        /// Records currently in the write-ahead logs (v3; 0 on an
+        /// in-memory corpus).
+        wal_records: u64,
+        /// Bytes currently in the write-ahead logs (v3).
+        wal_bytes: u64,
+        /// Newest snapshot epoch across documents (v3).
+        snapshot_epoch: u64,
     },
 }
 
@@ -275,9 +284,12 @@ const RESP_ERROR: u8 = 3;
 const RESP_PONG: u8 = 4;
 /// Legacy stats layout (decode-only): counters end at `capacity`.
 const RESP_STATS: u8 = 5;
-/// Versioned stats layout: legacy fields plus plan-cache and prune
-/// counters. Always used for encoding.
+/// v2 stats layout (decode-only): legacy fields plus plan-cache and
+/// prune counters.
 const RESP_STATS_V2: u8 = 6;
+/// v3 stats layout: v2 fields plus durability counters. Always used for
+/// encoding.
+const RESP_STATS_V3: u8 = 7;
 
 const LANG_CQ: u8 = 0;
 const LANG_XPATH: u8 = 1;
@@ -434,8 +446,11 @@ impl Response {
                 prune_pruned,
                 prune_survivors,
                 prune_false_positives,
+                wal_records,
+                wal_bytes,
+                snapshot_epoch,
             } => {
-                out.push(RESP_STATS_V2);
+                out.push(RESP_STATS_V3);
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *admitted);
                 put_u64(&mut out, *executed);
@@ -451,6 +466,9 @@ impl Response {
                 put_u64(&mut out, *prune_pruned);
                 put_u64(&mut out, *prune_survivors);
                 put_u64(&mut out, *prune_false_positives);
+                put_u64(&mut out, *wal_records);
+                put_u64(&mut out, *wal_bytes);
+                put_u64(&mut out, *snapshot_epoch);
             }
         }
         out
@@ -496,7 +514,12 @@ impl Response {
                 prune_pruned: 0,
                 prune_survivors: 0,
                 prune_false_positives: 0,
+                wal_records: 0,
+                wal_bytes: 0,
+                snapshot_epoch: 0,
             },
+            // v2 stats: a pre-durability server's layout; the durability
+            // counters decode as zero.
             RESP_STATS_V2 => Response::Stats {
                 id: r.u64()?,
                 admitted: r.u64()?,
@@ -513,6 +536,29 @@ impl Response {
                 prune_pruned: r.u64()?,
                 prune_survivors: r.u64()?,
                 prune_false_positives: r.u64()?,
+                wal_records: 0,
+                wal_bytes: 0,
+                snapshot_epoch: 0,
+            },
+            RESP_STATS_V3 => Response::Stats {
+                id: r.u64()?,
+                admitted: r.u64()?,
+                executed: r.u64()?,
+                shed: r.u64()?,
+                errors: r.u64()?,
+                queue_depth: r.u32()?,
+                capacity: r.u32()?,
+                plan_hits: r.u64()?,
+                plan_misses: r.u64()?,
+                plan_analyses: r.u64()?,
+                plan_cross_document_hits: r.u64()?,
+                prune_candidates: r.u64()?,
+                prune_pruned: r.u64()?,
+                prune_survivors: r.u64()?,
+                prune_false_positives: r.u64()?,
+                wal_records: r.u64()?,
+                wal_bytes: r.u64()?,
+                snapshot_epoch: r.u64()?,
             },
             other => return Err(WireError::UnknownTag(other)),
         };
@@ -606,6 +652,9 @@ mod tests {
                 prune_pruned: 500,
                 prune_survivors: 140,
                 prune_false_positives: 7,
+                wal_records: 12,
+                wal_bytes: 4096,
+                snapshot_epoch: 32,
             },
         ];
         for response in responses {
@@ -616,7 +665,7 @@ mod tests {
 
     #[test]
     fn stats_are_versioned_on_the_wire() {
-        // Encoding always uses the v2 tag...
+        // Encoding always uses the newest versioned tag...
         let stats = Response::Stats {
             id: 4,
             admitted: 10,
@@ -633,13 +682,16 @@ mod tests {
             prune_pruned: 60,
             prune_survivors: 30,
             prune_false_positives: 4,
+            wal_records: 3,
+            wal_bytes: 777,
+            snapshot_epoch: 2,
         };
         let wire = stats.encode();
-        assert_eq!(wire[0], 6, "stats encode under the versioned tag");
-        // ...so an old client (which only knows tags 1..=5) rejects it with
-        // a clean UnknownTag error instead of misparsing the longer layout.
-        // A byte-for-byte legacy frame still decodes, zero-filling the
-        // counters the old server never tracked.
+        assert_eq!(wire[0], 7, "stats encode under the versioned tag");
+        // ...so an old client (which only knows tags 1..=5 or 1..=6)
+        // rejects it with a clean UnknownTag error instead of misparsing
+        // the longer layout. A byte-for-byte legacy frame still decodes,
+        // zero-filling the counters the old server never tracked.
         let mut legacy = Vec::new();
         legacy.push(5); // RESP_STATS (legacy)
         for v in [4u64, 10, 9, 1, 0] {
@@ -653,15 +705,41 @@ mod tests {
                 admitted,
                 plan_hits,
                 prune_candidates,
+                wal_records,
                 ..
             } => {
                 assert_eq!((id, admitted), (4, 10));
-                assert_eq!((plan_hits, prune_candidates), (0, 0));
+                assert_eq!((plan_hits, prune_candidates, wal_records), (0, 0, 0));
             }
             other => panic!("expected stats, got {other:?}"),
         }
-        // A legacy frame with v2 trailing bytes is rejected, not silently
-        // truncated.
+        // A v2 frame (pre-durability) decodes with the wal counters
+        // zero-filled.
+        let mut v2 = Vec::new();
+        v2.push(6); // RESP_STATS_V2 (decode-only)
+        for v in [4u64, 10, 9, 1, 0] {
+            v2.extend_from_slice(&v.to_le_bytes());
+        }
+        v2.extend_from_slice(&2u32.to_le_bytes());
+        v2.extend_from_slice(&8u32.to_le_bytes());
+        for v in [7u64, 2, 2, 3, 90, 60, 30, 4] {
+            v2.extend_from_slice(&v.to_le_bytes());
+        }
+        match Response::decode(&v2).unwrap() {
+            Response::Stats {
+                plan_hits,
+                wal_records,
+                wal_bytes,
+                snapshot_epoch,
+                ..
+            } => {
+                assert_eq!(plan_hits, 7);
+                assert_eq!((wal_records, wal_bytes, snapshot_epoch), (0, 0, 0));
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // A legacy frame with trailing bytes from a newer layout is
+        // rejected, not silently truncated.
         legacy.extend_from_slice(&7u64.to_le_bytes());
         assert_eq!(Response::decode(&legacy), Err(WireError::TrailingBytes(8)));
     }

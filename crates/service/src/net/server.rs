@@ -37,6 +37,7 @@ use std::time::{Duration, Instant};
 
 use cqt_core::ExecScratch;
 
+use crate::durability::DurabilityStats;
 use crate::net::frame::{write_frame, FrameBuffer, DEFAULT_MAX_FRAME_LEN};
 use crate::net::protocol::{Request, Response, WireFanOut, WireLang};
 use crate::net::queue::{BoundedQueue, PushError};
@@ -102,6 +103,9 @@ pub struct ServerStats {
     pub plan_cache: PlanCacheStats,
     /// Index-pruning counters at the time of the snapshot.
     pub prune: PruneStats,
+    /// Durability counters at the time of the snapshot (all zero on an
+    /// in-memory corpus).
+    pub wal: DurabilityStats,
 }
 
 /// One admitted query: everything a worker needs to execute and answer it.
@@ -152,6 +156,7 @@ impl Shared {
                 survivors: self.prune_survivors.load(Ordering::Relaxed),
                 false_positives: self.prune_false_positives.load(Ordering::Relaxed),
             },
+            wal: self.corpus.durability_stats(),
         }
     }
 }
@@ -395,6 +400,9 @@ fn handle_payload(shared: &Shared, payload: &[u8], out: &Arc<Mutex<TcpStream>>) 
                     prune_pruned: stats.prune.pruned,
                     prune_survivors: stats.prune.survivors,
                     prune_false_positives: stats.prune.false_positives,
+                    wal_records: stats.wal.log_records,
+                    wal_bytes: stats.wal.log_bytes,
+                    snapshot_epoch: stats.wal.snapshot_epoch,
                 },
             );
         }

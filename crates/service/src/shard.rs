@@ -68,6 +68,10 @@ use cqt_trees::Tree;
 use rustc_hash::{FxHashMap, FxHasher};
 
 use crate::corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
+use crate::durability::{
+    recover_corpus_dir, DocRecovery, DocWal, Durability, DurabilityStats, RecoveryError,
+    RecoveryReport,
+};
 use crate::index::LabelIndex;
 use crate::plan::{PlanCacheStats, PlanOptions};
 use crate::stats::CorpusMutationReport;
@@ -171,6 +175,8 @@ pub enum CorpusError {
     /// The document exists but its edit script failed to apply; the
     /// document is untouched.
     Edit(DocId, EditError),
+    /// A durable corpus could not set up the document's on-disk log.
+    Durability(DocId, String),
 }
 
 impl fmt::Display for CorpusError {
@@ -179,6 +185,9 @@ impl fmt::Display for CorpusError {
             CorpusError::UnknownDocument(id) => write!(f, "unknown document {id:?}"),
             CorpusError::DuplicateDocument(id) => write!(f, "document {id:?} already exists"),
             CorpusError::Edit(id, error) => write!(f, "edit on document {id:?} failed: {error}"),
+            CorpusError::Durability(id, detail) => {
+                write!(f, "durability setup for document {id:?} failed: {detail}")
+            }
         }
     }
 }
@@ -200,6 +209,9 @@ pub struct Corpus {
     /// Label → posting-list pruning index, maintained by the write path.
     /// See [`crate::index`].
     index: LabelIndex,
+    /// Whether (and where) inserts and commits are persisted. See
+    /// [`crate::durability`].
+    durability: Durability,
 }
 
 impl Corpus {
@@ -210,7 +222,64 @@ impl Corpus {
             next_tag: AtomicU64::new(1),
             sorted: RwLock::new(Arc::new(Vec::new())),
             index: LabelIndex::new(shards.max(1)),
+            durability: Durability::None,
         }
+    }
+
+    /// Opens a corpus under a durability config, recovering whatever the
+    /// config's directory already holds. With [`Durability::None`] this is
+    /// [`Corpus::new`] plus an empty report; with [`Durability::Wal`] every
+    /// document directory is recovered (newest valid snapshot + verified
+    /// log replay — see [`crate::durability::recover_document`]) and
+    /// further inserts/commits are logged.
+    pub fn open_durable(
+        shards: usize,
+        durability: Durability,
+    ) -> Result<(Corpus, RecoveryReport), RecoveryError> {
+        let mut corpus = Corpus::new(shards);
+        let (dir, snapshot_every) = match &durability {
+            Durability::None => return Ok((corpus, RecoveryReport::default())),
+            Durability::Wal {
+                dir,
+                snapshot_every,
+            } => (dir.clone(), *snapshot_every),
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| RecoveryError::Io {
+            path: dir.clone(),
+            detail: e.to_string(),
+        })?;
+        corpus.durability = durability.clone();
+        let mut report = RecoveryReport::default();
+        for recovered in recover_corpus_dir(&dir)? {
+            let wal = DocWal::reopen(&dir, &recovered, snapshot_every).map_err(|e| {
+                RecoveryError::Io {
+                    path: dir.join(crate::durability::sanitize_doc_id(&recovered.doc_id)),
+                    detail: e.to_string(),
+                }
+            })?;
+            report.documents.push(DocRecovery {
+                doc_id: recovered.doc_id.clone(),
+                epoch: recovered.epoch,
+                snapshot_epoch: recovered.snapshot_epoch,
+                replayed_records: recovered.replayed_records,
+                torn_bytes: recovered.torn_bytes,
+            });
+            corpus
+                .insert_recovered(
+                    &recovered.doc_id,
+                    &recovered.tags,
+                    recovered.tree,
+                    recovered.epoch,
+                    Some(wal),
+                )
+                .map_err(|e| RecoveryError::Replay {
+                    path: dir.clone(),
+                    record: 0,
+                    detail: e.to_string(),
+                })?;
+        }
+        report.documents.sort_by(|a, b| a.doc_id.cmp(&b.doc_id));
+        Ok((corpus, report))
     }
 
     /// Number of shards.
@@ -256,10 +325,52 @@ impl Corpus {
         tree: Tree,
     ) -> Result<Arc<Document>, CorpusError> {
         let id = id.into();
+        let tag_strings: Vec<String> = tags.iter().map(|t| t.to_string()).collect();
+        let handle = match &self.durability {
+            Durability::None => CorpusHandle::new(tree),
+            Durability::Wal {
+                dir,
+                snapshot_every,
+            } => {
+                // Make epoch 0 durable before it is servable: the document
+                // directory, its epoch-0 snapshot, and an empty log.
+                let wal = DocWal::create(dir, id.as_str(), &tag_strings, *snapshot_every, &tree)
+                    .map_err(|e| CorpusError::Durability(id.clone(), e.to_string()))?;
+                CorpusHandle::recovered(tree, 0, Some(wal))
+            }
+        };
+        self.register(id, tag_strings, handle)
+    }
+
+    /// Inserts an already-recovered document at its recovered epoch —
+    /// shared by [`Corpus::open_durable`] and the follower's catch-up path.
+    pub(crate) fn insert_recovered(
+        &self,
+        id: &str,
+        tags: &[String],
+        tree: Tree,
+        epoch: u64,
+        wal: Option<DocWal>,
+    ) -> Result<Arc<Document>, CorpusError> {
+        self.register(
+            DocId::new(id),
+            tags.to_vec(),
+            CorpusHandle::recovered(tree, epoch, wal),
+        )
+    }
+
+    /// Registers a built handle under `id`: duplicate check, pruning-index
+    /// seed, sorted-snapshot splice.
+    fn register(
+        &self,
+        id: DocId,
+        tags: Vec<String>,
+        handle: CorpusHandle,
+    ) -> Result<Arc<Document>, CorpusError> {
         let document = Arc::new(Document {
             id: id.clone(),
-            tags: tags.iter().map(|t| t.to_string()).collect(),
-            handle: CorpusHandle::new(tree),
+            tags: tags.into_iter().collect(),
+            handle,
             doc_tag: self.next_tag.fetch_add(1, Ordering::Relaxed),
         });
         {
@@ -295,7 +406,9 @@ impl Corpus {
     /// Removes and returns the document under `id`. Readers still holding
     /// the document (or snapshots of it) keep serving it; the corpus just
     /// stops routing to it, drops its posting lists, and splices it out of
-    /// the sorted scatter snapshot.
+    /// the sorted scatter snapshot. On a durable corpus the document's
+    /// on-disk directory is deleted too (a follower sees the removal on
+    /// its next poll).
     pub fn remove(&self, id: &DocId) -> Option<Arc<Document>> {
         let removed = self
             .shard(id)
@@ -303,6 +416,9 @@ impl Corpus {
             .expect("shard lock poisoned")
             .remove(id);
         if let Some(document) = &removed {
+            if let Some(wal) = document.handle.wal() {
+                wal.remove_dir();
+            }
             let snapshot = document.handle.snapshot();
             self.index.remove_document(
                 id,
@@ -417,6 +533,24 @@ impl Corpus {
     /// contract.
     pub fn label_index(&self) -> &LabelIndex {
         &self.index
+    }
+
+    /// The corpus's durability configuration.
+    pub fn durability(&self) -> &Durability {
+        &self.durability
+    }
+
+    /// Aggregated durability counters across every document's log: records
+    /// and bytes sum, the snapshot epoch is the maximum. All zeros on an
+    /// in-memory corpus.
+    pub fn durability_stats(&self) -> DurabilityStats {
+        let mut total = DurabilityStats::default();
+        for document in self.documents().iter() {
+            if let Some(stats) = document.handle.wal_stats() {
+                total.absorb(&stats);
+            }
+        }
+        total
     }
 
     /// The fraction of documents sharing their current structure hash with

@@ -105,6 +105,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     prune_pruned: b.wrapping_mul(5),
                     prune_survivors: a.wrapping_sub(b),
                     prune_false_positives: b.wrapping_sub(a),
+                    wal_records: a.wrapping_mul(7),
+                    wal_bytes: b.wrapping_mul(9),
+                    snapshot_epoch: a.rotate_left(13),
                 },
             }
         })

@@ -21,6 +21,9 @@
 //!   (insert-subtree, delete-subtree, relabel) that re-index incrementally
 //!   and report what they may have invalidated, feeding the serving layer's
 //!   epoch-swapped cache carry-forward.
+//! * [`codec`] — hand-rolled binary serialization of trees and edit
+//!   scripts (the vendored serde shim has no serializer), the record and
+//!   snapshot format underneath the serving layer's write-ahead log.
 //! * [`generate`] — workload generators: random trees, synthetic
 //!   Treebank-style linguistic corpora (our stand-in for the Penn Treebank
 //!   that motivates the paper's Figure 1 query), path structures and the
@@ -37,6 +40,7 @@
 
 pub mod axis;
 pub mod bitset;
+pub mod codec;
 pub mod edit;
 pub mod generate;
 pub mod label;
@@ -50,6 +54,7 @@ pub mod tree;
 
 pub use axis::Axis;
 pub use bitset::NodeSet;
+pub use codec::CodecError;
 pub use edit::{EditError, EditScript, EditSummary, TreeEdit};
 pub use label::{Label, LabelInterner};
 pub use node::NodeId;
