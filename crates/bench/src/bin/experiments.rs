@@ -189,6 +189,12 @@ SUBCOMMANDS (default: all):
                         with a hard fingerprint-equality gate, a concurrent-
                         writer oracle phase, and pruning-rate/speedup gates
                         (BENCH_7.json)
+    batch               batched execution: k queries per scatter-gather unit
+                        (one fan-out, one snapshot and one warm pass per
+                        document, whole-query dedup, hash-consed shared
+                        steps) vs the same queries one-at-a-time, swept over
+                        batch sizes 8..64 with a hard fingerprint-equality
+                        gate at every size (BENCH_9.json)
     recover             durable write path: WAL + snapshot corpus, commits
                         under concurrent readers, a hard kill mid-record,
                         timed crash recovery and follower catch-up — every
@@ -199,8 +205,8 @@ SUBCOMMANDS (default: all):
 FLAGS:
     --smoke             cap every instance size so the run finishes in
                         seconds (any subcommand; what CI runs)
-    --threads N         reader/worker thread count for `serve`, `prune` and
-                        `recover` (default 4)
+    --threads N         reader/worker thread count for `serve`, `prune`,
+                        `batch` and `recover` (default 4)
     --mutate            `serve` only: benchmark the mutable single-document
                         corpus instead of the frozen batch
     --corpus N          `serve`: benchmark the sharded multi-document corpus
@@ -208,10 +214,13 @@ FLAGS:
                         exclusive with --mutate; mandatory meaning for
                         `serve`). `net`: corpus size behind the server
                         (default 12 smoke / 24 full). `prune`: corpus size
-                        (default 16 smoke / 32 full). `recover`: corpus size
+                        (default 16 smoke / 32 full). `batch`: corpus size
+                        (default 8 smoke / 16 full). `recover`: corpus size
                         (default 6 smoke / 12 full)
-    --shards S          with --corpus, `net`, `prune` or `recover`: number
-                        of shards (default 4)
+    --shards S          with --corpus, `net`, `prune`, `batch` or `recover`:
+                        number of shards (default 4)
+    --batch-size N      `batch` only: benchmark a single batch size instead
+                        of the default 8/16/64 sweep
     --vocab V           `prune` only: how the corpus templates' label
                         vocabularies relate — one of shared (every query
                         hits everything, pruning rate ~0), overlapping, or
@@ -226,9 +235,10 @@ FLAGS:
                         SHED response (default 32)
     --connections C     `net` only: client TCP connections the open-loop
                         generator spreads requests over (default 2)
-    --bench-json PATH   `bench`/`serve`/`net`/`prune`/`recover`: write the
-                        run's numbers as JSON
-    --bench-check PATH  `bench`/`serve`/`net`/`prune`/`recover`: compare
+    --bench-json PATH   `bench`/`serve`/`net`/`prune`/`batch`/`recover`:
+                        write the run's numbers as JSON
+    --bench-check PATH  `bench`/`serve`/`net`/`prune`/`batch`/`recover`:
+                        compare
                         against a committed reference JSON and exit non-zero
                         on a regression (each gate is a within-run ratio, so
                         machine speed cancels out; the corpus gate
@@ -237,6 +247,9 @@ FLAGS:
                         fingerprint/accounting/shedding violations, the
                         prune gate requires pruning rate >= 50% and a
                         pruned-vs-unpruned speedup > 1.5x within the run,
+                        the batch gate requires batched execution > 1.4x
+                        faster per query than one-at-a-time at batch >= 16
+                        and no worse than 0.75x on all-distinct batches of 8,
                         and the recover gate requires zero post-recovery
                         fingerprint divergences on leader and follower)
 
@@ -249,7 +262,7 @@ fn main() {
     // Help detection must not look inside flag *values* (`--bench-json
     // help` names a file, not a request for help), so skip the argument
     // after each value-taking flag.
-    const VALUE_FLAGS: [&str; 10] = [
+    const VALUE_FLAGS: [&str; 11] = [
         "--bench-json",
         "--bench-check",
         "--threads",
@@ -260,6 +273,7 @@ fn main() {
         "--queue-cap",
         "--connections",
         "--vocab",
+        "--batch-size",
     ];
     let mut wants_help = false;
     let mut skip_value = false;
@@ -316,6 +330,7 @@ fn main() {
     let workers = parse_positive("--workers", take_value_flag(&mut args, "--workers"));
     let queue_cap = parse_positive("--queue-cap", take_value_flag(&mut args, "--queue-cap"));
     let connections = parse_positive("--connections", take_value_flag(&mut args, "--connections"));
+    let batch_size = parse_positive("--batch-size", take_value_flag(&mut args, "--batch-size"));
     let vocab = take_value_flag(&mut args, "--vocab");
     if let Some(v) = &vocab {
         if !matches!(v.as_str(), "shared" | "overlapping" | "disjoint") {
@@ -343,27 +358,35 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if !matches!(command, "bench" | "serve" | "net" | "prune" | "recover")
-        && (bench_json.is_some() || bench_check.is_some())
+    if !matches!(
+        command,
+        "bench" | "serve" | "net" | "prune" | "batch" | "recover"
+    ) && (bench_json.is_some() || bench_check.is_some())
     {
         eprintln!(
-            "--bench-json/--bench-check are only valid with `bench`, `serve`, `net`, `prune` \
-             or `recover`"
+            "--bench-json/--bench-check are only valid with `bench`, `serve`, `net`, `prune`, \
+             `batch` or `recover`"
         );
+        std::process::exit(1);
+    }
+    if command != "batch" && batch_size.is_some() {
+        eprintln!("--batch-size is only valid with `batch`");
         std::process::exit(1);
     }
     if command != "serve" && mutate {
         eprintln!("--mutate is only valid with `serve`");
         std::process::exit(1);
     }
-    if !matches!(command, "serve" | "prune" | "recover") && threads.is_some() {
-        eprintln!("--threads is only valid with `serve`, `prune` or `recover`");
+    if !matches!(command, "serve" | "prune" | "batch" | "recover") && threads.is_some() {
+        eprintln!("--threads is only valid with `serve`, `prune`, `batch` or `recover`");
         std::process::exit(1);
     }
-    if !matches!(command, "serve" | "net" | "prune" | "recover")
+    if !matches!(command, "serve" | "net" | "prune" | "batch" | "recover")
         && (corpus.is_some() || shards.is_some())
     {
-        eprintln!("--corpus/--shards are only valid with `serve`, `net`, `prune` or `recover`");
+        eprintln!(
+            "--corpus/--shards are only valid with `serve`, `net`, `prune`, `batch` or `recover`"
+        );
         std::process::exit(1);
     }
     if command != "prune" && vocab.is_some() {
@@ -441,6 +464,15 @@ fn main() {
             corpus,
             shards.unwrap_or(4),
             vocab.as_deref().unwrap_or("disjoint"),
+            bench_json.as_deref(),
+            bench_check.as_deref(),
+        ),
+        "batch" => serve_batched(
+            smoke,
+            threads,
+            corpus,
+            shards.unwrap_or(4),
+            batch_size,
             bench_json.as_deref(),
             bench_check.as_deref(),
         ),
@@ -1835,6 +1867,221 @@ fn check_prune_regression(ref_path: &str, prune_rate: f64, speedup: f64) {
         std::process::exit(1);
     }
     println!("prune-check passed");
+}
+
+/// The batched-execution benchmark (`experiments batch`, BENCH_9.json):
+/// builds a corpus of kindred documents, then serves the same query set two
+/// ways — as [`cqt_service::ServiceRunner::run_batched`] batches of k
+/// queries sharing one fan-out, snapshot, warm pass and shared-step table,
+/// and one-at-a-time via `run_corpus` on the flattened workload — at batch
+/// sizes 8..64.
+///
+/// Hard gates run regardless of `--bench-check`: at **every** batch size
+/// the batched answer fingerprint must equal the flattened run's, bit for
+/// bit. The regression gates are within-run ratios (machine speed cancels
+/// out): batches of >= 16 — where whole-query dedup joins snapshot/warm
+/// sharing and the shared-step table — must beat one-at-a-time by > 1.4x
+/// per query, and an all-distinct batch of 8 (sharing only, no dedup) must
+/// at worst break even, never fall past 0.75x.
+fn serve_batched(
+    smoke: bool,
+    threads: Option<usize>,
+    documents: Option<usize>,
+    shards: usize,
+    batch_size: Option<usize>,
+    json_path: Option<&str>,
+    check_path: Option<&str>,
+) {
+    use cqt_service::{
+        BatchRequest, BatchWorkload, Corpus, DocId, FanOut, QuerySpec, ServiceConfig, ServiceRunner,
+    };
+    use cqt_trees::generate::{document_corpus, DocumentCorpusConfig};
+
+    header("Batched execution — shared prepared-tree scratch vs one-at-a-time");
+    let (nodes_per_document, repeats) = if smoke { (300, 24) } else { (1_500, 16) };
+    let documents = documents.unwrap_or(if smoke { 8 } else { 16 });
+    let reader_threads = threads.unwrap_or(4).max(1);
+    let mut rng = StdRng::seed_from_u64(2009);
+    let trees = document_corpus(
+        &mut rng,
+        &DocumentCorpusConfig {
+            documents,
+            distinct: (documents / 2).max(1),
+            nodes_per_document,
+            // The default Shared vocabulary: every query touches every
+            // document, so the sweep measures execution sharing, not
+            // pruning.
+            ..DocumentCorpusConfig::default()
+        },
+    );
+    let corpus = Corpus::new(shards);
+    for (i, tree) in trees.into_iter().enumerate() {
+        corpus
+            .insert(DocId::new(format!("doc-{i:04}")), tree)
+            .expect("fresh corpus has no duplicates");
+    }
+    println!(
+        "corpus: {documents} documents x {nodes_per_document} nodes, {shards} shards, \
+         {reader_threads} threads, {repeats} repeats per phase",
+    );
+
+    // Eight kindred specs: most share the `A(x), Child(x, y)` chain (the
+    // shared-step table's hash-cons hit), all draw labels from the shared
+    // alphabet. Batches larger than the pool cycle through it, so bigger
+    // batches also exercise whole-query dedup — both effects are real
+    // batching wins and both are counted in the report's sharing block.
+    let pool: Vec<QuerySpec> = [
+        "Q(y) :- A(x), Child(x, y), B(y).",
+        "Q(y) :- A(x), Child(x, y), C(y).",
+        "Q(y) :- A(x), Child(x, y), D(y).",
+        "Q(y) :- A(x), Child(x, y), E(y).",
+        "Q(x) :- A(x), Child(x, y), B(y).",
+        "Q() :- A(x), Child(x, y), C(y).",
+        "Q(x, y) :- A(x), Child(x, y), D(y).",
+        "Q(y) :- B(x), Child(x, y), C(y).",
+    ]
+    .iter()
+    .map(|text| QuerySpec::parse_cq(text).expect("valid query"))
+    .collect();
+
+    let sizes: Vec<usize> = match batch_size {
+        Some(size) => vec![size],
+        None => vec![8, 16, 64],
+    };
+    println!(
+        "\n{:<8} {:>9} {:>12} {:>12} {:>9} {:>8} {:>8} {:>10}",
+        "batch", "queries", "batched QPS", "flat QPS", "speedup", "deduped", "reused", "step hits"
+    );
+    let mut rows = Vec::new();
+    let mut gated_speedup: Option<f64> = None;
+    let mut floor_speedup: Option<f64> = None;
+    for &size in &sizes {
+        let queries: Vec<QuerySpec> = (0..size).map(|i| pool[i % pool.len()].clone()).collect();
+        let workload = BatchWorkload::new(
+            vec![BatchRequest {
+                queries,
+                target: FanOut::All,
+            }],
+            repeats,
+        );
+        let flat = workload.flatten();
+        // Each runner keeps its plan cache across runs: run once to warm
+        // plans and lazy label sets, measure the second run.
+        let batched_runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+        batched_runner.run_batched(&corpus, &workload);
+        let batched = batched_runner.run_batched(&corpus, &workload);
+        let flat_runner = ServiceRunner::new(ServiceConfig::with_threads(reader_threads));
+        flat_runner.run_corpus(&corpus, &flat);
+        let unbatched = flat_runner.run_corpus(&corpus, &flat);
+        if batched.answer_fingerprint != unbatched.answer_fingerprint {
+            eprintln!(
+                "BATCHING FAILED at size {size}: batched fingerprint {:#018x} != \
+                 one-at-a-time {:#018x}",
+                batched.answer_fingerprint, unbatched.answer_fingerprint
+            );
+            std::process::exit(1);
+        }
+        // Both QPS figures count the same per-query answers over the same
+        // corpus, so their ratio is the per-query cost ratio inverted.
+        let speedup = batched.qps / unbatched.qps.max(1e-12);
+        println!(
+            "{:<8} {:>9} {:>12.0} {:>12.0} {:>8.2}x {:>8} {:>8} {:>10}",
+            size,
+            batched.queries,
+            batched.qps,
+            unbatched.qps,
+            speedup,
+            batched.sharing.deduped_queries,
+            batched.sharing.reused_steps,
+            batched.sharing.step_hits,
+        );
+        if size >= 16 {
+            gated_speedup = Some(gated_speedup.map_or(speedup, |s: f64| s.min(speedup)));
+        } else {
+            floor_speedup = Some(floor_speedup.map_or(speedup, |s: f64| s.min(speedup)));
+        }
+        rows.push(format!(
+            "{{\"batch_size\": {size}, \"queries\": {}, \"qps_batched\": {:.1}, \
+             \"qps_flat\": {:.1}, \"speedup\": {:.3}, \"deduped_queries\": {}, \
+             \"reused_steps\": {}, \"step_hits\": {}, \"report\": {}}}",
+            batched.queries,
+            batched.qps,
+            unbatched.qps,
+            speedup,
+            batched.sharing.deduped_queries,
+            batched.sharing.reused_steps,
+            batched.sharing.step_hits,
+            batched.to_json(),
+        ));
+    }
+    let batch_speedup = gated_speedup.unwrap_or(1.0);
+    let batch_floor = floor_speedup.unwrap_or(1.0);
+    println!(
+        "\nfingerprints equal at every size; worst batched-vs-flat speedup at \
+         batch >= 16: {batch_speedup:.2}x; at smaller (all-distinct) batches: {batch_floor:.2}x"
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"cq-trees-batch-bench/1\",\n  \"mode\": \"{}\",\n  \
+             \"documents\": {},\n  \"shards\": {},\n  \"reader_threads\": {},\n  \
+             \"batch_sizes\": [{}],\n  \"batch_speedup\": {:.3},\n  \
+             \"batch_floor_speedup\": {:.3},\n  \
+             \"fingerprints\": \"equal\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            documents,
+            shards,
+            reader_threads,
+            sizes
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+            batch_speedup,
+            batch_floor,
+            rows.join(",\n    "),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        check_batch_regression(path, batch_speedup, batch_floor);
+    }
+}
+
+/// Gates the batching benchmark: the committed reference must parse, and
+/// the **current run** must show batched execution > 1.4x faster per query
+/// than one-at-a-time at every batch size >= 16, with all-distinct smaller
+/// batches never falling past 0.75x (sharing alone roughly breaks even;
+/// anything far below that means the shared-step machinery went from free
+/// to expensive). Both are within-run ratios, so machine speed cancels
+/// out.
+fn check_batch_regression(ref_path: &str, batch_speedup: f64, batch_floor: f64) {
+    let ref_speedup = require_check_field(ref_path, "batch_speedup");
+    println!(
+        "batch-check: speedup {batch_speedup:.2}x at batch >= 16 vs reference \
+         {ref_speedup:.2}x (gate: > 1.4x within-run); floor {batch_floor:.2}x \
+         (gate: > 0.75x)"
+    );
+    if batch_speedup <= 1.4 {
+        eprintln!(
+            "batch-check FAILED: batched execution only {batch_speedup:.2}x faster than \
+             one-at-a-time at batch >= 16 (gate: > 1.4x within-run) — batching stopped \
+             paying for itself"
+        );
+        std::process::exit(1);
+    }
+    if batch_floor <= 0.75 {
+        eprintln!(
+            "batch-check FAILED: an all-distinct batch ran at {batch_floor:.2}x the \
+             one-at-a-time rate (gate: > 0.75x) — shared-step execution became a net cost"
+        );
+        std::process::exit(1);
+    }
+    println!("batch-check passed");
 }
 
 /// The durability benchmark (`experiments recover`, BENCH_8.json): builds a

@@ -354,9 +354,13 @@ pub fn run_phase(
                                     },
                                 ),
                                 Response::Error { id, .. } => (id, Outcome::Error),
-                                Response::Pong { id } | Response::Stats { id, .. } => {
-                                    (id, Outcome::Error)
-                                }
+                                // The load generator only sends single
+                                // queries, so a batch answer (like a pong
+                                // or stats reply) here is a protocol
+                                // violation and counts as an error.
+                                Response::Pong { id }
+                                | Response::Stats { id, .. }
+                                | Response::BatchAnswer { id, .. } => (id, Outcome::Error),
                             };
                             received.push(RecvRecord {
                                 id,

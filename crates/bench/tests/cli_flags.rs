@@ -63,12 +63,24 @@ fn flags_are_rejected_outside_their_subcommand() {
         ),
         (
             &["net", "--threads", "4"][..],
-            "only valid with `serve`, `prune` or `recover`",
+            "only valid with `serve`, `prune`, `batch` or `recover`",
         ),
         (&["prune", "--mutate"][..], "only valid with `serve`"),
         (
             &["bench", "--corpus", "8"][..],
-            "only valid with `serve`, `net`, `prune` or `recover`",
+            "only valid with `serve`, `net`, `prune`, `batch` or `recover`",
+        ),
+        (
+            &["net", "--batch-size", "16"][..],
+            "--batch-size is only valid with `batch`",
+        ),
+        (
+            &["batch", "--batch-size", "0"][..],
+            "--batch-size requires a positive integer",
+        ),
+        (
+            &["batch", "--vocab", "disjoint"][..],
+            "--vocab is only valid with `prune`",
         ),
         (
             &["recover", "--vocab", "disjoint"][..],
@@ -130,4 +142,6 @@ fn help_is_not_confused_by_flag_values_named_help() {
     assert!(text.contains("prune"));
     assert!(text.contains("--vocab"));
     assert!(text.contains("recover"));
+    assert!(text.contains("batch"));
+    assert!(text.contains("--batch-size"));
 }

@@ -194,12 +194,35 @@ impl CompiledQuery {
     /// Evaluates the query against a prepared tree, returning the answer in
     /// the shape matching its arity.
     pub fn execute(&self, prepared: &PreparedTree, scratch: &mut ExecScratch) -> Answer {
-        self.answer_ctx(Ctx::Prepared(prepared), scratch)
+        self.answer_ctx(Ctx::Prepared(prepared), scratch, &[])
+    }
+
+    /// Evaluates the query against a prepared tree with externally computed
+    /// start-set *seeds* — the entry point of [`crate::batch`]'s shared-step
+    /// table.
+    ///
+    /// Each seed is a `(variable index, node set)` pair in **pre-order rank
+    /// space** whose set must contain the projection of every satisfaction
+    /// onto that variable (any superset is sound; the batch layer derives
+    /// seeds from hash-consed axis chains, which have exactly this
+    /// property). Seeds are intersected into the start candidate sets after
+    /// the label atoms, shrinking the arc-consistency fixpoint the
+    /// Yannakakis and X̲-property paths iterate from. Strategy paths that do
+    /// not load start sets (MAC, naive, and the arity-≥2 tuple evaluators)
+    /// ignore seeds entirely — correctness never depends on them, only the
+    /// amount of fixpoint work does.
+    pub fn execute_seeded(
+        &self,
+        prepared: &PreparedTree,
+        seeds: &[(usize, &NodeSet)],
+        scratch: &mut ExecScratch,
+    ) -> Answer {
+        self.answer_ctx(Ctx::Prepared(prepared), scratch, seeds)
     }
 
     /// Evaluates the Boolean reading against a prepared tree.
     pub fn execute_boolean(&self, prepared: &PreparedTree, scratch: &mut ExecScratch) -> bool {
-        self.boolean_ctx(Ctx::Prepared(prepared), scratch)
+        self.boolean_ctx(Ctx::Prepared(prepared), scratch, &[])
     }
 
     /// Evaluates a monadic query against a prepared tree.
@@ -207,7 +230,7 @@ impl CompiledQuery {
     /// # Panics
     /// Panics if the query is not monadic.
     pub fn execute_monadic(&self, prepared: &PreparedTree, scratch: &mut ExecScratch) -> NodeSet {
-        self.monadic_ctx(Ctx::Prepared(prepared), scratch)
+        self.monadic_ctx(Ctx::Prepared(prepared), scratch, &[])
     }
 
     /// Returns some satisfaction against a prepared tree, if one exists.
@@ -237,12 +260,12 @@ impl CompiledQuery {
     /// Evaluates the query against a plain (unprepared) tree — the path
     /// [`crate::engine::Engine`] delegates to.
     pub fn eval_on(&self, tree: &Tree, scratch: &mut ExecScratch) -> Answer {
-        self.answer_ctx(Ctx::Plain(tree), scratch)
+        self.answer_ctx(Ctx::Plain(tree), scratch, &[])
     }
 
     /// Evaluates the Boolean reading against a plain tree.
     pub fn eval_boolean_on(&self, tree: &Tree, scratch: &mut ExecScratch) -> bool {
-        self.boolean_ctx(Ctx::Plain(tree), scratch)
+        self.boolean_ctx(Ctx::Plain(tree), scratch, &[])
     }
 
     /// Returns some satisfaction against a plain tree, if one exists.
@@ -261,9 +284,10 @@ impl CompiledQuery {
     // ---- shared dispatch -------------------------------------------------
 
     /// Loads the start candidate sets (every node, intersected with the label
-    /// sets of the query's unary atoms) into `ac.sets` in pre-order rank
-    /// space. Returns `false` if some variable's set is already empty.
-    fn load_start(&self, ctx: Ctx<'_>, ac: &mut AcScratch) -> bool {
+    /// sets of the query's unary atoms, then with any caller-provided seeds)
+    /// into `ac.sets` in pre-order rank space. Returns `false` if some
+    /// variable's set is already empty.
+    fn load_start(&self, ctx: Ctx<'_>, ac: &mut AcScratch, seeds: &[(usize, &NodeSet)]) -> bool {
         let n = ctx.tree().len();
         let var_count = self.query.var_count();
         ac.sets.resize_with(var_count, || NodeSet::empty(n));
@@ -277,6 +301,14 @@ impl CompiledQuery {
         for atom in self.query.label_atoms() {
             ctx.intersect_label(&atom.label, &mut ac.sets[atom.var.index()]);
         }
+        for (var, seed) in seeds {
+            debug_assert_eq!(
+                seed.capacity(),
+                n,
+                "seed sets live in this tree's rank space"
+            );
+            ac.sets[*var].intersect_with(seed);
+        }
         ac.sets[..var_count].iter().all(|set| !set.is_empty())
     }
 
@@ -286,7 +318,12 @@ impl CompiledQuery {
         }
     }
 
-    fn boolean_ctx(&self, ctx: Ctx<'_>, scratch: &mut ExecScratch) -> bool {
+    fn boolean_ctx(
+        &self,
+        ctx: Ctx<'_>,
+        scratch: &mut ExecScratch,
+        seeds: &[(usize, &NodeSet)],
+    ) -> bool {
         let tree = ctx.tree();
         match self.strategy {
             SelectedStrategy::Yannakakis => {
@@ -294,7 +331,7 @@ impl CompiledQuery {
                     .forest
                     .as_ref()
                     .expect("Yannakakis strategy requires an acyclic query");
-                if !self.load_start(ctx, &mut scratch.ac) {
+                if !self.load_start(ctx, &mut scratch.ac, seeds) {
                     return false;
                 }
                 Self::ensure_answer_capacity(scratch, tree.len());
@@ -313,7 +350,7 @@ impl CompiledQuery {
                     self.order.is_some(),
                     "X-property strategy requires a tractable signature"
                 );
-                if !self.load_start(ctx, &mut scratch.ac) {
+                if !self.load_start(ctx, &mut scratch.ac, seeds) {
                     return false;
                 }
                 propagate_loaded(tree, &self.query, &mut scratch.ac)
@@ -325,7 +362,12 @@ impl CompiledQuery {
         }
     }
 
-    fn monadic_ctx(&self, ctx: Ctx<'_>, scratch: &mut ExecScratch) -> NodeSet {
+    fn monadic_ctx(
+        &self,
+        ctx: Ctx<'_>,
+        scratch: &mut ExecScratch,
+        seeds: &[(usize, &NodeSet)],
+    ) -> NodeSet {
         assert!(
             self.query.is_monadic(),
             "execute_monadic requires a unary query"
@@ -339,7 +381,7 @@ impl CompiledQuery {
                     .forest
                     .as_ref()
                     .expect("Yannakakis strategy requires an acyclic query");
-                if !self.load_start(ctx, &mut scratch.ac) {
+                if !self.load_start(ctx, &mut scratch.ac, seeds) {
                     return NodeSet::empty(n);
                 }
                 Self::ensure_answer_capacity(scratch, n);
@@ -359,7 +401,7 @@ impl CompiledQuery {
                     self.order.is_some(),
                     "X-property strategy requires a tractable signature"
                 );
-                if !self.load_start(ctx, &mut scratch.ac)
+                if !self.load_start(ctx, &mut scratch.ac, seeds)
                     || !propagate_loaded(tree, &self.query, &mut scratch.ac)
                 {
                     return NodeSet::empty(n);
@@ -480,10 +522,15 @@ impl CompiledQuery {
         }
     }
 
-    fn answer_ctx(&self, ctx: Ctx<'_>, scratch: &mut ExecScratch) -> Answer {
+    fn answer_ctx(
+        &self,
+        ctx: Ctx<'_>,
+        scratch: &mut ExecScratch,
+        seeds: &[(usize, &NodeSet)],
+    ) -> Answer {
         match self.query.head_arity() {
-            0 => Answer::Boolean(self.boolean_ctx(ctx, scratch)),
-            1 => Answer::Nodes(self.monadic_ctx(ctx, scratch).iter().collect()),
+            0 => Answer::Boolean(self.boolean_ctx(ctx, scratch, seeds)),
+            1 => Answer::Nodes(self.monadic_ctx(ctx, scratch, seeds).iter().collect()),
             _ => Answer::Tuples(self.tuples_ctx(ctx, scratch)),
         }
     }

@@ -35,11 +35,17 @@
 //!   [`CompiledQuery`] runs the per-query analysis once and executes any
 //!   number of times against plain or prepared trees, with all mutable state
 //!   in a per-worker [`ExecScratch`].
+//! * [`batch`] — multi-query execution against one prepared-tree snapshot:
+//!   a [`BatchPlan`] hash-conses identical axis atoms and location-path
+//!   prefixes across compiled queries into a shared-step table evaluated
+//!   once per document, warms the union of required label sets up front,
+//!   and seeds each query's start sets from the table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arc;
+pub mod batch;
 pub mod compiled;
 pub mod engine;
 pub mod mac;
@@ -55,6 +61,7 @@ pub use arc::{
     arc_consistent_prevaluation, arc_consistent_prevaluation_hornsat,
     arc_consistent_prevaluation_hornsat_prepared, AcScratch,
 };
+pub use batch::{BatchPlan, BatchScratch};
 pub use compiled::{CompiledQuery, ExecScratch};
 pub use engine::{Answer, Engine, EvalStrategy, SelectedStrategy};
 pub use mac::MacSolver;

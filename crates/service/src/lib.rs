@@ -58,6 +58,18 @@
 //!   identical to unpruned runs — even under concurrent writers — and
 //!   [`PruneStats`] reports candidates/pruned/survivors/false-positives.
 //!
+//! * **batch kindred queries** — a [`BatchWorkload`] ([`batch`]) groups k
+//!   queries into one scatter–gather unit: the fan-out resolves once, each
+//!   document is snapshot once for the whole batch, repeated specs dedup to
+//!   a single plan and execution, a [`cqt_core::BatchPlan`] hash-conses
+//!   shared axis chains across the batch's disjuncts into a per-document
+//!   shared-step table, and pruning intersects posting lists once for the
+//!   batch's **union** label requirements (re-checked per query against the
+//!   snapshot summary). [`ServiceRunner::run_batched`] is
+//!   answer-fingerprint identical to [`ServiceRunner::run_corpus`] on
+//!   [`BatchWorkload::flatten`] — the differential suite holds that
+//!   equality across random corpora, vocabularies and live edits.
+//!
 //! * **survive restarts** — the [`durability`] module gives the corpus a
 //!   durable write path: a per-document write-ahead log of committed edit
 //!   scripts (fsync'd *before* the epoch swap, so a commit is durable
@@ -104,6 +116,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod corpus;
 pub mod durability;
 pub mod index;
@@ -114,6 +127,7 @@ pub mod shard;
 pub mod stats;
 pub mod workload;
 
+pub use batch::{BatchRequest, BatchWorkload, PreparedBatch};
 pub use corpus::{CommitReport, CorpusHandle, CorpusSnapshot, MutationOracle};
 pub use durability::{
     recover_corpus_dir, recover_document, DocRecovery, Durability, DurabilityStats, Follower,
@@ -125,8 +139,8 @@ pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanOptions};
 pub use runner::{ServiceConfig, ServiceRunner};
 pub use shard::{Corpus, CorpusError, CorpusMutationOracle, DocId, Document, FanOut};
 pub use stats::{
-    answer_fingerprint, CorpusMutationReport, CorpusReport, LatencySummary, MutationReport,
-    PruneStats, ServiceReport,
+    answer_fingerprint, BatchReport, BatchSharing, CorpusMutationReport, CorpusReport,
+    LatencySummary, MutationReport, PruneStats, ServiceReport,
 };
 pub use workload::{
     CorpusMutationWorkload, CorpusRequest, CorpusWorkload, MutationWorkload, QuerySpec, Workload,

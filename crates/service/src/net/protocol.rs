@@ -34,6 +34,17 @@ pub enum WireFanOut {
     Tag(String),
 }
 
+impl WireFanOut {
+    /// Converts the wire form into the corpus [`crate::shard::FanOut`].
+    pub fn into_fanout(self) -> crate::shard::FanOut {
+        match self {
+            WireFanOut::All => crate::shard::FanOut::All,
+            WireFanOut::Doc(name) => crate::shard::FanOut::One(name.into()),
+            WireFanOut::Tag(tag) => crate::shard::FanOut::Tagged(tag),
+        }
+    }
+}
+
 /// The query language of a request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WireLang {
@@ -41,6 +52,19 @@ pub enum WireLang {
     Cq,
     /// Positive Core XPath.
     XPath,
+}
+
+/// One query of a [`Request::Batch`]: language, text, and the client's
+/// fingerprint key for this query's per-document answer digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireQuery {
+    /// Query language of `text`.
+    pub lang: WireLang,
+    /// Query text.
+    pub text: String,
+    /// Fingerprint key, folded per document exactly like
+    /// [`Request::Query::fp_key`].
+    pub fp_key: u64,
 }
 
 /// A client → server message.
@@ -64,6 +88,19 @@ pub enum Request {
         /// request index — so a client that keys by request kind can compare
         /// the server's digests against an in-process `run_corpus` run.
         fp_key: u64,
+    },
+    /// Evaluate a batch of queries against one fan-out in one unit: one
+    /// frame in, one frame out, one snapshot per document serving every
+    /// query of the batch. Admission is all-or-nothing (one queue slot per
+    /// batch), and the response carries one fingerprint per query, in
+    /// request order.
+    Batch {
+        /// Client-chosen request id, echoed on the response.
+        id: u64,
+        /// Documents the whole batch fans out to.
+        fanout: WireFanOut,
+        /// The queries of the batch, in answer order.
+        queries: Vec<WireQuery>,
     },
     /// Liveness probe, answered immediately (never queued).
     Ping {
@@ -99,6 +136,25 @@ pub enum Response {
         /// time and execution time account for every server-side
         /// nanosecond.
         total_ns: u64,
+    },
+    /// The answers to an admitted, executed [`Request::Batch`].
+    BatchAnswer {
+        /// Id of the batch this answers.
+        id: u64,
+        /// Documents the batch fanned out to.
+        docs: u32,
+        /// Time the batch spent waiting in the admission queue.
+        queue_ns: u64,
+        /// Time spent executing (snapshot + plans + evaluation, all queries
+        /// on all documents).
+        exec_ns: u64,
+        /// Total server-side latency; `queue_ns + exec_ns == total_ns`
+        /// holds exactly as for [`Response::Answer`].
+        total_ns: u64,
+        /// One per-document-folded digest per query of the batch, in
+        /// request order, each keyed by its query's
+        /// [`WireQuery::fp_key`].
+        fingerprints: Vec<u64>,
     },
     /// The request was **shed**: the admission queue was full when it
     /// arrived. Shedding is always explicit — the server never silently
@@ -190,6 +246,17 @@ pub enum WireError {
     BadUtf8,
     /// A field had a domain-invalid value (e.g. an unknown enum byte).
     BadValue(&'static str),
+    /// An **encode-side** error: the message is too large to frame. The
+    /// frame header is a `u32` length, so a payload longer than
+    /// `u32::MAX` bytes cannot be emitted — truncating the length (the
+    /// pre-fix behaviour of `payload.len() as u32`) would desynchronize
+    /// the peer's framing on a corrupt prefix instead.
+    Oversized {
+        /// Actual payload length.
+        len: u64,
+        /// The largest encodable payload length.
+        max: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -200,9 +267,17 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             WireError::BadValue(what) => write!(f, "invalid value for {what}"),
+            WireError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the framable maximum {max}"
+                )
+            }
         }
     }
 }
+
+impl std::error::Error for WireError {}
 
 // ---- encoding primitives ----
 
@@ -277,6 +352,7 @@ impl<'a> Reader<'a> {
 const REQ_QUERY: u8 = 1;
 const REQ_PING: u8 = 2;
 const REQ_STATS: u8 = 3;
+const REQ_BATCH: u8 = 4;
 
 const RESP_ANSWER: u8 = 1;
 const RESP_SHED: u8 = 2;
@@ -290,6 +366,7 @@ const RESP_STATS_V2: u8 = 6;
 /// v3 stats layout: v2 fields plus durability counters. Always used for
 /// encoding.
 const RESP_STATS_V3: u8 = 7;
+const RESP_BATCH: u8 = 8;
 
 const LANG_CQ: u8 = 0;
 const LANG_XPATH: u8 = 1;
@@ -297,6 +374,49 @@ const LANG_XPATH: u8 = 1;
 const FANOUT_ALL: u8 = 0;
 const FANOUT_DOC: u8 = 1;
 const FANOUT_TAG: u8 = 2;
+
+fn put_lang(out: &mut Vec<u8>, lang: WireLang) {
+    out.push(match lang {
+        WireLang::Cq => LANG_CQ,
+        WireLang::XPath => LANG_XPATH,
+    });
+}
+
+fn put_fanout(out: &mut Vec<u8>, fanout: &WireFanOut) {
+    match fanout {
+        WireFanOut::All => {
+            out.push(FANOUT_ALL);
+            put_str(out, "");
+        }
+        WireFanOut::Doc(name) => {
+            out.push(FANOUT_DOC);
+            put_str(out, name);
+        }
+        WireFanOut::Tag(tag) => {
+            out.push(FANOUT_TAG);
+            put_str(out, tag);
+        }
+    }
+}
+
+fn read_lang(r: &mut Reader<'_>) -> Result<WireLang, WireError> {
+    match r.u8()? {
+        LANG_CQ => Ok(WireLang::Cq),
+        LANG_XPATH => Ok(WireLang::XPath),
+        _ => Err(WireError::BadValue("query language")),
+    }
+}
+
+fn read_fanout(r: &mut Reader<'_>) -> Result<WireFanOut, WireError> {
+    let tag = r.u8()?;
+    let target = r.string()?;
+    match tag {
+        FANOUT_ALL => Ok(WireFanOut::All),
+        FANOUT_DOC => Ok(WireFanOut::Doc(target)),
+        FANOUT_TAG => Ok(WireFanOut::Tag(target)),
+        _ => Err(WireError::BadValue("fan-out")),
+    }
+}
 
 impl Request {
     /// Encodes the request as a frame payload.
@@ -312,26 +432,25 @@ impl Request {
             } => {
                 out.push(REQ_QUERY);
                 put_u64(&mut out, *id);
-                out.push(match lang {
-                    WireLang::Cq => LANG_CQ,
-                    WireLang::XPath => LANG_XPATH,
-                });
+                put_lang(&mut out, *lang);
                 put_str(&mut out, text);
-                match fanout {
-                    WireFanOut::All => {
-                        out.push(FANOUT_ALL);
-                        put_str(&mut out, "");
-                    }
-                    WireFanOut::Doc(name) => {
-                        out.push(FANOUT_DOC);
-                        put_str(&mut out, name);
-                    }
-                    WireFanOut::Tag(tag) => {
-                        out.push(FANOUT_TAG);
-                        put_str(&mut out, tag);
-                    }
-                }
+                put_fanout(&mut out, fanout);
                 put_u64(&mut out, *fp_key);
+            }
+            Request::Batch {
+                id,
+                fanout,
+                queries,
+            } => {
+                out.push(REQ_BATCH);
+                put_u64(&mut out, *id);
+                put_fanout(&mut out, fanout);
+                put_u32(&mut out, queries.len() as u32);
+                for query in queries {
+                    put_lang(&mut out, query.lang);
+                    put_str(&mut out, &query.text);
+                    put_u64(&mut out, query.fp_key);
+                }
             }
             Request::Ping { id } => {
                 out.push(REQ_PING);
@@ -351,20 +470,9 @@ impl Request {
         let request = match r.u8()? {
             REQ_QUERY => {
                 let id = r.u64()?;
-                let lang = match r.u8()? {
-                    LANG_CQ => WireLang::Cq,
-                    LANG_XPATH => WireLang::XPath,
-                    _ => return Err(WireError::BadValue("query language")),
-                };
+                let lang = read_lang(&mut r)?;
                 let text = r.string()?;
-                let fanout_tag = r.u8()?;
-                let target = r.string()?;
-                let fanout = match fanout_tag {
-                    FANOUT_ALL => WireFanOut::All,
-                    FANOUT_DOC => WireFanOut::Doc(target),
-                    FANOUT_TAG => WireFanOut::Tag(target),
-                    _ => return Err(WireError::BadValue("fan-out")),
-                };
+                let fanout = read_fanout(&mut r)?;
                 let fp_key = r.u64()?;
                 Request::Query {
                     id,
@@ -372,6 +480,26 @@ impl Request {
                     text,
                     fanout,
                     fp_key,
+                }
+            }
+            REQ_BATCH => {
+                let id = r.u64()?;
+                let fanout = read_fanout(&mut r)?;
+                let count = r.u32()? as usize;
+                // Never pre-reserve the declared count: a corrupt header
+                // must not cause an oversized allocation. A lying count
+                // runs out of payload and fails as Truncated.
+                let mut queries = Vec::new();
+                for _ in 0..count {
+                    let lang = read_lang(&mut r)?;
+                    let text = r.string()?;
+                    let fp_key = r.u64()?;
+                    queries.push(WireQuery { lang, text, fp_key });
+                }
+                Request::Batch {
+                    id,
+                    fanout,
+                    queries,
                 }
             }
             REQ_PING => Request::Ping { id: r.u64()? },
@@ -385,7 +513,10 @@ impl Request {
     /// The request id (every request kind carries one).
     pub fn id(&self) -> u64 {
         match self {
-            Request::Query { id, .. } | Request::Ping { id } | Request::Stats { id } => *id,
+            Request::Query { id, .. }
+            | Request::Batch { id, .. }
+            | Request::Ping { id }
+            | Request::Stats { id } => *id,
         }
     }
 }
@@ -410,6 +541,25 @@ impl Response {
                 put_u64(&mut out, *queue_ns);
                 put_u64(&mut out, *exec_ns);
                 put_u64(&mut out, *total_ns);
+            }
+            Response::BatchAnswer {
+                id,
+                docs,
+                queue_ns,
+                exec_ns,
+                total_ns,
+                fingerprints,
+            } => {
+                out.push(RESP_BATCH);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, *docs);
+                put_u64(&mut out, *queue_ns);
+                put_u64(&mut out, *exec_ns);
+                put_u64(&mut out, *total_ns);
+                put_u32(&mut out, fingerprints.len() as u32);
+                for fingerprint in fingerprints {
+                    put_u64(&mut out, *fingerprint);
+                }
             }
             Response::Shed {
                 id,
@@ -486,6 +636,28 @@ impl Response {
                 exec_ns: r.u64()?,
                 total_ns: r.u64()?,
             },
+            RESP_BATCH => {
+                let id = r.u64()?;
+                let docs = r.u32()?;
+                let queue_ns = r.u64()?;
+                let exec_ns = r.u64()?;
+                let total_ns = r.u64()?;
+                let count = r.u32()? as usize;
+                // As with batch requests: no reservation from the declared
+                // count — push until the count is met or the payload ends.
+                let mut fingerprints = Vec::new();
+                for _ in 0..count {
+                    fingerprints.push(r.u64()?);
+                }
+                Response::BatchAnswer {
+                    id,
+                    docs,
+                    queue_ns,
+                    exec_ns,
+                    total_ns,
+                    fingerprints,
+                }
+            }
             RESP_SHED => Response::Shed {
                 id: r.u64()?,
                 queue_depth: r.u32()?,
@@ -570,6 +742,7 @@ impl Response {
     pub fn id(&self) -> u64 {
         match self {
             Response::Answer { id, .. }
+            | Response::BatchAnswer { id, .. }
             | Response::Shed { id, .. }
             | Response::Error { id, .. }
             | Response::Pong { id }
@@ -608,11 +781,93 @@ mod tests {
             },
             Request::Ping { id: 1 },
             Request::Stats { id: 2 },
+            Request::Batch {
+                id: 21,
+                fanout: WireFanOut::Tag("hot".into()),
+                queries: vec![
+                    WireQuery {
+                        lang: WireLang::Cq,
+                        text: "Q(y) :- A(x), Child(x, y), B(y).".into(),
+                        fp_key: 5,
+                    },
+                    WireQuery {
+                        lang: WireLang::XPath,
+                        text: "//A[B]".into(),
+                        fp_key: u64::MAX,
+                    },
+                ],
+            },
+            // An empty batch is wire-legal (the server answers it with an
+            // empty fingerprint list).
+            Request::Batch {
+                id: 22,
+                fanout: WireFanOut::All,
+                queries: Vec::new(),
+            },
         ];
         for request in requests {
             let wire = request.encode();
             assert_eq!(Request::decode(&wire), Ok(request));
         }
+    }
+
+    #[test]
+    fn batch_roundtrips_and_rejects_malformed() {
+        let response = Response::BatchAnswer {
+            id: 30,
+            docs: 12,
+            queue_ns: 100,
+            exec_ns: 900,
+            total_ns: 1_000,
+            fingerprints: vec![1, u64::MAX, 0, 42],
+        };
+        let wire = response.encode();
+        assert_eq!(Response::decode(&wire), Ok(response));
+        // A declared query count larger than the payload holds is
+        // Truncated — and must not have provoked a count-sized allocation.
+        let mut wire = Vec::new();
+        wire.push(4); // REQ_BATCH
+        wire.extend_from_slice(&9u64.to_le_bytes());
+        wire.push(0); // FANOUT_ALL
+        wire.extend_from_slice(&0u32.to_le_bytes()); // empty target string
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // lying count
+        assert_eq!(Request::decode(&wire), Err(WireError::Truncated));
+        // Same on the response side: a lying fingerprint count truncates.
+        let mut wire = Vec::new();
+        wire.push(8); // RESP_BATCH
+        wire.extend_from_slice(&9u64.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        for v in [0u64, 0, 0] {
+            wire.extend_from_slice(&v.to_le_bytes());
+        }
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&7u64.to_le_bytes()); // only one of 2^32-1
+        assert_eq!(Response::decode(&wire), Err(WireError::Truncated));
+        // A bad language byte inside the batch is a BadValue, as for
+        // single-query requests.
+        let mut wire = Vec::new();
+        wire.push(4);
+        wire.extend_from_slice(&9u64.to_le_bytes());
+        wire.push(0);
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.push(9); // bad language
+        assert_eq!(
+            Request::decode(&wire),
+            Err(WireError::BadValue("query language"))
+        );
+        // Trailing bytes after the last fingerprint are rejected.
+        let mut wire = Response::BatchAnswer {
+            id: 1,
+            docs: 0,
+            queue_ns: 0,
+            exec_ns: 0,
+            total_ns: 0,
+            fingerprints: vec![3],
+        }
+        .encode();
+        wire.push(0);
+        assert_eq!(Response::decode(&wire), Err(WireError::TrailingBytes(1)));
     }
 
     #[test]

@@ -35,11 +35,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use cqt_core::ExecScratch;
+use cqt_core::{BatchScratch, ExecScratch};
 
+use crate::batch::PreparedBatch;
 use crate::durability::DurabilityStats;
 use crate::net::frame::{write_frame, FrameBuffer, DEFAULT_MAX_FRAME_LEN};
-use crate::net::protocol::{Request, Response, WireFanOut, WireLang};
+use crate::net::protocol::{Request, Response, WireLang};
 use crate::net::queue::{BoundedQueue, PushError};
 use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanOptions};
 use crate::runner::should_prune;
@@ -108,12 +109,26 @@ pub struct ServerStats {
     pub wal: DurabilityStats,
 }
 
-/// One admitted query: everything a worker needs to execute and answer it.
+/// What an admitted job executes: one query, or a whole batch sharing one
+/// fan-out. A batch occupies **one** queue slot — admission is
+/// all-or-nothing, so a shed batch sheds every query in it and a parse
+/// error anywhere in the frame admits nothing.
+enum JobKind {
+    Single {
+        spec: QuerySpec,
+        fp_key: u64,
+    },
+    Batch {
+        /// `(spec, fp_key)` per query, in request order.
+        queries: Vec<(QuerySpec, u64)>,
+    },
+}
+
+/// One admitted job: everything a worker needs to execute and answer it.
 struct Job {
     id: u64,
-    spec: QuerySpec,
+    kind: JobKind,
     target: FanOut,
-    fp_key: u64,
     admitted_at: Instant,
     out: Arc<Mutex<TcpStream>>,
 }
@@ -425,45 +440,90 @@ fn handle_payload(shared: &Shared, payload: &[u8], out: &Arc<Mutex<TcpStream>>) 
                     return;
                 }
             };
-            let target = match fanout {
-                WireFanOut::All => FanOut::All,
-                WireFanOut::Doc(name) => FanOut::One(name.into()),
-                WireFanOut::Tag(tag) => FanOut::Tagged(tag),
-            };
-            let job = Job {
-                id,
-                spec,
-                target,
-                fp_key,
-                admitted_at: Instant::now(),
-                out: Arc::clone(out),
-            };
-            match shared.queue.try_push(job) {
-                Ok(()) => {
-                    shared.admitted.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(PushError::Full { depth, capacity }) => {
-                    shared.shed.fetch_add(1, Ordering::Relaxed);
-                    respond(
-                        out,
-                        &Response::Shed {
-                            id,
-                            queue_depth: depth as u32,
-                            capacity: capacity as u32,
-                        },
-                    );
-                }
-                Err(PushError::Closed) => {
-                    shared.errors.fetch_add(1, Ordering::Relaxed);
-                    respond(
-                        out,
-                        &Response::Error {
-                            id,
-                            message: "server shutting down".to_string(),
-                        },
-                    );
+            admit(
+                shared,
+                Job {
+                    id,
+                    kind: JobKind::Single { spec, fp_key },
+                    target: fanout.into_fanout(),
+                    admitted_at: Instant::now(),
+                    out: Arc::clone(out),
+                },
+            );
+        }
+        Request::Batch {
+            id,
+            fanout,
+            queries,
+        } => {
+            // Parse every query before admitting anything: a bad spec
+            // anywhere fails the whole frame, so a batch is never
+            // half-admitted.
+            let mut parsed = Vec::with_capacity(queries.len());
+            for (q, query) in queries.into_iter().enumerate() {
+                let spec = match query.lang {
+                    WireLang::Cq => QuerySpec::parse_cq(&query.text),
+                    WireLang::XPath => QuerySpec::parse_xpath(&query.text),
+                };
+                match spec {
+                    Ok(spec) => parsed.push((spec, query.fp_key)),
+                    Err(message) => {
+                        shared.errors.fetch_add(1, Ordering::Relaxed);
+                        respond(
+                            out,
+                            &Response::Error {
+                                id,
+                                message: format!("batch query {q}: {message}"),
+                            },
+                        );
+                        return;
+                    }
                 }
             }
+            admit(
+                shared,
+                Job {
+                    id,
+                    kind: JobKind::Batch { queries: parsed },
+                    target: fanout.into_fanout(),
+                    admitted_at: Instant::now(),
+                    out: Arc::clone(out),
+                },
+            );
+        }
+    }
+}
+
+/// Pushes one parsed job onto the admission queue, answering Shed/Error in
+/// place on overflow or shutdown. A batch occupies one slot and is shed as
+/// a unit.
+fn admit(shared: &Shared, job: Job) {
+    let id = job.id;
+    let out = Arc::clone(&job.out);
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared.admitted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(PushError::Full { depth, capacity }) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            respond(
+                &out,
+                &Response::Shed {
+                    id,
+                    queue_depth: depth as u32,
+                    capacity: capacity as u32,
+                },
+            );
+        }
+        Err(PushError::Closed) => {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            respond(
+                &out,
+                &Response::Error {
+                    id,
+                    message: "server shutting down".to_string(),
+                },
+            );
         }
     }
 }
@@ -472,6 +532,7 @@ fn handle_payload(shared: &Shared, payload: &[u8], out: &Arc<Mutex<TcpStream>>) 
 /// the queue closes and drains.
 fn worker_loop(shared: &Shared) {
     let mut scratch = ExecScratch::new();
+    let mut batch_scratch = BatchScratch::new();
     loop {
         {
             let mut paused = shared.paused.lock().expect("pause lock");
@@ -487,57 +548,35 @@ fn worker_loop(shared: &Shared) {
         let queue_ns = job.admitted_at.elapsed().as_nanos() as u64;
         let exec_start = Instant::now();
         let documents = shared.corpus.select(&job.target);
-        let key = PlanKey::of_spec(&job.spec).with_options(&shared.plan);
-        // The pruning pre-pass: compile the plan once (document-independent)
-        // and intersect the corpus label index's posting lists. Each
-        // document's decision is still re-validated against its own snapshot
-        // summary in the loop below, so a posting list racing a concurrent
-        // commit can cost a wasted execution but never a wrong answer.
-        let pruner = shared.prune.then(|| {
-            let plan = shared.cache.get_or_compile(&job.spec, &shared.plan);
-            let empty = plan.empty_answer();
-            let survivors = shared
-                .corpus
-                .label_index()
-                .candidates(plan.required_labels());
-            (plan, empty, survivors)
-        });
         let mut prune = PruneStats::default();
-        let mut fingerprint = 0u64;
-        for (j, document) in documents.iter().enumerate() {
-            // The same (fp_key, doc position) keying `run_corpus` uses with
-            // its request index, so clients can compare digests against an
-            // in-process run (wrapping, because fp_key is client-supplied).
-            let fp_key = job.fp_key.wrapping_mul(1_000_003).wrapping_add(j as u64);
-            let snapshot = document.handle().snapshot();
-            if let Some((plan, empty, survivors)) = &pruner {
-                prune.candidates += 1;
-                let index_candidate = match survivors {
-                    Some(ids) => ids.contains(document.id()),
-                    None => true,
-                };
-                if should_prune(plan, index_candidate, snapshot.prepared.doc_summary()) {
-                    prune.pruned += 1;
-                    fingerprint = fingerprint.wrapping_add(answer_fingerprint(fp_key, empty));
-                    continue;
-                }
-                prune.survivors += 1;
-            }
-            let plan = shared.cache.get_or_compile_tagged(
-                key.with_document(snapshot.prepared.structure_hash()),
-                &job.spec,
-                &shared.plan,
-                document.doc_tag(),
-            );
-            let answer = plan.execute(&snapshot.prepared, &mut scratch);
-            if let Some((_, empty, _)) = &pruner {
-                if answer == *empty {
-                    prune.false_positives += 1;
+        let response = match &job.kind {
+            JobKind::Single { spec, fp_key } => {
+                let fingerprint =
+                    execute_single(shared, spec, *fp_key, &documents, &mut scratch, &mut prune);
+                let exec_ns = exec_start.elapsed().as_nanos() as u64;
+                Response::Answer {
+                    id: job.id,
+                    fingerprint,
+                    docs: documents.len() as u32,
+                    queue_ns,
+                    exec_ns,
+                    total_ns: queue_ns + exec_ns,
                 }
             }
-            fingerprint = fingerprint.wrapping_add(answer_fingerprint(fp_key, &answer));
-        }
-        let exec_ns = exec_start.elapsed().as_nanos() as u64;
+            JobKind::Batch { queries } => {
+                let fingerprints =
+                    execute_batch(shared, queries, &documents, &mut batch_scratch, &mut prune);
+                let exec_ns = exec_start.elapsed().as_nanos() as u64;
+                Response::BatchAnswer {
+                    id: job.id,
+                    docs: documents.len() as u32,
+                    queue_ns,
+                    exec_ns,
+                    total_ns: queue_ns + exec_ns,
+                    fingerprints,
+                }
+            }
+        };
         shared
             .prune_candidates
             .fetch_add(prune.candidates, Ordering::Relaxed);
@@ -551,24 +590,111 @@ fn worker_loop(shared: &Shared) {
             .prune_false_positives
             .fetch_add(prune.false_positives, Ordering::Relaxed);
         shared.executed.fetch_add(1, Ordering::Relaxed);
-        respond(
-            &job.out,
-            &Response::Answer {
-                id: job.id,
-                fingerprint,
-                docs: documents.len() as u32,
-                queue_ns,
-                exec_ns,
-                total_ns: queue_ns + exec_ns,
-            },
-        );
+        respond(&job.out, &response);
     }
+}
+
+/// Executes one query over the selected documents, returning its answer
+/// fingerprint.
+fn execute_single(
+    shared: &Shared,
+    spec: &QuerySpec,
+    fp_key: u64,
+    documents: &[Arc<crate::shard::Document>],
+    scratch: &mut ExecScratch,
+    prune: &mut PruneStats,
+) -> u64 {
+    let key = PlanKey::of_spec(spec).with_options(&shared.plan);
+    // The pruning pre-pass: compile the plan once (document-independent)
+    // and intersect the corpus label index's posting lists. Each
+    // document's decision is still re-validated against its own snapshot
+    // summary in the loop below, so a posting list racing a concurrent
+    // commit can cost a wasted execution but never a wrong answer.
+    let pruner = shared.prune.then(|| {
+        let plan = shared.cache.get_or_compile(spec, &shared.plan);
+        let empty = plan.empty_answer();
+        let survivors = shared
+            .corpus
+            .label_index()
+            .candidates(plan.required_labels());
+        (plan, empty, survivors)
+    });
+    let mut fingerprint = 0u64;
+    for (j, document) in documents.iter().enumerate() {
+        // The same (fp_key, doc position) keying `run_corpus` uses with
+        // its request index, so clients can compare digests against an
+        // in-process run (wrapping, because fp_key is client-supplied).
+        let fp_key = fp_key.wrapping_mul(1_000_003).wrapping_add(j as u64);
+        let snapshot = document.handle().snapshot();
+        if let Some((plan, empty, survivors)) = &pruner {
+            prune.candidates += 1;
+            let index_candidate = match survivors {
+                Some(ids) => ids.contains(document.id()),
+                None => true,
+            };
+            if should_prune(plan, index_candidate, snapshot.prepared.doc_summary()) {
+                prune.pruned += 1;
+                fingerprint = fingerprint.wrapping_add(answer_fingerprint(fp_key, empty));
+                continue;
+            }
+            prune.survivors += 1;
+        }
+        let plan = shared.cache.get_or_compile_tagged(
+            key.with_document(snapshot.prepared.structure_hash()),
+            spec,
+            &shared.plan,
+            document.doc_tag(),
+        );
+        let answer = plan.execute(&snapshot.prepared, scratch);
+        if let Some((_, empty, _)) = &pruner {
+            if answer == *empty {
+                prune.false_positives += 1;
+            }
+        }
+        fingerprint = fingerprint.wrapping_add(answer_fingerprint(fp_key, &answer));
+    }
+    fingerprint
+}
+
+/// Executes a whole batch over the selected documents through one
+/// [`PreparedBatch`] (snapshot once per document, dedup, shared-step
+/// table, union-label pruning), returning one fingerprint per query in
+/// request order. Each fingerprint folds with the **same**
+/// `fp_key * 1_000_003 + doc_position` keying as [`execute_single`], so a
+/// batch's k-th digest equals the digest of sending that query alone with
+/// the same `fp_key`.
+fn execute_batch(
+    shared: &Shared,
+    queries: &[(QuerySpec, u64)],
+    documents: &[Arc<crate::shard::Document>],
+    scratch: &mut BatchScratch,
+    prune: &mut PruneStats,
+) -> Vec<u64> {
+    let specs: Vec<QuerySpec> = queries.iter().map(|(spec, _)| spec.clone()).collect();
+    let batch = PreparedBatch::prepare(
+        &specs,
+        &shared.cache,
+        &shared.plan,
+        shared.prune.then(|| shared.corpus.label_index()),
+    );
+    let mut fingerprints = vec![0u64; queries.len()];
+    let mut answers = Vec::with_capacity(queries.len());
+    for (j, document) in documents.iter().enumerate() {
+        answers.clear();
+        batch.execute_document(document, scratch, &mut answers, prune);
+        for (q, answer) in answers.iter().enumerate() {
+            let fp_key = queries[q].1.wrapping_mul(1_000_003).wrapping_add(j as u64);
+            fingerprints[q] = fingerprints[q].wrapping_add(answer_fingerprint(fp_key, answer));
+        }
+    }
+    fingerprints
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::net::frame::FRAME_HEADER_LEN;
+    use crate::net::protocol::WireFanOut;
     use cqt_trees::parse::parse_term;
     use std::io::Write;
 
@@ -739,6 +865,128 @@ mod tests {
         assert_eq!(pruned_stats.prune.pruned, 1, "doc-c lacks label B");
         assert_eq!(pruned_stats.prune.survivors, 2);
         assert_eq!(unpruned_stats.prune, PruneStats::default());
+    }
+
+    #[test]
+    fn batch_answers_match_singles_and_bad_specs_admit_nothing() {
+        use crate::net::protocol::WireQuery;
+        let handle = NetServer::start(test_corpus(), NetServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let texts = [
+            "Q(y) :- A(x), Child(x, y), B(y).",
+            "Q() :- A(x).",
+            // A repeat of the first query: dedups inside the batch but must
+            // still answer under its own fp_key.
+            "Q(y) :- A(x), Child(x, y), B(y).",
+        ];
+        // Reference fingerprints: each query sent alone with fp_key 10+q.
+        let mut single_fps = Vec::new();
+        for (q, text) in texts.iter().enumerate() {
+            let response = call(
+                &mut stream,
+                &Request::Query {
+                    id: q as u64,
+                    lang: WireLang::Cq,
+                    text: (*text).into(),
+                    fanout: WireFanOut::All,
+                    fp_key: 10 + q as u64,
+                },
+            );
+            let Response::Answer { fingerprint, .. } = response else {
+                panic!("expected answer, got {response:?}");
+            };
+            single_fps.push(fingerprint);
+        }
+        let response = call(
+            &mut stream,
+            &Request::Batch {
+                id: 50,
+                fanout: WireFanOut::All,
+                queries: texts
+                    .iter()
+                    .enumerate()
+                    .map(|(q, text)| WireQuery {
+                        lang: WireLang::Cq,
+                        text: (*text).into(),
+                        fp_key: 10 + q as u64,
+                    })
+                    .collect(),
+            },
+        );
+        match response {
+            Response::BatchAnswer {
+                id,
+                docs,
+                queue_ns,
+                exec_ns,
+                total_ns,
+                fingerprints,
+            } => {
+                assert_eq!(id, 50);
+                assert_eq!(docs, 2);
+                assert_eq!(queue_ns + exec_ns, total_ns, "accounting must sum");
+                assert_eq!(
+                    fingerprints, single_fps,
+                    "batched digests must equal one-at-a-time digests"
+                );
+            }
+            other => panic!("expected batch answer, got {other:?}"),
+        }
+        // A parse error anywhere fails the whole batch; nothing is admitted.
+        let admitted_before = handle.stats().admitted;
+        let response = call(
+            &mut stream,
+            &Request::Batch {
+                id: 51,
+                fanout: WireFanOut::All,
+                queries: vec![
+                    WireQuery {
+                        lang: WireLang::Cq,
+                        text: "Q() :- A(x).".into(),
+                        fp_key: 0,
+                    },
+                    WireQuery {
+                        lang: WireLang::Cq,
+                        text: "not a query".into(),
+                        fp_key: 1,
+                    },
+                ],
+            },
+        );
+        assert!(matches!(response, Response::Error { id: 51, .. }));
+        assert_eq!(handle.stats().admitted, admitted_before);
+        // An empty batch is wire-legal: it fans out and answers with zero
+        // fingerprints.
+        let response = call(
+            &mut stream,
+            &Request::Batch {
+                id: 52,
+                fanout: WireFanOut::All,
+                queries: Vec::new(),
+            },
+        );
+        match response {
+            Response::BatchAnswer {
+                id,
+                docs,
+                fingerprints,
+                ..
+            } => {
+                assert_eq!(id, 52);
+                assert_eq!(docs, 2);
+                assert!(fingerprints.is_empty());
+            }
+            other => panic!("expected batch answer, got {other:?}"),
+        }
+        // The whole batch occupied one queue slot and one executed count.
+        let stats = handle.stats();
+        assert_eq!(stats.admitted, 5, "3 singles + 2 batches");
+        assert_eq!(stats.executed, 5);
+        assert_eq!(stats.errors, 1);
+        handle.shutdown();
     }
 
     #[test]

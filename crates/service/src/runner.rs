@@ -26,12 +26,13 @@ use cqt_core::{Answer, ExecScratch};
 use cqt_trees::edit::EditError;
 use cqt_trees::DocSummary;
 
+use crate::batch::{BatchWorkload, PreparedBatch};
 use crate::corpus::{CommitReport, CorpusHandle};
 use crate::plan::{Plan, PlanCache, PlanKey, PlanOptions};
 use crate::shard::{Corpus, CorpusError, DocId, Document, SharingSummary};
 use crate::stats::{
-    answer_fingerprint, CorpusMutationReport, CorpusReport, LatencySummary, MutationReport,
-    PruneStats, ServiceReport,
+    answer_fingerprint, BatchReport, BatchSharing, CorpusMutationReport, CorpusReport,
+    LatencySummary, MutationReport, PruneStats, ServiceReport,
 };
 use crate::workload::{CorpusMutationWorkload, CorpusWorkload, MutationWorkload, Workload};
 
@@ -536,6 +537,149 @@ impl ServiceRunner {
             answer_fingerprint: fingerprint,
             sharing: SharingSummary::from_stats(&plan_cache),
             plan_cache,
+            prune,
+        }
+    }
+
+    /// Executes every batch of `workload` against a sharded corpus: each
+    /// batch instance resolves its fan-out once, snapshots each document
+    /// once, and serves all of its queries from that snapshot through a
+    /// [`crate::batch::PreparedBatch`] (whole-query dedup, cross-query
+    /// shared-step table, union-label pruning with per-query re-checks).
+    ///
+    /// Per-query answers are folded under exactly the fingerprint keys
+    /// [`ServiceRunner::run_corpus`] uses on
+    /// [`BatchWorkload::flatten`] — query `q` of batch `b` on repeat `r`
+    /// is flat request `r * flat_len + flat_base[b] + q`, and each of its
+    /// per-document answers is keyed `flat_i * 1_000_003 + doc_position`.
+    /// The two runs are fingerprint-identical, with pruning on or off.
+    pub fn run_batched(&self, corpus: &Corpus, workload: &BatchWorkload) -> BatchReport {
+        let total = workload.batch_count();
+        let batches_len = workload.batches.len().max(1);
+        let flat_len = workload.flat_len();
+        let flat_base = workload.flat_base();
+        let threads = self.config.threads.max(1);
+        let chunk = self.config.chunk.max(1);
+        let cursor = AtomicUsize::new(0);
+        // Per distinct batch (not per instance): the fan-out resolution and
+        // the whole sharing analysis — dedup, plan compilation, shared-step
+        // interning, union posting-list intersection — happen once here.
+        let targets: Vec<Arc<Vec<Arc<Document>>>> = workload
+            .batches
+            .iter()
+            .map(|b| corpus.select(&b.target))
+            .collect();
+        let prune_index = self.config.prune.then(|| corpus.label_index());
+        let prepared: Vec<PreparedBatch> = workload
+            .batches
+            .iter()
+            .map(|b| {
+                PreparedBatch::prepare(&b.queries, &self.cache, &self.config.plan, prune_index)
+            })
+            .collect();
+        let mut sharing = BatchSharing::default();
+        for batch in &prepared {
+            sharing.deduped_queries += batch.deduped_queries() as u64;
+            sharing.shared_steps += batch.shared_steps() as u64;
+            sharing.reused_steps += batch.reused_steps() as u64;
+        }
+        let documents = corpus.len();
+        let started = Instant::now();
+        let mut all_latencies: Vec<u64> = Vec::with_capacity(total);
+        let mut fingerprint = 0u64;
+        let mut doc_answers = 0u64;
+        let mut doc_executions = 0u64;
+        let mut prune = PruneStats::default();
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let targets = &targets;
+                let prepared = &prepared;
+                let flat_base = &flat_base;
+                workers.push(scope.spawn(move || {
+                    let mut scratch = cqt_core::BatchScratch::new();
+                    let mut answers: Vec<Answer> = Vec::new();
+                    let mut latencies = Vec::new();
+                    let mut fingerprint = 0u64;
+                    let mut doc_answers = 0u64;
+                    let mut executions = 0u64;
+                    let mut prune = PruneStats::default();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= total {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(total) {
+                            let b = workload.batch_of(i);
+                            let rep = i / batches_len;
+                            let batch = &prepared[b];
+                            let begin = Instant::now();
+                            for (j, document) in targets[b].iter().enumerate() {
+                                answers.clear();
+                                executions += batch.execute_document(
+                                    document,
+                                    &mut scratch,
+                                    &mut answers,
+                                    &mut prune,
+                                );
+                                for (q, answer) in answers.iter().enumerate() {
+                                    let flat_i = (rep * flat_len + flat_base[b] + q) as u64;
+                                    let fp_key = flat_i * 1_000_003 + j as u64;
+                                    fingerprint = fingerprint
+                                        .wrapping_add(answer_fingerprint(fp_key, answer));
+                                }
+                                doc_answers += answers.len() as u64;
+                            }
+                            latencies.push(begin.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    let runtime = (
+                        scratch.step_evals(),
+                        scratch.step_hits(),
+                        scratch.empty_short_circuits(),
+                    );
+                    (
+                        latencies,
+                        fingerprint,
+                        doc_answers,
+                        executions,
+                        prune,
+                        runtime,
+                    )
+                }));
+            }
+            for worker in workers {
+                let (latencies, worker_fingerprint, answers, executions, worker_prune, runtime) =
+                    worker.join().expect("batch worker panicked");
+                all_latencies.extend(latencies);
+                fingerprint = fingerprint.wrapping_add(worker_fingerprint);
+                doc_answers += answers;
+                doc_executions += executions;
+                prune.absorb(&worker_prune);
+                sharing.step_evals += runtime.0;
+                sharing.step_hits += runtime.1;
+                sharing.empty_short_circuits += runtime.2;
+            }
+        });
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let batches = all_latencies.len() as u64;
+        debug_assert_eq!(batches as usize, total);
+        let queries = workload.query_count() as u64;
+        BatchReport {
+            threads,
+            shards: corpus.shard_count(),
+            documents,
+            batches,
+            queries,
+            doc_answers,
+            doc_executions,
+            wall_ns,
+            qps: queries as f64 / (wall_ns as f64 / 1e9).max(1e-12),
+            latency: LatencySummary::from_samples(all_latencies),
+            answer_fingerprint: fingerprint,
+            plan_cache: self.cache.stats(),
+            sharing,
             prune,
         }
     }

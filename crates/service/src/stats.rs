@@ -67,9 +67,15 @@ impl LatencySummary {
             return LatencySummary::default();
         }
         latencies.sort_unstable();
+        // Ceiling-based nearest rank: the q-quantile is the smallest sample
+        // with at least ⌈q·n⌉ samples ≤ it. Rounding the index instead (the
+        // previous behaviour) drifts past the intended rank on small
+        // samples — p50 of 1..=100 picked the 51st sample, and p99 of a
+        // 10-sample vector picked the max even though rank 10 is p100.
         let pick = |q: f64| {
-            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-            latencies[idx]
+            let n = latencies.len();
+            let rank = (q * n as f64).ceil() as usize;
+            latencies[rank.clamp(1, n) - 1]
         };
         let sum: u128 = latencies.iter().map(|&ns| u128::from(ns)).sum();
         LatencySummary {
@@ -314,6 +320,115 @@ impl CorpusReport {
     }
 }
 
+/// Cross-query sharing counters of a batched run: how much work the
+/// [`crate::batch::PreparedBatch`] layer deduplicated. The first three are
+/// plan-time counters (one per distinct batch of the workload); the last
+/// three are runtime counters summed over every worker and document.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchSharing {
+    /// Queries that mapped onto an already-compiled plan of their batch.
+    pub deduped_queries: u64,
+    /// Distinct entries across the batches' shared-step tables.
+    pub shared_steps: u64,
+    /// Step resolutions that were hash-cons hits at batch-analysis time —
+    /// per-document evaluation the tables save.
+    pub reused_steps: u64,
+    /// Shared steps evaluated (first touch of a step per document).
+    pub step_evals: u64,
+    /// Shared-step evaluations saved at runtime: a query requested a step
+    /// another query of its batch had already evaluated on that document.
+    pub step_hits: u64,
+    /// Queries answered empty straight from an empty shared step, without
+    /// running an evaluator.
+    pub empty_short_circuits: u64,
+}
+
+/// Renders [`BatchSharing`] as the JSON object [`BatchReport`] embeds.
+pub(crate) fn batch_sharing_json(sharing: &BatchSharing) -> String {
+    format!(
+        "{{\"deduped_queries\": {}, \"shared_steps\": {}, \"reused_steps\": {}, \
+         \"step_evals\": {}, \"step_hits\": {}, \"empty_short_circuits\": {}}}",
+        sharing.deduped_queries,
+        sharing.shared_steps,
+        sharing.reused_steps,
+        sharing.step_evals,
+        sharing.step_hits,
+        sharing.empty_short_circuits,
+    )
+}
+
+/// The result of one [`crate::runner::ServiceRunner::run_batched`] call: a
+/// batched scatter–gather run over a sharded multi-document corpus.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Shards of the corpus served.
+    pub shards: usize,
+    /// Documents in the corpus at run start.
+    pub documents: usize,
+    /// Batch instances executed (each serving many queries in one fan-out).
+    pub batches: u64,
+    /// Query answers produced across all batch instances.
+    pub queries: u64,
+    /// Per-(query, document) answers folded into the fingerprint.
+    pub doc_answers: u64,
+    /// Evaluator runs actually performed — below `doc_answers` by exactly
+    /// the work that whole-query dedup and pruning saved.
+    pub doc_executions: u64,
+    /// Wall-clock duration of the whole run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Query answers per second (`queries` / wall time) — the comparable
+    /// number against [`CorpusReport::qps`] on the flattened workload.
+    pub qps: f64,
+    /// Per-batch-instance latency percentiles (a batch's latency covers
+    /// its whole fan-out, every query).
+    pub latency: LatencySummary,
+    /// Order-independent fingerprint over every per-(query, document)
+    /// answer, keyed exactly like [`crate::runner::ServiceRunner::run_corpus`]
+    /// on [`crate::batch::BatchWorkload::flatten`] — equality of the two is
+    /// the batched path's correctness contract.
+    pub answer_fingerprint: u64,
+    /// Plan cache counters at the end of the run.
+    pub plan_cache: PlanCacheStats,
+    /// Cross-query sharing counters of the batch layer.
+    pub sharing: BatchSharing,
+    /// Pruning counters of the batched scatter (all-zero when pruning is
+    /// disabled).
+    pub prune: PruneStats,
+}
+
+impl BatchReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\": {}, \"shards\": {}, \"documents\": {}, \"batches\": {}, \
+             \"queries\": {}, \"doc_answers\": {}, \"doc_executions\": {}, \
+             \"wall_ns\": {}, \"qps\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \
+             \"answer_fingerprint\": {}, \"plan_cache\": {}, \"sharing\": {}, \
+             \"prune\": {}}}",
+            self.threads,
+            self.shards,
+            self.documents,
+            self.batches,
+            self.queries,
+            self.doc_answers,
+            self.doc_executions,
+            self.wall_ns,
+            self.qps,
+            self.latency.p50_ns,
+            self.latency.p99_ns,
+            self.latency.mean_ns,
+            self.latency.max_ns,
+            self.answer_fingerprint,
+            plan_cache_json(&self.plan_cache),
+            batch_sharing_json(&self.sharing),
+            prune_stats_json(&self.prune),
+        )
+    }
+}
+
 /// The result of one [`crate::runner::ServiceRunner::run_corpus_mutating`]
 /// call: a multi-writer read/write run over a sharded corpus.
 #[derive(Clone, Debug)]
@@ -426,10 +541,10 @@ mod tests {
     #[test]
     fn latency_summary_percentiles() {
         let summary = LatencySummary::from_samples((1..=100).collect());
-        // Index (99 * 0.5).round() = 50 → the 51st sample.
-        assert_eq!(summary.p50_ns, 51);
+        // Ceiling nearest-rank on n = 100: rank ⌈0.5·100⌉ = 50 → the 50th
+        // sample, rank ⌈0.99·100⌉ = 99, rank ⌈0.999·100⌉ = 100.
+        assert_eq!(summary.p50_ns, 50);
         assert_eq!(summary.p99_ns, 99);
-        // Index (99 * 0.999).round() = 99 → the last sample.
         assert_eq!(summary.p999_ns, 100);
         assert_eq!(summary.mean_ns, 50);
         assert_eq!(summary.max_ns, 100);
@@ -440,6 +555,31 @@ mod tests {
         let single = LatencySummary::from_samples(vec![7]);
         assert_eq!(single.p50_ns, 7);
         assert_eq!(single.p99_ns, 7);
+    }
+
+    #[test]
+    fn percentiles_use_ceiling_nearest_rank_on_small_samples() {
+        // n = 10: p50 is rank ⌈5⌉ = 5 (value 50); p99 is rank ⌈9.9⌉ = 10
+        // (the max — with only ten samples the 99th percentile *is* the
+        // worst observation); the rounding bug would have picked rank 10
+        // for p99 too, but rank 6 for p50.
+        let samples: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        let summary = LatencySummary::from_samples(samples);
+        assert_eq!(summary.p50_ns, 50);
+        assert_eq!(summary.p99_ns, 100);
+        assert_eq!(summary.p999_ns, 100);
+        // n = 3: p50 is rank ⌈1.5⌉ = 2. The old `.round()` on index
+        // (2 × 0.5 = 1.0) happened to agree here, but p99 (index
+        // (2 × 0.99).round() = 2) and rank ⌈2.97⌉ = 3 both give the max.
+        let summary = LatencySummary::from_samples(vec![30, 10, 20]);
+        assert_eq!(summary.p50_ns, 20);
+        assert_eq!(summary.p99_ns, 30);
+        // n = 2: p50 is rank ⌈1⌉ = 1 — the *lower* of the two samples.
+        // The rounding bug picked index (1 × 0.5).round() = 1, the upper.
+        let summary = LatencySummary::from_samples(vec![100, 1]);
+        assert_eq!(summary.p50_ns, 1);
+        assert_eq!(summary.p99_ns, 100);
+        assert_eq!(summary.p999_ns, 100);
     }
 
     #[test]

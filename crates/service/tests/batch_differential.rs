@@ -1,0 +1,259 @@
+//! Differential properties of the batched execution path: a
+//! [`ServiceRunner::run_batched`] run must be **answer-fingerprint
+//! identical** to [`ServiceRunner::run_corpus`] on the flattened workload —
+//! on random corpora at every vocabulary extreme, with pruning on and off,
+//! and across arbitrary committed edit scripts.
+//!
+//! Batching changes *how much work* is done (whole-query dedup, the
+//! hash-consed shared-step table, union-label pruning), never *which
+//! answers* come back: the fingerprints are keyed per (query, document)
+//! position exactly like the flattened one-at-a-time run, so equality is
+//! bit-for-bit over every answer the batch produced.
+
+use cqt_core::BatchScratch;
+use cqt_service::{
+    BatchRequest, BatchWorkload, Corpus, CorpusWorkload, FanOut, PlanCache, PlanOptions,
+    PreparedBatch, PruneStats, QuerySpec, ServiceConfig, ServiceRunner,
+};
+use cqt_trees::generate::{
+    document_corpus, random_edit_script, DocumentCorpusConfig, EditScriptConfig, LabelVocabulary,
+};
+use cqt_trees::parse::parse_term;
+use cqt_trees::Tree;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BASE_ALPHABET: [&str; 4] = ["A", "B", "C", "D"];
+
+fn base_alphabet() -> Vec<String> {
+    BASE_ALPHABET.iter().map(|s| s.to_string()).collect()
+}
+
+/// Every label a corpus generated with `distinct` templates could carry
+/// (see `prune_differential.rs`): queries drawn from this pool cover
+/// hit-everything, hit-one-family and hit-nothing selectivities.
+fn label_pool(distinct: usize) -> Vec<String> {
+    let mut pool = base_alphabet();
+    for t in 0..distinct {
+        for label in BASE_ALPHABET {
+            pool.push(format!("T{t}_{label}"));
+        }
+    }
+    pool
+}
+
+fn corpus_of(trees: Vec<Tree>, shards: usize) -> Corpus {
+    let corpus = Corpus::new(shards);
+    for (i, tree) in trees.into_iter().enumerate() {
+        corpus.insert(format!("doc-{i:03}"), tree).unwrap();
+    }
+    corpus
+}
+
+/// Runs `workload` batched and one-at-a-time (on its flattening), with
+/// pruning on and off, asserting the fingerprints agree in all four runs.
+fn assert_batched_matches_flat(corpus: &Corpus, workload: &BatchWorkload) {
+    let flat: CorpusWorkload = workload.flatten();
+    for prune in [true, false] {
+        let config = ServiceConfig::with_threads(2).with_prune(prune);
+        let batched = ServiceRunner::new(config.clone()).run_batched(corpus, workload);
+        let one_at_a_time = ServiceRunner::new(config).run_corpus(corpus, &flat);
+        assert_eq!(
+            batched.answer_fingerprint, one_at_a_time.answer_fingerprint,
+            "batched and flattened runs disagree (prune={prune})"
+        );
+        assert_eq!(
+            batched.queries, one_at_a_time.requests,
+            "a batch run answers exactly the flattened request count"
+        );
+        assert_eq!(
+            batched.prune.candidates,
+            batched.prune.pruned + batched.prune.survivors,
+            "every candidate is either pruned or survives"
+        );
+        if !prune {
+            assert_eq!(batched.prune, PruneStats::default());
+        }
+        assert!(
+            batched.doc_executions <= batched.doc_answers,
+            "dedup and pruning can only save executions, never invent them"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random corpora at every vocabulary extreme, random batch shapes and
+    /// fan-outs: batched digests equal one-at-a-time digests.
+    #[test]
+    fn batched_runs_match_flattened_on_random_corpora(
+        seed in 0u64..1 << 32,
+        vocab in 0usize..3,
+        documents in 1usize..8,
+        distinct in 1usize..4,
+        batches in proptest::collection::vec(
+            (0usize..3, proptest::collection::vec((0usize..64, 0usize..64), 1..7)),
+            1..4,
+        ),
+    ) {
+        let vocabulary = [
+            LabelVocabulary::Shared,
+            LabelVocabulary::Overlapping,
+            LabelVocabulary::Disjoint,
+        ][vocab];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = document_corpus(
+            &mut rng,
+            &DocumentCorpusConfig {
+                documents,
+                distinct,
+                nodes_per_document: 24,
+                alphabet: base_alphabet(),
+                vocabulary,
+            },
+        );
+        let corpus = corpus_of(trees, 3);
+        let pool = label_pool(distinct);
+        let batches: Vec<BatchRequest> = batches
+            .iter()
+            .map(|(fanout, picks)| BatchRequest {
+                queries: picks
+                    .iter()
+                    .map(|&(a, b)| {
+                        let l1 = &pool[a % pool.len()];
+                        let l2 = &pool[b % pool.len()];
+                        QuerySpec::parse_cq(&format!(
+                            "Q(y) :- {l1}(x), Child(x, y), {l2}(y)."
+                        ))
+                        .unwrap()
+                    })
+                    .collect(),
+                target: match fanout {
+                    0 => FanOut::All,
+                    1 => FanOut::One("doc-000".into()),
+                    _ => FanOut::One("missing".into()),
+                },
+            })
+            .collect();
+        let workload = BatchWorkload::new(batches, 2);
+        assert_batched_matches_flat(&corpus, &workload);
+    }
+
+    /// Random edit scripts committed between quiesced runs: the batched
+    /// path agrees with the flattened path on every epoch the corpus
+    /// passes through.
+    #[test]
+    fn batched_runs_match_flattened_across_random_edit_scripts(
+        seed in 0u64..1 << 32,
+        rounds in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trees = document_corpus(
+            &mut rng,
+            &DocumentCorpusConfig {
+                documents: 4,
+                distinct: 3,
+                nodes_per_document: 16,
+                alphabet: base_alphabet(),
+                vocabulary: LabelVocabulary::Overlapping,
+            },
+        );
+        let corpus = corpus_of(trees, 2);
+        let pool = label_pool(3);
+        // One batch mixing point-label probes (some of which dedup) with a
+        // chain query, fanned out to every document.
+        let mut queries: Vec<QuerySpec> = pool
+            .iter()
+            .step_by(3)
+            .map(|label| QuerySpec::parse_cq(&format!("Q(x) :- {label}(x).")).unwrap())
+            .collect();
+        queries.push(queries[0].clone());
+        queries.push(QuerySpec::parse_cq("Q(y) :- A(x), Child(x, y), B(y).").unwrap());
+        let workload = BatchWorkload::new(
+            vec![BatchRequest {
+                queries,
+                target: FanOut::All,
+            }],
+            1,
+        );
+        let script_config = EditScriptConfig {
+            edits: 3,
+            // Prefixed labels move documents in and out of the queried
+            // posting lists, not just around inside them.
+            alphabet: pool.clone(),
+            ..EditScriptConfig::default()
+        };
+        assert_batched_matches_flat(&corpus, &workload);
+        for round in 0..rounds {
+            let id = format!("doc-{:03}", round % 4);
+            let tree = {
+                let document = corpus.get(&id.clone().into()).unwrap();
+                let snapshot = document.handle().snapshot();
+                snapshot.prepared.tree().clone()
+            };
+            let script = random_edit_script(&mut rng, &tree, &script_config);
+            corpus.commit(&id.into(), &script).unwrap();
+            assert_batched_matches_flat(&corpus, &workload);
+        }
+    }
+}
+
+/// The shared-step contract made observable in the prepared tree's own
+/// cache counters: executing a batch of k kindred queries builds exactly
+/// the label sets the *first* query builds — the remaining k−1 queries ride
+/// the shared-step table and the per-document warm pass, adding zero
+/// builds. Materialized axis relations are never forced by the batched
+/// compiled path at all.
+#[test]
+fn batched_kindred_queries_keep_tree_cache_counters_flat() {
+    // Four distinct specs (no whole-query dedup) over the same A/B labels
+    // and the same Child chain.
+    let kindred = [
+        "Q(y) :- A(x), Child(x, y), B(y).",
+        "Q(x) :- A(x), Child(x, y), B(y).",
+        "Q() :- A(x), Child(x, y), B(y).",
+        "Q(x, y) :- A(x), Child(x, y), B(y).",
+    ];
+    let builds_after = |texts: &[&str]| {
+        let corpus = Corpus::new(1);
+        corpus
+            .insert("d", parse_term("R(A(B(C), B), A(C(B)))").unwrap())
+            .unwrap();
+        let specs: Vec<QuerySpec> = texts
+            .iter()
+            .map(|t| QuerySpec::parse_cq(t).unwrap())
+            .collect();
+        let batch =
+            PreparedBatch::prepare(&specs, &PlanCache::new(), &PlanOptions::default(), None);
+        assert_eq!(batch.unique_count(), texts.len(), "no whole-query dedup");
+        let document = corpus.get(&"d".into()).unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut answers = Vec::new();
+        let mut prune = PruneStats::default();
+        let executions = batch.execute_document(&document, &mut scratch, &mut answers, &mut prune);
+        assert_eq!(executions, texts.len() as u64);
+        assert_eq!(answers.len(), texts.len());
+        let snapshot = document.handle().snapshot();
+        (
+            snapshot.prepared.label_set_builds(),
+            snapshot.prepared.relation_builds(),
+            scratch.step_hits(),
+        )
+    };
+    let (labels_one, relations_one, _) = builds_after(&kindred[..1]);
+    let (labels_all, relations_all, hits_all) = builds_after(&kindred);
+    assert_eq!(
+        labels_all, labels_one,
+        "queries after the first must not build any new label sets"
+    );
+    assert_eq!(
+        relations_all, relations_one,
+        "batched execution must not force extra materialized relations"
+    );
+    assert!(
+        hits_all > 0,
+        "the kindred chains actually shared step evaluations"
+    );
+}
