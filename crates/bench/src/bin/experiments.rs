@@ -200,13 +200,22 @@ SUBCOMMANDS (default: all):
                         timed crash recovery and follower catch-up — every
                         recovered answer fingerprint gated against the
                         mutation oracle (BENCH_8.json)
+    replicate           cross-process replication over TCP: a REPLICATE
+                        stream subscribes a replica to the leader's logs,
+                        the connection is torn mid-stream at a byte budget,
+                        the replica reconnects with backoff, catches up
+                        across a log truncation (snapshot fallback), and is
+                        digest-gate promoted after the leader dies — every
+                        leader/replica answer fingerprint compared at
+                        caught-up epochs (BENCH_10.json)
     help                print this reference
 
 FLAGS:
     --smoke             cap every instance size so the run finishes in
                         seconds (any subcommand; what CI runs)
     --threads N         reader/worker thread count for `serve`, `prune`,
-                        `batch` and `recover` (default 4)
+                        `batch` and `recover` (default 4); `replicate`:
+                        leader server worker threads (default 2)
     --mutate            `serve` only: benchmark the mutable single-document
                         corpus instead of the frozen batch
     --corpus N          `serve`: benchmark the sharded multi-document corpus
@@ -215,10 +224,10 @@ FLAGS:
                         `serve`). `net`: corpus size behind the server
                         (default 12 smoke / 24 full). `prune`: corpus size
                         (default 16 smoke / 32 full). `batch`: corpus size
-                        (default 8 smoke / 16 full). `recover`: corpus size
-                        (default 6 smoke / 12 full)
-    --shards S          with --corpus, `net`, `prune`, `batch` or `recover`:
-                        number of shards (default 4)
+                        (default 8 smoke / 16 full). `recover` and
+                        `replicate`: corpus size (default 6 smoke / 12 full)
+    --shards S          with --corpus, `net`, `prune`, `batch`, `recover` or
+                        `replicate`: number of shards (default 4)
     --batch-size N      `batch` only: benchmark a single batch size instead
                         of the default 8/16/64 sweep
     --vocab V           `prune` only: how the corpus templates' label
@@ -235,10 +244,10 @@ FLAGS:
                         SHED response (default 32)
     --connections C     `net` only: client TCP connections the open-loop
                         generator spreads requests over (default 2)
-    --bench-json PATH   `bench`/`serve`/`net`/`prune`/`batch`/`recover`:
-                        write the run's numbers as JSON
-    --bench-check PATH  `bench`/`serve`/`net`/`prune`/`batch`/`recover`:
-                        compare
+    --bench-json PATH   `bench`/`serve`/`net`/`prune`/`batch`/`recover`/
+                        `replicate`: write the run's numbers as JSON
+    --bench-check PATH  `bench`/`serve`/`net`/`prune`/`batch`/`recover`/
+                        `replicate`: compare
                         against a committed reference JSON and exit non-zero
                         on a regression (each gate is a within-run ratio, so
                         machine speed cancels out; the corpus gate
@@ -250,8 +259,12 @@ FLAGS:
                         the batch gate requires batched execution > 1.4x
                         faster per query than one-at-a-time at batch >= 16
                         and no worse than 0.75x on all-distinct batches of 8,
-                        and the recover gate requires zero post-recovery
-                        fingerprint divergences on leader and follower)
+                        the recover gate requires zero post-recovery
+                        fingerprint divergences on leader and follower, and
+                        the replicate gate requires zero leader/replica
+                        fingerprint divergences at every caught-up epoch, a
+                        non-empty record stream, at least one snapshot
+                        fallback, and a digest-gated promote)
 
 Unknown flags and stray arguments are hard errors.
 "
@@ -360,12 +373,12 @@ fn main() {
     }
     if !matches!(
         command,
-        "bench" | "serve" | "net" | "prune" | "batch" | "recover"
+        "bench" | "serve" | "net" | "prune" | "batch" | "recover" | "replicate"
     ) && (bench_json.is_some() || bench_check.is_some())
     {
         eprintln!(
             "--bench-json/--bench-check are only valid with `bench`, `serve`, `net`, `prune`, \
-             `batch` or `recover`"
+             `batch`, `recover` or `replicate`"
         );
         std::process::exit(1);
     }
@@ -377,15 +390,24 @@ fn main() {
         eprintln!("--mutate is only valid with `serve`");
         std::process::exit(1);
     }
-    if !matches!(command, "serve" | "prune" | "batch" | "recover") && threads.is_some() {
-        eprintln!("--threads is only valid with `serve`, `prune`, `batch` or `recover`");
-        std::process::exit(1);
-    }
-    if !matches!(command, "serve" | "net" | "prune" | "batch" | "recover")
-        && (corpus.is_some() || shards.is_some())
+    if !matches!(
+        command,
+        "serve" | "prune" | "batch" | "recover" | "replicate"
+    ) && threads.is_some()
     {
         eprintln!(
-            "--corpus/--shards are only valid with `serve`, `net`, `prune`, `batch` or `recover`"
+            "--threads is only valid with `serve`, `prune`, `batch`, `recover` or `replicate`"
+        );
+        std::process::exit(1);
+    }
+    if !matches!(
+        command,
+        "serve" | "net" | "prune" | "batch" | "recover" | "replicate"
+    ) && (corpus.is_some() || shards.is_some())
+    {
+        eprintln!(
+            "--corpus/--shards are only valid with `serve`, `net`, `prune`, `batch`, `recover` \
+             or `replicate`"
         );
         std::process::exit(1);
     }
@@ -477,6 +499,14 @@ fn main() {
             bench_check.as_deref(),
         ),
         "recover" => serve_recover(
+            smoke,
+            threads,
+            corpus,
+            shards.unwrap_or(4),
+            bench_json.as_deref(),
+            bench_check.as_deref(),
+        ),
+        "replicate" => serve_replicate(
             smoke,
             threads,
             corpus,
@@ -2473,6 +2503,501 @@ fn check_recover_regression(
         std::process::exit(1);
     }
     println!("recover-check passed");
+}
+
+/// The replication benchmark (`experiments replicate`, BENCH_10.json):
+/// builds a WAL-backed leader corpus behind the TCP front end, subscribes a
+/// [`cqt_service::ReplicaFollower`] with a `REPLICATE` stream, and drives
+/// the full failure cycle — the connection is torn mid-stream at a byte
+/// budget (through a one-shot truncating proxy), the replica reconnects
+/// with backoff, the leader's continued commits cross the snapshot cadence
+/// so catch-up must fall back to snapshot transfer across the truncated
+/// logs, and after the leader dies the replica is promoted against the
+/// dead leader's durable prefix.
+///
+/// Hard gates run regardless of `--bench-check`:
+///
+/// 1. every (document, query) answer fingerprint on the replica must equal
+///    the leader's at every caught-up epoch — zero divergences, checked
+///    after the initial sync, after the torn-stream catch-up, and after
+///    promotion (against a crash recovery of the leader's directory);
+/// 2. the torn phase must actually stream records and the post-truncation
+///    catch-up must actually fall back to at least one snapshot;
+/// 3. `promote` must refuse the replica that stopped syncing before the
+///    leader's final commits (digest gate) and accept the caught-up one,
+///    which then takes writes at the recovered epoch.
+fn serve_replicate(
+    smoke: bool,
+    threads: Option<usize>,
+    documents: Option<usize>,
+    shards: usize,
+    json_path: Option<&str>,
+    check_path: Option<&str>,
+) {
+    use cqt_core::ExecScratch;
+    use cqt_service::net::{NetServer, NetServerConfig};
+    use cqt_service::{
+        answer_fingerprint, durable_positions, Corpus, DocId, Durability, Plan, QuerySpec,
+        ReplicaFollower, ServiceConfig, ServiceRunner,
+    };
+    use cqt_trees::edit::EditScript;
+    use cqt_trees::generate::{
+        document_corpus, random_edit_script, DocumentCorpusConfig, EditScriptConfig,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    header("Replication over TCP — REPLICATE stream, torn connection, catch-up, promote");
+    let (nodes_per_document, commits_per_doc, snapshot_every, kill_bytes) = if smoke {
+        (200, 6u64, 4u64, 4usize << 10)
+    } else {
+        (1_200, 26u64, 8u64, 64usize << 10)
+    };
+    let documents = documents.unwrap_or(if smoke { 6 } else { 12 });
+    let workers = threads.unwrap_or(2).max(1);
+    // First half replicated cleanly; the second half lands while the
+    // replica is disconnected and crosses the snapshot cadence, so catch-up
+    // must cope with truncated logs.
+    let half = commits_per_doc / 2;
+    assert!(
+        (half + 1..=commits_per_doc).any(|epoch| epoch % snapshot_every == 0),
+        "the second half must cross the snapshot cadence"
+    );
+
+    let dir = std::env::temp_dir().join(format!("cqt-replicate-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durability = || Durability::Wal {
+        dir: dir.clone(),
+        snapshot_every,
+    };
+
+    let mut rng = StdRng::seed_from_u64(2010);
+    let trees = document_corpus(
+        &mut rng,
+        &DocumentCorpusConfig {
+            documents,
+            distinct: documents.clamp(1, 8),
+            nodes_per_document,
+            ..DocumentCorpusConfig::default()
+        },
+    );
+    let (corpus, fresh) = Corpus::open_durable(shards, durability()).unwrap_or_else(|error| {
+        eprintln!("cannot open fresh durable corpus: {error}");
+        std::process::exit(1);
+    });
+    assert!(fresh.documents.is_empty(), "scratch dir starts empty");
+    let corpus = Arc::new(corpus);
+    let doc_ids: Vec<DocId> = (0..documents)
+        .map(|i| DocId::new(format!("doc-{i:04}")))
+        .collect();
+    for (i, tree) in trees.iter().enumerate() {
+        corpus
+            .insert(doc_ids[i].clone(), tree.clone())
+            .expect("fresh corpus has no duplicates");
+    }
+    let script_config = EditScriptConfig {
+        edits: 3,
+        insert_weight: 1,
+        delete_weight: 1,
+        relabel_weight: 4,
+        ..EditScriptConfig::default()
+    };
+    let mut histories: Vec<Vec<EditScript>> = Vec::new();
+    for initial in &trees {
+        let mut tree = initial.clone();
+        let mut scripts = Vec::new();
+        for _ in 0..commits_per_doc {
+            let script = random_edit_script(&mut rng, &tree, &script_config);
+            tree = script.apply_to(&tree).expect("generated script applies").0;
+            scripts.push(script);
+        }
+        histories.push(scripts);
+    }
+    println!(
+        "leader: {documents} documents x {nodes_per_document} nodes, {shards} shards, \
+         {commits_per_doc} commits per document (split {half}/{}), snapshot every \
+         {snapshot_every}, wal at {}",
+        commits_per_doc - half,
+        dir.display()
+    );
+
+    let queries: Vec<QuerySpec> = [
+        "Q(x) :- A(x).",
+        "Q(y) :- A(x), Child(x, y), B(y).",
+        "Q(y) :- C(x), Child+(x, y), E(y).",
+    ]
+    .iter()
+    .map(|q| QuerySpec::parse_cq(q).expect("valid query"))
+    .collect();
+    let runner = ServiceRunner::new(ServiceConfig::with_threads(workers));
+    let plans: Vec<Plan> = queries
+        .iter()
+        .map(|spec| Plan::compile(spec, &runner.config().plan).0)
+        .collect();
+    // The fingerprint gate: every (document, query) answer on `replica`
+    // must equal `leader`'s, at equal epochs. Exits on a missing document
+    // or an epoch mismatch; returns (checked, divergences).
+    let diff_corpora = |leader: &Corpus, replica: &Corpus, phase: &str| -> (u64, u64) {
+        let mut scratch = ExecScratch::new();
+        let mut checked = 0u64;
+        let mut divergences = 0u64;
+        for id in &doc_ids {
+            let (Some(on_leader), Some(on_replica)) = (leader.snapshot(id), replica.snapshot(id))
+            else {
+                eprintln!("{phase} GATE FAILED: document {id} missing");
+                std::process::exit(1);
+            };
+            if on_leader.epoch != on_replica.epoch {
+                eprintln!(
+                    "{phase} GATE FAILED: {id} replica at epoch {} vs leader {}",
+                    on_replica.epoch, on_leader.epoch
+                );
+                std::process::exit(1);
+            }
+            for (query_index, plan) in plans.iter().enumerate() {
+                let expected = answer_fingerprint(
+                    query_index as u64,
+                    &plan.execute(&on_leader.prepared, &mut scratch),
+                );
+                let got = answer_fingerprint(
+                    query_index as u64,
+                    &plan.execute(&on_replica.prepared, &mut scratch),
+                );
+                checked += 1;
+                if expected != got {
+                    divergences += 1;
+                    eprintln!(
+                        "{phase} DIVERGENCE: {id} query {query_index} at epoch {}: replica \
+                         {got:#018x}, leader {expected:#018x}",
+                        on_leader.epoch
+                    );
+                }
+            }
+        }
+        (checked, divergences)
+    };
+
+    // Phase 1: commit the first half on the leader, then serve it.
+    let commit_start = Instant::now();
+    for (i, id) in doc_ids.iter().enumerate() {
+        for script in &histories[i][..half as usize] {
+            corpus
+                .commit(id, script)
+                .expect("first-half commit applies");
+        }
+    }
+    let commit_ns = commit_start.elapsed().as_nanos() as u64;
+    let server = NetServer::start(
+        Arc::clone(&corpus),
+        NetServerConfig {
+            workers,
+            ..NetServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|error| {
+        eprintln!("cannot start leader server: {error}");
+        std::process::exit(1);
+    });
+
+    // Phase 2: cold initial sync over the real socket.
+    let mut replica = ReplicaFollower::new(server.addr(), shards);
+    let sync_start = Instant::now();
+    let initial = replica.sync().unwrap_or_else(|error| {
+        eprintln!("REPLICATION FAILED: initial sync: {error:?}");
+        std::process::exit(1);
+    });
+    let initial_sync_ns = sync_start.elapsed().as_nanos() as u64;
+    let (initial_checked, initial_divergences) =
+        diff_corpora(&corpus, &replica.corpus(), "INITIAL SYNC");
+    println!(
+        "initial sync: {} snapshots + {} records in {}; {} fingerprints checked, \
+         {} divergences",
+        initial.snapshots_loaded,
+        initial.records_applied,
+        fmt_ns(initial_sync_ns as f64),
+        initial_checked,
+        initial_divergences,
+    );
+    // A replica that stops syncing here: promote must refuse it later.
+    let stale = ReplicaFollower::new(server.addr(), shards);
+    stale.sync().unwrap_or_else(|error| {
+        eprintln!("REPLICATION FAILED: stale replica sync: {error:?}");
+        std::process::exit(1);
+    });
+
+    // Phase 3: the leader advances while the replica is away; the second
+    // half crosses the snapshot cadence, truncating every log past the
+    // replica's position.
+    for (i, id) in doc_ids.iter().enumerate() {
+        for script in &histories[i][half as usize..] {
+            corpus
+                .commit(id, script)
+                .expect("second-half commit applies");
+        }
+    }
+
+    // Phase 4: the kill — resync through a proxy that tears the stream
+    // after `kill_bytes`, then reconnect straight to the leader with
+    // backoff. Catch-up must cross the truncation via snapshot fallback.
+    let (proxy_addr, proxy) = truncating_proxy(server.addr(), kill_bytes);
+    replica.retarget(proxy_addr);
+    let catchup_start = Instant::now();
+    let torn = replica.sync();
+    proxy.join().expect("proxy thread joins");
+    let torn_progress = match torn {
+        Ok(progress) => progress,
+        Err(error) => {
+            println!("torn stream: disconnected after <= {kill_bytes} bytes ({error:?})");
+            Default::default()
+        }
+    };
+    replica.retarget(server.addr());
+    let caught_up = replica
+        .sync_with_backoff(5, Duration::from_millis(10))
+        .unwrap_or_else(|error| {
+            eprintln!("REPLICATION FAILED: catch-up after the torn stream: {error:?}");
+            std::process::exit(1);
+        });
+    let catchup_ns = catchup_start.elapsed().as_nanos() as u64;
+    let fallback_snapshots = torn_progress.snapshots_loaded + caught_up.snapshots_loaded;
+    let (catchup_checked, catchup_divergences) =
+        diff_corpora(&corpus, &replica.corpus(), "CATCH-UP");
+    println!(
+        "catch-up: torn stream applied {} snapshots + {} records, reconnect applied {} + {} \
+         in {} ({} attempts); {} fingerprints checked, {} divergences",
+        torn_progress.snapshots_loaded,
+        torn_progress.records_applied,
+        caught_up.snapshots_loaded,
+        caught_up.records_applied,
+        fmt_ns(catchup_ns as f64),
+        caught_up.attempts.max(1),
+        catchup_checked,
+        catchup_divergences,
+    );
+    if fallback_snapshots == 0 {
+        eprintln!(
+            "REPLICATION GATE FAILED: catch-up crossed a truncated log without a snapshot \
+             fallback — the scenario stopped exercising it"
+        );
+        std::process::exit(1);
+    }
+    let records_streamed =
+        initial.records_applied + torn_progress.records_applied + caught_up.records_applied;
+    let snapshots_streamed =
+        initial.snapshots_loaded + torn_progress.snapshots_loaded + caught_up.snapshots_loaded;
+    if records_streamed == 0 {
+        eprintln!("REPLICATION GATE FAILED: no log records were streamed at all");
+        std::process::exit(1);
+    }
+    let server_repl = server.stats().replication;
+    println!(
+        "leader counters: {} REPLICATE requests served, {} records + {} snapshots streamed \
+         on completed streams, last stream lag {} epochs",
+        server_repl.requests,
+        server_repl.records_streamed,
+        server_repl.snapshots_streamed,
+        server_repl.lag_epochs,
+    );
+
+    // Phase 5: the leader dies. Promotion is gated on the digest chain of
+    // its durable prefix: refused for the stale replica, granted for the
+    // caught-up one — which then takes writes at the recovered epoch.
+    server.shutdown();
+    drop(corpus);
+    let durable = durable_positions(&dir).unwrap_or_else(|error| {
+        eprintln!("REPLICATION FAILED: durable positions: {error}");
+        std::process::exit(1);
+    });
+    if stale.promote(&durable).is_ok() {
+        eprintln!("PROMOTE GATE FAILED: a stale replica was promoted over newer durable state");
+        std::process::exit(1);
+    }
+    let promoted = replica.promote(&durable).unwrap_or_else(|error| {
+        eprintln!("PROMOTE GATE FAILED: the caught-up replica was refused: {error}");
+        std::process::exit(1);
+    });
+    // Answer oracle for the promoted corpus: a cold crash recovery of the
+    // leader's directory.
+    let (recovered, _) = Corpus::open_durable(shards, durability()).unwrap_or_else(|error| {
+        eprintln!("RECOVERY FAILED: {error}");
+        std::process::exit(1);
+    });
+    let (promote_checked, promote_divergences) = diff_corpora(&recovered, &promoted, "PROMOTE");
+    drop(recovered);
+    let epilogue = random_edit_script(
+        &mut rng,
+        promoted
+            .snapshot(&doc_ids[0])
+            .expect("promoted corpus serves doc 0")
+            .prepared
+            .tree(),
+        &script_config,
+    );
+    let report = promoted
+        .commit(&doc_ids[0], &epilogue)
+        .expect("promoted corpus takes writes");
+    assert_eq!(
+        report.epoch,
+        commits_per_doc + 1,
+        "the promoted corpus resumes at the recovered epoch"
+    );
+    println!(
+        "promote: stale replica refused, caught-up replica promoted and committing at epoch \
+         {}; {} fingerprints checked against crash recovery, {} divergences",
+        report.epoch, promote_checked, promote_divergences,
+    );
+
+    let checked = initial_checked + catchup_checked + promote_checked;
+    let divergences = initial_divergences + catchup_divergences + promote_divergences;
+    if divergences > 0 {
+        eprintln!("REPLICATION GATE FAILED: {divergences} answer fingerprints diverged");
+        std::process::exit(1);
+    }
+    println!("replication fingerprints: all {checked} equal between leader and replica");
+    let sync_ns = initial_sync_ns + catchup_ns;
+    let stream_rate =
+        (records_streamed + snapshots_streamed) as f64 / (sync_ns as f64 / 1e9).max(1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"schema\": \"cq-trees-replicate-bench/1\",\n  \"mode\": \"{}\",\n  \
+             \"documents\": {},\n  \"shards\": {},\n  \"workers\": {},\n  \
+             \"commits_per_doc\": {},\n  \"snapshot_every\": {},\n  \"kill_bytes\": {},\n  \
+             \"commit_ns\": {},\n  \"initial_sync_ns\": {},\n  \"catchup_ns\": {},\n  \
+             \"records_streamed\": {},\n  \"snapshots_streamed\": {},\n  \
+             \"snapshot_fallbacks\": {},\n  \"reconnect_attempts\": {},\n  \
+             \"stream_items_per_s\": {:.0},\n  \"fingerprints_checked\": {},\n  \
+             \"divergences\": {},\n  \"promote\": \"ok\",\n  \"consistency\": \"ok\"\n}}\n",
+            if smoke { "smoke" } else { "full" },
+            documents,
+            shards,
+            workers,
+            commits_per_doc,
+            snapshot_every,
+            kill_bytes,
+            commit_ns,
+            initial_sync_ns,
+            catchup_ns,
+            records_streamed,
+            snapshots_streamed,
+            fallback_snapshots,
+            caught_up.attempts.max(1),
+            stream_rate,
+            checked,
+            divergences,
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        check_replicate_regression(path, divergences, records_streamed, snapshots_streamed);
+    }
+}
+
+/// One-shot truncating proxy for the replicate harness: accepts a single
+/// connection, forwards its first request frame to `upstream`, relays at
+/// most `limit` bytes of the response back, then drops both sockets —
+/// a leader disconnect at a byte budget.
+fn truncating_proxy(
+    upstream: std::net::SocketAddr,
+    limit: usize,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("proxy binds a loopback port");
+    let addr = listener.local_addr().expect("proxy has a local address");
+    let handle = std::thread::spawn(move || {
+        let Ok((mut client, _)) = listener.accept() else {
+            return;
+        };
+        let Ok(mut up) = TcpStream::connect(upstream) else {
+            return;
+        };
+        // If the budget exceeds the whole stream, the leader just keeps the
+        // connection open — bound the idle wait so the proxy always exits.
+        let _ = up.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+        let _ = client.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+        let mut header = [0u8; 4];
+        if client.read_exact(&mut header).is_err() {
+            return;
+        }
+        let len = u32::from_be_bytes(header) as usize;
+        let mut payload = vec![0u8; len];
+        if client.read_exact(&mut payload).is_err() {
+            return;
+        }
+        if up
+            .write_all(&header)
+            .and_then(|()| up.write_all(&payload))
+            .is_err()
+        {
+            return;
+        }
+        let mut remaining = limit;
+        let mut buf = [0u8; 4096];
+        while remaining > 0 {
+            let want = buf.len().min(remaining);
+            match up.read(&mut buf[..want]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if client.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                    remaining -= n;
+                }
+            }
+        }
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = up.shutdown(Shutdown::Both);
+    });
+    (addr, handle)
+}
+
+/// Gates the replication benchmark: the committed reference must parse, and
+/// the **current run** must have zero leader/replica fingerprint
+/// divergences, a non-empty record stream, and at least one streamed
+/// snapshot (the truncation-fallback path). Stream rates are
+/// machine-dependent — printed against the reference, never gated.
+fn check_replicate_regression(
+    ref_path: &str,
+    divergences: u64,
+    records_streamed: u64,
+    snapshots_streamed: u64,
+) {
+    let ref_divergences = require_check_field(ref_path, "divergences");
+    let ref_rate = require_check_field(ref_path, "stream_items_per_s");
+    println!(
+        "replicate-check: {divergences} divergences (reference {ref_divergences:.0}); \
+         {records_streamed} records + {snapshots_streamed} snapshots streamed \
+         (reference rate {ref_rate:.0} items/s, informational)"
+    );
+    if divergences > 0 {
+        eprintln!(
+            "replicate-check FAILED: {divergences} replica answer fingerprints diverged \
+             from the leader"
+        );
+        std::process::exit(1);
+    }
+    if records_streamed == 0 {
+        eprintln!(
+            "replicate-check FAILED: no log records were streamed — the scenario stopped \
+             exercising incremental replication"
+        );
+        std::process::exit(1);
+    }
+    if snapshots_streamed == 0 {
+        eprintln!(
+            "replicate-check FAILED: no snapshots were streamed — the scenario stopped \
+             exercising the truncation fallback"
+        );
+        std::process::exit(1);
+    }
+    println!("replicate-check passed");
 }
 
 /// The parsed CLI flags of one `experiments net` run.

@@ -355,12 +355,16 @@ pub fn run_phase(
                                 ),
                                 Response::Error { id, .. } => (id, Outcome::Error),
                                 // The load generator only sends single
-                                // queries, so a batch answer (like a pong
-                                // or stats reply) here is a protocol
-                                // violation and counts as an error.
+                                // queries, so a batch answer, replication
+                                // frame (like a pong or stats reply) here
+                                // is a protocol violation and counts as an
+                                // error.
                                 Response::Pong { id }
                                 | Response::Stats { id, .. }
-                                | Response::BatchAnswer { id, .. } => (id, Outcome::Error),
+                                | Response::BatchAnswer { id, .. }
+                                | Response::ReplSnapshot { id, .. }
+                                | Response::ReplRecord { id, .. }
+                                | Response::ReplDone { id, .. } => (id, Outcome::Error),
                             };
                             received.push(RecvRecord {
                                 id,

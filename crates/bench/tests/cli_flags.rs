@@ -63,12 +63,12 @@ fn flags_are_rejected_outside_their_subcommand() {
         ),
         (
             &["net", "--threads", "4"][..],
-            "only valid with `serve`, `prune`, `batch` or `recover`",
+            "only valid with `serve`, `prune`, `batch`, `recover` or `replicate`",
         ),
         (&["prune", "--mutate"][..], "only valid with `serve`"),
         (
             &["bench", "--corpus", "8"][..],
-            "only valid with `serve`, `net`, `prune`, `batch` or `recover`",
+            "only valid with `serve`, `net`, `prune`, `batch`, `recover`",
         ),
         (
             &["net", "--batch-size", "16"][..],
@@ -144,4 +144,5 @@ fn help_is_not_confused_by_flag_values_named_help() {
     assert!(text.contains("recover"));
     assert!(text.contains("batch"));
     assert!(text.contains("--batch-size"));
+    assert!(text.contains("replicate"));
 }

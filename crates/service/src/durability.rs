@@ -84,8 +84,9 @@ const SNAP_MAGIC: &[u8; 4] = b"CQTS";
 const FORMAT_VERSION: u8 = 1;
 /// Bytes of a WAL file header (magic + version).
 const WAL_HEADER_LEN: u64 = 5;
-/// The log file's name inside a document directory.
-const WAL_FILE: &str = "wal.log";
+/// The log file's name inside a document directory. Shared with the
+/// replication layer, which streams the same files over the wire.
+pub(crate) const WAL_FILE: &str = "wal.log";
 
 /// Whether (and where) a [`Corpus`] persists its write path.
 #[derive(Clone, Debug, Default)]
@@ -339,13 +340,14 @@ fn write_snapshot(
     Ok(final_path)
 }
 
-/// One decoded, verified snapshot.
-struct Snapshot {
-    doc_id: String,
-    tags: Vec<String>,
-    epoch: u64,
-    digest: u64,
-    tree: Tree,
+/// One decoded, verified snapshot. `pub(crate)` because the replication
+/// layer streams snapshots over the wire for followers behind truncation.
+pub(crate) struct Snapshot {
+    pub(crate) doc_id: String,
+    pub(crate) tags: Vec<String>,
+    pub(crate) epoch: u64,
+    pub(crate) digest: u64,
+    pub(crate) tree: Tree,
 }
 
 /// Reads and fully verifies one snapshot file (checksum and digest).
@@ -416,6 +418,64 @@ pub(crate) struct WalRecord {
     pub(crate) post_digest: u64,
     /// The committed script, in [`cqt_trees::codec`] encoding.
     pub(crate) script: Vec<u8>,
+}
+
+/// Encodes one record exactly as [`DocWal::append`] writes it to disk:
+/// `u32 body_len | body (epoch, pre, post, script) | u64 checksum`, all
+/// little-endian. The replication layer ships these frames verbatim inside
+/// wire messages so a follower verifies the same checksum the durable log
+/// carries.
+pub(crate) fn wal_record_frame(record: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::with_capacity(24 + record.script.len());
+    body.extend_from_slice(&record.epoch.to_le_bytes());
+    body.extend_from_slice(&record.pre_digest.to_le_bytes());
+    body.extend_from_slice(&record.post_digest.to_le_bytes());
+    body.extend_from_slice(&record.script);
+    frame_wal_body(&body)
+}
+
+/// Wraps an encoded record body in the on-disk frame (length prefix +
+/// checksum).
+fn frame_wal_body(body: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(body.len() + 12);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    frame.extend_from_slice(&checksum(body).to_le_bytes());
+    frame
+}
+
+/// Parses one record frame received over the wire, verifying the length
+/// prefix and the u64 checksum — the exact framing [`read_wal`] verifies on
+/// disk. Errors are strings because the caller attributes them to a wire
+/// peer, not a file.
+pub(crate) fn wal_record_from_frame(bytes: &[u8]) -> Result<WalRecord, String> {
+    if bytes.len() < 4 {
+        return Err("record frame shorter than its length prefix".into());
+    }
+    let body_len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    if bytes.len() != 4 + body_len + 8 {
+        return Err(format!(
+            "record frame of {} bytes does not match declared body of {body_len}",
+            bytes.len()
+        ));
+    }
+    let body = &bytes[4..4 + body_len];
+    let sum = u64::from_le_bytes(bytes[4 + body_len..].try_into().expect("8 bytes"));
+    if checksum(body) != sum {
+        return Err("record checksum mismatch".into());
+    }
+    let mut r = Reader::new(body);
+    let field = |e: codec::CodecError| format!("record fields: {e}");
+    let epoch = r.u64().map_err(field)?;
+    let pre_digest = r.u64().map_err(field)?;
+    let post_digest = r.u64().map_err(field)?;
+    let script = r.take(r.remaining()).expect("remaining bytes").to_vec();
+    Ok(WalRecord {
+        epoch,
+        pre_digest,
+        post_digest,
+        script,
+    })
 }
 
 impl WalRecord {
@@ -655,10 +715,7 @@ impl DocWal {
         body.extend_from_slice(&pre_digest.to_le_bytes());
         body.extend_from_slice(&post_digest.to_le_bytes());
         codec::encode_script(script, &mut body);
-        let mut frame = Vec::with_capacity(body.len() + 12);
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&body);
-        frame.extend_from_slice(&checksum(&body).to_le_bytes());
+        let frame = frame_wal_body(&body);
         let mut file = self.file.lock().expect("wal file lock poisoned");
         file.write_all(&frame)
             .and_then(|()| file.sync_data())
@@ -755,29 +812,32 @@ pub struct RecoveredDocument {
     pub wal_valid_bytes: u64,
 }
 
-/// Recovers one document directory: newest valid snapshot + verified
-/// replay of the log tail. See the [module docs](self) for what is
-/// tolerated (torn final records) and what is refused (everything else).
-pub fn recover_document(doc_dir: &Path) -> Result<RecoveredDocument, RecoveryError> {
-    // Newest verified snapshot wins; older ones are fallbacks (they can
-    // linger if a crash interrupted the post-snapshot cleanup).
+/// The newest verified snapshot of a document directory; older snapshots
+/// are fallbacks (they can linger if a crash interrupted the post-snapshot
+/// cleanup). Shared by [`recover_document`] and the replication layer's
+/// leader-side scan.
+pub(crate) fn newest_snapshot(doc_dir: &Path) -> Result<Snapshot, RecoveryError> {
     let mut snapshot_epochs: Vec<u64> = fs::read_dir(doc_dir)
         .map_err(|e| io_err(doc_dir, e))?
         .flatten()
         .filter_map(|entry| entry.file_name().to_str().and_then(snapshot_epoch_of))
         .collect();
     snapshot_epochs.sort_unstable_by(|a, b| b.cmp(a));
-    let mut snapshot = None;
     for epoch in snapshot_epochs {
         if let Ok(snap) = read_snapshot(&doc_dir.join(snapshot_file_name(epoch))) {
-            snapshot = Some(snap);
-            break;
+            return Ok(snap);
         }
     }
-    let snapshot = snapshot.ok_or_else(|| RecoveryError::NoSnapshot {
+    Err(RecoveryError::NoSnapshot {
         path: doc_dir.to_path_buf(),
-    })?;
+    })
+}
 
+/// Recovers one document directory: newest valid snapshot + verified
+/// replay of the log tail. See the [module docs](self) for what is
+/// tolerated (torn final records) and what is refused (everything else).
+pub fn recover_document(doc_dir: &Path) -> Result<RecoveredDocument, RecoveryError> {
+    let snapshot = newest_snapshot(doc_dir)?;
     let wal_path = doc_dir.join(WAL_FILE);
     let contents = read_wal(&wal_path)?;
     let mut tree = snapshot.tree;
@@ -1017,7 +1077,36 @@ impl Follower {
                 None => {
                     // New document, or the leader truncated past our
                     // position: full (re)load from the newest snapshot.
-                    let recovered = recover_document(&doc_dir)?;
+                    let recovered = match recover_document(&doc_dir) {
+                        Ok(recovered) => recovered,
+                        Err(RecoveryError::NoSnapshot { .. }) => {
+                            // The snapshot-rotation (or document-creation)
+                            // window: the leader has renamed or not yet
+                            // renamed a snapshot into place, so no snapshot
+                            // is readable *right now*. That is not
+                            // corruption and emphatically not a removal —
+                            // keep whatever state we hold and retry on the
+                            // next poll.
+                            if let Some(id) = state
+                                .keys()
+                                .find(|id| self.dir.join(sanitize_doc_id(id)) == doc_dir)
+                                .cloned()
+                            {
+                                seen.push(id);
+                            }
+                            continue;
+                        }
+                        Err(error @ RecoveryError::Io { .. }) => {
+                            if fs::metadata(&doc_dir).is_err() {
+                                // The directory vanished between the
+                                // listing and the read: leave the verdict
+                                // to the confirmed-removal pass below.
+                                continue;
+                            }
+                            return Err(error);
+                        }
+                        Err(error) => return Err(error),
+                    };
                     let doc_id = recovered.doc_id.clone();
                     let known_epoch = state.get(&doc_id).map(|d| d.epoch);
                     if known_epoch == Some(recovered.epoch) {
@@ -1049,16 +1138,27 @@ impl Follower {
             }
         }
         // Documents whose directory disappeared were removed by the
-        // leader.
+        // leader — but only a *confirmed* absence counts. The directory
+        // listing above can transiently miss an entry while the leader is
+        // rotating snapshots, and removal is destructive on the follower
+        // (the tree and its replay position are dropped), so each
+        // candidate is re-probed directly before being removed. A probe
+        // that still finds the path — or fails for any reason other than
+        // `NotFound` — defers the verdict to the next poll.
         let gone: Vec<String> = state
             .keys()
             .filter(|id| !seen.contains(id))
             .cloned()
             .collect();
         for id in gone {
-            self.corpus.remove(&id.as_str().into());
-            state.remove(&id);
-            progress.documents_removed += 1;
+            match fs::metadata(self.dir.join(sanitize_doc_id(&id))) {
+                Err(error) if error.kind() == std::io::ErrorKind::NotFound => {
+                    self.corpus.remove(&id.as_str().into());
+                    state.remove(&id);
+                    progress.documents_removed += 1;
+                }
+                _ => {}
+            }
         }
         Ok(progress)
     }

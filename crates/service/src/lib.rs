@@ -88,6 +88,18 @@
 //!   real sockets and cross-checks answer fingerprints against the
 //!   in-process [`ServiceRunner::run_corpus`] path.
 //!
+//! * **replicate across processes** — the [`replication`] module streams
+//!   the durable write path over the [`net`] front end: a `REPLICATE`
+//!   request subscribes a [`ReplicaFollower`] on another process (or
+//!   machine) to a leader's per-document logs, shipping write-ahead-log
+//!   records in their exact on-disk framing (checksums and
+//!   `structure_digest` chain re-verified on apply) with snapshot
+//!   fallback for followers behind the log's truncation horizon, and
+//!   reconnect-with-backoff catch-up that never loses applied progress.
+//!   Failover is digest-gated: [`ReplicaFollower::promote`] opens the
+//!   replica for writes only when its positions exactly match the dead
+//!   leader's durable prefix ([`durable_positions`]).
+//!
 //! The [`ServiceReport`] returned by a run carries throughput (QPS), latency
 //! percentiles (p50/p99), an order-independent answer fingerprint for
 //! cross-checking runs at different thread counts, and the plan-cache
@@ -122,6 +134,7 @@ pub mod durability;
 pub mod index;
 pub mod net;
 pub mod plan;
+pub mod replication;
 pub mod runner;
 pub mod shard;
 pub mod stats;
@@ -136,6 +149,9 @@ pub use durability::{
 pub use index::LabelIndex;
 pub use net::{NetServer, NetServerConfig, ServerHandle, ServerStats};
 pub use plan::{Plan, PlanCache, PlanCacheStats, PlanKey, PlanOptions};
+pub use replication::{
+    durable_positions, PromoteError, ReplicaError, ReplicaFollower, ReplicaProgress,
+};
 pub use runner::{ServiceConfig, ServiceRunner};
 pub use shard::{Corpus, CorpusError, CorpusMutationOracle, DocId, Document, FanOut};
 pub use stats::{

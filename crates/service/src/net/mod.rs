@@ -30,6 +30,6 @@ pub mod queue;
 pub mod server;
 
 pub use frame::{FrameBuffer, FrameError, DEFAULT_MAX_FRAME_LEN, FRAME_HEADER_LEN};
-pub use protocol::{Request, Response, WireError, WireFanOut, WireLang};
+pub use protocol::{Request, Response, WireError, WireFanOut, WireLang, WirePosition, WireQuery};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{NetServer, NetServerConfig, ServerHandle, ServerStats};

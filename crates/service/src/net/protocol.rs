@@ -67,6 +67,23 @@ pub struct WireQuery {
     pub fp_key: u64,
 }
 
+/// A follower's replay position for one document: the epoch it has
+/// applied up to and the structure digest its tree had at that epoch.
+///
+/// Sent with [`Request::Replicate`] so the leader can stream only the
+/// records the follower is missing, and checked by
+/// `replication::ReplicaFollower::promote` against the dead leader's
+/// durable prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WirePosition {
+    /// Document id, exactly as the corpus knows it.
+    pub doc_id: String,
+    /// Epoch the sender has applied up to (inclusive).
+    pub epoch: u64,
+    /// `structure_digest` of the sender's tree at `epoch`.
+    pub digest: u64,
+}
+
 /// A client → server message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -101,6 +118,24 @@ pub enum Request {
         fanout: WireFanOut,
         /// The queries of the batch, in answer order.
         queries: Vec<WireQuery>,
+    },
+    /// Subscribe this connection to a replication stream. The leader
+    /// answers with a sequence of [`Response::ReplSnapshot`] and
+    /// [`Response::ReplRecord`] frames (one per snapshot or write-ahead-log
+    /// record the follower is missing, in sorted document order)
+    /// terminated by one [`Response::ReplDone`] — all carrying the echoed
+    /// id. Replication is answered inline by the connection's reader
+    /// (never queued, never shed), so it belongs on a dedicated
+    /// connection: queries sent on the same socket wait behind the
+    /// stream.
+    Replicate {
+        /// Echoed id, carried on every frame of the stream.
+        id: u64,
+        /// The follower's per-document positions. Documents the leader
+        /// has that are absent here — or whose digest does not match the
+        /// leader's log at that epoch — are sent from a snapshot instead
+        /// of incrementally.
+        positions: Vec<WirePosition>,
     },
     /// Liveness probe, answered immediately (never queued).
     Ping {
@@ -181,15 +216,65 @@ pub enum Response {
         /// Echoed id.
         id: u64,
     },
+    /// One frame of a replication stream: a full document snapshot. Sent
+    /// when the follower has no position for the document, its position
+    /// is behind the leader's log truncation horizon, or its digest
+    /// diverges from the leader's chain — the follower replaces any tree
+    /// it holds with this one and resumes incrementally from `epoch`.
+    ReplSnapshot {
+        /// Id of the [`Request::Replicate`] this belongs to.
+        id: u64,
+        /// Document id.
+        doc_id: String,
+        /// The document's tags, in sorted order.
+        tags: Vec<String>,
+        /// Epoch the snapshot was taken at.
+        epoch: u64,
+        /// `structure_digest` of the snapshot tree; the follower verifies
+        /// the decoded tree against it before installing.
+        digest: u64,
+        /// The tree in the durability codec's encoding
+        /// (`codec::encode_tree` bytes).
+        tree: Vec<u8>,
+    },
+    /// One frame of a replication stream: a single write-ahead-log record
+    /// in its **on-disk framing** (`u32` body length, body of epoch +
+    /// pre/post digests + edit script, `u64` checksum) — byte-identical to
+    /// what the leader's log holds, so the follower re-verifies the same
+    /// checksum and digest chain the crash-recovery path does.
+    ReplRecord {
+        /// Id of the [`Request::Replicate`] this belongs to.
+        id: u64,
+        /// Document the record applies to.
+        doc_id: String,
+        /// The record frame, exactly as stored in the leader's log.
+        frame: Vec<u8>,
+    },
+    /// The terminal frame of a replication stream: totals for the stream
+    /// and the documents the leader no longer has.
+    ReplDone {
+        /// Id of the [`Request::Replicate`] this belongs to.
+        id: u64,
+        /// Documents the stream covered (snapshot, records, or already
+        /// caught up).
+        documents: u32,
+        /// Log records streamed.
+        records: u64,
+        /// Snapshots streamed.
+        snapshots: u32,
+        /// Documents in the request's positions that the leader has
+        /// removed; the follower drops them.
+        removed: Vec<String>,
+    },
     /// Answer to [`Request::Stats`]: the server's cumulative counters.
     ///
-    /// Encoded under the **versioned** stats tag (`RESP_STATS_V3 = 7`),
-    /// which appends the durability counters (write-ahead log records and
-    /// bytes, newest snapshot epoch) to the v2 layout of plan-cache and
-    /// pruning counters. The decoder still accepts the older tags
-    /// (`RESP_STATS = 5`, `RESP_STATS_V2 = 6`) — their messages decode
-    /// with the counters they predate zero-filled — while an old client
-    /// receiving a v3 message fails cleanly with
+    /// Encoded under the **versioned** stats tag (`RESP_STATS_V4 = 12`),
+    /// which appends the replication counters (requests, records and
+    /// snapshots streamed, observed lag) to the v3 layout of durability
+    /// counters. The decoder still accepts every older tag
+    /// (`RESP_STATS = 5`, `RESP_STATS_V2 = 6`, `RESP_STATS_V3 = 7`) —
+    /// their messages decode with the counters they predate zero-filled —
+    /// while an old client receiving a v4 message fails cleanly with
     /// [`WireError::UnknownTag`] rather than misparsing the longer payload.
     Stats {
         /// Echoed id.
@@ -230,6 +315,16 @@ pub enum Response {
         wal_bytes: u64,
         /// Newest snapshot epoch across documents (v3).
         snapshot_epoch: u64,
+        /// Replication streams served since start (v4).
+        repl_requests: u64,
+        /// Log records streamed to followers since start (v4).
+        repl_records: u64,
+        /// Snapshots streamed to followers since start (v4).
+        repl_snapshots: u64,
+        /// Follower lag (epochs behind the leader's tips, summed over
+        /// documents) observed at the start of the most recent
+        /// replication stream (v4).
+        repl_lag_epochs: u64,
     },
 }
 
@@ -294,6 +389,11 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
 /// A cursor over a payload being decoded.
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -338,6 +438,13 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
     }
 
+    fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        // As for strings: the declared length is validated by `take`
+        // before the allocation.
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
     fn finish(self) -> Result<(), WireError> {
         let left = self.bytes.len() - self.pos;
         if left != 0 {
@@ -353,6 +460,7 @@ const REQ_QUERY: u8 = 1;
 const REQ_PING: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_BATCH: u8 = 4;
+const REQ_REPLICATE: u8 = 5;
 
 const RESP_ANSWER: u8 = 1;
 const RESP_SHED: u8 = 2;
@@ -363,10 +471,15 @@ const RESP_STATS: u8 = 5;
 /// v2 stats layout (decode-only): legacy fields plus plan-cache and
 /// prune counters.
 const RESP_STATS_V2: u8 = 6;
-/// v3 stats layout: v2 fields plus durability counters. Always used for
-/// encoding.
+/// v3 stats layout (decode-only): v2 fields plus durability counters.
 const RESP_STATS_V3: u8 = 7;
 const RESP_BATCH: u8 = 8;
+const RESP_REPL_SNAPSHOT: u8 = 9;
+const RESP_REPL_RECORD: u8 = 10;
+const RESP_REPL_DONE: u8 = 11;
+/// v4 stats layout: v3 fields plus replication counters. Always used
+/// for encoding.
+const RESP_STATS_V4: u8 = 12;
 
 const LANG_CQ: u8 = 0;
 const LANG_XPATH: u8 = 1;
@@ -452,6 +565,16 @@ impl Request {
                     put_u64(&mut out, query.fp_key);
                 }
             }
+            Request::Replicate { id, positions } => {
+                out.push(REQ_REPLICATE);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, positions.len() as u32);
+                for position in positions {
+                    put_str(&mut out, &position.doc_id);
+                    put_u64(&mut out, position.epoch);
+                    put_u64(&mut out, position.digest);
+                }
+            }
             Request::Ping { id } => {
                 out.push(REQ_PING);
                 put_u64(&mut out, *id);
@@ -502,6 +625,23 @@ impl Request {
                     queries,
                 }
             }
+            REQ_REPLICATE => {
+                let id = r.u64()?;
+                let count = r.u32()? as usize;
+                // As for batches: no reservation from the declared count.
+                let mut positions = Vec::new();
+                for _ in 0..count {
+                    let doc_id = r.string()?;
+                    let epoch = r.u64()?;
+                    let digest = r.u64()?;
+                    positions.push(WirePosition {
+                        doc_id,
+                        epoch,
+                        digest,
+                    });
+                }
+                Request::Replicate { id, positions }
+            }
             REQ_PING => Request::Ping { id: r.u64()? },
             REQ_STATS => Request::Stats { id: r.u64()? },
             other => return Err(WireError::UnknownTag(other)),
@@ -515,6 +655,7 @@ impl Request {
         match self {
             Request::Query { id, .. }
             | Request::Batch { id, .. }
+            | Request::Replicate { id, .. }
             | Request::Ping { id }
             | Request::Stats { id } => *id,
         }
@@ -580,6 +721,48 @@ impl Response {
                 out.push(RESP_PONG);
                 put_u64(&mut out, *id);
             }
+            Response::ReplSnapshot {
+                id,
+                doc_id,
+                tags,
+                epoch,
+                digest,
+                tree,
+            } => {
+                out.push(RESP_REPL_SNAPSHOT);
+                put_u64(&mut out, *id);
+                put_str(&mut out, doc_id);
+                put_u32(&mut out, tags.len() as u32);
+                for tag in tags {
+                    put_str(&mut out, tag);
+                }
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *digest);
+                put_bytes(&mut out, tree);
+            }
+            Response::ReplRecord { id, doc_id, frame } => {
+                out.push(RESP_REPL_RECORD);
+                put_u64(&mut out, *id);
+                put_str(&mut out, doc_id);
+                put_bytes(&mut out, frame);
+            }
+            Response::ReplDone {
+                id,
+                documents,
+                records,
+                snapshots,
+                removed,
+            } => {
+                out.push(RESP_REPL_DONE);
+                put_u64(&mut out, *id);
+                put_u32(&mut out, *documents);
+                put_u64(&mut out, *records);
+                put_u32(&mut out, *snapshots);
+                put_u32(&mut out, removed.len() as u32);
+                for doc_id in removed {
+                    put_str(&mut out, doc_id);
+                }
+            }
             Response::Stats {
                 id,
                 admitted,
@@ -599,8 +782,12 @@ impl Response {
                 wal_records,
                 wal_bytes,
                 snapshot_epoch,
+                repl_requests,
+                repl_records,
+                repl_snapshots,
+                repl_lag_epochs,
             } => {
-                out.push(RESP_STATS_V3);
+                out.push(RESP_STATS_V4);
                 put_u64(&mut out, *id);
                 put_u64(&mut out, *admitted);
                 put_u64(&mut out, *executed);
@@ -619,6 +806,10 @@ impl Response {
                 put_u64(&mut out, *wal_records);
                 put_u64(&mut out, *wal_bytes);
                 put_u64(&mut out, *snapshot_epoch);
+                put_u64(&mut out, *repl_requests);
+                put_u64(&mut out, *repl_records);
+                put_u64(&mut out, *repl_snapshots);
+                put_u64(&mut out, *repl_lag_epochs);
             }
         }
         out
@@ -668,6 +859,50 @@ impl Response {
                 message: r.string()?,
             },
             RESP_PONG => Response::Pong { id: r.u64()? },
+            RESP_REPL_SNAPSHOT => {
+                let id = r.u64()?;
+                let doc_id = r.string()?;
+                let count = r.u32()? as usize;
+                // No reservation from the declared tag count.
+                let mut tags = Vec::new();
+                for _ in 0..count {
+                    tags.push(r.string()?);
+                }
+                let epoch = r.u64()?;
+                let digest = r.u64()?;
+                let tree = r.bytes()?;
+                Response::ReplSnapshot {
+                    id,
+                    doc_id,
+                    tags,
+                    epoch,
+                    digest,
+                    tree,
+                }
+            }
+            RESP_REPL_RECORD => Response::ReplRecord {
+                id: r.u64()?,
+                doc_id: r.string()?,
+                frame: r.bytes()?,
+            },
+            RESP_REPL_DONE => {
+                let id = r.u64()?;
+                let documents = r.u32()?;
+                let records = r.u64()?;
+                let snapshots = r.u32()?;
+                let count = r.u32()? as usize;
+                let mut removed = Vec::new();
+                for _ in 0..count {
+                    removed.push(r.string()?);
+                }
+                Response::ReplDone {
+                    id,
+                    documents,
+                    records,
+                    snapshots,
+                    removed,
+                }
+            }
             // Legacy stats: a pre-pruning server's layout. The counters it
             // does not know about decode as zero.
             RESP_STATS => Response::Stats {
@@ -689,6 +924,10 @@ impl Response {
                 wal_records: 0,
                 wal_bytes: 0,
                 snapshot_epoch: 0,
+                repl_requests: 0,
+                repl_records: 0,
+                repl_snapshots: 0,
+                repl_lag_epochs: 0,
             },
             // v2 stats: a pre-durability server's layout; the durability
             // counters decode as zero.
@@ -711,7 +950,13 @@ impl Response {
                 wal_records: 0,
                 wal_bytes: 0,
                 snapshot_epoch: 0,
+                repl_requests: 0,
+                repl_records: 0,
+                repl_snapshots: 0,
+                repl_lag_epochs: 0,
             },
+            // v3 stats: a pre-replication server's layout; the replication
+            // counters decode as zero.
             RESP_STATS_V3 => Response::Stats {
                 id: r.u64()?,
                 admitted: r.u64()?,
@@ -731,6 +976,34 @@ impl Response {
                 wal_records: r.u64()?,
                 wal_bytes: r.u64()?,
                 snapshot_epoch: r.u64()?,
+                repl_requests: 0,
+                repl_records: 0,
+                repl_snapshots: 0,
+                repl_lag_epochs: 0,
+            },
+            RESP_STATS_V4 => Response::Stats {
+                id: r.u64()?,
+                admitted: r.u64()?,
+                executed: r.u64()?,
+                shed: r.u64()?,
+                errors: r.u64()?,
+                queue_depth: r.u32()?,
+                capacity: r.u32()?,
+                plan_hits: r.u64()?,
+                plan_misses: r.u64()?,
+                plan_analyses: r.u64()?,
+                plan_cross_document_hits: r.u64()?,
+                prune_candidates: r.u64()?,
+                prune_pruned: r.u64()?,
+                prune_survivors: r.u64()?,
+                prune_false_positives: r.u64()?,
+                wal_records: r.u64()?,
+                wal_bytes: r.u64()?,
+                snapshot_epoch: r.u64()?,
+                repl_requests: r.u64()?,
+                repl_records: r.u64()?,
+                repl_snapshots: r.u64()?,
+                repl_lag_epochs: r.u64()?,
             },
             other => return Err(WireError::UnknownTag(other)),
         };
@@ -746,6 +1019,9 @@ impl Response {
             | Response::Shed { id, .. }
             | Response::Error { id, .. }
             | Response::Pong { id }
+            | Response::ReplSnapshot { id, .. }
+            | Response::ReplRecord { id, .. }
+            | Response::ReplDone { id, .. }
             | Response::Stats { id, .. } => *id,
         }
     }
@@ -803,6 +1079,26 @@ mod tests {
                 id: 22,
                 fanout: WireFanOut::All,
                 queries: Vec::new(),
+            },
+            Request::Replicate {
+                id: 23,
+                positions: vec![
+                    WirePosition {
+                        doc_id: "doc-0001".into(),
+                        epoch: 12,
+                        digest: u64::MAX,
+                    },
+                    WirePosition {
+                        doc_id: String::new(),
+                        epoch: 0,
+                        digest: 0,
+                    },
+                ],
+            },
+            // A cold follower subscribes with no positions at all.
+            Request::Replicate {
+                id: 24,
+                positions: Vec::new(),
             },
         ];
         for request in requests {
@@ -910,6 +1206,45 @@ mod tests {
                 wal_records: 12,
                 wal_bytes: 4096,
                 snapshot_epoch: 32,
+                repl_requests: 3,
+                repl_records: 40,
+                repl_snapshots: 2,
+                repl_lag_epochs: 5,
+            },
+            Response::ReplSnapshot {
+                id: 14,
+                doc_id: "doc-0002".into(),
+                tags: vec!["hot".into(), "tenant-a".into()],
+                epoch: 16,
+                digest: 0xfeed_f00d,
+                tree: vec![0, 1, 2, 0xff, 0xfe],
+            },
+            Response::ReplSnapshot {
+                id: 15,
+                doc_id: String::new(),
+                tags: Vec::new(),
+                epoch: 0,
+                digest: 0,
+                tree: Vec::new(),
+            },
+            Response::ReplRecord {
+                id: 16,
+                doc_id: "doc-0002".into(),
+                frame: vec![12, 0, 0, 0, 0xab],
+            },
+            Response::ReplDone {
+                id: 17,
+                documents: 6,
+                records: 40,
+                snapshots: 2,
+                removed: vec!["doc-0009".into()],
+            },
+            Response::ReplDone {
+                id: 18,
+                documents: 0,
+                records: 0,
+                snapshots: 0,
+                removed: Vec::new(),
             },
         ];
         for response in responses {
@@ -940,10 +1275,14 @@ mod tests {
             wal_records: 3,
             wal_bytes: 777,
             snapshot_epoch: 2,
+            repl_requests: 1,
+            repl_records: 4,
+            repl_snapshots: 1,
+            repl_lag_epochs: 2,
         };
         let wire = stats.encode();
-        assert_eq!(wire[0], 7, "stats encode under the versioned tag");
-        // ...so an old client (which only knows tags 1..=5 or 1..=6)
+        assert_eq!(wire[0], 12, "stats encode under the versioned tag");
+        // ...so an old client (which only knows tags up to 7 or 8)
         // rejects it with a clean UnknownTag error instead of misparsing
         // the longer layout. A byte-for-byte legacy frame still decodes,
         // zero-filling the counters the old server never tracked.
@@ -993,6 +1332,37 @@ mod tests {
             }
             other => panic!("expected stats, got {other:?}"),
         }
+        // A v3 frame (pre-replication) decodes with the replication
+        // counters zero-filled.
+        let mut v3 = Vec::new();
+        v3.push(7); // RESP_STATS_V3 (decode-only)
+        for v in [4u64, 10, 9, 1, 0] {
+            v3.extend_from_slice(&v.to_le_bytes());
+        }
+        v3.extend_from_slice(&2u32.to_le_bytes());
+        v3.extend_from_slice(&8u32.to_le_bytes());
+        for v in [7u64, 2, 2, 3, 90, 60, 30, 4, 3, 777, 2] {
+            v3.extend_from_slice(&v.to_le_bytes());
+        }
+        match Response::decode(&v3).unwrap() {
+            Response::Stats {
+                wal_records,
+                wal_bytes,
+                snapshot_epoch,
+                repl_requests,
+                repl_records,
+                repl_snapshots,
+                repl_lag_epochs,
+                ..
+            } => {
+                assert_eq!((wal_records, wal_bytes, snapshot_epoch), (3, 777, 2));
+                assert_eq!(
+                    (repl_requests, repl_records, repl_snapshots, repl_lag_epochs),
+                    (0, 0, 0, 0)
+                );
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
         // A legacy frame with trailing bytes from a newer layout is
         // rejected, not silently truncated.
         legacy.extend_from_slice(&7u64.to_le_bytes());
@@ -1037,5 +1407,23 @@ mod tests {
             Request::decode(&wire),
             Err(WireError::BadValue("query language"))
         );
+        // A lying position count in a replicate request is Truncated —
+        // and must not have provoked a count-sized allocation.
+        let mut wire = Vec::new();
+        wire.push(5); // REQ_REPLICATE
+        wire.extend_from_slice(&9u64.to_le_bytes());
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&wire), Err(WireError::Truncated));
+        // A snapshot frame whose declared tree length overruns the payload
+        // is Truncated, not an oversized allocation.
+        let mut wire = Vec::new();
+        wire.push(9); // RESP_REPL_SNAPSHOT
+        wire.extend_from_slice(&9u64.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes()); // empty doc id
+        wire.extend_from_slice(&0u32.to_le_bytes()); // no tags
+        wire.extend_from_slice(&3u64.to_le_bytes()); // epoch
+        wire.extend_from_slice(&7u64.to_le_bytes()); // digest
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // lying tree length
+        assert_eq!(Response::decode(&wire), Err(WireError::Truncated));
     }
 }

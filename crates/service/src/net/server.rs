@@ -43,9 +43,10 @@ use crate::net::frame::{write_frame, FrameBuffer, DEFAULT_MAX_FRAME_LEN};
 use crate::net::protocol::{Request, Response, WireLang};
 use crate::net::queue::{BoundedQueue, PushError};
 use crate::plan::{PlanCache, PlanCacheStats, PlanKey, PlanOptions};
+use crate::replication::replicate_stream;
 use crate::runner::should_prune;
 use crate::shard::{Corpus, FanOut};
-use crate::stats::{answer_fingerprint, PruneStats};
+use crate::stats::{answer_fingerprint, PruneStats, ReplicationStats};
 use crate::workload::QuerySpec;
 
 /// Configuration of a [`NetServer`].
@@ -107,6 +108,9 @@ pub struct ServerStats {
     /// Durability counters at the time of the snapshot (all zero on an
     /// in-memory corpus).
     pub wal: DurabilityStats,
+    /// Replication counters at the time of the snapshot (all zero on a
+    /// server that never served a `REPLICATE`).
+    pub replication: ReplicationStats,
 }
 
 /// What an admitted job executes: one query, or a whole batch sharing one
@@ -153,6 +157,12 @@ struct Shared {
     prune_pruned: AtomicU64,
     prune_survivors: AtomicU64,
     prune_false_positives: AtomicU64,
+    repl_requests: AtomicU64,
+    repl_records: AtomicU64,
+    repl_snapshots: AtomicU64,
+    /// Lag observed at the start of the most recent replication stream
+    /// (stored, not accumulated — it is a gauge, not a counter).
+    repl_lag_epochs: AtomicU64,
 }
 
 impl Shared {
@@ -172,6 +182,12 @@ impl Shared {
                 false_positives: self.prune_false_positives.load(Ordering::Relaxed),
             },
             wal: self.corpus.durability_stats(),
+            replication: ReplicationStats {
+                requests: self.repl_requests.load(Ordering::Relaxed),
+                records_streamed: self.repl_records.load(Ordering::Relaxed),
+                snapshots_streamed: self.repl_snapshots.load(Ordering::Relaxed),
+                lag_epochs: self.repl_lag_epochs.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -225,6 +241,10 @@ impl NetServer {
             prune_pruned: AtomicU64::new(0),
             prune_survivors: AtomicU64::new(0),
             prune_false_positives: AtomicU64::new(0),
+            repl_requests: AtomicU64::new(0),
+            repl_records: AtomicU64::new(0),
+            repl_snapshots: AtomicU64::new(0),
+            repl_lag_epochs: AtomicU64::new(0),
         });
         let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
@@ -418,8 +438,41 @@ fn handle_payload(shared: &Shared, payload: &[u8], out: &Arc<Mutex<TcpStream>>) 
                     wal_records: stats.wal.log_records,
                     wal_bytes: stats.wal.log_bytes,
                     snapshot_epoch: stats.wal.snapshot_epoch,
+                    repl_requests: stats.replication.requests,
+                    repl_records: stats.replication.records_streamed,
+                    repl_snapshots: stats.replication.snapshots_streamed,
+                    repl_lag_epochs: stats.replication.lag_epochs,
                 },
             );
+        }
+        // Replication streams inline on this connection's reader thread:
+        // it bypasses the query queue (never queued, never shed) and
+        // blocks this reader until the stream completes, so a follower
+        // should subscribe on a dedicated connection.
+        Request::Replicate { id, positions } => {
+            shared.repl_requests.fetch_add(1, Ordering::Relaxed);
+            let result = replicate_stream(&shared.corpus, id, &positions, &mut |frame| {
+                let payload = frame.encode();
+                let mut stream = out.lock().expect("connection write lock");
+                write_frame(&mut *stream, &payload).is_ok()
+            });
+            match result {
+                Ok(totals) => {
+                    shared
+                        .repl_records
+                        .fetch_add(totals.records, Ordering::Relaxed);
+                    shared
+                        .repl_snapshots
+                        .fetch_add(totals.snapshots as u64, Ordering::Relaxed);
+                    shared
+                        .repl_lag_epochs
+                        .store(totals.lag_epochs, Ordering::Relaxed);
+                }
+                Err(message) => {
+                    shared.errors.fetch_add(1, Ordering::Relaxed);
+                    respond(out, &Response::Error { id, message });
+                }
+            }
         }
         Request::Query {
             id,

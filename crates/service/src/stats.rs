@@ -177,6 +177,25 @@ impl PruneStats {
     }
 }
 
+/// Replication counters of a leader's serving front end: how much the
+/// `REPLICATE` streams shipped and how far behind the followers were when
+/// they subscribed — reported over the wire by the `RESP_STATS_V4` stats
+/// layout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Replication streams served.
+    pub requests: u64,
+    /// Write-ahead-log records streamed to followers.
+    pub records_streamed: u64,
+    /// Snapshots streamed to followers (cold subscriptions, truncation
+    /// gaps, or digest divergence).
+    pub snapshots_streamed: u64,
+    /// Epochs the subscribing follower was behind the leader's durable
+    /// tips, summed over documents, at the start of the most recent
+    /// stream.
+    pub lag_epochs: u64,
+}
+
 /// Renders [`PruneStats`] as the JSON object the corpus reports embed.
 pub(crate) fn prune_stats_json(stats: &PruneStats) -> String {
     format!(

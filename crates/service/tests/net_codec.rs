@@ -16,7 +16,7 @@
 //!    exactly the original frame sequence.
 
 use cqt_service::net::frame::{FrameBuffer, FrameError};
-use cqt_service::net::protocol::{Request, Response, WireFanOut, WireLang};
+use cqt_service::net::protocol::{Request, Response, WireFanOut, WireLang, WirePosition};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::sample::Index;
@@ -34,83 +34,131 @@ fn wire_string() -> impl Strategy<Value = String> {
 /// Strategy covering every request variant.
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        (0..3usize, proptest::any::<Index>(), wire_string()),
+        (0..4usize, proptest::any::<Index>(), wire_string()),
         (
             0..3usize,
             wire_string(),
             proptest::any::<Index>(),
             proptest::any::<bool>(),
         ),
+        vec(
+            (
+                wire_string(),
+                proptest::any::<Index>(),
+                proptest::any::<Index>(),
+            ),
+            0..4usize,
+        ),
     )
-        .prop_map(|((variant, id, text), (fanout, target, fp, xpath))| {
-            let id = id.index(usize::MAX) as u64;
-            let fp_key = fp.index(usize::MAX) as u64;
-            match variant {
-                0 => Request::Query {
-                    id,
-                    lang: if xpath { WireLang::XPath } else { WireLang::Cq },
-                    text,
-                    fanout: match fanout {
-                        0 => WireFanOut::All,
-                        1 => WireFanOut::Doc(target),
-                        _ => WireFanOut::Tag(target),
+        .prop_map(
+            |((variant, id, text), (fanout, target, fp, xpath), positions)| {
+                let id = id.index(usize::MAX) as u64;
+                let fp_key = fp.index(usize::MAX) as u64;
+                match variant {
+                    0 => Request::Query {
+                        id,
+                        lang: if xpath { WireLang::XPath } else { WireLang::Cq },
+                        text,
+                        fanout: match fanout {
+                            0 => WireFanOut::All,
+                            1 => WireFanOut::Doc(target),
+                            _ => WireFanOut::Tag(target),
+                        },
+                        fp_key,
                     },
-                    fp_key,
-                },
-                1 => Request::Ping { id },
-                _ => Request::Stats { id },
-            }
-        })
+                    1 => Request::Ping { id },
+                    2 => Request::Stats { id },
+                    _ => Request::Replicate {
+                        id,
+                        positions: positions
+                            .into_iter()
+                            .map(|(doc_id, epoch, digest)| WirePosition {
+                                doc_id,
+                                epoch: epoch.index(usize::MAX) as u64,
+                                digest: digest.index(usize::MAX) as u64,
+                            })
+                            .collect(),
+                    },
+                }
+            },
+        )
 }
 
 /// Strategy covering every response variant.
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        (0..5usize, proptest::any::<Index>()),
+        (0..8usize, proptest::any::<Index>()),
         (proptest::any::<Index>(), proptest::any::<Index>()),
         (0..u32::MAX, 0..u32::MAX, wire_string()),
+        (vec(wire_string(), 0..3usize), vec(0u8..=255, 0..24usize)),
     )
-        .prop_map(|((variant, id), (a, b), (x, y, message))| {
-            let id = id.index(usize::MAX) as u64;
-            let (a, b) = (a.index(usize::MAX) as u64, b.index(usize::MAX) as u64);
-            match variant {
-                0 => Response::Answer {
-                    id,
-                    fingerprint: a,
-                    docs: x,
-                    queue_ns: b,
-                    exec_ns: a ^ b,
-                    total_ns: b.wrapping_add(a ^ b),
-                },
-                1 => Response::Shed {
-                    id,
-                    queue_depth: x,
-                    capacity: y,
-                },
-                2 => Response::Error { id, message },
-                3 => Response::Pong { id },
-                _ => Response::Stats {
-                    id,
-                    admitted: a,
-                    executed: b,
-                    shed: a ^ b,
-                    errors: a.wrapping_add(b),
-                    queue_depth: x,
-                    capacity: y,
-                    plan_hits: a.rotate_left(1),
-                    plan_misses: b.rotate_left(3),
-                    plan_analyses: a.rotate_right(7),
-                    plan_cross_document_hits: b.rotate_right(11),
-                    prune_candidates: a.wrapping_mul(3),
-                    prune_pruned: b.wrapping_mul(5),
-                    prune_survivors: a.wrapping_sub(b),
-                    prune_false_positives: b.wrapping_sub(a),
-                    wal_records: a.wrapping_mul(7),
-                    wal_bytes: b.wrapping_mul(9),
-                    snapshot_epoch: a.rotate_left(13),
-                },
-            }
-        })
+        .prop_map(
+            |((variant, id), (a, b), (x, y, message), (strings, bytes))| {
+                let id = id.index(usize::MAX) as u64;
+                let (a, b) = (a.index(usize::MAX) as u64, b.index(usize::MAX) as u64);
+                match variant {
+                    0 => Response::Answer {
+                        id,
+                        fingerprint: a,
+                        docs: x,
+                        queue_ns: b,
+                        exec_ns: a ^ b,
+                        total_ns: b.wrapping_add(a ^ b),
+                    },
+                    1 => Response::Shed {
+                        id,
+                        queue_depth: x,
+                        capacity: y,
+                    },
+                    2 => Response::Error { id, message },
+                    3 => Response::Pong { id },
+                    4 => Response::ReplSnapshot {
+                        id,
+                        doc_id: message,
+                        tags: strings,
+                        epoch: a,
+                        digest: b,
+                        tree: bytes,
+                    },
+                    5 => Response::ReplRecord {
+                        id,
+                        doc_id: message,
+                        frame: bytes,
+                    },
+                    6 => Response::ReplDone {
+                        id,
+                        documents: x,
+                        records: a,
+                        snapshots: y,
+                        removed: strings,
+                    },
+                    _ => Response::Stats {
+                        id,
+                        admitted: a,
+                        executed: b,
+                        shed: a ^ b,
+                        errors: a.wrapping_add(b),
+                        queue_depth: x,
+                        capacity: y,
+                        plan_hits: a.rotate_left(1),
+                        plan_misses: b.rotate_left(3),
+                        plan_analyses: a.rotate_right(7),
+                        plan_cross_document_hits: b.rotate_right(11),
+                        prune_candidates: a.wrapping_mul(3),
+                        prune_pruned: b.wrapping_mul(5),
+                        prune_survivors: a.wrapping_sub(b),
+                        prune_false_positives: b.wrapping_sub(a),
+                        wal_records: a.wrapping_mul(7),
+                        wal_bytes: b.wrapping_mul(9),
+                        snapshot_epoch: a.rotate_left(13),
+                        repl_requests: b.rotate_left(17),
+                        repl_records: a.wrapping_mul(11),
+                        repl_snapshots: b.wrapping_mul(13),
+                        repl_lag_epochs: a.rotate_right(19),
+                    },
+                }
+            },
+        )
 }
 
 proptest! {
@@ -143,6 +191,87 @@ proptest! {
         let cut = cut.index(encoded.len().max(1));
         if cut < encoded.len() {
             prop_assert!(Request::decode(&encoded[..cut]).is_err());
+        }
+    }
+
+    /// Every historical stats layout still decodes: a frame hand-encoded
+    /// under tag 5 (legacy), 6 (v2) or 7 (v3) yields the counters it
+    /// carries verbatim and zero for every counter added later, and a
+    /// truncated frame of any version is a clean error.
+    #[test]
+    fn older_stats_tags_decode_with_zero_fill(
+        version in 0usize..3,
+        counters in vec(proptest::any::<Index>(), 15usize),
+        cut in proptest::any::<Index>(),
+    ) {
+        let c: Vec<u64> = counters.iter().map(|i| i.index(usize::MAX) as u64).collect();
+        // Fields shared by every version: id + 4 counters, depth, capacity.
+        let mut wire = Vec::new();
+        wire.push([5u8, 6, 7][version]);
+        for v in &c[0..5] {
+            wire.extend_from_slice(&v.to_le_bytes());
+        }
+        wire.extend_from_slice(&(c[5] as u32).to_le_bytes());
+        wire.extend_from_slice(&(c[6] as u32).to_le_bytes());
+        if version >= 1 {
+            // v2 adds 8 plan-cache + prune counters.
+            for v in &c[7..15] {
+                wire.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        if version >= 2 {
+            // v3 adds 3 durability counters.
+            for v in &c[0..3] {
+                wire.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let decoded = Response::decode(&wire);
+        prop_assert!(decoded.is_ok(), "version {} failed: {:?}", version, decoded);
+        let Ok(Response::Stats {
+            id,
+            admitted,
+            executed,
+            shed,
+            errors,
+            queue_depth,
+            capacity,
+            plan_hits,
+            prune_false_positives,
+            wal_records,
+            snapshot_epoch,
+            repl_requests,
+            repl_records,
+            repl_snapshots,
+            repl_lag_epochs,
+            ..
+        }) = decoded
+        else {
+            panic!("expected stats");
+        };
+        prop_assert_eq!(
+            (id, admitted, executed, shed, errors),
+            (c[0], c[1], c[2], c[3], c[4])
+        );
+        prop_assert_eq!((queue_depth, capacity), (c[5] as u32, c[6] as u32));
+        if version >= 1 {
+            prop_assert_eq!((plan_hits, prune_false_positives), (c[7], c[14]));
+        } else {
+            prop_assert_eq!((plan_hits, prune_false_positives), (0, 0));
+        }
+        if version >= 2 {
+            prop_assert_eq!((wal_records, snapshot_epoch), (c[0], c[2]));
+        } else {
+            prop_assert_eq!((wal_records, snapshot_epoch), (0, 0));
+        }
+        // No historical tag carries replication counters.
+        prop_assert_eq!(
+            (repl_requests, repl_records, repl_snapshots, repl_lag_epochs),
+            (0, 0, 0, 0)
+        );
+        // Any strict prefix is Truncated, never a partial decode.
+        let cut = cut.index(wire.len());
+        if cut < wire.len() {
+            prop_assert!(Response::decode(&wire[..cut]).is_err());
         }
     }
 

@@ -1,0 +1,470 @@
+//! Differential properties of the replication transport: whatever byte
+//! the connection dies on, a reconnecting replica must catch up to
+//! **exactly** the leader's durable state — and failover must be
+//! digest-gated, refusing to promote a replica whose positions do not
+//! match the dead leader's durable prefix.
+//!
+//! The disconnect is simulated the way a disconnect actually lands on a
+//! follower: a one-shot proxy relays the leader's replication stream up
+//! to an arbitrary byte offset and then drops both sockets, swept across
+//! **every frame boundary and mid-frame offset** of the captured stream
+//! (mirroring the kill-point sweep of `recovery_differential.rs`, with
+//! the torn log replaced by a torn TCP stream). After each cut the
+//! replica reconnects to the real leader and must converge; the final
+//! answer-level check runs a batched, pruned query workload over both the
+//! leader and the replica through real sockets and requires identical
+//! fingerprints.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use cqt_service::net::frame::{write_frame, FRAME_HEADER_LEN};
+use cqt_service::net::{
+    NetServer, NetServerConfig, Request, Response, WireFanOut, WireLang, WireQuery,
+};
+use cqt_service::{durable_positions, Corpus, Durability, PromoteError, ReplicaFollower};
+use cqt_trees::generate::{random_edit_script, random_tree, EditScriptConfig, RandomTreeConfig};
+use cqt_trees::Tree;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn temp_dir(name: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cqt-repl-diff-{}-{name}-{seed}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn base_alphabet() -> Vec<String> {
+    ["A", "B", "C", "D", "E"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Generates a random initial tree plus `commits` chained random edit
+/// scripts, returning the per-epoch trees of the full in-memory replay
+/// (`epochs[e]` is the tree after `e` commits).
+fn random_history(
+    seed: u64,
+    nodes: usize,
+    commits: usize,
+) -> (Vec<Tree>, Vec<cqt_trees::EditScript>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let initial = random_tree(
+        &mut rng,
+        &RandomTreeConfig {
+            nodes,
+            alphabet: base_alphabet(),
+            ..RandomTreeConfig::default()
+        },
+    );
+    let script_config = EditScriptConfig {
+        edits: 2,
+        alphabet: base_alphabet(),
+        ..EditScriptConfig::default()
+    };
+    let mut epochs = vec![initial];
+    let mut scripts = Vec::new();
+    for _ in 0..commits {
+        let script = random_edit_script(&mut rng, epochs.last().unwrap(), &script_config);
+        let (next, _) = script.apply_to(epochs.last().unwrap()).unwrap();
+        epochs.push(next);
+        scripts.push(script);
+    }
+    (epochs, scripts)
+}
+
+/// Connects directly to the leader and captures the raw bytes of one
+/// complete cold replication stream (everything through `ReplDone`),
+/// returning the bytes and the offset at which each whole frame —
+/// header included — ends. These offsets enumerate the cut points.
+fn capture_stream(addr: SocketAddr) -> (Vec<u8>, Vec<usize>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let subscribe = Request::Replicate {
+        id: 9,
+        positions: Vec::new(),
+    };
+    write_frame(&mut stream, &subscribe.encode()).unwrap();
+    let mut bytes = Vec::new();
+    let mut frame_ends = Vec::new();
+    loop {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        stream.read_exact(&mut header).unwrap();
+        let len = u32::from_be_bytes(header) as usize;
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload).unwrap();
+        bytes.extend_from_slice(&header);
+        bytes.extend_from_slice(&payload);
+        frame_ends.push(bytes.len());
+        if matches!(Response::decode(&payload), Ok(Response::ReplDone { .. })) {
+            return (bytes, frame_ends);
+        }
+    }
+}
+
+/// One-shot truncating proxy: accepts a single connection, forwards its
+/// first request frame upstream, relays at most `limit` bytes of the
+/// response back, then drops both sockets — a disconnect at an exact
+/// byte offset of the replication stream.
+fn truncating_proxy(upstream: SocketAddr, limit: usize) -> (SocketAddr, thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = thread::spawn(move || {
+        let Ok((mut client, _)) = listener.accept() else {
+            return;
+        };
+        let Ok(mut up) = TcpStream::connect(upstream) else {
+            return;
+        };
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        if client.read_exact(&mut header).is_err() {
+            return;
+        }
+        let len = u32::from_be_bytes(header) as usize;
+        let mut payload = vec![0u8; len];
+        if client.read_exact(&mut payload).is_err() {
+            return;
+        }
+        if up
+            .write_all(&header)
+            .and_then(|()| up.write_all(&payload))
+            .is_err()
+        {
+            return;
+        }
+        let mut remaining = limit;
+        let mut buf = [0u8; 512];
+        while remaining > 0 {
+            let want = buf.len().min(remaining);
+            match up.read(&mut buf[..want]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if client.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                    remaining -= n;
+                }
+            }
+        }
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = up.shutdown(Shutdown::Both);
+    });
+    (addr, handle)
+}
+
+/// The answer-level oracle: one batched, pruned scatter–gather over a
+/// real socket, returning (documents hit, per-query fingerprints).
+fn batch_fingerprints(addr: SocketAddr, queries: &[(WireLang, &str, u64)]) -> (u32, Vec<u64>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let request = Request::Batch {
+        id: 77,
+        fanout: WireFanOut::All,
+        queries: queries
+            .iter()
+            .map(|(lang, text, fp_key)| WireQuery {
+                lang: *lang,
+                text: (*text).to_string(),
+                fp_key: *fp_key,
+            })
+            .collect(),
+    };
+    write_frame(&mut stream, &request.encode()).unwrap();
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    stream.read_exact(&mut header).unwrap();
+    let len = u32::from_be_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::BatchAnswer {
+            docs, fingerprints, ..
+        } => (docs, fingerprints),
+        other => panic!("expected a batch answer, got {other:?}"),
+    }
+}
+
+/// The query mix for the answer-level checks: CQ and XPath over the
+/// generator's alphabet, with distinct fingerprint keys.
+fn oracle_queries() -> [(WireLang, &'static str, u64); 3] {
+    [
+        (WireLang::Cq, "Q(y) :- A(x), Child+(x, y), B(y).", 11),
+        (WireLang::XPath, "//B | //C", 23),
+        (WireLang::Cq, "Q(x) :- E(x).", 37),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The disconnect sweep: cut the replication stream at every frame
+    /// boundary and a mid-frame offset inside every frame; after
+    /// reconnect + catch-up the replica must hold exactly the leader's
+    /// durable state, and a batched, pruned query workload over real
+    /// sockets must fingerprint identically on both sides.
+    #[test]
+    fn replica_converges_from_every_disconnect_point(
+        seed in 0u64..1 << 32,
+        nodes in 4usize..16,
+        commits in 1usize..5,
+        snapshot_every in 0u64..3,
+        // Fraction through the frame at which the mid-frame cut lands.
+        cut_frac in 1usize..97,
+    ) {
+        let dir = temp_dir("cut", seed);
+        let (epochs_a, scripts_a) = random_history(seed, nodes, commits);
+        let (epochs_b, scripts_b) = random_history(seed ^ 0x9e37, nodes, commits);
+        let (corpus, _) = Corpus::open_durable(
+            2,
+            Durability::Wal { dir: dir.clone(), snapshot_every },
+        )
+        .unwrap();
+        let corpus = Arc::new(corpus);
+        corpus.insert("doc-a", epochs_a[0].clone()).unwrap();
+        corpus
+            .insert_tagged("doc-b", &["hot"], epochs_b[0].clone())
+            .unwrap();
+        for script in &scripts_a {
+            corpus.commit(&"doc-a".into(), script).unwrap();
+        }
+        for script in &scripts_b {
+            corpus.commit(&"doc-b".into(), script).unwrap();
+        }
+        let server = NetServer::start(Arc::clone(&corpus), NetServerConfig::default()).unwrap();
+
+        // Enumerate the cuts from one captured full stream: zero bytes,
+        // every frame boundary, and one mid-frame offset per frame (for
+        // small fractions the cut lands inside the 4-byte header).
+        let (stream_bytes, frame_ends) = capture_stream(server.addr());
+        let mut cuts = vec![0usize];
+        cuts.extend_from_slice(&frame_ends);
+        let mut frame_start = 0usize;
+        for &end in &frame_ends {
+            let span = end - frame_start;
+            cuts.push(frame_start + 1 + (cut_frac * (span - 1)) / 100);
+            frame_start = end;
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let expect_a = epochs_a[commits].structure_digest();
+        let expect_b = epochs_b[commits].structure_digest();
+        for cut in cuts {
+            let (proxy_addr, proxy) = truncating_proxy(server.addr(), cut);
+            let mut replica = ReplicaFollower::new(proxy_addr, 2);
+            // Torn at `cut`: an error for every cut short of the full
+            // stream, a clean finish for the final boundary — both fine.
+            let _ = replica.sync();
+            proxy.join().unwrap();
+            replica.retarget(server.addr());
+            let caught_up = replica.sync_with_backoff(3, Duration::from_millis(1));
+            prop_assert!(
+                caught_up.is_ok(),
+                "catch-up after a cut at byte {} failed: {:?}",
+                cut,
+                caught_up
+            );
+            let snap_a = replica.corpus().snapshot(&"doc-a".into()).unwrap();
+            prop_assert_eq!(snap_a.epoch, commits as u64, "doc-a epoch after cut {}", cut);
+            prop_assert_eq!(
+                snap_a.prepared.tree().structure_digest(),
+                expect_a,
+                "doc-a diverged after a cut at byte {}",
+                cut
+            );
+            let snap_b = replica.corpus().snapshot(&"doc-b".into()).unwrap();
+            prop_assert_eq!(snap_b.epoch, commits as u64, "doc-b epoch after cut {}", cut);
+            prop_assert_eq!(
+                snap_b.prepared.tree().structure_digest(),
+                expect_b,
+                "doc-b diverged after a cut at byte {}",
+                cut
+            );
+            // A caught-up replica re-subscribes to a no-op stream.
+            let idle = replica.sync().unwrap();
+            prop_assert_eq!((idle.records_applied, idle.snapshots_loaded), (0, 0));
+        }
+
+        // The leader advances while a replica is down: a replica torn
+        // mid-stream reconnects after new commits and must land on the
+        // new tip, not the one it first subscribed to.
+        let mid_cut = stream_bytes.len() / 2;
+        let (proxy_addr, proxy) = truncating_proxy(server.addr(), mid_cut);
+        let mut replica = ReplicaFollower::new(proxy_addr, 2);
+        let _ = replica.sync();
+        proxy.join().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let extra = random_edit_script(
+            &mut rng,
+            epochs_a.last().unwrap(),
+            &EditScriptConfig { alphabet: base_alphabet(), ..EditScriptConfig::default() },
+        );
+        let (tip_tree, _) = extra.apply_to(epochs_a.last().unwrap()).unwrap();
+        corpus.commit(&"doc-a".into(), &extra).unwrap();
+        replica.retarget(server.addr());
+        replica
+            .sync_with_backoff(3, Duration::from_millis(1))
+            .unwrap();
+        let snap_a = replica.corpus().snapshot(&"doc-a".into()).unwrap();
+        prop_assert_eq!(snap_a.epoch, commits as u64 + 1);
+        prop_assert_eq!(
+            snap_a.prepared.tree().structure_digest(),
+            tip_tree.structure_digest()
+        );
+
+        // Answer-level equivalence with pruning and batching enabled on
+        // both sides: the replica's corpus serves behind its own socket
+        // front end and must fingerprint identically to the leader.
+        let replica_server =
+            NetServer::start(replica.corpus(), NetServerConfig::default()).unwrap();
+        let queries = oracle_queries();
+        let (leader_docs, leader_fps) = batch_fingerprints(server.addr(), &queries);
+        let (replica_docs, replica_fps) = batch_fingerprints(replica_server.addr(), &queries);
+        prop_assert_eq!(leader_docs, 2);
+        prop_assert_eq!(replica_docs, 2);
+        prop_assert_eq!(leader_fps, replica_fps);
+        replica_server.shutdown();
+        server.shutdown();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Deterministic failover: `promote` refuses a replica whose digest chain
+/// does not match the dead leader's durable prefix and accepts one that
+/// does — which then serves oracle-checked reads and accepts writes at
+/// the recovered epoch.
+#[test]
+fn promote_is_digest_gated_and_serves_oracle_checked_reads() {
+    let dir = temp_dir("promote", 11);
+    let (epochs_a, scripts_a) = random_history(11, 14, 4);
+    let (epochs_b, scripts_b) = random_history(12, 10, 2);
+    let (corpus, _) = Corpus::open_durable(
+        2,
+        Durability::Wal {
+            dir: dir.clone(),
+            snapshot_every: 2,
+        },
+    )
+    .unwrap();
+    let corpus = Arc::new(corpus);
+    corpus.insert("doc-a", epochs_a[0].clone()).unwrap();
+    corpus.insert("doc-b", epochs_b[0].clone()).unwrap();
+    for script in &scripts_a[..2] {
+        corpus.commit(&"doc-a".into(), script).unwrap();
+    }
+    for script in &scripts_b {
+        corpus.commit(&"doc-b".into(), script).unwrap();
+    }
+    let server = NetServer::start(Arc::clone(&corpus), NetServerConfig::default()).unwrap();
+
+    // `stale` stops syncing here; the leader keeps committing, so its
+    // final position on doc-a is two epochs behind the durable prefix.
+    let stale = ReplicaFollower::new(server.addr(), 2);
+    stale.sync().unwrap();
+    for script in &scripts_a[2..] {
+        corpus.commit(&"doc-a".into(), script).unwrap();
+    }
+    let current = ReplicaFollower::new(server.addr(), 2);
+    current.sync().unwrap();
+    // `empty` never synced at all.
+    let empty = ReplicaFollower::new(server.addr(), 2);
+
+    // The leader dies.
+    server.shutdown();
+    drop(corpus);
+    let durable = durable_positions(&dir).unwrap();
+    assert_eq!(durable.len(), 2);
+
+    match empty.promote(&durable) {
+        Err(PromoteError::MissingDocument(doc_id)) => assert_eq!(doc_id, "doc-a"),
+        other => panic!("expected MissingDocument, got {other:?}"),
+    }
+    match stale.promote(&durable) {
+        Err(PromoteError::Diverged {
+            doc_id,
+            expected_epoch,
+            found_epoch,
+            ..
+        }) => {
+            assert_eq!(doc_id, "doc-a");
+            assert_eq!(expected_epoch, 4);
+            assert_eq!(found_epoch, 2);
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+    let promoted = current.promote(&durable).unwrap();
+
+    // Oracle 1: crash recovery of the leader's directory must agree with
+    // the promoted replica document by document.
+    let (recovered, report) = Corpus::open_durable(
+        2,
+        Durability::Wal {
+            dir: dir.clone(),
+            snapshot_every: 2,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.documents.len(), 2);
+    for id in ["doc-a", "doc-b"] {
+        let promoted_snap = promoted.snapshot(&id.into()).unwrap();
+        let recovered_snap = recovered.snapshot(&id.into()).unwrap();
+        assert_eq!(promoted_snap.epoch, recovered_snap.epoch, "{id} epoch");
+        assert_eq!(
+            promoted_snap.prepared.tree().structure_digest(),
+            recovered_snap.prepared.tree().structure_digest(),
+            "{id} digest"
+        );
+    }
+
+    // Oracle 2: answers. Both corpora behind real socket front ends with
+    // pruning and batching on; identical fingerprints or the failover
+    // changed what readers see.
+    let promoted_server =
+        NetServer::start(Arc::clone(&promoted), NetServerConfig::default()).unwrap();
+    let oracle_server = NetServer::start(Arc::new(recovered), NetServerConfig::default()).unwrap();
+    let queries = oracle_queries();
+    let (promoted_docs, promoted_fps) = batch_fingerprints(promoted_server.addr(), &queries);
+    let (oracle_docs, oracle_fps) = batch_fingerprints(oracle_server.addr(), &queries);
+    assert_eq!(promoted_docs, 2);
+    assert_eq!(oracle_docs, 2);
+    assert_eq!(promoted_fps, oracle_fps);
+    promoted_server.shutdown();
+    oracle_server.shutdown();
+
+    // The promoted corpus is open for writes at the recovered epoch.
+    let mut rng = StdRng::seed_from_u64(99);
+    let post = random_edit_script(
+        &mut rng,
+        epochs_a.last().unwrap(),
+        &EditScriptConfig {
+            alphabet: base_alphabet(),
+            ..EditScriptConfig::default()
+        },
+    );
+    let report = promoted.commit(&"doc-a".into(), &post).unwrap();
+    assert_eq!(report.epoch, 5);
+    let (expected, _) = post.apply_to(epochs_a.last().unwrap()).unwrap();
+    assert_eq!(
+        promoted
+            .snapshot(&"doc-a".into())
+            .unwrap()
+            .prepared
+            .tree()
+            .structure_digest(),
+        expected.structure_digest()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
